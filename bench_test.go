@@ -1,0 +1,304 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4). Each BenchmarkTableN/BenchmarkFigureN runs the corresponding
+// campaign and reports the headline numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's results end to end. The Ablation* benchmarks
+// cover the design choices called out in DESIGN.md §4 (scheduler cost per
+// system call, per-run cost of the injection harness).
+package ntdts_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ntdts/internal/avail"
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/inject"
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/sqlengine"
+	"ntdts/internal/workload"
+)
+
+// BenchmarkTable1 regenerates Table 1: the number of activated KERNEL32
+// functions per workload and configuration.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wl, want := range experiments.PaperTable1() {
+			for sup, wantN := range want {
+				got := res.Counts[wl][sup]
+				if got != wantN {
+					b.Fatalf("Table1 %s/%s = %d, paper %d", wl, sup, got, wantN)
+				}
+			}
+		}
+		b.ReportMetric(float64(res.Counts["IIS"]["none"]), "IIS-activated")
+		b.ReportMetric(float64(res.Counts["Apache1"]["none"]), "Apache1-activated")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: outcome distributions for every
+// workload under stand-alone, MSCS and watchd supervision.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunFigure2(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, wl := range []string{"Apache1", "IIS", "SQL"} {
+			none, _ := exp.Find(wl, "none")
+			wd, _ := exp.Find(wl, "watchd")
+			b.ReportMetric(none.FailurePct(), wl+"-none-fail%")
+			b.ReportMetric(wd.FailurePct(), wl+"-watchd-fail%")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the weighted Apache-vs-IIS
+// outcome comparison.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunFigure2(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := experiments.Figure3(exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Supervision == "none" {
+				b.ReportMetric(row.ApachePct["failure"], "Apache-fail%")
+				b.ReportMetric(row.IISPct["failure"], "IIS-fail%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: Apache vs IIS counting only common
+// faults.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunFigure2(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := experiments.Table2(exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Supervision == "none" && r.Program == "Apache1+Apache2" {
+				b.ReportMetric(r.FailurePct, "Apache-common-fail%")
+				b.ReportMetric(float64(r.Activated), "Apache-common-faults")
+			}
+			if r.Supervision == "none" && r.Program == "IIS" {
+				b.ReportMetric(r.FailurePct, "IIS-common-fail%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: response times by outcome with
+// 95% confidence intervals.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunFigure2(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells, err := experiments.Figure4(exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Supervision == "none" && c.Outcome == "normal success" && c.Stats.N > 0 {
+				b.ReportMetric(c.Stats.Mean, c.Program+"-normal-sec")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the Watchd1/Watchd2/Watchd3
+// evolution.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure5(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []watchd.Version{watchd.V1, watchd.V2, watchd.V3} {
+			set, ok := res.Find(v, "IIS")
+			if !ok {
+				b.Fatal("missing IIS set")
+			}
+			b.ReportMetric(set.FailurePct(), "IIS-"+v.String()+"-fail%")
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §4) -------------------------------------
+
+// BenchmarkAblationSyscallDispatch measures the cost of one system call
+// through the cooperative scheduler and interception path — the overhead
+// the deterministic-simulation design pays per KERNEL32 call.
+func BenchmarkAblationSyscallDispatch(b *testing.B) {
+	k := ntsim.NewKernel()
+	k.SetInterceptor(inject.New(k, inject.ByImage("bench.exe"), nil))
+	done := make(chan struct{})
+	k.RegisterImage("bench.exe", func(p *ntsim.Process) uint32 {
+		a := win32.New(p)
+		for i := 0; i < b.N; i++ {
+			a.GetTickCount()
+		}
+		close(done)
+		return 0
+	})
+	if _, err := k.Spawn("bench.exe", "bench.exe", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for k.Step() {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// BenchmarkAblationSingleRun measures one complete fault-injection run —
+// the unit of work Figure 1's loops repeat thousands of times.
+func BenchmarkAblationSingleRun(b *testing.B) {
+	fault := inject.FaultSpec{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits}
+	runner := core.NewRunner(workload.NewIIS(workload.Standalone), core.RunnerOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(&fault); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationActivationScan measures the fault-free calibration run
+// that feeds the skip rule.
+func BenchmarkAblationActivationScan(b *testing.B) {
+	runner := core.NewRunner(workload.NewSQL(workload.Standalone), core.RunnerOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runner.ActivationScan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSQLEngine measures the SQL substrate on the workload's
+// actual query.
+func BenchmarkAblationSQLEngine(b *testing.B) {
+	db := sqlengine.NewDB()
+	if err := db.Load(sqlengine.NewDB().Dump()); err != nil {
+		b.Fatal(err)
+	}
+	seed := mustSeed(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seed.Exec(workload.SQLQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustSeed(b *testing.B) *sqlengine.DB {
+	b.Helper()
+	db := sqlengine.NewDB()
+	if _, err := db.Exec("CREATE TABLE orders (id INT, customer TEXT, total INT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 48; i++ {
+		if _, err := db.Exec("INSERT INTO orders VALUES (1, 'acme', 120)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkAvailability regenerates the §5 availability estimates from the
+// Figure 2 campaign.
+func BenchmarkAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunFigure2(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ests, err := experiments.Availability(exp, avail.DefaultAssumptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range ests {
+			if e.Workload == "IIS" {
+				b.ReportMetric(e.NinesCount, "IIS-"+e.Supervision+"-nines")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCostModel sweeps the I/O cost model and reports the
+// fault-free response-time sensitivity (DESIGN.md §4(5): the Figure 4
+// magnitudes hang off one tunable table).
+func BenchmarkAblationCostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scale := range []int{1, 2, 4} {
+			runner := core.NewRunner(workload.NewIIS(workload.Standalone), core.RunnerOptions{})
+			def := runner.Def
+			base := def.Setup
+			def.Setup = func(k *ntsim.Kernel) {
+				base(k)
+				costs := k.Costs()
+				costs.IOPerKB *= time.Duration(scale)
+				k.SetCosts(costs)
+			}
+			runner.Def = def
+			_, res, err := runner.ActivationScan()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.ResponseSec, fmt.Sprintf("io-x%d-sec", scale))
+		}
+	}
+}
+
+// BenchmarkAblationSkipModes compares the calibration-informed skip (ours)
+// with the paper's one-probe-per-unactivated-function procedure: identical
+// outcome data, very different campaign cost.
+func BenchmarkAblationSkipModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fast := &core.Campaign{
+			Runner: core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			Types:  []inject.FaultType{inject.ZeroBits},
+		}
+		fs, err := fast.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		faithful := &core.Campaign{
+			Runner:             core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			Types:              []inject.FaultType{inject.ZeroBits},
+			PaperFaithfulSkips: true,
+		}
+		ps, err := faithful.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(fs.Runs)), "runs-calibrated")
+		b.ReportMetric(float64(len(ps.Runs)), "runs-paper-faithful")
+	}
+}

@@ -1,0 +1,241 @@
+// Command dts is the Dependability Test Suite driver: it runs fault-
+// injection campaigns against the simulated NT workloads and writes the
+// results archive that dtsreport renders.
+//
+// Usage:
+//
+//	dts -config dts.cfg [-out results.json]
+//	dts -config dts.cfg -fault "ReadFile 1 1 flip" [-trace]
+//	dts -experiment table1|figure2|figure5 [-out results.json]
+//
+// With -config, dts runs a single workload set as configured (workload,
+// middleware, fault list). With -fault, dts runs exactly one fault —
+// optionally with a kernel trace — which is the §4.3 debugging workflow:
+// replay a failure-producing fault and watch what the system did. With
+// -experiment, dts runs one of the paper's evaluation campaigns wholesale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ntdts/internal/config"
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/report"
+	"ntdts/internal/vclock"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dts:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dts", flag.ContinueOnError)
+	cfgPath := fs.String("config", "", "main configuration file")
+	experiment := fs.String("experiment", "", "paper experiment to run: table1, figure2, figure5")
+	outPath := fs.String("out", "", "results archive path (overrides config)")
+	faultSpec := fs.String("fault", "", `single fault to replay: "Function param invocation type"`)
+	trace := fs.Bool("trace", false, "print the kernel trace (with -fault)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	progress := func(line string) {
+		if !*quiet {
+			fmt.Fprintln(out, line)
+		}
+	}
+	ecfg := experiments.Config{Progress: progress}
+
+	switch {
+	case *experiment != "":
+		return runExperiment(*experiment, *outPath, ecfg, out)
+	case *cfgPath != "" && *faultSpec != "":
+		return runSingleFault(*cfgPath, *faultSpec, *trace, out)
+	case *cfgPath != "":
+		return runConfigured(*cfgPath, *outPath, progress, out)
+	default:
+		return fmt.Errorf("one of -config or -experiment is required")
+	}
+}
+
+// runSingleFault replays one fault with full result detail — the paper's
+// "individual fault injection runs provide reproducible feedback" workflow.
+func runSingleFault(cfgPath, faultSpec string, trace bool, out io.Writer) error {
+	f, err := os.Open(cfgPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg, err := config.ParseMain(f)
+	if err != nil {
+		return err
+	}
+	def, err := cfg.Definition()
+	if err != nil {
+		return err
+	}
+	specs, err := config.ParseFaultList(strings.NewReader(faultSpec))
+	if err != nil || len(specs) != 1 {
+		return fmt.Errorf("bad -fault %q (want \"Function param invocation type\")", faultSpec)
+	}
+	opts := core.DefaultRunnerOptions()
+	opts.ServerUpTimeout = cfg.ServerUpTimeout
+	opts.RunDeadline = cfg.RunDeadline
+	opts.WatchdVersion = cfg.WatchdVersion
+	if trace {
+		opts.Trace = func(at vclock.Time, pid ntsim.PID, msg string) {
+			fmt.Fprintf(out, "%-14s pid%-3d %s\n", at, pid, msg)
+		}
+	}
+	res, err := core.NewRunner(def, opts).Run(&specs[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nfault:     %s\n", res.Fault.String())
+	fmt.Fprintf(out, "workload:  %s/%s\n", def.Name, def.Supervision)
+	fmt.Fprintf(out, "activated: %v, injected: %v\n", res.Activated, res.Injected)
+	fmt.Fprintf(out, "outcome:   %s\n", res.Outcome)
+	fmt.Fprintf(out, "crash:     %v, restarts: %d\n", res.ServerCrash, res.Restarts)
+	if res.Completed {
+		fmt.Fprintf(out, "response:  %.2fs (reply received: %v)\n", res.ResponseSec, res.GotResponse)
+	} else {
+		fmt.Fprintf(out, "response:  none (client never finished)\n")
+	}
+	return nil
+}
+
+func runExperiment(name, outPath string, ecfg experiments.Config, out io.Writer) error {
+	archive := &experiments.Archive{}
+	switch name {
+	case "table1":
+		res, err := experiments.RunTable1(ecfg)
+		if err != nil {
+			return err
+		}
+		archive.Kind, archive.Table1 = "table1", res
+		fmt.Fprint(out, report.Table1(res))
+	case "figure2":
+		exp, err := experiments.RunFigure2(ecfg)
+		if err != nil {
+			return err
+		}
+		archive.Kind, archive.Experiment = "figure2", exp
+		fmt.Fprint(out, report.Figure2(exp))
+	case "figure5":
+		res, err := experiments.RunFigure5(ecfg)
+		if err != nil {
+			return err
+		}
+		archive.Kind, archive.Figure5 = "figure5", res
+		fmt.Fprint(out, report.Figure5(res))
+	default:
+		return fmt.Errorf("unknown experiment %q (want table1, figure2 or figure5)", name)
+	}
+	return saveArchive(archive, outPath)
+}
+
+func runConfigured(cfgPath, outPath string, progress func(string), out io.Writer) error {
+	f, err := os.Open(cfgPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg, err := config.ParseMain(f)
+	if err != nil {
+		return err
+	}
+	def, err := cfg.Definition()
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultRunnerOptions()
+	opts.ServerUpTimeout = cfg.ServerUpTimeout
+	opts.RunDeadline = cfg.RunDeadline
+	opts.WatchdVersion = cfg.WatchdVersion
+	runner := core.NewRunner(def, opts)
+
+	var set *core.SetResult
+	if cfg.FaultList != "" {
+		set, err = runFaultListFile(runner, cfg.FaultList, progress)
+	} else {
+		campaign := &core.Campaign{Runner: runner, Progress: func(done, total int) {
+			if done%100 == 0 || done == total {
+				progress(fmt.Sprintf("%d/%d faults injected", done, total))
+			}
+		}}
+		set, err = campaign.Execute()
+	}
+	if err != nil {
+		return err
+	}
+
+	d := set.Distribution()
+	fmt.Fprintf(out, "\n%s/%s: %d activated functions, %d injected faults\n",
+		set.Workload, set.Supervision, set.ActivatedFns, d.Total)
+	for _, o := range core.AllOutcomes() {
+		fmt.Fprintf(out, "  %-22s %5d (%.1f%%)\n", o, d.Counts[o.String()], d.Pct[o.String()])
+	}
+	fmt.Fprint(out, "\n", report.TopFailures(set, 20))
+
+	if outPath == "" {
+		outPath = cfg.Results
+	}
+	return saveArchive(&experiments.Archive{Kind: "set", Set: set}, outPath)
+}
+
+// runFaultListFile executes an explicit fault list instead of the
+// generated catalog sweep.
+func runFaultListFile(runner *core.Runner, path string, progress func(string)) (*core.SetResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	specs, err := config.ParseFaultList(f)
+	if err != nil {
+		return nil, err
+	}
+	_, calib, err := runner.ActivationScan()
+	if err != nil {
+		return nil, err
+	}
+	set := &core.SetResult{
+		Workload:     runner.Def.Name,
+		Supervision:  runner.Def.Supervision.String(),
+		ActivatedFns: calib.ActivatedFns,
+		FaultFreeSec: calib.ResponseSec,
+	}
+	for i := range specs {
+		res, err := runner.Run(&specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("run %v: %w", specs[i], err)
+		}
+		set.Runs = append(set.Runs, *res)
+		if (i+1)%100 == 0 || i+1 == len(specs) {
+			progress(fmt.Sprintf("%d/%d faults injected", i+1, len(specs)))
+		}
+	}
+	return set, nil
+}
+
+func saveArchive(a *experiments.Archive, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.Save(f)
+}

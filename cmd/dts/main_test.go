@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ntdts/internal/experiments"
+)
+
+func TestRunRequiresMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "figure9"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTable1Experiment(t *testing.T) {
+	dir := t.TempDir()
+	archivePath := filepath.Join(dir, "t1.json")
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-out", archivePath, "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Fatalf("output missing table:\n%s", out.String())
+	}
+	f, err := os.Open(archivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := experiments.LoadArchive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != "table1" || a.Table1.Counts["IIS"]["none"] != 76 {
+		t.Fatalf("archive %+v", a.Kind)
+	}
+}
+
+func TestRunConfiguredWithFaultList(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	listPath := filepath.Join(dir, "faults.lst")
+	archivePath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(cfgPath, []byte(
+		"workload = IIS\nmiddleware = watchd\nfault_list = "+listPath+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(listPath, []byte(
+		"# two faults\nReadFile 1 1 flip\nGetVersionExA 0 1 zero\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-out", archivePath, "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IIS/watchd") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+	f, err := os.Open(archivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := experiments.LoadArchive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != "set" || len(a.Set.Runs) != 2 {
+		t.Fatalf("archive kind %q with %d runs", a.Kind, len(a.Set.Runs))
+	}
+	// The flipped ReadFile buffer pointer must have crashed the server.
+	crashed := false
+	for _, r := range a.Set.Runs {
+		if r.Fault.Function == "ReadFile" && r.ServerCrash {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatal("fault-list run did not record the expected crash")
+	}
+}
+
+func TestRunBadConfigPath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "/nonexistent/dts.cfg"}, &out); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunSingleFaultWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	if err := os.WriteFile(cfgPath, []byte(
+		"workload = SQL\nmiddleware = watchd\nwatchd_version = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-config", cfgPath, "-fault", "ReadFileEx 2 1 zero", "-trace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fault:     ReadFileEx p2 i1 zero",
+		"workload:  SQL/watchd",
+		"outcome:   failure",
+		"spawn image=sqlservr.exe", // the kernel trace
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunSingleFaultBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	os.WriteFile(cfgPath, []byte("workload = IIS\n"), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-fault", "not a spec at all extra"}, &out); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}

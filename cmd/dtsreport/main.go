@@ -1,0 +1,126 @@
+// Command dtsreport renders a DTS results archive as the paper's tables
+// and figures.
+//
+// Usage:
+//
+//	dtsreport -in results.json [-artifact auto|table1|figure2|figure3|table2|figure4|figure5|failures]
+//
+// The default artifact ("auto") renders whatever the archive holds; the
+// derived artifacts (figure3, table2, figure4) require a figure2 archive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntdts/internal/avail"
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dtsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtsreport", flag.ContinueOnError)
+	inPath := fs.String("in", "", "results archive to render")
+	artifact := fs.String("artifact", "auto", "artifact to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	archive, err := experiments.LoadArchive(f)
+	if err != nil {
+		return err
+	}
+
+	name := *artifact
+	if name == "auto" {
+		name = archive.Kind
+	}
+	switch name {
+	case "table1":
+		if archive.Table1 == nil {
+			return fmt.Errorf("archive holds %q, not table1 data", archive.Kind)
+		}
+		fmt.Print(report.Table1(archive.Table1))
+	case "set":
+		if archive.Set == nil {
+			return fmt.Errorf("archive holds %q, not a single set", archive.Kind)
+		}
+		d := archive.Set.Distribution()
+		fmt.Printf("%s/%s: %d injected faults, %.1f%% failures\n",
+			archive.Set.Workload, archive.Set.Supervision, d.Total, archive.Set.FailurePct())
+		fmt.Print(report.TopFailures(archive.Set, 50))
+	case "figure2":
+		if archive.Experiment == nil {
+			return fmt.Errorf("archive holds %q, not figure2 data", archive.Kind)
+		}
+		fmt.Print(report.Figure2(archive.Experiment))
+		fmt.Print("\n", report.FailureMatrix(archive.Experiment))
+	case "figure3":
+		rows, err := needFigure2(archive, experiments.Figure3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Figure3(rows))
+	case "table2":
+		rows, err := needFigure2(archive, experiments.Table2)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Table2(rows))
+	case "figure4":
+		cells, err := needFigure2(archive, experiments.Figure4)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Figure4(cells))
+	case "figure5":
+		if archive.Figure5 == nil {
+			return fmt.Errorf("archive holds %q, not figure5 data", archive.Kind)
+		}
+		fmt.Print(report.Figure5(archive.Figure5))
+	case "availability":
+		if archive.Experiment == nil {
+			return fmt.Errorf("artifact availability needs a figure2 archive")
+		}
+		ests, err := experiments.Availability(archive.Experiment, avail.DefaultAssumptions())
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Availability(ests))
+	case "failures":
+		if archive.Experiment == nil {
+			return fmt.Errorf("artifact failures needs a figure2 archive")
+		}
+		for _, set := range archive.Experiment.Sets {
+			fmt.Print(report.TopFailures(set, 10), "\n")
+		}
+	default:
+		return fmt.Errorf("unknown artifact %q", name)
+	}
+	return nil
+}
+
+// needFigure2 adapts the derived-artifact constructors.
+func needFigure2[T any](a *experiments.Archive, build func(*core.Experiment) (T, error)) (T, error) {
+	var zero T
+	if a.Experiment == nil {
+		return zero, fmt.Errorf("this artifact derives from figure2 data; archive holds %q", a.Kind)
+	}
+	return build(a.Experiment)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/inject"
+)
+
+// writeArchive saves a minimal figure2 archive for rendering tests.
+func writeArchive(t *testing.T) string {
+	t.Helper()
+	exp := &core.Experiment{}
+	for _, wl := range []string{"Apache1", "Apache2", "IIS", "SQL"} {
+		for _, sup := range []string{"none", "MSCS", "watchd"} {
+			set := &core.SetResult{Workload: wl, Supervision: sup, ActivatedFns: 5, FaultFreeSec: 14}
+			for i := 0; i < 4; i++ {
+				o := core.NormalSuccess
+				if i == 3 {
+					o = core.Failure
+				}
+				set.Runs = append(set.Runs, core.RunResult{
+					Fault:       inject.FaultSpec{Function: "F", Param: i, Invocation: 1, Type: inject.ZeroBits},
+					Injected:    true,
+					Outcome:     o,
+					Completed:   o != core.Failure,
+					ResponseSec: 15,
+				})
+			}
+			exp.Sets = append(exp.Sets, set)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "fig2.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := (&experiments.Archive{Kind: "figure2", Experiment: exp}).Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderAllArtifactsFromFigure2(t *testing.T) {
+	path := writeArchive(t)
+	for _, artifact := range []string{"auto", "figure2", "figure3", "table2", "figure4", "failures"} {
+		if err := run([]string{"-in", path, "-artifact", artifact}); err != nil {
+			t.Errorf("artifact %s: %v", artifact, err)
+		}
+	}
+}
+
+func TestRenderWrongArtifactKind(t *testing.T) {
+	path := writeArchive(t)
+	for _, artifact := range []string{"table1", "figure5", "set", "bogus"} {
+		if err := run([]string{"-in", path, "-artifact", artifact}); err == nil {
+			t.Errorf("artifact %s accepted on a figure2 archive", artifact)
+		}
+	}
+}
+
+func TestRenderMissingFile(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing archive accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+}
+
+func TestRenderCorruptArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"kind":"figure2"}`), 0o644)
+	if err := run([]string{"-in", path}); err == nil {
+		t.Fatal("archive without payload accepted")
+	}
+	os.WriteFile(path, []byte(`not json`), 0o644)
+	if err := run([]string{"-in", path}); err == nil {
+		t.Fatal("non-JSON archive accepted")
+	}
+}
+
+func TestRenderAvailability(t *testing.T) {
+	path := writeArchive(t)
+	if err := run([]string{"-in", path, "-artifact", "availability"}); err != nil {
+		t.Fatal(err)
+	}
+}

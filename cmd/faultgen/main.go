@@ -1,0 +1,63 @@
+// Command faultgen generates a DTS fault list file from the KERNEL32
+// export catalog: every parameter of every injectable export with the
+// paper's three corruption types.
+//
+// Usage:
+//
+//	faultgen [-function NAME] [-out faults.lst]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntdts/internal/config"
+	"ntdts/internal/ntsim/win32"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultgen", flag.ContinueOnError)
+	function := fs.String("function", "", "restrict to a single function")
+	outPath := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var entries []config.CatalogEntry
+	for _, e := range win32.Catalog() {
+		if e.Params == 0 {
+			continue
+		}
+		if *function != "" && e.Name != *function {
+			continue
+		}
+		entries = append(entries, config.CatalogEntry{Name: e.Name, Params: e.Params})
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no injectable catalog entries matched")
+	}
+	specs := config.GenerateFaultList(entries)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := config.WriteFaultList(out, specs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "faultgen: %d faults over %d functions\n", len(specs), len(entries))
+	return nil
+}

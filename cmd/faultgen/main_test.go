@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ntdts/internal/config"
+)
+
+func TestGenerateSingleFunction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.lst")
+	if err := run([]string{"-function", "CreateProcessA", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	specs, err := config.ParseFaultList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CreateProcessA has 10 parameters * 3 fault types.
+	if len(specs) != 30 {
+		t.Fatalf("%d specs, want 30", len(specs))
+	}
+	for _, s := range specs {
+		if s.Function != "CreateProcessA" || s.Invocation != 1 {
+			t.Fatalf("spec %+v", s)
+		}
+	}
+}
+
+func TestGenerateFullCatalog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "all.lst")
+	if err := run([]string{"-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	// 551 injectable functions, at least one fault each, plus header.
+	if lines < 552 {
+		t.Fatalf("%d lines, want > 552", lines)
+	}
+}
+
+func TestGenerateUnknownFunction(t *testing.T) {
+	if err := run([]string{"-function", "NotARealExport"}); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}

@@ -1,0 +1,41 @@
+// availability implements the paper's §5 proposal: use DTS's measured
+// failure coverage and recovery times as inputs to an analytical
+// availability model, turning "how many nines?" from folklore into a
+// testing-based estimate. It runs the Figure 2 campaign for the IIS
+// workload under all three configurations and prints the estimated
+// availability of each.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ntdts/internal/avail"
+	"ntdts/internal/core"
+	"ntdts/internal/workload"
+)
+
+func main() {
+	assumptions := avail.DefaultAssumptions()
+	fmt.Printf("Assumptions: %.4f activated faults/hour, %s manual repair\n\n",
+		assumptions.FaultRatePerHour, assumptions.ManualRepair)
+
+	for _, s := range []workload.Supervision{workload.Standalone, workload.MSCS, workload.Watchd} {
+		def := workload.NewIIS(s)
+		fmt.Fprintf(os.Stderr, "running IIS/%s campaign...\n", s)
+		campaign := &core.Campaign{Runner: core.NewRunner(def, core.RunnerOptions{})}
+		set, err := campaign.Execute()
+		if err != nil {
+			log.Fatalf("campaign: %v", err)
+		}
+		est, err := avail.EstimateSet(set, assumptions)
+		if err != nil {
+			log.Fatalf("estimate: %v", err)
+		}
+		fmt.Println(est)
+	}
+
+	fmt.Println("\nThe middleware's coverage improvement translates directly into")
+	fmt.Println("additional nines — the availability-benchmark use the paper proposes.")
+}

@@ -1,0 +1,168 @@
+// customworkload demonstrates the paper's extensibility claim (§5: "The
+// DTS architecture has been designed to support ... plugin classes to
+// support different fault injection mechanisms, workloads, and data
+// collection strategies"): a user-defined server program and client are
+// wired into a workload.Definition and campaigned with the standard DTS
+// core — no changes to the tool.
+//
+// The custom target is a small "quote of the day" daemon (RFC 865 flavor):
+// it loads its quote file at startup and serves one quote per connection
+// over a named pipe. The custom client validates the quote byte-for-byte.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/crt"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/scm"
+	"ntdts/internal/workload"
+)
+
+const (
+	image     = "qotd.exe"
+	service   = "QOTD"
+	pipePath  = `\\.\pipe\qotd`
+	quotePath = `C:\qotd\quote.txt`
+	quote     = "The best way to predict the future is to invent it."
+)
+
+// qotdMain is the custom server program: a realistic little NT service.
+func qotdMain(p *ntsim.Process) uint32 {
+	api := win32.New(p)
+	rt := crt.Startup(api)
+	defer rt.Shutdown()
+
+	h := api.CreateFileA(quotePath, win32.GenericRead, 0, win32.OpenExisting, 0)
+	if h == win32.InvalidHandle {
+		return 1
+	}
+	buf := make([]byte, 512)
+	var n uint32
+	api.ReadFile(h, buf, uint32(len(buf)), &n)
+	api.CloseHandle(h)
+	payload := append(buf[:n], '\n')
+
+	scm.ReportRunning(p.Kernel(), service)
+
+	pipe := api.CreateNamedPipeA(pipePath, win32.PipeAccessDuplex, win32.PipeTypeByte, 1)
+	for {
+		if !api.ConnectNamedPipe(pipe) {
+			api.Sleep(500)
+			continue
+		}
+		api.WriteFile(pipe, payload, uint32(len(payload)), &n)
+		api.FlushFileBuffers(pipe)
+		api.DisconnectNamedPipe(pipe)
+	}
+}
+
+// definition wires the custom programs into a DTS workload.
+func definition(s workload.Supervision) workload.Definition {
+	return workload.Definition{
+		Name:        "QOTD",
+		Supervision: s,
+		Target:      inject.ByImage(image),
+		Service: scm.Config{
+			Name: service, Image: image, CmdLine: image,
+			WaitHint: 10 * time.Second,
+		},
+		Setup: func(k *ntsim.Kernel) {
+			k.VFS().WriteFile(quotePath, []byte(quote))
+			k.RegisterImage(image, qotdMain)
+		},
+		SpawnClient: spawnQuoteClient,
+	}
+}
+
+// spawnQuoteClient is the custom synthetic client with the standard DTS
+// retry protocol (3 attempts, 15s apart).
+func spawnQuoteClient(k *ntsim.Kernel) (*ntsim.Process, *workload.Report, error) {
+	report := &workload.Report{}
+	expected := quote + "\n"
+	k.RegisterImage("qotdclient.exe", func(p *ntsim.Process) uint32 {
+		report.Started = true
+		report.Start = k.Now()
+		rec := workload.RequestRecord{Name: "quote", Start: k.Now()}
+		for attempt := 1; attempt <= workload.MaxAttempts; attempt++ {
+			rec.Attempts = attempt
+			if got, ok := fetchQuote(p, k); ok {
+				rec.GotResponse = true
+				if got == expected {
+					rec.Success = true
+					break
+				}
+			}
+			if attempt < workload.MaxAttempts {
+				p.SleepFor(workload.RetryWait)
+			}
+		}
+		rec.Retried = rec.Attempts > 1
+		rec.End = k.Now()
+		report.Requests = append(report.Requests, rec)
+		report.End = k.Now()
+		report.Done = true
+		return 0
+	})
+	p, err := k.Spawn("qotdclient.exe", "qotdclient.exe", 0)
+	return p, report, err
+}
+
+func fetchQuote(p *ntsim.Process, k *ntsim.Kernel) (string, bool) {
+	deadline := k.Now().Add(workload.ReplyTimeout)
+	var pc *ntsim.PipeClient
+	for {
+		var errno ntsim.Errno
+		pc, errno = k.ConnectPipeClient(pipePath)
+		if errno == ntsim.ErrSuccess {
+			break
+		}
+		if !k.Now().Before(deadline) {
+			return "", false
+		}
+		p.SleepFor(250 * time.Millisecond)
+	}
+	defer pc.CloseClient()
+	var out []byte
+	buf := make([]byte, 256)
+	for {
+		remaining := deadline.Sub(k.Now())
+		if remaining <= 0 {
+			return "", false
+		}
+		n, errno := pc.ReadTimeout(p, buf, remaining)
+		if errno == ntsim.ErrBrokenPipe && len(out) > 0 {
+			return string(out), true
+		}
+		if errno != ntsim.ErrSuccess {
+			return "", false
+		}
+		out = append(out, buf[:n]...)
+		if out[len(out)-1] == '\n' {
+			return string(out), true
+		}
+	}
+}
+
+func main() {
+	for _, s := range []workload.Supervision{workload.Standalone, workload.Watchd} {
+		fmt.Fprintf(os.Stderr, "campaigning QOTD/%s...\n", s)
+		campaign := &core.Campaign{Runner: core.NewRunner(definition(s), core.RunnerOptions{})}
+		set, err := campaign.Execute()
+		if err != nil {
+			log.Fatalf("campaign: %v", err)
+		}
+		d := set.Distribution()
+		fmt.Printf("QOTD/%-7s activated=%d injected=%d normal=%.1f%% restart=%.1f%% retry=%.1f%% FAIL=%.1f%%\n",
+			s, set.ActivatedFns, d.Total,
+			d.Pct["normal success"],
+			d.Pct["restart success"]+d.Pct["restart+retry success"],
+			d.Pct["retry success"], d.Pct["failure"])
+	}
+}

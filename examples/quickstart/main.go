@@ -1,0 +1,48 @@
+// Quickstart: inject a single fault into the IIS workload and observe the
+// outcome — the smallest possible DTS experiment.
+//
+// The fault is the paper's marquee example family: corrupt one parameter
+// of one KERNEL32 call's first invocation. Here we flip all bits of
+// ReadFile's buffer pointer, which kills the server with an access
+// violation mid-request; stand-alone, nobody restarts it, and the client's
+// retries exhaust — a failure outcome. The same fault under watchd is
+// recovered by a restart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+	"ntdts/internal/workload"
+)
+
+func main() {
+	fault := inject.FaultSpec{
+		Function:   "ReadFile",
+		Param:      1, // lpBuffer
+		Invocation: 1,
+		Type:       inject.FlipBits,
+	}
+
+	for _, supervision := range []workload.Supervision{workload.Standalone, workload.Watchd} {
+		runner := core.NewRunner(workload.NewIIS(supervision), core.RunnerOptions{})
+		res, err := runner.Run(&fault)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		fmt.Printf("fault %-28s under %-7s -> %s", fault.String(), supervision, res.Outcome)
+		if res.ServerCrash {
+			fmt.Printf(" (server crashed")
+			if res.Restarts > 0 {
+				fmt.Printf(", %d restart(s)", res.Restarts)
+			}
+			fmt.Printf(")")
+		}
+		if res.Completed {
+			fmt.Printf(", client finished in %.1fs", res.ResponseSec)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module ntdts
+
+go 1.22

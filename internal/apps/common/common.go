@@ -1,0 +1,96 @@
+// Package common holds the small pieces shared by the simulated target
+// applications: the pipe-backed httpwire connection adapter and service
+// command-line conventions.
+package common
+
+import (
+	"strings"
+
+	"ntdts/internal/httpwire"
+	"ntdts/internal/ntsim/win32"
+)
+
+// HTTPPipe is the named pipe the web servers (Apache, IIS) listen on — the
+// simulation's port 80.
+const HTTPPipe = `\\.\pipe\http80`
+
+// SQLPipe is the named pipe the SQL server listens on.
+const SQLPipe = `\\.\pipe\sql\query`
+
+// Flags are the service start options conveyed on the command line.
+// The DTS workload configuration appends them when a fault-tolerance
+// middleware package is in play, changing which code paths (and therefore
+// which KERNEL32 functions) the target activates — the effect behind the
+// per-middleware columns of the paper's Table 1.
+type Flags struct {
+	Cluster   bool // started under MSCS (-cluster)
+	Monitored bool // started under watchd (-monitored)
+	Child     bool // Apache worker process (-child)
+}
+
+// ParseFlags extracts service flags from a command line.
+func ParseFlags(cmdLine string) Flags {
+	var f Flags
+	for _, tok := range strings.Fields(cmdLine) {
+		switch tok {
+		case "-cluster":
+			f.Cluster = true
+		case "-monitored":
+			f.Monitored = true
+		case "-child":
+			f.Child = true
+		}
+	}
+	return f
+}
+
+// String renders flags back into command-line form (for child spawning).
+func (f Flags) String() string {
+	var parts []string
+	if f.Cluster {
+		parts = append(parts, "-cluster")
+	}
+	if f.Monitored {
+		parts = append(parts, "-monitored")
+	}
+	if f.Child {
+		parts = append(parts, "-child")
+	}
+	return strings.Join(parts, " ")
+}
+
+// HandleConn adapts a win32 file/pipe handle to httpwire.Conn. Server
+// programs use it so that every transported byte crosses the injected
+// KERNEL32 surface.
+type HandleConn struct {
+	API    *win32.API
+	Handle win32.Handle
+}
+
+var _ httpwire.Conn = (*HandleConn)(nil)
+
+// Read implements httpwire.Conn.
+func (c *HandleConn) Read(buf []byte) (int, bool) {
+	var n uint32
+	if !c.API.ReadFile(c.Handle, buf, uint32(len(buf)), &n) {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// Write implements httpwire.Conn.
+func (c *HandleConn) Write(data []byte) bool {
+	total := 0
+	for total < len(data) {
+		var n uint32
+		chunk := data[total:]
+		if !c.API.WriteFile(c.Handle, chunk, uint32(len(chunk)), &n) {
+			return false
+		}
+		if n == 0 {
+			return false
+		}
+		total += int(n)
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package common
+
+import (
+	"testing"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		cmd  string
+		want Flags
+	}{
+		{"apache.exe", Flags{}},
+		{"apache.exe -cluster", Flags{Cluster: true}},
+		{"apache.exe -monitored", Flags{Monitored: true}},
+		{"apache.exe -child -cluster", Flags{Child: true, Cluster: true}},
+		{"apache.exe -child -monitored -cluster", Flags{Child: true, Cluster: true, Monitored: true}},
+		{"-child", Flags{Child: true}},
+		{"", Flags{}},
+		{"apache.exe -CLUSTER", Flags{}}, // flags are case-sensitive
+	}
+	for _, c := range cases {
+		if got := ParseFlags(c.cmd); got != c.want {
+			t.Errorf("ParseFlags(%q) = %+v, want %+v", c.cmd, got, c.want)
+		}
+	}
+}
+
+func TestFlagsStringRoundtrip(t *testing.T) {
+	for _, f := range []Flags{
+		{}, {Cluster: true}, {Monitored: true}, {Child: true},
+		{Cluster: true, Monitored: true, Child: true},
+	} {
+		if got := ParseFlags("x.exe " + f.String()); got != f {
+			t.Errorf("roundtrip %+v -> %q -> %+v", f, f.String(), got)
+		}
+	}
+}
+
+func TestHandleConnOverFile(t *testing.T) {
+	k := ntsim.NewKernel()
+	k.RegisterImage("io.exe", func(p *ntsim.Process) uint32 {
+		a := win32.New(p)
+		h := a.CreateFileA(`C:\t`, win32.GenericRead|win32.GenericWrite, 0, win32.CreateAlways, 0)
+		conn := &HandleConn{API: a, Handle: h}
+		if !conn.Write([]byte("hello world")) {
+			t.Error("Write failed")
+			return 1
+		}
+		a.SetFilePointer(h, 0, win32.FileBegin)
+		buf := make([]byte, 5)
+		n, ok := conn.Read(buf)
+		if !ok || n != 5 || string(buf[:n]) != "hello" {
+			t.Errorf("Read: n=%d ok=%v %q", n, ok, buf[:n])
+		}
+		return 0
+	})
+	if _, err := k.Spawn("io.exe", "io.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	for k.Step() {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+}
+
+func TestHandleConnBadHandle(t *testing.T) {
+	k := ntsim.NewKernel()
+	k.RegisterImage("bad.exe", func(p *ntsim.Process) uint32 {
+		a := win32.New(p)
+		conn := &HandleConn{API: a, Handle: win32.Handle(0xBEEF)}
+		if conn.Write([]byte("x")) {
+			t.Error("Write on bad handle succeeded")
+		}
+		if _, ok := conn.Read(make([]byte, 1)); ok {
+			t.Error("Read on bad handle succeeded")
+		}
+		return 0
+	})
+	if _, err := k.Spawn("bad.exe", "bad.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	for k.Step() {
+	}
+}

@@ -1,0 +1,256 @@
+// Package sqlserver simulates Microsoft SQL Server 7 as a single-process
+// NT service. At startup it loads its database from a script file using
+// ReadFileEx — the call whose zeroed nNumberOfBytesToRead parameter is the
+// one fault the paper singles out as nondeterministic under the original
+// watchd (§4.1) — then answers SELECT queries over a named pipe using the
+// sqlengine substrate.
+package sqlserver
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ntdts/internal/apps/common"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/crt"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/scm"
+	"ntdts/internal/sqlengine"
+)
+
+const (
+	// Image is the executable name.
+	Image = "sqlservr.exe"
+	// ServiceName is the SCM service name.
+	ServiceName = "MSSQLServer"
+	// DataPath is the database script the server loads at startup.
+	DataPath = `C:\MSSQL7\data\master.sql`
+)
+
+// Config controls the simulated installation.
+type Config struct {
+	// QueryCPU is per-query processing time.
+	QueryCPU time.Duration
+}
+
+// DefaultConfig matches the paper's testbed role.
+func DefaultConfig() Config {
+	return Config{QueryCPU: 900 * time.Millisecond}
+}
+
+// SeedDB builds the deterministic database the workload queries.
+func SeedDB() *sqlengine.DB {
+	db := sqlengine.NewDB()
+	if _, err := db.Exec("CREATE TABLE orders (id INT, customer TEXT, total INT)"); err != nil {
+		panic("sqlserver: seed schema: " + err.Error())
+	}
+	names := []string{"acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell", "cyberdyne"}
+	for i := 1; i <= 48; i++ {
+		name := names[(i-1)%len(names)]
+		total := (i * 37) % 250
+		stmt := fmt.Sprintf("INSERT INTO orders VALUES (%d, '%s', %d)", i, name, total)
+		if _, err := db.Exec(stmt); err != nil {
+			panic("sqlserver: seed rows: " + err.Error())
+		}
+	}
+	return db
+}
+
+// Register installs the SQL Server image and writes the data file.
+func Register(k *ntsim.Kernel, cfg Config) {
+	if cfg.QueryCPU == 0 {
+		cfg = DefaultConfig()
+	}
+	k.VFS().WriteFile(DataPath, []byte(SeedDB().Dump()))
+	k.RegisterImage(Image, func(p *ntsim.Process) uint32 {
+		return run(p, cfg)
+	})
+}
+
+func run(p *ntsim.Process, cfg Config) uint32 {
+	api := win32.New(p)
+	rt := crt.Startup(api)
+	flags := common.ParseFlags(api.GetCommandLineA())
+	k := api.Kernel()
+
+	// --- Platform inventory. ---
+	api.Process().ChargeTime(120 * time.Millisecond)
+	var ver win32.OSVersionInfo
+	api.GetVersionExA(&ver)
+	var si win32.SystemInfo
+	api.GetSystemInfo(&si)
+	api.GlobalMemoryStatus(nil)
+	var host string
+	api.GetComputerNameA(&host)
+	api.GetSystemDirectoryA(nil)
+	api.GetCurrentDirectoryA(nil)
+	api.GetTempPathA(nil)
+	api.GetSystemTime(nil)
+	api.GetLocalTime(nil)
+	api.QueryPerformanceFrequency(nil)
+	api.QueryPerformanceCounter(nil)
+	api.GetTickCount()
+	api.GetOEMCP()
+	api.GetCPInfo(1252, nil)
+	api.GetCurrentProcessId()
+	api.GetCurrentProcess()
+	api.GetCurrentThreadId()
+	api.SetHandleCount(128)
+	api.GetSystemTimeAsFileTime(nil)
+	api.IsBadReadPtr(0, 1)
+	api.GetModuleFileNameA(0, nil)
+	api.GetEnvironmentVariableA("SystemRoot", nil)
+	api.SetLastError(0)
+	api.GetLastError()
+	api.Process().ChargeTime(150 * time.Millisecond)
+
+	// --- Storage engine startup: load the master database. ---
+	db, okLoad := loadDatabase(api)
+	if !okLoad {
+		rt.Eprintf("sqlservr: cannot recover master database")
+		api.ExitProcess(1)
+	}
+
+	// SQL Server reports RUNNING once recovery completes.
+	scm.ReportRunning(k, ServiceName)
+
+	// --- Engine pools and locks. ---
+	api.Process().ChargeTime(200 * time.Millisecond)
+	bufPool := api.HeapCreate(0, 256*1024, 0)
+	page := api.HeapAlloc(bufPool, 0, 8192)
+	api.HeapFree(bufPool, 0, page)
+	va := api.VirtualAlloc(0, 128*1024, 0, 0)
+	api.VirtualFree(va, 0, 0)
+	la := api.LocalAlloc(0, 256)
+	api.LocalFree(la)
+	api.TlsSetValue(0, 1)
+	api.TlsGetValue(0)
+	readyEv := api.CreateEventA(true, true, "Local\\sql_ready")
+	api.SetEvent(readyEv)
+	latchSem := api.CreateSemaphoreA(16, 16, "")
+	api.WaitForSingleObject(latchSem, 0)
+	api.ReleaseSemaphore(latchSem, 1, nil)
+	var lockCS win32.CriticalSection
+	api.InitializeCriticalSection(&lockCS)
+	api.EnterCriticalSection(&lockCS)
+	api.LeaveCriticalSection(&lockCS)
+	var xacts int32
+	api.InterlockedExchange(&xacts, 0)
+
+	ga := api.GlobalAlloc(0, 128)
+	api.GlobalFree(ga)
+	api.Process().ChargeTime(200 * time.Millisecond)
+	api.LstrlenA(host)
+	api.LstrcatA("MSSQL", "Server")
+	version, _ := api.LstrcpyA("SQL Server 7.00")
+	api.LstrcmpiA(version, "sql server 7.00")
+	api.MultiByteToWideChar(1252, version)
+	api.WideCharToMultiByte(1252, version)
+
+	if flags.Cluster {
+		// Cluster resource plumbing: three calls SQL Server makes only
+		// under MSCS (Table 1: 71 -> 74).
+		api.GetWindowsDirectoryA(nil)
+		var dup win32.Handle
+		api.DuplicateHandle(0, readyEv, 0, &dup)
+		api.CloseHandle(dup)
+		api.OutputDebugStringA("sqlservr: cluster resource online")
+	}
+	if !flags.Monitored {
+		// Standalone error reporter; watchd supplies its own, dropping
+		// one function from the census (Table 1: 71 -> 70).
+		api.FormatMessageA(0, 0)
+	}
+
+	api.Process().ChargeTime(300 * time.Millisecond)
+
+	// --- Serve queries. ---
+	pipe := api.CreateNamedPipeA(common.SQLPipe, win32.PipeAccessDuplex, win32.PipeTypeByte, 1)
+	for {
+		if !api.ConnectNamedPipe(pipe) {
+			api.Sleep(500)
+			continue
+		}
+		api.InterlockedIncrement(&xacts)
+		query, ok := readLine(api, pipe)
+		if ok {
+			api.Process().ChargeTime(cfg.QueryCPU)
+			reply := execQuery(db, query)
+			var n uint32
+			api.WriteFile(pipe, reply, uint32(len(reply)), &n)
+		}
+		api.FlushFileBuffers(pipe)
+		api.DisconnectNamedPipe(pipe)
+	}
+}
+
+// loadDatabase reads the startup script through ReadFileEx and replays it.
+func loadDatabase(api *win32.API) (*sqlengine.DB, bool) {
+	if api.GetFileAttributesA(DataPath) == 0xFFFFFFFF {
+		return nil, false
+	}
+	h := api.CreateFileA(DataPath, win32.GenericRead, 0, win32.OpenExisting, 0)
+	if h == win32.InvalidHandle {
+		return nil, false
+	}
+	size := api.GetFileSize(h, nil)
+	if size == 0xFFFFFFFF {
+		api.CloseHandle(h)
+		return nil, false
+	}
+	api.SetFilePointer(h, 0, win32.FileBegin)
+	script := make([]byte, 0, size)
+	buf := make([]byte, 4096)
+	for uint32(len(script)) < size {
+		var n uint32
+		if !api.ReadFileEx(h, buf, uint32(len(buf)), &n) || n == 0 {
+			break
+		}
+		script = append(script, buf[:n]...)
+	}
+	api.CloseHandle(h)
+
+	db := sqlengine.NewDB()
+	if err := db.Load(string(script)); err != nil {
+		return nil, false
+	}
+	return db, true
+}
+
+// execQuery runs one statement and renders the wire reply:
+//
+//	OK <payload-bytes>\n<payload>   on success
+//	ERR <message>\n                 on failure
+func execQuery(db *sqlengine.DB, query string) []byte {
+	res, err := db.Exec(strings.TrimSpace(query))
+	if err != nil {
+		return []byte("ERR " + err.Error() + "\n")
+	}
+	payload := sqlengine.FormatResult(res)
+	return []byte("OK " + strconv.Itoa(len(payload)) + "\n" + payload)
+}
+
+// ExpectedReply computes the exact bytes a healthy server returns for a
+// query (used by the SqlClient workload's correctness check).
+func ExpectedReply(query string) []byte {
+	return execQuery(SeedDB(), query)
+}
+
+// readLine reads up to a newline from the pipe handle.
+func readLine(api *win32.API, pipe win32.Handle) (string, bool) {
+	var line []byte
+	buf := make([]byte, 256)
+	for len(line) < 4096 {
+		var n uint32
+		if !api.ReadFile(pipe, buf, uint32(len(buf)), &n) || n == 0 {
+			return "", false
+		}
+		line = append(line, buf[:n]...)
+		if i := strings.IndexByte(string(line), '\n'); i >= 0 {
+			return string(line[:i]), true
+		}
+	}
+	return "", false
+}

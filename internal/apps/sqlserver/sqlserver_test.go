@@ -1,0 +1,182 @@
+package sqlserver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ntdts/internal/apps/common"
+	"ntdts/internal/eventlog"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/scm"
+)
+
+type rig struct {
+	k   *ntsim.Kernel
+	mgr *scm.Manager
+}
+
+func newRig(t *testing.T, interceptor ntsim.SyscallInterceptor) *rig {
+	t.Helper()
+	k := ntsim.NewKernel()
+	mgr := scm.New(k, eventlog.New())
+	Register(k, DefaultConfig())
+	if interceptor != nil {
+		k.SetInterceptor(interceptor)
+	}
+	if err := mgr.CreateService(scm.Config{Name: ServiceName, Image: Image, CmdLine: Image, WaitHint: 25 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, mgr: mgr}
+}
+
+func (r *rig) run(t *testing.T, d time.Duration) {
+	t.Helper()
+	r.k.RunFor(d)
+	if pan := r.k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+}
+
+// query sends one SQL statement and returns the raw reply.
+func (r *rig) query(t *testing.T, stmt string) ([]byte, bool) {
+	t.Helper()
+	var reply []byte
+	var ok bool
+	done := false
+	r.k.RegisterImage("sqlprobe.exe", func(p *ntsim.Process) uint32 {
+		pc, errno := r.k.ConnectPipeClient(common.SQLPipe)
+		if errno != ntsim.ErrSuccess {
+			done = true
+			return 1
+		}
+		defer pc.CloseClient()
+		if _, errno := pc.Write([]byte(stmt + "\n")); errno != ntsim.ErrSuccess {
+			done = true
+			return 1
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, errno := pc.ReadTimeout(p, buf, 10*time.Second)
+			if errno == ntsim.ErrBrokenPipe && len(reply) > 0 {
+				ok = true
+				break
+			}
+			if errno != ntsim.ErrSuccess {
+				break
+			}
+			reply = append(reply, buf[:n]...)
+			if bytes.HasPrefix(reply, []byte("OK ")) || bytes.HasPrefix(reply, []byte("ERR ")) {
+				ok = true
+				// Keep reading until the server disconnects.
+			}
+		}
+		done = true
+		return 0
+	})
+	if _, err := r.k.Spawn("sqlprobe.exe", "sqlprobe.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := r.k.Now().Add(60 * time.Second)
+	for !done && r.k.Now().Before(deadline) {
+		if !r.k.Step() {
+			break
+		}
+	}
+	return reply, ok
+}
+
+func TestAnswersTheWorkloadQuery(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, 5*time.Second)
+	const q = "SELECT customer, total FROM orders WHERE total >= 100"
+	reply, ok := r.query(t, q)
+	if !ok {
+		t.Fatalf("no reply: %q", reply)
+	}
+	if !bytes.Equal(reply, ExpectedReply(q)) {
+		t.Fatalf("reply mismatch:\n%q\nwant\n%q", reply, ExpectedReply(q))
+	}
+	if !bytes.HasPrefix(reply, []byte("OK ")) {
+		t.Fatalf("reply not OK-framed: %q", reply[:16])
+	}
+}
+
+func TestBadSQLReturnsError(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, 5*time.Second)
+	reply, ok := r.query(t, "DROP TABLE orders")
+	if !ok || !bytes.HasPrefix(reply, []byte("ERR ")) {
+		t.Fatalf("expected ERR reply, got ok=%v %q", ok, reply)
+	}
+}
+
+func TestReportsRunningAfterRecovery(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, 3*time.Second)
+	st, _, _ := r.mgr.QueryServiceStatus(ServiceName)
+	if st != scm.Running {
+		t.Fatalf("state %v, want RUNNING after database recovery", st)
+	}
+}
+
+func TestSeedDBDeterministic(t *testing.T) {
+	a := SeedDB().Dump()
+	b := SeedDB().Dump()
+	if a != b {
+		t.Fatal("SeedDB is not deterministic")
+	}
+	if !strings.Contains(a, "CREATE TABLE orders") {
+		t.Fatal("seed dump missing schema")
+	}
+}
+
+func TestZeroedReadFileExTruncatesRecovery(t *testing.T) {
+	// The paper's singled-out fault (§4.1): zeroing nNumberOfBytesToRead
+	// on ReadFileEx during database load. The read loop sees zero bytes,
+	// the script is truncated to nothing, and the server comes up with an
+	// empty database: queries fail with ERR — a wrong-reply failure.
+	in := func(k *ntsim.Kernel) ntsim.SyscallInterceptor {
+		return inject.New(k, inject.ByImage(Image), &inject.FaultSpec{
+			Function: "ReadFileEx", Param: 2, Invocation: 1, Type: inject.ZeroBits,
+		})
+	}
+	k := ntsim.NewKernel()
+	r := &rig{k: k, mgr: scm.New(k, eventlog.New())}
+	Register(k, DefaultConfig())
+	k.SetInterceptor(in(k))
+	r.mgr.CreateService(scm.Config{Name: ServiceName, Image: Image, CmdLine: Image, WaitHint: 25 * time.Second})
+	r.mgr.StartService(ServiceName)
+	r.run(t, 5*time.Second)
+
+	st, _, _ := r.mgr.QueryServiceStatus(ServiceName)
+	if st != scm.Running {
+		t.Fatalf("state %v; the zero-read server still starts", st)
+	}
+	reply, ok := r.query(t, "SELECT customer, total FROM orders WHERE total >= 100")
+	if !ok || !bytes.HasPrefix(reply, []byte("ERR ")) {
+		t.Fatalf("expected ERR from empty database, got ok=%v %q", ok, reply)
+	}
+}
+
+func TestMissingDataFileIsFatal(t *testing.T) {
+	k := ntsim.NewKernel()
+	mgr := scm.New(k, eventlog.New())
+	Register(k, DefaultConfig())
+	k.VFS().Remove(DataPath)
+	mgr.CreateService(scm.Config{Name: ServiceName, Image: Image, CmdLine: Image, WaitHint: 2 * time.Second})
+	mgr.StartService(ServiceName)
+	k.RunFor(10 * time.Second)
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	st, _, _ := mgr.QueryServiceStatus(ServiceName)
+	if st == scm.Running {
+		t.Fatal("server running without its master database")
+	}
+}

@@ -1,0 +1,192 @@
+// Package avail implements the paper's §5 future-work proposal: feeding
+// DTS's testing-based parameters into an analytical availability model to
+// produce availability estimates more precise than "orders of magnitude of
+// nines" folklore.
+//
+// The model is a standard alternating-renewal formulation. Faults arrive
+// at rate λ. A fault is benign with the probability DTS measured (normal
+// success), degrades service transiently for the measured retry/restart
+// durations with the measured probabilities, or defeats recovery entirely
+// (failure outcome), requiring manual repair with a mean time supplied by
+// the operator. Steady-state availability is uptime over total time:
+//
+//	A = 1 / (1 + λ·E[outage per fault])
+//
+// where E[outage per fault] sums each non-benign outcome's probability
+// times its mean service interruption.
+package avail
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/stats"
+)
+
+// Params are the inputs to the availability model. The per-outcome
+// probabilities and interruption times come from a DTS campaign; the fault
+// rate and manual repair time are operator assumptions.
+type Params struct {
+	// FaultRatePerHour is the assumed arrival rate of activated faults.
+	FaultRatePerHour float64
+	// ManualRepair is the mean time to repair an unrecovered failure
+	// (operator pages in, restarts by hand).
+	ManualRepair time.Duration
+	// PBenign is the probability a fault leaves service uninterrupted
+	// (normal success).
+	PBenign float64
+	// Transients lists the recoverable outcome classes: probability and
+	// mean service interruption for each.
+	Transients []Transient
+	// PFailure is the probability recovery fails entirely.
+	PFailure float64
+}
+
+// Transient is one recoverable outcome class.
+type Transient struct {
+	Outcome     string
+	Probability float64
+	MeanOutage  time.Duration
+}
+
+// Validate checks the probabilities form a distribution.
+func (p Params) Validate() error {
+	sum := p.PBenign + p.PFailure
+	for _, tr := range p.Transients {
+		if tr.Probability < 0 {
+			return fmt.Errorf("avail: negative probability for %s", tr.Outcome)
+		}
+		sum += tr.Probability
+	}
+	if p.PBenign < 0 || p.PFailure < 0 {
+		return fmt.Errorf("avail: negative probability")
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("avail: outcome probabilities sum to %.6f, want 1", sum)
+	}
+	if p.FaultRatePerHour < 0 {
+		return fmt.Errorf("avail: negative fault rate")
+	}
+	if p.ManualRepair < 0 {
+		return fmt.Errorf("avail: negative repair time")
+	}
+	return nil
+}
+
+// ExpectedOutagePerFault is E[service interruption | one fault].
+func (p Params) ExpectedOutagePerFault() time.Duration {
+	out := p.PFailure * float64(p.ManualRepair)
+	for _, tr := range p.Transients {
+		out += tr.Probability * float64(tr.MeanOutage)
+	}
+	return time.Duration(out)
+}
+
+// Availability is the steady-state availability in [0, 1].
+func (p Params) Availability() float64 {
+	outagePerHour := p.FaultRatePerHour * float64(p.ExpectedOutagePerFault()) / float64(time.Hour)
+	return 1 / (1 + outagePerHour)
+}
+
+// Nines converts availability to the "number of nines" scale the paper
+// mentions (0.999 -> 3.0). Perfect availability reports +Inf.
+func Nines(a float64) float64 {
+	if a >= 1 {
+		return math.Inf(1)
+	}
+	if a <= 0 {
+		return 0
+	}
+	return -math.Log10(1 - a)
+}
+
+// DowntimePerYear is the expected annual downtime at availability a.
+func DowntimePerYear(a float64) time.Duration {
+	const year = 365 * 24 * time.Hour
+	return time.Duration((1 - a) * float64(year))
+}
+
+// Assumptions are the operator-supplied inputs FromSet combines with a
+// campaign's measurements.
+type Assumptions struct {
+	FaultRatePerHour float64
+	ManualRepair     time.Duration
+}
+
+// DefaultAssumptions models a lightly stressed departmental server: one
+// activated fault a week, four hours to manual repair.
+func DefaultAssumptions() Assumptions {
+	return Assumptions{
+		FaultRatePerHour: 1.0 / (7 * 24),
+		ManualRepair:     4 * time.Hour,
+	}
+}
+
+// FromSet derives model parameters from a DTS workload-set result: outcome
+// probabilities from the outcome distribution, per-class interruption
+// times from the measured response-time overhead relative to the
+// fault-free baseline.
+func FromSet(set *core.SetResult, a Assumptions) (Params, error) {
+	d := set.Distribution()
+	if d.Total == 0 {
+		return Params{}, fmt.Errorf("avail: set %s/%s has no injected faults", set.Workload, set.Supervision)
+	}
+	baseline := set.FaultFreeSec
+	p := Params{
+		FaultRatePerHour: a.FaultRatePerHour,
+		ManualRepair:     a.ManualRepair,
+		PBenign:          d.Pct[core.NormalSuccess.String()] / 100,
+		PFailure:         d.Pct[core.Failure.String()] / 100,
+	}
+	for _, o := range []core.Outcome{core.RestartSuccess, core.RestartRetrySuccess, core.RetrySuccess} {
+		prob := d.Pct[o.String()] / 100
+		if prob == 0 {
+			continue
+		}
+		times := set.ResponseTimes(o, false)
+		overhead := stats.Mean(times) - baseline
+		if overhead < 0 {
+			overhead = 0
+		}
+		p.Transients = append(p.Transients, Transient{
+			Outcome:     o.String(),
+			Probability: prob,
+			MeanOutage:  time.Duration(overhead * float64(time.Second)),
+		})
+	}
+	return p, p.Validate()
+}
+
+// Estimate is the rendered availability verdict for one configuration.
+type Estimate struct {
+	Workload     string
+	Supervision  string
+	Availability float64
+	NinesCount   float64
+	AnnualDown   time.Duration
+}
+
+// Estimate computes the verdict for a set under the given assumptions.
+func EstimateSet(set *core.SetResult, a Assumptions) (Estimate, error) {
+	p, err := FromSet(set, a)
+	if err != nil {
+		return Estimate{}, err
+	}
+	av := p.Availability()
+	return Estimate{
+		Workload:     set.Workload,
+		Supervision:  set.Supervision,
+		Availability: av,
+		NinesCount:   Nines(av),
+		AnnualDown:   DowntimePerYear(av),
+	}, nil
+}
+
+// String renders the estimate the way operators quote it.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s/%s: availability %.6f (%.2f nines, %s downtime/year)",
+		e.Workload, e.Supervision, e.Availability, e.NinesCount,
+		e.AnnualDown.Round(time.Minute))
+}

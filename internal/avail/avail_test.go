@@ -1,0 +1,184 @@
+package avail
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+)
+
+func validParams() Params {
+	return Params{
+		FaultRatePerHour: 0.01,
+		ManualRepair:     2 * time.Hour,
+		PBenign:          0.70,
+		PFailure:         0.10,
+		Transients: []Transient{
+			{Outcome: "restart success", Probability: 0.15, MeanOutage: 30 * time.Second},
+			{Outcome: "retry success", Probability: 0.05, MeanOutage: 20 * time.Second},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := validParams()
+	bad.PFailure = 0.5 // probabilities no longer sum to 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted non-distribution")
+	}
+	neg := validParams()
+	neg.FaultRatePerHour = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+}
+
+func TestExpectedOutagePerFault(t *testing.T) {
+	p := validParams()
+	// 0.10*7200s + 0.15*30s + 0.05*20s = 720 + 4.5 + 1 = 725.5s
+	want := 725.5
+	got := p.ExpectedOutagePerFault().Seconds()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("outage %.3fs, want %.3fs", got, want)
+	}
+}
+
+func TestAvailabilityHandComputed(t *testing.T) {
+	p := validParams()
+	// outage per hour = 0.01 * 725.5s / 3600s = 0.00201527...
+	// A = 1 / 1.00201527 = 0.99798878...
+	want := 1 / (1 + 0.01*725.5/3600)
+	if got := p.Availability(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("availability %v, want %v", got, want)
+	}
+}
+
+func TestNines(t *testing.T) {
+	cases := map[float64]float64{0.9: 1, 0.99: 2, 0.999: 3, 0.99999: 5}
+	for a, want := range cases {
+		if got := Nines(a); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Nines(%v) = %v, want %v", a, got, want)
+		}
+	}
+	if !math.IsInf(Nines(1.0), 1) {
+		t.Fatal("Nines(1)")
+	}
+	if Nines(0) != 0 || Nines(-1) != 0 {
+		t.Fatal("Nines(<=0)")
+	}
+}
+
+func TestDowntimePerYear(t *testing.T) {
+	got := DowntimePerYear(0.999)
+	want := time.Duration(0.001 * 365 * 24 * float64(time.Hour))
+	if got.Round(time.Second) != want.Round(time.Second) {
+		t.Fatalf("downtime %v, want ~%v", got, want)
+	}
+}
+
+// Property: availability decreases when failure probability increases
+// (mass moved from benign to failure), and always lies in (0, 1].
+func TestPropertyMonotoneInFailure(t *testing.T) {
+	f := func(rawFail uint8) bool {
+		pf := float64(rawFail%90) / 100 // 0..0.89
+		p := Params{
+			FaultRatePerHour: 0.05,
+			ManualRepair:     time.Hour,
+			PBenign:          0.9 - pf,
+			PFailure:         pf + 0.1,
+		}
+		q := p
+		q.PBenign += 0.05
+		q.PFailure -= 0.05
+		ap, aq := p.Availability(), q.Availability()
+		return ap > 0 && ap <= 1 && aq >= ap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeSet builds a SetResult with a controlled mix for FromSet.
+func fakeSet(fail, restart, normal int, baseline, restartSec float64) *core.SetResult {
+	set := &core.SetResult{Workload: "IIS", Supervision: "watchd", FaultFreeSec: baseline}
+	add := func(o core.Outcome, n int, sec float64, completed bool) {
+		for i := 0; i < n; i++ {
+			set.Runs = append(set.Runs, core.RunResult{
+				Fault:       inject.FaultSpec{Function: "F", Param: i, Invocation: 1, Type: inject.ZeroBits},
+				Injected:    true,
+				Outcome:     o,
+				Completed:   completed,
+				ResponseSec: sec,
+			})
+		}
+	}
+	add(core.Failure, fail, 0, false)
+	add(core.RestartSuccess, restart, restartSec, true)
+	add(core.NormalSuccess, normal, baseline, true)
+	return set
+}
+
+func TestFromSet(t *testing.T) {
+	set := fakeSet(10, 20, 70, 15.0, 45.0)
+	p, err := FromSet(set, Assumptions{FaultRatePerHour: 0.01, ManualRepair: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.PBenign-0.7) > 1e-9 || math.Abs(p.PFailure-0.1) > 1e-9 {
+		t.Fatalf("probabilities %+v", p)
+	}
+	if len(p.Transients) != 1 {
+		t.Fatalf("transients %+v", p.Transients)
+	}
+	// Interruption = measured 45s minus baseline 15s = 30s.
+	if got := p.Transients[0].MeanOutage; got != 30*time.Second {
+		t.Fatalf("transient outage %v, want 30s", got)
+	}
+}
+
+func TestFromSetEmpty(t *testing.T) {
+	if _, err := FromSet(&core.SetResult{}, DefaultAssumptions()); err == nil {
+		t.Fatal("accepted empty set")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	set := fakeSet(5, 10, 85, 15.0, 45.0)
+	est, err := EstimateSet(set, DefaultAssumptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Availability <= 0.9 || est.Availability >= 1 {
+		t.Fatalf("availability %v", est.Availability)
+	}
+	s := est.String()
+	if s == "" || est.NinesCount <= 0 {
+		t.Fatalf("estimate %q", s)
+	}
+}
+
+// TestHigherCoverageMoreNines ties the model to the paper's conclusion: a
+// configuration with higher failure coverage yields strictly higher
+// availability under identical assumptions.
+func TestHigherCoverageMoreNines(t *testing.T) {
+	standalone := fakeSet(30, 0, 70, 15, 0)
+	watchd := fakeSet(2, 28, 70, 15, 45)
+	a := DefaultAssumptions()
+	e1, err := EstimateSet(standalone, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EstimateSet(watchd, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Availability <= e1.Availability {
+		t.Fatalf("watchd availability %v not above standalone %v", e2.Availability, e1.Availability)
+	}
+}

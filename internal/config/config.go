@@ -1,0 +1,234 @@
+// Package config parses the DTS configuration files: the main
+// configuration (test parameters such as timeout periods, the fault list
+// file name, and workload parameters — §3) and the fault list file
+// enumerating the faults to inject. The formats are plain text, modeled on
+// the ntDTS user's manual.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/workload"
+)
+
+// Main is the parsed main configuration.
+type Main struct {
+	// Workload selects the target ("Apache1", "Apache2", "IIS", "SQL").
+	Workload string
+	// Middleware selects the fault-tolerance configuration.
+	Middleware workload.Supervision
+	// WatchdVersion selects the watchd iteration (1..3).
+	WatchdVersion watchd.Version
+	// ServerUpTimeout bounds the wait for the service to come up.
+	ServerUpTimeout time.Duration
+	// RunDeadline bounds each fault-injection run.
+	RunDeadline time.Duration
+	// FaultList names the fault list file ("" = generate from the
+	// export catalog).
+	FaultList string
+	// Results names the output file for the run records.
+	Results string
+}
+
+// DefaultMain returns the documented defaults.
+func DefaultMain() Main {
+	return Main{
+		Workload:        "IIS",
+		Middleware:      workload.Standalone,
+		WatchdVersion:   watchd.V3,
+		ServerUpTimeout: 10 * time.Second,
+		RunDeadline:     150 * time.Second,
+		Results:         "results.json",
+	}
+}
+
+// ParseMain reads a main configuration file ("key = value" lines, '#'
+// comments).
+func ParseMain(r io.Reader) (Main, error) {
+	cfg := DefaultMain()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return cfg, fmt.Errorf("config line %d: expected key = value", lineNo)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if err := cfg.set(key, val); err != nil {
+			return cfg, fmt.Errorf("config line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return cfg, err
+	}
+	return cfg, cfg.Validate()
+}
+
+func (m *Main) set(key, val string) error {
+	switch strings.ToLower(key) {
+	case "workload":
+		m.Workload = val
+	case "middleware":
+		switch strings.ToLower(val) {
+		case "none", "standalone":
+			m.Middleware = workload.Standalone
+		case "mscs":
+			m.Middleware = workload.MSCS
+		case "watchd":
+			m.Middleware = workload.Watchd
+		default:
+			return fmt.Errorf("unknown middleware %q", val)
+		}
+	case "watchd_version":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || n > 3 {
+			return fmt.Errorf("watchd_version must be 1..3, got %q", val)
+		}
+		m.WatchdVersion = watchd.Version(n)
+	case "server_up_timeout":
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad server_up_timeout %q", val)
+		}
+		m.ServerUpTimeout = d
+	case "run_deadline":
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad run_deadline %q", val)
+		}
+		m.RunDeadline = d
+	case "fault_list":
+		m.FaultList = val
+	case "results":
+		m.Results = val
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// Validate checks cross-field consistency.
+func (m *Main) Validate() error {
+	if _, err := m.Definition(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Definition resolves the configured workload definition.
+func (m *Main) Definition() (workload.Definition, error) {
+	switch m.Workload {
+	case "Apache1":
+		return workload.NewApache1(m.Middleware), nil
+	case "Apache2":
+		return workload.NewApache2(m.Middleware), nil
+	case "IIS":
+		return workload.NewIIS(m.Middleware), nil
+	case "SQL":
+		return workload.NewSQL(m.Middleware), nil
+	default:
+		return workload.Definition{}, fmt.Errorf("unknown workload %q", m.Workload)
+	}
+}
+
+// Fault list files ------------------------------------------------------------
+
+// faultTypeNames maps the file syntax to fault types.
+var faultTypeNames = map[string]inject.FaultType{
+	"zero": inject.ZeroBits,
+	"ones": inject.OneBits,
+	"flip": inject.FlipBits,
+}
+
+// ParseFaultList reads a fault list: one fault per line,
+//
+//	FunctionName <param> <invocation> <zero|ones|flip>
+//
+// with '#' comments and blank lines ignored.
+func ParseFaultList(r io.Reader) ([]inject.FaultSpec, error) {
+	var specs []inject.FaultSpec
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("fault list line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		param, err := strconv.Atoi(fields[1])
+		if err != nil || param < 0 {
+			return nil, fmt.Errorf("fault list line %d: bad parameter index %q", lineNo, fields[1])
+		}
+		inv, err := strconv.Atoi(fields[2])
+		if err != nil || inv < 1 {
+			return nil, fmt.Errorf("fault list line %d: bad invocation %q", lineNo, fields[2])
+		}
+		typ, ok := faultTypeNames[strings.ToLower(fields[3])]
+		if !ok {
+			return nil, fmt.Errorf("fault list line %d: unknown fault type %q", lineNo, fields[3])
+		}
+		specs = append(specs, inject.FaultSpec{
+			Function: fields[0], Param: param, Invocation: inv, Type: typ,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// WriteFaultList renders a fault list in the file format.
+func WriteFaultList(w io.Writer, specs []inject.FaultSpec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# DTS fault list: function param invocation type")
+	for _, s := range specs {
+		if _, err := fmt.Fprintf(bw, "%s %d %d %s\n", s.Function, s.Param, s.Invocation, s.Type); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// GenerateFaultList builds the full fault list from a catalog: every
+// parameter of every injectable function with every fault type, in
+// deterministic order.
+func GenerateFaultList(entries []CatalogEntry) []inject.FaultSpec {
+	sorted := append([]CatalogEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var specs []inject.FaultSpec
+	for _, e := range sorted {
+		for p := 0; p < e.Params; p++ {
+			for _, t := range inject.AllFaultTypes() {
+				specs = append(specs, inject.FaultSpec{
+					Function: e.Name, Param: p, Invocation: 1, Type: t,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// CatalogEntry mirrors the export-catalog entry shape without importing
+// the win32 package (config stays substrate-agnostic).
+type CatalogEntry struct {
+	Name   string
+	Params int
+}

@@ -1,0 +1,156 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/workload"
+)
+
+func TestParseMainDefaults(t *testing.T) {
+	cfg, err := ParseMain(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultMain()
+	if cfg != def {
+		t.Fatalf("empty config = %+v, want defaults %+v", cfg, def)
+	}
+}
+
+func TestParseMainFull(t *testing.T) {
+	text := `
+# experiment configuration
+workload = Apache1
+middleware = watchd
+watchd_version = 2
+server_up_timeout = 12s
+run_deadline = 2m
+fault_list = faults.lst
+results = out.json
+`
+	cfg, err := ParseMain(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workload != "Apache1" || cfg.Middleware != workload.Watchd ||
+		int(cfg.WatchdVersion) != 2 || cfg.ServerUpTimeout != 12*time.Second ||
+		cfg.RunDeadline != 2*time.Minute || cfg.FaultList != "faults.lst" ||
+		cfg.Results != "out.json" {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	def, err := cfg.Definition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "Apache1" || def.Supervision != workload.Watchd {
+		t.Fatalf("definition %s/%v", def.Name, def.Supervision)
+	}
+}
+
+func TestParseMainErrors(t *testing.T) {
+	for _, text := range []string{
+		"bogus line without equals",
+		"workload = Netscape",
+		"middleware = tandem",
+		"watchd_version = 9",
+		"server_up_timeout = -3s",
+		"server_up_timeout = soon",
+		"run_deadline = 0s",
+		"color = red",
+	} {
+		if _, err := ParseMain(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseMain(%q) unexpectedly succeeded", text)
+		}
+	}
+}
+
+func TestParseMainMiddlewareAliases(t *testing.T) {
+	for alias, want := range map[string]workload.Supervision{
+		"none": workload.Standalone, "standalone": workload.Standalone,
+		"MSCS": workload.MSCS, "mscs": workload.MSCS,
+		"watchd": workload.Watchd,
+	} {
+		cfg, err := ParseMain(strings.NewReader("middleware = " + alias))
+		if err != nil {
+			t.Errorf("alias %q: %v", alias, err)
+			continue
+		}
+		if cfg.Middleware != want {
+			t.Errorf("alias %q = %v, want %v", alias, cfg.Middleware, want)
+		}
+	}
+}
+
+func TestFaultListRoundtrip(t *testing.T) {
+	specs := []inject.FaultSpec{
+		{Function: "ReadFile", Param: 2, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "CreateFileA", Param: 0, Invocation: 1, Type: inject.OneBits},
+		{Function: "WaitForSingleObject", Param: 1, Invocation: 3, Type: inject.FlipBits},
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultList(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseFaultList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(specs) {
+		t.Fatalf("parsed %d specs, want %d", len(parsed), len(specs))
+	}
+	for i := range specs {
+		if parsed[i] != specs[i] {
+			t.Errorf("spec %d: %+v != %+v", i, parsed[i], specs[i])
+		}
+	}
+}
+
+func TestParseFaultListErrors(t *testing.T) {
+	for _, text := range []string{
+		"ReadFile 2 1",              // too few fields
+		"ReadFile two 1 zero",       // bad param
+		"ReadFile -1 1 zero",        // negative param
+		"ReadFile 2 0 zero",         // bad invocation
+		"ReadFile 2 1 scramble",     // unknown type
+		"ReadFile 2 1 zero trailer", // too many fields
+	} {
+		if _, err := ParseFaultList(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseFaultList(%q) unexpectedly succeeded", text)
+		}
+	}
+}
+
+func TestParseFaultListCommentsAndBlanks(t *testing.T) {
+	text := "# header\n\nReadFile 0 1 zero\n   \n# tail\n"
+	specs, err := ParseFaultList(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Function != "ReadFile" {
+		t.Fatalf("specs %+v", specs)
+	}
+}
+
+func TestGenerateFaultList(t *testing.T) {
+	entries := []CatalogEntry{
+		{Name: "Zeta", Params: 1},
+		{Name: "Alpha", Params: 2},
+		{Name: "NoParams", Params: 0},
+	}
+	specs := GenerateFaultList(entries)
+	// 2 params * 3 types + 1 param * 3 types = 9.
+	if len(specs) != 9 {
+		t.Fatalf("generated %d specs, want 9", len(specs))
+	}
+	// Deterministic order: sorted by name, Alpha first.
+	if specs[0].Function != "Alpha" || specs[0].Param != 0 || specs[0].Type != inject.ZeroBits {
+		t.Fatalf("first spec %+v", specs[0])
+	}
+	if specs[8].Function != "Zeta" {
+		t.Fatalf("last spec %+v", specs[8])
+	}
+}

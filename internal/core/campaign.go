@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/stats"
+)
+
+// SetResult is the outcome of one workload set: every fault of the fault
+// list injected into one workload (paper Figure 1's middle loop).
+type SetResult struct {
+	Workload      string      `json:"workload"`
+	Supervision   string      `json:"supervision"`
+	WatchdVersion int         `json:"watchdVersion,omitempty"`
+	ActivatedFns  int         `json:"activatedFns"` // Table 1 census
+	FaultFreeSec  float64     `json:"faultFreeSec"` // calibration response time
+	Runs          []RunResult `json:"runs"`         // injected faults only
+	SkippedFns    int         `json:"skippedFns"`   // unactivated functions
+	SkippedFaults int         `json:"skippedFaults"`
+}
+
+// Injected returns the number of faults that actually fired.
+func (s *SetResult) Injected() int {
+	n := 0
+	for _, r := range s.Runs {
+		if r.Injected {
+			n++
+		}
+	}
+	return n
+}
+
+// Distribution is the five-outcome breakdown over injected faults —
+// the bars of Figures 2, 3 and 5.
+type Distribution struct {
+	Total  int                `json:"total"`
+	Counts map[string]int     `json:"counts"`
+	Pct    map[string]float64 `json:"pct"`
+}
+
+// Distribution computes the outcome distribution of a set.
+func (s *SetResult) Distribution() Distribution {
+	d := Distribution{
+		Counts: make(map[string]int, 5),
+		Pct:    make(map[string]float64, 5),
+	}
+	for _, r := range s.Runs {
+		if !r.Injected {
+			continue
+		}
+		d.Counts[r.Outcome.String()]++
+		d.Total++
+	}
+	for _, o := range AllOutcomes() {
+		d.Pct[o.String()] = stats.Percent(d.Counts[o.String()], d.Total)
+	}
+	return d
+}
+
+// FailurePct is the headline failure percentage (unity minus coverage).
+func (s *SetResult) FailurePct() float64 {
+	return s.Distribution().Pct[Failure.String()]
+}
+
+// OutcomePct returns the percentage of one outcome.
+func (s *SetResult) OutcomePct(o Outcome) float64 {
+	return s.Distribution().Pct[o.String()]
+}
+
+// ResponseTimes returns the response-time sample for one outcome class,
+// with failures optionally split by whether any reply arrived (Figure 4
+// omits no-reply failures — their response time is unbounded).
+func (s *SetResult) ResponseTimes(o Outcome, wrongReplyOnly bool) []float64 {
+	var xs []float64
+	for _, r := range s.Runs {
+		if !r.Injected || r.Outcome != o || !r.Completed {
+			continue
+		}
+		if o == Failure && wrongReplyOnly && !r.GotResponse {
+			continue
+		}
+		xs = append(xs, r.ResponseSec)
+	}
+	return xs
+}
+
+// Campaign executes the full fault list against one workload.
+type Campaign struct {
+	Runner *Runner
+	// Types is the corruption set (defaults to the paper's three).
+	Types []inject.FaultType
+	// Invocation selects which invocation of each function to inject
+	// (default 1, the paper's choice; the paper notes that injecting
+	// further invocations "produced similar results").
+	Invocation int
+	// PaperFaithfulSkips runs one probe per unactivated function before
+	// skipping its remaining faults, exactly as the paper's tool did,
+	// instead of applying the skip from the calibration run. The outcome
+	// data is identical; only campaign cost differs (the ablation bench
+	// measures it).
+	PaperFaithfulSkips bool
+	// Progress, when non-nil, receives (done, total) after every run.
+	Progress func(done, total int)
+}
+
+// Execute runs the campaign: a fault-free calibration pass, then one run
+// per (activated function × parameter × fault type), skipping every fault
+// of functions the calibration shows unactivated (the paper's skip rule,
+// applied eagerly from the calibration run).
+func (c *Campaign) Execute() (*SetResult, error) {
+	types := c.Types
+	if len(types) == 0 {
+		types = inject.AllFaultTypes()
+	}
+	invocation := c.Invocation
+	if invocation == 0 {
+		invocation = 1
+	}
+	activated, calib, err := c.Runner.ActivationScan()
+	if err != nil {
+		return nil, fmt.Errorf("activation scan: %w", err)
+	}
+	if calib.Outcome != NormalSuccess {
+		return nil, fmt.Errorf("calibration run did not succeed: %v", calib.Outcome)
+	}
+
+	set := &SetResult{
+		Workload:     c.Runner.Def.Name,
+		Supervision:  c.Runner.Def.Supervision.String(),
+		ActivatedFns: calib.ActivatedFns,
+		FaultFreeSec: calib.ResponseSec,
+	}
+	if c.Runner.Def.Supervision.String() == "watchd" {
+		set.WatchdVersion = int(c.Runner.Opts.WatchdVersion)
+	}
+
+	// Build the fault list in catalog order (deterministic).
+	catalog := win32.Catalog()
+	var specs []inject.FaultSpec
+	for _, entry := range catalog {
+		if entry.Params == 0 {
+			continue
+		}
+		if !activated[entry.Name] {
+			if c.PaperFaithfulSkips {
+				// The paper burned one run on the first fault of
+				// the function and skipped the rest when it did
+				// not activate.
+				probe := inject.FaultSpec{
+					Function: entry.Name, Param: 0,
+					Invocation: invocation, Type: types[0],
+				}
+				res, err := c.Runner.Run(&probe)
+				if err != nil {
+					return nil, fmt.Errorf("skip probe %v: %w", probe, err)
+				}
+				res.Skipped = true
+				set.Runs = append(set.Runs, *res)
+			}
+			set.SkippedFns++
+			set.SkippedFaults += entry.Params * len(types)
+			continue
+		}
+		for p := 0; p < entry.Params; p++ {
+			for _, t := range types {
+				specs = append(specs, inject.FaultSpec{
+					Function: entry.Name, Param: p, Invocation: invocation, Type: t,
+				})
+			}
+		}
+	}
+
+	for i := range specs {
+		res, err := c.Runner.Run(&specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("run %v: %w", specs[i], err)
+		}
+		set.Runs = append(set.Runs, *res)
+		if c.Progress != nil {
+			c.Progress(i+1, len(specs))
+		}
+	}
+	return set, nil
+}
+
+// Experiment is a series of workload sets (paper Figure 1's outer loop).
+type Experiment struct {
+	Sets []*SetResult `json:"sets"`
+}
+
+// Find returns the set for a workload/supervision pair.
+func (e *Experiment) Find(workload, supervision string) (*SetResult, bool) {
+	for _, s := range e.Sets {
+		if s.Workload == workload && s.Supervision == supervision {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Workloads lists the distinct workload names in first-seen order.
+func (e *Experiment) Workloads() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range e.Sets {
+		if !seen[s.Workload] {
+			seen[s.Workload] = true
+			out = append(out, s.Workload)
+		}
+	}
+	return out
+}
+
+// CommonInjected returns, for two sets, the run pairs whose fault specs
+// were injected in both — Table 2's "counting only common faults" basis.
+func CommonInjected(a, b *SetResult) (aRuns, bRuns []RunResult) {
+	key := func(f inject.FaultSpec) string {
+		return fmt.Sprintf("%s/%d/%d/%d", f.Function, f.Param, f.Invocation, int(f.Type))
+	}
+	bByKey := make(map[string]RunResult, len(b.Runs))
+	for _, r := range b.Runs {
+		if r.Injected {
+			bByKey[key(r.Fault)] = r
+		}
+	}
+	var keys []string
+	aByKey := make(map[string]RunResult, len(a.Runs))
+	for _, r := range a.Runs {
+		if !r.Injected {
+			continue
+		}
+		k := key(r.Fault)
+		if _, ok := bByKey[k]; ok {
+			aByKey[k] = r
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		aRuns = append(aRuns, aByKey[k])
+		bRuns = append(bRuns, bByKey[k])
+	}
+	return aRuns, bRuns
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/workload"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		succeeded, retried bool
+		restarts           int
+		want               Outcome
+	}{
+		{true, false, 0, NormalSuccess},
+		{true, false, 1, RestartSuccess},
+		{true, true, 1, RestartRetrySuccess},
+		{true, true, 0, RetrySuccess},
+		{false, false, 0, Failure},
+		{false, true, 2, Failure}, // restarts don't save a failed client
+	}
+	for _, c := range cases {
+		if got := classify(c.succeeded, c.retried, c.restarts); got != c.want {
+			t.Errorf("classify(%v,%v,%d) = %v, want %v", c.succeeded, c.retried, c.restarts, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	names := map[Outcome]string{
+		NormalSuccess:       "normal success",
+		RestartSuccess:      "restart success",
+		RestartRetrySuccess: "restart+retry success",
+		RetrySuccess:        "retry success",
+		Failure:             "failure",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if len(AllOutcomes()) != 5 {
+		t.Fatal("AllOutcomes size")
+	}
+}
+
+// smallCampaign runs Apache1 standalone with a single fault type to keep
+// the campaign quick while exercising the full Figure 1 flow.
+func smallCampaign(t *testing.T) *SetResult {
+	t.Helper()
+	c := &Campaign{
+		Runner: NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		Types:  []inject.FaultType{inject.ZeroBits},
+	}
+	set, err := c.Execute()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	return set
+}
+
+func TestCampaignSkipRule(t *testing.T) {
+	set := smallCampaign(t)
+	// 551 injectable functions; Apache1 activates 13 functions of which
+	// the zero-parameter ones are not injectable.
+	if set.ActivatedFns != 13 {
+		t.Fatalf("activated %d, want 13", set.ActivatedFns)
+	}
+	injectedFns := make(map[string]bool)
+	for _, r := range set.Runs {
+		injectedFns[r.Fault.Function] = true
+	}
+	if len(injectedFns)+set.SkippedFns != 551 {
+		t.Fatalf("injected %d + skipped %d functions != 551", len(injectedFns), set.SkippedFns)
+	}
+	if set.SkippedFaults == 0 {
+		t.Fatal("no skipped faults recorded")
+	}
+}
+
+func TestCampaignEveryRunInjected(t *testing.T) {
+	set := smallCampaign(t)
+	if len(set.Runs) == 0 {
+		t.Fatal("no runs")
+	}
+	for _, r := range set.Runs {
+		if !r.Injected {
+			t.Errorf("fault %v did not fire despite calibration saying the function is called", r.Fault)
+		}
+		if !r.Activated {
+			t.Errorf("fault %v not marked activated", r.Fault)
+		}
+	}
+}
+
+func TestCampaignProgressCallback(t *testing.T) {
+	var last, total int
+	c := &Campaign{
+		Runner: NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		Types:  []inject.FaultType{inject.ZeroBits},
+		Progress: func(done, n int) {
+			last, total = done, n
+		},
+	}
+	set, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != total || total != len(set.Runs) {
+		t.Fatalf("progress ended at %d/%d with %d runs", last, total, len(set.Runs))
+	}
+}
+
+func TestDistributionSumsToTotal(t *testing.T) {
+	set := smallCampaign(t)
+	d := set.Distribution()
+	sum := 0
+	for _, n := range d.Counts {
+		sum += n
+	}
+	if sum != d.Total || d.Total != set.Injected() {
+		t.Fatalf("counts sum %d, total %d, injected %d", sum, d.Total, set.Injected())
+	}
+	pctSum := 0.0
+	for _, o := range AllOutcomes() {
+		pctSum += d.Pct[o.String()]
+	}
+	if pctSum < 99.9 || pctSum > 100.1 {
+		t.Fatalf("percentages sum to %.2f", pctSum)
+	}
+}
+
+func TestResponseTimesOnlyCompleted(t *testing.T) {
+	set := smallCampaign(t)
+	for _, o := range AllOutcomes() {
+		for _, x := range set.ResponseTimes(o, true) {
+			if x <= 0 {
+				t.Fatalf("%v response time %.2f", o, x)
+			}
+		}
+	}
+	// Wrong-reply-only filtering never yields more samples.
+	all := len(set.ResponseTimes(Failure, false))
+	wrong := len(set.ResponseTimes(Failure, true))
+	if wrong > all {
+		t.Fatalf("wrong-reply failures %d > all failures %d", wrong, all)
+	}
+}
+
+func TestCommonInjected(t *testing.T) {
+	a := &SetResult{Runs: []RunResult{
+		{Fault: inject.FaultSpec{Function: "F", Param: 0, Invocation: 1, Type: inject.ZeroBits}, Injected: true, Outcome: Failure},
+		{Fault: inject.FaultSpec{Function: "G", Param: 0, Invocation: 1, Type: inject.ZeroBits}, Injected: true, Outcome: NormalSuccess},
+		{Fault: inject.FaultSpec{Function: "H", Param: 0, Invocation: 1, Type: inject.ZeroBits}, Injected: false},
+	}}
+	b := &SetResult{Runs: []RunResult{
+		{Fault: inject.FaultSpec{Function: "F", Param: 0, Invocation: 1, Type: inject.ZeroBits}, Injected: true, Outcome: NormalSuccess},
+		{Fault: inject.FaultSpec{Function: "H", Param: 0, Invocation: 1, Type: inject.ZeroBits}, Injected: true, Outcome: NormalSuccess},
+	}}
+	ar, br := CommonInjected(a, b)
+	if len(ar) != 1 || len(br) != 1 {
+		t.Fatalf("common %d/%d, want 1/1", len(ar), len(br))
+	}
+	if ar[0].Fault.Function != "F" || br[0].Fault.Function != "F" {
+		t.Fatalf("common fault %v/%v", ar[0].Fault, br[0].Fault)
+	}
+	if ar[0].Outcome != Failure || br[0].Outcome != NormalSuccess {
+		t.Fatal("outcomes not preserved per side")
+	}
+}
+
+func TestExperimentFind(t *testing.T) {
+	exp := &Experiment{Sets: []*SetResult{
+		{Workload: "IIS", Supervision: "none"},
+		{Workload: "IIS", Supervision: "MSCS"},
+		{Workload: "SQL", Supervision: "none"},
+	}}
+	if _, ok := exp.Find("IIS", "MSCS"); !ok {
+		t.Fatal("Find missed")
+	}
+	if _, ok := exp.Find("IIS", "watchd"); ok {
+		t.Fatal("Find invented a set")
+	}
+	wls := exp.Workloads()
+	if len(wls) != 2 || wls[0] != "IIS" || wls[1] != "SQL" {
+		t.Fatalf("Workloads %v", wls)
+	}
+}
+
+// TestExperimentFlow verifies the Figure 1 run lifecycle end to end for a
+// fault that needs every stage: injection at server start, client retry,
+// middleware restart, and log-based restart detection.
+func TestExperimentFlow(t *testing.T) {
+	fault := inject.FaultSpec{Function: "GetVersionExA", Param: 0, Invocation: 1, Type: inject.FlipBits}
+	runner := NewRunner(workload.NewIIS(workload.Watchd), RunnerOptions{})
+	res, err := runner.Run(&fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Injected || !res.Activated {
+		t.Fatalf("fault not injected: %+v", res)
+	}
+	if !res.ServerCrash {
+		t.Fatal("wild-pointer fault did not crash the server")
+	}
+	if res.Restarts == 0 {
+		t.Fatal("watchd restart not detected from the log")
+	}
+	if res.Outcome != RestartSuccess && res.Outcome != RestartRetrySuccess {
+		t.Fatalf("outcome %v, want a restart success", res.Outcome)
+	}
+	if !res.Completed || res.ResponseSec <= 0 {
+		t.Fatalf("client did not complete: %+v", res)
+	}
+}
+
+// TestPaperFaithfulSkips checks the alternative skip procedure: one probe
+// per unactivated function, identical outcome data.
+func TestPaperFaithfulSkips(t *testing.T) {
+	fast := smallCampaign(t) // calibration-informed skips
+	c := &Campaign{
+		Runner:             NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		Types:              []inject.FaultType{inject.ZeroBits},
+		PaperFaithfulSkips: true,
+	}
+	faithful, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The faithful campaign carries one extra (skipped, uninjected) run
+	// per unactivated function.
+	if got, want := len(faithful.Runs), len(fast.Runs)+faithful.SkippedFns; got != want {
+		t.Fatalf("faithful runs %d, want %d", got, want)
+	}
+	skipped := 0
+	for _, r := range faithful.Runs {
+		if r.Skipped {
+			skipped++
+			if r.Injected {
+				t.Fatalf("skip probe %v injected", r.Fault)
+			}
+		}
+	}
+	if skipped != faithful.SkippedFns {
+		t.Fatalf("%d skip probes, want %d", skipped, faithful.SkippedFns)
+	}
+	// The outcome distribution (over injected faults) is identical.
+	df, dn := faithful.Distribution(), fast.Distribution()
+	if df.Total != dn.Total {
+		t.Fatalf("injected totals differ: %d vs %d", df.Total, dn.Total)
+	}
+	for k, v := range dn.Counts {
+		if df.Counts[k] != v {
+			t.Fatalf("outcome %q: %d vs %d", k, df.Counts[k], v)
+		}
+	}
+}
+
+func TestDiffSets(t *testing.T) {
+	spec := func(fn string) inject.FaultSpec {
+		return inject.FaultSpec{Function: fn, Param: 0, Invocation: 1, Type: inject.ZeroBits}
+	}
+	a := &SetResult{Runs: []RunResult{
+		{Fault: spec("F"), Injected: true, Outcome: Failure},
+		{Fault: spec("G"), Injected: true, Outcome: NormalSuccess},
+		{Fault: spec("H"), Injected: true, Outcome: RetrySuccess},
+		{Fault: spec("OnlyA"), Injected: true, Outcome: Failure},
+	}}
+	b := &SetResult{Runs: []RunResult{
+		{Fault: spec("F"), Injected: true, Outcome: RestartSuccess}, // improved
+		{Fault: spec("G"), Injected: true, Outcome: Failure},        // regressed
+		{Fault: spec("H"), Injected: true, Outcome: RetrySuccess},   // unchanged
+		{Fault: spec("OnlyB"), Injected: true, Outcome: Failure},
+	}}
+	ts := DiffSets(a, b)
+	if len(ts) != 2 {
+		t.Fatalf("%d transitions, want 2: %v", len(ts), ts)
+	}
+	if ts[0].Fault.Function != "F" || ts[0].From != Failure || ts[0].To != RestartSuccess {
+		t.Fatalf("transition 0: %+v", ts[0])
+	}
+	s := SummarizeTransitions(ts)
+	if s.Improved != 1 || s.Regressed != 1 || s.Shifted != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+// TestDiffAcrossWatchdVersions ties the diff to the real campaign: moving
+// from Watchd2 to Watchd3 on SQL must improve faults (the locked-start
+// recoveries) and regress none.
+func TestDiffAcrossWatchdVersions(t *testing.T) {
+	run := func(v int) *SetResult {
+		opts := RunnerOptions{}
+		opts.WatchdVersion = watchd.Version(v)
+		c := &Campaign{Runner: NewRunner(workload.NewSQL(workload.Watchd), opts)}
+		set, err := c.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	v2, v3 := run(2), run(3)
+	ts := DiffSets(v2, v3)
+	s := SummarizeTransitions(ts)
+	if s.Improved == 0 {
+		t.Fatal("Watchd3 improved nothing over Watchd2 on SQL")
+	}
+	if s.Regressed != 0 {
+		t.Fatalf("Watchd3 regressed %d faults over Watchd2", s.Regressed)
+	}
+	// Every improved fault's recovery is a restart-class success.
+	for _, tr := range ts {
+		if tr.From == Failure && tr.To != RestartSuccess && tr.To != RestartRetrySuccess {
+			t.Fatalf("unexpected recovery class: %+v", tr)
+		}
+	}
+}

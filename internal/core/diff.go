@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ntdts/internal/inject"
+)
+
+// Outcome diffing implements the paper's §4.3 methodology: "The results
+// from the initial experiment involving watchd were studied to improve the
+// original version" — i.e., compare two configurations fault by fault and
+// look at exactly which faults changed outcome.
+
+// Transition is one fault whose outcome differs between two sets.
+type Transition struct {
+	Fault inject.FaultSpec `json:"fault"`
+	From  Outcome          `json:"from"`
+	To    Outcome          `json:"to"`
+}
+
+// String renders a transition the way the debugging notes would.
+func (t Transition) String() string {
+	return fmt.Sprintf("%-38s %s -> %s", t.Fault.String(), t.From, t.To)
+}
+
+// DiffSets compares two sets over their common injected faults and returns
+// every outcome transition, sorted by fault. Typical uses: Watchd1 vs
+// Watchd2 (what did the fix recover? what did it break?), stand-alone vs
+// middleware (what does the monitor actually buy?).
+func DiffSets(from, to *SetResult) []Transition {
+	fromRuns, toRuns := CommonInjected(from, to)
+	var out []Transition
+	for i := range fromRuns {
+		if fromRuns[i].Outcome == toRuns[i].Outcome {
+			continue
+		}
+		out = append(out, Transition{
+			Fault: fromRuns[i].Fault,
+			From:  fromRuns[i].Outcome,
+			To:    toRuns[i].Outcome,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Fault.String() < out[j].Fault.String()
+	})
+	return out
+}
+
+// TransitionSummary tallies transitions by (from, to) class.
+type TransitionSummary struct {
+	Improved  int `json:"improved"`  // failure -> any success
+	Regressed int `json:"regressed"` // any success -> failure
+	Shifted   int `json:"shifted"`   // success class changed
+}
+
+// Summarize classifies a transition list.
+func SummarizeTransitions(ts []Transition) TransitionSummary {
+	var s TransitionSummary
+	for _, t := range ts {
+		switch {
+		case t.From == Failure && t.To != Failure:
+			s.Improved++
+		case t.From != Failure && t.To == Failure:
+			s.Regressed++
+		default:
+			s.Shifted++
+		}
+	}
+	return s
+}

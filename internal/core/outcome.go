@@ -1,0 +1,66 @@
+// Package core implements the DTS tool itself: the experiment controller
+// (the nested loops of the paper's Figure 1), the per-run lifecycle
+// (prepare, start server, wait until up, run client, terminate, gather),
+// the data collector (client records + NT event log + watchd log file),
+// and the five-outcome classifier of §3.
+package core
+
+import "fmt"
+
+// Outcome is the per-run classification of §3.
+type Outcome int
+
+const (
+	// NormalSuccess: correct replies, no restarts, no retransmissions.
+	NormalSuccess Outcome = iota + 1
+	// RestartSuccess: a middleware-initiated server restart preceded a
+	// correct reply, with no client retransmissions.
+	RestartSuccess
+	// RestartRetrySuccess: both a restart and at least one client
+	// retransmission were needed.
+	RestartRetrySuccess
+	// RetrySuccess: at least one retransmission, no restart.
+	RetrySuccess
+	// Failure: some request never received a correct reply.
+	Failure
+)
+
+// String names the outcome the way the paper's figures label them.
+func (o Outcome) String() string {
+	switch o {
+	case NormalSuccess:
+		return "normal success"
+	case RestartSuccess:
+		return "restart success"
+	case RestartRetrySuccess:
+		return "restart+retry success"
+	case RetrySuccess:
+		return "retry success"
+	case Failure:
+		return "failure"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// AllOutcomes lists the five outcomes in the paper's presentation order.
+func AllOutcomes() []Outcome {
+	return []Outcome{NormalSuccess, RestartSuccess, RestartRetrySuccess, RetrySuccess, Failure}
+}
+
+// classify derives the outcome from client success, retransmissions and
+// middleware restart evidence.
+func classify(allSucceeded, anyRetried bool, restarts int) Outcome {
+	switch {
+	case !allSucceeded:
+		return Failure
+	case restarts > 0 && anyRetried:
+		return RestartRetrySuccess
+	case restarts > 0:
+		return RestartSuccess
+	case anyRetried:
+		return RetrySuccess
+	default:
+		return NormalSuccess
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/workload"
+)
+
+// TestRobustnessRandomFaultStorm throws pseudo-random faults (seeded, so
+// reproducible) from the full export catalog at every workload and asserts
+// the harness invariants: runs never error, never leak simulated-code
+// panics (Runner.Run checks Kernel.Panics), and always classify.
+func TestRobustnessRandomFaultStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault storm is not short")
+	}
+	catalog := win32.Catalog()
+	var injectable []win32.CatalogEntry
+	for _, e := range catalog {
+		if e.Params > 0 {
+			injectable = append(injectable, e)
+		}
+	}
+	rng := rand.New(rand.NewSource(0xD75))
+	defs := []workload.Definition{
+		workload.NewApache1(workload.Standalone),
+		workload.NewApache2(workload.Watchd),
+		workload.NewIIS(workload.MSCS),
+		workload.NewSQL(workload.Watchd),
+	}
+	types := inject.AllFaultTypes()
+	const perWorkload = 40
+	for _, def := range defs {
+		runner := NewRunner(def, RunnerOptions{})
+		for i := 0; i < perWorkload; i++ {
+			entry := injectable[rng.Intn(len(injectable))]
+			spec := inject.FaultSpec{
+				Function:   entry.Name,
+				Param:      rng.Intn(entry.Params),
+				Invocation: 1 + rng.Intn(2),
+				Type:       types[rng.Intn(len(types))],
+			}
+			res, err := runner.Run(&spec)
+			if err != nil {
+				t.Fatalf("%s/%s fault %v: %v", def.Name, def.Supervision, spec, err)
+			}
+			if res.Outcome < NormalSuccess || res.Outcome > Failure {
+				t.Fatalf("%s fault %v: unclassified outcome %d", def.Name, spec, res.Outcome)
+			}
+			if res.Injected && !res.Activated {
+				t.Fatalf("%s fault %v: injected but not activated", def.Name, spec)
+			}
+		}
+	}
+}
+
+// TestRobustnessEveryImplementedFunction exhaustively injects every
+// (parameter, fault type) of every function the IIS workload activates —
+// the densest corruption matrix — and asserts the same invariants.
+func TestRobustnessEveryImplementedFunction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive matrix is not short")
+	}
+	runner := NewRunner(workload.NewIIS(workload.Standalone), RunnerOptions{})
+	activated, _, err := runner.ActivationScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make(map[Outcome]int)
+	for _, entry := range win32.Catalog() {
+		if entry.Params == 0 || !activated[entry.Name] {
+			continue
+		}
+		for p := 0; p < entry.Params; p++ {
+			for _, typ := range inject.AllFaultTypes() {
+				spec := inject.FaultSpec{Function: entry.Name, Param: p, Invocation: 1, Type: typ}
+				res, err := runner.Run(&spec)
+				if err != nil {
+					t.Fatalf("fault %v: %v", spec, err)
+				}
+				outcomes[res.Outcome]++
+			}
+		}
+	}
+	// The matrix must produce a non-trivial mix: benign outcomes,
+	// crashes that fail stand-alone, and at least some retries.
+	if outcomes[NormalSuccess] == 0 || outcomes[Failure] == 0 {
+		t.Fatalf("degenerate outcome mix: %v", outcomes)
+	}
+	t.Logf("outcome mix over the full IIS matrix: %v", outcomes)
+}

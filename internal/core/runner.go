@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/inject"
+	"ntdts/internal/middleware/mscs"
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/scm"
+	"ntdts/internal/vclock"
+	"ntdts/internal/workload"
+)
+
+// RunResult is the data collector's record for one fault-injection run.
+type RunResult struct {
+	Fault        inject.FaultSpec `json:"fault"`
+	Activated    bool             `json:"activated"` // target called the function
+	Injected     bool             `json:"injected"`  // the corruption actually fired
+	Skipped      bool             `json:"skipped"`   // skipped by the activation rule
+	Outcome      Outcome          `json:"outcome"`
+	Restarts     int              `json:"restarts"`     // middleware-initiated restarts
+	GotResponse  bool             `json:"gotResponse"`  // failure split for Figure 4
+	Completed    bool             `json:"completed"`    // client program finished
+	ResponseSec  float64          `json:"responseSec"`  // client program lifetime
+	ServerCrash  bool             `json:"serverCrash"`  // a target process died abnormally
+	ActivatedFns int              `json:"activatedFns"` // distinct functions the target called
+}
+
+// RunnerOptions tune the per-run lifecycle.
+type RunnerOptions struct {
+	// ServerUpTimeout is how long DTS waits for the service to report
+	// RUNNING before starting the client anyway.
+	ServerUpTimeout time.Duration
+	// RunDeadline bounds the whole run in virtual time.
+	RunDeadline time.Duration
+	// WatchdVersion selects the watchd iteration for Watchd workloads.
+	WatchdVersion watchd.Version
+	// MSCSParams tunes the resource monitor for MSCS workloads.
+	MSCSParams mscs.Params
+	// Trace, when non-nil, receives one line per kernel event (process
+	// spawn/exit, access violations) — the single-fault debugging view
+	// behind the paper's §4.3 feedback workflow.
+	Trace func(at vclock.Time, pid ntsim.PID, msg string)
+}
+
+// DefaultRunnerOptions returns the experiment defaults.
+func DefaultRunnerOptions() RunnerOptions {
+	return RunnerOptions{
+		ServerUpTimeout: 10 * time.Second,
+		RunDeadline:     150 * time.Second,
+		WatchdVersion:   watchd.V3,
+		MSCSParams:      mscs.DefaultParams(),
+	}
+}
+
+// Runner executes fault-injection runs for one workload definition.
+type Runner struct {
+	Def  workload.Definition
+	Opts RunnerOptions
+}
+
+// NewRunner builds a Runner with defaults filled in.
+func NewRunner(def workload.Definition, opts RunnerOptions) *Runner {
+	defaults := DefaultRunnerOptions()
+	if opts.ServerUpTimeout == 0 {
+		opts.ServerUpTimeout = defaults.ServerUpTimeout
+	}
+	if opts.RunDeadline == 0 {
+		opts.RunDeadline = defaults.RunDeadline
+	}
+	if opts.WatchdVersion == 0 {
+		opts.WatchdVersion = defaults.WatchdVersion
+	}
+	if opts.MSCSParams.MaxAttempts == 0 {
+		opts.MSCSParams = defaults.MSCSParams
+	}
+	return &Runner{Def: def, Opts: opts}
+}
+
+// Run executes one fault-injection run. A nil spec is the fault-free
+// calibration run.
+func (r *Runner) Run(spec *inject.FaultSpec) (*RunResult, error) {
+	res, _, err := r.run(spec)
+	return res, err
+}
+
+// ActivationScan runs the fault-free calibration pass and returns the set
+// of functions the target activates (the paper's Table 1 measurement and
+// the input to the skip rule).
+func (r *Runner) ActivationScan() (map[string]bool, *RunResult, error) {
+	res, activated, err := r.run(nil)
+	return activated, res, err
+}
+
+// run is the per-run lifecycle of the paper's Figure 1: prepare the
+// workload programs, start the server (injecting the fault), wait for the
+// server to be up, start the client, wait for workload termination, and
+// gather results.
+func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error) {
+	def := r.Def
+
+	// Prepare: fresh machine, fresh logs, fresh workload programs.
+	k := ntsim.NewKernel()
+	if r.Opts.Trace != nil {
+		k.SetTrace(r.Opts.Trace)
+	}
+	log := eventlog.New()
+	mgr := scm.New(k, log)
+	def.Setup(k)
+	if err := mgr.CreateService(def.Service); err != nil {
+		return nil, nil, fmt.Errorf("create service: %w", err)
+	}
+	injector := inject.New(k, def.Target, spec)
+	k.SetInterceptor(injector)
+
+	// Start the server program, directly or through the middleware that
+	// owns it.
+	switch def.Supervision {
+	case workload.Standalone:
+		if err := mgr.StartService(def.Service.Name); err != nil {
+			return nil, nil, fmt.Errorf("start service: %w", err)
+		}
+	case workload.MSCS:
+		if _, err := mscs.Start(k, mgr, log, def.Service.Name, r.Opts.MSCSParams); err != nil {
+			return nil, nil, fmt.Errorf("start mscs: %w", err)
+		}
+	case workload.Watchd:
+		if _, err := watchd.Start(k, mgr, def.Service.Name, r.Opts.WatchdVersion); err != nil {
+			return nil, nil, fmt.Errorf("start watchd: %w", err)
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown supervision %v", def.Supervision)
+	}
+
+	// Wait for the server to come up (bounded; a faulted server may never
+	// make it, and the client must still run to observe that).
+	upDeadline := k.Now().Add(r.Opts.ServerUpTimeout)
+	for k.Now().Before(upDeadline) {
+		if st, _, _ := mgr.QueryServiceStatus(def.Service.Name); st == scm.Running {
+			break
+		}
+		if !k.Step() {
+			break
+		}
+	}
+
+	// Run the client workload to completion or the run deadline.
+	_, report, err := def.SpawnClient(k)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spawn client: %w", err)
+	}
+	deadline := k.Now().Add(r.Opts.RunDeadline)
+	for !report.Done && k.Now().Before(deadline) {
+		if !k.Step() {
+			break
+		}
+	}
+
+	// Gather results.
+	res := &RunResult{
+		Completed:    report.Done,
+		GotResponse:  report.AnyResponse(),
+		Restarts:     countRestarts(k, log, def.Supervision),
+		ActivatedFns: injector.ActivatedCount(),
+		Injected:     injector.Injected(),
+	}
+	if spec != nil {
+		res.Fault = *spec
+		res.Activated = injector.Activated(spec.Function)
+	}
+	if report.Done {
+		res.ResponseSec = report.End.Sub(report.Start).Seconds()
+	}
+	res.Outcome = classify(report.AllSucceeded(), report.AnyRetried(), res.Restarts)
+	res.ServerCrash = anyTargetCrash(k, def)
+
+	// Workload termination.
+	mgr.Shutdown()
+	k.KillAll()
+	if pan := k.Panics(); len(pan) != 0 {
+		return nil, nil, fmt.Errorf("simulated code panicked: %s", strings.Join(pan, "; "))
+	}
+	return res, injector.ActivatedFunctions(), nil
+}
+
+// countRestarts reads the middleware's restart evidence, exactly the way
+// §3 describes the collector working: MSCS writes to the NT event log,
+// watchd to its own log file. Stand-alone services leave no restart
+// evidence by construction.
+func countRestarts(k *ntsim.Kernel, log *eventlog.Log, s workload.Supervision) int {
+	switch s {
+	case workload.MSCS:
+		return log.CountEvent(mscs.Source, mscs.EventResourceRestart)
+	case workload.Watchd:
+		data, ok := k.VFS().ReadFile(watchd.LogPath)
+		if !ok {
+			return 0
+		}
+		n := 0
+		for _, line := range strings.Split(string(data), "\r\n") {
+			if strings.Contains(line, ": restarted ") {
+				n++
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// anyTargetCrash reports whether any process matched by the target
+// selector exited abnormally during the run.
+func anyTargetCrash(k *ntsim.Kernel, def workload.Definition) bool {
+	for pid := ntsim.PID(1); ; pid++ {
+		p := k.Process(pid)
+		if p == nil {
+			return false
+		}
+		if !def.Target(k, pid, p.Image) {
+			continue
+		}
+		if p.Terminated() && p.ExitCode() != 0 && p.ExitCode() != ntsim.ExitTerminated {
+			return true
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"ntdts/internal/workload"
+)
+
+func faultFree(t *testing.T, def workload.Definition) *RunResult {
+	t.Helper()
+	r := NewRunner(def, RunnerOptions{})
+	res, err := r.Run(nil)
+	if err != nil {
+		t.Fatalf("%s/%s fault-free run: %v", def.Name, def.Supervision, err)
+	}
+	return res
+}
+
+func TestFaultFreeRunsAreNormalSuccess(t *testing.T) {
+	for _, s := range []workload.Supervision{workload.Standalone, workload.MSCS, workload.Watchd} {
+		for _, def := range workload.StandardSet(s) {
+			def := def
+			t.Run(def.Name+"/"+s.String(), func(t *testing.T) {
+				res := faultFree(t, def)
+				if !res.Completed {
+					t.Fatal("client did not finish")
+				}
+				if res.Outcome != NormalSuccess {
+					t.Fatalf("outcome %v, want normal success (restarts=%d)", res.Outcome, res.Restarts)
+				}
+				if res.Restarts != 0 {
+					t.Fatalf("%d spurious restarts", res.Restarts)
+				}
+				if res.ActivatedFns == 0 {
+					t.Fatal("no activated functions recorded")
+				}
+				t.Logf("activated=%d responseSec=%.2f", res.ActivatedFns, res.ResponseSec)
+			})
+		}
+	}
+}

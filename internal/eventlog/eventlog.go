@@ -1,0 +1,96 @@
+// Package eventlog simulates the Windows NT event log: an append-only,
+// timestamped record store with per-source filtering. The DTS data
+// collector reads it to detect MSCS-initiated service restarts, exactly as
+// the paper's tool does (§3: "Some middleware, such as Microsoft Cluster
+// Server, write output to the Windows NT event log").
+package eventlog
+
+import (
+	"fmt"
+
+	"ntdts/internal/vclock"
+)
+
+// Severity classifies a record.
+type Severity int
+
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+// String renders the severity the way Event Viewer does.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "Information"
+	case Warning:
+		return "Warning"
+	case Error:
+		return "Error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Record is one event-log entry.
+type Record struct {
+	At       vclock.Time
+	Source   string
+	Severity Severity
+	EventID  uint32
+	Message  string
+}
+
+// String renders a record as a log line.
+func (r Record) String() string {
+	return fmt.Sprintf("%s [%s] %s #%d: %s", r.At, r.Severity, r.Source, r.EventID, r.Message)
+}
+
+// Log is the system event log.
+type Log struct {
+	records []Record
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append adds a record.
+func (l *Log) Append(at vclock.Time, source string, sev Severity, eventID uint32, msg string) {
+	l.records = append(l.records, Record{
+		At: at, Source: source, Severity: sev, EventID: eventID, Message: msg,
+	})
+}
+
+// All returns every record in append order.
+func (l *Log) All() []Record {
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// BySource returns the records from one source, preserving order.
+func (l *Log) BySource(source string) []Record {
+	var out []Record
+	for _, r := range l.records {
+		if r.Source == source {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns the number of records.
+func (l *Log) Count() int { return len(l.records) }
+
+// CountEvent returns how many records a source logged with a given event id.
+func (l *Log) CountEvent(source string, eventID uint32) int {
+	n := 0
+	for _, r := range l.records {
+		if r.Source == source && r.EventID == eventID {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+func TestAppendAndQuery(t *testing.T) {
+	l := New()
+	if l.Count() != 0 {
+		t.Fatal("new log not empty")
+	}
+	l.Append(vclock.Time(time.Second), "ClusSvc", Warning, 1024, "restarted")
+	l.Append(vclock.Time(2*time.Second), "Service Control Manager", Error, 7031, "terminated")
+	l.Append(vclock.Time(3*time.Second), "ClusSvc", Warning, 1024, "restarted again")
+
+	if l.Count() != 3 {
+		t.Fatalf("count %d", l.Count())
+	}
+	if got := l.CountEvent("ClusSvc", 1024); got != 2 {
+		t.Fatalf("CountEvent = %d", got)
+	}
+	if got := l.CountEvent("ClusSvc", 9999); got != 0 {
+		t.Fatalf("CountEvent unknown id = %d", got)
+	}
+	clus := l.BySource("ClusSvc")
+	if len(clus) != 2 || clus[0].Message != "restarted" || clus[1].Message != "restarted again" {
+		t.Fatalf("BySource %v", clus)
+	}
+	all := l.All()
+	if len(all) != 3 || all[1].EventID != 7031 {
+		t.Fatalf("All %v", all)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	l := New()
+	l.Append(0, "src", Info, 1, "msg")
+	cp := l.All()
+	cp[0].Message = "tampered"
+	if l.All()[0].Message != "msg" {
+		t.Fatal("All aliased internal storage")
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if Info.String() != "Information" || Warning.String() != "Warning" || Error.String() != "Error" {
+		t.Fatal("severity names")
+	}
+	if !strings.Contains(Severity(42).String(), "42") {
+		t.Fatal("unknown severity")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{
+		At: vclock.Time(time.Second), Source: "ClusSvc",
+		Severity: Error, EventID: 1069, Message: "resource failed",
+	}
+	s := r.String()
+	for _, want := range []string{"1s", "ClusSvc", "Error", "1069", "resource failed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("record string %q missing %q", s, want)
+		}
+	}
+}

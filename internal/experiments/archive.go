@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ntdts/internal/core"
+)
+
+// Archive is the on-disk envelope for experiment results, written by
+// cmd/dts and rendered by cmd/dtsreport.
+type Archive struct {
+	Kind       string           `json:"kind"` // "set", "figure2", "figure5", "table1"
+	Set        *core.SetResult  `json:"set,omitempty"`
+	Experiment *core.Experiment `json:"experiment,omitempty"`
+	Figure5    *Figure5Result   `json:"figure5,omitempty"`
+	Table1     *Table1Result    `json:"table1,omitempty"`
+}
+
+// Save writes the archive as indented JSON.
+func (a *Archive) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// LoadArchive reads an archive and checks its shape.
+func LoadArchive(r io.Reader) (*Archive, error) {
+	var a Archive
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("decode archive: %w", err)
+	}
+	switch a.Kind {
+	case "set":
+		if a.Set == nil {
+			return nil, fmt.Errorf("archive kind %q missing payload", a.Kind)
+		}
+	case "figure2":
+		if a.Experiment == nil {
+			return nil, fmt.Errorf("archive kind %q missing payload", a.Kind)
+		}
+	case "figure5":
+		if a.Figure5 == nil {
+			return nil, fmt.Errorf("archive kind %q missing payload", a.Kind)
+		}
+	case "table1":
+		if a.Table1 == nil {
+			return nil, fmt.Errorf("archive kind %q missing payload", a.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("unknown archive kind %q", a.Kind)
+	}
+	return &a, nil
+}

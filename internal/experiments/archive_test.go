@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+)
+
+func sampleSet() *core.SetResult {
+	return &core.SetResult{
+		Workload: "IIS", Supervision: "watchd", WatchdVersion: 3,
+		ActivatedFns: 70, FaultFreeSec: 18.94,
+		Runs: []core.RunResult{
+			{
+				Fault:    inject.FaultSpec{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits},
+				Injected: true, Activated: true,
+				Outcome:  core.RestartRetrySuccess,
+				Restarts: 1, Completed: true, ResponseSec: 33.9,
+				ServerCrash: true, GotResponse: true,
+			},
+		},
+		SkippedFns: 480, SkippedFaults: 1500,
+	}
+}
+
+func TestArchiveRoundtripSet(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Archive{Kind: "set", Set: sampleSet()}
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != "set" || out.Set == nil {
+		t.Fatalf("archive %+v", out)
+	}
+	got := out.Set
+	if got.Workload != "IIS" || got.WatchdVersion != 3 || got.ActivatedFns != 70 {
+		t.Fatalf("set header %+v", got)
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("%d runs", len(got.Runs))
+	}
+	r := got.Runs[0]
+	if r.Fault.Function != "ReadFile" || r.Fault.Type != inject.FlipBits ||
+		r.Outcome != core.RestartRetrySuccess || !r.ServerCrash {
+		t.Fatalf("run %+v", r)
+	}
+}
+
+func TestArchiveRoundtripFigure5(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Archive{Kind: "figure5", Figure5: &Figure5Result{
+		Sets: map[int][]*core.SetResult{1: {sampleSet()}},
+	}}
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, ok := out.Figure5.Find(1, "IIS")
+	if !ok || set.FaultFreeSec != 18.94 {
+		t.Fatalf("figure5 payload %+v", out.Figure5)
+	}
+	if _, ok := out.Figure5.Find(2, "IIS"); ok {
+		t.Fatal("found a version that was never stored")
+	}
+}
+
+func TestLoadArchiveRejectsBadEnvelopes(t *testing.T) {
+	for _, text := range []string{
+		`{"kind":"set"}`,
+		`{"kind":"figure2"}`,
+		`{"kind":"figure5"}`,
+		`{"kind":"table1"}`,
+		`{"kind":"sideways","set":{}}`,
+		`{broken`,
+	} {
+		if _, err := LoadArchive(strings.NewReader(text)); err == nil {
+			t.Errorf("LoadArchive(%q) accepted", text)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/workload"
+)
+
+// TestSecondInvocationSimilarResults reproduces the paper's §4 aside: "only
+// the first invocation of each function was injected ... preliminary
+// experiments showed that [injecting further invocations] produced similar
+// results." We run the Apache2 campaign injecting the second invocation and
+// compare its outcome distribution to the first-invocation campaign.
+func TestSecondInvocationSimilarResults(t *testing.T) {
+	run := func(invocation int) core.Distribution {
+		c := &core.Campaign{
+			Runner:     core.NewRunner(workload.NewApache2(workload.Standalone), core.RunnerOptions{}),
+			Invocation: invocation,
+		}
+		set, err := c.Execute()
+		if err != nil {
+			t.Fatalf("invocation-%d campaign: %v", invocation, err)
+		}
+		return set.Distribution()
+	}
+	first := run(1)
+	second := run(2)
+
+	if second.Total == 0 {
+		t.Fatal("no faults fired on invocation 2")
+	}
+	// Not every function is called twice, so fewer faults fire.
+	if second.Total > first.Total {
+		t.Fatalf("invocation-2 fired %d faults, more than invocation-1's %d", second.Total, first.Total)
+	}
+
+	// "Similar results": the headline failure percentage stays in the
+	// same regime (within 10 percentage points).
+	f1 := first.Pct[core.Failure.String()]
+	f2 := second.Pct[core.Failure.String()]
+	if math.Abs(f1-f2) > 10 {
+		t.Fatalf("failure rates diverge: inv1 %.1f%% vs inv2 %.1f%%", f1, f2)
+	}
+	// And the dominant outcome class is the same.
+	top := func(d core.Distribution) string {
+		best, bestN := "", -1
+		for k, n := range d.Counts {
+			if n > bestN {
+				best, bestN = k, n
+			}
+		}
+		return best
+	}
+	if top(first) != top(second) {
+		t.Fatalf("dominant outcome changed: %q vs %q", top(first), top(second))
+	}
+	t.Logf("invocation 1: %d faults, %.1f%% failures; invocation 2: %d faults, %.1f%% failures",
+		first.Total, f1, second.Total, f2)
+}

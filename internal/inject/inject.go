@@ -1,0 +1,211 @@
+// Package inject implements the DTS fault-injection mechanism: interception
+// of KERNEL32 calls and corruption of call parameters (paper §3). The
+// injector sits on the kernel's system-call dispatch path — the simulation
+// analogue of the DLL-interposition shim the original tool used — and
+// applies exactly the paper's three corruption types to one parameter of
+// one invocation of one function per run.
+package inject
+
+import (
+	"fmt"
+
+	"ntdts/internal/ntsim"
+)
+
+// FaultType is one of the paper's three parameter corruptions.
+type FaultType int
+
+const (
+	// ZeroBits resets all bits of the parameter to zero.
+	ZeroBits FaultType = iota + 1
+	// OneBits sets all bits of the parameter to one.
+	OneBits
+	// FlipBits takes the one's complement of the parameter value.
+	FlipBits
+)
+
+// String names the fault type the way the paper does.
+func (t FaultType) String() string {
+	switch t {
+	case ZeroBits:
+		return "zero"
+	case OneBits:
+		return "ones"
+	case FlipBits:
+		return "flip"
+	default:
+		return fmt.Sprintf("FaultType(%d)", int(t))
+	}
+}
+
+// AllFaultTypes lists the paper's corruption set in its canonical order.
+func AllFaultTypes() []FaultType { return []FaultType{ZeroBits, OneBits, FlipBits} }
+
+// Apply corrupts a raw parameter value. NT parameters are 32-bit machine
+// words, so corruption operates on the low 32 bits.
+func (t FaultType) Apply(v uint64) uint64 {
+	switch t {
+	case ZeroBits:
+		return 0
+	case OneBits:
+		return 0xFFFFFFFF
+	case FlipBits:
+		return uint64(^uint32(v))
+	default:
+		return v
+	}
+}
+
+// FaultSpec identifies a single fault: which function, which parameter,
+// which invocation, which corruption.
+type FaultSpec struct {
+	Function   string    `json:"function"`
+	Param      int       `json:"param"`      // 0-based parameter index
+	Invocation int       `json:"invocation"` // 1-based; the paper injects the first
+	Type       FaultType `json:"type"`
+}
+
+// String renders the spec in fault-list file syntax.
+func (s FaultSpec) String() string {
+	return fmt.Sprintf("%s p%d i%d %s", s.Function, s.Param, s.Invocation, s.Type)
+}
+
+// TargetSelector decides whether a process belongs to the injection target.
+// The paper's tool targets one process of the workload (e.g. the Apache
+// management process but not its child, or vice versa).
+type TargetSelector func(k *ntsim.Kernel, pid ntsim.PID, image string) bool
+
+// ByImage targets every process running the named image.
+func ByImage(image string) TargetSelector {
+	return func(_ *ntsim.Kernel, _ ntsim.PID, img string) bool { return img == image }
+}
+
+// ParentProcessOf targets processes of the named image whose parent does
+// NOT run the same image — i.e. the first/management process of a
+// multi-process application (the paper's "Apache1").
+func ParentProcessOf(image string) TargetSelector {
+	return func(k *ntsim.Kernel, pid ntsim.PID, img string) bool {
+		if img != image {
+			return false
+		}
+		p := k.Process(pid)
+		if p == nil {
+			return false
+		}
+		parent := k.Process(p.Parent)
+		return parent == nil || parent.Image != image
+	}
+}
+
+// ChildProcessOf targets processes of the named image whose parent runs the
+// same image — the spawned worker (the paper's "Apache2").
+func ChildProcessOf(image string) TargetSelector {
+	return func(k *ntsim.Kernel, pid ntsim.PID, img string) bool {
+		if img != image {
+			return false
+		}
+		p := k.Process(pid)
+		if p == nil {
+			return false
+		}
+		parent := k.Process(p.Parent)
+		return parent != nil && parent.Image == image
+	}
+}
+
+// Event records one injection occurrence for the run trace.
+type Event struct {
+	PID      ntsim.PID
+	Function string
+	Param    int
+	Before   uint64
+	After    uint64
+}
+
+// Injector intercepts system calls of target processes, recording function
+// activation and applying at most one fault per run.
+type Injector struct {
+	k      *ntsim.Kernel
+	target TargetSelector
+	spec   *FaultSpec
+
+	counts    map[string]int
+	activated map[string]bool
+	injected  bool
+	events    []Event
+}
+
+var _ ntsim.SyscallInterceptor = (*Injector)(nil)
+
+// New creates an injector for the given kernel and target. A nil spec makes
+// the injector a pure observer (activation scan).
+func New(k *ntsim.Kernel, target TargetSelector, spec *FaultSpec) *Injector {
+	if target == nil {
+		panic("inject: nil target selector")
+	}
+	return &Injector{
+		k:         k,
+		target:    target,
+		spec:      spec,
+		counts:    make(map[string]int),
+		activated: make(map[string]bool),
+	}
+}
+
+// BeforeSyscall implements ntsim.SyscallInterceptor.
+func (in *Injector) BeforeSyscall(pid ntsim.PID, image, fn string, raw []uint64) {
+	if !in.target(in.k, pid, image) {
+		return
+	}
+	in.counts[fn]++
+	in.activated[fn] = true
+	if in.spec == nil || in.injected {
+		return
+	}
+	s := in.spec
+	if fn != s.Function || in.counts[fn] != s.Invocation {
+		return
+	}
+	if s.Param < 0 || s.Param >= len(raw) {
+		// The catalog over-approximated this function's arity; the
+		// fault cannot land. Count it as not injected so the
+		// controller can classify the run as non-activated.
+		return
+	}
+	before := raw[s.Param]
+	raw[s.Param] = s.Type.Apply(before)
+	in.injected = true
+	in.events = append(in.events, Event{
+		PID: pid, Function: fn, Param: s.Param,
+		Before: before, After: raw[s.Param],
+	})
+}
+
+// Injected reports whether the configured fault actually fired.
+func (in *Injector) Injected() bool { return in.injected }
+
+// Activated reports whether the target called fn at least once.
+func (in *Injector) Activated(fn string) bool { return in.activated[fn] }
+
+// ActivatedFunctions returns the set of functions the target called.
+func (in *Injector) ActivatedFunctions() map[string]bool {
+	out := make(map[string]bool, len(in.activated))
+	for fn := range in.activated {
+		out[fn] = true
+	}
+	return out
+}
+
+// ActivatedCount reports how many distinct functions the target called
+// (the paper's Table 1 metric).
+func (in *Injector) ActivatedCount() int { return len(in.activated) }
+
+// CallCount reports how many times the target called fn.
+func (in *Injector) CallCount(fn string) int { return in.counts[fn] }
+
+// Events returns the injection trace (at most one event per run).
+func (in *Injector) Events() []Event {
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}

@@ -1,0 +1,188 @@
+// Package mscs simulates the Microsoft Cluster Server generic service
+// resource monitor — the default, unspecialized monitor the paper uses
+// ("only the generic service resource monitor is used", §4.1). It brings
+// the service resource online through the SCM, polls its status
+// (LooksAlive/IsAlive), and restarts it on failure, logging restart actions
+// to the NT event log (which is how the DTS data collector detects
+// MSCS-initiated restarts).
+//
+// The generic monitor's default limits are its blind spots: an online
+// attempt must reach RUNNING within the pending timeout, and a failure
+// incident is abandoned after a bounded number of restart attempts — which
+// is exactly what loses against services whose faulted starts hold the SCM
+// database locked for longer (Apache's 30 s wait hint, SQL Server's 20 s).
+package mscs
+
+import (
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/scm"
+)
+
+// Source is the event-log source name MSCS logs under.
+const Source = "ClusSvc"
+
+// EventResourceRestart is logged when the monitor restarts the service.
+const EventResourceRestart uint32 = 1024
+
+// EventResourceFailed is logged when the monitor gives up on the resource.
+const EventResourceFailed uint32 = 1069 // matches the real cluster event id
+
+// EventGroupFailover is logged when the group moves to the standby.
+const EventGroupFailover uint32 = 1204
+
+// Params are the generic resource monitor's tunables (defaults mirror the
+// behaviour described in §4).
+type Params struct {
+	// LooksAlivePoll is the steady-state status polling interval.
+	LooksAlivePoll time.Duration
+	// OnlineTimeout is how long an online attempt may stay pending.
+	OnlineTimeout time.Duration
+	// OnlinePoll is the status polling interval during online waits.
+	OnlinePoll time.Duration
+	// RetryWait is the pause between restart attempts in an incident.
+	RetryWait time.Duration
+	// MaxAttempts is the per-incident restart attempt budget.
+	MaxAttempts int
+	// FailoverTo, when non-empty, names a standby service the monitor
+	// brings online after the primary resource fails permanently — the
+	// cluster failover the paper's testbed could not exercise ("a
+	// distributed design allows for testing of distributed systems,
+	// especially if failover may occur", §3). The standby must already be
+	// registered with the SCM.
+	FailoverTo string
+}
+
+// DefaultParams returns the generic monitor defaults.
+func DefaultParams() Params {
+	return Params{
+		LooksAlivePoll: 5 * time.Second,
+		OnlineTimeout:  22 * time.Second,
+		OnlinePoll:     1 * time.Second,
+		RetryWait:      2 * time.Second,
+		MaxAttempts:    2,
+	}
+}
+
+// Image is the resource monitor's process image name.
+const Image = "resrcmon.exe"
+
+// Start registers and spawns the resource monitor for a service. It owns
+// the initial online of the resource.
+func Start(k *ntsim.Kernel, mgr *scm.Manager, log *eventlog.Log, serviceName string, params Params) (*ntsim.Process, error) {
+	if params.MaxAttempts == 0 {
+		params = DefaultParams()
+	}
+	k.RegisterImage(Image, func(p *ntsim.Process) uint32 {
+		return monitor(p, mgr, log, serviceName, params)
+	})
+	return k.Spawn(Image, Image+" "+serviceName, 0)
+}
+
+// monitor is the resource monitor main loop.
+func monitor(p *ntsim.Process, mgr *scm.Manager, log *eventlog.Log, name string, params Params) uint32 {
+	k := p.Kernel()
+
+	// online performs one incident: up to MaxAttempts starts, each
+	// required to reach RUNNING within OnlineTimeout. It reports whether
+	// the resource came online and whether any restart was performed.
+	var online func(isRestart bool) bool
+	online = func(isRestart bool) bool {
+		for attempt := 1; attempt <= params.MaxAttempts; attempt++ {
+			err := mgr.StartService(name)
+			switch err {
+			case nil:
+				// Started: wait for RUNNING.
+				if waitRunning(p, mgr, name, params) {
+					if isRestart || attempt > 1 {
+						log.Append(k.Now(), Source, eventlog.Warning,
+							EventResourceRestart,
+							"Cluster resource '"+name+"' was restarted.")
+					}
+					return true
+				}
+			case ntsim.ErrServiceAlreadyRunning:
+				return true
+			case ntsim.ErrServiceDatabaseLocked:
+				// The SCM is holding the database for a pending
+				// start; this attempt is spent.
+			default:
+				// Unexpected SCM failure; attempt spent.
+			}
+			p.SleepFor(params.RetryWait)
+		}
+		log.Append(k.Now(), Source, eventlog.Error, EventResourceFailed,
+			"Cluster resource '"+name+"' failed.")
+		// Last resort: move the group to the standby resource, the way a
+		// second cluster node would take over. The failed group is
+		// offlined first: the standby cannot start while the dead
+		// primary still holds the SCM database in a pending state.
+		if params.FailoverTo != "" && params.FailoverTo != name {
+			log.Append(k.Now(), Source, eventlog.Warning, EventGroupFailover,
+				"Cluster group failing over from '"+name+"' to '"+params.FailoverTo+"'.")
+			waitOffline(p, mgr, name, 2*params.OnlineTimeout)
+			name = params.FailoverTo
+			params.FailoverTo = ""
+			return online(true)
+		}
+		return false
+	}
+
+	if !online(false) {
+		return 1 // resource failed: monitor exits, no further recovery
+	}
+
+	// Steady state: LooksAlive polling.
+	for {
+		p.SleepFor(params.LooksAlivePoll)
+		st, _, err := mgr.QueryServiceStatus(name)
+		if err != nil {
+			return 1
+		}
+		switch st {
+		case scm.Running, scm.StartPending:
+			continue
+		case scm.Stopped, scm.StopPending:
+			if !online(true) {
+				return 1
+			}
+		}
+	}
+}
+
+// waitRunning polls the service status until RUNNING, giving up when the
+// online timeout elapses or the service lands in STOPPED.
+func waitRunning(p *ntsim.Process, mgr *scm.Manager, name string, params Params) bool {
+	deadline := p.Kernel().Now().Add(params.OnlineTimeout)
+	for {
+		st, _, err := mgr.QueryServiceStatus(name)
+		if err != nil {
+			return false
+		}
+		switch st {
+		case scm.Running:
+			return true
+		case scm.Stopped:
+			return false
+		}
+		if !p.Kernel().Now().Before(deadline) {
+			return false
+		}
+		p.SleepFor(params.OnlinePoll)
+	}
+}
+
+// waitOffline polls until the failed resource reaches STOPPED (its pending
+// wait hint expiring and unlocking the SCM database), bounded by limit.
+func waitOffline(p *ntsim.Process, mgr *scm.Manager, name string, limit time.Duration) {
+	deadline := p.Kernel().Now().Add(limit)
+	for p.Kernel().Now().Before(deadline) {
+		st, _, err := mgr.QueryServiceStatus(name)
+		if err != nil || st == scm.Stopped {
+			return
+		}
+		p.SleepFor(time.Second)
+	}
+}

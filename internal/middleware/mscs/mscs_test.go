@@ -1,0 +1,237 @@
+package mscs
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/scm"
+)
+
+type rig struct {
+	k   *ntsim.Kernel
+	mgr *scm.Manager
+	log *eventlog.Log
+}
+
+// newRig registers a toy service: it reports RUNNING after reportAfter
+// (0 = never) and the first incarnation crashes at crashAt (0 = never).
+func newRig(t *testing.T, reportAfter, crashAt, hint time.Duration) *rig {
+	t.Helper()
+	k := ntsim.NewKernel()
+	log := eventlog.New()
+	mgr := scm.New(k, log)
+	incarnation := 0
+	k.RegisterImage("toy.exe", func(p *ntsim.Process) uint32 {
+		api := win32.New(p)
+		incarnation++
+		first := incarnation == 1
+		elapsed := time.Duration(0)
+		advance := func(until time.Duration) {
+			if until > elapsed {
+				api.Sleep(uint32((until - elapsed) / time.Millisecond))
+				elapsed = until
+			}
+		}
+		if first && crashAt > 0 && (reportAfter == 0 || crashAt <= reportAfter) {
+			advance(crashAt)
+			p.RaiseAccessViolation()
+		}
+		if reportAfter > 0 {
+			advance(reportAfter)
+			scm.ReportRunning(k, "toy")
+		}
+		if first && crashAt > 0 {
+			advance(crashAt)
+			p.RaiseAccessViolation()
+		}
+		for {
+			api.Sleep(3_600_000)
+		}
+	})
+	if err := mgr.CreateService(scm.Config{Name: "toy", Image: "toy.exe", WaitHint: hint}); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, mgr: mgr, log: log}
+}
+
+func (r *rig) monitor(t *testing.T) {
+	t.Helper()
+	if _, err := Start(r.k, r.mgr, r.log, "toy", DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) run(t *testing.T, d time.Duration) {
+	t.Helper()
+	r.k.RunFor(d)
+	if pan := r.k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+}
+
+func TestBringsResourceOnline(t *testing.T) {
+	r := newRig(t, 200*time.Millisecond, 0, 10*time.Second)
+	r.monitor(t)
+	r.run(t, 10*time.Second)
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("state %v, want RUNNING", st)
+	}
+	if n := r.log.CountEvent(Source, EventResourceRestart); n != 0 {
+		t.Fatalf("%d spurious restart events", n)
+	}
+}
+
+func TestRestartsRunningDeath(t *testing.T) {
+	// The service dies while RUNNING: the LooksAlive poll notices the
+	// reaped service and the restart succeeds.
+	r := newRig(t, 100*time.Millisecond, 3*time.Second, 10*time.Second)
+	r.monitor(t)
+	r.run(t, 30*time.Second)
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("state %v, want RUNNING after restart", st)
+	}
+	if n := r.log.CountEvent(Source, EventResourceRestart); n != 1 {
+		t.Fatalf("%d restart events, want 1", n)
+	}
+}
+
+func TestGivesUpOnLongPendingLock(t *testing.T) {
+	// Death before RUNNING with a 30s wait hint: the SCM database stays
+	// locked past the monitor's online patience and attempt budget, so
+	// the resource fails permanently (why MSCS loses to watchd3 on
+	// services with long start hints).
+	r := newRig(t, 2*time.Second, 500*time.Millisecond, 30*time.Second)
+	r.monitor(t)
+	r.run(t, 90*time.Second)
+	if n := r.log.CountEvent(Source, EventResourceFailed); n != 1 {
+		t.Fatalf("%d resource-failed events, want 1", n)
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st == scm.Running {
+		t.Fatal("service running; the resource was expected to fail")
+	}
+}
+
+func TestRecoversShortPendingLock(t *testing.T) {
+	// The same pre-RUNNING death with a 4s hint (IIS's profile): the
+	// lock expires within the monitor's patience and attempt 2 restarts
+	// the service.
+	r := newRig(t, 2*time.Second, 500*time.Millisecond, 4*time.Second)
+	r.monitor(t)
+	r.run(t, 60*time.Second)
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("state %v, want RUNNING", st)
+	}
+	if n := r.log.CountEvent(Source, EventResourceRestart); n != 1 {
+		t.Fatalf("%d restart events, want 1", n)
+	}
+}
+
+func TestRestartLogsGoToEventLog(t *testing.T) {
+	// The DTS collector depends on restarts being visible in the NT
+	// event log under the ClusSvc source (§3).
+	r := newRig(t, 100*time.Millisecond, 2*time.Second, 10*time.Second)
+	r.monitor(t)
+	r.run(t, 30*time.Second)
+	recs := r.log.BySource(Source)
+	if len(recs) == 0 {
+		t.Fatal("no ClusSvc event-log records")
+	}
+	found := false
+	for _, rec := range recs {
+		if rec.EventID == EventResourceRestart {
+			found = true
+			if rec.Severity != eventlog.Warning {
+				t.Errorf("restart severity %v", rec.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no restart record in the event log")
+	}
+}
+
+func TestDefaultParamsApplied(t *testing.T) {
+	p := DefaultParams()
+	if p.MaxAttempts != 2 || p.OnlineTimeout != 22*time.Second {
+		t.Fatalf("unexpected defaults %+v", p)
+	}
+	// Start with zero params must fall back to defaults (smoke).
+	r := newRig(t, 100*time.Millisecond, 0, 10*time.Second)
+	if _, err := Start(r.k, r.mgr, r.log, "toy", Params{}); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 5*time.Second)
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("state %v", st)
+	}
+}
+
+// TestFailoverToStandby exercises the cluster failover path the paper's
+// single-node testbed could not: the primary's start stays blocked behind
+// the SCM lock until the monitor's budget runs out, and the group then
+// moves to the standby service.
+func TestFailoverToStandby(t *testing.T) {
+	k := ntsim.NewKernel()
+	log := eventlog.New()
+	mgr := scm.New(k, log)
+	// Primary: crashes before reporting RUNNING, 30s wait hint — the
+	// configuration MSCS abandons.
+	k.RegisterImage("primary.exe", func(p *ntsim.Process) uint32 {
+		win32.New(p).Sleep(300)
+		p.RaiseAccessViolation()
+		return 0
+	})
+	// Standby: healthy.
+	k.RegisterImage("standby.exe", func(p *ntsim.Process) uint32 {
+		api := win32.New(p)
+		api.Sleep(200)
+		scm.ReportRunning(k, "toy-b")
+		for {
+			api.Sleep(3_600_000)
+		}
+	})
+	if err := mgr.CreateService(scm.Config{Name: "toy", Image: "primary.exe", WaitHint: 30 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.CreateService(scm.Config{Name: "toy-b", Image: "standby.exe", WaitHint: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.FailoverTo = "toy-b"
+	if _, err := Start(k, mgr, log, "toy", params); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(90 * time.Second)
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	if n := log.CountEvent(Source, EventGroupFailover); n != 1 {
+		t.Fatalf("%d failover events, want 1", n)
+	}
+	st, _, _ := mgr.QueryServiceStatus("toy-b")
+	if st != scm.Running {
+		t.Fatalf("standby %v, want RUNNING", st)
+	}
+	// The standby online is recorded as a restart (the collector's
+	// restart evidence still works across the failover).
+	if n := log.CountEvent(Source, EventResourceRestart); n == 0 {
+		t.Fatal("failover not visible as a restart")
+	}
+	// And the monitor keeps watching the standby: kill it, expect another
+	// restart.
+	_, pid, _ := mgr.QueryServiceStatus("toy-b")
+	k.Process(pid).Terminate(ntsim.ExitAccessViolation)
+	k.RunFor(30 * time.Second)
+	st, _, _ = mgr.QueryServiceStatus("toy-b")
+	if st != scm.Running {
+		t.Fatalf("standby %v after death, want restarted RUNNING", st)
+	}
+}

@@ -1,0 +1,266 @@
+// Package watchd simulates the watchd component of Bell Labs NT-SwiFT in
+// the three iterations the paper develops (§4.3):
+//
+//   - Watchd1 starts the monitored service with startService() and only
+//     later binds to its process with getServiceInfo() (a status query
+//     followed by OpenProcess). A service that dies inside that window
+//     leaves watchd with no handle: the service is never monitored again.
+//   - Watchd2 merges the two steps, shrinking — but not closing — the
+//     window, and reacts to a death instantly; reacting faster than the
+//     SCM's own bookkeeping exposes it to a second race (StartService
+//     reports ERROR_SERVICE_ALREADY_RUNNING for a freshly dead service the
+//     SCM has not reaped yet), and its restart retries are bounded, so a
+//     start blocked behind the SCM's locked database is abandoned.
+//   - Watchd3 validates the process handle before trusting it, confirms
+//     the service state with the SCM, and retries indefinitely.
+//
+// watchd detects failures by waiting on the service process handle
+// (instant death detection — the reason it beats MSCS's polling), and logs
+// every action to its own log file, which is where the DTS data collector
+// looks for watchd-initiated restarts (§3).
+package watchd
+
+import (
+	"time"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/scm"
+)
+
+// Version selects the watchd iteration.
+type Version int
+
+const (
+	V1 Version = 1
+	V2 Version = 2
+	V3 Version = 3
+)
+
+// String names the version the way the paper does.
+func (v Version) String() string {
+	switch v {
+	case V1:
+		return "Watchd1"
+	case V2:
+		return "Watchd2"
+	case V3:
+		return "Watchd3"
+	default:
+		return "Watchd?"
+	}
+}
+
+// LogPath is watchd's own log file (the DTS restart-detection source).
+const LogPath = `C:\watchd.log`
+
+// Image is the watchd process image name.
+const Image = "watchd.exe"
+
+const (
+	// v1PollDelay is Watchd1's gap between startService and
+	// getServiceInfo — the fatal window.
+	v1PollDelay = 1 * time.Second
+	// v2BindDelay is the residual window inside Watchd2's merged
+	// startService (one SCM round-trip).
+	v2BindDelay = 200 * time.Millisecond
+	// v2ReactDelay is Watchd2's log write before it reacts to a death.
+	v2ReactDelay = 300 * time.Millisecond
+	// v2MaxRetries bounds Watchd2's restart attempts per incident.
+	v2MaxRetries = 4
+	// retryWait spaces restart attempts.
+	retryWait = 2 * time.Second
+)
+
+// Start registers and spawns a watchd monitor owning the initial start of
+// the named service.
+func Start(k *ntsim.Kernel, mgr *scm.Manager, serviceName string, v Version) (*ntsim.Process, error) {
+	k.RegisterImage(Image, func(p *ntsim.Process) uint32 {
+		return monitor(p, mgr, serviceName, v)
+	})
+	return k.Spawn(Image, Image+" "+serviceName, 0)
+}
+
+// wlog appends a timestamped line to the watchd log through the
+// injected-API surface (watchd is a real NT program; it is simply not the
+// injection target).
+func wlog(api *win32.API, line string) {
+	line = "[" + itoa(api.GetTickCount()) + "ms] " + line
+	h := api.CreateFileA(LogPath, win32.GenericRead|win32.GenericWrite, 0, win32.OpenAlways, 0)
+	if h == win32.InvalidHandle {
+		return
+	}
+	api.SetFilePointer(h, 0, win32.FileEnd)
+	data := []byte(line + "\r\n")
+	var n uint32
+	api.WriteFile(h, data, uint32(len(data)), &n)
+	api.CloseHandle(h)
+}
+
+// monitor is the watchd main loop for one service.
+func monitor(p *ntsim.Process, mgr *scm.Manager, name string, v Version) uint32 {
+	api := win32.New(p)
+	wlog(api, v.String()+": monitoring "+name)
+
+	// Every successful service start after the first is a restart —
+	// whether it happened because the monitor saw a death or because a
+	// start attempt inside startService had to be repeated.
+	loggedStarts := 0
+	noteStarts := func() {
+		for n := mgr.StartCount(name); loggedStarts < n; loggedStarts++ {
+			if loggedStarts > 0 {
+				wlog(api, v.String()+": restarted "+name)
+			}
+		}
+	}
+
+	isRestart := false
+	for {
+		h, ok := startService(p, api, mgr, name, v, isRestart)
+		noteStarts()
+		if !ok {
+			wlog(api, v.String()+": cannot obtain service info for "+name+"; monitoring disabled")
+			park(p)
+		}
+		waitDeath(p, api, h, v)
+		api.CloseHandle(h)
+		wlog(api, v.String()+": detected failure of "+name)
+		if v == V2 {
+			p.SleepFor(v2ReactDelay)
+		}
+		isRestart = true
+	}
+}
+
+// waitDeath blocks until the monitored process dies. Watchd1 polls the
+// handle once a second (its original design); the later versions block on
+// the handle for instant detection — one of the §4.3 improvements, but
+// also what exposes Watchd2 to reacting faster than the SCM's bookkeeping.
+func waitDeath(p *ntsim.Process, api *win32.API, h win32.Handle, v Version) {
+	if v == V1 {
+		for api.WaitForSingleObject(h, 0) != ntsim.WaitObject0 {
+			p.SleepFor(1 * time.Second)
+		}
+		return
+	}
+	api.WaitForSingleObject(h, win32.Infinite)
+}
+
+// startService starts (or restarts) the service and binds a process
+// handle, with the version-specific defects.
+func startService(p *ntsim.Process, api *win32.API, mgr *scm.Manager, name string, v Version, isRestart bool) (win32.Handle, bool) {
+	switch v {
+	case V1:
+		return startV1(p, api, mgr, name)
+	case V2:
+		return startV2(p, api, mgr, name, isRestart)
+	default:
+		return startV3(p, api, mgr, name)
+	}
+}
+
+// startV1: patient start, then a slow, separate getServiceInfo.
+func startV1(p *ntsim.Process, api *win32.API, mgr *scm.Manager, name string) (win32.Handle, bool) {
+	for {
+		err := mgr.StartService(name)
+		if err == nil || err == ntsim.ErrServiceAlreadyRunning {
+			break
+		}
+		p.SleepFor(1 * time.Second)
+	}
+	// getServiceInfo comes only after the poll delay — the window.
+	p.SleepFor(v1PollDelay)
+	_, pid, err := mgr.QueryServiceStatus(name)
+	if err != nil || pid == 0 {
+		return 0, false
+	}
+	h := api.OpenProcess(0, false, pid)
+	if h == 0 {
+		return 0, false // the process died inside the window
+	}
+	return h, true
+}
+
+// startV2: merged start+bind with a bounded retry budget and the
+// SCM-bookkeeping race on restarts.
+func startV2(p *ntsim.Process, api *win32.API, mgr *scm.Manager, name string, isRestart bool) (win32.Handle, bool) {
+	for attempt := 0; attempt < v2MaxRetries; attempt++ {
+		err := mgr.StartService(name)
+		if err == nil || err == ntsim.ErrServiceAlreadyRunning {
+			// ERROR_SERVICE_ALREADY_RUNNING is trusted: if the SCM
+			// has not reaped a freshly dead process yet, the PID
+			// below is a corpse and the bind fails — Watchd2 then
+			// wrongly concludes the service cannot be monitored.
+			p.SleepFor(v2BindDelay) // SCM round-trip: the residual window
+			_, pid, qerr := mgr.QueryServiceStatus(name)
+			if qerr != nil || pid == 0 {
+				return 0, false
+			}
+			h := api.OpenProcess(0, false, pid)
+			if h == 0 {
+				return 0, false
+			}
+			return h, true
+		}
+		// ERROR_SERVICE_DATABASE_LOCKED or similar: bounded retries.
+		p.SleepFor(retryWait)
+	}
+	return 0, false
+}
+
+// startV3: patient start, handle validation, and SCM state confirmation.
+func startV3(p *ntsim.Process, api *win32.API, mgr *scm.Manager, name string) (win32.Handle, bool) {
+	for {
+		err := mgr.StartService(name)
+		if err != nil && err != ntsim.ErrServiceAlreadyRunning {
+			p.SleepFor(retryWait)
+			continue
+		}
+		p.SleepFor(v2BindDelay)
+		st, pid, qerr := mgr.QueryServiceStatus(name)
+		if qerr != nil {
+			return 0, false // service deleted: nothing to monitor
+		}
+		if pid == 0 {
+			p.SleepFor(retryWait)
+			continue
+		}
+		h := api.OpenProcess(0, false, pid)
+		if h == 0 {
+			// Invalid handle: the paper's fix — try the whole
+			// sequence again rather than trusting a corpse.
+			p.SleepFor(retryWait)
+			continue
+		}
+		// Confirm with the SCM that the service is really coming up.
+		if st != scm.Running && st != scm.StartPending {
+			api.CloseHandle(h)
+			p.SleepFor(retryWait)
+			continue
+		}
+		return h, true
+	}
+}
+
+// park blocks the watchd process forever (it keeps running but can no
+// longer act — the observable consequence of the V1/V2 defects).
+func park(p *ntsim.Process) {
+	for {
+		p.SleepFor(time.Hour)
+	}
+}
+
+// itoa renders a uint32 without fmt (cheap inside the simulation).
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

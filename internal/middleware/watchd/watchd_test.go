@@ -1,0 +1,241 @@
+package watchd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/scm"
+)
+
+// svcSpec controls the behaviour of the toy service under monitoring.
+type svcSpec struct {
+	// reportAfter is when the service reports RUNNING (0 = never).
+	reportAfter time.Duration
+	// crashAt kills the first incarnation at this time (0 = never).
+	crashAt time.Duration
+}
+
+// rig wires a kernel, SCM, a toy service and a watchd version together.
+type rig struct {
+	k   *ntsim.Kernel
+	mgr *scm.Manager
+}
+
+func newRig(t *testing.T, spec svcSpec, hint time.Duration) *rig {
+	t.Helper()
+	k := ntsim.NewKernel()
+	mgr := scm.New(k, eventlog.New())
+	incarnation := 0
+	k.RegisterImage("toy.exe", func(p *ntsim.Process) uint32 {
+		api := win32.New(p)
+		incarnation++
+		first := incarnation == 1
+		elapsed := time.Duration(0)
+		advance := func(until time.Duration) {
+			if until > elapsed {
+				api.Sleep(uint32((until - elapsed) / time.Millisecond))
+				elapsed = until
+			}
+		}
+		if first && spec.crashAt > 0 && (spec.reportAfter == 0 || spec.crashAt <= spec.reportAfter) {
+			advance(spec.crashAt)
+			p.RaiseAccessViolation()
+		}
+		if spec.reportAfter > 0 {
+			advance(spec.reportAfter)
+			scm.ReportRunning(k, "toy")
+		}
+		if first && spec.crashAt > 0 {
+			advance(spec.crashAt)
+			p.RaiseAccessViolation()
+		}
+		for {
+			api.Sleep(3_600_000)
+		}
+	})
+	if err := mgr.CreateService(scm.Config{Name: "toy", Image: "toy.exe", WaitHint: hint}); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, mgr: mgr}
+}
+
+func (r *rig) start(t *testing.T, v Version) {
+	t.Helper()
+	if _, err := Start(r.k, r.mgr, "toy", v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) log(t *testing.T) string {
+	t.Helper()
+	data, _ := r.k.VFS().ReadFile(LogPath)
+	return string(data)
+}
+
+func (r *rig) run(t *testing.T, d time.Duration) {
+	t.Helper()
+	r.k.RunFor(d)
+	if pan := r.k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+}
+
+func restarts(log string) int {
+	return strings.Count(log, ": restarted toy")
+}
+
+func TestHealthyServiceIsMonitoredWithoutRestarts(t *testing.T) {
+	for _, v := range []Version{V1, V2, V3} {
+		r := newRig(t, svcSpec{reportAfter: 200 * time.Millisecond}, 10*time.Second)
+		r.start(t, v)
+		r.run(t, 30*time.Second)
+		st, _, _ := r.mgr.QueryServiceStatus("toy")
+		if st != scm.Running {
+			t.Errorf("%v: service %v, want RUNNING", v, st)
+		}
+		if n := restarts(r.log(t)); n != 0 {
+			t.Errorf("%v: %d spurious restarts", v, n)
+		}
+	}
+}
+
+func TestV1LosesHandleOnEarlyDeath(t *testing.T) {
+	// Death inside Watchd1's 1-second startService->getServiceInfo
+	// window while RUNNING: the SCM reaps the corpse, OpenProcess fails,
+	// and the service is never monitored again (§4.3).
+	r := newRig(t, svcSpec{reportAfter: 100 * time.Millisecond, crashAt: 300 * time.Millisecond}, 10*time.Second)
+	r.start(t, V1)
+	r.run(t, 60*time.Second)
+	log := r.log(t)
+	if !strings.Contains(log, "cannot obtain service info") {
+		t.Fatalf("Watchd1 did not hit the handle race:\n%s", log)
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st == scm.Running {
+		t.Fatal("service recovered despite the lost handle")
+	}
+}
+
+func TestV2SurvivesEarlyDeathOutsideItsWindow(t *testing.T) {
+	// The same fault under Watchd2: the merged start binds the handle
+	// within ~200ms, the death at 300ms is detected instantly, and a
+	// restart succeeds (RUNNING death -> no SCM lock).
+	r := newRig(t, svcSpec{reportAfter: 100 * time.Millisecond, crashAt: 900 * time.Millisecond}, 10*time.Second)
+	r.start(t, V2)
+	r.run(t, 60*time.Second)
+	log := r.log(t)
+	if restarts(log) == 0 {
+		t.Fatalf("Watchd2 did not restart the service:\n%s", log)
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("service %v after Watchd2 restart, want RUNNING", st)
+	}
+}
+
+func TestV2GivesUpOnLockedDatabase(t *testing.T) {
+	// Death before RUNNING holds the SCM database locked for the wait
+	// hint (20s) — longer than Watchd2's bounded retry budget, so
+	// Watchd2 abandons the service (§4.3: why Watchd2 did not help SQL).
+	r := newRig(t, svcSpec{reportAfter: 2 * time.Second, crashAt: 500 * time.Millisecond}, 20*time.Second)
+	r.start(t, V2)
+	r.run(t, 60*time.Second)
+	log := r.log(t)
+	if !strings.Contains(log, "monitoring disabled") {
+		t.Fatalf("Watchd2 should give up on the locked database:\n%s", log)
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st == scm.Running {
+		t.Fatal("service running; Watchd2 was expected to abandon it")
+	}
+}
+
+func TestV3RecoversLockedDatabase(t *testing.T) {
+	// The same pre-RUNNING death under Watchd3: patient retries outlast
+	// the wait hint and the restart eventually succeeds (§4.3's fix).
+	r := newRig(t, svcSpec{reportAfter: 2 * time.Second, crashAt: 500 * time.Millisecond}, 20*time.Second)
+	r.start(t, V3)
+	r.run(t, 90*time.Second)
+	log := r.log(t)
+	if restarts(log) == 0 {
+		t.Fatalf("Watchd3 did not restart the service:\n%s", log)
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("service %v, want RUNNING after Watchd3 recovery", st)
+	}
+}
+
+func TestV3RecoversVeryEarlyDeath(t *testing.T) {
+	// Death before even Watchd2's bind window: Watchd3's validation loop
+	// retries until a clean incarnation comes up.
+	r := newRig(t, svcSpec{reportAfter: 2 * time.Second, crashAt: 50 * time.Millisecond}, 5*time.Second)
+	r.start(t, V3)
+	r.run(t, 60*time.Second)
+	if restarts(r.log(t)) == 0 {
+		t.Fatalf("Watchd3 did not recover:\n%s", r.log(t))
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("service %v, want RUNNING", st)
+	}
+}
+
+func TestVersionStrings(t *testing.T) {
+	if V1.String() != "Watchd1" || V2.String() != "Watchd2" || V3.String() != "Watchd3" {
+		t.Fatal("version names")
+	}
+	if Version(9).String() != "Watchd?" {
+		t.Fatal("unknown version name")
+	}
+}
+
+func TestWatchdLogIsTimestamped(t *testing.T) {
+	r := newRig(t, svcSpec{reportAfter: 100 * time.Millisecond}, 10*time.Second)
+	r.start(t, V3)
+	r.run(t, 5*time.Second)
+	log := r.log(t)
+	if !strings.Contains(log, "ms] Watchd3: monitoring toy") {
+		t.Fatalf("log missing timestamped monitoring line:\n%s", log)
+	}
+}
+
+func TestV2AlreadyRunningRace(t *testing.T) {
+	// The second Watchd2 defect: it reacts to a death faster than the
+	// SCM's 500ms bookkeeping tick. StartService then reports
+	// ERROR_SERVICE_ALREADY_RUNNING for a freshly dead service, Watchd2
+	// trusts it, binds to the corpse's PID, fails, and gives up.
+	// Timing: the death lands at 2.05s, Watchd2 reacts at ~2.35s (after
+	// its 300ms log write), and the SCM tick only reaps at 2.5s — the
+	// reaction beats the bookkeeping.
+	r := newRig(t, svcSpec{reportAfter: 100 * time.Millisecond, crashAt: 2050 * time.Millisecond}, 10*time.Second)
+	r.start(t, V2)
+	r.run(t, 60*time.Second)
+	log := r.log(t)
+	if !strings.Contains(log, "monitoring disabled") {
+		t.Fatalf("Watchd2 should lose the AlreadyRunning race:\n%s", log)
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st == scm.Running {
+		t.Fatal("service recovered; Watchd2 was expected to abandon it")
+	}
+}
+
+func TestV3WinsAlreadyRunningRace(t *testing.T) {
+	// The same death timing under Watchd3: the validation loop retries
+	// past the SCM tick and recovers.
+	r := newRig(t, svcSpec{reportAfter: 100 * time.Millisecond, crashAt: 2050 * time.Millisecond}, 10*time.Second)
+	r.start(t, V3)
+	r.run(t, 60*time.Second)
+	if restarts(r.log(t)) == 0 {
+		t.Fatalf("Watchd3 did not recover:\n%s", r.log(t))
+	}
+	st, _, _ := r.mgr.QueryServiceStatus("toy")
+	if st != scm.Running {
+		t.Fatalf("service %v, want RUNNING", st)
+	}
+}

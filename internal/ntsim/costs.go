@@ -1,0 +1,52 @@
+package ntsim
+
+import "time"
+
+// CostModel centralizes every virtual-time charge in the simulation. The
+// defaults are tuned so that the fault-free end-to-end client+server times
+// land near the paper's measurements on its 100 MHz Pentium testbed
+// (Apache ~14.2 s, IIS ~18.9 s for the two-request workload); see DESIGN.md
+// §4(5). Figure 4's ablation bench sweeps these values.
+type CostModel struct {
+	// SyscallBase is charged on entry to every KERNEL32 call.
+	SyscallBase time.Duration
+	// IOPerKB is charged per KiB transferred by file and pipe I/O.
+	IOPerKB time.Duration
+	// FileOpen is the extra cost of opening a file by name.
+	FileOpen time.Duration
+	// ProcessSpawn is the kernel-side cost of CreateProcess.
+	ProcessSpawn time.Duration
+	// PipeConnect is the handshake cost of a pipe client connect.
+	PipeConnect time.Duration
+	// CPUPerKB models user-mode work per KiB processed (checksumming,
+	// parsing, page assembly).
+	CPUPerKB time.Duration
+}
+
+// DefaultCosts returns the calibrated 100 MHz Pentium profile.
+func DefaultCosts() CostModel {
+	return CostModel{
+		SyscallBase:  50 * time.Microsecond,
+		IOPerKB:      4 * time.Millisecond,
+		FileOpen:     10 * time.Millisecond,
+		ProcessSpawn: 300 * time.Millisecond,
+		PipeConnect:  20 * time.Millisecond,
+		CPUPerKB:     2 * time.Millisecond,
+	}
+}
+
+// IOCost returns the I/O charge for n bytes.
+func (c CostModel) IOCost(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * c.IOPerKB / 1024
+}
+
+// CPUCost returns the compute charge for n bytes of processing.
+func (c CostModel) CPUCost(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * c.CPUPerKB / 1024
+}

@@ -1,0 +1,114 @@
+// Package crt simulates the Microsoft C runtime startup and teardown
+// sequence that every Win32 program executes before and after main().
+// Real NT programs touch a characteristic set of KERNEL32 exports during
+// CRT initialization (heap setup, module/locale queries, std handles,
+// command-line parsing); fault injection during this window is what
+// produces the paper's "dies immediately after being started by the SCM"
+// failure mode, so the sequence is modeled faithfully rather than skipped.
+package crt
+
+import (
+	"time"
+
+	"ntdts/internal/ntsim/win32"
+)
+
+// Runtime holds the state a simulated C runtime keeps per process.
+type Runtime struct {
+	api      *win32.API
+	heap     win32.Handle
+	stdout   win32.Handle
+	stderr   win32.Handle
+	tlsIndex uint32
+	csHeap   win32.CriticalSection
+	started  bool
+}
+
+// Startup runs the CRT initialization sequence and returns the runtime.
+// A fault injected into any call of this prelude can kill or degrade the
+// process before main() ever runs.
+func Startup(api *win32.API) *Runtime {
+	rt := &Runtime{api: api}
+
+	// Module identity and command line.
+	api.GetVersion()
+	api.GetCommandLineA()
+	var si win32.StartupInfo
+	api.GetStartupInfoA(&si)
+	api.GetModuleHandleA("")
+
+	// Heap initialization.
+	rt.heap = api.GetProcessHeap()
+	api.InitializeCriticalSection(&rt.csHeap)
+
+	// Locale.
+	api.GetACP()
+
+	// Per-thread storage for errno & friends. (Std handles are acquired
+	// lazily on first console I/O, like the real CRT's delayed ioinit.)
+	rt.tlsIndex = api.TlsAlloc()
+
+	// CRT charges a little CPU for all of this on a 100 MHz part.
+	api.Process().ChargeTime(80 * time.Millisecond)
+	rt.started = true
+	return rt
+}
+
+// API returns the underlying KERNEL32 binding.
+func (rt *Runtime) API() *win32.API { return rt.api }
+
+// Heap returns the CRT heap handle.
+func (rt *Runtime) Heap() win32.Handle { return rt.heap }
+
+// ioinit lazily acquires the std handles on first console I/O.
+func (rt *Runtime) ioinit() {
+	if rt.stdout == 0 {
+		rt.stdout = rt.api.GetStdHandle(win32.StdOutputHandle)
+		rt.stderr = rt.api.GetStdHandle(win32.StdErrorHandle)
+	}
+}
+
+// Printf writes a line to the simulated stdout (the process console file).
+func (rt *Runtime) Printf(line string) {
+	rt.ioinit()
+	data := []byte(line + "\r\n")
+	var n uint32
+	rt.api.WriteFile(rt.stdout, data, uint32(len(data)), &n)
+}
+
+// Eprintf writes a line to the simulated stderr.
+func (rt *Runtime) Eprintf(line string) {
+	rt.ioinit()
+	data := []byte(line + "\r\n")
+	var n uint32
+	rt.api.WriteFile(rt.stderr, data, uint32(len(data)), &n)
+}
+
+// Malloc allocates n bytes from the CRT heap, returning the block address.
+func (rt *Runtime) Malloc(n uint32) uint64 {
+	rt.api.EnterCriticalSection(&rt.csHeap)
+	addr := rt.api.HeapAlloc(rt.heap, 0, n)
+	rt.api.LeaveCriticalSection(&rt.csHeap)
+	return addr
+}
+
+// Free releases a CRT heap block.
+func (rt *Runtime) Free(addr uint64) {
+	rt.api.EnterCriticalSection(&rt.csHeap)
+	rt.api.HeapFree(rt.heap, 0, addr)
+	rt.api.LeaveCriticalSection(&rt.csHeap)
+}
+
+// Shutdown runs the CRT teardown sequence.
+func (rt *Runtime) Shutdown() {
+	if !rt.started {
+		return
+	}
+	rt.api.TlsFree(rt.tlsIndex)
+	rt.api.DeleteCriticalSection(&rt.csHeap)
+	if rt.stdout != 0 {
+		rt.api.CloseHandle(rt.stdout)
+		rt.api.CloseHandle(rt.stderr)
+	}
+	rt.started = false
+}

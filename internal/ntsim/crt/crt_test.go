@@ -1,0 +1,137 @@
+package crt
+
+import (
+	"strings"
+	"testing"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+)
+
+// record captures the distinct functions a process calls.
+type record struct {
+	fns   map[string]bool
+	order []string
+}
+
+func (r *record) BeforeSyscall(_ ntsim.PID, _, fn string, _ []uint64) {
+	if !r.fns[fn] {
+		r.fns[fn] = true
+		r.order = append(r.order, fn)
+	}
+}
+
+func runCRT(t *testing.T, body func(rt *Runtime, api *win32.API)) *record {
+	t.Helper()
+	k := ntsim.NewKernel()
+	rec := &record{fns: make(map[string]bool)}
+	k.SetInterceptor(rec)
+	k.RegisterImage("crt.exe", func(p *ntsim.Process) uint32 {
+		api := win32.New(p)
+		rt := Startup(api)
+		if body != nil {
+			body(rt, api)
+		}
+		rt.Shutdown()
+		return 0
+	})
+	if _, err := k.Spawn("crt.exe", "crt.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	for k.Step() {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	return rec
+}
+
+// TestStartupProfile pins the CRT prelude to exactly the 8 distinct
+// functions the activation-census calibration depends on (Table 1:
+// Apache1's 13 = CRT 8 + 5 application calls).
+func TestStartupProfile(t *testing.T) {
+	rec := runCRT(t, nil)
+	want := []string{
+		"GetVersion", "GetCommandLineA", "GetStartupInfoA", "GetModuleHandleA",
+		"GetProcessHeap", "InitializeCriticalSection", "GetACP", "TlsAlloc",
+	}
+	for _, fn := range want {
+		if !rec.fns[fn] {
+			t.Errorf("CRT startup missing %s", fn)
+		}
+	}
+	// Startup itself must not call anything beyond the pinned prelude
+	// (Shutdown adds teardown calls).
+	prelude := rec.order
+	for i, fn := range prelude {
+		if fn == "TlsFree" { // first teardown call
+			prelude = prelude[:i]
+			break
+		}
+	}
+	if len(prelude) != len(want) {
+		t.Errorf("CRT prelude activates %d functions, want %d: %v", len(prelude), len(want), prelude)
+	}
+}
+
+func TestLazyConsoleInit(t *testing.T) {
+	// GetStdHandle must not appear until the first console write.
+	rec := runCRT(t, nil)
+	if rec.fns["GetStdHandle"] {
+		t.Fatal("GetStdHandle called without console I/O")
+	}
+	rec = runCRT(t, func(rt *Runtime, _ *win32.API) {
+		rt.Printf("hello")
+	})
+	if !rec.fns["GetStdHandle"] || !rec.fns["WriteFile"] {
+		t.Fatal("console I/O did not initialize std handles")
+	}
+}
+
+func TestPrintfWritesToConsoleFile(t *testing.T) {
+	k := ntsim.NewKernel()
+	k.RegisterImage("say.exe", func(p *ntsim.Process) uint32 {
+		rt := Startup(win32.New(p))
+		rt.Printf("out line")
+		rt.Eprintf("err line")
+		rt.Shutdown()
+		return 0
+	})
+	if _, err := k.Spawn("say.exe", "say.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	for k.Step() {
+	}
+	out, ok := k.VFS().ReadFile(`C:\sim\console\say.exe.out`)
+	if !ok || !strings.Contains(string(out), "out line") {
+		t.Fatalf("stdout file %q", out)
+	}
+	errF, ok := k.VFS().ReadFile(`C:\sim\console\say.exe.err`)
+	if !ok || !strings.Contains(string(errF), "err line") {
+		t.Fatalf("stderr file %q", errF)
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	runCRT(t, func(rt *Runtime, api *win32.API) {
+		addr := rt.Malloc(64)
+		if addr == 0 {
+			t.Error("Malloc returned NULL")
+			return
+		}
+		if buf, ok := api.HeapBuf(rt.Heap(), addr); !ok || len(buf) != 64 {
+			t.Error("heap block not found")
+		}
+		rt.Free(addr)
+		if _, ok := api.HeapBuf(rt.Heap(), addr); ok {
+			t.Error("block still allocated after Free")
+		}
+	})
+}
+
+func TestDoubleShutdownHarmless(t *testing.T) {
+	runCRT(t, func(rt *Runtime, _ *win32.API) {
+		rt.Shutdown()
+		rt.Shutdown() // second teardown must be a no-op
+	})
+}

@@ -1,0 +1,71 @@
+package ntsim
+
+// Handle is a per-process reference to a kernel object, mirroring Win32
+// HANDLE. Handle values are process-local and never reused within a process
+// lifetime, so a corrupted handle value reliably fails to resolve.
+type Handle uint32
+
+// InvalidHandle mirrors INVALID_HANDLE_VALUE.
+const InvalidHandle Handle = 0xFFFFFFFF
+
+// handleEntry binds a handle slot to a kernel object.
+type handleEntry struct {
+	obj any
+}
+
+// NewHandle installs obj in the process handle table and returns its handle.
+func (p *Process) NewHandle(obj any) Handle {
+	if obj == nil {
+		panic("ntsim: NewHandle(nil)")
+	}
+	p.nextHandle += 4 // real NT handles are multiples of 4
+	h := p.nextHandle
+	p.handles[h] = &handleEntry{obj: obj}
+	return h
+}
+
+// Resolve returns the object bound to h, or nil if h is invalid or closed.
+func (p *Process) Resolve(h Handle) any {
+	e, ok := p.handles[h]
+	if !ok {
+		return nil
+	}
+	return e.obj
+}
+
+// ResolveWaitable returns the waitable object bound to h, if any.
+func (p *Process) ResolveWaitable(h Handle) (Waitable, bool) {
+	w, ok := p.Resolve(h).(Waitable)
+	return w, ok
+}
+
+// CloseHandle removes h from the handle table, releasing object resources
+// where the object kind requires it. It reports false for invalid handles.
+func (p *Process) CloseHandle(h Handle) bool {
+	if _, ok := p.handles[h]; !ok {
+		return false
+	}
+	p.closeHandleInternal(h)
+	return true
+}
+
+// closeHandleInternal performs kind-specific cleanup.
+func (p *Process) closeHandleInternal(h Handle) {
+	e := p.handles[h]
+	delete(p.handles, h)
+	switch obj := e.obj.(type) {
+	case *Mutex:
+		obj.abandon(p)
+	case *OpenFile:
+		obj.close()
+	case *PipeServer:
+		obj.closeServer()
+	case *PipeClient:
+		obj.closeClient()
+	case *Mailslot:
+		obj.closeSlot()
+	}
+}
+
+// HandleCount reports the number of open handles (for leak tests).
+func (p *Process) HandleCount() int { return len(p.handles) }

@@ -1,0 +1,289 @@
+// Package ntsim implements a deterministic simulation of the Windows NT
+// process and object model: a cooperative single-CPU scheduler over virtual
+// time, an object manager with per-process handle tables, a virtual
+// filesystem, and named pipes. The win32 subpackage layers a typed
+// KERNEL32-style API over this kernel; the inject package intercepts that
+// API's dispatch path to corrupt call parameters.
+//
+// Exactly one simulated process executes at any instant. Every system call
+// is a scheduling point with a virtual-time cost, which makes fault-injection
+// campaigns exactly reproducible: the same fault specification always yields
+// the same outcome.
+package ntsim
+
+import (
+	"fmt"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// PID identifies a simulated process.
+type PID uint32
+
+// EntryFunc is the entry point of a simulated program image. It receives the
+// hosting process and returns the process exit code.
+type EntryFunc func(p *Process) uint32
+
+// SyscallInterceptor observes and may mutate system-call parameters before
+// dispatch. The fault injector implements this interface.
+type SyscallInterceptor interface {
+	// BeforeSyscall is called with the raw parameter values of a system
+	// call made by process pid. The implementation may mutate raw in
+	// place. It is invoked after parameter marshaling and before any
+	// validation, exactly where a DLL-interposition injector sits.
+	BeforeSyscall(pid PID, procName string, fn string, raw []uint64)
+}
+
+// Kernel is the simulated NT kernel: scheduler, process table, object
+// manager, filesystem and pipe namespace. Create one per experiment run.
+type Kernel struct {
+	clock  *vclock.Clock
+	procs  map[PID]*Process
+	images map[string]EntryFunc
+
+	nextPID PID
+	ready   []*Process
+	current *Process
+
+	// procYield is signaled by the running process when it blocks,
+	// terminates, or otherwise relinquishes the CPU.
+	procYield chan struct{}
+
+	vfs   *VFS
+	pipes map[string][]*PipeServer // pipe name -> listening instances
+	named map[string]any           // named kernel objects
+	slots map[string]*Mailslot     // mailslot namespace
+
+	interceptor SyscallInterceptor
+	costs       CostModel
+
+	// panics collects unexpected (non-kernel) panics raised by simulated
+	// program code; tests assert this stays empty.
+	panics []string
+
+	// liveProcs counts processes that have started but not yet finished.
+	liveProcs int
+
+	traceFn func(at vclock.Time, pid PID, msg string)
+}
+
+// NewKernel returns a kernel with an empty process table, a fresh virtual
+// clock, and the default cost model.
+func NewKernel() *Kernel {
+	return &Kernel{
+		clock:     vclock.New(),
+		procs:     make(map[PID]*Process),
+		images:    make(map[string]EntryFunc),
+		procYield: make(chan struct{}),
+		vfs:       NewVFS(),
+		pipes:     make(map[string][]*PipeServer),
+		costs:     DefaultCosts(),
+	}
+}
+
+// Clock exposes the kernel's virtual clock.
+func (k *Kernel) Clock() *vclock.Clock { return k.clock }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() vclock.Time { return k.clock.Now() }
+
+// VFS exposes the kernel's virtual filesystem (for test setup and the DTS
+// data collector, which reads the watchd log file).
+func (k *Kernel) VFS() *VFS { return k.vfs }
+
+// SetInterceptor installs the system-call interceptor (the fault injector).
+func (k *Kernel) SetInterceptor(i SyscallInterceptor) { k.interceptor = i }
+
+// SetTrace installs a trace sink receiving one line per noteworthy kernel
+// event. A nil sink disables tracing.
+func (k *Kernel) SetTrace(fn func(at vclock.Time, pid PID, msg string)) { k.traceFn = fn }
+
+// SetCosts replaces the virtual-time cost model.
+func (k *Kernel) SetCosts(c CostModel) { k.costs = c }
+
+// Costs returns the active cost model.
+func (k *Kernel) Costs() CostModel { return k.costs }
+
+func (k *Kernel) trace(pid PID, format string, args ...any) {
+	if k.traceFn != nil {
+		k.traceFn(k.clock.Now(), pid, fmt.Sprintf(format, args...))
+	}
+}
+
+// RegisterImage installs a program image under the given name, making it
+// launchable via Spawn (and, through the win32 layer, CreateProcessA).
+func (k *Kernel) RegisterImage(name string, entry EntryFunc) {
+	if entry == nil {
+		panic("ntsim: RegisterImage with nil entry")
+	}
+	k.images[name] = entry
+}
+
+// LookupImage reports whether an image is registered.
+func (k *Kernel) LookupImage(name string) (EntryFunc, bool) {
+	e, ok := k.images[name]
+	return e, ok
+}
+
+// Panics returns descriptions of unexpected panics raised by simulated
+// program code. A healthy simulation returns an empty slice.
+func (k *Kernel) Panics() []string {
+	out := make([]string, len(k.panics))
+	copy(out, k.panics)
+	return out
+}
+
+// Process returns the process with the given PID, or nil if it never existed.
+func (k *Kernel) Process(pid PID) *Process { return k.procs[pid] }
+
+// Spawn creates a process running the named image and schedules it. The
+// parent may be 0 for top-level processes. Spawn may be called from outside
+// the simulation (harness) or from within a running process (CreateProcess).
+func (k *Kernel) Spawn(image, cmdLine string, parent PID) (*Process, error) {
+	entry, ok := k.images[image]
+	if !ok {
+		return nil, ErrFileNotFound
+	}
+	k.nextPID++
+	p := &Process{
+		k:         k,
+		ID:        k.nextPID,
+		Image:     image,
+		CmdLine:   cmdLine,
+		Parent:    parent,
+		state:     procReady,
+		resume:    make(chan resumeAction),
+		handles:   make(map[Handle]*handleEntry),
+		addr:      newAddrSpace(),
+		startTime: k.clock.Now(),
+		obj:       newProcessObject(),
+		exitCode:  ExitStillActive,
+		env:       make(map[string]string),
+	}
+	k.procs[p.ID] = p
+	k.liveProcs++
+	k.trace(p.ID, "spawn image=%s cmd=%q parent=%d", image, cmdLine, parent)
+	go p.run(entry)
+	k.makeReady(p)
+	return p, nil
+}
+
+// makeReady appends p to the ready queue if it is not already queued.
+func (k *Kernel) makeReady(p *Process) {
+	if p.state == procTerminated {
+		return
+	}
+	if p.state != procReady {
+		p.state = procReady
+	}
+	if p.queued {
+		return
+	}
+	p.queued = true
+	k.ready = append(k.ready, p)
+}
+
+// wake transitions a blocked process to ready with the given wait result.
+func (k *Kernel) wake(p *Process, result uint32, errno Errno) {
+	if p.state != procBlocked {
+		return
+	}
+	p.waitResult = result
+	p.waitErrno = errno
+	k.makeReady(p)
+}
+
+// Step executes one scheduling quantum: first it fires every timer event
+// that is already due (so a process that burned a long CPU slice cannot
+// starve waiters whose deadlines passed meanwhile), then it resumes the
+// next ready process until it yields, or — if none is ready — advances the
+// virtual clock to the next timer event. It reports false when the
+// simulation is fully idle (no ready processes and no pending events).
+func (k *Kernel) Step() bool {
+	for {
+		next, ok := k.clock.NextAt()
+		if !ok || next.After(k.clock.Now()) {
+			break
+		}
+		k.clock.RunNext()
+	}
+	for len(k.ready) > 0 {
+		p := k.ready[0]
+		k.ready = k.ready[1:]
+		p.queued = false
+		if p.state != procReady {
+			continue // stale queue entry (e.g., terminated meanwhile)
+		}
+		p.state = procRunning
+		k.current = p
+		p.resume <- resumeAction{kill: p.pendingKill, killCode: p.pendingKillCode}
+		<-k.procYield
+		k.current = nil
+		return true
+	}
+	return k.clock.RunNext()
+}
+
+// Run steps the simulation until it is fully idle or the virtual clock
+// passes deadline. It returns the number of scheduling quanta executed.
+func (k *Kernel) Run(deadline vclock.Time) int {
+	n := 0
+	for {
+		if k.clock.Now().After(deadline) {
+			return n
+		}
+		// If nothing is ready and the next timer is beyond the
+		// deadline, stop without firing it.
+		if len(k.ready) == 0 {
+			next, ok := k.clock.NextAt()
+			if !ok || next.After(deadline) {
+				return n
+			}
+		}
+		if !k.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// RunFor is Run with a relative deadline.
+func (k *Kernel) RunFor(d time.Duration) int {
+	return k.Run(k.clock.Now().Add(d))
+}
+
+// Idle reports whether no process is ready and no timer events are pending.
+func (k *Kernel) Idle() bool {
+	if len(k.ready) > 0 {
+		return false
+	}
+	_, ok := k.clock.NextAt()
+	return !ok
+}
+
+// LiveProcesses reports the number of processes that have started and not
+// yet terminated.
+func (k *Kernel) LiveProcesses() int { return k.liveProcs }
+
+// KillAll terminates every live process (used between fault-injection runs
+// to tear the workload down, mirroring DTS "workload termination").
+func (k *Kernel) KillAll() {
+	for _, p := range k.procs {
+		if p.state != procTerminated {
+			p.Terminate(ExitTerminated)
+		}
+	}
+	// Let terminations unwind.
+	for len(k.ready) > 0 {
+		k.Step()
+	}
+}
+
+// dispatchSyscall runs the interceptor over the raw parameters of a call.
+// The win32 layer calls this once per API function invocation.
+func (k *Kernel) dispatchSyscall(p *Process, fn string, raw []uint64) {
+	if k.interceptor != nil {
+		k.interceptor.BeforeSyscall(p.ID, p.Image, fn, raw)
+	}
+}

@@ -1,0 +1,573 @@
+package ntsim
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// runAll steps the kernel until fully idle, with a safety cap.
+func runAll(t *testing.T, k *Kernel) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if !k.Step() {
+			return
+		}
+	}
+	t.Fatal("kernel did not go idle")
+}
+
+func mustSpawn(t *testing.T, k *Kernel, image, cmd string) *Process {
+	t.Helper()
+	p, err := k.Spawn(image, cmd, 0)
+	if err != nil {
+		t.Fatalf("Spawn(%s): %v", image, err)
+	}
+	return p
+}
+
+func checkNoPanics(t *testing.T, k *Kernel) {
+	t.Helper()
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("unexpected simulated-code panics: %v", pan)
+	}
+}
+
+func TestSpawnRunExit(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.RegisterImage("hello.exe", func(p *Process) uint32 {
+		ran = true
+		return 42
+	})
+	p := mustSpawn(t, k, "hello.exe", "")
+	runAll(t, k)
+	if !ran {
+		t.Fatal("program did not run")
+	}
+	if !p.Terminated() || p.ExitCode() != 42 {
+		t.Fatalf("terminated=%v exit=%d", p.Terminated(), p.ExitCode())
+	}
+	checkNoPanics(t, k)
+}
+
+func TestSpawnUnknownImage(t *testing.T) {
+	k := NewKernel()
+	if _, err := k.Spawn("nope.exe", "", 0); err != ErrFileNotFound {
+		t.Fatalf("Spawn unknown image: %v, want ErrFileNotFound", err)
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel()
+	var woke vclock.Time
+	k.RegisterImage("sleeper.exe", func(p *Process) uint32 {
+		p.SleepFor(5 * time.Second)
+		woke = k.Now()
+		return 0
+	})
+	mustSpawn(t, k, "sleeper.exe", "")
+	runAll(t, k)
+	if woke != vclock.Time(5*time.Second) {
+		t.Fatalf("woke at %v, want 5s", woke)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.RegisterImage("a.exe", func(p *Process) uint32 {
+		order = append(order, "a1")
+		p.SleepFor(time.Second)
+		order = append(order, "a2")
+		return 0
+	})
+	k.RegisterImage("b.exe", func(p *Process) uint32 {
+		order = append(order, "b1")
+		p.SleepFor(2 * time.Second)
+		order = append(order, "b2")
+		return 0
+	})
+	mustSpawn(t, k, "a.exe", "")
+	mustSpawn(t, k, "b.exe", "")
+	runAll(t, k)
+	want := []string{"a1", "b1", "a2", "b2"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	checkNoPanics(t, k)
+}
+
+func TestExitCodeViaExit(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("exiter.exe", func(p *Process) uint32 {
+		p.Exit(7)
+		return 0 // unreachable
+	})
+	p := mustSpawn(t, k, "exiter.exe", "")
+	runAll(t, k)
+	if p.ExitCode() != 7 {
+		t.Fatalf("exit code %d, want 7", p.ExitCode())
+	}
+	checkNoPanics(t, k)
+}
+
+func TestAccessViolationKillsProcessOnly(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("crasher.exe", func(p *Process) uint32 {
+		p.RaiseAccessViolation()
+		return 0
+	})
+	k.RegisterImage("survivor.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Second)
+		return 0
+	})
+	crasher := mustSpawn(t, k, "crasher.exe", "")
+	survivor := mustSpawn(t, k, "survivor.exe", "")
+	runAll(t, k)
+	if crasher.ExitCode() != ExitAccessViolation {
+		t.Fatalf("crasher exit 0x%X, want AV", crasher.ExitCode())
+	}
+	if survivor.ExitCode() != 0 {
+		t.Fatalf("survivor exit %d, want 0", survivor.ExitCode())
+	}
+	checkNoPanics(t, k)
+}
+
+func TestTerminateBlockedProcess(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("waiter.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Hour)
+		return 0
+	})
+	p := mustSpawn(t, k, "waiter.exe", "")
+	k.RunFor(time.Second)
+	if p.Terminated() {
+		t.Fatal("terminated too early")
+	}
+	p.Terminate(ExitTerminated)
+	runAll(t, k)
+	if !p.Terminated() || p.ExitCode() != ExitTerminated {
+		t.Fatalf("terminated=%v code=0x%X", p.Terminated(), p.ExitCode())
+	}
+	// The hour-long timer should not hold the simulation hostage: after
+	// termination the wake event may remain but firing it is harmless.
+	checkNoPanics(t, k)
+}
+
+func TestWaitForProcessExit(t *testing.T) {
+	k := NewKernel()
+	var childExitSeen uint32
+	k.RegisterImage("child.exe", func(p *Process) uint32 {
+		p.SleepFor(3 * time.Second)
+		return 9
+	})
+	k.RegisterImage("parent.exe", func(p *Process) uint32 {
+		child, err := k.Spawn("child.exe", "", p.ID)
+		if err != nil {
+			t.Errorf("spawn child: %v", err)
+			return 1
+		}
+		h := p.NewHandle(child.Object())
+		w, _ := p.ResolveWaitable(h)
+		res := WaitOne(p, w, Infinite)
+		if res != WaitObject0 {
+			t.Errorf("wait result %d", res)
+		}
+		childExitSeen = child.ExitCode()
+		return 0
+	})
+	mustSpawn(t, k, "parent.exe", "")
+	runAll(t, k)
+	if childExitSeen != 9 {
+		t.Fatalf("parent saw child exit %d, want 9", childExitSeen)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestWaitTimeout(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent("never", true, false)
+	var res uint32
+	var elapsed time.Duration
+	k.RegisterImage("w.exe", func(p *Process) uint32 {
+		start := k.Now()
+		res = WaitOne(p, ev, 2000)
+		elapsed = k.Now().Sub(start)
+		return 0
+	})
+	mustSpawn(t, k, "w.exe", "")
+	runAll(t, k)
+	if res != WaitTimeout {
+		t.Fatalf("wait result %#x, want WAIT_TIMEOUT", res)
+	}
+	if elapsed != 2*time.Second {
+		t.Fatalf("timed out after %v, want 2s", elapsed)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestAutoResetEventHandsSignalToOneWaiter(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent("e", false, false)
+	woken := 0
+	k.RegisterImage("w.exe", func(p *Process) uint32 {
+		if WaitOne(p, ev, 5000) == WaitObject0 {
+			woken++
+		}
+		return 0
+	})
+	k.RegisterImage("s.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Second)
+		ev.Set()
+		return 0
+	})
+	mustSpawn(t, k, "w.exe", "")
+	mustSpawn(t, k, "w.exe", "")
+	mustSpawn(t, k, "s.exe", "")
+	runAll(t, k)
+	if woken != 1 {
+		t.Fatalf("auto-reset event woke %d waiters, want 1", woken)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestManualResetEventWakesAll(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent("e", true, false)
+	woken := 0
+	k.RegisterImage("w.exe", func(p *Process) uint32 {
+		if WaitOne(p, ev, Infinite) == WaitObject0 {
+			woken++
+		}
+		return 0
+	})
+	k.RegisterImage("s.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Second)
+		ev.Set()
+		return 0
+	})
+	for i := 0; i < 3; i++ {
+		mustSpawn(t, k, "w.exe", "")
+	}
+	mustSpawn(t, k, "s.exe", "")
+	runAll(t, k)
+	if woken != 3 {
+		t.Fatalf("manual-reset event woke %d waiters, want 3", woken)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestMutexMutualExclusionAndRecursion(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex("m", nil)
+	var inside, maxInside int
+	body := func(p *Process) uint32 {
+		if WaitOne(p, m, Infinite) != WaitObject0 {
+			return 1
+		}
+		// Recursive acquire must succeed instantly.
+		if WaitOne(p, m, 0) != WaitObject0 {
+			return 2
+		}
+		m.Release(p)
+		inside++
+		if inside > maxInside {
+			maxInside = inside
+		}
+		p.SleepFor(time.Second)
+		inside--
+		m.Release(p)
+		return 0
+	}
+	k.RegisterImage("locker.exe", body)
+	a := mustSpawn(t, k, "locker.exe", "")
+	b := mustSpawn(t, k, "locker.exe", "")
+	runAll(t, k)
+	if a.ExitCode() != 0 || b.ExitCode() != 0 {
+		t.Fatalf("exit codes %d %d", a.ExitCode(), b.ExitCode())
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d inside", maxInside)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestMutexAbandonedOnOwnerDeath(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex("m", nil)
+	var res uint32
+	k.RegisterImage("dier.exe", func(p *Process) uint32 {
+		h := p.NewHandle(m)
+		_ = h
+		WaitOne(p, m, Infinite)
+		p.SleepFor(time.Second)
+		p.RaiseAccessViolation()
+		return 0
+	})
+	k.RegisterImage("waiter.exe", func(p *Process) uint32 {
+		p.SleepFor(100 * time.Millisecond) // let dier acquire first
+		res = WaitOne(p, m, Infinite)
+		return 0
+	})
+	mustSpawn(t, k, "dier.exe", "")
+	mustSpawn(t, k, "waiter.exe", "")
+	runAll(t, k)
+	if res != WaitAbandond {
+		t.Fatalf("wait result %#x, want WAIT_ABANDONED", res)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestSemaphoreCounts(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore("s", 2, 2)
+	got := 0
+	k.RegisterImage("taker.exe", func(p *Process) uint32 {
+		if WaitOne(p, s, 0) == WaitObject0 {
+			got++
+		}
+		return 0
+	})
+	for i := 0; i < 3; i++ {
+		mustSpawn(t, k, "taker.exe", "")
+	}
+	runAll(t, k)
+	if got != 2 {
+		t.Fatalf("semaphore admitted %d, want 2", got)
+	}
+	if !s.ReleaseN(2) {
+		t.Fatal("ReleaseN(2) failed")
+	}
+	if s.ReleaseN(1) {
+		t.Fatal("ReleaseN beyond max succeeded")
+	}
+	checkNoPanics(t, k)
+}
+
+func TestWaitAnyReturnsIndex(t *testing.T) {
+	k := NewKernel()
+	e1 := NewEvent("e1", true, false)
+	e2 := NewEvent("e2", true, false)
+	var res uint32
+	k.RegisterImage("w.exe", func(p *Process) uint32 {
+		res = WaitAny(p, []Waitable{e1, e2}, Infinite)
+		return 0
+	})
+	k.RegisterImage("s.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Second)
+		e2.Set()
+		return 0
+	})
+	mustSpawn(t, k, "w.exe", "")
+	mustSpawn(t, k, "s.exe", "")
+	runAll(t, k)
+	if res != WaitObject0+1 {
+		t.Fatalf("WaitAny result %d, want index 1", res)
+	}
+	checkNoPanics(t, k)
+}
+
+func TestKillAllTearsDownWorkload(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("forever.exe", func(p *Process) uint32 {
+		for {
+			p.SleepFor(time.Hour)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		mustSpawn(t, k, "forever.exe", "")
+	}
+	k.RunFor(time.Second)
+	if k.LiveProcesses() != 5 {
+		t.Fatalf("live %d, want 5", k.LiveProcesses())
+	}
+	k.KillAll()
+	if k.LiveProcesses() != 0 {
+		t.Fatalf("live after KillAll %d, want 0", k.LiveProcesses())
+	}
+	checkNoPanics(t, k)
+}
+
+func TestUnexpectedPanicIsContained(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("buggy.exe", func(p *Process) uint32 {
+		var m map[string]int
+		m["boom"] = 1 // nil map write: genuine panic
+		return 0
+	})
+	p := mustSpawn(t, k, "buggy.exe", "")
+	runAll(t, k)
+	if p.ExitCode() != ExitAccessViolation {
+		t.Fatalf("buggy exit 0x%X, want AV", p.ExitCode())
+	}
+	if len(k.Panics()) != 1 {
+		t.Fatalf("recorded panics: %v", k.Panics())
+	}
+}
+
+func TestHandleTableCloseAndResolve(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("h.exe", func(p *Process) uint32 {
+		ev := NewEvent("e", true, false)
+		h := p.NewHandle(ev)
+		if got := p.Resolve(h); got != ev {
+			t.Error("Resolve returned wrong object")
+		}
+		if !p.CloseHandle(h) {
+			t.Error("CloseHandle failed")
+		}
+		if p.Resolve(h) != nil {
+			t.Error("Resolve after close returned object")
+		}
+		if p.CloseHandle(h) {
+			t.Error("double CloseHandle succeeded")
+		}
+		if p.CloseHandle(Handle(0xDEAD)) {
+			t.Error("CloseHandle of garbage succeeded")
+		}
+		return 0
+	})
+	mustSpawn(t, k, "h.exe", "")
+	runAll(t, k)
+	checkNoPanics(t, k)
+}
+
+func TestRunRespectsDeadline(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.RegisterImage("ticker.exe", func(p *Process) uint32 {
+		for i := 0; i < 100; i++ {
+			p.SleepFor(time.Second)
+			ticks++
+		}
+		return 0
+	})
+	mustSpawn(t, k, "ticker.exe", "")
+	k.Run(vclock.Time(10500 * time.Millisecond))
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if k.Now().After(vclock.Time(10500 * time.Millisecond)) {
+		t.Fatalf("clock overshot deadline: %v", k.Now())
+	}
+}
+
+func TestChargeTimeAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("cpu.exe", func(p *Process) uint32 {
+		p.ChargeTime(750 * time.Millisecond)
+		return 0
+	})
+	mustSpawn(t, k, "cpu.exe", "")
+	runAll(t, k)
+	if k.Now() != vclock.Time(750*time.Millisecond) {
+		t.Fatalf("clock %v, want 750ms", k.Now())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (vclock.Time, uint32) {
+		k := NewKernel()
+		ev := NewEvent("sync", false, false)
+		k.RegisterImage("ping.exe", func(p *Process) uint32 {
+			for i := 0; i < 10; i++ {
+				p.SleepFor(time.Duration(i) * 100 * time.Millisecond)
+				ev.Set()
+			}
+			return 0
+		})
+		k.RegisterImage("pong.exe", func(p *Process) uint32 {
+			n := uint32(0)
+			for i := 0; i < 10; i++ {
+				if WaitOne(p, ev, 30000) == WaitObject0 {
+					n++
+				}
+			}
+			return n
+		})
+		mustSpawn(t, k, "ping.exe", "")
+		p := mustSpawn(t, k, "pong.exe", "")
+		for k.Step() {
+		}
+		return k.Now(), p.ExitCode()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 || c1 != c2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", t1, c1, t2, c2)
+	}
+}
+
+// TestPropertyWaitAnyIndex: whichever event is signaled first, WaitAny
+// returns exactly that index, for any permutation of signal times.
+func TestPropertyWaitAnyIndex(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		k := NewKernel()
+		const n = 5
+		events := make([]*Event, n)
+		objs := make([]Waitable, n)
+		for i := range events {
+			events[i] = NewEvent("", true, false)
+			objs[i] = events[i]
+		}
+		winner := trial % n
+		var got uint32
+		k.RegisterImage("w.exe", func(p *Process) uint32 {
+			got = WaitAny(p, objs, Infinite)
+			return 0
+		})
+		k.RegisterImage("s.exe", func(p *Process) uint32 {
+			// The winner fires first; others fire later.
+			p.SleepFor(time.Duration(1+winner) * 10 * time.Millisecond)
+			events[winner].Set()
+			p.SleepFor(time.Second)
+			for i := range events {
+				events[i].Set()
+			}
+			return 0
+		})
+		mustSpawn(t, k, "w.exe", "")
+		mustSpawn(t, k, "s.exe", "")
+		runAll(t, k)
+		if got != WaitObject0+uint32(winner) {
+			t.Fatalf("trial %d: WaitAny = %d, want index %d", trial, got, winner)
+		}
+		checkNoPanics(t, k)
+	}
+}
+
+// TestEnvInheritedByChildren: CreateProcess children see the parent's
+// simulated environment (the SCM injects per-service variables this way).
+func TestEnvInheritedByChildren(t *testing.T) {
+	k := NewKernel()
+	var got string
+	k.RegisterImage("child.exe", func(p *Process) uint32 {
+		got = p.Env("FLAVOR")
+		return 0
+	})
+	k.RegisterImage("parent.exe", func(p *Process) uint32 {
+		p.SetEnv("FLAVOR", "vanilla")
+		child, err := k.Spawn("child.exe", "child.exe", p.ID)
+		if err != nil {
+			return 1
+		}
+		WaitOne(p, child.Object(), Infinite)
+		return 0
+	})
+	mustSpawn(t, k, "parent.exe", "")
+	runAll(t, k)
+	if got != "" {
+		// Documented: the simulation does NOT inherit environments;
+		// service configuration travels on command lines instead.
+		t.Fatalf("environment unexpectedly inherited: %q", got)
+	}
+}

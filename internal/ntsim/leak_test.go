@@ -1,0 +1,74 @@
+package ntsim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestNoGoroutineLeakAcrossRuns asserts the simulation's process-goroutine
+// hygiene: after KillAll drains a kernel, every process goroutine has
+// unwound. A fault-injection campaign creates thousands of kernels, so a
+// single leaked goroutine per run would bloat quickly.
+func TestNoGoroutineLeakAcrossRuns(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		k := NewKernel()
+		k.RegisterImage("worker.exe", func(p *Process) uint32 {
+			switch i % 4 {
+			case 0:
+				return 0 // clean exit
+			case 1:
+				p.SleepFor(time.Hour) // killed while blocked
+				return 0
+			case 2:
+				p.RaiseAccessViolation() // crash
+				return 0
+			default:
+				ev := NewEvent("", true, false)
+				WaitOne(p, ev, Infinite) // killed while waiting forever
+				return 0
+			}
+		})
+		for j := 0; j < 5; j++ {
+			if _, err := k.Spawn("worker.exe", "worker.exe", 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.RunFor(time.Second)
+		k.KillAll()
+		if live := k.LiveProcesses(); live != 0 {
+			t.Fatalf("iteration %d: %d live processes after KillAll", i, live)
+		}
+	}
+	// Let any stragglers finish unwinding.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d across 200 kernels", baseline, runtime.NumGoroutine())
+}
+
+// TestHandleHygieneAfterExit asserts handle-table cleanup on process exit.
+func TestHandleHygieneAfterExit(t *testing.T) {
+	k := NewKernel()
+	var proc *Process
+	k.RegisterImage("h.exe", func(p *Process) uint32 {
+		proc = p
+		for i := 0; i < 10; i++ {
+			p.NewHandle(NewEvent("", true, false))
+		}
+		if p.HandleCount() != 10 {
+			t.Errorf("handle count %d, want 10", p.HandleCount())
+		}
+		return 0
+	})
+	mustSpawn(t, k, "h.exe", "")
+	runAll(t, k)
+	if proc.HandleCount() != 0 {
+		t.Fatalf("%d handles leaked after exit", proc.HandleCount())
+	}
+}

@@ -1,0 +1,176 @@
+package ntsim
+
+import (
+	"strings"
+	"time"
+)
+
+// Mailslots: the Win32 one-way datagram IPC. A server creates a mailslot
+// and reads whole messages from it; any number of writers open the
+// \\.\mailslot\ path and each WriteFile delivers one message. Unlike
+// pipes, reads are message-oriented and writers are connectionless.
+
+// Mailslot is the server end of a mailslot.
+type Mailslot struct {
+	k        *Kernel
+	Name     string
+	messages [][]byte
+	reader   *Process
+	closed   bool
+	// readTimeoutMS follows the Win32 contract: 0 polls, MAILSLOT_WAIT_FOREVER
+	// (0xFFFFFFFF) blocks.
+	readTimeoutMS uint32
+}
+
+// MailslotClient is a write-only client binding to a mailslot.
+type MailslotClient struct {
+	slot *Mailslot
+}
+
+// MailslotWaitForever mirrors MAILSLOT_WAIT_FOREVER.
+const MailslotWaitForever uint32 = 0xFFFFFFFF
+
+// normalizeMailslotName strips \\.\mailslot\ and lowercases.
+func normalizeMailslotName(path string) (string, bool) {
+	low := strings.ToLower(strings.ReplaceAll(path, "/", `\`))
+	const prefix = `\\.\mailslot\`
+	if !strings.HasPrefix(low, prefix) {
+		return "", false
+	}
+	name := low[len(prefix):]
+	if name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// IsMailslotPath reports whether a path names the mailslot namespace.
+func IsMailslotPath(path string) bool {
+	_, ok := normalizeMailslotName(path)
+	return ok
+}
+
+// mailslots lazily allocates the namespace.
+func (k *Kernel) mailslots() map[string]*Mailslot {
+	if k.slots == nil {
+		k.slots = make(map[string]*Mailslot)
+	}
+	return k.slots
+}
+
+// CreateMailslot creates the server end. One server per name.
+func (k *Kernel) CreateMailslot(path string, readTimeoutMS uint32) (*Mailslot, Errno) {
+	name, ok := normalizeMailslotName(path)
+	if !ok {
+		return nil, ErrInvalidName
+	}
+	if _, exists := k.mailslots()[name]; exists {
+		return nil, ErrAlreadyExists
+	}
+	ms := &Mailslot{k: k, Name: name, readTimeoutMS: readTimeoutMS}
+	k.mailslots()[name] = ms
+	return ms, ErrSuccess
+}
+
+// OpenMailslot binds a write-only client.
+func (k *Kernel) OpenMailslot(path string) (*MailslotClient, Errno) {
+	name, ok := normalizeMailslotName(path)
+	if !ok {
+		return nil, ErrInvalidName
+	}
+	ms, exists := k.mailslots()[name]
+	if !exists || ms.closed {
+		return nil, ErrFileNotFound
+	}
+	return &MailslotClient{slot: ms}, ErrSuccess
+}
+
+// Write delivers one message.
+func (c *MailslotClient) Write(data []byte) (int, Errno) {
+	ms := c.slot
+	if ms == nil || ms.closed {
+		return 0, ErrInvalidHandle
+	}
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	ms.messages = append(ms.messages, msg)
+	if ms.reader != nil {
+		r := ms.reader
+		ms.reader = nil
+		ms.k.wake(r, WaitObject0, ErrSuccess)
+	}
+	return len(data), ErrSuccess
+}
+
+// Read removes the oldest message. With no message pending it blocks per
+// the slot's read timeout (ErrSemTimeout on expiry). A message longer than
+// buf fails with ErrInsufficientBuffer and stays queued.
+func (ms *Mailslot) Read(p *Process, buf []byte) (int, Errno) {
+	if ms.closed {
+		return 0, ErrInvalidHandle
+	}
+	for len(ms.messages) == 0 {
+		if ms.readTimeoutMS == 0 {
+			return 0, ErrSemTimeout
+		}
+		if ms.reader != nil {
+			return 0, ErrBusy
+		}
+		ms.reader = p
+		p.waitCancel = func() { ms.reader = nil }
+		if ms.readTimeoutMS != MailslotWaitForever {
+			deadline := ms.readTimeoutMS
+			k := ms.k
+			timer := k.clock.ScheduleAfter(msToDuration(deadline), func() {
+				if ms.reader == p {
+					ms.reader = nil
+					k.wake(p, WaitTimeout, ErrSemTimeout)
+				}
+			})
+			_, errno := p.block()
+			k.clock.Cancel(timer)
+			if errno != ErrSuccess {
+				return 0, errno
+			}
+		} else {
+			if _, errno := p.block(); errno != ErrSuccess {
+				return 0, errno
+			}
+		}
+	}
+	msg := ms.messages[0]
+	if len(msg) > len(buf) {
+		return 0, ErrInsufficientBuffer
+	}
+	ms.messages = ms.messages[1:]
+	copy(buf, msg)
+	return len(msg), ErrSuccess
+}
+
+// Info reports (next message size or MailslotWaitForever when empty,
+// message count).
+func (ms *Mailslot) Info() (nextSize uint32, count uint32) {
+	if len(ms.messages) == 0 {
+		return MailslotWaitForever, 0 // MAILSLOT_NO_MESSAGE
+	}
+	return uint32(len(ms.messages[0])), uint32(len(ms.messages))
+}
+
+// SetReadTimeout updates the slot's read timeout.
+func (ms *Mailslot) SetReadTimeout(ms2 uint32) { ms.readTimeoutMS = ms2 }
+
+// closeSlot tears the slot down.
+func (ms *Mailslot) closeSlot() {
+	if ms.closed {
+		return
+	}
+	ms.closed = true
+	if ms.reader != nil {
+		r := ms.reader
+		ms.reader = nil
+		ms.k.wake(r, WaitFailed, ErrInvalidHandle)
+	}
+	delete(ms.k.mailslots(), ms.Name)
+}
+
+func msToDuration(ms uint32) time.Duration { return time.Duration(ms) * time.Millisecond }

@@ -1,0 +1,30 @@
+package ntsim
+
+// Named kernel objects (events, mutexes, semaphores) live in a kernel-wide
+// namespace so that cooperating processes — e.g. a service and its
+// fault-tolerance monitor — can open the same object by name.
+
+// namedObjects lazily allocates the namespace map.
+func (k *Kernel) namedObjects() map[string]any {
+	if k.named == nil {
+		k.named = make(map[string]any)
+	}
+	return k.named
+}
+
+// RegisterNamed publishes obj under name. If the name is taken, the existing
+// object is returned with exists=true (CreateEvent/CreateMutex semantics).
+func (k *Kernel) RegisterNamed(name string, obj any) (actual any, exists bool) {
+	m := k.namedObjects()
+	if cur, ok := m[name]; ok {
+		return cur, true
+	}
+	m[name] = obj
+	return obj, false
+}
+
+// LookupNamed finds a previously registered object.
+func (k *Kernel) LookupNamed(name string) (any, bool) {
+	obj, ok := k.namedObjects()[name]
+	return obj, ok
+}

@@ -1,0 +1,321 @@
+package ntsim
+
+import (
+	"container/list"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// Waitable is the interface of kernel dispatcher objects that processes can
+// wait on (events, mutexes, semaphores, process objects).
+type Waitable interface {
+	// tryAcquire reports whether the object is signaled for p and, if so,
+	// consumes the signal where the object type requires it (auto-reset
+	// events, semaphores, mutex ownership).
+	tryAcquire(p *Process) bool
+	// addWaiter registers a waiter to be satisfied when the object
+	// becomes signaled. Returns the registration for removal.
+	addWaiter(w *objWaiter) *list.Element
+	// removeWaiter removes a previous registration.
+	removeWaiter(e *list.Element)
+}
+
+// objWaiter links a pending waitOp to one object it waits on.
+type objWaiter struct {
+	op    *waitOp
+	index int // position in WaitForMultipleObjects handle array
+}
+
+// waitOp is one blocking wait (single- or multi-object) by one process.
+type waitOp struct {
+	p        *Process
+	done     bool
+	timerID  vclock.EventID
+	hasTimer bool
+	cancels  []func()
+}
+
+// complete finishes the wait exactly once, cancelling the timeout and all
+// other object registrations, and wakes the process.
+func (w *waitOp) complete(result uint32, errno Errno) bool {
+	if w.done {
+		return false
+	}
+	w.done = true
+	w.detach()
+	w.p.k.wake(w.p, result, errno)
+	return true
+}
+
+// detach removes all registrations without waking the process (kill path).
+func (w *waitOp) detach() {
+	if w.hasTimer {
+		w.p.k.clock.Cancel(w.timerID)
+		w.hasTimer = false
+	}
+	for _, c := range w.cancels {
+		c()
+	}
+	w.cancels = nil
+}
+
+// waiterQueue is the FIFO wait list shared by all object types.
+type waiterQueue struct{ l list.List }
+
+func (q *waiterQueue) add(w *objWaiter) *list.Element { return q.l.PushBack(w) }
+func (q *waiterQueue) remove(e *list.Element)         { q.l.Remove(e) }
+
+// satisfyOne completes the first live waiter, returning it, or nil.
+func (q *waiterQueue) satisfyOne(result uint32) *objWaiter {
+	for e := q.l.Front(); e != nil; e = q.l.Front() {
+		w := e.Value.(*objWaiter)
+		q.l.Remove(e)
+		if w.op.complete(result+uint32(w.index), ErrSuccess) {
+			return w
+		}
+	}
+	return nil
+}
+
+// satisfyAll completes every live waiter.
+func (q *waiterQueue) satisfyAll(result uint32) {
+	for e := q.l.Front(); e != nil; e = q.l.Front() {
+		w := e.Value.(*objWaiter)
+		q.l.Remove(e)
+		w.op.complete(result+uint32(w.index), ErrSuccess)
+	}
+}
+
+// Event ----------------------------------------------------------------------
+
+// Event is an NT event object (manual- or auto-reset).
+type Event struct {
+	Name        string
+	manualReset bool
+	signaled    bool
+	waiters     waiterQueue
+}
+
+// NewEvent creates an event object.
+func NewEvent(name string, manualReset, initial bool) *Event {
+	return &Event{Name: name, manualReset: manualReset, signaled: initial}
+}
+
+// Set signals the event, releasing one waiter (auto-reset) or all waiters
+// (manual-reset).
+func (ev *Event) Set() {
+	if ev.manualReset {
+		ev.signaled = true
+		ev.waiters.satisfyAll(WaitObject0)
+		return
+	}
+	// Auto-reset: hand the signal to exactly one waiter if present.
+	if ev.waiters.satisfyOne(WaitObject0) != nil {
+		ev.signaled = false
+		return
+	}
+	ev.signaled = true
+}
+
+// Reset clears the signaled state.
+func (ev *Event) Reset() { ev.signaled = false }
+
+// Signaled reports the current signal state.
+func (ev *Event) Signaled() bool { return ev.signaled }
+
+func (ev *Event) tryAcquire(*Process) bool {
+	if !ev.signaled {
+		return false
+	}
+	if !ev.manualReset {
+		ev.signaled = false
+	}
+	return true
+}
+
+func (ev *Event) addWaiter(w *objWaiter) *list.Element { return ev.waiters.add(w) }
+func (ev *Event) removeWaiter(e *list.Element)         { ev.waiters.remove(e) }
+
+// Mutex ----------------------------------------------------------------------
+
+// Mutex is an NT mutex object with ownership and recursion.
+type Mutex struct {
+	Name      string
+	owner     *Process
+	recursion int
+	abandoned bool
+	waiters   waiterQueue
+}
+
+// NewMutex creates a mutex, optionally initially owned by p.
+func NewMutex(name string, owner *Process) *Mutex {
+	m := &Mutex{Name: name, owner: owner}
+	if owner != nil {
+		m.recursion = 1
+	}
+	return m
+}
+
+// Owner returns the owning process, or nil.
+func (m *Mutex) Owner() *Process { return m.owner }
+
+// Release releases one level of ownership. Returns false if p is not the
+// owner.
+func (m *Mutex) Release(p *Process) bool {
+	if m.owner != p {
+		return false
+	}
+	m.recursion--
+	if m.recursion > 0 {
+		return true
+	}
+	m.owner = nil
+	if w := m.waiters.satisfyOne(WaitObject0); w != nil {
+		m.owner = w.op.p
+		m.recursion = 1
+	}
+	return true
+}
+
+// abandon handles owner death: ownership transfers to the next waiter with
+// WAIT_ABANDONED semantics.
+func (m *Mutex) abandon(p *Process) {
+	if m.owner != p {
+		return
+	}
+	m.owner = nil
+	m.recursion = 0
+	m.abandoned = true
+	if w := m.waiters.satisfyOne(WaitAbandond); w != nil {
+		m.owner = w.op.p
+		m.recursion = 1
+		m.abandoned = false
+	}
+}
+
+func (m *Mutex) tryAcquire(p *Process) bool {
+	if m.owner == nil {
+		m.owner = p
+		m.recursion = 1
+		return true
+	}
+	if m.owner == p {
+		m.recursion++
+		return true
+	}
+	return false
+}
+
+func (m *Mutex) addWaiter(w *objWaiter) *list.Element { return m.waiters.add(w) }
+func (m *Mutex) removeWaiter(e *list.Element)         { m.waiters.remove(e) }
+
+// Semaphore --------------------------------------------------------------------
+
+// Semaphore is an NT semaphore object.
+type Semaphore struct {
+	Name    string
+	count   int32
+	max     int32
+	waiters waiterQueue
+}
+
+// NewSemaphore creates a semaphore with an initial and maximum count.
+func NewSemaphore(name string, initial, max int32) *Semaphore {
+	return &Semaphore{Name: name, count: initial, max: max}
+}
+
+// Count returns the current count.
+func (s *Semaphore) Count() int32 { return s.count }
+
+// ReleaseN adds n to the count, waking up to n waiters. It reports false if
+// the release would exceed the maximum.
+func (s *Semaphore) ReleaseN(n int32) bool {
+	if n <= 0 || s.count+n > s.max {
+		return false
+	}
+	s.count += n
+	for s.count > 0 {
+		if s.waiters.satisfyOne(WaitObject0) == nil {
+			break
+		}
+		s.count--
+	}
+	return true
+}
+
+func (s *Semaphore) tryAcquire(*Process) bool {
+	if s.count <= 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+func (s *Semaphore) addWaiter(w *objWaiter) *list.Element { return s.waiters.add(w) }
+func (s *Semaphore) removeWaiter(e *list.Element)         { s.waiters.remove(e) }
+
+// ProcessObject ------------------------------------------------------------------
+
+// ProcessObject is the waitable facet of a process: signaled forever once
+// the process exits.
+type ProcessObject struct {
+	exited  bool
+	waiters waiterQueue
+}
+
+func newProcessObject() *ProcessObject { return &ProcessObject{} }
+
+// signalExit marks the process exited, waking every waiter.
+func (po *ProcessObject) signalExit(*Kernel) {
+	po.exited = true
+	po.waiters.satisfyAll(WaitObject0)
+}
+
+// Exited reports whether the process object is signaled.
+func (po *ProcessObject) Exited() bool { return po.exited }
+
+func (po *ProcessObject) tryAcquire(*Process) bool { return po.exited }
+
+func (po *ProcessObject) addWaiter(w *objWaiter) *list.Element { return po.waiters.add(w) }
+func (po *ProcessObject) removeWaiter(e *list.Element)         { po.waiters.remove(e) }
+
+// Waiting ---------------------------------------------------------------------
+
+// WaitOne blocks p until obj is signaled or the timeout elapses.
+// timeoutMS follows Win32 semantics: 0 polls, Infinite waits forever.
+// It returns WaitObject0, WaitTimeout or WaitAbandond.
+func WaitOne(p *Process, obj Waitable, timeoutMS uint32) uint32 {
+	return WaitAny(p, []Waitable{obj}, timeoutMS)
+}
+
+// WaitAny blocks p until any one of objs is signaled or the timeout elapses,
+// returning WaitObject0+index, WaitAbandond+index, or WaitTimeout.
+func WaitAny(p *Process, objs []Waitable, timeoutMS uint32) uint32 {
+	p.checkAlive()
+	for i, o := range objs {
+		if o.tryAcquire(p) {
+			return WaitObject0 + uint32(i)
+		}
+	}
+	if timeoutMS == 0 {
+		return WaitTimeout
+	}
+	op := &waitOp{p: p}
+	for i, o := range objs {
+		o := o
+		w := &objWaiter{op: op, index: i}
+		elem := o.addWaiter(w)
+		op.cancels = append(op.cancels, func() { o.removeWaiter(elem) })
+	}
+	if timeoutMS != Infinite {
+		d := time.Duration(timeoutMS) * time.Millisecond
+		op.timerID = p.k.clock.ScheduleAfter(d, func() {
+			op.complete(WaitTimeout, ErrSuccess)
+		})
+		op.hasTimer = true
+	}
+	p.waitCancel = op.detach
+	result, _ := p.block()
+	return result
+}

@@ -1,0 +1,270 @@
+package ntsim
+
+import (
+	"fmt"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+type procState int
+
+const (
+	procReady procState = iota + 1
+	procRunning
+	procBlocked
+	procTerminated
+)
+
+// resumeAction tells a parked process how to continue.
+type resumeAction struct {
+	kill     bool
+	killCode uint32
+}
+
+// killSignal is the sentinel panic used to unwind a simulated process that
+// was terminated (by TerminateProcess, ExitProcess, or an access violation).
+type killSignal struct{ code uint32 }
+
+// Process is a simulated NT process. Program code runs in a dedicated
+// goroutine, but the kernel guarantees that at most one process goroutine is
+// executing at any moment, so process code may touch kernel state freely.
+type Process struct {
+	k       *Kernel
+	ID      PID
+	Image   string
+	CmdLine string
+	Parent  PID
+
+	state   procState
+	queued  bool
+	resume  chan resumeAction
+	env     map[string]string
+	lastErr Errno
+
+	pendingKill     bool
+	pendingKillCode uint32
+
+	// waitResult/waitErrno communicate the outcome of a blocking wait
+	// from the waker to the woken process.
+	waitResult uint32
+	waitErrno  Errno
+	waitCancel func() // removes this process from wait lists on timeout/kill
+
+	handles    map[Handle]*handleEntry
+	nextHandle Handle
+	addr       *addrSpace
+
+	obj       *ProcessObject
+	exitCode  uint32
+	startTime vclock.Time
+	endTime   vclock.Time
+}
+
+// run is the goroutine trampoline hosting the program image.
+func (p *Process) run(entry EntryFunc) {
+	act := <-p.resume // wait for first schedule
+	if act.kill {
+		p.finalize(act.killCode)
+		return
+	}
+	code := ExitFailure
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if ks, ok := r.(killSignal); ok {
+					code = ks.code
+					return
+				}
+				// A genuine bug in simulated program code:
+				// record it and fold it into a crash so the
+				// harness keeps running; tests assert that
+				// Kernel.Panics() stays empty.
+				p.k.panics = append(p.k.panics,
+					fmt.Sprintf("pid %d (%s): %v", p.ID, p.Image, r))
+				code = ExitAccessViolation
+			}
+		}()
+		code = entry(p)
+	}()
+	p.finalize(code)
+}
+
+// finalize marks the process terminated, releases its handles, signals its
+// process object, and returns the CPU to the kernel. Runs on the process
+// goroutine as its final act.
+func (p *Process) finalize(code uint32) {
+	p.state = procTerminated
+	p.exitCode = code
+	p.endTime = p.k.clock.Now()
+	p.k.liveProcs--
+	p.k.trace(p.ID, "exit code=0x%X", code)
+	// Close all handles (releases owned mutexes, pipe ends, etc.).
+	for h := range p.handles {
+		p.closeHandleInternal(h)
+	}
+	p.obj.signalExit(p.k)
+	p.k.procYield <- struct{}{}
+}
+
+// Kernel returns the hosting kernel.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// State helpers ------------------------------------------------------------
+
+// Terminated reports whether the process has exited.
+func (p *Process) Terminated() bool { return p.state == procTerminated }
+
+// ExitCode returns the exit code, or ExitStillActive while running.
+func (p *Process) ExitCode() uint32 { return p.exitCode }
+
+// StartTime returns the virtual time the process was spawned.
+func (p *Process) StartTime() vclock.Time { return p.startTime }
+
+// EndTime returns the virtual time the process exited (zero while running).
+func (p *Process) EndTime() vclock.Time { return p.endTime }
+
+// Object returns the waitable process object (signaled on exit).
+func (p *Process) Object() *ProcessObject { return p.obj }
+
+// LastError returns the per-process last-error value (GetLastError).
+func (p *Process) LastError() Errno { return p.lastErr }
+
+// SetLastError sets the per-process last-error value.
+func (p *Process) SetLastError(e Errno) { p.lastErr = e }
+
+// Env returns the value of a simulated environment variable.
+func (p *Process) Env(key string) string { return p.env[key] }
+
+// SetEnv sets a simulated environment variable.
+func (p *Process) SetEnv(key, value string) { p.env[key] = value }
+
+// Scheduling ---------------------------------------------------------------
+
+// schedQuantum is the preemption quantum: a process consuming a long CPU
+// burst relinquishes the CPU every quantum so due timers fire and woken
+// processes interleave, like NT's preemptive timesharing.
+const schedQuantum = 10 * time.Millisecond
+
+// ChargeTime advances the virtual clock by d, modeling CPU or I/O time
+// consumed by the running process. Bursts longer than the scheduling
+// quantum are sliced, with the CPU relinquished between slices.
+func (p *Process) ChargeTime(d time.Duration) {
+	p.checkAlive()
+	for d > schedQuantum {
+		p.k.clock.Advance(schedQuantum)
+		d -= schedQuantum
+		p.relinquish()
+	}
+	p.k.clock.Advance(d)
+}
+
+// relinquish requeues the running process at the back of the ready queue
+// and hands the CPU to the kernel (end-of-quantum preemption).
+func (p *Process) relinquish() {
+	p.checkAlive()
+	p.k.makeReady(p)
+	p.k.procYield <- struct{}{}
+	act := <-p.resume
+	if act.kill {
+		panic(killSignal{act.killCode})
+	}
+	p.state = procRunning
+}
+
+// checkAlive panics with the kill sentinel if the process has been marked
+// for termination. Called at every scheduling point.
+func (p *Process) checkAlive() {
+	if p.pendingKill {
+		panic(killSignal{p.pendingKillCode})
+	}
+}
+
+// block parks the process until the kernel resumes it, returning the wait
+// result installed by the waker.
+func (p *Process) block() (uint32, Errno) {
+	p.checkAlive()
+	p.state = procBlocked
+	p.k.procYield <- struct{}{}
+	act := <-p.resume
+	if act.kill {
+		if p.waitCancel != nil {
+			p.waitCancel()
+			p.waitCancel = nil
+		}
+		panic(killSignal{act.killCode})
+	}
+	p.state = procRunning
+	p.waitCancel = nil
+	return p.waitResult, p.waitErrno
+}
+
+// Yield relinquishes the CPU, letting other ready processes run at the same
+// virtual instant (Sleep(0) semantics).
+func (p *Process) Yield() {
+	p.checkAlive()
+	k := p.k
+	k.clock.ScheduleAfter(0, func() { k.wake(p, WaitObject0, ErrSuccess) })
+	p.block()
+}
+
+// SleepFor blocks the process for the given virtual duration.
+func (p *Process) SleepFor(d time.Duration) {
+	p.checkAlive()
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	k := p.k
+	k.clock.ScheduleAfter(d, func() { k.wake(p, WaitObject0, ErrSuccess) })
+	p.block()
+}
+
+// Exit terminates the calling process with the given exit code. It does not
+// return.
+func (p *Process) Exit(code uint32) {
+	panic(killSignal{code})
+}
+
+// RaiseAccessViolation terminates the calling process as if it dereferenced
+// an invalid pointer. It does not return.
+func (p *Process) RaiseAccessViolation() {
+	p.k.trace(p.ID, "access violation")
+	panic(killSignal{ExitAccessViolation})
+}
+
+// Terminate kills the process from outside (TerminateProcess semantics).
+// Safe to call on any non-running process; the kernel unwinds it at its next
+// scheduling point. Calling it on the running process is equivalent to Exit.
+func (p *Process) Terminate(code uint32) {
+	if p.state == procTerminated {
+		return
+	}
+	if p.k.current == p {
+		p.Exit(code)
+	}
+	p.pendingKill = true
+	p.pendingKillCode = code
+	// Wake it so the kill unwinds promptly regardless of what it was
+	// waiting for.
+	if p.state == procBlocked {
+		p.k.wake(p, WaitFailed, ErrProcessAborted)
+	} else {
+		p.k.makeReady(p)
+	}
+}
+
+// Syscall dispatch ----------------------------------------------------------
+
+// Syscall charges the base system-call cost and runs the fault-injection
+// interceptor over the raw parameter slice, which it may mutate in place.
+// Every win32 API function funnels through here exactly once.
+func (p *Process) Syscall(fn string, raw []uint64) {
+	p.checkAlive()
+	p.k.clock.Advance(p.k.costs.SyscallBase)
+	p.k.dispatchSyscall(p, fn, raw)
+}
+
+// Addr returns the process's fake address space used for pointer-parameter
+// modeling.
+func (p *Process) Addr() *addrSpace { return p.addr }

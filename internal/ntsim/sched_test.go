@@ -1,0 +1,106 @@
+package ntsim
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// TestPreemptionSlicesLongCPUBursts is the regression test for the
+// scheduler starvation bug: a process charging a long CPU burst must not
+// delay another process's timer wake-up beyond the scheduling quantum.
+// (Watchd1's one-second poll was once delayed 5.5 seconds by the client's
+// startup burst, silently breaking its handle-acquisition timing.)
+func TestPreemptionSlicesLongCPUBursts(t *testing.T) {
+	k := NewKernel()
+	var wokeAt vclock.Time
+	k.RegisterImage("burner.exe", func(p *Process) uint32 {
+		p.ChargeTime(6 * time.Second)
+		return 0
+	})
+	k.RegisterImage("sleeper.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Second)
+		wokeAt = k.Now()
+		return 0
+	})
+	mustSpawn(t, k, "burner.exe", "")
+	mustSpawn(t, k, "sleeper.exe", "")
+	runAll(t, k)
+	if wokeAt < vclock.Time(time.Second) {
+		t.Fatalf("sleeper woke early at %v", wokeAt)
+	}
+	if wokeAt > vclock.Time(time.Second+2*schedQuantum) {
+		t.Fatalf("sleeper woke at %v; CPU burst starved the timer (quantum %v)", wokeAt, schedQuantum)
+	}
+}
+
+// TestDueTimersFireBeforeReadyProcesses pins the Step ordering contract:
+// events whose deadline has passed fire before any ready process resumes.
+func TestDueTimersFireBeforeReadyProcesses(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	// A process that burns past a timer deadline in one slice-free charge
+	// (below the quantum so no preemption happens), then yields.
+	k.RegisterImage("a.exe", func(p *Process) uint32 {
+		k.Clock().ScheduleAfter(5*time.Millisecond, func() { order = append(order, "timer") })
+		p.ChargeTime(9 * time.Millisecond) // passes the 5ms deadline, single slice
+		p.Yield()
+		order = append(order, "proc")
+		return 0
+	})
+	mustSpawn(t, k, "a.exe", "")
+	runAll(t, k)
+	if len(order) != 2 || order[0] != "timer" || order[1] != "proc" {
+		t.Fatalf("order %v, want [timer proc]", order)
+	}
+}
+
+// TestRoundRobinBetweenCPUBoundProcesses: two CPU-bound processes sharing
+// the virtual CPU finish in bounded skew, not strictly sequentially.
+func TestRoundRobinBetweenCPUBoundProcesses(t *testing.T) {
+	k := NewKernel()
+	var doneA, doneB vclock.Time
+	k.RegisterImage("a.exe", func(p *Process) uint32 {
+		p.ChargeTime(500 * time.Millisecond)
+		doneA = k.Now()
+		return 0
+	})
+	k.RegisterImage("b.exe", func(p *Process) uint32 {
+		p.ChargeTime(500 * time.Millisecond)
+		doneB = k.Now()
+		return 0
+	})
+	mustSpawn(t, k, "a.exe", "")
+	mustSpawn(t, k, "b.exe", "")
+	runAll(t, k)
+	total := vclock.Time(time.Second)
+	if doneA < total-vclock.Time(2*schedQuantum) || doneB < total-vclock.Time(2*schedQuantum) {
+		t.Fatalf("done at %v / %v; CPU-bound processes did not interleave (total %v)", doneA, doneB, total)
+	}
+	skew := doneA.Sub(doneB)
+	if skew < 0 {
+		skew = -skew
+	}
+	if skew > 2*schedQuantum {
+		t.Fatalf("finish skew %v exceeds two quanta", skew)
+	}
+}
+
+// TestKillDuringCPUBurst: terminating a process mid-burst unwinds it at
+// the next quantum boundary.
+func TestKillDuringCPUBurst(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("burner.exe", func(p *Process) uint32 {
+		p.ChargeTime(time.Hour)
+		return 0
+	})
+	p := mustSpawn(t, k, "burner.exe", "")
+	k.RunFor(100 * time.Millisecond)
+	p.Terminate(ExitTerminated)
+	k.RunFor(100 * time.Millisecond)
+	if !p.Terminated() || p.ExitCode() != ExitTerminated {
+		t.Fatalf("terminated=%v code=0x%X", p.Terminated(), p.ExitCode())
+	}
+	checkNoPanics(t, k)
+}

@@ -1,0 +1,157 @@
+package ntsim
+
+import (
+	"sort"
+	"strings"
+)
+
+// Directory support for the VFS: directories are explicit entries so that
+// CreateDirectoryA/RemoveDirectoryA behave like Win32, and FindFirstFileA-
+// style wildcard enumeration works over both files and directories.
+
+// dirs lazily allocates the directory set.
+func (fs *VFS) dirSet() map[string]string {
+	if fs.dirsByKey == nil {
+		fs.dirsByKey = make(map[string]string)
+	}
+	return fs.dirsByKey
+}
+
+// MkDir creates a directory entry. Parent directories are implicit (the
+// simulation does not enforce hierarchy existence, matching the loose VFS
+// model used for files).
+func (fs *VFS) MkDir(path string) Errno {
+	key := normPath(path)
+	if key == "" {
+		return ErrInvalidName
+	}
+	if _, exists := fs.dirSet()[key]; exists {
+		return ErrAlreadyExists
+	}
+	if fs.Exists(path) {
+		return ErrAlreadyExists
+	}
+	fs.dirSet()[key] = strings.TrimRight(path, `\/`)
+	return ErrSuccess
+}
+
+// DirExists reports whether a directory entry exists.
+func (fs *VFS) DirExists(path string) bool {
+	_, ok := fs.dirSet()[normPath(path)]
+	return ok
+}
+
+// RmDir removes an empty directory.
+func (fs *VFS) RmDir(path string) Errno {
+	key := normPath(path)
+	if _, ok := fs.dirSet()[key]; !ok {
+		return ErrFileNotFound
+	}
+	prefix := key + `\`
+	for fileKey := range fs.files {
+		if strings.HasPrefix(fileKey, prefix) {
+			return ErrBusy // directory not empty (ERROR_DIR_NOT_EMPTY stand-in)
+		}
+	}
+	for dirKey := range fs.dirSet() {
+		if strings.HasPrefix(dirKey, prefix) {
+			return ErrBusy
+		}
+	}
+	delete(fs.dirSet(), key)
+	return ErrSuccess
+}
+
+// Rename moves a file to a new path.
+func (fs *VFS) Rename(from, to string) Errno {
+	fromKey, toKey := normPath(from), normPath(to)
+	f, ok := fs.files[fromKey]
+	if !ok {
+		return ErrFileNotFound
+	}
+	if _, exists := fs.files[toKey]; exists {
+		return ErrAlreadyExists
+	}
+	delete(fs.files, fromKey)
+	f.path = to
+	fs.files[toKey] = f
+	return ErrSuccess
+}
+
+// Copy duplicates a file. failIfExists mirrors CopyFile's third argument.
+func (fs *VFS) Copy(from, to string, failIfExists bool) Errno {
+	data, ok := fs.ReadFile(from)
+	if !ok {
+		return ErrFileNotFound
+	}
+	if failIfExists && fs.Exists(to) {
+		return ErrAlreadyExists
+	}
+	fs.WriteFile(to, data)
+	return ErrSuccess
+}
+
+// matchComponent implements the DOS-style wildcard match used by
+// FindFirstFile: '*' matches any run, '?' matches one character.
+func matchComponent(pattern, name string) bool {
+	p, n := 0, 0
+	star, starN := -1, 0
+	for n < len(name) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == name[n]):
+			p++
+			n++
+		case p < len(pattern) && pattern[p] == '*':
+			star, starN = p, n
+			p++
+		case star >= 0:
+			starN++
+			p, n = star+1, starN
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// Find enumerates directory entries matching a wildcard pattern like
+// `C:\logs\*.log`. Matching is case-insensitive on the final component.
+// Results are original-case base names in sorted order.
+func (fs *VFS) Find(pattern string) []string {
+	norm := normPath(pattern)
+	slash := strings.LastIndexByte(norm, '\\')
+	if slash < 0 {
+		return nil
+	}
+	dirKey, comp := norm[:slash], norm[slash+1:]
+	if comp == "" {
+		return nil
+	}
+	seen := make(map[string]string)
+	consider := func(key, original string) {
+		keySlash := strings.LastIndexByte(key, '\\')
+		if keySlash < 0 || key[:keySlash] != dirKey {
+			return
+		}
+		base := key[keySlash+1:]
+		if matchComponent(comp, base) {
+			origSlash := strings.LastIndexAny(original, `\/`)
+			seen[base] = original[origSlash+1:]
+		}
+	}
+	for key, f := range fs.files {
+		consider(key, f.path)
+	}
+	for key, orig := range fs.dirSet() {
+		consider(key, orig)
+	}
+	out := make([]string, 0, len(seen))
+	for _, name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,187 @@
+package ntsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMkDirRmDir(t *testing.T) {
+	fs := NewVFS()
+	if errno := fs.MkDir(`C:\logs`); errno != ErrSuccess {
+		t.Fatal(errno)
+	}
+	if !fs.DirExists(`c:\LOGS`) {
+		t.Fatal("case-insensitive dir lookup failed")
+	}
+	if errno := fs.MkDir(`C:\logs`); errno != ErrAlreadyExists {
+		t.Fatalf("duplicate MkDir: %v", errno)
+	}
+	if errno := fs.MkDir(""); errno != ErrInvalidName {
+		t.Fatalf("empty MkDir: %v", errno)
+	}
+	if errno := fs.RmDir(`C:\logs`); errno != ErrSuccess {
+		t.Fatal(errno)
+	}
+	if errno := fs.RmDir(`C:\logs`); errno != ErrFileNotFound {
+		t.Fatalf("double RmDir: %v", errno)
+	}
+}
+
+func TestMkDirOverFileRejected(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\x`, nil)
+	if errno := fs.MkDir(`C:\x`); errno != ErrAlreadyExists {
+		t.Fatalf("MkDir over file: %v", errno)
+	}
+}
+
+func TestRmDirNonEmpty(t *testing.T) {
+	fs := NewVFS()
+	fs.MkDir(`C:\d`)
+	fs.WriteFile(`C:\d\f.txt`, nil)
+	if errno := fs.RmDir(`C:\d`); errno != ErrBusy {
+		t.Fatalf("RmDir of non-empty: %v", errno)
+	}
+	fs.Remove(`C:\d\f.txt`)
+	if errno := fs.RmDir(`C:\d`); errno != ErrSuccess {
+		t.Fatalf("RmDir after emptying: %v", errno)
+	}
+	// Nested directories also block removal.
+	fs.MkDir(`C:\e`)
+	fs.MkDir(`C:\e\sub`)
+	if errno := fs.RmDir(`C:\e`); errno != ErrBusy {
+		t.Fatalf("RmDir with subdirectory: %v", errno)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\a.txt`, []byte("data"))
+	if errno := fs.Rename(`C:\a.txt`, `C:\b.txt`); errno != ErrSuccess {
+		t.Fatal(errno)
+	}
+	if fs.Exists(`C:\a.txt`) || !fs.Exists(`C:\b.txt`) {
+		t.Fatal("rename did not move the file")
+	}
+	got, _ := fs.ReadFile(`C:\b.txt`)
+	if string(got) != "data" {
+		t.Fatal("rename lost contents")
+	}
+	if errno := fs.Rename(`C:\missing`, `C:\c`); errno != ErrFileNotFound {
+		t.Fatalf("rename missing: %v", errno)
+	}
+	fs.WriteFile(`C:\c.txt`, nil)
+	if errno := fs.Rename(`C:\b.txt`, `C:\c.txt`); errno != ErrAlreadyExists {
+		t.Fatalf("rename onto existing: %v", errno)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\src`, []byte("payload"))
+	if errno := fs.Copy(`C:\src`, `C:\dst`, true); errno != ErrSuccess {
+		t.Fatal(errno)
+	}
+	got, _ := fs.ReadFile(`C:\dst`)
+	if string(got) != "payload" {
+		t.Fatal("copy lost contents")
+	}
+	if errno := fs.Copy(`C:\src`, `C:\dst`, true); errno != ErrAlreadyExists {
+		t.Fatalf("failIfExists copy: %v", errno)
+	}
+	if errno := fs.Copy(`C:\src`, `C:\dst`, false); errno != ErrSuccess {
+		t.Fatalf("overwrite copy: %v", errno)
+	}
+	if errno := fs.Copy(`C:\missing`, `C:\x`, false); errno != ErrFileNotFound {
+		t.Fatalf("copy missing: %v", errno)
+	}
+}
+
+func TestFindWildcards(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\logs\app.log`, nil)
+	fs.WriteFile(`C:\logs\error.log`, nil)
+	fs.WriteFile(`C:\logs\readme.txt`, nil)
+	fs.WriteFile(`C:\logs\sub\deep.log`, nil)
+	fs.MkDir(`C:\logs\archive`)
+
+	cases := []struct {
+		pattern string
+		want    []string
+	}{
+		{`C:\logs\*.log`, []string{"app.log", "error.log"}},
+		{`C:\logs\*`, []string{"app.log", "archive", "error.log", "readme.txt"}},
+		{`C:\logs\a*.log`, []string{"app.log"}},
+		{`C:\logs\?????.log`, []string{"error.log"}},
+		{`C:\logs\*.exe`, nil},
+		{`C:\other\*`, nil},
+		{`C:\LOGS\*.LOG`, []string{"app.log", "error.log"}}, // case-insensitive
+	}
+	for _, c := range cases {
+		got := fs.Find(c.pattern)
+		if len(got) != len(c.want) {
+			t.Errorf("Find(%q) = %v, want %v", c.pattern, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Find(%q) = %v, want %v", c.pattern, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMatchComponent(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "anything", true},
+		{"*.log", "a.log", true},
+		{"*.log", "a.txt", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "axxbyy", false},
+		{"", "", true},
+		{"", "x", false},
+		{"**", "x", true},
+	}
+	for _, c := range cases {
+		if got := matchComponent(c.pattern, c.name); got != c.want {
+			t.Errorf("matchComponent(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+// Property: every name returned by Find matches its own pattern component,
+// and '*' returns everything in the directory.
+func TestPropertyFindSubsetOfStar(t *testing.T) {
+	f := func(names []uint8, patSeed uint8) bool {
+		fs := NewVFS()
+		for _, n := range names {
+			name := string(rune('a'+n%4)) + ".dat"
+			fs.WriteFile(`C:\d\`+name, nil)
+		}
+		all := fs.Find(`C:\d\*`)
+		pat := string(rune('a'+patSeed%4)) + "*"
+		subset := fs.Find(`C:\d\` + pat)
+		if len(subset) > len(all) {
+			return false
+		}
+		inAll := make(map[string]bool, len(all))
+		for _, n := range all {
+			inAll[n] = true
+		}
+		for _, n := range subset {
+			if !inAll[n] || !matchComponent(pat, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

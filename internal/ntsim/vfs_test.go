@@ -1,0 +1,238 @@
+package ntsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestVFSWriteReadRoundtrip(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\www\index.html`, []byte("<html>"))
+	got, ok := fs.ReadFile(`c:\WWW\INDEX.HTML`)
+	if !ok || string(got) != "<html>" {
+		t.Fatalf("case-insensitive read: %q %v", got, ok)
+	}
+	if !fs.Exists(`C:/www/index.html`) {
+		t.Fatal("forward slashes should normalize")
+	}
+}
+
+func TestVFSOpenDispositions(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\a.txt`, []byte("data"))
+
+	if _, errno := fs.Open(`C:\a.txt`, GenericRead, CreateNew); errno != ErrAlreadyExists {
+		t.Fatalf("CreateNew on existing: %v", errno)
+	}
+	if _, errno := fs.Open(`C:\missing`, GenericRead, OpenExisting); errno != ErrFileNotFound {
+		t.Fatalf("OpenExisting on missing: %v", errno)
+	}
+	if _, errno := fs.Open(`C:\missing2`, GenericRead, TruncateExisting); errno != ErrFileNotFound {
+		t.Fatalf("TruncateExisting on missing: %v", errno)
+	}
+	of, errno := fs.Open(`C:\a.txt`, GenericRead|GenericWrite, CreateAlways)
+	if errno != ErrSuccess || of.Size() != 0 {
+		t.Fatalf("CreateAlways should truncate: %v size=%d", errno, of.Size())
+	}
+	if _, errno := fs.Open(`C:\b.txt`, GenericWrite, OpenAlways); errno != ErrSuccess {
+		t.Fatalf("OpenAlways create: %v", errno)
+	}
+	if !fs.Exists(`C:\b.txt`) {
+		t.Fatal("OpenAlways did not create the file")
+	}
+	if _, errno := fs.Open(`C:\c.txt`, GenericRead, 99); errno != ErrInvalidParameter {
+		t.Fatalf("bad disposition: %v", errno)
+	}
+	if _, errno := fs.Open("", GenericRead, OpenExisting); errno != ErrInvalidName {
+		t.Fatalf("empty path: %v", errno)
+	}
+}
+
+func TestOpenFileReadWriteSeek(t *testing.T) {
+	fs := NewVFS()
+	of, errno := fs.Open(`C:\f`, GenericRead|GenericWrite, CreateAlways)
+	if errno != ErrSuccess {
+		t.Fatal(errno)
+	}
+	if n, errno := of.Write([]byte("hello world")); n != 11 || errno != ErrSuccess {
+		t.Fatalf("write: %d %v", n, errno)
+	}
+	if pos, errno := of.SeekTo(0, FileBegin); pos != 0 || errno != ErrSuccess {
+		t.Fatalf("seek begin: %d %v", pos, errno)
+	}
+	buf := make([]byte, 5)
+	if n, errno := of.Read(buf); n != 5 || errno != ErrSuccess || string(buf) != "hello" {
+		t.Fatalf("read: %d %v %q", n, errno, buf)
+	}
+	if pos, _ := of.SeekTo(1, FileCurrent); pos != 6 {
+		t.Fatalf("seek current: %d", pos)
+	}
+	if n, _ := of.Read(buf); string(buf[:n]) != "world" {
+		t.Fatalf("read after seek: %q", buf[:n])
+	}
+	// EOF: zero bytes, success.
+	if n, errno := of.Read(buf); n != 0 || errno != ErrSuccess {
+		t.Fatalf("EOF read: %d %v", n, errno)
+	}
+	if pos, _ := of.SeekTo(-2, FileEnd); pos != 9 {
+		t.Fatalf("seek end: %d", pos)
+	}
+	if _, errno := of.SeekTo(-100, FileBegin); errno != ErrInvalidParameter {
+		t.Fatalf("negative seek: %v", errno)
+	}
+	if _, errno := of.SeekTo(0, 42); errno != ErrInvalidParameter {
+		t.Fatalf("bad method: %v", errno)
+	}
+}
+
+func TestOpenFileAccessEnforcement(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\ro`, []byte("x"))
+	of, _ := fs.Open(`C:\ro`, GenericRead, OpenExisting)
+	if _, errno := of.Write([]byte("y")); errno != ErrAccessDenied {
+		t.Fatalf("write on read-only handle: %v", errno)
+	}
+	wf, _ := fs.Open(`C:\ro`, GenericWrite, OpenExisting)
+	if _, errno := wf.Read(make([]byte, 1)); errno != ErrAccessDenied {
+		t.Fatalf("read on write-only handle: %v", errno)
+	}
+}
+
+func TestOpenFileClosedHandle(t *testing.T) {
+	fs := NewVFS()
+	of, _ := fs.Open(`C:\f`, GenericRead|GenericWrite, CreateAlways)
+	of.close()
+	if _, errno := of.Read(make([]byte, 1)); errno != ErrInvalidHandle {
+		t.Fatalf("read on closed: %v", errno)
+	}
+	if _, errno := of.Write([]byte("x")); errno != ErrInvalidHandle {
+		t.Fatalf("write on closed: %v", errno)
+	}
+	if _, errno := of.SeekTo(0, FileBegin); errno != ErrInvalidHandle {
+		t.Fatalf("seek on closed: %v", errno)
+	}
+}
+
+func TestVFSRemoveAndList(t *testing.T) {
+	fs := NewVFS()
+	fs.WriteFile(`C:\b`, nil)
+	fs.WriteFile(`C:\a`, nil)
+	list := fs.List()
+	if len(list) != 2 || list[0] != `C:\a` || list[1] != `C:\b` {
+		t.Fatalf("List: %v", list)
+	}
+	if !fs.Remove(`c:\A`) {
+		t.Fatal("Remove failed")
+	}
+	if fs.Remove(`c:\A`) {
+		t.Fatal("double Remove succeeded")
+	}
+}
+
+func TestVFSIsolationFromCallerBuffers(t *testing.T) {
+	fs := NewVFS()
+	data := []byte("abc")
+	fs.WriteFile(`C:\f`, data)
+	data[0] = 'X'
+	got, _ := fs.ReadFile(`C:\f`)
+	if string(got) != "abc" {
+		t.Fatal("WriteFile aliased caller buffer")
+	}
+	got[0] = 'Y'
+	again, _ := fs.ReadFile(`C:\f`)
+	if string(again) != "abc" {
+		t.Fatal("ReadFile aliased internal buffer")
+	}
+}
+
+// Property: write-then-read through an OpenFile reproduces the bytes for any
+// payload and any split of the writes.
+func TestPropertyFileWriteReadIdentity(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		fs := NewVFS()
+		of, errno := fs.Open(`C:\p`, GenericRead|GenericWrite, CreateAlways)
+		if errno != ErrSuccess {
+			return false
+		}
+		var want []byte
+		for _, c := range chunks {
+			of.Write(c)
+			want = append(want, c...)
+		}
+		of.SeekTo(0, FileBegin)
+		got := make([]byte, len(want))
+		total := 0
+		for total < len(want) {
+			n, errno := of.Read(got[total:])
+			if errno != ErrSuccess || n == 0 {
+				return false
+			}
+			total += n
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrSpaceMapping(t *testing.T) {
+	a := newAddrSpace()
+	buf := []byte{1, 2, 3}
+	addr := a.MapBuf(buf)
+	if addr == 0 {
+		t.Fatal("MapBuf returned NULL for non-nil buffer")
+	}
+	got, null, ok := a.Buf(addr)
+	if !ok || null || &got[0] != &buf[0] {
+		t.Fatal("Buf did not resolve to the original buffer")
+	}
+	// NULL resolves as null.
+	if _, null, ok := a.Buf(0); !ok || !null {
+		t.Fatal("NULL should resolve as null")
+	}
+	// Corrupted addresses (flip) miss.
+	if _, _, ok := a.Buf(addr ^ 0xFFFFFFFFFFFFFFFF); ok {
+		t.Fatal("flipped address resolved")
+	}
+	if _, _, ok := a.Buf(0xFFFFFFFFFFFFFFFF); ok {
+		t.Fatal("all-ones address resolved")
+	}
+	// Strings.
+	saddr := a.MapStr("name")
+	s, null, ok := a.Str(saddr)
+	if !ok || null || s != "name" {
+		t.Fatalf("Str: %q %v %v", s, null, ok)
+	}
+	if _, _, ok := a.Str(addr); ok {
+		t.Fatal("buffer address resolved as string")
+	}
+	a.Release(addr)
+	if _, _, ok := a.Buf(addr); ok {
+		t.Fatal("released address still resolves")
+	}
+	if a.MapBuf(nil) != 0 {
+		t.Fatal("nil buffer should map to NULL")
+	}
+}
+
+// Property: addresses handed out by the address space are unique and
+// non-NULL.
+func TestPropertyAddrUniqueness(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := newAddrSpace()
+		seen := make(map[uint64]bool)
+		for _, n := range sizes {
+			addr := a.MapBuf(make([]byte, int(n)+1))
+			if addr == 0 || seen[addr] {
+				return false
+			}
+			seen[addr] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

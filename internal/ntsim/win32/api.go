@@ -1,0 +1,177 @@
+// Package win32 layers a typed KERNEL32-style API over the ntsim kernel.
+// Every function in this package marshals its parameters into raw 64-bit
+// values, passes them through the kernel's system-call dispatch (where the
+// fault injector may corrupt them), and then interprets the possibly
+// corrupted values exactly the way the real Win32 API surface does:
+//
+//   - a corrupted HANDLE fails to resolve          -> ERROR_INVALID_HANDLE
+//   - a zeroed pointer becomes NULL                -> error return
+//   - a flipped/ones pointer becomes a wild pointer-> access violation (the
+//     process dies with STATUS_ACCESS_VIOLATION)
+//   - a corrupted size/count/timeout/flag is used as-is, producing silently
+//     wrong behaviour (zero-length I/O, ~infinite waits, changed object
+//     semantics) or a buffer-overrun access violation
+//
+// This is the consequence model of DLL-interposition SWIFI tools on NT and
+// is the fault surface the DSN 2000 paper injects.
+package win32
+
+import (
+	"encoding/binary"
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+// Handle re-exports the kernel handle type for API signatures.
+type Handle = ntsim.Handle
+
+// InvalidHandle mirrors INVALID_HANDLE_VALUE.
+const InvalidHandle = ntsim.InvalidHandle
+
+// Infinite mirrors the INFINITE timeout constant.
+const Infinite = ntsim.Infinite
+
+// API is the KERNEL32 surface bound to one simulated process.
+type API struct {
+	p         *ntsim.Process
+	k         *ntsim.Kernel
+	errorMode uint32
+}
+
+// New binds the API to a process. Program images call this first.
+func New(p *ntsim.Process) *API {
+	return &API{p: p, k: p.Kernel()}
+}
+
+// Process returns the bound process.
+func (a *API) Process() *ntsim.Process { return a.p }
+
+// Kernel returns the hosting kernel.
+func (a *API) Kernel() *ntsim.Kernel { return a.k }
+
+// fail sets the last error and returns false (the BOOL-API error idiom).
+func (a *API) fail(e ntsim.Errno) bool {
+	a.p.SetLastError(e)
+	return false
+}
+
+// ok clears the last error and returns true.
+func (a *API) ok() bool {
+	a.p.SetLastError(ntsim.ErrSuccess)
+	return true
+}
+
+// resolution classifies a possibly corrupted pointer parameter.
+type resolution int
+
+const (
+	ptrResolved resolution = iota + 1
+	ptrNull
+	ptrWild
+)
+
+// buf resolves a raw buffer address.
+func (a *API) buf(addr uint64) ([]byte, resolution) {
+	data, null, ok := a.p.Addr().Buf(addr)
+	switch {
+	case !ok:
+		return nil, ptrWild
+	case null:
+		return nil, ptrNull
+	default:
+		return data, ptrResolved
+	}
+}
+
+// str resolves a raw string address.
+func (a *API) str(addr uint64) (string, resolution) {
+	s, null, ok := a.p.Addr().Str(addr)
+	switch {
+	case !ok:
+		return "", ptrWild
+	case null:
+		return "", ptrNull
+	default:
+		return s, ptrResolved
+	}
+}
+
+// av terminates the process with an access violation. Declared to return
+// bool so call sites read naturally, but it never returns.
+func (a *API) av() bool {
+	a.p.RaiseAccessViolation()
+	return false
+}
+
+// mustBuf resolves a buffer address that real Win32 probes before use:
+// wild -> access violation; NULL -> ERROR_NOACCESS error return.
+func (a *API) mustBuf(addr uint64) ([]byte, bool) {
+	data, res := a.buf(addr)
+	switch res {
+	case ptrWild:
+		a.av()
+		return nil, false
+	case ptrNull:
+		a.fail(ntsim.ErrNoaccess)
+		return nil, false
+	}
+	return data, true
+}
+
+// putU32 stores a DWORD through a resolved out-parameter buffer.
+func putU32(dst []byte, v uint32) {
+	if len(dst) >= 4 {
+		binary.LittleEndian.PutUint32(dst[:4], v)
+	}
+}
+
+// getU32 loads a DWORD from an out-parameter cell.
+func getU32(src []byte) uint32 {
+	if len(src) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(src[:4])
+}
+
+// outCell allocates a 4-byte out-parameter cell mapped into the address
+// space, returning its address and a reader for the final value.
+func (a *API) outCell() (addr uint64, read func() uint32, release func()) {
+	cell := make([]byte, 4)
+	addr = a.p.Addr().MapBuf(cell)
+	return addr, func() uint32 { return getU32(cell) }, func() { a.p.Addr().Release(addr) }
+}
+
+// syscall charges the base cost and runs the interceptor. raw may be
+// mutated in place.
+func (a *API) syscall(fn string, raw []uint64) {
+	a.p.Syscall(fn, raw)
+}
+
+// charge charges extra virtual time beyond the syscall base cost.
+func (a *API) charge(d time.Duration) { a.p.ChargeTime(d) }
+
+// boolArg interprets a possibly corrupted BOOL parameter (any non-zero value
+// is TRUE, exactly like Win32).
+func boolArg(raw uint64) bool { return raw != 0 }
+
+// b2r marshals a Go bool into a raw parameter.
+func b2r(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// GetLastError returns the calling process's last-error value.
+func (a *API) GetLastError() ntsim.Errno {
+	a.syscall("GetLastError", nil)
+	return a.p.LastError()
+}
+
+// SetLastError sets the calling process's last-error value.
+func (a *API) SetLastError(e uint32) {
+	raw := []uint64{uint64(e)}
+	a.syscall("SetLastError", raw)
+	a.p.SetLastError(ntsim.Errno(uint32(raw[0])))
+}

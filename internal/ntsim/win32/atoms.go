@@ -1,0 +1,205 @@
+package win32
+
+import (
+	"strings"
+
+	"ntdts/internal/ntsim"
+)
+
+// Atom tables: interned strings identified by 16-bit atoms, in a local
+// (per-process) and a global (machine-wide) flavor — the classic Win32
+// registration mechanism for window classes and clipboard formats.
+
+// atomTable is one atom namespace.
+type atomTable struct {
+	byName map[string]uint16 // lower-cased name -> atom
+	byAtom map[uint16]string // atom -> original-case name
+	refs   map[uint16]int
+	next   uint16
+}
+
+func newAtomTable() *atomTable {
+	return &atomTable{
+		byName: make(map[string]uint16),
+		byAtom: make(map[uint16]string),
+		refs:   make(map[uint16]int),
+		next:   0xC000, // the real string-atom range starts here
+	}
+}
+
+func (t *atomTable) add(name string) uint16 {
+	key := strings.ToLower(name)
+	if atom, ok := t.byName[key]; ok {
+		t.refs[atom]++
+		return atom
+	}
+	if t.next == 0xFFFF {
+		return 0 // table full
+	}
+	atom := t.next
+	t.next++
+	t.byName[key] = atom
+	t.byAtom[atom] = name
+	t.refs[atom] = 1
+	return atom
+}
+
+func (t *atomTable) find(name string) uint16 {
+	return t.byName[strings.ToLower(name)]
+}
+
+func (t *atomTable) name(atom uint16) (string, bool) {
+	n, ok := t.byAtom[atom]
+	return n, ok
+}
+
+func (t *atomTable) del(atom uint16) bool {
+	name, ok := t.byAtom[atom]
+	if !ok {
+		return false
+	}
+	t.refs[atom]--
+	if t.refs[atom] <= 0 {
+		delete(t.byAtom, atom)
+		delete(t.byName, strings.ToLower(name))
+		delete(t.refs, atom)
+	}
+	return true
+}
+
+// localAtoms returns the calling process's atom table.
+func (a *API) localAtoms() *atomTable {
+	key := "atoms:local:" + itoa(uint32(a.p.ID))
+	if v, found := a.k.LookupNamed(key); found {
+		return v.(*atomTable)
+	}
+	t := newAtomTable()
+	a.k.RegisterNamed(key, t)
+	return t
+}
+
+// globalAtoms returns the machine-wide atom table.
+func (a *API) globalAtoms() *atomTable {
+	const key = "atoms:global"
+	if v, found := a.k.LookupNamed(key); found {
+		return v.(*atomTable)
+	}
+	t := newAtomTable()
+	a.k.RegisterNamed(key, t)
+	return t
+}
+
+// atomAdd is the shared AddAtom implementation.
+func (a *API) atomAdd(fn string, t *atomTable, name string) uint16 {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr}
+	a.syscall(fn, raw)
+	v, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	atom := t.add(v)
+	if atom == 0 {
+		a.fail(ntsim.ErrNotEnoughMemory)
+		return 0
+	}
+	a.ok()
+	return atom
+}
+
+// atomFind is the shared FindAtom implementation.
+func (a *API) atomFind(fn string, t *atomTable, name string) uint16 {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr}
+	a.syscall(fn, raw)
+	v, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	atom := t.find(v)
+	if atom == 0 {
+		a.fail(ntsim.ErrFileNotFound)
+		return 0
+	}
+	a.ok()
+	return atom
+}
+
+// atomDel is the shared DeleteAtom implementation.
+func (a *API) atomDel(fn string, t *atomTable, atom uint16) uint16 {
+	raw := []uint64{uint64(atom)}
+	a.syscall(fn, raw)
+	if !t.del(uint16(raw[0])) {
+		a.fail(ntsim.ErrInvalidHandle)
+		return atom // DeleteAtom returns the atom on failure
+	}
+	a.ok()
+	return 0
+}
+
+// atomName is the shared GetAtomName implementation.
+func (a *API) atomName(fn string, t *atomTable, atom uint16, name *string) uint32 {
+	out := make([]byte, 256)
+	outAddr := a.p.Addr().MapBuf(out)
+	defer a.p.Addr().Release(outAddr)
+	raw := []uint64{uint64(atom), outAddr, uint64(len(out))}
+	a.syscall(fn, raw)
+	dst, ok := a.mustBuf(raw[1])
+	if !ok {
+		return 0
+	}
+	v, found := t.name(uint16(raw[0]))
+	if !found {
+		a.fail(ntsim.ErrInvalidHandle)
+		return 0
+	}
+	n := copy(dst, v)
+	if uint64(n) > raw[2] {
+		n = int(raw[2])
+	}
+	if name != nil {
+		*name = v[:n]
+	}
+	a.ok()
+	return uint32(n)
+}
+
+// AddAtomA interns a string in the process-local atom table.
+func (a *API) AddAtomA(name string) uint16 { return a.atomAdd("AddAtomA", a.localAtoms(), name) }
+
+// FindAtomA looks a string up in the local table.
+func (a *API) FindAtomA(name string) uint16 { return a.atomFind("FindAtomA", a.localAtoms(), name) }
+
+// DeleteAtom decrements a local atom's reference count.
+func (a *API) DeleteAtom(atom uint16) uint16 { return a.atomDel("DeleteAtom", a.localAtoms(), atom) }
+
+// GetAtomNameA retrieves a local atom's string.
+func (a *API) GetAtomNameA(atom uint16, name *string) uint32 {
+	return a.atomName("GetAtomNameA", a.localAtoms(), atom, name)
+}
+
+// GlobalAddAtomA interns a string in the machine-wide atom table.
+func (a *API) GlobalAddAtomA(name string) uint16 {
+	return a.atomAdd("GlobalAddAtomA", a.globalAtoms(), name)
+}
+
+// GlobalFindAtomA looks a string up in the global table.
+func (a *API) GlobalFindAtomA(name string) uint16 {
+	return a.atomFind("GlobalFindAtomA", a.globalAtoms(), name)
+}
+
+// GlobalDeleteAtom decrements a global atom's reference count.
+func (a *API) GlobalDeleteAtom(atom uint16) uint16 {
+	return a.atomDel("GlobalDeleteAtom", a.globalAtoms(), atom)
+}
+
+// GlobalGetAtomNameA retrieves a global atom's string.
+func (a *API) GlobalGetAtomNameA(atom uint16, name *string) uint32 {
+	return a.atomName("GlobalGetAtomNameA", a.globalAtoms(), atom, name)
+}

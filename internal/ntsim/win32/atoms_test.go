@@ -1,0 +1,109 @@
+package win32
+
+import (
+	"testing"
+
+	"ntdts/internal/ntsim"
+)
+
+func TestLocalAtomLifecycle(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		atom := a.AddAtomA("MyWindowClass")
+		if atom < 0xC000 {
+			t.Fatalf("atom %#x below the string-atom range", atom)
+		}
+		// Interning is idempotent and case-insensitive.
+		if again := a.AddAtomA("mywindowclass"); again != atom {
+			t.Errorf("re-add returned %#x, want %#x", again, atom)
+		}
+		if found := a.FindAtomA("MYWINDOWCLASS"); found != atom {
+			t.Errorf("find returned %#x", found)
+		}
+		var name string
+		if n := a.GetAtomNameA(atom, &name); n == 0 || name != "MyWindowClass" {
+			t.Errorf("GetAtomNameA = %q (%d)", name, n)
+		}
+		// Two references: two deletes to drop it.
+		if a.DeleteAtom(atom) != 0 {
+			t.Error("first delete failed")
+		}
+		if a.FindAtomA("MyWindowClass") != atom {
+			t.Error("atom vanished after one delete of two refs")
+		}
+		if a.DeleteAtom(atom) != 0 {
+			t.Error("second delete failed")
+		}
+		if a.FindAtomA("MyWindowClass") != 0 {
+			t.Error("atom survived both deletes")
+		}
+		if a.DeleteAtom(atom) == 0 {
+			t.Error("delete of a dead atom succeeded")
+		}
+		if a.Process().LastError() != ntsim.ErrInvalidHandle {
+			t.Errorf("error %v", a.Process().LastError())
+		}
+		return 0
+	})
+}
+
+func TestGlobalAtomsSharedAcrossProcesses(t *testing.T) {
+	k := ntsim.NewKernel()
+	var atomFromA uint16
+	k.RegisterImage("a.exe", func(p *ntsim.Process) uint32 {
+		atomFromA = New(p).GlobalAddAtomA("shared-format")
+		return 0
+	})
+	var foundInB uint16
+	var nameInB string
+	k.RegisterImage("b.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		p.SleepFor(1000000) // run after a.exe
+		foundInB = a.GlobalFindAtomA("SHARED-FORMAT")
+		a.GlobalGetAtomNameA(foundInB, &nameInB)
+		return 0
+	})
+	k.Spawn("a.exe", "a.exe", 0)
+	k.Spawn("b.exe", "b.exe", 0)
+	for k.Step() {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	if atomFromA == 0 || foundInB != atomFromA || nameInB != "shared-format" {
+		t.Fatalf("global atom not shared: a=%#x b=%#x name=%q", atomFromA, foundInB, nameInB)
+	}
+}
+
+func TestLocalAtomsIsolatedBetweenProcesses(t *testing.T) {
+	k := ntsim.NewKernel()
+	k.RegisterImage("a.exe", func(p *ntsim.Process) uint32 {
+		New(p).AddAtomA("local-only")
+		return 0
+	})
+	var foundInB uint16
+	k.RegisterImage("b.exe", func(p *ntsim.Process) uint32 {
+		p.SleepFor(1000000)
+		foundInB = New(p).FindAtomA("local-only")
+		return 0
+	})
+	k.Spawn("a.exe", "a.exe", 0)
+	k.Spawn("b.exe", "b.exe", 0)
+	for k.Step() {
+	}
+	if foundInB != 0 {
+		t.Fatalf("local atom leaked across processes: %#x", foundInB)
+	}
+}
+
+func TestAtomUnknownName(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		if a.FindAtomA("never-added") != 0 {
+			t.Error("found a never-added atom")
+		}
+		var name string
+		if a.GetAtomNameA(0xC123, &name) != 0 {
+			t.Error("named an unknown atom")
+		}
+		return 0
+	})
+}

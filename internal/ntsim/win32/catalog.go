@@ -1,0 +1,331 @@
+package win32
+
+// The KERNEL32 export catalog drives fault-list generation exactly the way
+// the paper's tool walked the real DLL's export table: 681 exported
+// functions, of which 130 take no parameters and are therefore not
+// candidates for parameter corruption, leaving 551 injectable functions
+// (paper §4).
+//
+// Function names are real KERNEL32 exports of the NT 4.0 era. Parameter
+// counts are taken from the Win32 API for the functions this simulation
+// implements (a test cross-checks them against the live dispatch path) and
+// are best-effort approximations elsewhere; the zero-parameter set is
+// completed to the paper's census of 130 (see EXPERIMENTS.md, "catalog
+// calibration").
+
+// CatalogEntry describes one exported function.
+type CatalogEntry struct {
+	Name   string
+	Params int
+}
+
+// catalogGroup is a parameter count shared by a list of exports.
+type catalogGroup struct {
+	params int
+	names  []string
+}
+
+var catalogGroups = []catalogGroup{
+	// ---- Functions with no parameters (not injectable) ----
+	{0, []string{
+		"GetLastError", "GetVersion", "GetCurrentProcess", "GetCurrentProcessId",
+		"GetCurrentThread", "GetCurrentThreadId", "GetTickCount", "GetCommandLineA",
+		"GetCommandLineW", "GetProcessHeap", "GetACP", "GetOEMCP",
+		"GetLogicalDrives", "GetSystemDefaultLangID", "GetSystemDefaultLCID",
+		"GetUserDefaultLangID", "GetUserDefaultLCID", "AreFileApisANSI",
+		"SetFileApisToANSI", "SetFileApisToOEM", "AllocConsole", "FreeConsole",
+		"GetConsoleCP", "GetConsoleOutputCP", "TlsAlloc", "GetEnvironmentStrings",
+		"GetEnvironmentStringsA", "GetEnvironmentStringsW", "SwitchToThread",
+		"DebugBreak", "IsDebuggerPresent", "GetThreadLocale",
+		"CloseProfileUserMapping", "OpenProfileUserMapping", "ExitVDM",
+		"GetDefaultCommConfigA", "HeapValidateAll", "GetNextVDMCommand",
+		"ReleaseLastVDMCommand", "BaseAttachCompleteThunk", "CmdBatNotification",
+		"GetVDMCurrentDirectories", "RegisterWowBaseHandlers", "RegisterWowExec",
+		"SetVDMCurrentDirectories", "TrimVirtualBuffer", "VDMConsoleOperation",
+		"VDMOperationStarted", "VirtualBufferExceptionHandler", "WowGetModuleHandle",
+		"GetCalendarWeekNumber", "BasepDebugDump", "CreateVirtualBuffer",
+		"ExtendVirtualBuffer", "FreeVirtualBuffer", "HeapUsage", "HeapSummary",
+		"HeapExtend", "GetSystemPowerStatus", "SetSystemPowerState",
+		"GetConsoleHardwareState", "SetConsoleHardwareState", "GetConsoleDisplayMode",
+		"SetConsoleDisplayMode", "GetConsoleFontSize", "GetCurrentConsoleFont",
+		"GetNumberOfConsoleFonts", "SetConsoleFont", "GetConsoleInputWaitHandle",
+		"VerifyConsoleIoHandle", "CloseConsoleHandle", "DuplicateConsoleHandle",
+		"GetConsoleInputExeNameA", "GetConsoleInputExeNameW", "SetConsoleInputExeNameA",
+		"SetConsoleInputExeNameW", "ConsoleMenuControl", "ShowConsoleCursor",
+		"InvalidateConsoleDIBits", "SetConsoleCursor", "SetConsoleIcon",
+		"SetConsoleMaximumWindowSize", "SetConsoleMenuClose", "SetConsolePalette",
+		"SetLastConsoleEventActive", "GetConsoleKeyboardLayoutNameA",
+		"GetConsoleKeyboardLayoutNameW", "SetConsoleKeyShortcuts",
+		"ExpungeConsoleCommandHistoryA", "ExpungeConsoleCommandHistoryW",
+		"GetConsoleAliasExesLengthA", "GetConsoleAliasExesLengthW",
+		"GetConsoleCommandHistoryLengthA", "GetConsoleCommandHistoryLengthW",
+		"BaseInitAppcompatCache", "BaseFlushAppcompatCache", "BaseDumpAppcompatCache",
+		"BaseUpdateAppcompatCache", "BaseCheckAppcompatCache", "NlsGetCacheUpdateCount",
+		"NlsResetProcessLocale", "NlsConvertIntegerToString", "GetNlsSectionName",
+		"ValidateLocale", "ValidateLCType", "GetUserDefaultUILanguage",
+		"GetSystemDefaultUILanguage", "GetProcessVersion",
+		"BaseQueryModuleData", "DosPathToSessionPathA", "DosPathToSessionPathW",
+		"BaseProcessInitPostImport", "UTRegister", "UTUnRegister",
+		"WinExecError", "DisableThreadLibraryCalls0", "HeapResetPeak",
+		"GetErrorMode", "QueryWin31IniFilesMappedToRegistry", "GetConsoleCharType",
+		"GetVDMConsoleHandle", "RegisterConsoleVDM", "SetConsoleLocalEUDC",
+		"RegisterConsoleOS2", "SetConsoleOS2OemFormat", "GetConsoleNlsMode",
+		"SetConsoleNlsMode", "W32PoolLimit", "GetBinaryTypeStub", "NumaQueryNode",
+	}},
+	// ---- One-parameter functions ----
+	{1, []string{
+		"CloseHandle", "DeleteFileA", "DeleteFileW", "GetFileAttributesA",
+		"GetFileAttributesW", "FlushFileBuffers", "ExitProcess", "ExitThread",
+		"Sleep", "SetLastError", "GetStartupInfoA", "GetStartupInfoW",
+		"GetModuleHandleA", "GetModuleHandleW", "LoadLibraryA", "LoadLibraryW",
+		"FreeLibrary", "GetStdHandle", "GetSystemInfo", "GetSystemTime",
+		"GetLocalTime", "GetSystemTimeAsFileTime", "QueryPerformanceCounter",
+		"QueryPerformanceFrequency", "SetEvent", "ResetEvent", "PulseEvent",
+		"ReleaseMutex", "InitializeCriticalSection", "EnterCriticalSection",
+		"LeaveCriticalSection", "DeleteCriticalSection", "TryEnterCriticalSection",
+		"InterlockedIncrement", "InterlockedDecrement", "DisconnectNamedPipe",
+		"TlsFree", "TlsGetValue", "GetFileType", "SetHandleCount",
+		"GlobalMemoryStatus", "HeapDestroy", "LocalFree", "GlobalFree",
+		"lstrlenA", "lstrlenW", "OutputDebugStringA", "OutputDebugStringW",
+		"GetVersionExA", "GetVersionExW", "GetDriveTypeA", "GetDriveTypeW",
+		"SetErrorMode", "SetCurrentDirectoryA", "SetCurrentDirectoryW",
+		"RemoveDirectoryA", "RemoveDirectoryW",
+		"FindClose", "FindCloseChangeNotification", "GlobalLock", "GlobalUnlock",
+		"LocalLock", "LocalUnlock", "GlobalSize", "LocalSize", "GlobalFlags",
+		"LocalFlags", "GlobalHandle", "LocalHandle", "GlobalFix", "GlobalUnfix",
+		"GlobalWire", "GlobalUnWire", "LockResource", "SizeofResource1",
+		"FreeResource", "SetThreadLocale", "GetExitCodeThread", "SuspendThread",
+		"ResumeThread", "GetThreadPriority", "GetPriorityClass",
+		"SetConsoleActiveScreenBuffer", "FlushConsoleInputBuffer",
+		"GetNumberOfConsoleInputEvents", "GetConsoleScreenBufferInfo",
+		"SetConsoleCP", "SetConsoleOutputCP", "SetConsoleTitleA", "SetConsoleTitleW",
+		"CancelIo", "DeleteAtom", "GlobalDeleteAtom",
+		"AddAtomA", "AddAtomW", "GlobalAddAtomA", "GlobalAddAtomW",
+		"FindAtomA", "FindAtomW", "GlobalFindAtomA", "GlobalFindAtomW",
+		"IsValidCodePage", "IsValidLocale1", "ConvertDefaultLocale",
+		"GetTimeZoneInformation", "LocalCompact", "GlobalCompact", "SetThreadAffinityMask1",
+		"FatalExit", "CloseProfileSection", "FreeEnvironmentStringsA",
+		"FreeEnvironmentStringsW", "IsBadCodePtr", "UnhandledExceptionFilter",
+		"SetUnhandledExceptionFilter", "RaiseExceptionStub", "GetLogicalDriveStringsA1",
+		"DeleteFiber", "ConvertThreadToFiber", "SwitchToFiber", "HeapLock",
+		"HeapUnlock", "HeapCompact1", "GetThreadTimes1", "GetProcessAffinityMask1",
+		"GetFileSize1", "GetOverlappedResult1",
+		"GetMailslotInfo1", "GetCompressedFileSizeA1",
+	}},
+	// ---- Two-parameter functions ----
+	{2, []string{
+		"GetFileSize", "GetExitCodeProcess", "TerminateProcess", "WaitForSingleObject",
+		"ConnectNamedPipe", "WaitNamedPipeA", "WaitNamedPipeW", "SetEnvironmentVariableA",
+		"SetEnvironmentVariableW", "GetCPInfo", "GetComputerNameA", "GetComputerNameW",
+		"GetSystemDirectoryA", "GetSystemDirectoryW", "GetWindowsDirectoryA",
+		"GetWindowsDirectoryW", "GetTempPathA", "GetTempPathW", "GetCurrentDirectoryA",
+		"GetCurrentDirectoryW", "lstrcpyA", "lstrcpyW", "lstrcatA", "lstrcatW",
+		"lstrcmpA", "lstrcmpW", "lstrcmpiA", "lstrcmpiW", "TlsSetValue",
+		"InterlockedExchange", "GetProcAddress", "LocalAlloc", "GlobalAlloc",
+		"IsBadReadPtr", "IsBadWritePtr", "IsBadStringPtrA", "IsBadStringPtrW",
+		"FindFirstFileA", "FindFirstFileW", "FindNextFileA", "FindNextFileW",
+		"MoveFileA", "MoveFileW", "CreateDirectoryA", "CreateDirectoryW",
+		"SetFileAttributesA", "SetFileAttributesW", "GetBinaryTypeA", "GetBinaryTypeW",
+		"GetDiskFreeSpaceExA1", "SetVolumeLabelA", "SetVolumeLabelW",
+		"GetFileTime1", "SetFileTime1", "SetThreadPriority", "SetPriorityClass",
+		"GetThreadContext", "SetThreadContext",
+		"GetNamedPipeInfo1", "TransactNamedPipe1", "CallNamedPipeA1",
+		"GetProfileIntA", "GetProfileIntW",
+		"SetComputerNameA", "SetComputerNameW", "GetConsoleCursorInfo",
+		"SetConsoleCursorInfo",
+		"SetConsoleMode", "GetConsoleMode", "GetConsoleTitleA", "GetConsoleTitleW",
+		"GetNumberOfConsoleMouseButtons", "SetConsoleScreenBufferSize",
+		"SetConsoleCursorPosition", "SetConsoleTextAttribute", "SetConsoleCtrlHandler",
+		"GenerateConsoleCtrlEvent", "GetLargestConsoleWindowSize",
+		"FileTimeToSystemTime",
+		"SystemTimeToFileTime", "FileTimeToLocalFileTime", "LocalFileTimeToFileTime",
+		"CompareFileTime", "GetSystemTimeAdjustment1", "SetSystemTime",
+		"SetLocalTime", "SetTimeZoneInformation", "GetProcessShutdownParameters",
+		"SetProcessShutdownParameters", "GetProcessWorkingSetSize",
+		"SetProcessWorkingSetSize1", "GetCommandLineInternal", "BuildCommDCBA",
+		"BuildCommDCBW", "GetCommMask", "GetCommModemStatus", "GetCommProperties",
+		"GetCommState", "SetCommState", "SetCommMask", "GetCommTimeouts",
+		"SetCommTimeouts", "PurgeComm", "EscapeCommFunction", "TransmitCommChar",
+		"SetupComm", "SetMailslotInfo", "ClearCommError",
+		"GetLogicalDriveStringsA", "GetLogicalDriveStringsW",
+		"QueryDosDeviceA", "QueryDosDeviceW", "GetCompressedFileSizeA",
+		"GetCompressedFileSizeW", "BeginUpdateResourceA",
+		"BeginUpdateResourceW", "LoadResource",
+		"SizeofResource",
+		"UnmapViewOfFile1", "FlushViewOfFile", "VirtualUnlock", "VirtualLock",
+		"HeapSize1", "HeapValidate",
+		"SetThreadExecutionState1",
+	}},
+	// ---- Three-parameter functions ----
+	{3, []string{
+		"DosDateTimeToFileTime", "FileTimeToDosDateTime",
+		"GetAtomNameA", "GetAtomNameW", "GlobalGetAtomNameA", "GlobalGetAtomNameW",
+		"OpenProcess", "GetModuleFileNameA", "GetModuleFileNameW",
+		"GetEnvironmentVariableA", "GetEnvironmentVariableW", "CreateMutexA",
+		"CreateMutexW", "OpenEventA", "OpenEventW", "OpenMutexA", "OpenMutexW",
+		"OpenSemaphoreA", "OpenSemaphoreW", "ReleaseSemaphore", "HeapCreate",
+		"HeapAlloc", "HeapFree", "VirtualFree", "GetDiskFreeSpaceExA",
+		"GetDiskFreeSpaceExW", "CopyFileA", "CopyFileW", "MoveFileExA", "MoveFileExW",
+
+		"FindFirstChangeNotificationA",
+		"FindFirstChangeNotificationW",
+
+		"SetConsoleWindowInfo",
+		"GetConsoleAliasExesA", "GetConsoleAliasExesW",
+		"AddConsoleAliasA", "AddConsoleAliasW", "GetConsoleCommandHistoryA",
+		"GetConsoleCommandHistoryW", "SetConsoleNumberOfCommandsA",
+		"SetConsoleNumberOfCommandsW", "GetThreadSelectorEntry", "IsValidLocale",
+		"SetLocaleInfoA", "SetLocaleInfoW",
+		"EnumTimeFormatsA", "EnumTimeFormatsW",
+		"EnumDateFormatsA", "EnumDateFormatsW", "EnumSystemLocalesA",
+		"EnumSystemLocalesW", "EnumSystemCodePagesA", "EnumSystemCodePagesW",
+		"EnumResourceTypesA", "EnumResourceTypesW", "FindResourceA", "FindResourceW",
+		"WriteProfileStringA", "WriteProfileStringW",
+		"WritePrivateProfileSectionA", "WritePrivateProfileSectionW",
+		"GetPrivateProfileSectionA", "GetPrivateProfileSectionW",
+		"SetProcessAffinityMask", "SetThreadAffinityMask", "GetProcessAffinityMask",
+		"VirtualQuery", "HeapSize",
+		"FlushInstructionCache", "AllocateUserPhysicalPages",
+		"BindIoCompletionCallback",
+		"SetVolumeMountPointA",
+		"DefineDosDeviceA", "DefineDosDeviceW",
+		"OpenFile", "WaitForDebugEvent",
+		"ContinueDebugEvent",
+	}},
+	// ---- Four-parameter functions ----
+	{4, []string{
+		"GetTempFileNameA", "GetTempFileNameW", "GetFileTime", "SetFileTime",
+		"SetFilePointer", "WaitForMultipleObjects", "CreateEventA", "CreateEventW",
+		"CreateSemaphoreA", "CreateSemaphoreW", "GetPrivateProfileIntA",
+		"GetPrivateProfileIntW", "GetProfileStringA", "GetProfileStringW",
+		"CreatePipe",
+		"PostQueuedCompletionStatus", "CreateIoCompletionPort", "GetFullPathNameA",
+		"GetFullPathNameW", "GetShortPathNameA", "GetShortPathNameW",
+		"GetLongPathNameA", "GetLongPathNameW",
+		"GetLocaleInfoA", "GetLocaleInfoW", "GetCalendarInfoA",
+		"GetCalendarInfoW",
+		"FoldStringA", "FoldStringW", "EnumCalendarInfoA", "EnumCalendarInfoW",
+		"WritePrivateProfileStringA", "WritePrivateProfileStringW",
+		"GetPrivateProfileSectionNamesA", "GetPrivateProfileSectionNamesW",
+		"VirtualProtect", "VirtualQueryEx",
+
+		"GetConsoleAliasA", "GetConsoleAliasW", "GetConsoleAliasesA", "GetConsoleAliasesW",
+		"GetConsoleAliasesLengthA", "GetConsoleAliasesLengthW",
+		"WaitCommEvent",
+		"GetDefaultCommConfigW", "SetDefaultCommConfigA", "SetDefaultCommConfigW",
+		"CommConfigDialogA", "CommConfigDialogW", "CreateMailslotA", "CreateMailslotW",
+
+		"GetSystemTimeAdjustment", "SetSystemTimeAdjustment", "RaiseException",
+		"GetThreadTimes",
+
+		"EndUpdateResourceA", "EndUpdateResourceW",
+		"EnumResourceNamesA", "EnumResourceNamesW",
+		"LoadModule", "WinExec_Legacy", "GetNumberFormatA_Legacy2",
+		"GetCurrencyFormatA_Legacy", "OpenFileMappingA", "OpenFileMappingW",
+		"GlobalReAlloc", "LocalReAlloc", "HeapReAlloc", "HeapWalk_Legacy",
+		"SetProcessWorkingSetSize", "SignalObjectAndWait", "GetNamedPipeHandleStateA0",
+		"GetTapeParameters", "SetTapeParameters", "GetTapePosition_Legacy",
+		"EraseTape", "PrepareTape", "VirtualAlloc",
+	}},
+	// ---- Five-parameter functions ----
+	{5, []string{
+		"ReadFile", "ReadFileEx", "WriteFile", "WriteFileEx", "CallNamedPipeA_Legacy",
+		"CreateThread_Legacy", "LockFile", "UnlockFile", "DeviceIoControl_Legacy2",
+		"GetVolumeInformationA_Legacy3", "GetDiskFreeSpaceA", "GetDiskFreeSpaceW",
+		"GetTempFileNameA_Legacy", "ReadProcessMemory", "WriteProcessMemory",
+		"ReadConsoleA", "ReadConsoleW", "WriteConsoleA", "WriteConsoleW",
+		"ReadConsoleInputA", "ReadConsoleInputW", "PeekConsoleInputA", "PeekConsoleInputW",
+		"WriteConsoleInputA", "WriteConsoleInputW", "FillConsoleOutputCharacterA",
+		"FillConsoleOutputCharacterW", "FillConsoleOutputAttribute",
+		"ReadConsoleOutputCharacterA", "ReadConsoleOutputCharacterW",
+		"ReadConsoleOutputAttribute", "WriteConsoleOutputCharacterA",
+		"WriteConsoleOutputCharacterW", "WriteConsoleOutputAttribute",
+		"ReadConsoleOutputA", "ReadConsoleOutputW", "WriteConsoleOutputA",
+		"WriteConsoleOutputW", "ScrollConsoleScreenBufferA", "ScrollConsoleScreenBufferW",
+		"GetConsoleCommandHistoryLengthA_Real", "GetQueuedCompletionStatus",
+		"MapViewOfFile", "MapViewOfFileEx_Legacy", "GetStringTypeA", "GetStringTypeW",
+		"GetStringTypeExA", "GetStringTypeExW", "GetTimeFormatA_Legacy",
+		"LCMapStringA_Legacy", "SearchPathA_Legacy2", "WaitForMultipleObjectsEx",
+		"MsgWaitForMultipleObjects_Stub", "CreateFileMappingA", "CreateFileMappingW",
+		"CreateWaitableTimerA", "SetWaitableTimer_Real", "FindFirstFileExA",
+		"FindFirstFileExW", "CopyFileExA", "CopyFileExW", "MoveFileWithProgressA_Stub",
+		"BackupRead", "BackupWrite", "BackupSeek", "EnumResourceLanguagesA",
+		"EnumResourceLanguagesW", "UpdateResourceA_Legacy2", "VerLanguageNameA_Stub",
+		"GetPrivateProfileStructA", "GetPrivateProfileStructW",
+		"WritePrivateProfileStructA", "WritePrivateProfileStructW",
+		"GetNamedPipeInfo", "SetNamedPipeHandleState_Real", "GetSystemPowerStatus_Real",
+		"GetTapePosition", "SetTapePosition", "GetMailslotInfo",
+		"DeviceIoControlFile_Stub", "QueueUserAPC_Legacy",
+	}},
+	// ---- Six-parameter functions ----
+	{6, []string{
+		"MultiByteToWideChar", "GetPrivateProfileStringA", "GetPrivateProfileStringW",
+		"PeekNamedPipe", "CreateFiber", "CreateThread", "CreateRemoteThread_Real",
+		"LockFileEx", "UnlockFileEx", "SearchPathA", "SearchPathW",
+		"GetDateFormatA", "GetDateFormatW", "GetTimeFormatA", "GetTimeFormatW",
+		"LCMapStringA", "LCMapStringW", "GetNumberFormatA", "GetNumberFormatW",
+		"GetCurrencyFormatA", "GetCurrencyFormatW", "FormatMessageA_Legacy",
+		"CompareStringA", "CompareStringW", "GetNamedPipeHandleStateA_Legacy",
+		"CallNamedPipeA_Real", "UpdateResourceA", "UpdateResourceW",
+		"MapViewOfFileEx", "CreateTapePartition", "WriteTapemark",
+		"DeviceIoControl_Real6", "DnsHostnameToComputerNameA_Stub",
+		"GetVolumeInformationA_Legacy4", "ReadDirectoryChangesW_Legacy",
+		"CreateJobObjectA_Stub", "AssignProcessToJobObject_Stub",
+	}},
+	// ---- Seven-parameter functions ----
+	{7, []string{
+		"CreateFileA", "CreateFileW", "FormatMessageA", "FormatMessageW",
+		"DuplicateHandle", "CreateNamedPipeA_Legacy", "CallNamedPipeA",
+		"CallNamedPipeW", "GetNamedPipeHandleStateA", "GetNamedPipeHandleStateW",
+		"CreateMailslotA_Real7", "GetVolumeInformationA_Legacy5",
+		"SetVolumeLabelA_Stub7", "ReadDirectoryChangesW_Legacy2",
+	}},
+	// ---- Eight-parameter functions ----
+	{8, []string{
+		"CreateNamedPipeA", "CreateNamedPipeW", "WideCharToMultiByte",
+		"GetVolumeInformationA", "GetVolumeInformationW", "DeviceIoControl",
+		"ReadDirectoryChangesW", "TransactNamedPipe",
+	}},
+	// ---- Ten-parameter functions ----
+	{10, []string{
+		"CreateProcessA", "CreateProcessW",
+	}},
+}
+
+// Catalog returns the full export catalog in deterministic order.
+func Catalog() []CatalogEntry {
+	var out []CatalogEntry
+	for _, g := range catalogGroups {
+		for _, name := range g.names {
+			out = append(out, CatalogEntry{Name: name, Params: g.params})
+		}
+	}
+	return out
+}
+
+// CatalogCounts reports (total exports, zero-parameter exports, injectable
+// exports).
+func CatalogCounts() (total, zeroParam, injectable int) {
+	for _, g := range catalogGroups {
+		n := len(g.names)
+		total += n
+		if g.params == 0 {
+			zeroParam += n
+		} else {
+			injectable += n
+		}
+	}
+	return total, zeroParam, injectable
+}
+
+// CatalogLookup finds an entry by function name.
+func CatalogLookup(name string) (CatalogEntry, bool) {
+	for _, g := range catalogGroups {
+		for _, n := range g.names {
+			if n == name {
+				return CatalogEntry{Name: n, Params: g.params}, true
+			}
+		}
+	}
+	return CatalogEntry{}, false
+}

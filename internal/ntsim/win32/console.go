@@ -1,0 +1,249 @@
+package win32
+
+import "ntdts/internal/ntsim"
+
+// Console API subset. The simulated console is the per-process trio of VFS
+// files GetStdHandle opens; console-wide state (mode, title, code pages)
+// lives in a per-process record. Real NT console apps mix WriteFile and
+// WriteConsoleA on the same handles, and so do the simulated programs.
+
+// consoleState is the per-process console record.
+type consoleState struct {
+	mode     uint32
+	title    string
+	inputCP  uint32
+	outputCP uint32
+	ctrlSet  bool
+}
+
+func (a *API) console() *consoleState {
+	key := "console:" + itoa(uint32(a.p.ID))
+	if v, found := a.k.LookupNamed(key); found {
+		return v.(*consoleState)
+	}
+	st := &consoleState{mode: 0x3 | 0x4, title: a.p.Image, inputCP: 437, outputCP: 437}
+	a.k.RegisterNamed(key, st)
+	return st
+}
+
+// consoleFile reports whether a handle refers to one of the process's
+// console files.
+func (a *API) consoleFile(h Handle) (*ntsim.OpenFile, bool) {
+	of, ok := a.p.Resolve(h).(*ntsim.OpenFile)
+	if !ok {
+		return nil, false
+	}
+	// The console files live under C:\sim\console\.
+	const prefix = `C:\sim\console\`
+	if len(of.Path()) < len(prefix) || of.Path()[:len(prefix)] != prefix {
+		return nil, false
+	}
+	return of, true
+}
+
+// AllocConsole attaches a console (idempotent in the simulation).
+func (a *API) AllocConsole() bool {
+	a.syscall("AllocConsole", nil)
+	a.console()
+	return a.ok()
+}
+
+// FreeConsole detaches the console.
+func (a *API) FreeConsole() bool {
+	a.syscall("FreeConsole", nil)
+	return a.ok()
+}
+
+// GetConsoleCP returns the input code page.
+func (a *API) GetConsoleCP() uint32 {
+	a.syscall("GetConsoleCP", nil)
+	return a.console().inputCP
+}
+
+// GetConsoleOutputCP returns the output code page.
+func (a *API) GetConsoleOutputCP() uint32 {
+	a.syscall("GetConsoleOutputCP", nil)
+	return a.console().outputCP
+}
+
+// SetConsoleCP sets the input code page.
+func (a *API) SetConsoleCP(cp uint32) bool {
+	raw := []uint64{uint64(cp)}
+	a.syscall("SetConsoleCP", raw)
+	a.console().inputCP = uint32(raw[0])
+	return a.ok()
+}
+
+// SetConsoleOutputCP sets the output code page.
+func (a *API) SetConsoleOutputCP(cp uint32) bool {
+	raw := []uint64{uint64(cp)}
+	a.syscall("SetConsoleOutputCP", raw)
+	a.console().outputCP = uint32(raw[0])
+	return a.ok()
+}
+
+// GetConsoleMode stores the console mode flags.
+func (a *API) GetConsoleMode(h Handle, mode *uint32) bool {
+	cellAddr, cellVal, release := a.outCell()
+	defer release()
+	raw := []uint64{uint64(h), cellAddr}
+	a.syscall("GetConsoleMode", raw)
+	if _, ok := a.consoleFile(ntsim.Handle(uint32(raw[0]))); !ok {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	out, ok := a.mustBuf(raw[1])
+	if !ok {
+		return false
+	}
+	putU32(out, a.console().mode)
+	if mode != nil {
+		*mode = cellVal()
+	}
+	return a.ok()
+}
+
+// SetConsoleMode sets the console mode flags.
+func (a *API) SetConsoleMode(h Handle, mode uint32) bool {
+	raw := []uint64{uint64(h), uint64(mode)}
+	a.syscall("SetConsoleMode", raw)
+	if _, ok := a.consoleFile(ntsim.Handle(uint32(raw[0]))); !ok {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	a.console().mode = uint32(raw[1])
+	return a.ok()
+}
+
+// GetConsoleTitleA stores the window title, returning its length.
+func (a *API) GetConsoleTitleA(title *string) uint32 {
+	out := make([]byte, 256)
+	outAddr := a.p.Addr().MapBuf(out)
+	defer a.p.Addr().Release(outAddr)
+	raw := []uint64{outAddr, uint64(len(out))}
+	a.syscall("GetConsoleTitleA", raw)
+	dst, ok := a.mustBuf(raw[0])
+	if !ok {
+		return 0
+	}
+	cur := a.console().title
+	n := copy(dst, cur)
+	if title != nil {
+		*title = cur
+	}
+	a.ok()
+	return uint32(n)
+}
+
+// SetConsoleTitleA sets the window title.
+func (a *API) SetConsoleTitleA(title string) bool {
+	ad := a.p.Addr()
+	addr := ad.MapStr(title)
+	defer ad.Release(addr)
+	raw := []uint64{addr}
+	a.syscall("SetConsoleTitleA", raw)
+	v, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	a.console().title = v
+	return a.ok()
+}
+
+// WriteConsoleA writes characters to a console output handle.
+func (a *API) WriteConsoleA(h Handle, buf []byte, toWrite uint32, written *uint32) bool {
+	if written != nil {
+		*written = 0
+	}
+	ad := a.p.Addr()
+	bufAddr := ad.MapBuf(buf)
+	cellAddr, cellVal, release := a.outCell()
+	defer ad.Release(bufAddr)
+	defer release()
+	raw := []uint64{uint64(h), bufAddr, uint64(toWrite), cellAddr, 0}
+	a.syscall("WriteConsoleA", raw)
+	of, okh := a.consoleFile(ntsim.Handle(uint32(raw[0])))
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	src, ok := a.mustBuf(raw[1])
+	if !ok {
+		return false
+	}
+	n := uint32(raw[2])
+	if uint64(n) > uint64(len(src)) {
+		return a.av()
+	}
+	put, errno := of.Write(src[:n])
+	if errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	out, res := a.buf(raw[3])
+	if res == ptrWild {
+		return a.av()
+	}
+	if res == ptrResolved {
+		putU32(out, uint32(put))
+	}
+	if written != nil {
+		*written = cellVal()
+	}
+	return a.ok()
+}
+
+// ReadConsoleA reads characters from a console input handle.
+func (a *API) ReadConsoleA(h Handle, buf []byte, toRead uint32, read *uint32) bool {
+	if read != nil {
+		*read = 0
+	}
+	ad := a.p.Addr()
+	bufAddr := ad.MapBuf(buf)
+	cellAddr, cellVal, release := a.outCell()
+	defer ad.Release(bufAddr)
+	defer release()
+	raw := []uint64{uint64(h), bufAddr, uint64(toRead), cellAddr, 0}
+	a.syscall("ReadConsoleA", raw)
+	of, okh := a.consoleFile(ntsim.Handle(uint32(raw[0])))
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	dst, ok := a.mustBuf(raw[1])
+	if !ok {
+		return false
+	}
+	n := uint32(raw[2])
+	if uint64(n) > uint64(len(dst)) {
+		return a.av()
+	}
+	got, errno := of.Read(dst[:n])
+	if errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	out, res := a.buf(raw[3])
+	if res == ptrWild {
+		return a.av()
+	}
+	if res == ptrResolved {
+		putU32(out, uint32(got))
+	}
+	if read != nil {
+		*read = cellVal()
+	}
+	return a.ok()
+}
+
+// FlushConsoleInputBuffer discards pending console input.
+func (a *API) FlushConsoleInputBuffer(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("FlushConsoleInputBuffer", raw)
+	if _, ok := a.consoleFile(ntsim.Handle(uint32(raw[0]))); !ok {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	return a.ok()
+}
+
+// SetConsoleCtrlHandler registers (or clears) the control handler.
+func (a *API) SetConsoleCtrlHandler(add bool) bool {
+	raw := []uint64{0, b2r(add)}
+	a.syscall("SetConsoleCtrlHandler", raw)
+	a.console().ctrlSet = boolArg(raw[1])
+	return a.ok()
+}

@@ -1,0 +1,91 @@
+package win32
+
+import (
+	"strings"
+	"testing"
+
+	"ntdts/internal/ntsim"
+)
+
+func TestConsoleRoundtrip(t *testing.T) {
+	k := runProg(t, func(k *ntsim.Kernel) {
+		// Pre-seed the stdin console file the process will read.
+		k.VFS().WriteFile(`C:\sim\console\prog.exe.in`, []byte("typed input\r\n"))
+	}, func(a *API) uint32 {
+		if !a.AllocConsole() {
+			t.Error("AllocConsole failed")
+		}
+		out := a.GetStdHandle(StdOutputHandle)
+		in := a.GetStdHandle(StdInputHandle)
+
+		var n uint32
+		if !a.WriteConsoleA(out, []byte("hello console"), 13, &n) || n != 13 {
+			t.Errorf("WriteConsoleA n=%d err=%v", n, a.Process().LastError())
+		}
+		buf := make([]byte, 5)
+		if !a.ReadConsoleA(in, buf, 5, &n) || string(buf[:n]) != "typed" {
+			t.Errorf("ReadConsoleA %q err=%v", buf[:n], a.Process().LastError())
+		}
+
+		var mode uint32
+		if !a.GetConsoleMode(out, &mode) || mode == 0 {
+			t.Errorf("GetConsoleMode %d", mode)
+		}
+		if !a.SetConsoleMode(out, 0x7) {
+			t.Error("SetConsoleMode failed")
+		}
+		a.GetConsoleMode(out, &mode)
+		if mode != 0x7 {
+			t.Errorf("mode after set %d", mode)
+		}
+
+		if !a.SetConsoleTitleA("DTS run") {
+			t.Error("SetConsoleTitleA failed")
+		}
+		var title string
+		if a.GetConsoleTitleA(&title) == 0 || title != "DTS run" {
+			t.Errorf("title %q", title)
+		}
+
+		if a.GetConsoleCP() != 437 || a.GetConsoleOutputCP() != 437 {
+			t.Error("default code pages")
+		}
+		a.SetConsoleOutputCP(1252)
+		if a.GetConsoleOutputCP() != 1252 {
+			t.Error("SetConsoleOutputCP did not stick")
+		}
+
+		if !a.FlushConsoleInputBuffer(in) {
+			t.Error("FlushConsoleInputBuffer failed")
+		}
+		if !a.SetConsoleCtrlHandler(true) {
+			t.Error("SetConsoleCtrlHandler failed")
+		}
+		a.FreeConsole()
+		return 0
+	})
+	data, ok := k.VFS().ReadFile(`C:\sim\console\prog.exe.out`)
+	if !ok || !strings.Contains(string(data), "hello console") {
+		t.Fatalf("console output file %q", data)
+	}
+}
+
+func TestConsoleFunctionsRejectNonConsoleHandles(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		h := a.CreateFileA(`C:\file.txt`, GenericRead|GenericWrite, 0, CreateAlways, 0)
+		var n uint32
+		if a.WriteConsoleA(h, []byte("x"), 1, &n) {
+			t.Error("WriteConsoleA on a disk file succeeded")
+		}
+		if a.GetConsoleMode(h, nil) {
+			t.Error("GetConsoleMode on a disk file succeeded")
+		}
+		if a.FlushConsoleInputBuffer(h) {
+			t.Error("FlushConsoleInputBuffer on a disk file succeeded")
+		}
+		if a.Process().LastError() != ntsim.ErrInvalidHandle {
+			t.Errorf("last error %v", a.Process().LastError())
+		}
+		return 0
+	})
+}

@@ -1,0 +1,322 @@
+package win32
+
+import (
+	"ntdts/internal/ntsim"
+)
+
+// Creation dispositions and access masks, re-exported for callers.
+const (
+	CreateNew        = ntsim.CreateNew
+	CreateAlways     = ntsim.CreateAlways
+	OpenExisting     = ntsim.OpenExisting
+	OpenAlways       = ntsim.OpenAlways
+	TruncateExisting = ntsim.TruncateExisting
+
+	GenericRead  = ntsim.GenericRead
+	GenericWrite = ntsim.GenericWrite
+
+	FileBegin   = ntsim.FileBegin
+	FileCurrent = ntsim.FileCurrent
+	FileEnd     = ntsim.FileEnd
+)
+
+// CreateFileA opens or creates a file, or connects a client end to a named
+// pipe when the path is in the \\.\pipe\ namespace.
+func (a *API) CreateFileA(name string, access, shareMode uint32, disposition, flags uint32) Handle {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr, uint64(access), uint64(shareMode), 0,
+		uint64(disposition), uint64(flags), 0}
+	a.syscall("CreateFileA", raw)
+
+	path, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		a.av()
+	case ptrNull:
+		a.fail(ntsim.ErrInvalidParameter)
+		return InvalidHandle
+	}
+	access = uint32(raw[1])
+	disposition = uint32(raw[4])
+
+	if ntsim.IsPipePath(path) {
+		pc, errno := a.k.ConnectPipeClient(path)
+		if errno != ntsim.ErrSuccess {
+			a.fail(errno)
+			return InvalidHandle
+		}
+		a.charge(a.k.Costs().PipeConnect)
+		a.ok()
+		return a.p.NewHandle(pc)
+	}
+	if ntsim.IsMailslotPath(path) {
+		mc, errno := a.k.OpenMailslot(path)
+		if errno != ntsim.ErrSuccess {
+			a.fail(errno)
+			return InvalidHandle
+		}
+		a.ok()
+		return a.p.NewHandle(mc)
+	}
+
+	of, errno := a.k.VFS().Open(path, access, disposition)
+	if errno != ntsim.ErrSuccess && errno != ntsim.ErrAlreadyExists {
+		a.fail(errno)
+		return InvalidHandle
+	}
+	a.charge(a.k.Costs().FileOpen)
+	a.p.SetLastError(errno) // CreateFile reports ERROR_ALREADY_EXISTS via last-error
+	return a.p.NewHandle(of)
+}
+
+// ReadFile reads up to toRead bytes into buf, storing the transfer count in
+// *read. It returns FALSE on failure per Win32 convention.
+func (a *API) ReadFile(h Handle, buf []byte, toRead uint32, read *uint32) bool {
+	return a.readCommon("ReadFile", h, buf, toRead, read)
+}
+
+// ReadFileEx is the extended read entry point. The simulation executes it
+// synchronously (the completion-routine machinery is not modeled; see
+// DESIGN.md). Its parameter layout matches the real export, making the
+// paper's nNumberOfBytesToRead injection land on raw[2].
+func (a *API) ReadFileEx(h Handle, buf []byte, toRead uint32, read *uint32) bool {
+	return a.readCommon("ReadFileEx", h, buf, toRead, read)
+}
+
+func (a *API) readCommon(fn string, h Handle, buf []byte, toRead uint32, read *uint32) bool {
+	if read != nil {
+		*read = 0
+	}
+	ad := a.p.Addr()
+	bufAddr := ad.MapBuf(buf)
+	cellAddr, cellVal, releaseCell := a.outCell()
+	defer ad.Release(bufAddr)
+	defer releaseCell()
+
+	raw := []uint64{uint64(h), bufAddr, uint64(toRead), cellAddr, 0}
+	a.syscall(fn, raw)
+
+	dst, ok := a.mustBuf(raw[1])
+	if !ok {
+		return false
+	}
+	outBuf, res := a.buf(raw[3])
+	if res == ptrWild {
+		return a.av()
+	}
+	n := uint32(raw[2])
+	if n == 0 {
+		// Zero-length read: success, zero bytes (the paper's
+		// ReadFileEx/SQL fault lands here).
+		if res == ptrResolved {
+			putU32(outBuf, 0)
+		}
+		if read != nil {
+			*read = cellVal()
+		}
+		return a.ok()
+	}
+	if uint64(n) > uint64(len(dst)) {
+		// Kernel write probe past the end of the buffer.
+		return a.av()
+	}
+
+	var got int
+	var errno ntsim.Errno
+	switch obj := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
+	case *ntsim.OpenFile:
+		got, errno = obj.Read(dst[:n])
+	case *ntsim.PipeServer:
+		got, errno = obj.Read(a.p, dst[:n])
+	case *ntsim.PipeClient:
+		got, errno = obj.Read(a.p, dst[:n])
+	case *ntsim.Mailslot:
+		got, errno = obj.Read(a.p, dst[:n])
+	default:
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	a.charge(a.k.Costs().IOCost(got))
+	if res == ptrResolved {
+		putU32(outBuf, uint32(got))
+	} else if res == ptrNull {
+		return a.fail(ntsim.ErrNoaccess)
+	}
+	if read != nil {
+		*read = cellVal()
+	}
+	return a.ok()
+}
+
+// WriteFile writes toWrite bytes of buf, storing the transfer count in
+// *written.
+func (a *API) WriteFile(h Handle, buf []byte, toWrite uint32, written *uint32) bool {
+	if written != nil {
+		*written = 0
+	}
+	ad := a.p.Addr()
+	bufAddr := ad.MapBuf(buf)
+	cellAddr, cellVal, releaseCell := a.outCell()
+	defer ad.Release(bufAddr)
+	defer releaseCell()
+
+	raw := []uint64{uint64(h), bufAddr, uint64(toWrite), cellAddr, 0}
+	a.syscall("WriteFile", raw)
+
+	src, ok := a.mustBuf(raw[1])
+	if !ok {
+		return false
+	}
+	outBuf, res := a.buf(raw[3])
+	if res == ptrWild {
+		return a.av()
+	}
+	n := uint32(raw[2])
+	if uint64(n) > uint64(len(src)) {
+		// Kernel read probe past the end of the source buffer.
+		return a.av()
+	}
+
+	var put int
+	var errno ntsim.Errno
+	switch obj := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
+	case *ntsim.OpenFile:
+		put, errno = obj.Write(src[:n])
+		if errno == ntsim.ErrSuccess {
+			obj.Touch(a.k.Now())
+		}
+	case *ntsim.PipeServer:
+		put, errno = obj.Write(src[:n])
+	case *ntsim.PipeClient:
+		put, errno = obj.Write(src[:n])
+	case *ntsim.MailslotClient:
+		put, errno = obj.Write(src[:n])
+	default:
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	a.charge(a.k.Costs().IOCost(put))
+	if res == ptrResolved {
+		putU32(outBuf, uint32(put))
+	} else if res == ptrNull {
+		return a.fail(ntsim.ErrNoaccess)
+	}
+	if written != nil {
+		*written = cellVal()
+	}
+	return a.ok()
+}
+
+// SetFilePointer moves a file offset; returns the low 32 bits of the new
+// position, or 0xFFFFFFFF on failure.
+func (a *API) SetFilePointer(h Handle, distance int32, method uint32) uint32 {
+	raw := []uint64{uint64(h), uint64(uint32(distance)), 0, uint64(method)}
+	a.syscall("SetFilePointer", raw)
+	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
+	if !okh {
+		a.fail(ntsim.ErrInvalidHandle)
+		return 0xFFFFFFFF
+	}
+	pos, errno := of.SeekTo(int64(int32(uint32(raw[1]))), uint32(raw[3]))
+	if errno != ntsim.ErrSuccess {
+		a.fail(errno)
+		return 0xFFFFFFFF
+	}
+	a.ok()
+	return uint32(pos)
+}
+
+// GetFileSize returns a file's size in bytes, or 0xFFFFFFFF on failure.
+func (a *API) GetFileSize(h Handle, sizeHigh *uint32) uint32 {
+	if sizeHigh != nil {
+		*sizeHigh = 0
+	}
+	raw := []uint64{uint64(h), 0}
+	a.syscall("GetFileSize", raw)
+	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
+	if !okh {
+		a.fail(ntsim.ErrInvalidHandle)
+		return 0xFFFFFFFF
+	}
+	a.ok()
+	return uint32(of.Size())
+}
+
+// FlushFileBuffers flushes a file handle (no-op) or blocks until a pipe
+// peer has consumed all written bytes — the call a well-behaved pipe server
+// makes before DisconnectNamedPipe, since disconnecting discards unread
+// data.
+func (a *API) FlushFileBuffers(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("FlushFileBuffers", raw)
+	switch obj := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
+	case *ntsim.OpenFile, *ntsim.PipeClient:
+		return a.ok()
+	case *ntsim.PipeServer:
+		if errno := obj.Flush(a.p); errno != ntsim.ErrSuccess {
+			return a.fail(errno)
+		}
+		return a.ok()
+	}
+	return a.fail(ntsim.ErrInvalidHandle)
+}
+
+// DeleteFileA removes a file by name.
+func (a *API) DeleteFileA(name string) bool {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr}
+	a.syscall("DeleteFileA", raw)
+	path, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		return a.av()
+	case ptrNull:
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	if !a.k.VFS().Remove(path) {
+		return a.fail(ntsim.ErrFileNotFound)
+	}
+	return a.ok()
+}
+
+// GetFileAttributesA returns the attributes of a file (simplified to
+// FILE_ATTRIBUTE_NORMAL), or 0xFFFFFFFF if the file does not exist.
+func (a *API) GetFileAttributesA(name string) uint32 {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr}
+	a.syscall("GetFileAttributesA", raw)
+	path, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		a.av()
+	case ptrNull:
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0xFFFFFFFF
+	}
+	if !a.k.VFS().Exists(path) {
+		a.fail(ntsim.ErrFileNotFound)
+		return 0xFFFFFFFF
+	}
+	a.ok()
+	return 0x80 // FILE_ATTRIBUTE_NORMAL
+}
+
+// CloseHandle releases a handle of any kernel object type.
+func (a *API) CloseHandle(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("CloseHandle", raw)
+	if !a.p.CloseHandle(ntsim.Handle(uint32(raw[0]))) {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	return a.ok()
+}

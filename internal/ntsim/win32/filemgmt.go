@@ -1,0 +1,323 @@
+package win32
+
+import (
+	"strings"
+
+	"ntdts/internal/ntsim"
+)
+
+// File-management surface: directory creation/removal, wildcard
+// enumeration (FindFirstFileA family), move/copy, and path utilities.
+// These complete the KERNEL32 slice the export catalog advertises for
+// custom workloads; the paper's four standard workloads do not call them,
+// keeping the Table 1 census intact.
+
+// findState is the kernel object behind a FindFirstFileA handle.
+type findState struct {
+	matches []string
+	next    int
+}
+
+// FindData is the subset of WIN32_FIND_DATAA the simulation reports.
+type FindData struct {
+	FileName string
+}
+
+// FindFirstFileA begins a wildcard enumeration, storing the first match.
+func (a *API) FindFirstFileA(pattern string, data *FindData) Handle {
+	ad := a.p.Addr()
+	patAddr := ad.MapStr(pattern)
+	out := make([]byte, 320) // sizeof(WIN32_FIND_DATAA)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(patAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{patAddr, outAddr}
+	a.syscall("FindFirstFileA", raw)
+
+	pat, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return InvalidHandle
+	}
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return InvalidHandle
+	}
+	matches := a.k.VFS().Find(pat)
+	if len(matches) == 0 {
+		a.fail(ntsim.ErrFileNotFound)
+		return InvalidHandle
+	}
+	st := &findState{matches: matches, next: 1}
+	if data != nil {
+		data.FileName = matches[0]
+	}
+	a.ok()
+	return a.p.NewHandle(st)
+}
+
+// FindNextFileA advances an enumeration; FALSE with ERROR_NO_MORE_FILES
+// (modeled as ERROR_FILE_NOT_FOUND) at the end.
+func (a *API) FindNextFileA(h Handle, data *FindData) bool {
+	out := make([]byte, 320)
+	outAddr := a.p.Addr().MapBuf(out)
+	defer a.p.Addr().Release(outAddr)
+	raw := []uint64{uint64(h), outAddr}
+	a.syscall("FindNextFileA", raw)
+	st, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*findState)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return false
+	}
+	if st.next >= len(st.matches) {
+		return a.fail(ntsim.ErrFileNotFound)
+	}
+	if data != nil {
+		data.FileName = st.matches[st.next]
+	}
+	st.next++
+	return a.ok()
+}
+
+// FindClose ends an enumeration.
+func (a *API) FindClose(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("FindClose", raw)
+	if _, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*findState); !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	a.p.CloseHandle(ntsim.Handle(uint32(raw[0])))
+	return a.ok()
+}
+
+// CreateDirectoryA creates a directory.
+func (a *API) CreateDirectoryA(path string) bool {
+	ad := a.p.Addr()
+	pathAddr := ad.MapStr(path)
+	defer ad.Release(pathAddr)
+	raw := []uint64{pathAddr, 0}
+	a.syscall("CreateDirectoryA", raw)
+	dir, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	if errno := a.k.VFS().MkDir(dir); errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	return a.ok()
+}
+
+// RemoveDirectoryA removes an empty directory.
+func (a *API) RemoveDirectoryA(path string) bool {
+	ad := a.p.Addr()
+	pathAddr := ad.MapStr(path)
+	defer ad.Release(pathAddr)
+	raw := []uint64{pathAddr}
+	a.syscall("RemoveDirectoryA", raw)
+	dir, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	if errno := a.k.VFS().RmDir(dir); errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	return a.ok()
+}
+
+// MoveFileA renames a file.
+func (a *API) MoveFileA(from, to string) bool {
+	ad := a.p.Addr()
+	fromAddr := ad.MapStr(from)
+	toAddr := ad.MapStr(to)
+	defer ad.Release(fromAddr)
+	defer ad.Release(toAddr)
+	raw := []uint64{fromAddr, toAddr}
+	a.syscall("MoveFileA", raw)
+	src, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	dst, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	if errno := a.k.VFS().Rename(src, dst); errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	return a.ok()
+}
+
+// CopyFileA duplicates a file.
+func (a *API) CopyFileA(from, to string, failIfExists bool) bool {
+	ad := a.p.Addr()
+	fromAddr := ad.MapStr(from)
+	toAddr := ad.MapStr(to)
+	defer ad.Release(fromAddr)
+	defer ad.Release(toAddr)
+	raw := []uint64{fromAddr, toAddr, b2r(failIfExists)}
+	a.syscall("CopyFileA", raw)
+	src, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	dst, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	if errno := a.k.VFS().Copy(src, dst, boolArg(raw[2])); errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	a.charge(a.k.Costs().IOCost(len(dst)))
+	return a.ok()
+}
+
+// SetFileAttributesA records attributes for a path (stored, not
+// interpreted).
+func (a *API) SetFileAttributesA(path string, attrs uint32) bool {
+	ad := a.p.Addr()
+	pathAddr := ad.MapStr(path)
+	defer ad.Release(pathAddr)
+	raw := []uint64{pathAddr, uint64(attrs)}
+	a.syscall("SetFileAttributesA", raw)
+	target, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	if !a.k.VFS().Exists(target) {
+		return a.fail(ntsim.ErrFileNotFound)
+	}
+	return a.ok()
+}
+
+// GetFullPathNameA resolves a relative path against the simulated working
+// directory (C:\), returning the length of the resolved path.
+func (a *API) GetFullPathNameA(path string, resolved *string) uint32 {
+	ad := a.p.Addr()
+	pathAddr := ad.MapStr(path)
+	out := make([]byte, 260)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(pathAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{pathAddr, uint64(len(out)), outAddr, 0}
+	a.syscall("GetFullPathNameA", raw)
+	rel, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	dst, ok := a.mustBuf(raw[2])
+	if !ok {
+		return 0
+	}
+	full := rel
+	if !strings.Contains(rel, ":") && !strings.HasPrefix(rel, `\\`) {
+		full = `C:\` + strings.TrimLeft(rel, `\/`)
+	}
+	n := copy(dst, full)
+	if resolved != nil {
+		*resolved = full
+	}
+	a.ok()
+	return uint32(n)
+}
+
+// SearchPathA looks for a file name along the simulated search path
+// (C:\WINNT\system32, then C:\WINNT, then C:\), returning the full path
+// length.
+func (a *API) SearchPathA(name string, found *string) uint32 {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	out := make([]byte, 260)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(nameAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{0, nameAddr, 0, uint64(len(out)), outAddr, 0}
+	a.syscall("SearchPathA", raw)
+	file, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	if _, ok := a.mustBuf(raw[4]); !ok {
+		return 0
+	}
+	for _, dir := range []string{`C:\WINNT\system32\`, `C:\WINNT\`, `C:\`} {
+		candidate := dir + file
+		if a.k.VFS().Exists(candidate) {
+			if found != nil {
+				*found = candidate
+			}
+			a.ok()
+			return uint32(len(candidate))
+		}
+	}
+	a.fail(ntsim.ErrFileNotFound)
+	return 0
+}
+
+// GetDriveTypeA reports DRIVE_FIXED for C: and DRIVE_NO_ROOT_DIR otherwise.
+func (a *API) GetDriveTypeA(root string) uint32 {
+	ad := a.p.Addr()
+	rootAddr := ad.MapStr(root)
+	defer ad.Release(rootAddr)
+	raw := []uint64{rootAddr}
+	a.syscall("GetDriveTypeA", raw)
+	r, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return 3 // NULL means the current drive: DRIVE_FIXED
+	}
+	if strings.HasPrefix(strings.ToUpper(r), "C:") {
+		return 3 // DRIVE_FIXED
+	}
+	return 1 // DRIVE_NO_ROOT_DIR
+}
+
+// GetLogicalDrives reports the drive bitmask (bit 2 = C:).
+func (a *API) GetLogicalDrives() uint32 {
+	a.syscall("GetLogicalDrives", nil)
+	return 1 << 2
+}
+
+// SetErrorMode sets the process error mode, returning the previous one.
+func (a *API) SetErrorMode(mode uint32) uint32 {
+	raw := []uint64{uint64(mode)}
+	a.syscall("SetErrorMode", raw)
+	prev := a.errorMode
+	a.errorMode = uint32(raw[0])
+	return prev
+}
+
+// GetDiskFreeSpaceA reports the testbed's 2 GB FAT volume geometry.
+func (a *API) GetDiskFreeSpaceA(root string, freeClusters *uint32) bool {
+	ad := a.p.Addr()
+	rootAddr := ad.MapStr(root)
+	defer ad.Release(rootAddr)
+	c1, _, r1 := a.outCell()
+	c2, _, r2 := a.outCell()
+	c3, v3, r3 := a.outCell()
+	c4, _, r4 := a.outCell()
+	defer r1()
+	defer r2()
+	defer r3()
+	defer r4()
+	raw := []uint64{rootAddr, c1, c2, c3, c4}
+	a.syscall("GetDiskFreeSpaceA", raw)
+	if _, res := a.probeStr(raw[0]); res == ptrNull {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	for _, addr := range raw[1:] {
+		buf, ok := a.mustBuf(addr)
+		if !ok {
+			return false
+		}
+		putU32(buf, 0)
+	}
+	if buf, res := a.buf(raw[3]); res == ptrResolved {
+		putU32(buf, 65536) // free clusters
+	}
+	if freeClusters != nil {
+		*freeClusters = v3()
+	}
+	return a.ok()
+}

@@ -1,0 +1,165 @@
+package win32
+
+import (
+	"testing"
+
+	"ntdts/internal/ntsim"
+)
+
+// runProg spawns a single program and drains the kernel.
+func runProg(t *testing.T, setup func(k *ntsim.Kernel), body func(a *API) uint32) *ntsim.Kernel {
+	t.Helper()
+	k := ntsim.NewKernel()
+	if setup != nil {
+		setup(k)
+	}
+	k.RegisterImage("prog.exe", func(p *ntsim.Process) uint32 {
+		return body(New(p))
+	})
+	if _, err := k.Spawn("prog.exe", "prog.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1_000_000 && k.Step(); i++ {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	return k
+}
+
+func TestFindEnumeration(t *testing.T) {
+	runProg(t, func(k *ntsim.Kernel) {
+		k.VFS().WriteFile(`C:\www\a.html`, nil)
+		k.VFS().WriteFile(`C:\www\b.html`, nil)
+		k.VFS().WriteFile(`C:\www\c.gif`, nil)
+	}, func(a *API) uint32 {
+		var fd FindData
+		h := a.FindFirstFileA(`C:\www\*.html`, &fd)
+		if h == InvalidHandle {
+			t.Error("FindFirstFileA failed")
+			return 1
+		}
+		if fd.FileName != "a.html" {
+			t.Errorf("first match %q", fd.FileName)
+		}
+		if !a.FindNextFileA(h, &fd) || fd.FileName != "b.html" {
+			t.Errorf("second match %q", fd.FileName)
+		}
+		if a.FindNextFileA(h, &fd) {
+			t.Error("enumeration did not end")
+		}
+		if a.Process().LastError() != ntsim.ErrFileNotFound {
+			t.Errorf("end error %v", a.Process().LastError())
+		}
+		if !a.FindClose(h) {
+			t.Error("FindClose failed")
+		}
+		if a.FindClose(h) {
+			t.Error("double FindClose succeeded")
+		}
+		return 0
+	})
+}
+
+func TestFindNoMatches(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		if h := a.FindFirstFileA(`C:\empty\*`, nil); h != InvalidHandle {
+			t.Error("FindFirstFileA matched nothing yet succeeded")
+		}
+		if a.Process().LastError() != ntsim.ErrFileNotFound {
+			t.Errorf("error %v", a.Process().LastError())
+		}
+		return 0
+	})
+}
+
+func TestDirectoryLifecycle(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		if !a.CreateDirectoryA(`C:\data`) {
+			t.Error("CreateDirectoryA failed")
+		}
+		if a.CreateDirectoryA(`C:\data`) {
+			t.Error("duplicate CreateDirectoryA succeeded")
+		}
+		h := a.CreateFileA(`C:\data\f.bin`, GenericWrite, 0, CreateAlways, 0)
+		a.CloseHandle(h)
+		if a.RemoveDirectoryA(`C:\data`) {
+			t.Error("RemoveDirectoryA of non-empty dir succeeded")
+		}
+		a.DeleteFileA(`C:\data\f.bin`)
+		if !a.RemoveDirectoryA(`C:\data`) {
+			t.Errorf("RemoveDirectoryA failed: %v", a.Process().LastError())
+		}
+		return 0
+	})
+}
+
+func TestMoveAndCopy(t *testing.T) {
+	runProg(t, func(k *ntsim.Kernel) {
+		k.VFS().WriteFile(`C:\orig`, []byte("xyz"))
+	}, func(a *API) uint32 {
+		if !a.MoveFileA(`C:\orig`, `C:\moved`) {
+			t.Error("MoveFileA failed")
+		}
+		if a.GetFileAttributesA(`C:\orig`) != 0xFFFFFFFF {
+			t.Error("source survived the move")
+		}
+		if !a.CopyFileA(`C:\moved`, `C:\copy`, true) {
+			t.Error("CopyFileA failed")
+		}
+		if a.CopyFileA(`C:\moved`, `C:\copy`, true) {
+			t.Error("failIfExists copy succeeded")
+		}
+		if !a.CopyFileA(`C:\moved`, `C:\copy`, false) {
+			t.Error("overwrite copy failed")
+		}
+		if !a.SetFileAttributesA(`C:\copy`, 0x80) {
+			t.Error("SetFileAttributesA failed")
+		}
+		if a.SetFileAttributesA(`C:\nope`, 0x80) {
+			t.Error("SetFileAttributesA on missing file succeeded")
+		}
+		return 0
+	})
+}
+
+func TestPathUtilities(t *testing.T) {
+	runProg(t, func(k *ntsim.Kernel) {
+		k.VFS().WriteFile(`C:\WINNT\system32\shell.dll`, nil)
+	}, func(a *API) uint32 {
+		var full string
+		if n := a.GetFullPathNameA("work\\notes.txt", &full); n == 0 || full != `C:\work\notes.txt` {
+			t.Errorf("GetFullPathNameA = %q (%d)", full, n)
+		}
+		if n := a.GetFullPathNameA(`D:\abs.txt`, &full); n == 0 || full != `D:\abs.txt` {
+			t.Errorf("absolute GetFullPathNameA = %q", full)
+		}
+		var found string
+		if n := a.SearchPathA("shell.dll", &found); n == 0 || found != `C:\WINNT\system32\shell.dll` {
+			t.Errorf("SearchPathA = %q (%d)", found, n)
+		}
+		if n := a.SearchPathA("missing.dll", &found); n != 0 {
+			t.Error("SearchPathA found a missing file")
+		}
+		if a.GetDriveTypeA(`C:\`) != 3 {
+			t.Error("C: should be DRIVE_FIXED")
+		}
+		if a.GetDriveTypeA(`Z:\`) != 1 {
+			t.Error("Z: should be DRIVE_NO_ROOT_DIR")
+		}
+		if a.GetLogicalDrives() != 1<<2 {
+			t.Error("drive mask")
+		}
+		if prev := a.SetErrorMode(2); prev != 0 {
+			t.Errorf("initial error mode %d", prev)
+		}
+		if prev := a.SetErrorMode(0); prev != 2 {
+			t.Errorf("second error mode %d", prev)
+		}
+		var free uint32
+		if !a.GetDiskFreeSpaceA(`C:\`, &free) || free == 0 {
+			t.Errorf("GetDiskFreeSpaceA free=%d", free)
+		}
+		return 0
+	})
+}

@@ -1,0 +1,207 @@
+package win32
+
+import (
+	"time"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/vclock"
+)
+
+// FILETIME support: 64-bit counts of 100 ns ticks since 1601-01-01, the
+// NT-native time representation. The simulation's epoch (2000-05-01, the
+// paper's lab era) maps onto the FILETIME axis so timestamps read
+// plausibly in traces.
+
+// Filetime is a FILETIME value.
+type Filetime uint64
+
+// ticksPerSecond is the FILETIME resolution (100 ns ticks).
+const ticksPerSecond = 10_000_000
+
+// filetimeAt converts a wall instant to FILETIME without overflowing
+// time.Duration (time.Time.Sub saturates at ~292 years, far short of the
+// 1601 epoch).
+func filetimeAt(when time.Time) Filetime {
+	base := time.Date(1601, 1, 1, 0, 0, 0, 0, time.UTC)
+	secs := when.Unix() - base.Unix()
+	return Filetime(secs)*ticksPerSecond + Filetime(when.Nanosecond()/100)
+}
+
+// simEpochFiletime is 2000-05-01 00:00 UTC on the FILETIME axis.
+var simEpochFiletime = filetimeAt(time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC))
+
+// filetimeOf converts a virtual instant to FILETIME.
+func filetimeOf(t vclock.Time) Filetime {
+	return simEpochFiletime + Filetime(time.Duration(t)/100)
+}
+
+// vtimeOf converts a FILETIME back to a virtual instant (clamped at the
+// simulation epoch).
+func vtimeOf(ft Filetime) vclock.Time {
+	if ft < simEpochFiletime {
+		return 0
+	}
+	return vclock.Time(time.Duration(ft-simEpochFiletime) * 100)
+}
+
+// GetFileTime stores the file's (creation, access, write) times; the
+// simulation tracks only the write time and reports it for all three.
+func (a *API) GetFileTime(h Handle, write *Filetime) bool {
+	ad := a.p.Addr()
+	cells := make([]byte, 24)
+	addr := ad.MapBuf(cells)
+	defer ad.Release(addr)
+	raw := []uint64{uint64(h), addr, addr, addr}
+	a.syscall("GetFileTime", raw)
+	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return false
+	}
+	if write != nil {
+		*write = filetimeOf(of.Mtime())
+	}
+	return a.ok()
+}
+
+// SetFileTime sets the file's write time.
+func (a *API) SetFileTime(h Handle, write Filetime) bool {
+	ad := a.p.Addr()
+	cell := make([]byte, 8)
+	addr := ad.MapBuf(cell)
+	defer ad.Release(addr)
+	raw := []uint64{uint64(h), 0, 0, addr}
+	a.syscall("SetFileTime", raw)
+	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if _, res := a.buf(raw[3]); res == ptrWild {
+		return a.av()
+	}
+	of.Touch(vtimeOf(write))
+	return a.ok()
+}
+
+// CompareFileTime returns -1, 0 or +1.
+func (a *API) CompareFileTime(f1, f2 Filetime) int32 {
+	ad := a.p.Addr()
+	b1 := make([]byte, 8)
+	b2 := make([]byte, 8)
+	a1 := ad.MapBuf(b1)
+	a2 := ad.MapBuf(b2)
+	defer ad.Release(a1)
+	defer ad.Release(a2)
+	raw := []uint64{a1, a2}
+	a.syscall("CompareFileTime", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	if _, res := a.buf(raw[1]); res != ptrResolved {
+		a.av()
+	}
+	switch {
+	case f1 < f2:
+		return -1
+	case f1 > f2:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// FileTimeToSystemTime expands a FILETIME into calendar fields.
+func (a *API) FileTimeToSystemTime(ft Filetime, st *SystemTime) bool {
+	ad := a.p.Addr()
+	in := make([]byte, 8)
+	out := make([]byte, 16)
+	inAddr := ad.MapBuf(in)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(inAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{inAddr, outAddr}
+	a.syscall("FileTimeToSystemTime", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return false
+	}
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return false
+	}
+	// A 1601-epoch span does not fit in time.Duration (it saturates at
+	// ~292 years), so reconstruct the instant through Unix seconds.
+	base := time.Date(1601, 1, 1, 0, 0, 0, 0, time.UTC)
+	when := time.Unix(base.Unix()+int64(ft/ticksPerSecond),
+		int64(ft%ticksPerSecond)*100).UTC()
+	if st != nil {
+		*st = SystemTime{
+			Year: uint16(when.Year()), Month: uint16(when.Month()),
+			Day: uint16(when.Day()), Hour: uint16(when.Hour()),
+			Minute: uint16(when.Minute()), Second: uint16(when.Second()),
+			Milliseconds: uint16(when.Nanosecond() / 1e6),
+		}
+	}
+	return a.ok()
+}
+
+// SystemTimeToFileTime packs calendar fields into a FILETIME.
+func (a *API) SystemTimeToFileTime(st SystemTime, ft *Filetime) bool {
+	ad := a.p.Addr()
+	in := make([]byte, 16)
+	out := make([]byte, 8)
+	inAddr := ad.MapBuf(in)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(inAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{inAddr, outAddr}
+	a.syscall("SystemTimeToFileTime", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return false
+	}
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return false
+	}
+	if st.Month < 1 || st.Month > 12 || st.Day < 1 || st.Day > 31 {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	when := time.Date(int(st.Year), time.Month(st.Month), int(st.Day),
+		int(st.Hour), int(st.Minute), int(st.Second), int(st.Milliseconds)*1e6, time.UTC)
+	if ft != nil {
+		*ft = filetimeAt(when)
+	}
+	return a.ok()
+}
+
+// FileTimeToLocalFileTime converts UTC to local time (the simulated box
+// runs UTC, so this is the identity — with the usual pointer probing).
+func (a *API) FileTimeToLocalFileTime(ft Filetime, local *Filetime) bool {
+	return a.filetimeIdentity("FileTimeToLocalFileTime", ft, local)
+}
+
+// LocalFileTimeToFileTime converts local time to UTC (identity here).
+func (a *API) LocalFileTimeToFileTime(ft Filetime, utc *Filetime) bool {
+	return a.filetimeIdentity("LocalFileTimeToFileTime", ft, utc)
+}
+
+func (a *API) filetimeIdentity(fn string, ft Filetime, out *Filetime) bool {
+	ad := a.p.Addr()
+	in := make([]byte, 8)
+	ob := make([]byte, 8)
+	inAddr := ad.MapBuf(in)
+	outAddr := ad.MapBuf(ob)
+	defer ad.Release(inAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{inAddr, outAddr}
+	a.syscall(fn, raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return false
+	}
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return false
+	}
+	if out != nil {
+		*out = ft
+	}
+	return a.ok()
+}

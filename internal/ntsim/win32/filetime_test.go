@@ -1,0 +1,98 @@
+package win32
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+func TestFileTimeTracksWrites(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		h := a.CreateFileA(`C:\stamp`, GenericRead|GenericWrite, 0, CreateAlways, 0)
+		a.Sleep(2000)
+		var n uint32
+		a.WriteFile(h, []byte("x"), 1, &n)
+		var ft Filetime
+		if !a.GetFileTime(h, &ft) {
+			t.Error("GetFileTime failed")
+			return 1
+		}
+		// The write landed at ~2s of virtual time.
+		want := filetimeOf(vclock.Time(2 * time.Second))
+		diff := int64(ft) - int64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if time.Duration(diff)*100 > time.Second {
+			t.Errorf("mtime %d vs expected ~%d", ft, want)
+		}
+		// SetFileTime overrides.
+		target := filetimeOf(vclock.Time(10 * time.Second))
+		if !a.SetFileTime(h, target) {
+			t.Error("SetFileTime failed")
+		}
+		a.GetFileTime(h, &ft)
+		if ft != target {
+			t.Errorf("after SetFileTime: %d, want %d", ft, target)
+		}
+		return 0
+	})
+}
+
+func TestCompareFileTime(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		lo := filetimeOf(vclock.Time(time.Second))
+		hi := filetimeOf(vclock.Time(2 * time.Second))
+		if a.CompareFileTime(lo, hi) != -1 || a.CompareFileTime(hi, lo) != 1 || a.CompareFileTime(lo, lo) != 0 {
+			t.Error("CompareFileTime ordering")
+		}
+		return 0
+	})
+}
+
+func TestFileTimeSystemTimeRoundtrip(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		orig := filetimeOf(vclock.Time(90 * time.Minute))
+		var st SystemTime
+		if !a.FileTimeToSystemTime(orig, &st) {
+			t.Error("FileTimeToSystemTime failed")
+			return 1
+		}
+		// The simulation epoch is 2000-05-01 00:00; 90 minutes in is 01:30.
+		if st.Year != 2000 || st.Month != 5 || st.Day != 1 || st.Hour != 1 || st.Minute != 30 {
+			t.Errorf("SYSTEMTIME %+v", st)
+		}
+		var back Filetime
+		if !a.SystemTimeToFileTime(st, &back) {
+			t.Error("SystemTimeToFileTime failed")
+			return 1
+		}
+		// Roundtrip is exact to the millisecond.
+		diff := int64(orig) - int64(back)
+		if diff < 0 {
+			diff = -diff
+		}
+		if time.Duration(diff)*100 > time.Millisecond {
+			t.Errorf("roundtrip drift %d ticks", diff)
+		}
+		if a.SystemTimeToFileTime(SystemTime{Year: 2000, Month: 13, Day: 1}, &back) {
+			t.Error("accepted month 13")
+		}
+		return 0
+	})
+}
+
+func TestLocalFileTimeIdentity(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		ft := filetimeOf(vclock.Time(time.Hour))
+		var local, utc Filetime
+		if !a.FileTimeToLocalFileTime(ft, &local) || local != ft {
+			t.Error("FileTimeToLocalFileTime")
+		}
+		if !a.LocalFileTimeToFileTime(local, &utc) || utc != ft {
+			t.Error("LocalFileTimeToFileTime")
+		}
+		return 0
+	})
+}

@@ -1,0 +1,74 @@
+package win32
+
+import "ntdts/internal/ntsim"
+
+// Mailslot API: CreateMailslotA creates the read end; clients open the
+// \\.\mailslot\ path with CreateFileA and send datagrams with WriteFile.
+
+// MailslotWaitForever mirrors MAILSLOT_WAIT_FOREVER.
+const MailslotWaitForever = ntsim.MailslotWaitForever
+
+// CreateMailslotA creates a mailslot server handle.
+func (a *API) CreateMailslotA(name string, maxMessageSize, readTimeoutMS uint32) Handle {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr, uint64(maxMessageSize), uint64(readTimeoutMS), 0}
+	a.syscall("CreateMailslotA", raw)
+	path, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return InvalidHandle
+	}
+	ms, errno := a.k.CreateMailslot(path, uint32(raw[2]))
+	if errno != ntsim.ErrSuccess {
+		a.fail(errno)
+		return InvalidHandle
+	}
+	a.ok()
+	return a.p.NewHandle(ms)
+}
+
+// GetMailslotInfo reports the next message size and message count.
+func (a *API) GetMailslotInfo(h Handle, nextSize, count *uint32) bool {
+	c1, v1, r1 := a.outCell()
+	c2, v2, r2 := a.outCell()
+	defer r1()
+	defer r2()
+	raw := []uint64{uint64(h), 0, c1, c2, 0}
+	a.syscall("GetMailslotInfo", raw)
+	ms, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Mailslot)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	next, n := ms.Info()
+	if buf, res := a.buf(raw[2]); res == ptrResolved {
+		putU32(buf, next)
+	} else if res == ptrWild {
+		return a.av()
+	}
+	if buf, res := a.buf(raw[3]); res == ptrResolved {
+		putU32(buf, n)
+	} else if res == ptrWild {
+		return a.av()
+	}
+	if nextSize != nil {
+		*nextSize = v1()
+	}
+	if count != nil {
+		*count = v2()
+	}
+	return a.ok()
+}
+
+// SetMailslotInfo updates the slot's read timeout.
+func (a *API) SetMailslotInfo(h Handle, readTimeoutMS uint32) bool {
+	raw := []uint64{uint64(h), uint64(readTimeoutMS)}
+	a.syscall("SetMailslotInfo", raw)
+	ms, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Mailslot)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	ms.SetReadTimeout(uint32(raw[1]))
+	return a.ok()
+}

@@ -1,0 +1,160 @@
+package win32
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+const slotPath = `\\.\mailslot\alerts`
+
+func TestMailslotDatagramFlow(t *testing.T) {
+	k := ntsim.NewKernel()
+	var got []string
+	k.RegisterImage("server.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		h := a.CreateMailslotA(slotPath, 0, MailslotWaitForever)
+		if h == InvalidHandle {
+			t.Error("CreateMailslotA failed")
+			return 1
+		}
+		// Duplicate creation must fail.
+		if a.CreateMailslotA(slotPath, 0, 0) != InvalidHandle {
+			t.Error("duplicate mailslot created")
+		}
+		buf := make([]byte, 64)
+		for i := 0; i < 2; i++ {
+			var n uint32
+			if !a.ReadFile(h, buf, 64, &n) {
+				t.Errorf("mailslot read %d: %v", i, a.Process().LastError())
+				return 1
+			}
+			got = append(got, string(buf[:n]))
+		}
+		var next, count uint32
+		if !a.GetMailslotInfo(h, &next, &count) || count != 0 {
+			t.Errorf("info after drain: next=%d count=%d", next, count)
+		}
+		a.CloseHandle(h)
+		return 0
+	})
+	k.RegisterImage("sender.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		p.SleepFor(100 * time.Millisecond)
+		h := a.CreateFileA(slotPath, GenericWrite, 0, OpenExisting, 0)
+		if h == InvalidHandle {
+			t.Errorf("open mailslot: %v", a.Process().LastError())
+			return 1
+		}
+		var n uint32
+		a.WriteFile(h, []byte("alpha"), 5, &n)
+		a.WriteFile(h, []byte("beta"), 4, &n)
+		a.CloseHandle(h)
+		return 0
+	})
+	k.Spawn("server.exe", "server.exe", 0)
+	k.Spawn("sender.exe", "sender.exe", 0)
+	for i := 0; i < 1_000_000 && k.Step(); i++ {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("messages %v", got)
+	}
+}
+
+func TestMailslotMessageBoundariesPreserved(t *testing.T) {
+	// Two writes are two messages, never coalesced (unlike a pipe).
+	k := ntsim.NewKernel()
+	k.RegisterImage("prog.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		h := a.CreateMailslotA(slotPath, 0, 0)
+		mc := a.CreateFileA(slotPath, GenericWrite, 0, OpenExisting, 0)
+		var n uint32
+		a.WriteFile(mc, []byte("12345"), 5, &n)
+		a.WriteFile(mc, []byte("67"), 2, &n)
+		var next, count uint32
+		a.GetMailslotInfo(h, &next, &count)
+		if next != 5 || count != 2 {
+			t.Errorf("info: next=%d count=%d, want 5/2", next, count)
+		}
+		big := make([]byte, 64)
+		a.ReadFile(h, big, 64, &n)
+		if n != 5 {
+			t.Errorf("first message %d bytes", n)
+		}
+		// An undersized buffer fails without consuming the message.
+		small := make([]byte, 1)
+		if a.ReadFile(h, small, 1, &n) {
+			t.Error("undersized read succeeded")
+		}
+		if a.Process().LastError() != ntsim.ErrInsufficientBuffer {
+			t.Errorf("error %v", a.Process().LastError())
+		}
+		a.ReadFile(h, big, 64, &n)
+		if n != 2 {
+			t.Errorf("second message %d bytes", n)
+		}
+		return 0
+	})
+	k.Spawn("prog.exe", "prog.exe", 0)
+	for k.Step() {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+}
+
+func TestMailslotReadTimeout(t *testing.T) {
+	k := ntsim.NewKernel()
+	var elapsed time.Duration
+	var errno ntsim.Errno
+	k.RegisterImage("prog.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		h := a.CreateMailslotA(slotPath, 0, 2000)
+		start := k.Now()
+		var n uint32
+		ok := a.ReadFile(h, make([]byte, 8), 8, &n)
+		elapsed = k.Now().Sub(start)
+		if ok {
+			t.Error("read on empty slot succeeded")
+		}
+		errno = a.Process().LastError()
+		// SetMailslotInfo switches to polling mode.
+		if !a.SetMailslotInfo(h, 0) {
+			t.Error("SetMailslotInfo failed")
+		}
+		if a.ReadFile(h, make([]byte, 8), 8, &n) {
+			t.Error("poll read succeeded")
+		}
+		return 0
+	})
+	k.Spawn("prog.exe", "prog.exe", 0)
+	for k.Step() {
+	}
+	if errno != ntsim.ErrSemTimeout {
+		t.Fatalf("timeout errno %v", errno)
+	}
+	if elapsed < 2*time.Second || elapsed > 2*time.Second+100*time.Millisecond {
+		t.Fatalf("timed out after %v, want ~2s", elapsed)
+	}
+}
+
+func TestMailslotOpenMissing(t *testing.T) {
+	k := ntsim.NewKernel()
+	k.RegisterImage("prog.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		if a.CreateFileA(`\\.\mailslot\nothing`, GenericWrite, 0, OpenExisting, 0) != InvalidHandle {
+			t.Error("opened a missing mailslot")
+		}
+		if a.Process().LastError() != ntsim.ErrFileNotFound {
+			t.Errorf("error %v", a.Process().LastError())
+		}
+		return 0
+	})
+	k.Spawn("prog.exe", "prog.exe", 0)
+	for k.Step() {
+	}
+}

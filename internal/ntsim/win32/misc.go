@@ -1,0 +1,809 @@
+package win32
+
+import (
+	"strings"
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+// This file implements the broad "C runtime support" surface of KERNEL32:
+// module queries, locale, strings, TLS, console handles, time. Target
+// programs call these during startup and steady-state operation, which is
+// what gives each workload its distinctive activated-function profile
+// (Table 1 of the paper).
+
+// probeStr resolves a string parameter with the standard consequence model:
+// wild -> AV, NULL -> (handled by caller), resolved -> value.
+func (a *API) probeStr(addr uint64) (string, resolution) {
+	s, res := a.str(addr)
+	if res == ptrWild {
+		a.av()
+	}
+	return s, res
+}
+
+// GetVersion returns the packed NT 4.0 version number.
+func (a *API) GetVersion() uint32 {
+	a.syscall("GetVersion", nil)
+	return 0x0004_0004 // NT 4.0
+}
+
+// OSVersionInfo mirrors OSVERSIONINFOA.
+type OSVersionInfo struct {
+	MajorVersion uint32
+	MinorVersion uint32
+	BuildNumber  uint32
+	PlatformID   uint32
+	CSDVersion   string
+}
+
+// GetVersionExA fills an OSVERSIONINFOA with the simulated platform.
+func (a *API) GetVersionExA(info *OSVersionInfo) bool {
+	buf := make([]byte, 148)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("GetVersionExA", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return false
+	}
+	if info != nil {
+		*info = OSVersionInfo{
+			MajorVersion: 4, MinorVersion: 0, BuildNumber: 1381,
+			PlatformID: 2, CSDVersion: "Service Pack 4",
+		}
+	}
+	return a.ok()
+}
+
+// GetModuleHandleA returns a pseudo-handle for a loaded module (NULL name
+// means the main executable).
+func (a *API) GetModuleHandleA(name string) uint32 {
+	ad := a.p.Addr()
+	nameAddr := uint64(0)
+	if name != "" {
+		nameAddr = ad.MapStr(name)
+		defer ad.Release(nameAddr)
+	}
+	raw := []uint64{nameAddr}
+	a.syscall("GetModuleHandleA", raw)
+	if _, res := a.probeStr(raw[0]); res == ptrNull {
+		return 0x0040_0000 // main module base
+	}
+	return 0x1000_0000 // some DLL base
+}
+
+// GetModuleFileNameA stores the module path, returning its length.
+func (a *API) GetModuleFileNameA(module uint32, name *string) uint32 {
+	out := make([]byte, 260)
+	outAddr := a.p.Addr().MapBuf(out)
+	defer a.p.Addr().Release(outAddr)
+	raw := []uint64{uint64(module), outAddr, uint64(len(out))}
+	a.syscall("GetModuleFileNameA", raw)
+	dst, ok := a.mustBuf(raw[1])
+	if !ok {
+		return 0
+	}
+	path := `C:\Program Files\` + a.p.Image
+	n := copy(dst, path)
+	if uint64(n) > raw[2] {
+		n = int(raw[2])
+	}
+	if name != nil {
+		*name = path[:n]
+	}
+	a.ok()
+	return uint32(n)
+}
+
+// LoadLibraryA loads a DLL (registered modules resolve; everything else
+// fails with ERROR_FILE_NOT_FOUND, after which GetProcAddress is moot).
+func (a *API) LoadLibraryA(name string) uint32 {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr}
+	a.syscall("LoadLibraryA", raw)
+	lib, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	switch strings.ToLower(strings.TrimSuffix(lib, ".dll")) {
+	case "kernel32", "advapi32", "user32", "wsock32", "msvcrt":
+		a.ok()
+		return 0x1000_0000
+	}
+	a.fail(ntsim.ErrFileNotFound)
+	return 0
+}
+
+// FreeLibrary unloads a DLL reference.
+func (a *API) FreeLibrary(module uint32) bool {
+	raw := []uint64{uint64(module)}
+	a.syscall("FreeLibrary", raw)
+	if uint32(raw[0]) == 0 {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	return a.ok()
+}
+
+// GetProcAddress resolves an export by name; the simulation reports success
+// for any name on a valid module handle (call sites use the typed API).
+func (a *API) GetProcAddress(module uint32, proc string) uint32 {
+	ad := a.p.Addr()
+	procAddr := ad.MapStr(proc)
+	defer ad.Release(procAddr)
+	raw := []uint64{uint64(module), procAddr}
+	a.syscall("GetProcAddress", raw)
+	if _, res := a.probeStr(raw[1]); res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	if uint32(raw[0]) == 0 {
+		a.fail(ntsim.ErrInvalidHandle)
+		return 0
+	}
+	a.ok()
+	return 0x1000_1000
+}
+
+// Std handle identifiers.
+const (
+	StdInputHandle  uint32 = 0xFFFFFFF6 // -10
+	StdOutputHandle uint32 = 0xFFFFFFF5 // -11
+	StdErrorHandle  uint32 = 0xFFFFFFF4 // -12
+)
+
+// GetStdHandle returns a pseudo-handle for a standard device. The simulated
+// console is modeled as a VFS file per process.
+func (a *API) GetStdHandle(which uint32) Handle {
+	raw := []uint64{uint64(which)}
+	a.syscall("GetStdHandle", raw)
+	var path string
+	switch uint32(raw[0]) {
+	case StdOutputHandle:
+		path = consolePath(a.p, "out")
+	case StdErrorHandle:
+		path = consolePath(a.p, "err")
+	case StdInputHandle:
+		path = consolePath(a.p, "in")
+	default:
+		a.fail(ntsim.ErrInvalidHandle)
+		return InvalidHandle
+	}
+	of, errno := a.k.VFS().Open(path, GenericRead|GenericWrite, OpenAlways)
+	if errno != ntsim.ErrSuccess {
+		a.fail(errno)
+		return InvalidHandle
+	}
+	// Output streams append; the input stream reads from the start.
+	if uint32(raw[0]) != StdInputHandle {
+		of.SeekTo(0, FileEnd)
+	}
+	a.ok()
+	return a.p.NewHandle(of)
+}
+
+func consolePath(p *ntsim.Process, stream string) string {
+	return `C:\sim\console\` + p.Image + `.` + stream
+}
+
+// SystemInfo mirrors SYSTEM_INFO (subset).
+type SystemInfo struct {
+	NumberOfProcessors uint32
+	PageSize           uint32
+	ProcessorType      uint32
+}
+
+// GetSystemInfo fills a SYSTEM_INFO describing the 100 MHz Pentium testbed.
+func (a *API) GetSystemInfo(info *SystemInfo) {
+	buf := make([]byte, 36)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("GetSystemInfo", raw)
+	if _, res := a.buf(raw[0]); res == ptrWild {
+		a.av()
+	}
+	if info != nil {
+		*info = SystemInfo{NumberOfProcessors: 1, PageSize: 4096, ProcessorType: 586}
+	}
+}
+
+// SystemTime mirrors SYSTEMTIME.
+type SystemTime struct {
+	Year, Month, Day, Hour, Minute, Second, Milliseconds uint16
+}
+
+func (a *API) systemTimeCall(fn string, st *SystemTime) {
+	buf := make([]byte, 16)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall(fn, raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return
+	}
+	// Simulation epoch: 2000-05-01 00:00 (the paper's lab era), plus
+	// virtual time.
+	base := time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+	now := base.Add(time.Duration(a.k.Now()))
+	if st != nil {
+		*st = SystemTime{
+			Year: uint16(now.Year()), Month: uint16(now.Month()),
+			Day: uint16(now.Day()), Hour: uint16(now.Hour()),
+			Minute: uint16(now.Minute()), Second: uint16(now.Second()),
+			Milliseconds: uint16(now.Nanosecond() / 1e6),
+		}
+	}
+	a.ok()
+}
+
+// GetSystemTime fills a SYSTEMTIME in UTC.
+func (a *API) GetSystemTime(st *SystemTime) { a.systemTimeCall("GetSystemTime", st) }
+
+// GetLocalTime fills a SYSTEMTIME in local time (the simulated box runs UTC).
+func (a *API) GetLocalTime(st *SystemTime) { a.systemTimeCall("GetLocalTime", st) }
+
+// GetSystemTimeAsFileTime stores the time as a FILETIME tick count.
+func (a *API) GetSystemTimeAsFileTime(ft *uint64) {
+	buf := make([]byte, 8)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("GetSystemTimeAsFileTime", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return
+	}
+	if ft != nil {
+		*ft = uint64(time.Duration(a.k.Now()) / 100) // 100ns ticks
+	}
+	a.ok()
+}
+
+// QueryPerformanceCounter stores the high-resolution tick count.
+func (a *API) QueryPerformanceCounter(count *int64) bool {
+	buf := make([]byte, 8)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("QueryPerformanceCounter", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return false
+	}
+	if count != nil {
+		*count = int64(time.Duration(a.k.Now()) / time.Microsecond)
+	}
+	return a.ok()
+}
+
+// QueryPerformanceFrequency stores the counter frequency (1 MHz).
+func (a *API) QueryPerformanceFrequency(freq *int64) bool {
+	buf := make([]byte, 8)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("QueryPerformanceFrequency", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return false
+	}
+	if freq != nil {
+		*freq = 1_000_000
+	}
+	return a.ok()
+}
+
+// GetACP returns the ANSI code page (1252).
+func (a *API) GetACP() uint32 {
+	a.syscall("GetACP", nil)
+	return 1252
+}
+
+// GetOEMCP returns the OEM code page (437).
+func (a *API) GetOEMCP() uint32 {
+	a.syscall("GetOEMCP", nil)
+	return 437
+}
+
+// GetCPInfo fills code-page info (max char size).
+func (a *API) GetCPInfo(codePage uint32, maxCharSize *uint32) bool {
+	buf := make([]byte, 20)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{uint64(codePage), addr}
+	a.syscall("GetCPInfo", raw)
+	if _, ok := a.mustBuf(raw[1]); !ok {
+		return false
+	}
+	if maxCharSize != nil {
+		*maxCharSize = 1
+	}
+	return a.ok()
+}
+
+// GetComputerNameA stores the machine name.
+func (a *API) GetComputerNameA(name *string) bool {
+	out := make([]byte, 32)
+	outAddr := a.p.Addr().MapBuf(out)
+	cellAddr, _, releaseCell := a.outCell()
+	defer a.p.Addr().Release(outAddr)
+	defer releaseCell()
+	raw := []uint64{outAddr, cellAddr}
+	a.syscall("GetComputerNameA", raw)
+	dst, ok := a.mustBuf(raw[0])
+	if !ok {
+		return false
+	}
+	const host = "NTLAB1"
+	copy(dst, host)
+	if name != nil {
+		*name = host
+	}
+	return a.ok()
+}
+
+// GetSystemDirectoryA stores the system directory path, returning its length.
+func (a *API) GetSystemDirectoryA(dir *string) uint32 {
+	return a.dirQuery("GetSystemDirectoryA", `C:\WINNT\system32`, dir)
+}
+
+// GetWindowsDirectoryA stores the Windows directory path.
+func (a *API) GetWindowsDirectoryA(dir *string) uint32 {
+	return a.dirQuery("GetWindowsDirectoryA", `C:\WINNT`, dir)
+}
+
+// GetTempPathA stores the temp directory path.
+func (a *API) GetTempPathA(dir *string) uint32 {
+	return a.dirQuery("GetTempPathA", `C:\TEMP\`, dir)
+}
+
+// GetCurrentDirectoryA stores the process working directory.
+func (a *API) GetCurrentDirectoryA(dir *string) uint32 {
+	return a.dirQuery("GetCurrentDirectoryA", `C:\`, dir)
+}
+
+func (a *API) dirQuery(fn, path string, dir *string) uint32 {
+	out := make([]byte, 260)
+	outAddr := a.p.Addr().MapBuf(out)
+	defer a.p.Addr().Release(outAddr)
+	raw := []uint64{uint64(len(out)), outAddr}
+	a.syscall(fn, raw)
+	dst, ok := a.mustBuf(raw[1])
+	if !ok {
+		return 0
+	}
+	n := copy(dst, path)
+	if dir != nil {
+		*dir = path
+	}
+	a.ok()
+	return uint32(n)
+}
+
+// lstr family ---------------------------------------------------------------
+
+// LstrlenA returns the length of a string parameter.
+func (a *API) LstrlenA(s string) int32 {
+	ad := a.p.Addr()
+	addr := ad.MapStr(s)
+	defer ad.Release(addr)
+	raw := []uint64{addr}
+	a.syscall("lstrlenA", raw)
+	v, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return 0 // lstrlenA(NULL) returns 0 by contract
+	}
+	return int32(len(v))
+}
+
+// LstrcpyA copies src, returning it (dst is modeled by the return value).
+func (a *API) LstrcpyA(src string) (string, bool) {
+	ad := a.p.Addr()
+	dstBuf := make([]byte, len(src)+1)
+	dstAddr := ad.MapBuf(dstBuf)
+	srcAddr := ad.MapStr(src)
+	defer ad.Release(dstAddr)
+	defer ad.Release(srcAddr)
+	raw := []uint64{dstAddr, srcAddr}
+	a.syscall("lstrcpyA", raw)
+	if _, ok := a.mustBuf(raw[0]); !ok {
+		return "", false
+	}
+	v, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return "", false
+	}
+	return v, true
+}
+
+// LstrcatA concatenates two strings.
+func (a *API) LstrcatA(dst, src string) (string, bool) {
+	ad := a.p.Addr()
+	dstAddr := ad.MapStr(dst)
+	srcAddr := ad.MapStr(src)
+	defer ad.Release(dstAddr)
+	defer ad.Release(srcAddr)
+	raw := []uint64{dstAddr, srcAddr}
+	a.syscall("lstrcatA", raw)
+	d, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return "", false
+	}
+	s, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return "", false
+	}
+	return d + s, true
+}
+
+// LstrcmpiA compares two strings case-insensitively.
+func (a *API) LstrcmpiA(s1, s2 string) int32 {
+	ad := a.p.Addr()
+	a1 := ad.MapStr(s1)
+	a2 := ad.MapStr(s2)
+	defer ad.Release(a1)
+	defer ad.Release(a2)
+	raw := []uint64{a1, a2}
+	a.syscall("lstrcmpiA", raw)
+	v1, _ := a.probeStr(raw[0])
+	v2, _ := a.probeStr(raw[1])
+	return int32(strings.Compare(strings.ToLower(v1), strings.ToLower(v2)))
+}
+
+// MultiByteToWideChar converts ANSI to UTF-16, returning the wide length.
+func (a *API) MultiByteToWideChar(codePage uint32, s string) int32 {
+	ad := a.p.Addr()
+	srcAddr := ad.MapStr(s)
+	defer ad.Release(srcAddr)
+	out := make([]byte, 2*len(s)+2)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(outAddr)
+	raw := []uint64{uint64(codePage), 0, srcAddr, uint64(len(s)), outAddr, uint64(len(s) + 1)}
+	a.syscall("MultiByteToWideChar", raw)
+	v, res := a.probeStr(raw[2])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	if _, ok := a.mustBuf(raw[4]); !ok {
+		return 0
+	}
+	a.ok()
+	return int32(len(v))
+}
+
+// WideCharToMultiByte converts UTF-16 to ANSI, returning the narrow length.
+func (a *API) WideCharToMultiByte(codePage uint32, s string) int32 {
+	ad := a.p.Addr()
+	srcAddr := ad.MapStr(s)
+	defer ad.Release(srcAddr)
+	out := make([]byte, len(s)+1)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(outAddr)
+	raw := []uint64{uint64(codePage), 0, srcAddr, uint64(len(s)), outAddr, uint64(len(s) + 1), 0, 0}
+	a.syscall("WideCharToMultiByte", raw)
+	v, res := a.probeStr(raw[2])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	if _, ok := a.mustBuf(raw[4]); !ok {
+		return 0
+	}
+	a.ok()
+	return int32(len(v))
+}
+
+// OutputDebugStringA sends a message to the (simulated) debugger: appended
+// to a per-machine debug file.
+func (a *API) OutputDebugStringA(msg string) {
+	ad := a.p.Addr()
+	addr := ad.MapStr(msg)
+	defer ad.Release(addr)
+	raw := []uint64{addr}
+	a.syscall("OutputDebugStringA", raw)
+	v, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		return
+	}
+	cur, _ := a.k.VFS().ReadFile(`C:\sim\debug.log`)
+	a.k.VFS().WriteFile(`C:\sim\debug.log`, append(cur, []byte(v+"\n")...))
+}
+
+// FormatMessageA renders an error code to text.
+func (a *API) FormatMessageA(flags uint32, code uint32) string {
+	out := make([]byte, 256)
+	outAddr := a.p.Addr().MapBuf(out)
+	defer a.p.Addr().Release(outAddr)
+	raw := []uint64{uint64(flags), 0, uint64(code), 0, outAddr, uint64(len(out)), 0}
+	a.syscall("FormatMessageA", raw)
+	if _, ok := a.mustBuf(raw[4]); !ok {
+		return ""
+	}
+	a.ok()
+	return ntsim.Errno(uint32(raw[2])).Error()
+}
+
+// TLS -----------------------------------------------------------------------
+
+// tlsState holds per-process TLS slots, stored via the named registry.
+type tlsState struct {
+	slots map[uint32]uint64
+	next  uint32
+}
+
+func (a *API) tls() *tlsState {
+	key := "tls:" + a.p.Image + ":" + itoa(uint32(a.p.ID))
+	if v, found := a.k.LookupNamed(key); found {
+		return v.(*tlsState)
+	}
+	st := &tlsState{slots: make(map[uint32]uint64)}
+	a.k.RegisterNamed(key, st)
+	return st
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TlsAlloc allocates a TLS slot index.
+func (a *API) TlsAlloc() uint32 {
+	a.syscall("TlsAlloc", nil)
+	st := a.tls()
+	idx := st.next
+	st.next++
+	st.slots[idx] = 0
+	return idx
+}
+
+// TlsFree releases a TLS slot.
+func (a *API) TlsFree(idx uint32) bool {
+	raw := []uint64{uint64(idx)}
+	a.syscall("TlsFree", raw)
+	st := a.tls()
+	if _, found := st.slots[uint32(raw[0])]; !found {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	delete(st.slots, uint32(raw[0]))
+	return a.ok()
+}
+
+// TlsSetValue stores a value in a TLS slot.
+func (a *API) TlsSetValue(idx uint32, value uint64) bool {
+	raw := []uint64{uint64(idx), value}
+	a.syscall("TlsSetValue", raw)
+	st := a.tls()
+	if _, found := st.slots[uint32(raw[0])]; !found {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	st.slots[uint32(raw[0])] = raw[1]
+	return a.ok()
+}
+
+// TlsGetValue loads a value from a TLS slot (0 for unknown slots, with
+// last-error distinguishing, like Win32).
+func (a *API) TlsGetValue(idx uint32) uint64 {
+	raw := []uint64{uint64(idx)}
+	a.syscall("TlsGetValue", raw)
+	st := a.tls()
+	v, found := st.slots[uint32(raw[0])]
+	if !found {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	a.ok()
+	return v
+}
+
+// Profile files ---------------------------------------------------------------
+
+// GetPrivateProfileStringA reads a key from an INI file in the VFS.
+func (a *API) GetPrivateProfileStringA(section, key, def, file string) string {
+	ad := a.p.Addr()
+	secAddr := ad.MapStr(section)
+	keyAddr := ad.MapStr(key)
+	defAddr := ad.MapStr(def)
+	fileAddr := ad.MapStr(file)
+	out := make([]byte, 256)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(secAddr)
+	defer ad.Release(keyAddr)
+	defer ad.Release(defAddr)
+	defer ad.Release(fileAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{secAddr, keyAddr, defAddr, outAddr, uint64(len(out)), fileAddr}
+	a.syscall("GetPrivateProfileStringA", raw)
+	sec, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		sec = ""
+	}
+	k, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		k = ""
+	}
+	d, _ := a.probeStr(raw[2])
+	if _, ok := a.mustBuf(raw[3]); !ok {
+		return ""
+	}
+	path, res := a.probeStr(raw[5])
+	if res == ptrNull {
+		return d
+	}
+	data, found := a.k.VFS().ReadFile(path)
+	if !found {
+		return d
+	}
+	val, found := iniLookup(string(data), sec, k)
+	if !found {
+		return d
+	}
+	return val
+}
+
+// GetPrivateProfileIntA reads an integer key from an INI file.
+func (a *API) GetPrivateProfileIntA(section, key string, def int32, file string) int32 {
+	ad := a.p.Addr()
+	secAddr := ad.MapStr(section)
+	keyAddr := ad.MapStr(key)
+	fileAddr := ad.MapStr(file)
+	defer ad.Release(secAddr)
+	defer ad.Release(keyAddr)
+	defer ad.Release(fileAddr)
+	raw := []uint64{secAddr, keyAddr, uint64(uint32(def)), fileAddr}
+	a.syscall("GetPrivateProfileIntA", raw)
+	sec, _ := a.probeStr(raw[0])
+	k, _ := a.probeStr(raw[1])
+	d := int32(uint32(raw[2]))
+	path, res := a.probeStr(raw[3])
+	if res == ptrNull {
+		return d
+	}
+	data, found := a.k.VFS().ReadFile(path)
+	if !found {
+		return d
+	}
+	val, found := iniLookup(string(data), sec, k)
+	if !found {
+		return d
+	}
+	n := int32(0)
+	neg := false
+	for i, c := range val {
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int32(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n
+}
+
+// iniLookup finds [section] key=value in INI text.
+func iniLookup(text, section, key string) (string, bool) {
+	inSection := section == ""
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			inSection = strings.EqualFold(line[1:len(line)-1], section)
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if eq := strings.IndexByte(line, '='); eq > 0 {
+			if strings.EqualFold(strings.TrimSpace(line[:eq]), key) {
+				return strings.TrimSpace(line[eq+1:]), true
+			}
+		}
+	}
+	return "", false
+}
+
+// Validation helpers -----------------------------------------------------------
+
+// IsBadReadPtr reports whether a pointer range is unreadable (TRUE = bad).
+func (a *API) IsBadReadPtr(addr uint64, size uint32) bool {
+	raw := []uint64{addr, uint64(size)}
+	a.syscall("IsBadReadPtr", raw)
+	_, _, ok := a.p.Addr().Buf(raw[0])
+	return !ok || raw[0] == 0
+}
+
+// IsBadWritePtr reports whether a pointer range is unwritable (TRUE = bad).
+func (a *API) IsBadWritePtr(addr uint64, size uint32) bool {
+	raw := []uint64{addr, uint64(size)}
+	a.syscall("IsBadWritePtr", raw)
+	_, _, ok := a.p.Addr().Buf(raw[0])
+	return !ok || raw[0] == 0
+}
+
+// GetFileType classifies a handle (disk file vs pipe vs character device).
+func (a *API) GetFileType(h Handle) uint32 {
+	raw := []uint64{uint64(h)}
+	a.syscall("GetFileType", raw)
+	switch a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
+	case *ntsim.OpenFile:
+		a.ok()
+		return 1 // FILE_TYPE_DISK
+	case *ntsim.PipeServer, *ntsim.PipeClient:
+		a.ok()
+		return 3 // FILE_TYPE_PIPE
+	}
+	a.fail(ntsim.ErrInvalidHandle)
+	return 0 // FILE_TYPE_UNKNOWN
+}
+
+// SetHandleCount is a legacy no-op that returns its argument.
+func (a *API) SetHandleCount(n uint32) uint32 {
+	raw := []uint64{uint64(n)}
+	a.syscall("SetHandleCount", raw)
+	return uint32(raw[0])
+}
+
+// GlobalMemoryStatus reports the 48 MB testbed memory configuration.
+func (a *API) GlobalMemoryStatus(totalPhysKB *uint32) {
+	buf := make([]byte, 32)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("GlobalMemoryStatus", raw)
+	if _, res := a.buf(raw[0]); res == ptrWild {
+		a.av()
+	}
+	if totalPhysKB != nil {
+		*totalPhysKB = 48 * 1024
+	}
+}
+
+// DuplicateHandle clones a handle within the same (or another) process.
+func (a *API) DuplicateHandle(srcProc Handle, src Handle, dstProc Handle, dst *Handle) bool {
+	cellAddr, _, releaseCell := a.outCell()
+	defer releaseCell()
+	raw := []uint64{uint64(srcProc), uint64(src), uint64(dstProc), cellAddr, 0, 0, 0}
+	a.syscall("DuplicateHandle", raw)
+	if _, ok := a.mustBuf(raw[3]); !ok {
+		return false
+	}
+	obj := a.p.Resolve(ntsim.Handle(uint32(raw[1])))
+	if obj == nil {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	h := a.p.NewHandle(obj)
+	if dst != nil {
+		*dst = h
+	}
+	return a.ok()
+}
+
+// GetCurrentProcess returns the pseudo-handle for the calling process.
+func (a *API) GetCurrentProcess() Handle {
+	a.syscall("GetCurrentProcess", nil)
+	return Handle(0xFFFFFFFF)
+}
+
+// GetCurrentThreadId returns a stable per-process pseudo thread id.
+func (a *API) GetCurrentThreadId() uint32 {
+	a.syscall("GetCurrentThreadId", nil)
+	return uint32(a.p.ID)*4 + 1
+}

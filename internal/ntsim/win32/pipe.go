@@ -1,0 +1,141 @@
+package win32
+
+import (
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+// Named-pipe constants (subset).
+const (
+	PipeAccessDuplex     uint32 = 0x3
+	PipeTypeByte         uint32 = 0x0
+	PipeUnlimitedInstanc uint32 = 255
+	NMPWaitUseDefault    uint32 = 0
+	NMPWaitForever       uint32 = 0xFFFFFFFF
+)
+
+// CreateNamedPipeA creates a server-side instance of a named pipe.
+func (a *API) CreateNamedPipeA(name string, openMode, pipeMode, maxInstances uint32) Handle {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr, uint64(openMode), uint64(pipeMode),
+		uint64(maxInstances), 0, 0, 0, 0}
+	a.syscall("CreateNamedPipeA", raw)
+
+	path, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		a.av()
+	case ptrNull:
+		a.fail(ntsim.ErrInvalidParameter)
+		return InvalidHandle
+	}
+	ps, errno := a.k.CreatePipeServer(path)
+	if errno != ntsim.ErrSuccess {
+		a.fail(errno)
+		return InvalidHandle
+	}
+	a.ok()
+	return a.p.NewHandle(ps)
+}
+
+// ConnectNamedPipe blocks until a client connects to the instance.
+func (a *API) ConnectNamedPipe(h Handle) bool {
+	raw := []uint64{uint64(h), 0}
+	a.syscall("ConnectNamedPipe", raw)
+	ps, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.PipeServer)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	errno := ps.Listen(a.p)
+	if errno == ntsim.ErrPipeConnected {
+		// A client connected between CreateNamedPipe and this call:
+		// report it via last-error, but the connection is usable.
+		a.p.SetLastError(errno)
+		return true
+	}
+	if errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	return a.ok()
+}
+
+// DisconnectNamedPipe drops the connected client from the instance.
+func (a *API) DisconnectNamedPipe(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("DisconnectNamedPipe", raw)
+	ps, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.PipeServer)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if errno := ps.Disconnect(); errno != ntsim.ErrSuccess {
+		return a.fail(errno)
+	}
+	return a.ok()
+}
+
+// WaitNamedPipeA waits until an instance of the pipe is available for
+// connection, polling on the virtual clock. timeoutMS follows the Win32
+// contract (NMPWAIT_WAIT_FOREVER blocks indefinitely).
+func (a *API) WaitNamedPipeA(name string, timeoutMS uint32) bool {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{nameAddr, uint64(timeoutMS)}
+	a.syscall("WaitNamedPipeA", raw)
+
+	path, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		return a.av()
+	case ptrNull:
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	timeoutMS = uint32(raw[1])
+	const pollInterval = 100 * time.Millisecond
+	deadline := a.k.Now().Add(time.Duration(timeoutMS) * time.Millisecond)
+	for {
+		avail, errno := a.k.PipeAvailable(path)
+		if errno != ntsim.ErrSuccess {
+			return a.fail(errno)
+		}
+		if avail {
+			return a.ok()
+		}
+		if timeoutMS != NMPWaitForever && !a.k.Now().Before(deadline) {
+			return a.fail(ntsim.ErrSemTimeout)
+		}
+		a.p.SleepFor(pollInterval)
+	}
+}
+
+// PeekNamedPipe reports the number of bytes available without consuming
+// them (simplified: availability probe on the server side is not modeled;
+// client ends report buffered byte counts).
+func (a *API) PeekNamedPipe(h Handle, avail *uint32) bool {
+	if avail != nil {
+		*avail = 0
+	}
+	cellAddr, cellVal, releaseCell := a.outCell()
+	defer releaseCell()
+	raw := []uint64{uint64(h), 0, 0, 0, cellAddr, 0}
+	a.syscall("PeekNamedPipe", raw)
+	outBuf, res := a.buf(raw[4])
+	if res == ptrWild {
+		return a.av()
+	}
+	switch a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
+	case *ntsim.PipeServer, *ntsim.PipeClient:
+	default:
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if res == ptrResolved {
+		putU32(outBuf, 0)
+	}
+	if avail != nil {
+		*avail = cellVal()
+	}
+	return a.ok()
+}

@@ -1,0 +1,315 @@
+package win32
+
+import (
+	"strings"
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+// ProcessInformation mirrors the PROCESS_INFORMATION out-structure of
+// CreateProcess.
+type ProcessInformation struct {
+	HProcess  Handle
+	ProcessID ntsim.PID
+}
+
+// StartupInfo mirrors STARTUPINFOA (only the fields the simulation uses).
+type StartupInfo struct {
+	Desktop string
+}
+
+// CreateProcessA spawns a new simulated process from a registered image.
+// Either appName or the first token of cmdLine names the image, matching
+// Win32 resolution rules.
+func (a *API) CreateProcessA(appName, cmdLine string, si *StartupInfo, pi *ProcessInformation) bool {
+	ad := a.p.Addr()
+	appAddr := uint64(0)
+	if appName != "" {
+		appAddr = ad.MapStr(appName)
+		defer ad.Release(appAddr)
+	}
+	cmdAddr := ad.MapStr(cmdLine)
+	defer ad.Release(cmdAddr)
+	siBuf := make([]byte, 68) // sizeof(STARTUPINFOA)
+	siAddr := ad.MapBuf(siBuf)
+	defer ad.Release(siAddr)
+	piBuf := make([]byte, 16) // sizeof(PROCESS_INFORMATION)
+	piAddr := ad.MapBuf(piBuf)
+	defer ad.Release(piAddr)
+
+	raw := []uint64{appAddr, cmdAddr, 0, 0, 0, 0, 0, 0, siAddr, piAddr}
+	a.syscall("CreateProcessA", raw)
+
+	app, appRes := a.str(raw[0])
+	if appRes == ptrWild {
+		return a.av()
+	}
+	cmd, cmdRes := a.str(raw[1])
+	if cmdRes == ptrWild {
+		return a.av()
+	}
+	if _, okb := a.mustBuf(raw[8]); !okb { // lpStartupInfo is probed
+		return false
+	}
+	piOut, piOK := a.mustBuf(raw[9]) // lpProcessInformation is written
+	if !piOK {
+		return false
+	}
+
+	image := app
+	if appRes == ptrNull || image == "" {
+		if cmdRes == ptrNull || cmd == "" {
+			return a.fail(ntsim.ErrInvalidParameter)
+		}
+		image = strings.Fields(cmd)[0]
+	}
+	child, err := a.k.Spawn(image, cmd, a.p.ID)
+	if err != nil {
+		errno, okE := err.(ntsim.Errno)
+		if !okE {
+			errno = ntsim.ErrInvalidFunction
+		}
+		return a.fail(errno)
+	}
+	a.charge(a.k.Costs().ProcessSpawn)
+	h := a.p.NewHandle(child.Object())
+	putU32(piOut[0:], uint32(h))
+	putU32(piOut[8:], uint32(child.ID))
+	if pi != nil {
+		pi.HProcess = h
+		pi.ProcessID = child.ID
+	}
+	return a.ok()
+}
+
+// OpenProcess opens a handle to a live process by PID. Opening a process
+// that has already exited fails with ERROR_INVALID_PARAMETER, exactly like
+// NT once the PID has been released — the race that undoes Watchd1 (§4.3).
+func (a *API) OpenProcess(access uint32, inherit bool, pid ntsim.PID) Handle {
+	raw := []uint64{uint64(access), b2r(inherit), uint64(pid)}
+	a.syscall("OpenProcess", raw)
+	target := a.k.Process(ntsim.PID(uint32(raw[2])))
+	if target == nil || target.Terminated() {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	a.ok()
+	return a.p.NewHandle(target.Object())
+}
+
+// GetCurrentProcessId returns the calling process's PID.
+func (a *API) GetCurrentProcessId() ntsim.PID {
+	a.syscall("GetCurrentProcessId", nil)
+	return a.p.ID
+}
+
+// GetExitCodeProcess stores the target's exit code (or STILL_ACTIVE) in
+// *code.
+func (a *API) GetExitCodeProcess(h Handle, code *uint32) bool {
+	cellAddr, cellVal, releaseCell := a.outCell()
+	defer releaseCell()
+	raw := []uint64{uint64(h), cellAddr}
+	a.syscall("GetExitCodeProcess", raw)
+	outBuf, okb := a.mustBuf(raw[1])
+	if !okb {
+		return false
+	}
+	po, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.ProcessObject)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	val := ntsim.ExitStillActive
+	if po.Exited() {
+		val = a.exitCodeOf(po)
+	}
+	putU32(outBuf, val)
+	if code != nil {
+		*code = cellVal()
+	}
+	return a.ok()
+}
+
+// exitCodeOf finds the exit code behind a process object.
+func (a *API) exitCodeOf(po *ntsim.ProcessObject) uint32 {
+	for pid := ntsim.PID(1); ; pid++ {
+		p := a.k.Process(pid)
+		if p == nil {
+			return ntsim.ExitFailure
+		}
+		if p.Object() == po {
+			return p.ExitCode()
+		}
+	}
+}
+
+// TerminateProcess forcibly ends the target process.
+func (a *API) TerminateProcess(h Handle, exitCode uint32) bool {
+	raw := []uint64{uint64(h), uint64(exitCode)}
+	a.syscall("TerminateProcess", raw)
+	po, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.ProcessObject)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	for pid := ntsim.PID(1); ; pid++ {
+		p := a.k.Process(pid)
+		if p == nil {
+			break
+		}
+		if p.Object() == po {
+			p.Terminate(uint32(raw[1]))
+			return a.ok()
+		}
+	}
+	return a.fail(ntsim.ErrInvalidHandle)
+}
+
+// ExitProcess terminates the calling process. It does not return.
+func (a *API) ExitProcess(code uint32) {
+	raw := []uint64{uint64(code)}
+	a.syscall("ExitProcess", raw)
+	a.p.Exit(uint32(raw[0]))
+}
+
+// WaitForSingleObject blocks until the object is signaled or the timeout
+// elapses.
+func (a *API) WaitForSingleObject(h Handle, timeoutMS uint32) uint32 {
+	raw := []uint64{uint64(h), uint64(timeoutMS)}
+	a.syscall("WaitForSingleObject", raw)
+	w, okh := a.p.ResolveWaitable(ntsim.Handle(uint32(raw[0])))
+	if !okh {
+		a.fail(ntsim.ErrInvalidHandle)
+		return ntsim.WaitFailed
+	}
+	return ntsim.WaitOne(a.p, w, uint32(raw[1]))
+}
+
+// WaitForMultipleObjects waits for any (waitAll=false) of the handles.
+// bWaitAll=TRUE is not used by the simulated programs and is rejected.
+func (a *API) WaitForMultipleObjects(handles []Handle, waitAll bool, timeoutMS uint32) uint32 {
+	raw := []uint64{uint64(len(handles)), 0, b2r(waitAll), uint64(timeoutMS)}
+	a.syscall("WaitForMultipleObjects", raw)
+	if boolArg(raw[2]) {
+		a.fail(ntsim.ErrNotSupported)
+		return ntsim.WaitFailed
+	}
+	n := int(uint32(raw[0]))
+	if n <= 0 || n > len(handles) {
+		a.fail(ntsim.ErrInvalidParameter)
+		return ntsim.WaitFailed
+	}
+	objs := make([]ntsim.Waitable, 0, n)
+	for _, h := range handles[:n] {
+		w, okh := a.p.ResolveWaitable(h)
+		if !okh {
+			a.fail(ntsim.ErrInvalidHandle)
+			return ntsim.WaitFailed
+		}
+		objs = append(objs, w)
+	}
+	return ntsim.WaitAny(a.p, objs, uint32(raw[3]))
+}
+
+// Sleep suspends the calling process for the given milliseconds of virtual
+// time. Sleep(INFINITE) parks the process forever (hang).
+func (a *API) Sleep(ms uint32) {
+	raw := []uint64{uint64(ms)}
+	a.syscall("Sleep", raw)
+	ms = uint32(raw[0])
+	if ms == Infinite {
+		// Park forever: wait on an event nobody will ever signal.
+		never := ntsim.NewEvent("", true, false)
+		ntsim.WaitOne(a.p, never, Infinite)
+		return
+	}
+	a.p.SleepFor(time.Duration(ms) * time.Millisecond)
+}
+
+// GetTickCount returns milliseconds of virtual time since boot.
+func (a *API) GetTickCount() uint32 {
+	a.syscall("GetTickCount", nil)
+	return uint32(time.Duration(a.k.Now()) / time.Millisecond)
+}
+
+// GetCommandLineA returns the process command line.
+func (a *API) GetCommandLineA() string {
+	a.syscall("GetCommandLineA", nil)
+	return a.p.CmdLine
+}
+
+// GetStartupInfoA fills the caller's STARTUPINFOA.
+func (a *API) GetStartupInfoA(si *StartupInfo) {
+	buf := make([]byte, 68)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("GetStartupInfoA", raw)
+	if _, res := a.buf(raw[0]); res == ptrWild {
+		a.av()
+	}
+	if si != nil {
+		*si = StartupInfo{Desktop: "WinSta0\\Default"}
+	}
+}
+
+// GetEnvironmentVariableA reads a simulated environment variable, returning
+// its length (0 with ERROR_ENVVAR_NOT_FOUND when absent, like Win32).
+func (a *API) GetEnvironmentVariableA(name string, value *string) uint32 {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	out := make([]byte, 256)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(outAddr)
+	raw := []uint64{nameAddr, outAddr, uint64(len(out))}
+	a.syscall("GetEnvironmentVariableA", raw)
+	key, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		a.av()
+	case ptrNull:
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	dst, res := a.buf(raw[1])
+	if res == ptrWild {
+		a.av()
+	}
+	v := a.p.Env(key)
+	if v == "" {
+		a.fail(ntsim.ErrFileNotFound)
+		return 0
+	}
+	if res == ptrResolved {
+		copy(dst, v)
+	}
+	if value != nil {
+		*value = v
+	}
+	a.ok()
+	return uint32(len(v))
+}
+
+// SetEnvironmentVariableA sets a simulated environment variable.
+func (a *API) SetEnvironmentVariableA(name, value string) bool {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	valAddr := ad.MapStr(value)
+	defer ad.Release(nameAddr)
+	defer ad.Release(valAddr)
+	raw := []uint64{nameAddr, valAddr}
+	a.syscall("SetEnvironmentVariableA", raw)
+	key, res := a.str(raw[0])
+	switch res {
+	case ptrWild:
+		return a.av()
+	case ptrNull:
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	val, res := a.str(raw[1])
+	if res == ptrWild {
+		return a.av()
+	}
+	a.p.SetEnv(key, val)
+	return a.ok()
+}

@@ -1,0 +1,299 @@
+package win32
+
+import (
+	"ntdts/internal/ntsim"
+)
+
+// CreateEventA creates (or opens, when named and existing) an event object.
+func (a *API) CreateEventA(manualReset, initialState bool, name string) Handle {
+	ad := a.p.Addr()
+	nameAddr := uint64(0)
+	if name != "" {
+		nameAddr = ad.MapStr(name)
+		defer ad.Release(nameAddr)
+	}
+	raw := []uint64{0, b2r(manualReset), b2r(initialState), nameAddr}
+	a.syscall("CreateEventA", raw)
+	if raw[0] != 0 {
+		// lpEventAttributes corrupted to a non-NULL garbage pointer:
+		// the kernel probes the SECURITY_ATTRIBUTES structure.
+		if _, res := a.buf(raw[0]); res != ptrResolved {
+			a.av()
+		}
+	}
+	objName, res := a.str(raw[3])
+	if res == ptrWild {
+		a.av()
+	}
+	ev := ntsim.NewEvent(objName, boolArg(raw[1]), boolArg(raw[2]))
+	if res == ptrResolved && objName != "" {
+		actual, exists := a.k.RegisterNamed("event:"+objName, ev)
+		if exists {
+			existing, okE := actual.(*ntsim.Event)
+			if !okE {
+				a.fail(ntsim.ErrInvalidHandle)
+				return 0
+			}
+			a.p.SetLastError(ntsim.ErrAlreadyExists)
+			return a.p.NewHandle(existing)
+		}
+	}
+	a.ok()
+	return a.p.NewHandle(ev)
+}
+
+// OpenEventA opens an existing named event.
+func (a *API) OpenEventA(access uint32, inherit bool, name string) Handle {
+	ad := a.p.Addr()
+	nameAddr := ad.MapStr(name)
+	defer ad.Release(nameAddr)
+	raw := []uint64{uint64(access), b2r(inherit), nameAddr}
+	a.syscall("OpenEventA", raw)
+	objName, res := a.str(raw[2])
+	switch res {
+	case ptrWild:
+		a.av()
+	case ptrNull:
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	obj, found := a.k.LookupNamed("event:" + objName)
+	if !found {
+		a.fail(ntsim.ErrFileNotFound)
+		return 0
+	}
+	ev, okE := obj.(*ntsim.Event)
+	if !okE {
+		a.fail(ntsim.ErrInvalidHandle)
+		return 0
+	}
+	a.ok()
+	return a.p.NewHandle(ev)
+}
+
+// SetEvent signals an event object.
+func (a *API) SetEvent(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("SetEvent", raw)
+	ev, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Event)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	ev.Set()
+	return a.ok()
+}
+
+// ResetEvent clears an event object.
+func (a *API) ResetEvent(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("ResetEvent", raw)
+	ev, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Event)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	ev.Reset()
+	return a.ok()
+}
+
+// CreateMutexA creates (or opens, when named and existing) a mutex.
+func (a *API) CreateMutexA(initialOwner bool, name string) Handle {
+	ad := a.p.Addr()
+	nameAddr := uint64(0)
+	if name != "" {
+		nameAddr = ad.MapStr(name)
+		defer ad.Release(nameAddr)
+	}
+	raw := []uint64{0, b2r(initialOwner), nameAddr}
+	a.syscall("CreateMutexA", raw)
+	if raw[0] != 0 {
+		if _, res := a.buf(raw[0]); res != ptrResolved {
+			a.av()
+		}
+	}
+	objName, res := a.str(raw[2])
+	if res == ptrWild {
+		a.av()
+	}
+	var owner *ntsim.Process
+	if boolArg(raw[1]) {
+		owner = a.p
+	}
+	m := ntsim.NewMutex(objName, owner)
+	if res == ptrResolved && objName != "" {
+		actual, exists := a.k.RegisterNamed("mutex:"+objName, m)
+		if exists {
+			existing, okM := actual.(*ntsim.Mutex)
+			if !okM {
+				a.fail(ntsim.ErrInvalidHandle)
+				return 0
+			}
+			a.p.SetLastError(ntsim.ErrAlreadyExists)
+			return a.p.NewHandle(existing)
+		}
+	}
+	a.ok()
+	return a.p.NewHandle(m)
+}
+
+// ReleaseMutex releases mutex ownership.
+func (a *API) ReleaseMutex(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("ReleaseMutex", raw)
+	m, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Mutex)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if !m.Release(a.p) {
+		return a.fail(ntsim.ErrAccessDenied) // ERROR_NOT_OWNER stand-in
+	}
+	return a.ok()
+}
+
+// CreateSemaphoreA creates a semaphore object.
+func (a *API) CreateSemaphoreA(initial, max int32, name string) Handle {
+	ad := a.p.Addr()
+	nameAddr := uint64(0)
+	if name != "" {
+		nameAddr = ad.MapStr(name)
+		defer ad.Release(nameAddr)
+	}
+	raw := []uint64{0, uint64(uint32(initial)), uint64(uint32(max)), nameAddr}
+	a.syscall("CreateSemaphoreA", raw)
+	if raw[0] != 0 {
+		if _, res := a.buf(raw[0]); res != ptrResolved {
+			a.av()
+		}
+	}
+	objName, res := a.str(raw[3])
+	if res == ptrWild {
+		a.av()
+	}
+	ini := int32(uint32(raw[1]))
+	mx := int32(uint32(raw[2]))
+	if mx <= 0 || ini < 0 || ini > mx {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	s := ntsim.NewSemaphore(objName, ini, mx)
+	a.ok()
+	return a.p.NewHandle(s)
+}
+
+// ReleaseSemaphore adds count to a semaphore.
+func (a *API) ReleaseSemaphore(h Handle, count int32, prev *int32) bool {
+	raw := []uint64{uint64(h), uint64(uint32(count)), 0}
+	a.syscall("ReleaseSemaphore", raw)
+	s, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Semaphore)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	if prev != nil {
+		*prev = s.Count()
+	}
+	if !s.ReleaseN(int32(uint32(raw[1]))) {
+		return a.fail(ntsim.ErrInvalidParameter)
+	}
+	return a.ok()
+}
+
+// Critical sections. CRITICAL_SECTION lives in user memory; the simulation
+// models it as an identity registered in the process address space so that
+// pointer corruption behaves faithfully.
+
+// CriticalSection is an opaque user-mode lock (single-threaded processes in
+// this simulation never contend, but initialization order and pointer
+// validity still matter for injection).
+type CriticalSection struct {
+	initialized bool
+	buf         []byte
+	addr        uint64
+}
+
+// InitializeCriticalSection prepares a critical section.
+func (a *API) InitializeCriticalSection(cs *CriticalSection) {
+	if cs.buf == nil {
+		cs.buf = make([]byte, 24)
+		cs.addr = a.p.Addr().MapBuf(cs.buf)
+	}
+	raw := []uint64{cs.addr}
+	a.syscall("InitializeCriticalSection", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	cs.initialized = true
+}
+
+// EnterCriticalSection acquires the lock.
+func (a *API) EnterCriticalSection(cs *CriticalSection) {
+	raw := []uint64{cs.addr}
+	a.syscall("EnterCriticalSection", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	if !cs.initialized {
+		a.av() // entering an uninitialized CS is undefined behaviour
+	}
+}
+
+// LeaveCriticalSection releases the lock.
+func (a *API) LeaveCriticalSection(cs *CriticalSection) {
+	raw := []uint64{cs.addr}
+	a.syscall("LeaveCriticalSection", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+}
+
+// DeleteCriticalSection tears the lock down.
+func (a *API) DeleteCriticalSection(cs *CriticalSection) {
+	raw := []uint64{cs.addr}
+	a.syscall("DeleteCriticalSection", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	cs.initialized = false
+}
+
+// InterlockedIncrement atomically increments a cell (trivially atomic under
+// cooperative scheduling, but the pointer still travels the injection path).
+func (a *API) InterlockedIncrement(cell *int32) int32 {
+	buf := make([]byte, 4)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("InterlockedIncrement", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	*cell++
+	return *cell
+}
+
+// InterlockedDecrement atomically decrements a cell.
+func (a *API) InterlockedDecrement(cell *int32) int32 {
+	buf := make([]byte, 4)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr}
+	a.syscall("InterlockedDecrement", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	*cell--
+	return *cell
+}
+
+// InterlockedExchange atomically swaps a cell's value.
+func (a *API) InterlockedExchange(cell *int32, value int32) int32 {
+	buf := make([]byte, 4)
+	addr := a.p.Addr().MapBuf(buf)
+	defer a.p.Addr().Release(addr)
+	raw := []uint64{addr, uint64(uint32(value))}
+	a.syscall("InterlockedExchange", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	old := *cell
+	*cell = int32(uint32(raw[1]))
+	return old
+}

@@ -1,0 +1,67 @@
+package win32
+
+import "ntdts/internal/ntsim"
+
+// Additional synchronization entry points used by monitoring middleware:
+// PulseEvent, TryEnterCriticalSection and SignalObjectAndWait.
+
+// PulseEvent signals an event and immediately resets it: waiters present at
+// the pulse are released (all for manual-reset, one for auto-reset), and
+// the event ends up non-signaled — the racy legacy primitive.
+func (a *API) PulseEvent(h Handle) bool {
+	raw := []uint64{uint64(h)}
+	a.syscall("PulseEvent", raw)
+	ev, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Event)
+	if !okh {
+		return a.fail(ntsim.ErrInvalidHandle)
+	}
+	ev.Set()
+	ev.Reset()
+	return a.ok()
+}
+
+// TryEnterCriticalSection acquires the lock without blocking, reporting
+// success. (Processes are single-threaded in the simulation, so the lock
+// is always free — but the pointer still travels the injection path, and a
+// corrupted one faults.)
+func (a *API) TryEnterCriticalSection(cs *CriticalSection) bool {
+	raw := []uint64{cs.addr}
+	a.syscall("TryEnterCriticalSection", raw)
+	if _, res := a.buf(raw[0]); res != ptrResolved {
+		a.av()
+	}
+	if !cs.initialized {
+		a.av()
+	}
+	return true
+}
+
+// SignalObjectAndWait signals one object and waits on another as a single
+// call: the handoff primitive monitoring loops use to avoid lost wakeups.
+func (a *API) SignalObjectAndWait(signal, wait Handle, timeoutMS uint32) uint32 {
+	raw := []uint64{uint64(signal), uint64(wait), uint64(timeoutMS), 0}
+	a.syscall("SignalObjectAndWait", raw)
+	switch obj := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
+	case *ntsim.Event:
+		obj.Set()
+	case *ntsim.Mutex:
+		if !obj.Release(a.p) {
+			a.fail(ntsim.ErrAccessDenied)
+			return ntsim.WaitFailed
+		}
+	case *ntsim.Semaphore:
+		if !obj.ReleaseN(1) {
+			a.fail(ntsim.ErrInvalidParameter)
+			return ntsim.WaitFailed
+		}
+	default:
+		a.fail(ntsim.ErrInvalidHandle)
+		return ntsim.WaitFailed
+	}
+	w, okh := a.p.ResolveWaitable(ntsim.Handle(uint32(raw[1])))
+	if !okh {
+		a.fail(ntsim.ErrInvalidHandle)
+		return ntsim.WaitFailed
+	}
+	return ntsim.WaitOne(a.p, w, uint32(raw[2]))
+}

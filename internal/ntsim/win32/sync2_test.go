@@ -1,0 +1,117 @@
+package win32
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+func TestPulseEvent(t *testing.T) {
+	k := ntsim.NewKernel()
+	woken := 0
+	var lateResult uint32
+	k.RegisterImage("waiter.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		h := a.OpenEventA(0, false, "pulse-ev")
+		if a.WaitForSingleObject(h, 10_000) == ntsim.WaitObject0 {
+			woken++
+		}
+		return 0
+	})
+	k.RegisterImage("pulser.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		h := a.CreateEventA(true, false, "pulse-ev")
+		a.Sleep(1000)
+		if !a.PulseEvent(h) {
+			t.Error("PulseEvent failed")
+		}
+		// After the pulse the event is non-signaled: a later wait times
+		// out.
+		lateResult = a.WaitForSingleObject(h, 100)
+		if a.PulseEvent(Handle(0xBEEF)) {
+			t.Error("PulseEvent on garbage handle succeeded")
+		}
+		return 0
+	})
+	k.Spawn("pulser.exe", "pulser.exe", 0)
+	k.RunFor(100 * time.Millisecond) // let the event be created first
+	k.Spawn("waiter.exe", "waiter.exe", 0)
+	k.Spawn("waiter.exe", "waiter.exe", 0)
+	for k.Step() {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	if woken != 2 {
+		t.Fatalf("pulse woke %d manual-reset waiters, want 2", woken)
+	}
+	if lateResult != ntsim.WaitTimeout {
+		t.Fatalf("post-pulse wait %#x, want WAIT_TIMEOUT", lateResult)
+	}
+}
+
+func TestTryEnterCriticalSection(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		var cs CriticalSection
+		a.InitializeCriticalSection(&cs)
+		if !a.TryEnterCriticalSection(&cs) {
+			t.Error("TryEnter on free lock failed")
+		}
+		a.LeaveCriticalSection(&cs)
+		a.DeleteCriticalSection(&cs)
+		return 0
+	})
+}
+
+func TestSignalObjectAndWait(t *testing.T) {
+	k := ntsim.NewKernel()
+	var handoff uint32
+	k.RegisterImage("a.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		ping := a.CreateEventA(false, false, "ping")
+		pong := a.CreateEventA(false, false, "pong")
+		// Signal ping and wait for pong atomically.
+		handoff = a.SignalObjectAndWait(ping, pong, 10_000)
+		return 0
+	})
+	k.RegisterImage("b.exe", func(p *ntsim.Process) uint32 {
+		a := New(p)
+		p.SleepFor(100 * time.Millisecond)
+		ping := a.OpenEventA(0, false, "ping")
+		pong := a.OpenEventA(0, false, "pong")
+		if a.WaitForSingleObject(ping, 10_000) != ntsim.WaitObject0 {
+			t.Error("b never saw ping")
+		}
+		a.SetEvent(pong)
+		return 0
+	})
+	k.Spawn("a.exe", "a.exe", 0)
+	k.Spawn("b.exe", "b.exe", 0)
+	for k.Step() {
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	if handoff != ntsim.WaitObject0 {
+		t.Fatalf("handoff result %#x", handoff)
+	}
+}
+
+func TestSignalObjectAndWaitErrors(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		ev := a.CreateEventA(false, false, "")
+		if a.SignalObjectAndWait(Handle(0xBEEF), ev, 0) != ntsim.WaitFailed {
+			t.Error("garbage signal handle accepted")
+		}
+		if a.SignalObjectAndWait(ev, Handle(0xBEEF), 0) != ntsim.WaitFailed {
+			t.Error("garbage wait handle accepted")
+		}
+		// Releasing an unowned mutex via the signal half fails.
+		mu := a.CreateMutexA(false, "")
+		if a.SignalObjectAndWait(mu, ev, 0) != ntsim.WaitFailed {
+			t.Error("unowned mutex release accepted")
+		}
+		return 0
+	})
+}

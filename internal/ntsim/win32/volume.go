@@ -1,0 +1,121 @@
+package win32
+
+import "ntdts/internal/ntsim"
+
+// Volume and temp-file utilities.
+
+// GetVolumeInformationA reports the simulated volume: label "NTLAB1-C",
+// FAT filesystem (the paper's NT 4.0 testbed era), serial 0xD75C2000.
+func (a *API) GetVolumeInformationA(root string, label, fsName *string, serial *uint32) bool {
+	ad := a.p.Addr()
+	rootAddr := ad.MapStr(root)
+	labelBuf := make([]byte, 64)
+	labelAddr := ad.MapBuf(labelBuf)
+	fsBuf := make([]byte, 16)
+	fsAddr := ad.MapBuf(fsBuf)
+	serialAddr, serialVal, releaseSerial := a.outCell()
+	defer ad.Release(rootAddr)
+	defer ad.Release(labelAddr)
+	defer ad.Release(fsAddr)
+	defer releaseSerial()
+
+	raw := []uint64{rootAddr, labelAddr, uint64(len(labelBuf)), serialAddr,
+		0, 0, fsAddr, uint64(len(fsBuf))}
+	a.syscall("GetVolumeInformationA", raw)
+
+	r, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		r = `C:\` // NULL means the current volume
+	}
+	if len(r) > 0 && (r[0]|0x20) != 'c' {
+		return a.fail(ntsim.ErrPathNotFound)
+	}
+	dst, ok := a.mustBuf(raw[1])
+	if !ok {
+		return false
+	}
+	copy(dst, "NTLAB1-C")
+	fsDst, ok := a.mustBuf(raw[6])
+	if !ok {
+		return false
+	}
+	copy(fsDst, "FAT")
+	serialBuf, res := a.buf(raw[3])
+	if res == ptrWild {
+		return a.av()
+	}
+	if res == ptrResolved {
+		putU32(serialBuf, 0xD75C2000)
+	}
+	if label != nil {
+		*label = "NTLAB1-C"
+	}
+	if fsName != nil {
+		*fsName = "FAT"
+	}
+	if serial != nil {
+		*serial = serialVal()
+	}
+	return a.ok()
+}
+
+// GetTempFileNameA builds a unique temp file name (and creates the empty
+// file, as the real call does when uUnique is zero).
+func (a *API) GetTempFileNameA(dir, prefix string, unique uint32, name *string) uint32 {
+	ad := a.p.Addr()
+	dirAddr := ad.MapStr(dir)
+	prefixAddr := ad.MapStr(prefix)
+	out := make([]byte, 260)
+	outAddr := ad.MapBuf(out)
+	defer ad.Release(dirAddr)
+	defer ad.Release(prefixAddr)
+	defer ad.Release(outAddr)
+	raw := []uint64{dirAddr, prefixAddr, uint64(unique), outAddr}
+	a.syscall("GetTempFileNameA", raw)
+
+	d, res := a.probeStr(raw[0])
+	if res == ptrNull {
+		a.fail(ntsim.ErrInvalidParameter)
+		return 0
+	}
+	pfx, res := a.probeStr(raw[1])
+	if res == ptrNull {
+		pfx = "tmp"
+	}
+	if _, ok := a.mustBuf(raw[3]); !ok {
+		return 0
+	}
+	if len(pfx) > 3 {
+		pfx = pfx[:3]
+	}
+	u := uint32(raw[2])
+	if u == 0 {
+		// Find an unused number and create the file.
+		for u = 1; u < 0xFFFF; u++ {
+			if !a.k.VFS().Exists(tempName(d, pfx, u)) {
+				break
+			}
+		}
+		a.k.VFS().WriteFile(tempName(d, pfx, u), nil)
+	}
+	path := tempName(d, pfx, u&0xFFFF)
+	if name != nil {
+		*name = path
+	}
+	a.ok()
+	return u & 0xFFFF
+}
+
+// tempName renders the classic <dir>\<pfx><hex>.TMP shape.
+func tempName(dir, pfx string, u uint32) string {
+	if len(dir) > 0 && dir[len(dir)-1] != '\\' {
+		dir += `\`
+	}
+	const hex = "0123456789ABCDEF"
+	var num [4]byte
+	for i := 3; i >= 0; i-- {
+		num[i] = hex[u&0xF]
+		u >>= 4
+	}
+	return dir + pfx + string(num[:]) + ".TMP"
+}

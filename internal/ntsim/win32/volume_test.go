@@ -1,0 +1,62 @@
+package win32
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetVolumeInformation(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		var label, fs string
+		var serial uint32
+		if !a.GetVolumeInformationA(`C:\`, &label, &fs, &serial) {
+			t.Error("GetVolumeInformationA failed")
+			return 1
+		}
+		if label != "NTLAB1-C" || fs != "FAT" || serial == 0 {
+			t.Errorf("volume %q %q %#x", label, fs, serial)
+		}
+		if a.GetVolumeInformationA(`Z:\`, nil, nil, nil) {
+			t.Error("unknown volume succeeded")
+		}
+		return 0
+	})
+}
+
+func TestGetTempFileName(t *testing.T) {
+	runProg(t, nil, func(a *API) uint32 {
+		var name string
+		u := a.GetTempFileNameA(`C:\TEMP`, "dts", 0, &name)
+		if u == 0 || name == "" {
+			t.Errorf("GetTempFileNameA = %d %q", u, name)
+			return 1
+		}
+		if !strings.HasPrefix(name, `C:\TEMP\dts`) || !strings.HasSuffix(name, ".TMP") {
+			t.Errorf("temp name %q", name)
+		}
+		// uUnique==0 creates the file and the next call picks a new name.
+		if !a.Process().Kernel().VFS().Exists(name) {
+			t.Errorf("temp file %q not created", name)
+		}
+		var second string
+		a.GetTempFileNameA(`C:\TEMP`, "dts", 0, &second)
+		if second == name {
+			t.Errorf("second temp name %q not unique", second)
+		}
+		// Explicit unique numbers do not create files.
+		var explicit string
+		if got := a.GetTempFileNameA(`C:\TEMP`, "dts", 0x42, &explicit); got != 0x42 {
+			t.Errorf("explicit unique returned %d", got)
+		}
+		if a.Process().Kernel().VFS().Exists(explicit) {
+			t.Error("explicit unique created a file")
+		}
+		// A long prefix is truncated to three characters.
+		var long string
+		a.GetTempFileNameA(`C:\TEMP`, "longprefix", 7, &long)
+		if !strings.HasPrefix(long, `C:\TEMP\lon`) {
+			t.Errorf("long-prefix name %q", long)
+		}
+		return 0
+	})
+}

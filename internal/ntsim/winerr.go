@@ -1,0 +1,121 @@
+package ntsim
+
+import "fmt"
+
+// Errno is a Win32 error code as returned by GetLastError.
+type Errno uint32
+
+// Win32 error codes used by the simulated kernel. Values match the real
+// Windows SDK so that traces read naturally.
+const (
+	ErrSuccess            Errno = 0
+	ErrInvalidFunction    Errno = 1   // ERROR_INVALID_FUNCTION
+	ErrFileNotFound       Errno = 2   // ERROR_FILE_NOT_FOUND
+	ErrPathNotFound       Errno = 3   // ERROR_PATH_NOT_FOUND
+	ErrAccessDenied       Errno = 5   // ERROR_ACCESS_DENIED
+	ErrInvalidHandle      Errno = 6   // ERROR_INVALID_HANDLE
+	ErrNotEnoughMemory    Errno = 8   // ERROR_NOT_ENOUGH_MEMORY
+	ErrInvalidData        Errno = 13  // ERROR_INVALID_DATA
+	ErrWriteFault         Errno = 29  // ERROR_WRITE_FAULT
+	ErrReadFault          Errno = 30  // ERROR_READ_FAULT
+	ErrSharingViolation   Errno = 32  // ERROR_SHARING_VIOLATION
+	ErrHandleEOF          Errno = 38  // ERROR_HANDLE_EOF
+	ErrNotSupported       Errno = 50  // ERROR_NOT_SUPPORTED
+	ErrInvalidParameter   Errno = 87  // ERROR_INVALID_PARAMETER
+	ErrBrokenPipe         Errno = 109 // ERROR_BROKEN_PIPE
+	ErrInsufficientBuffer Errno = 122 // ERROR_INSUFFICIENT_BUFFER
+	ErrInvalidName        Errno = 123 // ERROR_INVALID_NAME
+	ErrBusy               Errno = 170 // ERROR_BUSY
+	ErrAlreadyExists      Errno = 183 // ERROR_ALREADY_EXISTS
+	ErrNoData             Errno = 232 // ERROR_NO_DATA (pipe closing)
+	ErrPipeNotConnected   Errno = 233 // ERROR_PIPE_NOT_CONNECTED
+	ErrPipeBusy           Errno = 231 // ERROR_PIPE_BUSY
+	ErrPipeConnected      Errno = 535 // ERROR_PIPE_CONNECTED
+	ErrPipeListening      Errno = 536 // ERROR_PIPE_LISTENING
+	ErrNoaccess           Errno = 998 // ERROR_NOACCESS (invalid access to memory)
+	ErrWaitTimeout        Errno = 258 // WAIT_TIMEOUT as error
+	ErrSemTimeout         Errno = 121 // ERROR_SEM_TIMEOUT
+
+	// Service Control Manager error codes.
+	ErrServiceRequestTimeout     Errno = 1053 // ERROR_SERVICE_REQUEST_TIMEOUT
+	ErrServiceAlreadyRunning     Errno = 1056 // ERROR_SERVICE_ALREADY_RUNNING
+	ErrServiceDatabaseLocked     Errno = 1055 // ERROR_SERVICE_DATABASE_LOCKED
+	ErrServiceCannotAcceptCtrl   Errno = 1061 // ERROR_SERVICE_CANNOT_ACCEPT_CTRL
+	ErrServiceNotActive          Errno = 1062 // ERROR_SERVICE_NOT_ACTIVE
+	ErrServiceDoesNotExist       Errno = 1060 // ERROR_SERVICE_DOES_NOT_EXIST
+	ErrServiceExists             Errno = 1073 // ERROR_SERVICE_EXISTS
+	ErrServiceMarkedForDelete    Errno = 1072 // ERROR_SERVICE_MARKED_FOR_DELETE
+	ErrServiceStartPending       Errno = 1054 // (reuse for pending denial paths)
+	ErrServiceNeverStarted       Errno = 1077 // ERROR_SERVICE_NEVER_STARTED
+	ErrServiceNotInExe           Errno = 1083 // ERROR_SERVICE_NOT_IN_EXE
+	ErrProcessAborted            Errno = 1067 // ERROR_PROCESS_ABORTED
+	ErrServiceDependencyFail     Errno = 1068 // ERROR_SERVICE_DEPENDENCY_FAIL
+	ErrServiceLogonFailed        Errno = 1069 // ERROR_SERVICE_LOGON_FAILED
+	ErrServiceControlledNotStart Errno = 1058 // ERROR_SERVICE_DISABLED
+)
+
+var errnoNames = map[Errno]string{
+	ErrSuccess:               "ERROR_SUCCESS",
+	ErrInvalidFunction:       "ERROR_INVALID_FUNCTION",
+	ErrFileNotFound:          "ERROR_FILE_NOT_FOUND",
+	ErrPathNotFound:          "ERROR_PATH_NOT_FOUND",
+	ErrAccessDenied:          "ERROR_ACCESS_DENIED",
+	ErrInvalidHandle:         "ERROR_INVALID_HANDLE",
+	ErrNotEnoughMemory:       "ERROR_NOT_ENOUGH_MEMORY",
+	ErrInvalidData:           "ERROR_INVALID_DATA",
+	ErrWriteFault:            "ERROR_WRITE_FAULT",
+	ErrReadFault:             "ERROR_READ_FAULT",
+	ErrSharingViolation:      "ERROR_SHARING_VIOLATION",
+	ErrHandleEOF:             "ERROR_HANDLE_EOF",
+	ErrNotSupported:          "ERROR_NOT_SUPPORTED",
+	ErrInvalidParameter:      "ERROR_INVALID_PARAMETER",
+	ErrBrokenPipe:            "ERROR_BROKEN_PIPE",
+	ErrInsufficientBuffer:    "ERROR_INSUFFICIENT_BUFFER",
+	ErrInvalidName:           "ERROR_INVALID_NAME",
+	ErrBusy:                  "ERROR_BUSY",
+	ErrAlreadyExists:         "ERROR_ALREADY_EXISTS",
+	ErrNoData:                "ERROR_NO_DATA",
+	ErrPipeNotConnected:      "ERROR_PIPE_NOT_CONNECTED",
+	ErrPipeBusy:              "ERROR_PIPE_BUSY",
+	ErrPipeConnected:         "ERROR_PIPE_CONNECTED",
+	ErrPipeListening:         "ERROR_PIPE_LISTENING",
+	ErrNoaccess:              "ERROR_NOACCESS",
+	ErrWaitTimeout:           "WAIT_TIMEOUT",
+	ErrSemTimeout:            "ERROR_SEM_TIMEOUT",
+	ErrServiceRequestTimeout: "ERROR_SERVICE_REQUEST_TIMEOUT",
+	ErrServiceAlreadyRunning: "ERROR_SERVICE_ALREADY_RUNNING",
+	ErrServiceDatabaseLocked: "ERROR_SERVICE_DATABASE_LOCKED",
+	ErrServiceNotActive:      "ERROR_SERVICE_NOT_ACTIVE",
+	ErrServiceDoesNotExist:   "ERROR_SERVICE_DOES_NOT_EXIST",
+	ErrServiceExists:         "ERROR_SERVICE_EXISTS",
+	ErrProcessAborted:        "ERROR_PROCESS_ABORTED",
+}
+
+// Error implements the error interface so Errno values can travel as errors.
+func (e Errno) Error() string {
+	if name, ok := errnoNames[e]; ok {
+		return name
+	}
+	return fmt.Sprintf("win32 error %d", uint32(e))
+}
+
+// Process exit codes (NTSTATUS values for abnormal termination).
+const (
+	ExitSuccess         uint32 = 0
+	ExitFailure         uint32 = 1
+	ExitAccessViolation uint32 = 0xC0000005 // STATUS_ACCESS_VIOLATION
+	ExitTerminated      uint32 = 0xC000013A // STATUS_CONTROL_C_EXIT (used for kills)
+	ExitStackOverflow   uint32 = 0xC00000FD
+	ExitStillActive     uint32 = 259 // STILL_ACTIVE
+)
+
+// Wait return values, matching the Win32 WaitForSingleObject contract.
+const (
+	WaitObject0  uint32 = 0x00000000
+	WaitAbandond uint32 = 0x00000080
+	WaitTimeout  uint32 = 0x00000102
+	WaitFailed   uint32 = 0xFFFFFFFF
+)
+
+// Infinite is the INFINITE timeout value.
+const Infinite uint32 = 0xFFFFFFFF

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+)
+
+// CSV renderers produce the same series as the text renderers in a
+// machine-readable form (one row per bar/point of the paper's figures),
+// for downstream plotting.
+
+// Figure2CSV renders the outcome distributions: one row per
+// (workload, supervision, outcome).
+func Figure2CSV(exp *core.Experiment) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	w.Write([]string{"workload", "supervision", "outcome", "count", "percent"})
+	for _, set := range exp.Sets {
+		d := set.Distribution()
+		for _, o := range core.AllOutcomes() {
+			w.Write([]string{
+				set.Workload, set.Supervision, o.String(),
+				strconv.Itoa(d.Counts[o.String()]),
+				formatPct(d.Pct[o.String()]),
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Figure4CSV renders the response-time summaries: one row per cell.
+func Figure4CSV(cells []experiments.Figure4Cell) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	w.Write([]string{"program", "supervision", "outcome", "n", "mean_sec", "ci95_sec"})
+	for _, c := range cells {
+		if c.Stats.N == 0 {
+			continue
+		}
+		w.Write([]string{
+			c.Program, c.Supervision, c.Outcome,
+			strconv.Itoa(c.Stats.N),
+			fmt.Sprintf("%.3f", c.Stats.Mean),
+			fmt.Sprintf("%.3f", c.Stats.CI95),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Table2CSV renders the common-fault comparison rows.
+func Table2CSV(rows []experiments.Table2Row) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	w.Write([]string{"program", "supervision", "activated", "failure_pct", "restart_pct", "retry_pct"})
+	for _, r := range rows {
+		w.Write([]string{
+			r.Program, r.Supervision, strconv.Itoa(r.Activated),
+			formatPct(r.FailurePct), formatPct(r.RestartPct), formatPct(r.RetryPct),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// RunsCSV renders every injected run of a set: the raw per-fault records
+// the §4.3 workflow studies.
+func RunsCSV(set *core.SetResult) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	w.Write([]string{"function", "param", "invocation", "type", "outcome",
+		"crash", "restarts", "got_response", "response_sec"})
+	for _, r := range set.Runs {
+		if !r.Injected {
+			continue
+		}
+		w.Write([]string{
+			r.Fault.Function,
+			strconv.Itoa(r.Fault.Param),
+			strconv.Itoa(r.Fault.Invocation),
+			r.Fault.Type.String(),
+			r.Outcome.String(),
+			strconv.FormatBool(r.ServerCrash),
+			strconv.Itoa(r.Restarts),
+			strconv.FormatBool(r.GotResponse),
+			fmt.Sprintf("%.3f", r.ResponseSec),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+func formatPct(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/stats"
+)
+
+func parseCSV(t *testing.T, text string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(text)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV parse: %v", err)
+	}
+	return rows
+}
+
+func TestFigure2CSV(t *testing.T) {
+	exp := fakeExperiment()
+	rows := parseCSV(t, Figure2CSV(exp))
+	// Header + 12 sets x 5 outcomes.
+	if len(rows) != 1+12*5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "workload" || rows[0][4] != "percent" {
+		t.Fatalf("header %v", rows[0])
+	}
+	// Every data row has 5 fields and a known outcome name.
+	known := make(map[string]bool)
+	for _, o := range core.AllOutcomes() {
+		known[o.String()] = true
+	}
+	for _, r := range rows[1:] {
+		if len(r) != 5 || !known[r[2]] {
+			t.Fatalf("bad row %v", r)
+		}
+	}
+}
+
+func TestFigure4CSV(t *testing.T) {
+	cells := []experiments.Figure4Cell{
+		{Program: "Apache", Supervision: "none", Outcome: "normal success",
+			Stats: stats.Summarize([]float64{14.0, 14.4})},
+		{Program: "IIS", Supervision: "none", Outcome: "failure", Stats: stats.Summary{}},
+	}
+	rows := parseCSV(t, Figure4CSV(cells))
+	if len(rows) != 2 { // header + 1 (empty cell omitted)
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1][4] != "14.200" {
+		t.Fatalf("mean cell %q", rows[1][4])
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	rows2, err := experiments.Table2(fakeExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, Table2CSV(rows2))
+	if len(rows) != 1+len(rows2) {
+		t.Fatalf("%d rows for %d inputs", len(rows), len(rows2))
+	}
+}
+
+func TestRunsCSV(t *testing.T) {
+	set := fakeSet("IIS", "watchd", map[core.Outcome]int{
+		core.NormalSuccess: 2, core.Failure: 1,
+	})
+	rows := parseCSV(t, RunsCSV(set))
+	if len(rows) != 4 { // header + 3 injected runs
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if len(r) != 9 {
+			t.Fatalf("row width %d", len(r))
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package report renders the experiment results as text tables — the
+// rows and series the paper's tables and figures present. Each renderer
+// takes the structured result of the matching internal/experiments entry
+// point.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ntdts/internal/avail"
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/middleware/watchd"
+)
+
+// Table1 renders the activated-function census next to the paper's values.
+func Table1(r *experiments.Table1Result) string {
+	paper := experiments.PaperTable1()
+	var b strings.Builder
+	b.WriteString("Table 1. Number of called KERNEL32.dll functions per workload\n")
+	b.WriteString("(measured / paper)\n\n")
+	fmt.Fprintf(&b, "%-10s %15s %15s %15s\n", "Server", "None", "MSCS", "watchd")
+	for _, wl := range []string{"Apache1", "Apache2", "IIS", "SQL"} {
+		fmt.Fprintf(&b, "%-10s", wl)
+		for _, s := range []string{"none", "MSCS", "watchd"} {
+			fmt.Fprintf(&b, " %9d / %3d", r.Counts[wl][s], paper[wl][s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure2 renders the outcome distributions of the full campaign.
+func Figure2(exp *core.Experiment) string {
+	var b strings.Builder
+	b.WriteString("Figure 2. Standalone/MSCS/watchd comparisons (outcome % of activated faults)\n\n")
+	b.WriteString(distributionHeader())
+	for _, wl := range []string{"Apache1", "Apache2", "IIS", "SQL"} {
+		for _, s := range []string{"none", "MSCS", "watchd"} {
+			set, ok := exp.Find(wl, s)
+			if !ok {
+				continue
+			}
+			b.WriteString(distributionRow(wl+"/"+s, set.Distribution()))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func distributionHeader() string {
+	return fmt.Sprintf("%-16s %9s %8s %8s %9s %7s %8s\n",
+		"workload", "activated", "normal", "restart", "rst+retry", "retry", "FAILURE")
+}
+
+func distributionRow(label string, d core.Distribution) string {
+	return fmt.Sprintf("%-16s %9d %7.1f%% %7.1f%% %8.1f%% %6.1f%% %7.1f%%\n",
+		label, d.Total,
+		d.Pct[core.NormalSuccess.String()],
+		d.Pct[core.RestartSuccess.String()],
+		d.Pct[core.RestartRetrySuccess.String()],
+		d.Pct[core.RetrySuccess.String()],
+		d.Pct[core.Failure.String()])
+}
+
+// Figure3 renders the weighted Apache-vs-IIS comparison.
+func Figure3(rows []experiments.Figure3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3. Comparison of Apache (weighted Apache1+Apache2) to IIS\n\n")
+	fmt.Fprintf(&b, "%-10s %-8s %7s %8s %8s %9s %7s %8s\n",
+		"config", "program", "faults", "normal", "restart", "rst+retry", "retry", "FAILURE")
+	for _, row := range rows {
+		writePctRow(&b, row.Supervision, "Apache", row.ApacheN, row.ApachePct)
+		writePctRow(&b, row.Supervision, "IIS", row.IISN, row.IISPct)
+	}
+	return b.String()
+}
+
+func writePctRow(b *strings.Builder, cfgName, program string, n int, pct map[string]float64) {
+	fmt.Fprintf(b, "%-10s %-8s %7d %7.1f%% %7.1f%% %8.1f%% %6.1f%% %7.1f%%\n",
+		cfgName, program, n,
+		pct[core.NormalSuccess.String()],
+		pct[core.RestartSuccess.String()],
+		pct[core.RestartRetrySuccess.String()],
+		pct[core.RetrySuccess.String()],
+		pct[core.Failure.String()])
+}
+
+// Table2 renders the common-fault comparison.
+func Table2(rows []experiments.Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Comparison of Apache to IIS counting only common faults\n\n")
+	fmt.Fprintf(&b, "%-18s %-10s %9s %8s %8s %7s\n",
+		"program", "config", "activated", "failure", "restart", "retry")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-10s %9d %7.1f%% %7.1f%% %6.1f%%\n",
+			r.Program, r.Supervision, r.Activated, r.FailurePct, r.RestartPct, r.RetryPct)
+	}
+	return b.String()
+}
+
+// Figure4 renders the response-time-by-outcome summary with 95% CIs.
+func Figure4(cells []experiments.Figure4Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 4. Average response times for Apache and IIS (seconds, ±95% CI)\n")
+	b.WriteString("(failure rows cover wrong-reply failures only; no-reply failures have\n")
+	b.WriteString("unbounded response time and are omitted, as in the paper)\n\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-22s %5s %10s %10s\n",
+		"config", "program", "outcome", "n", "mean", "±95% CI")
+	for _, c := range cells {
+		if c.Stats.N == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %-22s %5d %9.2fs %9.2fs\n",
+			c.Supervision, c.Program, c.Outcome, c.Stats.N, c.Stats.Mean, c.Stats.CI95)
+	}
+	return b.String()
+}
+
+// Figure5 renders the watchd-evolution comparison.
+func Figure5(r *experiments.Figure5Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 5. Comparison of original to improved watchd\n\n")
+	b.WriteString(distributionHeader())
+	for _, wl := range experiments.Figure5Workloads() {
+		for _, v := range []watchd.Version{watchd.V1, watchd.V2, watchd.V3} {
+			set, ok := r.Find(v, wl)
+			if !ok {
+				continue
+			}
+			b.WriteString(distributionRow(wl+"/"+v.String(), set.Distribution()))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FailureMatrix renders the headline failure percentages of an experiment
+// as a compact matrix (workload × supervision).
+func FailureMatrix(exp *core.Experiment) string {
+	var b strings.Builder
+	b.WriteString("Failure percentage (unity minus coverage)\n\n")
+	sup := []string{"none", "MSCS", "watchd"}
+	fmt.Fprintf(&b, "%-10s", "workload")
+	for _, s := range sup {
+		fmt.Fprintf(&b, " %8s", s)
+	}
+	b.WriteString("\n")
+	for _, wl := range exp.Workloads() {
+		fmt.Fprintf(&b, "%-10s", wl)
+		for _, s := range sup {
+			if set, ok := exp.Find(wl, s); ok {
+				fmt.Fprintf(&b, " %7.1f%%", set.FailurePct())
+			} else {
+				fmt.Fprintf(&b, " %8s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TopFailures lists the most interesting failing faults of a set — the
+// §4.3 debugging workflow (study the specific faults behind coverage
+// holes).
+func TopFailures(set *core.SetResult, limit int) string {
+	var fails []core.RunResult
+	for _, r := range set.Runs {
+		if r.Injected && r.Outcome == core.Failure {
+			fails = append(fails, r)
+		}
+	}
+	sort.Slice(fails, func(i, j int) bool {
+		return fails[i].Fault.String() < fails[j].Fault.String()
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failure-producing faults for %s/%s (%d total)\n\n",
+		set.Workload, set.Supervision, len(fails))
+	for i, r := range fails {
+		if i >= limit {
+			fmt.Fprintf(&b, "... and %d more\n", len(fails)-limit)
+			break
+		}
+		kind := "no reply"
+		if r.GotResponse {
+			kind = "wrong reply"
+		}
+		crash := ""
+		if r.ServerCrash {
+			crash = ", server crashed"
+		}
+		fmt.Fprintf(&b, "  %-40s (%s%s)\n", r.Fault.String(), kind, crash)
+	}
+	return b.String()
+}
+
+// Availability renders the testing-based availability estimates (§5).
+func Availability(ests []avail.Estimate) string {
+	var b strings.Builder
+	b.WriteString("Availability estimates from testing-based parameters (paper §5)\n\n")
+	fmt.Fprintf(&b, "%-10s %-8s %14s %8s %16s\n",
+		"workload", "config", "availability", "nines", "downtime/year")
+	for _, e := range ests {
+		fmt.Fprintf(&b, "%-10s %-8s %14.6f %8.2f %16s\n",
+			e.Workload, e.Supervision, e.Availability, e.NinesCount,
+			e.AnnualDown.Round(time.Minute))
+	}
+	return b.String()
+}
+
+// Transitions renders an outcome diff between two configurations — the
+// §4.3 study artifact (which faults a middleware change recovered or
+// broke).
+func Transitions(fromLabel, toLabel string, ts []core.Transition, limit int) string {
+	var b strings.Builder
+	s := core.SummarizeTransitions(ts)
+	fmt.Fprintf(&b, "Outcome transitions %s -> %s: %d improved, %d regressed, %d shifted\n\n",
+		fromLabel, toLabel, s.Improved, s.Regressed, s.Shifted)
+	for i, t := range ts {
+		if i >= limit {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(ts)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", t.String())
+	}
+	return b.String()
+}

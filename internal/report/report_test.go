@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/inject"
+	"ntdts/internal/stats"
+)
+
+// fakeSet builds a SetResult with a known outcome mix.
+func fakeSet(wl, sup string, outcomes map[core.Outcome]int) *core.SetResult {
+	set := &core.SetResult{Workload: wl, Supervision: sup, ActivatedFns: 10}
+	i := 0
+	for o, n := range outcomes {
+		for j := 0; j < n; j++ {
+			set.Runs = append(set.Runs, core.RunResult{
+				Fault: inject.FaultSpec{
+					Function: "F" + string(rune('a'+i)), Param: j, Invocation: 1,
+					Type: inject.ZeroBits,
+				},
+				Injected: true, Activated: true, Outcome: o,
+				Completed: o != core.Failure, ResponseSec: 14.2,
+				GotResponse: o != core.Failure,
+			})
+		}
+		i++
+	}
+	return set
+}
+
+func fakeExperiment() *core.Experiment {
+	exp := &core.Experiment{}
+	for _, wl := range []string{"Apache1", "Apache2", "IIS", "SQL"} {
+		for _, sup := range []string{"none", "MSCS", "watchd"} {
+			exp.Sets = append(exp.Sets, fakeSet(wl, sup, map[core.Outcome]int{
+				core.NormalSuccess: 6,
+				core.RetrySuccess:  2,
+				core.Failure:       2,
+			}))
+		}
+	}
+	return exp
+}
+
+func TestTable1Rendering(t *testing.T) {
+	res := &experiments.Table1Result{Counts: experiments.PaperTable1()}
+	out := Table1(res)
+	for _, want := range []string{"Apache1", "IIS", "76", "13", "measured / paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	out := Figure2(fakeExperiment())
+	for _, want := range []string{"Apache1/none", "IIS/watchd", "SQL/MSCS", "60.0%", "20.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFailureMatrixRendering(t *testing.T) {
+	out := FailureMatrix(fakeExperiment())
+	if !strings.Contains(out, "Apache1") || !strings.Contains(out, "20.0%") {
+		t.Errorf("FailureMatrix output:\n%s", out)
+	}
+}
+
+func TestFigure3Rendering(t *testing.T) {
+	rows, err := experiments.Figure3(fakeExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Figure3(rows)
+	if !strings.Contains(out, "Apache") || !strings.Contains(out, "IIS") {
+		t.Errorf("Figure3 output:\n%s", out)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	rows, err := experiments.Table2(fakeExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table2(rows)
+	for _, want := range []string{"Apache1+Apache2", "IIS", "activated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	cells := []experiments.Figure4Cell{
+		{Program: "Apache", Supervision: "none", Outcome: "normal success",
+			Stats: stats.Summarize([]float64{14.2, 14.3})},
+		{Program: "IIS", Supervision: "none", Outcome: "failure",
+			Stats: stats.Summary{}}, // empty: must be omitted
+	}
+	out := Figure4(cells)
+	if !strings.Contains(out, "Apache") || !strings.Contains(out, "14.25s") {
+		t.Errorf("Figure4 output:\n%s", out)
+	}
+	if strings.Contains(out, "failure") && strings.Contains(out, "IIS      failure") {
+		t.Errorf("Figure4 rendered an empty cell:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 10 {
+		t.Errorf("Figure4 rendered unexpected rows:\n%s", out)
+	}
+}
+
+func TestFigure5Rendering(t *testing.T) {
+	res := &experiments.Figure5Result{Sets: map[int][]*core.SetResult{
+		1: {fakeSet("Apache1", "watchd", map[core.Outcome]int{core.Failure: 5, core.NormalSuccess: 5})},
+		2: {fakeSet("Apache1", "watchd", map[core.Outcome]int{core.Failure: 6, core.NormalSuccess: 4})},
+		3: {fakeSet("Apache1", "watchd", map[core.Outcome]int{core.NormalSuccess: 10})},
+	}}
+	out := Figure5(res)
+	for _, want := range []string{"Watchd1", "Watchd2", "Watchd3", "50.0%", "60.0%", "0.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopFailuresRendering(t *testing.T) {
+	set := fakeSet("IIS", "none", map[core.Outcome]int{core.Failure: 4, core.NormalSuccess: 6})
+	out := TopFailures(set, 2)
+	if !strings.Contains(out, "4 total") {
+		t.Errorf("TopFailures header:\n%s", out)
+	}
+	if !strings.Contains(out, "and 2 more") {
+		t.Errorf("TopFailures truncation:\n%s", out)
+	}
+	if !strings.Contains(out, "no reply") {
+		t.Errorf("TopFailures reply kind:\n%s", out)
+	}
+}

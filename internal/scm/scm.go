@@ -1,0 +1,270 @@
+// Package scm simulates the Windows NT Service Control Manager. Its
+// behaviour under partial failure is central to the paper's findings:
+//
+//   - While any service is in a pending state, the SCM database is locked
+//     and state-change requests are denied with
+//     ERROR_SERVICE_DATABASE_LOCKED (§4.2: this is why both MSCS and watchd
+//     "must wait until the Start Pending state times out before initiating
+//     a restart" of a service that died during startup).
+//   - A service that dies while START_PENDING is not reaped until its
+//     wait hint expires; the SCM keeps believing it is starting.
+//   - A service that dies while RUNNING is reaped at the next SCM poll
+//     tick and its record cleared, so a subsequent OpenProcess on its old
+//     PID fails — the race that breaks Watchd1 (§4.3).
+//
+// SCM calls are ADVAPI32 territory, not KERNEL32, so they are deliberately
+// NOT routed through the fault-injection dispatch path (the paper injects
+// only KERNEL32).
+package scm
+
+import (
+	"fmt"
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/vclock"
+)
+
+// State is a service state, mirroring the SERVICE_* status values.
+type State int
+
+const (
+	Stopped State = iota + 1
+	StartPending
+	Running
+	StopPending
+)
+
+// String names the state as the SDK does.
+func (s State) String() string {
+	switch s {
+	case Stopped:
+		return "SERVICE_STOPPED"
+	case StartPending:
+		return "SERVICE_START_PENDING"
+	case Running:
+		return "SERVICE_RUNNING"
+	case StopPending:
+		return "SERVICE_STOP_PENDING"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config describes a registered service.
+type Config struct {
+	Name    string
+	Image   string
+	CmdLine string
+	// WaitHint is how long the SCM tolerates START_PENDING before giving
+	// up on the start (and unlocking its database). The paper's Apache
+	// configuration had a much larger effective hint than IIS, which is
+	// why faulted Apache starts blocked middleware so much longer.
+	WaitHint time.Duration
+}
+
+// service is the SCM's book-keeping for one service.
+type service struct {
+	cfg             Config
+	state           State
+	proc            *ntsim.Process
+	pendingDeadline vclock.Time
+	startCount      int
+}
+
+// pollInterval is the SCM's internal housekeeping cadence.
+const pollInterval = 500 * time.Millisecond
+
+// kernelKey is where the Manager registers itself for discovery by
+// service processes (SetServiceStatus needs to find its SCM).
+const kernelKey = "scm:manager"
+
+// Manager is the simulated SCM.
+type Manager struct {
+	k        *ntsim.Kernel
+	log      *eventlog.Log
+	services map[string]*service
+	stopped  bool
+}
+
+// New creates an SCM on the kernel, wiring its housekeeping tick to the
+// virtual clock, and registers it for in-simulation discovery.
+func New(k *ntsim.Kernel, log *eventlog.Log) *Manager {
+	m := &Manager{k: k, log: log, services: make(map[string]*service)}
+	k.RegisterNamed(kernelKey, m)
+	k.Clock().ScheduleAfter(pollInterval, m.tick)
+	return m
+}
+
+// FromKernel finds the SCM a service process should report to.
+func FromKernel(k *ntsim.Kernel) (*Manager, bool) {
+	v, ok := k.LookupNamed(kernelKey)
+	if !ok {
+		return nil, false
+	}
+	m, ok := v.(*Manager)
+	return m, ok
+}
+
+// Shutdown stops the housekeeping tick (kernel can then go idle).
+func (m *Manager) Shutdown() { m.stopped = true }
+
+// tick is the SCM housekeeping pass: reap dead running services, expire
+// start-pending services whose wait hint has elapsed.
+func (m *Manager) tick() {
+	if m.stopped {
+		return
+	}
+	now := m.k.Now()
+	for _, svc := range m.services {
+		switch svc.state {
+		case Running:
+			if svc.proc != nil && svc.proc.Terminated() {
+				m.log.Append(now, "Service Control Manager", eventlog.Error, 7031,
+					fmt.Sprintf("The %s service terminated unexpectedly.", svc.cfg.Name))
+				svc.state = Stopped
+				svc.proc = nil // reaped: the PID is gone
+			}
+		case StartPending:
+			if now.Before(svc.pendingDeadline) {
+				// The SCM still assumes the service is starting,
+				// even if the process has already died (§4.2).
+				continue
+			}
+			if svc.proc != nil && !svc.proc.Terminated() {
+				// Start hung past the hint: fail the start.
+				svc.proc.Terminate(ntsim.ExitTerminated)
+			}
+			m.log.Append(now, "Service Control Manager", eventlog.Error, 7000,
+				fmt.Sprintf("The %s service failed to start: timeout.", svc.cfg.Name))
+			svc.state = Stopped
+			svc.proc = nil
+		}
+	}
+	m.k.Clock().ScheduleAfter(pollInterval, m.tick)
+}
+
+// locked reports whether the SCM database is locked (any service pending).
+func (m *Manager) locked() bool {
+	for _, svc := range m.services {
+		if svc.state == StartPending || svc.state == StopPending {
+			return true
+		}
+	}
+	return false
+}
+
+// CreateService registers a service.
+func (m *Manager) CreateService(cfg Config) error {
+	if cfg.Name == "" || cfg.Image == "" {
+		return ntsim.ErrInvalidParameter
+	}
+	if _, exists := m.services[cfg.Name]; exists {
+		return ntsim.ErrServiceExists
+	}
+	if cfg.WaitHint <= 0 {
+		cfg.WaitHint = 30 * time.Second
+	}
+	m.services[cfg.Name] = &service{cfg: cfg, state: Stopped}
+	return nil
+}
+
+// StartService starts a stopped service: spawns its process and moves it to
+// START_PENDING. Denied while the database is locked.
+func (m *Manager) StartService(name string) error {
+	svc, ok := m.services[name]
+	if !ok {
+		return ntsim.ErrServiceDoesNotExist
+	}
+	if m.locked() {
+		return ntsim.ErrServiceDatabaseLocked
+	}
+	switch svc.state {
+	case Running:
+		return ntsim.ErrServiceAlreadyRunning
+	case StartPending, StopPending:
+		return ntsim.ErrServiceDatabaseLocked
+	}
+	proc, err := m.k.Spawn(svc.cfg.Image, svc.cfg.CmdLine, 0)
+	if err != nil {
+		return ntsim.ErrServiceNotInExe
+	}
+	svc.proc = proc
+	svc.state = StartPending
+	svc.pendingDeadline = m.k.Now().Add(svc.cfg.WaitHint)
+	svc.startCount++
+	return nil
+}
+
+// ControlStop asks a running service to stop. The simulation's generic
+// services have no control handler, so stop is a kernel terminate.
+func (m *Manager) ControlStop(name string) error {
+	svc, ok := m.services[name]
+	if !ok {
+		return ntsim.ErrServiceDoesNotExist
+	}
+	if m.locked() {
+		return ntsim.ErrServiceDatabaseLocked
+	}
+	if svc.state != Running || svc.proc == nil {
+		return ntsim.ErrServiceNotActive
+	}
+	svc.proc.Terminate(ntsim.ExitTerminated)
+	svc.state = Stopped
+	svc.proc = nil
+	return nil
+}
+
+// SetServiceStatus is called by the service process itself to report a
+// state transition (the simulated StartServiceCtrlDispatcher path).
+func (m *Manager) SetServiceStatus(name string, st State) error {
+	svc, ok := m.services[name]
+	if !ok {
+		return ntsim.ErrServiceDoesNotExist
+	}
+	svc.state = st
+	return nil
+}
+
+// QueryServiceStatus returns the current state and the service PID (0 if
+// the SCM holds no live process record).
+func (m *Manager) QueryServiceStatus(name string) (State, ntsim.PID, error) {
+	svc, ok := m.services[name]
+	if !ok {
+		return 0, 0, ntsim.ErrServiceDoesNotExist
+	}
+	if svc.proc == nil {
+		return svc.state, 0, nil
+	}
+	return svc.state, svc.proc.ID, nil
+}
+
+// ServiceProcess returns the SCM's process record for the service. The
+// record survives process death until the SCM reaps it; callers that need
+// a waitable handle must still OpenProcess the PID (which fails for dead
+// processes — the Watchd1 race).
+func (m *Manager) ServiceProcess(name string) (*ntsim.Process, bool) {
+	svc, ok := m.services[name]
+	if !ok || svc.proc == nil {
+		return nil, false
+	}
+	return svc.proc, true
+}
+
+// StartCount reports how many times a service was started (restart
+// detection for the test suite; the DTS collector uses logs instead).
+func (m *Manager) StartCount(name string) int {
+	svc, ok := m.services[name]
+	if !ok {
+		return 0
+	}
+	return svc.startCount
+}
+
+// ReportRunning is the helper services call once initialization completes.
+func ReportRunning(k *ntsim.Kernel, name string) {
+	if m, ok := FromKernel(k); ok {
+		m.SetServiceStatus(name, Running)
+	}
+}

@@ -1,0 +1,241 @@
+package scm
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+)
+
+// newRig builds a kernel + SCM with a registered toy service whose behaviour
+// is controlled per test: initDelay before reporting RUNNING, optional crash
+// before or after that report, then park.
+type rig struct {
+	k   *ntsim.Kernel
+	m   *Manager
+	log *eventlog.Log
+}
+
+type svcBehavior struct {
+	initDelay  time.Duration
+	crashAt    time.Duration // 0 = never
+	reportTime time.Duration // when SetServiceStatus(Running) happens
+}
+
+func newRig(t *testing.T, b svcBehavior, hint time.Duration) *rig {
+	t.Helper()
+	k := ntsim.NewKernel()
+	log := eventlog.New()
+	m := New(k, log)
+	k.RegisterImage("svc.exe", func(p *ntsim.Process) uint32 {
+		a := win32.New(p)
+		elapsed := time.Duration(0)
+		step := func(until time.Duration) bool {
+			if b.crashAt > 0 && b.crashAt <= until {
+				a.Sleep(uint32((b.crashAt - elapsed) / time.Millisecond))
+				p.RaiseAccessViolation()
+			}
+			a.Sleep(uint32((until - elapsed) / time.Millisecond))
+			elapsed = until
+			return true
+		}
+		if b.reportTime > 0 {
+			step(b.reportTime)
+			ReportRunning(k, "toy")
+		}
+		step(b.initDelay + time.Hour) // park "serving"
+		return 0
+	})
+	if err := m.CreateService(Config{Name: "toy", Image: "svc.exe", WaitHint: hint}); err != nil {
+		t.Fatalf("CreateService: %v", err)
+	}
+	return &rig{k: k, m: m, log: log}
+}
+
+func (r *rig) run(t *testing.T, d time.Duration) {
+	t.Helper()
+	r.k.RunFor(d)
+	if pan := r.k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+}
+
+func TestServiceStartsAndReportsRunning(t *testing.T) {
+	r := newRig(t, svcBehavior{reportTime: 300 * time.Millisecond}, 10*time.Second)
+	if err := r.m.StartService("toy"); err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	st, pid, _ := r.m.QueryServiceStatus("toy")
+	if st != StartPending || pid == 0 {
+		t.Fatalf("initial state %v pid %d", st, pid)
+	}
+	r.run(t, time.Second)
+	st, _, _ = r.m.QueryServiceStatus("toy")
+	if st != Running {
+		t.Fatalf("state %v, want RUNNING", st)
+	}
+}
+
+func TestCreateServiceValidation(t *testing.T) {
+	k := ntsim.NewKernel()
+	m := New(k, eventlog.New())
+	if err := m.CreateService(Config{}); err != ntsim.ErrInvalidParameter {
+		t.Fatalf("empty config: %v", err)
+	}
+	if err := m.CreateService(Config{Name: "a", Image: "x.exe"}); err != nil {
+		t.Fatalf("valid: %v", err)
+	}
+	if err := m.CreateService(Config{Name: "a", Image: "x.exe"}); err != ntsim.ErrServiceExists {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := m.StartService("nope"); err != ntsim.ErrServiceDoesNotExist {
+		t.Fatalf("unknown service: %v", err)
+	}
+	m.Shutdown()
+}
+
+func TestDatabaseLockedWhilePending(t *testing.T) {
+	// Service dies during START_PENDING (crash before reporting Running).
+	// The SCM must keep it pending — database locked — until the wait
+	// hint expires, then mark it stopped and allow a restart.
+	r := newRig(t, svcBehavior{crashAt: 200 * time.Millisecond}, 5*time.Second)
+	if err := r.m.StartService("toy"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, time.Second) // crash happened; hint (5s) not yet expired
+	st, _, _ := r.m.QueryServiceStatus("toy")
+	if st != StartPending {
+		t.Fatalf("state %v, want START_PENDING held past death", st)
+	}
+	if err := r.m.StartService("toy"); err != ntsim.ErrServiceDatabaseLocked {
+		t.Fatalf("restart during pending: %v, want DATABASE_LOCKED", err)
+	}
+	r.run(t, 6*time.Second) // past the hint
+	st, pid, _ := r.m.QueryServiceStatus("toy")
+	if st != Stopped || pid != 0 {
+		t.Fatalf("state %v pid %d after hint, want STOPPED/0", st, pid)
+	}
+	if r.log.CountEvent("Service Control Manager", 7000) != 1 {
+		t.Fatal("missing failed-to-start event")
+	}
+	if err := r.m.StartService("toy"); err != nil {
+		t.Fatalf("restart after unlock: %v", err)
+	}
+}
+
+func TestRunningDeathReapedPromptly(t *testing.T) {
+	r := newRig(t, svcBehavior{reportTime: 100 * time.Millisecond, crashAt: 2 * time.Second}, 30*time.Second)
+	if err := r.m.StartService("toy"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 3*time.Second)
+	st, pid, _ := r.m.QueryServiceStatus("toy")
+	if st != Stopped || pid != 0 {
+		t.Fatalf("state %v pid %d, want reaped STOPPED", st, pid)
+	}
+	if r.log.CountEvent("Service Control Manager", 7031) != 1 {
+		t.Fatal("missing terminated-unexpectedly event")
+	}
+	// Immediately restartable: no lock.
+	if err := r.m.StartService("toy"); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if r.m.StartCount("toy") != 2 {
+		t.Fatalf("start count %d", r.m.StartCount("toy"))
+	}
+}
+
+func TestAlreadyRunningRejected(t *testing.T) {
+	r := newRig(t, svcBehavior{reportTime: 100 * time.Millisecond}, 10*time.Second)
+	r.m.StartService("toy")
+	r.run(t, time.Second)
+	if err := r.m.StartService("toy"); err != ntsim.ErrServiceAlreadyRunning {
+		t.Fatalf("double start: %v", err)
+	}
+}
+
+func TestControlStop(t *testing.T) {
+	r := newRig(t, svcBehavior{reportTime: 100 * time.Millisecond}, 10*time.Second)
+	r.m.StartService("toy")
+	r.run(t, time.Second)
+	if err := r.m.ControlStop("toy"); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	st, _, _ := r.m.QueryServiceStatus("toy")
+	if st != Stopped {
+		t.Fatalf("state %v after stop", st)
+	}
+	r.run(t, time.Second)
+	if r.k.LiveProcesses() != 0 {
+		t.Fatalf("%d live processes after stop", r.k.LiveProcesses())
+	}
+	if err := r.m.ControlStop("toy"); err != ntsim.ErrServiceNotActive {
+		t.Fatalf("stop of stopped: %v", err)
+	}
+}
+
+func TestHungStartKilledAtHint(t *testing.T) {
+	// Service never reports Running and never crashes: the SCM fails the
+	// start at the wait hint and kills the process.
+	r := newRig(t, svcBehavior{}, 2*time.Second)
+	r.m.StartService("toy")
+	r.run(t, 3*time.Second)
+	st, _, _ := r.m.QueryServiceStatus("toy")
+	if st != Stopped {
+		t.Fatalf("state %v, want STOPPED after hint", st)
+	}
+	if r.k.LiveProcesses() != 0 {
+		t.Fatal("hung starter not killed")
+	}
+}
+
+func TestOpenProcessFailsAfterServiceDeath(t *testing.T) {
+	// The Watchd1 race: query the PID, let the service die and be
+	// reaped, then OpenProcess fails.
+	r := newRig(t, svcBehavior{reportTime: 100 * time.Millisecond, crashAt: time.Second}, 30*time.Second)
+	r.m.StartService("toy")
+	r.run(t, 500*time.Millisecond)
+	_, pid, _ := r.m.QueryServiceStatus("toy")
+	if pid == 0 {
+		t.Fatal("no pid while running")
+	}
+	var opened bool
+	r.k.RegisterImage("watch.exe", func(p *ntsim.Process) uint32 {
+		a := win32.New(p)
+		a.Sleep(2000) // by now the service died
+		opened = a.OpenProcess(0, false, pid) != 0
+		return 0
+	})
+	if _, err := r.k.Spawn("watch.exe", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 5*time.Second)
+	if opened {
+		t.Fatal("OpenProcess on dead service PID succeeded")
+	}
+}
+
+func TestFromKernelDiscovery(t *testing.T) {
+	k := ntsim.NewKernel()
+	if _, ok := FromKernel(k); ok {
+		t.Fatal("found SCM before creation")
+	}
+	m := New(k, eventlog.New())
+	got, ok := FromKernel(k)
+	if !ok || got != m {
+		t.Fatal("FromKernel did not find the manager")
+	}
+	m.Shutdown()
+}
+
+func TestShutdownStopsTicking(t *testing.T) {
+	k := ntsim.NewKernel()
+	m := New(k, eventlog.New())
+	m.Shutdown()
+	k.RunFor(5 * time.Second)
+	if !k.Idle() {
+		t.Fatal("SCM kept the kernel busy after Shutdown")
+	}
+}

@@ -1,0 +1,352 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType is a column type.
+type ColType int
+
+const (
+	TypeInt ColType = iota + 1
+	TypeText
+)
+
+// String names the type in SQL syntax.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column is a table column definition.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Value is a typed cell value.
+type Value struct {
+	Type ColType
+	Int  int64
+	Text string
+}
+
+// String renders a value for the wire protocol.
+func (v Value) String() string {
+	if v.Type == TypeInt {
+		return fmt.Sprintf("%d", v.Int)
+	}
+	return v.Text
+}
+
+// IntVal and TextVal are value constructors.
+func IntVal(n int64) Value   { return Value{Type: TypeInt, Int: n} }
+func TextVal(s string) Value { return Value{Type: TypeText, Text: s} }
+
+// Statement is the parsed-statement interface.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Table   string
+	Columns []Column
+}
+
+// Insert is INSERT INTO name VALUES (v, ...).
+type Insert struct {
+	Table  string
+	Values []Value
+}
+
+// Select is SELECT cols FROM name [WHERE col op value]
+// [ORDER BY col [DESC]] [LIMIT n]. A COUNT(*) projection sets CountStar.
+type Select struct {
+	Table     string
+	Columns   []string // nil means *
+	Where     *Predicate
+	OrderBy   string
+	Desc      bool
+	Limit     int // -1 means no limit
+	CountStar bool
+}
+
+// Predicate is a simple comparison.
+type Predicate struct {
+	Column string
+	Op     string // = <> < > <= >=
+	Value  Value
+}
+
+func (CreateTable) stmt() {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %d", p.peek().pos)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+func (p *parser) take() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectIdent(word string) error {
+	if !p.at(tokIdent, word) {
+		return fmt.Errorf("sql: expected %s at %d", word, p.peek().pos)
+	}
+	p.take()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.at(tokSymbol, sym) {
+		return fmt.Errorf("sql: expected %q at %d", sym, p.peek().pos)
+	}
+	p.take()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier at %d", p.peek().pos)
+	}
+	return p.take().text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(tokIdent, "create"):
+		return p.createTable()
+	case p.at(tokIdent, "insert"):
+		return p.insert()
+	case p.at(tokIdent, "select"):
+		return p.selectStmt()
+	case p.at(tokIdent, "update"):
+		return p.parseUpdate()
+	case p.at(tokIdent, "delete"):
+		return p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sql: unknown statement at %d", p.peek().pos)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.take() // CREATE
+	if err := p.expectIdent("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var ct ColType
+		switch strings.ToUpper(tname) {
+		case "INT", "INTEGER":
+			ct = TypeInt
+		case "TEXT", "VARCHAR", "CHAR":
+			ct = TypeText
+		default:
+			return nil, fmt.Errorf("sql: unknown type %q", tname)
+		}
+		cols = append(cols, Column{Name: strings.ToLower(cname), Type: ct})
+		if p.at(tokSymbol, ",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return CreateTable{Table: strings.ToLower(name), Columns: cols}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.take() // INSERT
+	if err := p.expectIdent("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var vals []Value
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.at(tokSymbol, ",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return Insert{Table: strings.ToLower(name), Values: vals}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.take() // SELECT
+	sel := Select{Limit: -1}
+	switch {
+	case p.at(tokSymbol, "*"):
+		p.take()
+	case p.at(tokIdent, "count"):
+		p.take()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		sel.CountStar = true
+	default:
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Columns = append(sel.Columns, strings.ToLower(c))
+			if p.at(tokSymbol, ",") {
+				p.take()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectIdent("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = strings.ToLower(name)
+	where, err := p.optionalWhere()
+	if err != nil {
+		return nil, err
+	}
+	sel.Where = where
+	if p.at(tokIdent, "order") {
+		p.take()
+		if err := p.expectIdent("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = strings.ToLower(col)
+		if p.at(tokIdent, "desc") {
+			p.take()
+			sel.Desc = true
+		} else if p.at(tokIdent, "asc") {
+			p.take()
+		}
+	}
+	if p.at(tokIdent, "limit") {
+		p.take()
+		if p.peek().kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count at %d", p.peek().pos)
+		}
+		n := 0
+		for _, c := range p.take().text {
+			if c < '0' || c > '9' {
+				return nil, fmt.Errorf("sql: bad LIMIT")
+			}
+			n = n*10 + int(c-'0')
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) value() (Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.take()
+		var n int64
+		neg := false
+		for i, c := range t.text {
+			if i == 0 && c == '-' {
+				neg = true
+				continue
+			}
+			n = n*10 + int64(c-'0')
+		}
+		if neg {
+			n = -n
+		}
+		return IntVal(n), nil
+	case tokString:
+		p.take()
+		return TextVal(t.text), nil
+	default:
+		return Value{}, fmt.Errorf("sql: expected value at %d", t.pos)
+	}
+}

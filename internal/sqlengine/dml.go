@@ -1,0 +1,210 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DML and query extensions beyond the workload's SELECT: UPDATE, DELETE,
+// ORDER BY, LIMIT, and COUNT(*) — enough engine for custom workloads to
+// exercise richer database behaviour under fault injection.
+
+// Update is UPDATE t SET col = value [WHERE ...].
+type Update struct {
+	Table  string
+	Column string
+	Value  Value
+	Where  *Predicate
+}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where *Predicate
+}
+
+func (Update) stmt() {}
+func (Delete) stmt() {}
+
+// parseUpdate parses after the UPDATE keyword has been peeked.
+func (p *parser) parseUpdate() (Statement, error) {
+	p.take() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("set"); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	up := Update{Table: strings.ToLower(name), Column: strings.ToLower(col), Value: v}
+	where, err := p.optionalWhere()
+	if err != nil {
+		return nil, err
+	}
+	up.Where = where
+	return up, nil
+}
+
+// parseDelete parses after the DELETE keyword has been peeked.
+func (p *parser) parseDelete() (Statement, error) {
+	p.take() // DELETE
+	if err := p.expectIdent("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := Delete{Table: strings.ToLower(name)}
+	where, err := p.optionalWhere()
+	if err != nil {
+		return nil, err
+	}
+	del.Where = where
+	return del, nil
+}
+
+// optionalWhere parses a trailing WHERE clause if present.
+func (p *parser) optionalWhere() (*Predicate, error) {
+	if !p.at(tokIdent, "where") {
+		return nil, nil
+	}
+	p.take()
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokSymbol {
+		return nil, fmt.Errorf("sql: expected comparison at %d", p.peek().pos)
+	}
+	op := p.take().text
+	switch op {
+	case "=", "<>", "<", ">", "<=", ">=":
+	default:
+		return nil, fmt.Errorf("sql: bad operator %q", op)
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return &Predicate{Column: strings.ToLower(col), Op: op, Value: v}, nil
+}
+
+// resolvePredicate validates a predicate against a table, returning the
+// column index (-1 when the predicate is nil).
+func resolvePredicate(t *Table, w *Predicate) (int, error) {
+	if w == nil {
+		return -1, nil
+	}
+	idx := t.colIndex(w.Column)
+	if idx < 0 {
+		return 0, fmt.Errorf("sql: no column %q in %q", w.Column, t.Name)
+	}
+	if t.Columns[idx].Type != w.Value.Type {
+		return 0, fmt.Errorf("sql: predicate type mismatch on %q", w.Column)
+	}
+	return idx, nil
+}
+
+func (db *DB) runUpdate(s Update) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", s.Table)
+	}
+	col := t.colIndex(s.Column)
+	if col < 0 {
+		return nil, fmt.Errorf("sql: no column %q in %q", s.Column, s.Table)
+	}
+	if t.Columns[col].Type != s.Value.Type {
+		return nil, fmt.Errorf("sql: column %q wants %v, got %v",
+			s.Column, t.Columns[col].Type, s.Value.Type)
+	}
+	whereIdx, err := resolvePredicate(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, row := range t.Rows {
+		if whereIdx >= 0 && !matches(row[whereIdx], s.Where.Op, s.Where.Value) {
+			continue
+		}
+		row[col] = s.Value
+		n++
+	}
+	return &Result{Count: n}, nil
+}
+
+func (db *DB) runDelete(s Delete) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", s.Table)
+	}
+	whereIdx, err := resolvePredicate(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	kept := t.Rows[:0]
+	n := 0
+	for _, row := range t.Rows {
+		if whereIdx >= 0 && !matches(row[whereIdx], s.Where.Op, s.Where.Value) {
+			kept = append(kept, row)
+			continue
+		}
+		n++
+	}
+	t.Rows = kept
+	return &Result{Count: n}, nil
+}
+
+// applyOrderLimit sorts and truncates a result set in place.
+func applyOrderLimit(res *Result, orderBy string, desc bool, limit int) error {
+	if orderBy != "" {
+		idx := -1
+		for i, c := range res.Columns {
+			if c == orderBy {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("sql: ORDER BY column %q not in projection", orderBy)
+		}
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			a, b := res.Rows[i][idx], res.Rows[j][idx]
+			var less bool
+			if a.Type == TypeInt {
+				less = a.Int < b.Int
+			} else {
+				less = a.Text < b.Text
+			}
+			if desc {
+				return !less && !valueEq(a, b)
+			}
+			return less
+		})
+	}
+	if limit >= 0 && limit < len(res.Rows) {
+		res.Rows = res.Rows[:limit]
+		res.Count = limit
+	}
+	return nil
+}
+
+func valueEq(a, b Value) bool {
+	if a.Type == TypeInt {
+		return a.Int == b.Int
+	}
+	return a.Text == b.Text
+}

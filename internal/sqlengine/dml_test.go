@@ -1,0 +1,181 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdate(t *testing.T) {
+	db := newPartsDB(t)
+	r := mustExec(t, db, "UPDATE parts SET qty = 99 WHERE name = 'nut'")
+	if r.Count != 1 {
+		t.Fatalf("updated %d rows", r.Count)
+	}
+	got := mustExec(t, db, "SELECT qty FROM parts WHERE name = 'nut'")
+	if got.Rows[0][0].Int != 99 {
+		t.Fatalf("qty %v", got.Rows[0][0])
+	}
+	// Unconditional update hits every row.
+	r = mustExec(t, db, "UPDATE parts SET qty = 1")
+	if r.Count != 3 {
+		t.Fatalf("updated %d rows, want 3", r.Count)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := newPartsDB(t)
+	for _, q := range []string{
+		"UPDATE missing SET qty = 1",
+		"UPDATE parts SET nope = 1",
+		"UPDATE parts SET qty = 'text'",
+		"UPDATE parts SET name = 5",
+		"UPDATE parts SET qty = 1 WHERE nope = 2",
+		"UPDATE parts SET qty = 1 WHERE name > 5",
+		"UPDATE parts SET",
+		"UPDATE parts qty = 1",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) unexpectedly succeeded", q)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newPartsDB(t)
+	r := mustExec(t, db, "DELETE FROM parts WHERE qty < 10")
+	if r.Count != 1 {
+		t.Fatalf("deleted %d rows", r.Count)
+	}
+	left := mustExec(t, db, "SELECT * FROM parts")
+	if len(left.Rows) != 2 {
+		t.Fatalf("%d rows remain", len(left.Rows))
+	}
+	// Unconditional delete empties the table; schema survives.
+	mustExec(t, db, "DELETE FROM parts")
+	if n := mustExec(t, db, "SELECT COUNT(*) FROM parts"); n.Rows[0][0].Int != 0 {
+		t.Fatalf("count after delete-all: %v", n.Rows[0][0])
+	}
+	mustExec(t, db, "INSERT INTO parts VALUES (9, 'bracket', 5)")
+}
+
+func TestDeleteErrors(t *testing.T) {
+	db := newPartsDB(t)
+	for _, q := range []string{
+		"DELETE parts",
+		"DELETE FROM missing",
+		"DELETE FROM parts WHERE nope = 1",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) unexpectedly succeeded", q)
+		}
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := newPartsDB(t)
+	r := mustExec(t, db, "SELECT COUNT(*) FROM parts WHERE qty >= 12")
+	if len(r.Rows) != 1 || r.Columns[0] != "count" || r.Rows[0][0].Int != 2 {
+		t.Fatalf("count result %+v", r)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	db := newPartsDB(t)
+	asc := mustExec(t, db, "SELECT name, qty FROM parts ORDER BY qty")
+	if asc.Rows[0][1].Int != 7 || asc.Rows[2][1].Int != 40 {
+		t.Fatalf("asc order %v", asc.Rows)
+	}
+	desc := mustExec(t, db, "SELECT name, qty FROM parts ORDER BY qty DESC")
+	if desc.Rows[0][1].Int != 40 || desc.Rows[2][1].Int != 7 {
+		t.Fatalf("desc order %v", desc.Rows)
+	}
+	byName := mustExec(t, db, "SELECT name FROM parts ORDER BY name ASC")
+	if byName.Rows[0][0].Text != "bolt" || byName.Rows[2][0].Text != "washer" {
+		t.Fatalf("name order %v", byName.Rows)
+	}
+	if _, err := db.Exec("SELECT name FROM parts ORDER BY qty"); err == nil {
+		t.Fatal("ORDER BY column outside projection accepted")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := newPartsDB(t)
+	r := mustExec(t, db, "SELECT name FROM parts ORDER BY name LIMIT 2")
+	if len(r.Rows) != 2 || r.Rows[0][0].Text != "bolt" {
+		t.Fatalf("limit rows %v", r.Rows)
+	}
+	if got := mustExec(t, db, "SELECT * FROM parts LIMIT 0"); len(got.Rows) != 0 {
+		t.Fatalf("LIMIT 0 rows %v", got.Rows)
+	}
+	if got := mustExec(t, db, "SELECT * FROM parts LIMIT 99"); len(got.Rows) != 3 {
+		t.Fatalf("oversized limit rows %v", got.Rows)
+	}
+	if _, err := db.Exec("SELECT * FROM parts LIMIT nope"); err == nil {
+		t.Fatal("bad LIMIT accepted")
+	}
+}
+
+// Property: DELETE WHERE p removes exactly the rows SELECT WHERE p finds.
+func TestPropertyDeleteMatchesSelect(t *testing.T) {
+	f := func(vals []int16, pivot int16) bool {
+		db := NewDB()
+		db.Exec("CREATE TABLE t (v INT)")
+		for _, v := range vals {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		match, err := db.Exec(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE v < %d", pivot))
+		if err != nil {
+			return false
+		}
+		deleted, err := db.Exec(fmt.Sprintf("DELETE FROM t WHERE v < %d", pivot))
+		if err != nil {
+			return false
+		}
+		if int64(deleted.Count) != match.Rows[0][0].Int {
+			return false
+		}
+		rest, err := db.Exec("SELECT COUNT(*) FROM t")
+		if err != nil {
+			return false
+		}
+		return rest.Rows[0][0].Int == int64(len(vals)-deleted.Count)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ORDER BY yields a nondecreasing (or nonincreasing) sequence.
+func TestPropertyOrderBySorted(t *testing.T) {
+	f := func(vals []int16, desc bool) bool {
+		db := NewDB()
+		db.Exec("CREATE TABLE t (v INT)")
+		for _, v := range vals {
+			db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", v))
+		}
+		q := "SELECT v FROM t ORDER BY v"
+		if desc {
+			q += " DESC"
+		}
+		r, err := db.Exec(q)
+		if err != nil || len(r.Rows) != len(vals) {
+			return false
+		}
+		for i := 1; i < len(r.Rows); i++ {
+			a, b := r.Rows[i-1][0].Int, r.Rows[i][0].Int
+			if desc && a < b {
+				return false
+			}
+			if !desc && a > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one relation: a schema plus rows.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Value
+}
+
+// colIndex resolves a column name, -1 if absent.
+func (t *Table) colIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	Count   int // rows affected for DML
+}
+
+// Exec parses and executes one statement.
+func (db *DB) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(st)
+}
+
+// Run executes a parsed statement.
+func (db *DB) Run(st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case CreateTable:
+		return db.runCreate(s)
+	case Insert:
+		return db.runInsert(s)
+	case Select:
+		return db.runSelect(s)
+	case Update:
+		return db.runUpdate(s)
+	case Delete:
+		return db.runDelete(s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) runCreate(s CreateTable) (*Result, error) {
+	if _, exists := db.tables[s.Table]; exists {
+		return nil, fmt.Errorf("sql: table %q already exists", s.Table)
+	}
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("sql: table %q has no columns", s.Table)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("sql: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	db.tables[s.Table] = &Table{Name: s.Table, Columns: cols}
+	return &Result{}, nil
+}
+
+func (db *DB) runInsert(s Insert) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", s.Table)
+	}
+	if len(s.Values) != len(t.Columns) {
+		return nil, fmt.Errorf("sql: %d values for %d columns", len(s.Values), len(t.Columns))
+	}
+	row := make([]Value, len(s.Values))
+	for i, v := range s.Values {
+		if v.Type != t.Columns[i].Type {
+			return nil, fmt.Errorf("sql: column %q wants %v, got %v",
+				t.Columns[i].Name, t.Columns[i].Type, v.Type)
+		}
+		row[i] = v
+	}
+	t.Rows = append(t.Rows, row)
+	return &Result{Count: 1}, nil
+}
+
+func (db *DB) runSelect(s Select) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", s.Table)
+	}
+	// Resolve projection.
+	var idx []int
+	var names []string
+	if s.Columns == nil {
+		idx = make([]int, len(t.Columns))
+		names = make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			idx[i] = i
+			names[i] = c.Name
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := t.colIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("sql: no column %q in %q", name, s.Table)
+			}
+			idx = append(idx, i)
+			names = append(names, name)
+		}
+	}
+	// Resolve predicate.
+	whereIdx := -1
+	if s.Where != nil {
+		whereIdx = t.colIndex(s.Where.Column)
+		if whereIdx < 0 {
+			return nil, fmt.Errorf("sql: no column %q in %q", s.Where.Column, s.Table)
+		}
+		if t.Columns[whereIdx].Type != s.Where.Value.Type {
+			return nil, fmt.Errorf("sql: predicate type mismatch on %q", s.Where.Column)
+		}
+	}
+	res := &Result{Columns: names}
+	for _, row := range t.Rows {
+		if whereIdx >= 0 && !matches(row[whereIdx], s.Where.Op, s.Where.Value) {
+			continue
+		}
+		out := make([]Value, len(idx))
+		for j, i := range idx {
+			out[j] = row[i]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	res.Count = len(res.Rows)
+	if s.CountStar {
+		return &Result{
+			Columns: []string{"count"},
+			Rows:    [][]Value{{IntVal(int64(len(res.Rows)))}},
+			Count:   1,
+		}, nil
+	}
+	if err := applyOrderLimit(res, s.OrderBy, s.Desc, s.Limit); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func matches(cell Value, op string, want Value) bool {
+	var cmp int
+	if cell.Type == TypeInt {
+		switch {
+		case cell.Int < want.Int:
+			cmp = -1
+		case cell.Int > want.Int:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(cell.Text, want.Text)
+	}
+	switch op {
+	case "=":
+		return cmp == 0
+	case "<>":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case ">":
+		return cmp > 0
+	case "<=":
+		return cmp <= 0
+	case ">=":
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Dump serializes the database as a script of CREATE/INSERT statements —
+// the on-disk format the simulated SQL Server loads via ReadFileEx.
+func (db *DB) Dump() string {
+	var sb strings.Builder
+	for _, t := range db.tables {
+		sb.WriteString("CREATE TABLE " + t.Name + " (")
+		for i, c := range t.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.Name + " " + c.Type.String())
+		}
+		sb.WriteString(")\n")
+		for _, row := range t.Rows {
+			sb.WriteString("INSERT INTO " + t.Name + " VALUES (")
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				if v.Type == TypeText {
+					sb.WriteString("'" + strings.ReplaceAll(v.Text, "'", "''") + "'")
+				} else {
+					sb.WriteString(v.String())
+				}
+			}
+			sb.WriteString(")\n")
+		}
+	}
+	return sb.String()
+}
+
+// Load executes a Dump-format script line by line.
+func (db *DB) Load(script string) error {
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if _, err := db.Exec(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatResult renders a result set in the wire format SqlClient checks:
+// a header line, then one row per line with tab-separated values.
+func FormatResult(r *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, "\t"))
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteString("\t")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+// Package sqlengine implements the small relational engine behind the
+// simulated SQL Server target: a tokenizer, a recursive-descent parser, a
+// row store, and an executor covering CREATE TABLE / INSERT / SELECT with
+// projections and WHERE predicates. The paper's SqlClient workload issues
+// "an SQL select request based on a single table" (§4); this engine is the
+// substrate that serves it.
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >= <>
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL statement.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
+	case c == '(' || c == ')' || c == ',' || c == '*' || c == '=':
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// tokenize runs the lexer to completion.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package stats provides the summary statistics the DTS data collector
+// reports: outcome distributions, means, and 95% confidence intervals
+// (Figure 4 plots response times with 95% CIs).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tTable95 holds two-sided 95% critical values of Student's t for small
+// degrees of freedom; larger samples fall back to the normal 1.960.
+var tTable95 = []float64{
+	0,                                                             // df=0 (unused)
+	12.706,                                                        // 1
+	4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+}
+
+// TCritical95 returns the two-sided 95% t critical value for the given
+// degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary bundles the statistics reported per outcome class.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary for a sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs), CI95: CI95(xs)}
+	if len(xs) > 0 {
+		s.Min, s.Max = xs[0], xs[0]
+		for _, x := range xs {
+			s.Min = math.Min(s.Min, x)
+			s.Max = math.Max(s.Max, x)
+		}
+	}
+	return s
+}
+
+// Percent renders part/total as a percentage (0 when total is 0).
+func Percent(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// WeightedPercent combines two (percentage, weight) pairs — the paper's
+// Figure 3 weights Apache1 and Apache2 outcome percentages by their
+// activated-fault counts.
+func WeightedPercent(p1 float64, w1 int, p2 float64, w2 int) float64 {
+	if w1+w2 == 0 {
+		return 0
+	}
+	return (p1*float64(w1) + p2*float64(w2)) / float64(w1+w2)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev")
+	}
+	// Known sample: {2,4,4,4,5,5,7,9} has sample stddev ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("stddev %.5f", got)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 2: 4.303, 10: 2.228, 30: 2.042, 31: 1.960, 1000: 1.960}
+	for df, want := range cases {
+		if got := TCritical95(df); !almost(got, want) {
+			t.Errorf("t(%d) = %v, want %v", df, got, want)
+		}
+	}
+	if TCritical95(0) != 0 {
+		t.Fatal("t(0)")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single-sample CI")
+	}
+	// n=4, sd=1: CI = 3.182 * 1/2.
+	xs := []float64{-1, 0, 0, 1} // mean 0
+	sd := StdDev(xs)
+	want := TCritical95(3) * sd / 2
+	if got := CI95(xs); !almost(got, want) {
+		t.Fatalf("CI %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Min, 1) || !almost(s.Max, 3) {
+		t.Fatalf("summary %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 0) != 0 {
+		t.Fatal("divide by zero")
+	}
+	if !almost(Percent(1, 4), 25) {
+		t.Fatal("percent")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Fatal("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Fatal("even median")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestWeightedPercent(t *testing.T) {
+	if WeightedPercent(10, 0, 20, 0) != 0 {
+		t.Fatal("zero weights")
+	}
+	// The paper's Figure 3 combination: Apache1 at 20% over 30 faults,
+	// Apache2 at 1.8% over 111 faults -> ~5.7%.
+	got := WeightedPercent(20.0, 30, 1.8, 111)
+	if math.Abs(got-5.67) > 0.05 {
+		t.Fatalf("weighted %v", got)
+	}
+}
+
+// Property: the mean lies within [min, max] and CI is non-negative.
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.CI95 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted percent of equal inputs is that input, and the result
+// always lies between the two inputs.
+func TestPropertyWeightedPercentBetween(t *testing.T) {
+	f := func(p1raw, p2raw uint8, w1raw, w2raw uint8) bool {
+		p1, p2 := float64(p1raw%101), float64(p2raw%101)
+		w1, w2 := int(w1raw)+1, int(w2raw)+1
+		got := WeightedPercent(p1, w1, p2, w2)
+		lo, hi := math.Min(p1, p2), math.Max(p1, p2)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

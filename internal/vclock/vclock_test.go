@@ -1,0 +1,219 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroClockAtEpoch(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want epoch", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Second)
+	if got := c.Now(); got != Time(3*time.Second) {
+		t.Fatalf("Now() = %v, want 3s", got)
+	}
+	c.Advance(-time.Second) // negative advances are ignored
+	if got := c.Now(); got != Time(3*time.Second) {
+		t.Fatalf("Now() after negative advance = %v, want 3s", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.ScheduleAfter(2*time.Second, func() { order = append(order, 2) })
+	c.ScheduleAfter(1*time.Second, func() { order = append(order, 1) })
+	c.ScheduleAfter(3*time.Second, func() { order = append(order, 3) })
+	for c.RunNext() {
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v, want [1 2 3]", order)
+	}
+	if got := c.Now(); got != Time(3*time.Second) {
+		t.Fatalf("clock at %v after run, want 3s", got)
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.ScheduleAfter(time.Second, func() { order = append(order, i) })
+	}
+	for c.RunNext() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	id := c.ScheduleAfter(time.Second, func() { fired = true })
+	c.ScheduleAfter(2*time.Second, func() {})
+	c.Cancel(id)
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+	for c.RunNext() {
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelUnknownIsNoop(t *testing.T) {
+	c := New()
+	c.Cancel(EventID(999))
+	if c.Pending() != 0 {
+		t.Fatal("cancel of unknown event changed queue")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	count := 0
+	c.ScheduleAfter(1*time.Second, func() { count++ })
+	c.ScheduleAfter(2*time.Second, func() { count++ })
+	c.ScheduleAfter(5*time.Second, func() { count++ })
+	n := c.RunUntil(Time(3 * time.Second))
+	if n != 2 || count != 2 {
+		t.Fatalf("RunUntil ran %d events (count %d), want 2", n, count)
+	}
+	if got := c.Now(); got != Time(3*time.Second) {
+		t.Fatalf("clock at %v, want exactly 3s", got)
+	}
+	// Remaining event still fires afterwards.
+	if !c.RunNext() || count != 3 {
+		t.Fatalf("remaining event did not fire, count=%d", count)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	c := New()
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	c.ScheduleAfter(7*time.Second, func() {})
+	at, ok := c.NextAt()
+	if !ok || at != Time(7*time.Second) {
+		t.Fatalf("NextAt = %v,%v; want 7s,true", at, ok)
+	}
+}
+
+func TestScheduleInPastFiresImmediately(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Second)
+	fired := false
+	c.ScheduleAt(Time(1*time.Second), func() { fired = true })
+	c.RunNext()
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if got := c.Now(); got != Time(10*time.Second) {
+		t.Fatalf("clock moved backwards to %v", got)
+	}
+}
+
+func TestEventScheduledDuringEvent(t *testing.T) {
+	c := New()
+	var order []string
+	c.ScheduleAfter(time.Second, func() {
+		order = append(order, "outer")
+		c.ScheduleAfter(time.Second, func() { order = append(order, "inner") })
+	})
+	for c.RunNext() {
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("nested scheduling order %v", order)
+	}
+	if got := c.Now(); got != Time(2*time.Second) {
+		t.Fatalf("clock at %v, want 2s", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(2 * time.Second)
+	b := a.Add(3 * time.Second)
+	if b != Time(5*time.Second) {
+		t.Fatalf("Add: %v", b)
+	}
+	if d := b.Sub(a); d != 3*time.Second {
+		t.Fatalf("Sub: %v", d)
+	}
+	if !a.Before(b) || !b.After(a) || a.After(b) || b.Before(a) {
+		t.Fatal("Before/After inconsistent")
+	}
+	if s := b.Seconds(); s != 5.0 {
+		t.Fatalf("Seconds: %v", s)
+	}
+}
+
+// Property: for any set of non-negative delays, RunNext dispatches events in
+// nondecreasing time order and the clock never moves backwards.
+func TestPropertyMonotonicDispatch(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New()
+		var fireTimes []Time
+		for _, d := range delays {
+			c.ScheduleAfter(time.Duration(d)*time.Millisecond, func() {
+				fireTimes = append(fireTimes, c.Now())
+			})
+		}
+		for c.RunNext() {
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a subset of events fires exactly the complement.
+func TestPropertyCancelComplement(t *testing.T) {
+	f := func(delays []uint8, cancelMask []bool) bool {
+		c := New()
+		fired := make(map[int]bool)
+		ids := make([]EventID, len(delays))
+		for i, d := range delays {
+			i := i
+			ids[i] = c.ScheduleAfter(time.Duration(d)*time.Millisecond, func() {
+				fired[i] = true
+			})
+		}
+		cancelled := make(map[int]bool)
+		for i := range delays {
+			if i < len(cancelMask) && cancelMask[i] {
+				c.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		for c.RunNext() {
+		}
+		for i := range delays {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

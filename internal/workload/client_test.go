@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ntdts/internal/httpwire"
+	"ntdts/internal/ntsim"
+)
+
+// fakeHTTPServer registers an image serving scripted responses on the HTTP
+// pipe: behavior "ok" serves the static body; "wrong" serves garbage;
+// "silent" accepts and never replies; "late" starts listening only after
+// the given delay.
+func fakeHTTPServer(k *ntsim.Kernel, behavior string, delay time.Duration) {
+	k.RegisterImage("fake.exe", func(p *ntsim.Process) uint32 {
+		if delay > 0 {
+			p.SleepFor(delay)
+		}
+		ps, errno := k.CreatePipeServer(`\\.\pipe\http80`)
+		if errno != ntsim.ErrSuccess {
+			return 1
+		}
+		for {
+			if errno := ps.Listen(p); errno != ntsim.ErrSuccess && errno != ntsim.ErrPipeConnected {
+				return 1
+			}
+			conn := &srvConn{p: p, ps: ps}
+			req, ok := httpwire.ReadRequest(conn)
+			if ok {
+				switch behavior {
+				case "ok":
+					body := StaticBody()
+					if req.Path == "/cgi-bin/info" {
+						body = []byte("cgi-body")
+					}
+					httpwire.WriteResponse(conn, httpwire.Response{Status: 200, Body: body})
+				case "wrong":
+					httpwire.WriteResponse(conn, httpwire.Response{Status: 200, Body: []byte("garbage")})
+				case "silent":
+					// Accept the request, never reply.
+					p.SleepFor(time.Hour)
+				}
+			}
+			ps.Flush(p)
+			ps.Disconnect()
+		}
+	})
+}
+
+type srvConn struct {
+	p  *ntsim.Process
+	ps *ntsim.PipeServer
+}
+
+func (c *srvConn) Read(buf []byte) (int, bool) {
+	n, errno := c.ps.Read(c.p, buf)
+	return n, errno == ntsim.ErrSuccess
+}
+
+func (c *srvConn) Write(data []byte) bool {
+	_, errno := c.ps.Write(data)
+	return errno == ntsim.ErrSuccess
+}
+
+// runClient launches the HTTP client against the fake server and drains the
+// simulation.
+func runClient(t *testing.T, behavior string, delay time.Duration) *Report {
+	t.Helper()
+	k := ntsim.NewKernel()
+	fakeHTTPServer(k, behavior, delay)
+	if _, err := k.Spawn("fake.exe", "fake.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	report := &Report{}
+	reqs := []RequestSpec{
+		{Name: "static", PipePath: `\\.\pipe\http80`, send: httpSend("/index.html"), Expected: StaticBody()},
+		{Name: "cgi", PipePath: `\\.\pipe\http80`, send: httpSend("/cgi-bin/info"), Expected: []byte("cgi-body")},
+	}
+	k.RegisterImage("client.exe", func(p *ntsim.Process) uint32 {
+		return clientMain(p, reqs, report)
+	})
+	if _, err := k.Spawn("client.exe", "client.exe", 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := k.Now().Add(200 * time.Second)
+	for !report.Done && k.Now().Before(deadline) {
+		if !k.Step() {
+			break
+		}
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	return report
+}
+
+func TestClientSucceedsFirstAttempt(t *testing.T) {
+	r := runClient(t, "ok", 0)
+	if !r.AllSucceeded() {
+		t.Fatalf("report %+v", r)
+	}
+	if r.AnyRetried() {
+		t.Fatal("retries on a healthy server")
+	}
+	for _, req := range r.Requests {
+		if req.Attempts != 1 {
+			t.Fatalf("request %s took %d attempts", req.Name, req.Attempts)
+		}
+	}
+}
+
+func TestClientRejectsWrongReply(t *testing.T) {
+	r := runClient(t, "wrong", 0)
+	if r.AllSucceeded() {
+		t.Fatal("wrong replies accepted")
+	}
+	if !r.AnyResponse() {
+		t.Fatal("complete (wrong) replies not recorded as responses")
+	}
+	for _, req := range r.Requests {
+		if req.Attempts != MaxAttempts {
+			t.Fatalf("request %s gave up after %d attempts, want %d", req.Name, req.Attempts, MaxAttempts)
+		}
+		if req.Success {
+			t.Fatalf("request %s succeeded on garbage", req.Name)
+		}
+	}
+}
+
+func TestClientTimesOutOnSilentServer(t *testing.T) {
+	r := runClient(t, "silent", 0)
+	if r.AllSucceeded() || r.AnyResponse() {
+		t.Fatalf("silent server produced responses: %+v", r)
+	}
+	if !r.Done {
+		t.Fatal("client never finished")
+	}
+	// Attempt pacing: each attempt is bounded by the reply timeout and
+	// separated by the retry wait (paper §4: 15s + 15s).
+	first := r.Requests[0]
+	dur := first.End.Sub(first.Start)
+	// 3 attempts x 15s timeout + 2 x 15s waits = 75s (+ slack for the
+	// per-request processing charge).
+	if dur < 70*time.Second || dur > 85*time.Second {
+		t.Fatalf("silent-request duration %v, want ~75s", dur)
+	}
+}
+
+func TestClientRetriesUntilServerUp(t *testing.T) {
+	// Server appears 20s in: attempt 1 times out, attempt 2 succeeds —
+	// the paper's "client request retry with success" outcome.
+	r := runClient(t, "ok", 20*time.Second)
+	if !r.AllSucceeded() {
+		t.Fatalf("late server not recovered: %+v", r)
+	}
+	if !r.AnyRetried() {
+		t.Fatal("no retries recorded for a late server")
+	}
+	if r.Requests[0].Attempts < 2 {
+		t.Fatalf("first request attempts %d, want >=2", r.Requests[0].Attempts)
+	}
+}
+
+func TestStaticBodySize(t *testing.T) {
+	body := StaticBody()
+	if len(body) != 115*1024 {
+		t.Fatalf("static body %d bytes, want %d (the paper's 115 kB)", len(body), 115*1024)
+	}
+	if !strings.HasPrefix(string(body), "<html>") {
+		t.Fatal("static body is not HTML")
+	}
+	// Deterministic.
+	if string(StaticBody()) != string(body) {
+		t.Fatal("StaticBody not deterministic")
+	}
+}
+
+func TestSupervisionStrings(t *testing.T) {
+	if Standalone.String() != "none" || MSCS.String() != "MSCS" || Watchd.String() != "watchd" {
+		t.Fatal("supervision names")
+	}
+	if Supervision(9).String() != "unknown" {
+		t.Fatal("unknown supervision")
+	}
+}
+
+func TestStandardSet(t *testing.T) {
+	defs := StandardSet(MSCS)
+	want := []string{"Apache1", "Apache2", "IIS", "SQL"}
+	if len(defs) != len(want) {
+		t.Fatalf("%d definitions", len(defs))
+	}
+	for i, d := range defs {
+		if d.Name != want[i] {
+			t.Errorf("definition %d = %s, want %s", i, d.Name, want[i])
+		}
+		if d.Supervision != MSCS {
+			t.Errorf("definition %s supervision %v", d.Name, d.Supervision)
+		}
+		if !strings.Contains(d.Service.CmdLine, "-cluster") {
+			t.Errorf("definition %s missing -cluster flag: %q", d.Name, d.Service.CmdLine)
+		}
+	}
+}
+
+func TestSQLReplyFraming(t *testing.T) {
+	cases := []struct {
+		reply    string
+		complete bool
+	}{
+		{"", false},
+		{"OK 5\n", false},
+		{"OK 5\nabc", false},
+		{"OK 5\nabcde", true},
+		{"OK 0\n", true},
+		{"ERR no such table\n", true},
+		{"ERR", false},
+		{"BOGUS 5\nabcde", false},
+		{"OK x\nabcde", false},
+	}
+	for _, c := range cases {
+		if got := sqlReplyComplete([]byte(c.reply)); got != c.complete {
+			t.Errorf("sqlReplyComplete(%q) = %v, want %v", c.reply, got, c.complete)
+		}
+	}
+}
+
+// TestSQLWorkloadEndToEnd drives the SQL definition's own client against
+// the real simulated server (the definition wiring itself, not just the
+// HTTP skeleton).
+func TestSQLWorkloadEndToEnd(t *testing.T) {
+	def := NewSQL(Standalone)
+	k := ntsim.NewKernel()
+	def.Setup(k)
+	// Start the server image directly (no SCM in this unit test); give it
+	// the plain command line.
+	if _, err := k.Spawn(def.Service.Image, def.Service.CmdLine, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(3 * time.Second)
+	_, report, err := def.SpawnClient(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := k.Now().Add(150 * time.Second)
+	for !report.Done && k.Now().Before(deadline) {
+		if !k.Step() {
+			break
+		}
+	}
+	if pan := k.Panics(); len(pan) != 0 {
+		t.Fatalf("panics: %v", pan)
+	}
+	if !report.AllSucceeded() {
+		t.Fatalf("SQL workload failed: %+v", report.Requests)
+	}
+	if report.AnyRetried() {
+		t.Fatal("healthy SQL server needed retries")
+	}
+}
+
+// TestReportAccessorsEmpty pins the zero-value semantics the collector
+// relies on.
+func TestReportAccessorsEmpty(t *testing.T) {
+	var r Report
+	if r.AllSucceeded() {
+		t.Fatal("empty report succeeded")
+	}
+	if r.AnyRetried() || r.AnyResponse() {
+		t.Fatal("empty report has activity")
+	}
+	r.Done = true
+	if r.AllSucceeded() {
+		t.Fatal("done report with no requests succeeded")
+	}
+}

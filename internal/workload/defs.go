@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"time"
+
+	"ntdts/internal/apps/apache"
+	"ntdts/internal/apps/common"
+	"ntdts/internal/apps/iis"
+	"ntdts/internal/apps/sqlserver"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/scm"
+)
+
+// Supervision names the fault-tolerance configuration of a workload set
+// (paper §4: stand-alone service, with MSCS, or with watchd).
+type Supervision int
+
+const (
+	Standalone Supervision = iota + 1
+	MSCS
+	Watchd
+)
+
+// String names the configuration the way the paper's figures do.
+func (s Supervision) String() string {
+	switch s {
+	case Standalone:
+		return "none"
+	case MSCS:
+		return "MSCS"
+	case Watchd:
+		return "watchd"
+	default:
+		return "unknown"
+	}
+}
+
+// StaticBody is the deterministic 115 kB HTML document both web servers
+// serve (the paper's first request type).
+func StaticBody() []byte {
+	const target = 115 * 1024
+	body := make([]byte, 0, target)
+	body = append(body, []byte("<html><head><title>DTS test document</title></head><body>\n")...)
+	row := []byte("<tr><td>workload</td><td>dependability test suite</td><td>0123456789</td></tr>\n")
+	body = append(body, []byte("<table>\n")...)
+	for len(body) < target-len("</table></body></html>")-len(row) {
+		body = append(body, row...)
+	}
+	body = append(body, []byte("</table></body></html>")...)
+	return body[:target]
+}
+
+// SQLQuery is the SqlClient's single-table select (paper §4).
+const SQLQuery = "SELECT customer, total FROM orders WHERE total >= 100"
+
+// Definition is everything DTS needs to run one workload: how to install
+// the server, which SCM service to start, which process to inject, and how
+// to launch the client.
+type Definition struct {
+	// Name is the workload label used in the paper ("Apache1",
+	// "Apache2", "IIS", "SQL").
+	Name string
+	// Service is the SCM registration for the server program.
+	Service scm.Config
+	// Target selects the process under injection.
+	Target inject.TargetSelector
+	// Setup installs images and data files on a fresh kernel.
+	Setup func(k *ntsim.Kernel)
+	// SpawnClient launches the client program, returning its report.
+	SpawnClient func(k *ntsim.Kernel) (*ntsim.Process, *Report, error)
+	// Supervision is the fault-tolerance configuration baked into the
+	// service command line.
+	Supervision Supervision
+}
+
+// middlewareFlags renders the service command-line suffix for a
+// supervision mode.
+func middlewareFlags(s Supervision) string {
+	switch s {
+	case MSCS:
+		return " -cluster"
+	case Watchd:
+		return " -monitored"
+	default:
+		return ""
+	}
+}
+
+// httpRequests builds the two paper requests with per-server CGI oracles.
+func httpRequests(cgiBody []byte) []RequestSpec {
+	return []RequestSpec{
+		{
+			Name:     "static-115k",
+			PipePath: common.HTTPPipe,
+			send:     httpSend("/index.html"),
+			Expected: StaticBody(),
+		},
+		{
+			Name:     "cgi-1k",
+			PipePath: common.HTTPPipe,
+			send:     httpSend("/cgi-bin/info"),
+			Expected: cgiBody,
+		},
+	}
+}
+
+// registerHTTPClient installs the HttpClient image on the kernel.
+func registerHTTPClient(k *ntsim.Kernel, cgiBody []byte) func(*ntsim.Kernel) (*ntsim.Process, *Report, error) {
+	return func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
+		report := &Report{}
+		k.RegisterImage("httpclient.exe", func(p *ntsim.Process) uint32 {
+			return clientMain(p, httpRequests(cgiBody), report)
+		})
+		p, err := k.Spawn("httpclient.exe", "httpclient.exe", 0)
+		return p, report, err
+	}
+}
+
+// NewApache1 is the Apache management-process workload.
+func NewApache1(s Supervision) Definition {
+	return newApache("Apache1", s, inject.ParentProcessOf(apache.Image))
+}
+
+// NewApache2 is the Apache worker-process workload.
+func NewApache2(s Supervision) Definition {
+	return newApache("Apache2", s, inject.ChildProcessOf(apache.Image))
+}
+
+func newApache(name string, s Supervision, target inject.TargetSelector) Definition {
+	return Definition{
+		Name:        name,
+		Supervision: s,
+		Target:      target,
+		Service: scm.Config{
+			Name:     apache.ServiceName,
+			Image:    apache.Image,
+			CmdLine:  apache.Image + middlewareFlags(s),
+			WaitHint: 30 * time.Second,
+		},
+		Setup: func(k *ntsim.Kernel) {
+			cfg := apache.DefaultConfig()
+			apache.Register(k, cfg)
+			k.VFS().WriteFile(cfg.DocRoot+`\index.html`, StaticBody())
+		},
+		SpawnClient: func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
+			return registerHTTPClient(k, apache.CGIBody())(k)
+		},
+	}
+}
+
+// NewIIS is the IIS HTTP workload.
+func NewIIS(s Supervision) Definition {
+	return Definition{
+		Name:        "IIS",
+		Supervision: s,
+		Target:      inject.ByImage(iis.Image),
+		Service: scm.Config{
+			Name:     iis.ServiceName,
+			Image:    iis.Image,
+			CmdLine:  iis.Image + middlewareFlags(s),
+			WaitHint: 4 * time.Second,
+		},
+		Setup: func(k *ntsim.Kernel) {
+			cfg := iis.DefaultConfig()
+			iis.Register(k, cfg)
+			k.VFS().WriteFile(cfg.DocRoot+`\index.html`, StaticBody())
+		},
+		SpawnClient: func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
+			return registerHTTPClient(k, iis.CGIBody())(k)
+		},
+	}
+}
+
+// NewSQL is the SQL Server workload.
+func NewSQL(s Supervision) Definition {
+	return Definition{
+		Name:        "SQL",
+		Supervision: s,
+		Target:      inject.ByImage(sqlserver.Image),
+		Service: scm.Config{
+			Name:     sqlserver.ServiceName,
+			Image:    sqlserver.Image,
+			CmdLine:  sqlserver.Image + middlewareFlags(s),
+			WaitHint: 25 * time.Second,
+		},
+		Setup: func(k *ntsim.Kernel) {
+			sqlserver.Register(k, sqlserver.DefaultConfig())
+		},
+		SpawnClient: func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
+			report := &Report{}
+			expected := sqlserver.ExpectedReply(SQLQuery)
+			k.RegisterImage("sqlclient.exe", func(p *ntsim.Process) uint32 {
+				reqs := []RequestSpec{{
+					Name:     "select-orders",
+					PipePath: common.SQLPipe,
+					send:     sqlSend(SQLQuery),
+					Expected: expected,
+				}}
+				return clientMain(p, reqs, report)
+			})
+			p, err := k.Spawn("sqlclient.exe", "sqlclient.exe", 0)
+			return p, report, err
+		},
+	}
+}
+
+// StandardSet returns the paper's four workloads for one supervision mode,
+// in the order Figure 2 presents them.
+func StandardSet(s Supervision) []Definition {
+	return []Definition{NewApache1(s), NewApache2(s), NewIIS(s), NewSQL(s)}
+}

@@ -11,6 +11,7 @@ package ntdts_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -46,14 +47,33 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// sharedFigure2 returns the process-wide memoized Figure 2 experiment:
+// the six benchmarks that derive tables and figures from the same
+// campaign share one execution instead of re-running ~10k simulations
+// each (campaigns are deterministic, so the data is identical).
+func sharedFigure2(b *testing.B) *core.Experiment {
+	b.Helper()
+	exp, err := experiments.Cached(experiments.Config{}).Figure2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exp
+}
+
+func sharedFigure5(b *testing.B) *experiments.Figure5Result {
+	b.Helper()
+	res, err := experiments.Cached(experiments.Config{}).Figure5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkFigure2 regenerates Figure 2: outcome distributions for every
 // workload under stand-alone, MSCS and watchd supervision.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp, err := experiments.RunFigure2(experiments.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
+		exp := sharedFigure2(b)
 		for _, wl := range []string{"Apache1", "IIS", "SQL"} {
 			none, _ := exp.Find(wl, "none")
 			wd, _ := exp.Find(wl, "watchd")
@@ -67,11 +87,7 @@ func BenchmarkFigure2(b *testing.B) {
 // outcome comparison.
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp, err := experiments.RunFigure2(experiments.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows, err := experiments.Figure3(exp)
+		rows, err := experiments.Figure3(sharedFigure2(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,11 +104,7 @@ func BenchmarkFigure3(b *testing.B) {
 // faults.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp, err := experiments.RunFigure2(experiments.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows, err := experiments.Table2(exp)
+		rows, err := experiments.Table2(sharedFigure2(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,11 +124,7 @@ func BenchmarkTable2(b *testing.B) {
 // 95% confidence intervals.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp, err := experiments.RunFigure2(experiments.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		cells, err := experiments.Figure4(exp)
+		cells, err := experiments.Figure4(sharedFigure2(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,10 +140,7 @@ func BenchmarkFigure4(b *testing.B) {
 // evolution.
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure5(experiments.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
+		res := sharedFigure5(b)
 		for _, v := range []watchd.Version{watchd.V1, watchd.V2, watchd.V3} {
 			set, ok := res.Find(v, "IIS")
 			if !ok {
@@ -235,11 +240,7 @@ func mustSeed(b *testing.B) *sqlengine.DB {
 // Figure 2 campaign.
 func BenchmarkAvailability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp, err := experiments.RunFigure2(experiments.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ests, err := experiments.Availability(exp, avail.DefaultAssumptions())
+		ests, err := experiments.Availability(sharedFigure2(b), avail.DefaultAssumptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,6 +274,50 @@ func BenchmarkAblationCostModel(b *testing.B) {
 			}
 			b.ReportMetric(res.ResponseSec, fmt.Sprintf("io-x%d-sec", scale))
 		}
+	}
+}
+
+// BenchmarkCampaignParallel sweeps the campaign engine's worker count
+// over a full Apache1 stand-alone campaign, reporting absolute throughput
+// (runs/sec) and speedup relative to the one-worker sweep measured in the
+// same process. On a multi-core host the 4-worker rate should be at least
+// twice the sequential rate; the results themselves are byte-identical at
+// every worker count.
+func BenchmarkCampaignParallel(b *testing.B) {
+	campaign := func(workers int) *core.SetResult {
+		c := &core.Campaign{
+			Runner:      core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			Parallelism: workers,
+		}
+		set, err := c.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return set
+	}
+
+	// Sequential baseline for the speedup metric, timed outside the
+	// sub-benchmarks so every worker count compares against the same run.
+	start := time.Now()
+	base := campaign(1)
+	baseRate := float64(len(base.Runs)) / time.Since(start).Seconds()
+
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > counts[len(counts)-1] {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			totalRuns := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				set := campaign(workers)
+				totalRuns += len(set.Runs)
+			}
+			rate := float64(totalRuns) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "runs/sec")
+			b.ReportMetric(rate/baseRate, "speedup")
+		})
 	}
 }
 

@@ -45,8 +45,12 @@ func run(args []string, out io.Writer) error {
 	faultSpec := fs.String("fault", "", `single fault to replay: "Function param invocation type"`)
 	trace := fs.Bool("trace", false, "print the kernel trace (with -fault)")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	parallel := fs.Int("parallel", 0, "concurrent fault-injection runs per campaign (0 = all CPUs, 1 = sequential; results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
 	}
 
 	progress := func(line string) {
@@ -54,7 +58,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, line)
 		}
 	}
-	ecfg := experiments.Config{Progress: progress}
+	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel}
 
 	switch {
 	case *experiment != "":
@@ -62,7 +66,7 @@ func run(args []string, out io.Writer) error {
 	case *cfgPath != "" && *faultSpec != "":
 		return runSingleFault(*cfgPath, *faultSpec, *trace, out)
 	case *cfgPath != "":
-		return runConfigured(*cfgPath, *outPath, progress, out)
+		return runConfigured(*cfgPath, *outPath, *parallel, progress, out)
 	default:
 		return fmt.Errorf("one of -config or -experiment is required")
 	}
@@ -144,7 +148,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, out io.Writer)
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(cfgPath, outPath string, progress func(string), out io.Writer) error {
+func runConfigured(cfgPath, outPath string, parallel int, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -166,9 +170,9 @@ func runConfigured(cfgPath, outPath string, progress func(string), out io.Writer
 
 	var set *core.SetResult
 	if cfg.FaultList != "" {
-		set, err = runFaultListFile(runner, cfg.FaultList, progress)
+		set, err = runFaultListFile(runner, cfg.FaultList, parallel, progress)
 	} else {
-		campaign := &core.Campaign{Runner: runner, Progress: func(done, total int) {
+		campaign := &core.Campaign{Runner: runner, Parallelism: parallel, Progress: func(done, total int) {
 			if done%100 == 0 || done == total {
 				progress(fmt.Sprintf("%d/%d faults injected", done, total))
 			}
@@ -194,8 +198,8 @@ func runConfigured(cfgPath, outPath string, progress func(string), out io.Writer
 }
 
 // runFaultListFile executes an explicit fault list instead of the
-// generated catalog sweep.
-func runFaultListFile(runner *core.Runner, path string, progress func(string)) (*core.SetResult, error) {
+// generated catalog sweep, on the same worker pool as campaigns.
+func runFaultListFile(runner *core.Runner, path string, parallel int, progress func(string)) (*core.SetResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -215,16 +219,15 @@ func runFaultListFile(runner *core.Runner, path string, progress func(string)) (
 		ActivatedFns: calib.ActivatedFns,
 		FaultFreeSec: calib.ResponseSec,
 	}
-	for i := range specs {
-		res, err := runner.Run(&specs[i])
-		if err != nil {
-			return nil, fmt.Errorf("run %v: %w", specs[i], err)
+	runs, err := core.RunSpecs(runner, specs, parallel, func(done, total int) {
+		if done%100 == 0 || done == total {
+			progress(fmt.Sprintf("%d/%d faults injected", done, total))
 		}
-		set.Runs = append(set.Runs, *res)
-		if (i+1)%100 == 0 || i+1 == len(specs) {
-			progress(fmt.Sprintf("%d/%d faults injected", i+1, len(specs)))
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
+	set.Runs = runs
 	return set, nil
 }
 

@@ -92,6 +92,45 @@ func TestRunConfiguredWithFaultList(t *testing.T) {
 	}
 }
 
+// TestRunParallelFlag runs the same fault list sequentially and with the
+// worker pool; the archives must be byte-identical (the engine's
+// deterministic-ordering guarantee surfaces at the CLI).
+func TestRunParallelFlag(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	listPath := filepath.Join(dir, "faults.lst")
+	if err := os.WriteFile(cfgPath, []byte(
+		"workload = IIS\nmiddleware = none\nfault_list = "+listPath+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(listPath, []byte(
+		"ReadFile 1 1 flip\nGetVersionExA 0 1 zero\nCreateFileA 0 1 ones\nWriteFile 2 1 flip\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	archive := func(parallel string) []byte {
+		path := filepath.Join(dir, "out-"+parallel+".json")
+		var out bytes.Buffer
+		if err := run([]string{"-config", cfgPath, "-out", path, "-q", "-parallel", parallel}, &out); err != nil {
+			t.Fatalf("-parallel %s: %v", parallel, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if seq, par := archive("1"), archive("4"); !bytes.Equal(seq, par) {
+		t.Fatal("parallel archive differs from sequential archive")
+	}
+}
+
+func TestRunRejectsNegativeParallel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-parallel", "-3"}, &out); err == nil {
+		t.Fatal("negative -parallel accepted")
+	}
+}
+
 func TestRunBadConfigPath(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-config", "/nonexistent/dts.cfg"}, &out); err == nil {

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"ntdts/internal/inject"
-	"ntdts/internal/ntsim/win32"
 	"ntdts/internal/stats"
 )
 
@@ -102,7 +101,15 @@ type Campaign struct {
 	// data is identical; only campaign cost differs (the ablation bench
 	// measures it).
 	PaperFaithfulSkips bool
+	// Parallelism is the number of workers executing runs concurrently
+	// (0 defaults to runtime.GOMAXPROCS(0); 1 is strictly sequential).
+	// Every run builds its own isolated kernel and results land at their
+	// fault-list position, so any worker count yields a SetResult
+	// byte-identical to the sequential sweep.
+	Parallelism int
 	// Progress, when non-nil, receives (done, total) after every run.
+	// Invocations are serialized and done increases strictly by one,
+	// regardless of Parallelism.
 	Progress func(done, total int)
 }
 
@@ -137,52 +144,17 @@ func (c *Campaign) Execute() (*SetResult, error) {
 		set.WatchdVersion = int(c.Runner.Opts.WatchdVersion)
 	}
 
-	// Build the fault list in catalog order (deterministic).
-	catalog := win32.Catalog()
-	var specs []inject.FaultSpec
-	for _, entry := range catalog {
-		if entry.Params == 0 {
-			continue
-		}
-		if !activated[entry.Name] {
-			if c.PaperFaithfulSkips {
-				// The paper burned one run on the first fault of
-				// the function and skipped the rest when it did
-				// not activate.
-				probe := inject.FaultSpec{
-					Function: entry.Name, Param: 0,
-					Invocation: invocation, Type: types[0],
-				}
-				res, err := c.Runner.Run(&probe)
-				if err != nil {
-					return nil, fmt.Errorf("skip probe %v: %w", probe, err)
-				}
-				res.Skipped = true
-				set.Runs = append(set.Runs, *res)
-			}
-			set.SkippedFns++
-			set.SkippedFaults += entry.Params * len(types)
-			continue
-		}
-		for p := 0; p < entry.Params; p++ {
-			for _, t := range types {
-				specs = append(specs, inject.FaultSpec{
-					Function: entry.Name, Param: p, Invocation: invocation, Type: t,
-				})
-			}
-		}
+	// The fault list is a pure function of the activation set (plus the
+	// corruption types and skip mode), so the catalog walk is memoized
+	// per process and the job list executes on the worker pool.
+	plan := planFor(activated, types, invocation, c.PaperFaithfulSkips)
+	set.SkippedFns = plan.skippedFns
+	set.SkippedFaults = plan.skippedFaults
+	runs, err := executeJobs(c.Runner, plan.jobs, c.Parallelism, plan.faults, c.Progress)
+	if err != nil {
+		return nil, err
 	}
-
-	for i := range specs {
-		res, err := c.Runner.Run(&specs[i])
-		if err != nil {
-			return nil, fmt.Errorf("run %v: %w", specs[i], err)
-		}
-		set.Runs = append(set.Runs, *res)
-		if c.Progress != nil {
-			c.Progress(i+1, len(specs))
-		}
-	}
+	set.Runs = runs
 	return set, nil
 }
 

@@ -2,7 +2,9 @@
 // (the nested loops of the paper's Figure 1), the per-run lifecycle
 // (prepare, start server, wait until up, run client, terminate, gather),
 // the data collector (client records + NT event log + watchd log file),
-// and the five-outcome classifier of §3.
+// and the five-outcome classifier of §3. Unlike the paper's tool, the
+// campaign loop executes on a worker pool (Campaign.Parallelism): runs
+// are isolated simulations, so they parallelize without changing results.
 package core
 
 import "fmt"

@@ -1,0 +1,230 @@
+package core
+
+// Parallel campaign engine. The paper's DTS ran one fault-injection run
+// at a time on a single NT box; here every run builds its own fresh
+// ntsim.Kernel and shares no mutable state, so a campaign is an
+// embarrassingly parallel job list. The engine below executes that list
+// on a bounded worker pool while keeping the results byte-identical to a
+// sequential sweep: each run writes into a pre-sized slice at its
+// fault-list position, and the Progress callback is invoked serially
+// with a monotonic done-counter.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim/win32"
+)
+
+// planJob is one schedulable run of a campaign: a real fault from the
+// generated list, or a paper-faithful skip probe for an unactivated
+// function.
+type planJob struct {
+	spec  inject.FaultSpec
+	probe bool
+}
+
+// faultPlan is the prepared run list for one (activation set, fault
+// types, invocation, skip mode) combination, plus the skip accounting
+// the catalog walk produces. Plans are immutable once built.
+type faultPlan struct {
+	jobs          []planJob
+	faults        int // non-probe jobs (the Progress total)
+	skippedFns    int
+	skippedFaults int
+}
+
+// planCache memoizes fault plans per process: the 681-entry catalog walk
+// and spec-list construction run once per (types, invocation, skip mode,
+// activation set) rather than once per campaign. Campaigns for the same
+// workload/supervision pair — benchmarks, repeated experiments, Figure 5
+// version sweeps — reuse the cached plan.
+var planCache sync.Map // string -> *faultPlan
+
+// planFor returns the (possibly cached) fault plan for an activation set.
+func planFor(activated map[string]bool, types []inject.FaultType, invocation int, faithfulSkips bool) *faultPlan {
+	key := planKey(activated, types, invocation, faithfulSkips)
+	if p, ok := planCache.Load(key); ok {
+		return p.(*faultPlan)
+	}
+	p := buildPlan(activated, types, invocation, faithfulSkips)
+	actual, _ := planCache.LoadOrStore(key, p)
+	return actual.(*faultPlan)
+}
+
+// planKey canonicalizes the plan inputs. The activation set is small
+// (tens of functions) and deterministic per workload, so sorting it is
+// cheap relative to one simulation run.
+func planKey(activated map[string]bool, types []inject.FaultType, invocation int, faithfulSkips bool) string {
+	fns := make([]string, 0, len(activated))
+	for fn, on := range activated {
+		if on {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Strings(fns)
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(invocation))
+	b.WriteByte('/')
+	b.WriteString(strconv.FormatBool(faithfulSkips))
+	for _, t := range types {
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(int(t)))
+	}
+	for _, fn := range fns {
+		b.WriteByte('|')
+		b.WriteString(fn)
+	}
+	return b.String()
+}
+
+// buildPlan walks the export catalog in order and lays out the campaign's
+// job list exactly as the sequential engine executed it: skip probes (in
+// catalog order) first, then the generated fault list (catalog order ×
+// parameter × type).
+func buildPlan(activated map[string]bool, types []inject.FaultType, invocation int, faithfulSkips bool) *faultPlan {
+	p := &faultPlan{}
+	var probes, specs []planJob
+	for _, entry := range win32.Catalog() {
+		if entry.Params == 0 {
+			continue
+		}
+		if !activated[entry.Name] {
+			if faithfulSkips {
+				// The paper burned one run on the first fault of the
+				// function and skipped the rest when it did not activate.
+				probes = append(probes, planJob{
+					spec: inject.FaultSpec{
+						Function: entry.Name, Param: 0,
+						Invocation: invocation, Type: types[0],
+					},
+					probe: true,
+				})
+			}
+			p.skippedFns++
+			p.skippedFaults += entry.Params * len(types)
+			continue
+		}
+		for param := 0; param < entry.Params; param++ {
+			for _, t := range types {
+				specs = append(specs, planJob{spec: inject.FaultSpec{
+					Function: entry.Name, Param: param, Invocation: invocation, Type: t,
+				}})
+			}
+		}
+	}
+	p.jobs = append(probes, specs...)
+	p.faults = len(specs)
+	return p
+}
+
+// jobError carries the failing job's list position so concurrent failures
+// resolve to the same error a sequential sweep would have reported first.
+type jobError struct {
+	index int
+	err   error
+}
+
+// executeJobs runs the job list on a bounded worker pool and returns the
+// results in job order, regardless of completion order or worker count.
+// Each worker owns its own Runner clone. On error the pool stops handing
+// out new jobs, in-flight runs finish, and the lowest-indexed error is
+// returned — the one the sequential engine would have hit first.
+func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal int, progress func(done, total int)) ([]RunResult, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]RunResult, len(jobs))
+	var (
+		cursor atomic.Int64 // next job to claim, minus one
+		stop   atomic.Bool
+
+		errMu    sync.Mutex
+		firstErr *jobError
+
+		// done and the user callback live under one mutex so the
+		// callback observes a strictly increasing counter and its final
+		// invocation is (total, total) — the same contract callers relied
+		// on when runs completed in order.
+		progressMu sync.Mutex
+		done       int
+	)
+	cursor.Store(-1)
+
+	fail := func(index int, err error) {
+		errMu.Lock()
+		if firstErr == nil || index < firstErr.index {
+			firstErr = &jobError{index: index, err: err}
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := base.Clone()
+			for !stop.Load() {
+				i := int(cursor.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				spec := job.spec // plans are shared; never hand out interior pointers
+				res, err := runner.Run(&spec)
+				if err != nil {
+					if job.probe {
+						fail(i, fmt.Errorf("skip probe %v: %w", spec, err))
+					} else {
+						fail(i, fmt.Errorf("run %v: %w", spec, err))
+					}
+					return
+				}
+				if job.probe {
+					res.Skipped = true
+				}
+				results[i] = *res
+				if progress != nil && !job.probe {
+					progressMu.Lock()
+					done++
+					progress(done, progressTotal)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr.err
+	}
+	return results, nil
+}
+
+// RunSpecs executes an explicit fault list on the campaign worker pool,
+// returning results in spec order. This is the engine behind Campaign
+// and the dts fault-list-file path; parallelism semantics match
+// Campaign.Parallelism (0 = GOMAXPROCS, 1 = sequential).
+func RunSpecs(r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int)) ([]RunResult, error) {
+	jobs := make([]planJob, len(specs))
+	for i, s := range specs {
+		jobs[i] = planJob{spec: s}
+	}
+	return executeJobs(r, jobs, parallelism, len(jobs), progress)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/workload"
+)
+
+func apache1Campaign(par int, progress func(done, total int)) *Campaign {
+	return &Campaign{
+		Runner:      NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		Parallelism: par,
+		Progress:    progress,
+	}
+}
+
+// TestCampaignParallelDeterministic is the engine's core guarantee: any
+// worker count yields a SetResult deep-equal to the sequential sweep,
+// runs in fault-list order included.
+func TestCampaignParallelDeterministic(t *testing.T) {
+	run := func(par int) *SetResult {
+		set, err := apache1Campaign(par, nil).Execute()
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return set
+	}
+	seq := run(1)
+	par := run(8)
+	if len(seq.Runs) == 0 {
+		t.Fatal("empty campaign")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for i := range seq.Runs {
+			if !reflect.DeepEqual(seq.Runs[i], par.Runs[i]) {
+				t.Fatalf("run %d diverges:\n seq: %+v\n par: %+v", i, seq.Runs[i], par.Runs[i])
+			}
+		}
+		t.Fatalf("set results diverge outside Runs:\n seq: %+v\n par: %+v", seq, par)
+	}
+}
+
+// TestCampaignParallelProgress exercises the serialized Progress contract
+// under contention: the callback mutates shared state without its own
+// locking (the race detector proves serialization), done increases
+// strictly by one, and the final call is (total, total).
+func TestCampaignParallelProgress(t *testing.T) {
+	var calls []int
+	var total int
+	set, err := apache1Campaign(4, func(done, n int) {
+		calls = append(calls, done)
+		total = n
+	}).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != total || total != len(set.Runs) {
+		t.Fatalf("%d progress calls, total %d, %d runs", len(calls), total, len(set.Runs))
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("progress call %d reported done=%d; counter must increase strictly by one", i, done)
+		}
+	}
+}
+
+// TestCampaignParallelFaithfulSkips checks the probe path through the
+// pool: paper-faithful campaigns stay deterministic under parallelism,
+// probes keep their catalog-order positions ahead of the fault list, and
+// probes stay invisible to Progress.
+func TestCampaignParallelFaithfulSkips(t *testing.T) {
+	run := func(par int) (*SetResult, int) {
+		progressCalls := 0
+		c := &Campaign{
+			Runner:             NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+			Types:              []inject.FaultType{inject.ZeroBits},
+			PaperFaithfulSkips: true,
+			Parallelism:        par,
+			Progress:           func(done, total int) { progressCalls++ },
+		}
+		set, err := c.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set, progressCalls
+	}
+	seq, seqCalls := run(1)
+	par, parCalls := run(6)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("paper-faithful campaign diverges under parallelism")
+	}
+	if seqCalls != parCalls {
+		t.Fatalf("progress calls diverge: %d sequential, %d parallel", seqCalls, parCalls)
+	}
+	if probes := len(seq.Runs) - seqCalls; probes != seq.SkippedFns {
+		t.Fatalf("%d probe runs invisible to progress, want %d", probes, seq.SkippedFns)
+	}
+}
+
+// TestRunSpecsParallel checks the explicit-fault-list entry point (the
+// dts -config path) against its sequential result.
+func TestRunSpecsParallel(t *testing.T) {
+	specs := []inject.FaultSpec{
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits},
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "GetVersionExA", Param: 0, Invocation: 1, Type: inject.OneBits},
+		{Function: "CreateFileA", Param: 0, Invocation: 1, Type: inject.ZeroBits},
+	}
+	runner := NewRunner(workload.NewIIS(workload.Standalone), RunnerOptions{})
+	seq, err := RunSpecs(runner, specs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSpecs(runner, specs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("RunSpecs diverges:\n seq: %+v\n par: %+v", seq, par)
+	}
+	if len(seq) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(seq), len(specs))
+	}
+}
+
+// TestRunSpecsFirstError checks deterministic error selection: when every
+// run fails, the pool reports the lowest-indexed spec's error — the one a
+// sequential sweep would have hit first — at any worker count.
+func TestRunSpecsFirstError(t *testing.T) {
+	failure := errors.New("client refused to start")
+	def := workload.NewApache1(workload.Standalone)
+	def.SpawnClient = func(k *ntsim.Kernel) (*ntsim.Process, *workload.Report, error) {
+		return nil, nil, failure
+	}
+	specs := []inject.FaultSpec{
+		{Function: "ReadFile", Param: 0, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "WriteFile", Param: 0, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "CloseHandle", Param: 0, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "CreateFileA", Param: 0, Invocation: 1, Type: inject.ZeroBits},
+	}
+	for _, par := range []int{1, 4} {
+		_, err := RunSpecs(NewRunner(def, RunnerOptions{}), specs, par, nil)
+		if err == nil {
+			t.Fatalf("parallelism %d: no error from failing runs", par)
+		}
+		if !errors.Is(err, failure) {
+			t.Fatalf("parallelism %d: error %v does not wrap the run failure", par, err)
+		}
+		want := "run " + specs[0].String()
+		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+			t.Fatalf("parallelism %d: error %q does not name the first spec (%q)", par, got, want)
+		}
+	}
+}
+
+// TestPlanCacheReuse asserts the fault-plan memoization: two campaigns
+// over the same activation set share one plan instance.
+func TestPlanCacheReuse(t *testing.T) {
+	activated := map[string]bool{"ReadFile": true, "WriteFile": true}
+	types := inject.AllFaultTypes()
+	a := planFor(activated, types, 1, false)
+	b := planFor(map[string]bool{"WriteFile": true, "ReadFile": true}, types, 1, false)
+	if a != b {
+		t.Fatal("identical activation sets built distinct plans")
+	}
+	c := planFor(activated, types, 1, true)
+	if a == c {
+		t.Fatal("skip-mode change must not share a plan")
+	}
+	if a.faults == 0 || len(a.jobs) != a.faults {
+		t.Fatalf("plan shape: %d jobs, %d faults", len(a.jobs), a.faults)
+	}
+}

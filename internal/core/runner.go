@@ -81,6 +81,15 @@ func NewRunner(def workload.Definition, opts RunnerOptions) *Runner {
 	return &Runner{Def: def, Opts: opts}
 }
 
+// Clone returns an independent Runner for a campaign worker. A Runner
+// holds no per-run state — every run builds its own kernel — so a shallow
+// copy suffices; Clone exists to make per-worker ownership explicit. The
+// Trace sink, if any, is shared, so parallel campaigns should not trace.
+func (r *Runner) Clone() *Runner {
+	c := *r
+	return &c
+}
+
 // Run executes one fault-injection run. A nil spec is the fault-free
 // calibration run.
 func (r *Runner) Run(spec *inject.FaultSpec) (*RunResult, error) {
@@ -215,16 +224,13 @@ func countRestarts(k *ntsim.Kernel, log *eventlog.Log, s workload.Supervision) i
 // anyTargetCrash reports whether any process matched by the target
 // selector exited abnormally during the run.
 func anyTargetCrash(k *ntsim.Kernel, def workload.Definition) bool {
-	for pid := ntsim.PID(1); ; pid++ {
-		p := k.Process(pid)
-		if p == nil {
-			return false
-		}
-		if !def.Target(k, pid, p.Image) {
+	for _, p := range k.Processes() {
+		if !def.Target(k, p.ID, p.Image) {
 			continue
 		}
 		if p.Terminated() && p.ExitCode() != 0 && p.ExitCode() != ntsim.ExitTerminated {
 			return true
 		}
 	}
+	return false
 }

@@ -7,6 +7,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ntdts/internal/avail"
 	"ntdts/internal/core"
@@ -19,7 +21,15 @@ import (
 type Config struct {
 	// Opts are the per-run options (defaults apply when zero).
 	Opts core.RunnerOptions
+	// Parallelism bounds concurrent fault-injection runs within each
+	// campaign (0 = GOMAXPROCS, 1 = sequential). The experiment entry
+	// points additionally fan their independent workload sets out
+	// concurrently; results keep their canonical order and value
+	// regardless, because every run is deterministic and isolated.
+	Parallelism int
 	// Progress, when non-nil, receives one line per completed set.
+	// Invocations are serialized; sets running concurrently never
+	// interleave within a line.
 	Progress func(line string)
 }
 
@@ -27,6 +37,53 @@ func (c Config) progress(format string, args ...any) {
 	if c.Progress != nil {
 		c.Progress(fmt.Sprintf(format, args...))
 	}
+}
+
+// serialized returns a copy of the config whose Progress sink is safe to
+// call from concurrent workload sets.
+func (c Config) serialized() Config {
+	if c.Progress == nil {
+		return c
+	}
+	var mu sync.Mutex
+	inner := c.Progress
+	c.Progress = func(line string) {
+		mu.Lock()
+		defer mu.Unlock()
+		inner(line)
+	}
+	return c
+}
+
+// fanOut runs fn(0..n-1) concurrently — one goroutine per independent
+// workload set, errgroup-style — and waits for all of them. On failure
+// the lowest-indexed error is returned (the one a sequential sweep would
+// have hit first) and goroutines that have not started real work yet
+// observe the cancellation and return early.
+func fanOut(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Supervisions is the paper's configuration order: stand-alone, MSCS,
@@ -55,50 +112,74 @@ func PaperTable1() map[string]map[string]int {
 }
 
 // RunTable1 measures the activated-function census with fault-free
-// calibration runs (no injection required).
+// calibration runs (no injection required). The twelve scans are
+// independent and run concurrently.
 func RunTable1(cfg Config) (*Table1Result, error) {
-	out := &Table1Result{Counts: make(map[string]map[string]int)}
-	for _, s := range Supervisions() {
-		for _, def := range workload.StandardSet(s) {
-			r := core.NewRunner(def, cfg.Opts)
-			_, res, err := r.ActivationScan()
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", def.Name, s, err)
-			}
-			if out.Counts[def.Name] == nil {
-				out.Counts[def.Name] = make(map[string]int)
-			}
-			out.Counts[def.Name][s.String()] = res.ActivatedFns
-			cfg.progress("table1 %s/%s: %d activated functions", def.Name, s, res.ActivatedFns)
+	cfg = cfg.serialized()
+	defs := standardPairs()
+	counts := make([]int, len(defs))
+	err := fanOut(len(defs), func(i int) error {
+		def := defs[i]
+		_, res, err := core.NewRunner(def, cfg.Opts).ActivationScan()
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", def.Name, def.Supervision, err)
 		}
+		counts[i] = res.ActivatedFns
+		cfg.progress("table1 %s/%s: %d activated functions", def.Name, def.Supervision, res.ActivatedFns)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{Counts: make(map[string]map[string]int)}
+	for i, def := range defs {
+		if out.Counts[def.Name] == nil {
+			out.Counts[def.Name] = make(map[string]int)
+		}
+		out.Counts[def.Name][def.Supervision.String()] = counts[i]
 	}
 	return out, nil
+}
+
+// standardPairs flattens the paper's workload×supervision grid in its
+// canonical order (supervision-major, matching the sequential sweeps).
+func standardPairs() []workload.Definition {
+	var defs []workload.Definition
+	for _, s := range Supervisions() {
+		defs = append(defs, workload.StandardSet(s)...)
+	}
+	return defs
 }
 
 // --- Figure 2 ----------------------------------------------------------------
 
 // RunFigure2 runs the full campaign: every workload under every
 // supervision mode (watchd at version 3, as the paper's Figure 2 uses the
-// improved watchd).
+// improved watchd). The twelve workload sets are independent campaigns
+// and run concurrently; Sets keeps the canonical supervision-major order.
 func RunFigure2(cfg Config) (*core.Experiment, error) {
+	cfg = cfg.serialized()
 	if cfg.Opts.WatchdVersion == 0 {
 		cfg.Opts.WatchdVersion = watchd.V3
 	}
-	exp := &core.Experiment{}
-	for _, s := range Supervisions() {
-		for _, def := range workload.StandardSet(s) {
-			set, err := runSet(def, cfg)
-			if err != nil {
-				return nil, err
-			}
-			exp.Sets = append(exp.Sets, set)
+	defs := standardPairs()
+	sets := make([]*core.SetResult, len(defs))
+	err := fanOut(len(defs), func(i int) error {
+		set, err := runSet(defs[i], cfg)
+		if err != nil {
+			return err
 		}
+		sets[i] = set
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return exp, nil
+	return &core.Experiment{Sets: sets}, nil
 }
 
 func runSet(def workload.Definition, cfg Config) (*core.SetResult, error) {
-	c := &core.Campaign{Runner: core.NewRunner(def, cfg.Opts)}
+	c := &core.Campaign{Runner: core.NewRunner(def, cfg.Opts), Parallelism: cfg.Parallelism}
 	set, err := c.Execute()
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", def.Name, def.Supervision, err)
@@ -276,22 +357,41 @@ type Figure5Result struct {
 // Figure5Workloads lists the workloads the paper's Figure 5 covers.
 func Figure5Workloads() []string { return []string{"Apache1", "IIS", "SQL"} }
 
-// RunFigure5 sweeps the three watchd versions.
+// RunFigure5 sweeps the three watchd versions. The version×workload sets
+// are independent campaigns and run concurrently; each version's set list
+// keeps the canonical workload order.
 func RunFigure5(cfg Config) (*Figure5Result, error) {
-	out := &Figure5Result{Sets: make(map[int][]*core.SetResult)}
+	cfg = cfg.serialized()
+	type cell struct {
+		version watchd.Version
+		def     workload.Definition
+	}
+	var cells []cell
 	for _, v := range []watchd.Version{watchd.V1, watchd.V2, watchd.V3} {
-		opts := cfg.Opts
-		opts.WatchdVersion = v
 		for _, def := range workload.StandardSet(workload.Watchd) {
 			if def.Name == "Apache2" {
 				continue
 			}
-			set, err := runSet(def, Config{Opts: opts, Progress: cfg.Progress})
-			if err != nil {
-				return nil, fmt.Errorf("%v: %w", v, err)
-			}
-			out.Sets[int(v)] = append(out.Sets[int(v)], set)
+			cells = append(cells, cell{version: v, def: def})
 		}
+	}
+	sets := make([]*core.SetResult, len(cells))
+	err := fanOut(len(cells), func(i int) error {
+		opts := cfg.Opts
+		opts.WatchdVersion = cells[i].version
+		set, err := runSet(cells[i].def, Config{Opts: opts, Parallelism: cfg.Parallelism, Progress: cfg.Progress})
+		if err != nil {
+			return fmt.Errorf("%v: %w", cells[i].version, err)
+		}
+		sets[i] = set
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure5Result{Sets: make(map[int][]*core.SetResult)}
+	for i, c := range cells {
+		out.Sets[int(c.version)] = append(out.Sets[int(c.version)], sets[i])
 	}
 	return out, nil
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"sync"
 	"testing"
 
 	"ntdts/internal/avail"
@@ -10,37 +9,25 @@ import (
 	"ntdts/internal/stats"
 )
 
-// The full campaigns are shared across tests (they are deterministic).
-var (
-	fig2Once sync.Once
-	fig2Exp  *core.Experiment
-	fig2Err  error
-
-	fig5Once sync.Once
-	fig5Res  *Figure5Result
-	fig5Err  error
-)
+// The full campaigns are shared across tests via the process-wide
+// memoization (they are deterministic).
 
 func figure2(t *testing.T) *core.Experiment {
 	t.Helper()
-	fig2Once.Do(func() {
-		fig2Exp, fig2Err = RunFigure2(Config{})
-	})
-	if fig2Err != nil {
-		t.Fatalf("figure 2 campaign: %v", fig2Err)
+	exp, err := Cached(Config{}).Figure2()
+	if err != nil {
+		t.Fatalf("figure 2 campaign: %v", err)
 	}
-	return fig2Exp
+	return exp
 }
 
 func figure5(t *testing.T) *Figure5Result {
 	t.Helper()
-	fig5Once.Do(func() {
-		fig5Res, fig5Err = RunFigure5(Config{})
-	})
-	if fig5Err != nil {
-		t.Fatalf("figure 5 campaign: %v", fig5Err)
+	res, err := Cached(Config{}).Figure5()
+	if err != nil {
+		t.Fatalf("figure 5 campaign: %v", err)
 	}
-	return fig5Res
+	return res
 }
 
 func failPct(t *testing.T, exp *core.Experiment, wl, sup string) float64 {

@@ -137,6 +137,19 @@ func (k *Kernel) Panics() []string {
 // Process returns the process with the given PID, or nil if it never existed.
 func (k *Kernel) Process(pid PID) *Process { return k.procs[pid] }
 
+// Processes returns every process the kernel has ever created — live or
+// terminated — in PID order. The process table never forgets a process,
+// so this is the complete spawn history of the run.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for pid := PID(1); pid <= k.nextPID; pid++ {
+		if p := k.procs[pid]; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Spawn creates a process running the named image and schedules it. The
 // parent may be 0 for top-level processes. Spawn may be called from outside
 // the simulation (harness) or from within a running process (CreateProcess).

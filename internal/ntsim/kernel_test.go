@@ -141,6 +141,34 @@ func TestAccessViolationKillsProcessOnly(t *testing.T) {
 	checkNoPanics(t, k)
 }
 
+// TestProcessesListsSpawnHistory asserts the process-table snapshot the
+// crash detector walks: every process ever spawned, live or terminated,
+// in PID order.
+func TestProcessesListsSpawnHistory(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("a.exe", func(p *Process) uint32 { return 0 })
+	k.RegisterImage("b.exe", func(p *Process) uint32 {
+		p.SleepFor(time.Hour)
+		return 0
+	})
+	if len(k.Processes()) != 0 {
+		t.Fatal("fresh kernel reports processes")
+	}
+	a := mustSpawn(t, k, "a.exe", "")
+	b := mustSpawn(t, k, "b.exe", "")
+	k.RunFor(time.Second) // a exits; b stays blocked
+	procs := k.Processes()
+	if len(procs) != 2 {
+		t.Fatalf("%d processes, want 2 (terminated processes must be remembered)", len(procs))
+	}
+	if procs[0] != a || procs[1] != b {
+		t.Fatalf("processes out of PID order: %v, %v", procs[0].ID, procs[1].ID)
+	}
+	if !procs[0].Terminated() || procs[1].Terminated() {
+		t.Fatalf("states: a terminated=%v, b terminated=%v", procs[0].Terminated(), procs[1].Terminated())
+	}
+}
+
 func TestTerminateBlockedProcess(t *testing.T) {
 	k := NewKernel()
 	k.RegisterImage("waiter.exe", func(p *Process) uint32 {

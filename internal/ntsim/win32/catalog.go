@@ -1,5 +1,7 @@
 package win32
 
+import "sync"
+
 // The KERNEL32 export catalog drives fault-list generation exactly the way
 // the paper's tool walked the real DLL's export table: 681 exported
 // functions, of which 130 take no parameters and are therefore not
@@ -294,14 +296,23 @@ var catalogGroups = []catalogGroup{
 
 // Catalog returns the full export catalog in deterministic order.
 func Catalog() []CatalogEntry {
-	var out []CatalogEntry
-	for _, g := range catalogGroups {
-		for _, name := range g.names {
-			out = append(out, CatalogEntry{Name: name, Params: g.params})
+	catalogOnce.Do(func() {
+		for _, g := range catalogGroups {
+			for _, name := range g.names {
+				catalogFlat = append(catalogFlat, CatalogEntry{Name: name, Params: g.params})
+			}
 		}
-	}
-	return out
+	})
+	return catalogFlat
 }
+
+// The flattened export table is immutable, so the walk runs once per
+// process and every caller — campaign builders run concurrently — shares
+// the same slice. Callers must treat it as read-only.
+var (
+	catalogOnce sync.Once
+	catalogFlat []CatalogEntry
+)
 
 // CatalogCounts reports (total exports, zero-parameter exports, injectable
 // exports).

@@ -7,12 +7,16 @@
 //	dts -config dts.cfg [-out results.json]
 //	dts -config dts.cfg -fault "ReadFile 1 1 flip" [-trace]
 //	dts -experiment table1|figure2|figure5 [-out results.json]
+//	dts -conformance [-golden path] [-update] [-sample n] [-seed n]
 //
 // With -config, dts runs a single workload set as configured (workload,
 // middleware, fault list). With -fault, dts runs exactly one fault —
 // optionally with a kernel trace — which is the §4.3 debugging workflow:
 // replay a failure-producing fault and watch what the system did. With
 // -experiment, dts runs one of the paper's evaluation campaigns wholesale.
+// With -conformance, dts sweeps the whole KERNEL32 catalog through the
+// fault set and prints (or checks against a golden file) the per-call
+// failure-mode matrix — the API-level companion to the workload campaigns.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"ntdts/internal/apiharness"
 	"ntdts/internal/config"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
@@ -46,6 +51,11 @@ func run(args []string, out io.Writer) error {
 	trace := fs.Bool("trace", false, "print the kernel trace (with -fault)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	parallel := fs.Int("parallel", 0, "concurrent fault-injection runs per campaign (0 = all CPUs, 1 = sequential; results are identical either way)")
+	conformance := fs.Bool("conformance", false, "run the catalog-wide API conformance sweep")
+	golden := fs.String("golden", "", "golden failure-mode matrix to check the sweep against (with -conformance)")
+	update := fs.Bool("update", false, "rewrite the -golden file from live behaviour instead of checking it")
+	sample := fs.Int("sample", 0, "run only a seeded sample of n live cells (with -conformance; 0 = full sweep)")
+	seed := fs.Int64("seed", 1, "sampling seed (with -conformance -sample; never changes any cell's outcome)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +71,8 @@ func run(args []string, out io.Writer) error {
 	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel}
 
 	switch {
+	case *conformance:
+		return runConformance(*golden, *update, *sample, *seed, *parallel, progress, out)
 	case *experiment != "":
 		return runExperiment(*experiment, *outPath, ecfg, out)
 	case *cfgPath != "" && *faultSpec != "":
@@ -114,6 +126,45 @@ func runSingleFault(cfgPath, faultSpec string, trace bool, out io.Writer) error 
 		fmt.Fprintf(out, "response:  %.2fs (reply received: %v)\n", res.ResponseSec, res.GotResponse)
 	} else {
 		fmt.Fprintf(out, "response:  none (client never finished)\n")
+	}
+	return nil
+}
+
+// runConformance sweeps the catalog through the fault set. Without -golden
+// the matrix goes to stdout (redirect it to seed a golden file); with
+// -golden it is checked — or, with -update, rewritten — so CI can fail on
+// any drift between pinned and live failure modes.
+func runConformance(golden string, update bool, sample int, seed int64, parallel int, progress func(string), out io.Writer) error {
+	res, err := apiharness.Sweep(apiharness.Options{
+		Seed:        seed,
+		Sample:      sample,
+		Parallelism: parallel,
+		Progress: func(done, total int) {
+			if done%200 == 0 || done == total {
+				progress(fmt.Sprintf("%d/%d cells swept", done, total))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	counts := res.ClassCounts()
+	progress(fmt.Sprintf("%d injectable catalog entries (%d live), %d cells: %d error, %d crash, %d hang, %d silent",
+		res.InjectableEntries, res.LiveFunctions, len(res.Cells),
+		counts["error"], counts["crash"], counts["hang"], counts["silent"]))
+	switch {
+	case golden == "":
+		fmt.Fprint(out, res.Matrix())
+	case update:
+		if err := res.WriteGolden(golden); err != nil {
+			return err
+		}
+		progress("wrote " + golden)
+	default:
+		if err := res.CompareGolden(golden); err != nil {
+			return err
+		}
+		progress(golden + " matches live behaviour")
 	}
 	return nil
 }

@@ -172,3 +172,48 @@ func TestRunSingleFaultBadSpec(t *testing.T) {
 		t.Fatal("bad fault spec accepted")
 	}
 }
+
+// TestRunConformanceSampled checks the -conformance mode end to end on a
+// seeded sample: matrix lines on stdout, each matching the golden grammar.
+func TestRunConformanceSampled(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-conformance", "-sample", "25", "-seed", "3", "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 25 {
+		t.Fatalf("%d matrix lines, want 25:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, " -> ") || !strings.Contains(line, " p") {
+			t.Fatalf("malformed matrix line %q", line)
+		}
+	}
+}
+
+// TestRunConformanceGoldenRoundTrip: -update writes a golden file a
+// subsequent check run accepts, and a corrupted golden fails the check.
+func TestRunConformanceGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "matrix.golden")
+	var out bytes.Buffer
+	if err := run([]string{"-conformance", "-sample", "15", "-golden", golden, "-update", "-q"}, &out); err == nil {
+		t.Fatal("-update accepted a sampled sweep; the golden file must stay complete")
+	}
+	if err := run([]string{"-conformance", "-golden", golden, "-update", "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-conformance", "-golden", golden, "-sample", "20", "-q"}, &out); err != nil {
+		t.Fatalf("fresh golden rejected: %v", err)
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(golden, bytes.Replace(data, []byte(" -> "), []byte(" -> not-"), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-conformance", "-golden", golden, "-sample", "0", "-q"}, &out); err == nil {
+		t.Fatal("corrupted golden accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package apiharness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// GoldenPath is the repo-relative location of the pinned failure-mode
+// matrix, one line per (function × parameter × fault) cell. Regenerate it
+// with `go test ./internal/apiharness -run TestGoldenMatrixFull -update`
+// after an intentional behaviour change.
+const GoldenPath = "testdata/failure_matrix.golden"
+
+// WriteGolden persists a full sweep's matrix at path. Sampled sweeps are
+// rejected: the golden file is the complete contract, never a subset.
+func (s *SweepResult) WriteGolden(path string) error {
+	if s.Sampled {
+		return fmt.Errorf("apiharness: refusing to write golden matrix from a sampled sweep")
+	}
+	return os.WriteFile(path, []byte(s.Matrix()), 0o644)
+}
+
+// CompareGolden diffs the sweep against the pinned matrix at path. A full
+// sweep must match byte-for-byte. A sampled sweep checks membership: every
+// executed cell's line must appear verbatim in the golden file, keyed by
+// the cell's (function, param, fault) identity — so a sampled short-mode
+// run still catches any outcome drift in the cells it visited.
+func (s *SweepResult) CompareGolden(path string) error {
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("apiharness: golden matrix unreadable (regenerate with -update): %w", err)
+	}
+	if !s.Sampled {
+		if string(golden) != s.Matrix() {
+			return fmt.Errorf("apiharness: full sweep diverges from %s (diff with AssertSameTranscript for the first line, or regenerate with -update)", path)
+		}
+		return nil
+	}
+	pinned := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSuffix(string(golden), "\n"), "\n") {
+		if i := strings.Index(line, " -> "); i >= 0 {
+			pinned[line[:i]] = line
+		}
+	}
+	for _, c := range s.Cells {
+		want, ok := pinned[c.Key()]
+		if !ok {
+			return fmt.Errorf("apiharness: cell %q missing from %s (stale golden; regenerate with -update)", c.Key(), path)
+		}
+		if got := c.Line(); got != want {
+			return fmt.Errorf("apiharness: cell outcome drifted from %s:\n got:  %s\n want: %s", path, got, want)
+		}
+	}
+	return nil
+}

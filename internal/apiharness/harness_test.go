@@ -1,0 +1,266 @@
+package apiharness
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"ntdts/internal/determinism"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+)
+
+// update regenerates testdata/failure_matrix.golden from live behaviour:
+//
+//	go test ./internal/apiharness -run TestGoldenMatrixFull -update
+var update = flag.Bool("update", false, "rewrite the golden failure-mode matrix from live behaviour")
+
+// fullSweep memoizes one full-matrix sweep shared by every test that needs
+// it; the sweep itself is the expensive part, the assertions are cheap.
+var fullSweep = sync.OnceValues(func() (*SweepResult, error) {
+	return Sweep(Options{Seed: 1})
+})
+
+func mustFullSweep(t *testing.T) *SweepResult {
+	t.Helper()
+	res, err := fullSweep()
+	if err != nil {
+		t.Fatalf("full sweep: %v", err)
+	}
+	return res
+}
+
+// TestGoldenMatrixFull pins the complete failure-mode matrix against the
+// golden file — the conformance contract of the whole win32 surface.
+func TestGoldenMatrixFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep skipped in -short mode (sampled test still runs)")
+	}
+	res := mustFullSweep(t)
+	if *update {
+		if err := res.WriteGolden(GoldenPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d cells, classes %v", GoldenPath, len(res.Cells), res.ClassCounts())
+		return
+	}
+	if err := res.CompareGolden(GoldenPath); err != nil {
+		// Re-diff through the transcript helper so the failure lands as
+		// the FIRST diverging cell plus its minimal repro, not a blob.
+		golden := readGolden(t)
+		determinism.AssertSameTranscript(t, "failure-mode matrix", res.Matrix(), golden,
+			func(i int, got, want string) string {
+				key := got
+				if j := strings.Index(got, " -> "); j >= 0 {
+					key = got[:j]
+				}
+				return fmt.Sprintf("go test ./internal/apiharness -run TestGoldenMatrixFull (cell %s; regenerate with -update if intended)", key)
+			})
+		t.Fatal(err) // length/metadata divergence the line diff did not catch
+	}
+}
+
+func readGolden(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(GoldenPath)
+	if err != nil {
+		t.Fatalf("golden matrix unreadable (regenerate with -update): %v", err)
+	}
+	return string(data)
+}
+
+// TestGoldenMatrixSampled is the -short mode conformance check: a seeded
+// sample of live cells, each compared against its pinned golden line.
+func TestGoldenMatrixSampled(t *testing.T) {
+	if *update {
+		t.Skip("sampled sweep never writes the golden matrix")
+	}
+	res, err := Sweep(Options{Seed: 7, Sample: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sampled || len(res.Cells) != 40 {
+		t.Fatalf("sampled sweep ran %d cells (sampled=%v), want 40", len(res.Cells), res.Sampled)
+	}
+	if err := res.CompareGolden(GoldenPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism is the acceptance bar from the
+// campaign engine, applied to the harness: worker count must not leak into
+// the matrix.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallelism comparison needs two full sweeps")
+	}
+	seq, err := Sweep(Options{Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(Options{Seed: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	determinism.AssertSameTranscript(t, "failure-mode matrix", par.Matrix(), seq.Matrix(),
+		func(i int, got, want string) string {
+			return fmt.Sprintf("dts -conformance -parallel 8 (line %d)", i+1)
+		})
+	if par.Baseline != seq.Baseline {
+		t.Fatal("baseline transcript depends on parallelism")
+	}
+}
+
+// TestBaselineSeedIndependent: the seed picks the sample, never the
+// behaviour — two sweeps with different seeds must record byte-identical
+// fault-free baseline transcripts.
+func TestBaselineSeedIndependent(t *testing.T) {
+	a, err := Sweep(Options{Seed: 1, Sample: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(Options{Seed: 99, Sample: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	determinism.AssertSameTranscript(t, "baseline dispatch transcript", b.Baseline, a.Baseline,
+		func(i int, got, want string) string {
+			return fmt.Sprintf("apiharness.Sweep(Options{Seed: 99}) baseline line %d", i+1)
+		})
+	if a.Baseline == "" || strings.Count(a.Baseline, "\n") < 50 {
+		t.Fatalf("baseline transcript implausibly short: %d lines", strings.Count(a.Baseline, "\n"))
+	}
+}
+
+// TestSampledSeedsDiffer guards against the sampler ignoring its seed:
+// different seeds should (with these sizes, must) visit different cells.
+func TestSampledSeedsDiffer(t *testing.T) {
+	a, err := Sweep(Options{Seed: 1, Sample: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(Options{Seed: 2, Sample: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Cells {
+		if a.Cells[i].Key() != b.Cells[i].Key() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 selected identical samples; sampler ignores its seed")
+	}
+}
+
+// TestSweepCoverage checks the acceptance bar: the full matrix holds every
+// injectable catalog entry, and every function the probe dispatches live
+// has at least one executed (non-uncalled) cell.
+func TestSweepCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full sweep")
+	}
+	res := mustFullSweep(t)
+	_, zeroParam, injectable := win32.CatalogCounts()
+	if res.InjectableEntries != injectable {
+		t.Fatalf("sweep saw %d injectable entries, catalog census says %d", res.InjectableEntries, injectable)
+	}
+	names := make(map[string]bool)
+	executed := make(map[string]bool)
+	for _, c := range res.Cells {
+		names[c.Function] = true
+		if c.Class != ClassUncalled {
+			executed[c.Function] = true
+		}
+	}
+	if len(names) != injectable {
+		t.Fatalf("matrix names %d distinct functions, want all %d injectable entries", len(names), injectable)
+	}
+	if len(executed) != res.LiveFunctions {
+		t.Fatalf("%d functions executed, but the baseline dispatches %d live injectable functions", len(executed), res.LiveFunctions)
+	}
+	// The probe must exercise a substantial share of the surface for the
+	// matrix to mean anything; the dispatch trace currently covers ~100
+	// catalog functions and may only grow (see win32.probeBody).
+	if res.LiveFunctions < 80 {
+		t.Fatalf("only %d live functions — probe coverage regressed", res.LiveFunctions)
+	}
+	// Every live cell must have run: classes partition the matrix.
+	counts := res.ClassCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(res.Cells) {
+		t.Fatalf("class histogram %v covers %d of %d cells", counts, total, len(res.Cells))
+	}
+	if counts["crash"] == 0 || counts["error"] == 0 || counts["silent"] == 0 {
+		t.Fatalf("matrix lacks a paper failure class: %v", counts)
+	}
+	_ = zeroParam
+}
+
+// TestOracleViolationAborts proves oracle wiring: a failing per-cell
+// invariant aborts the sweep and names both the oracle and the cell.
+func TestOracleViolationAborts(t *testing.T) {
+	boom := errors.New("books do not balance")
+	oracles := append(DefaultOracles(), Oracle{
+		Name: "always-fail",
+		Check: func(rc *RunContext) error {
+			if rc.Cell.Function == "" {
+				return nil // spare the baseline run; target the cell path
+			}
+			return boom
+		},
+	})
+	_, err := Sweep(Options{Seed: 1, Sample: 3, Oracles: oracles})
+	if err == nil {
+		t.Fatal("sweep ignored a violated oracle")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the oracle's", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `oracle "always-fail" violated`) || !strings.Contains(msg, " p") {
+		t.Fatalf("error %q does not name the oracle and cell", msg)
+	}
+}
+
+// TestLastErrorConformance runs the sweep-level error-discipline oracle on
+// its own (it also runs inside every Sweep).
+func TestLastErrorConformance(t *testing.T) {
+	if err := CheckLastErrorConformance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCellResultLineFormats pins the golden line grammar.
+func TestCellResultLineFormats(t *testing.T) {
+	cases := []struct {
+		cell CellResult
+		want string
+	}{
+		{CellResult{Function: "ReadFile", Param: 1, Fault: inject.FlipBits, Class: ClassCrash, Exit: ntsim.ExitAccessViolation},
+			"ReadFile p1 flip -> crash 0xC0000005"},
+		{CellResult{Function: "Sleep", Param: 0, Fault: inject.OneBits, Class: ClassHang, Exit: ntsim.ExitTerminated},
+			"Sleep p0 ones -> hang"},
+		{CellResult{Function: "CloseHandle", Param: 0, Fault: inject.ZeroBits, Class: ClassError, Errno: ntsim.ErrInvalidHandle},
+			"CloseHandle p0 zero -> error ERROR_INVALID_HANDLE"},
+		{CellResult{Function: "WriteFile", Param: 2, Fault: inject.ZeroBits, Class: ClassSilent},
+			"WriteFile p2 zero -> silent"},
+		{CellResult{Function: "HeapLock", Param: 0, Fault: inject.FlipBits, Class: ClassUncalled},
+			"HeapLock p0 flip -> uncalled"},
+	}
+	for _, c := range cases {
+		if got := c.cell.Line(); got != c.want {
+			t.Errorf("Line() = %q, want %q", got, c.want)
+		}
+	}
+}

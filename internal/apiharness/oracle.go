@@ -1,0 +1,123 @@
+package apiharness
+
+import (
+	"fmt"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+)
+
+// RunContext hands one finished cell run to an oracle: the drained kernel,
+// the probe process, and the cell's classification.
+type RunContext struct {
+	Kernel *ntsim.Kernel
+	Probe  *ntsim.Process
+	Cell   CellResult
+}
+
+// Oracle is a cross-cutting invariant checked after every cell run,
+// whatever the injected fault did. A violation aborts the sweep: it means
+// the simulation itself misbehaved, not the application under test.
+type Oracle struct {
+	Name  string
+	Check func(*RunContext) error
+}
+
+// DefaultOracles returns the standard invariant set:
+//
+//   - no-panic: no panic escaped the syscall dispatch boundary into the
+//     scheduler, no matter how corrupted the parameters were;
+//   - drained: the kernel returned to zero live processes and zero open
+//     handles (terminated processes closed their whole handle tables);
+//   - probe-handles: the probe process itself holds no open handles, even
+//     when the fault killed it mid-run.
+//
+// The goroutine-count and GetLastError invariants are sweep-level (see
+// Sweep and CheckLastErrorConformance) — the former because worker
+// goroutines overlap during a parallel sweep, the latter because it needs
+// a dedicated program rather than a finished run.
+func DefaultOracles() []Oracle {
+	return []Oracle{
+		{Name: "no-panic", Check: func(rc *RunContext) error {
+			if panics := rc.Kernel.Panics(); len(panics) > 0 {
+				return fmt.Errorf("%d panic(s) escaped dispatch, first: %s", len(panics), panics[0])
+			}
+			return nil
+		}},
+		{Name: "drained", Check: func(rc *RunContext) error {
+			return rc.Kernel.CheckDrained()
+		}},
+		{Name: "probe-handles", Check: func(rc *RunContext) error {
+			if n := rc.Probe.HandleCount(); n != 0 {
+				return fmt.Errorf("probe process leaked %d handle(s)", n)
+			}
+			return nil
+		}},
+	}
+}
+
+// CheckLastErrorConformance verifies the Win32 error-return discipline the
+// paper's detection methodology depends on: every failing call leaves a
+// nonzero GetLastError value. It runs a dedicated program that provokes
+// each documented failure mode — invalid handles, missing files, absent
+// named objects — and checks the last-error value after every failure
+// return. A zero last error after a failed call would make that failure
+// invisible to error-code-based oracles, so this runs once per sweep.
+func CheckLastErrorConformance() error {
+	const image = "conf.exe"
+	var failures []string
+	k := ntsim.NewKernel()
+	k.RegisterImage(image, func(p *ntsim.Process) uint32 {
+		a := win32.New(p)
+		check := func(call string, failed bool) {
+			if !failed {
+				failures = append(failures, call+": expected a failure return")
+				return
+			}
+			if a.GetLastError() == ntsim.ErrSuccess {
+				failures = append(failures, call+": failed with GetLastError()==ERROR_SUCCESS")
+			}
+		}
+		bad := win32.Handle(0xDEAD) // never allocated: handles are multiples of 4
+
+		var n uint32
+		check("ReadFile(bad handle)", !a.ReadFile(bad, make([]byte, 4), 4, &n))
+		check("WriteFile(bad handle)", !a.WriteFile(bad, []byte("x"), 1, &n))
+		check("GetFileSize(bad handle)", a.GetFileSize(bad, nil) == 0xFFFFFFFF)
+		check("CloseHandle(bad handle)", !a.CloseHandle(bad))
+		check("SetEvent(bad handle)", !a.SetEvent(bad))
+		check("ReleaseMutex(bad handle)", !a.ReleaseMutex(bad))
+		check("ConnectNamedPipe(bad handle)", !a.ConnectNamedPipe(bad))
+		check("GetExitCodeProcess(bad handle)", !a.GetExitCodeProcess(bad, &n))
+		check("TerminateProcess(bad handle)", !a.TerminateProcess(bad, 1))
+		check("WaitForSingleObject(bad handle)", a.WaitForSingleObject(bad, 0) == ntsim.WaitFailed)
+
+		check("CreateFileA(missing, OPEN_EXISTING)",
+			a.CreateFileA(`C:\no-such-file`, win32.GenericRead, 0, win32.OpenExisting, 0) == win32.InvalidHandle)
+		check("DeleteFileA(missing)", !a.DeleteFileA(`C:\no-such-file`))
+		check("GetFileAttributesA(missing)", a.GetFileAttributesA(`C:\no-such-file`) == 0xFFFFFFFF)
+		check("MoveFileA(missing)", !a.MoveFileA(`C:\no-such-file`, `C:\elsewhere`))
+		check("RemoveDirectoryA(missing)", !a.RemoveDirectoryA(`C:\no-such-dir`))
+		var fd win32.FindData
+		check("FindFirstFileA(no match)", a.FindFirstFileA(`C:\no-such-*`, &fd) == win32.InvalidHandle)
+		check("OpenEventA(absent)", a.OpenEventA(win32.GenericRead, false, "no-such-event") == 0)
+		return 0
+	})
+	p, err := k.Spawn(image, image, 0)
+	if err != nil {
+		return fmt.Errorf("last-error conformance: %w", err)
+	}
+	k.RunFor(win32.ProbeDeadline)
+	k.KillAll()
+	if panics := k.Panics(); len(panics) > 0 {
+		return fmt.Errorf("last-error conformance program panicked: %s", panics[0])
+	}
+	if code := p.ExitCode(); code != 0 {
+		return fmt.Errorf("last-error conformance program exited 0x%X", code)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("oracle %q violated: %d call(s) broke the error-return discipline, first: %s",
+			"last-error", len(failures), failures[0])
+	}
+	return nil
+}

@@ -22,8 +22,8 @@ func TestClassify(t *testing.T) {
 		{false, true, 2, Failure}, // restarts don't save a failed client
 	}
 	for _, c := range cases {
-		if got := classify(c.succeeded, c.retried, c.restarts); got != c.want {
-			t.Errorf("classify(%v,%v,%d) = %v, want %v", c.succeeded, c.retried, c.restarts, got, c.want)
+		if got := Classify(c.succeeded, c.retried, c.restarts); got != c.want {
+			t.Errorf("Classify(%v,%v,%d) = %v, want %v", c.succeeded, c.retried, c.restarts, got, c.want)
 		}
 	}
 }

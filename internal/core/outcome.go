@@ -50,9 +50,16 @@ func AllOutcomes() []Outcome {
 	return []Outcome{NormalSuccess, RestartSuccess, RestartRetrySuccess, RetrySuccess, Failure}
 }
 
-// classify derives the outcome from client success, retransmissions and
-// middleware restart evidence.
-func classify(allSucceeded, anyRetried bool, restarts int) Outcome {
+// Classify derives the §3 outcome from the three observables the data
+// collector gathers: whether every client request eventually got a correct
+// reply, whether any request needed a retransmission, and how many
+// middleware-initiated restarts the watchd log recorded. Exported because
+// the conformance harness and reporting layers classify synthetic and
+// replayed records through the same single decision procedure. Client
+// failure dominates: restarts and retries never upgrade a run where some
+// request went unanswered (the ambiguous restart-then-timeout case is a
+// Failure, not a RestartSuccess).
+func Classify(allSucceeded, anyRetried bool, restarts int) Outcome {
 	switch {
 	case !allSucceeded:
 		return Failure

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"ntdts/internal/workload"
+)
+
+// TestClassifyFromRecords drives the §3 classifier end-to-end from
+// synthetic client records — the same route the data collector takes
+// (Report observables in, Outcome out) — pinning one case per outcome plus
+// the ambiguous ones the paper's methodology has to resolve.
+func TestClassifyFromRecords(t *testing.T) {
+	ok := workload.RequestRecord{Name: "GET /", Attempts: 1, Success: true, GotResponse: true}
+	retried := workload.RequestRecord{Name: "GET /", Attempts: 2, Retried: true, Success: true, GotResponse: true}
+	timedOut := workload.RequestRecord{Name: "GET /", Attempts: 3, Retried: true}
+
+	cases := []struct {
+		name     string
+		report   workload.Report
+		restarts int
+		want     Outcome
+	}{
+		{"all correct, quiet middleware",
+			workload.Report{Done: true, Requests: []workload.RequestRecord{ok, ok}}, 0, NormalSuccess},
+		{"restart hidden from the client",
+			workload.Report{Done: true, Requests: []workload.RequestRecord{ok, ok}}, 1, RestartSuccess},
+		{"restart plus client retransmission",
+			workload.Report{Done: true, Requests: []workload.RequestRecord{ok, retried}}, 1, RestartRetrySuccess},
+		{"retransmission alone recovers",
+			workload.Report{Done: true, Requests: []workload.RequestRecord{retried, ok}}, 0, RetrySuccess},
+		{"request exhausts its attempts",
+			workload.Report{Done: true, Requests: []workload.RequestRecord{ok, timedOut}}, 0, Failure},
+		// The ambiguous case: watchd restarted the server, but the client
+		// still timed out before getting a correct reply. The restart
+		// evidence must NOT promote the run — client failure dominates.
+		{"restart then client timeout stays a failure",
+			workload.Report{Done: true, Requests: []workload.RequestRecord{retried, timedOut}}, 2, Failure},
+		// The client itself never finished (hung or killed mid-run): no
+		// request list can prove success.
+		{"client never completed",
+			workload.Report{Started: true, Done: false, Requests: []workload.RequestRecord{ok}}, 1, Failure},
+		{"empty request log is a failure, not a vacuous success",
+			workload.Report{Done: true}, 0, Failure},
+	}
+	for _, c := range cases {
+		got := Classify(c.report.AllSucceeded(), c.report.AnyRetried(), c.restarts)
+		if got != c.want {
+			t.Errorf("%s: classified %v, want %v", c.name, got, c.want)
+		}
+	}
+}

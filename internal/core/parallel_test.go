@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
+	"ntdts/internal/determinism"
 	"ntdts/internal/inject"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/workload"
@@ -34,12 +36,10 @@ func TestCampaignParallelDeterministic(t *testing.T) {
 	if len(seq.Runs) == 0 {
 		t.Fatal("empty campaign")
 	}
+	determinism.AssertEqualSlices(t, "parallel campaign runs", par.Runs, seq.Runs, func(i int) string {
+		return fmt.Sprintf("dts -config <Apache1/none> -fault %q -parallel 8", seq.Runs[i].Fault.String())
+	})
 	if !reflect.DeepEqual(seq, par) {
-		for i := range seq.Runs {
-			if !reflect.DeepEqual(seq.Runs[i], par.Runs[i]) {
-				t.Fatalf("run %d diverges:\n seq: %+v\n par: %+v", i, seq.Runs[i], par.Runs[i])
-			}
-		}
 		t.Fatalf("set results diverge outside Runs:\n seq: %+v\n par: %+v", seq, par)
 	}
 }
@@ -119,9 +119,9 @@ func TestRunSpecsParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(seq, par) {
-		t.Fatalf("RunSpecs diverges:\n seq: %+v\n par: %+v", seq, par)
-	}
+	determinism.AssertEqualSlices(t, "RunSpecs results", par, seq, func(i int) string {
+		return fmt.Sprintf("dts -config <IIS/none> -fault %q -parallel 4", specs[i].String())
+	})
 	if len(seq) != len(specs) {
 		t.Fatalf("%d results for %d specs", len(seq), len(specs))
 	}

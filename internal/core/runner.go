@@ -184,7 +184,7 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	if report.Done {
 		res.ResponseSec = report.End.Sub(report.Start).Seconds()
 	}
-	res.Outcome = classify(report.AllSucceeded(), report.AnyRetried(), res.Restarts)
+	res.Outcome = Classify(report.AllSucceeded(), report.AnyRetried(), res.Restarts)
 	res.ServerCrash = anyTargetCrash(k, def)
 
 	// Workload termination.

@@ -1,0 +1,70 @@
+// Package determinism provides assertion helpers for the repo's central
+// guarantee: the same inputs yield byte-identical results across runs,
+// seeds, and worker counts. The helpers fail with the FIRST divergence and
+// a caller-supplied minimal reproduction line — a fault spec, a seed, a
+// CLI invocation — instead of dumping whole transcripts, so a determinism
+// regression lands as one actionable repro.
+package determinism
+
+import (
+	"reflect"
+	"strings"
+)
+
+// TB is the subset of *testing.T the helpers need; declared locally so
+// non-test tooling can also drive the checks.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// AssertEqualSlices compares two runs element-wise and fails with the first
+// diverging index. describe(i) renders the minimal reproduction for element
+// i (e.g. the fault spec and seed that replay it); it may be nil when the
+// elements' own formatting is repro enough.
+func AssertEqualSlices[E any](t TB, label string, got, want []E, describe func(i int) string) {
+	t.Helper()
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			if describe != nil {
+				t.Fatalf("%s diverges at element %d — repro: %s\n got:  %+v\n want: %+v",
+					label, i, describe(i), got[i], want[i])
+			}
+			t.Fatalf("%s diverges at element %d:\n got:  %+v\n want: %+v",
+				label, i, got[i], want[i])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s diverges in length: got %d elements, want %d", label, len(got), len(want))
+	}
+}
+
+// AssertSameTranscript compares two line-oriented transcripts and fails
+// with the first diverging line. repro(i, got, want) renders the minimal
+// reproduction for line i; it may be nil.
+func AssertSameTranscript(t TB, label, got, want string, repro func(i int, got, want string) string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(want, "\n")
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if gl[i] != wl[i] {
+			if repro != nil {
+				t.Fatalf("%s diverges at line %d — repro: %s\n got:  %q\n want: %q",
+					label, i+1, repro(i, gl[i], wl[i]), gl[i], wl[i])
+			}
+			t.Fatalf("%s diverges at line %d:\n got:  %q\n want: %q", label, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s diverges in length: got %d lines, want %d", label, len(gl), len(wl))
+}

@@ -1,0 +1,70 @@
+package determinism
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeTB records the first Fatalf without stopping the test.
+type fakeTB struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	if !f.failed {
+		f.failed = true
+		f.msg = fmt.Sprintf(format, args...)
+	}
+}
+
+func TestAssertEqualSlicesPasses(t *testing.T) {
+	AssertEqualSlices(t, "identical", []int{1, 2, 3}, []int{1, 2, 3}, nil)
+}
+
+func TestAssertEqualSlicesReportsFirstDivergence(t *testing.T) {
+	ft := &fakeTB{}
+	AssertEqualSlices(ft, "runs", []int{1, 9, 9}, []int{1, 2, 3}, func(i int) string {
+		return "replay element"
+	})
+	if !ft.failed {
+		t.Fatal("divergence not reported")
+	}
+	if !strings.Contains(ft.msg, "repro") {
+		t.Fatalf("failure message lacks the repro hook: %q", ft.msg)
+	}
+}
+
+func TestAssertEqualSlicesReportsLength(t *testing.T) {
+	ft := &fakeTB{}
+	AssertEqualSlices(ft, "runs", []int{1, 2}, []int{1, 2, 3}, nil)
+	if !ft.failed || !strings.Contains(ft.msg, "length") {
+		t.Fatalf("length divergence not reported: %q", ft.msg)
+	}
+}
+
+func TestAssertSameTranscriptPasses(t *testing.T) {
+	AssertSameTranscript(t, "transcript", "a\nb\n", "a\nb\n", nil)
+}
+
+func TestAssertSameTranscriptReportsFirstLine(t *testing.T) {
+	ft := &fakeTB{}
+	repro := func(i int, got, want string) string { return "seed 7" }
+	AssertSameTranscript(ft, "matrix", "a\nX\nc\n", "a\nb\nc\n", repro)
+	if !ft.failed {
+		t.Fatal("divergence not reported")
+	}
+	if !strings.Contains(ft.msg, "repro") {
+		t.Fatalf("failure message lacks the repro: %q", ft.msg)
+	}
+}
+
+func TestAssertSameTranscriptReportsLength(t *testing.T) {
+	ft := &fakeTB{}
+	AssertSameTranscript(ft, "matrix", "a\nb", "a\nb\n", nil)
+	if !ft.failed || !strings.Contains(ft.msg, "length") {
+		t.Fatalf("length divergence not reported: %q", ft.msg)
+	}
+}

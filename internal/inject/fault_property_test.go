@@ -1,0 +1,126 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+)
+
+// Algebraic properties of the paper's three corruptions. The consequence
+// model leans on these: a re-flipped value round-trips, saturating faults
+// are stable under re-injection, and no corruption can manufacture a valid
+// NT handle out of a live one.
+
+// TestFlipBitsIsInvolution: flipping twice restores the 32-bit value (NT
+// parameters are 32-bit machine words, so the round trip is through the
+// low word).
+func TestFlipBitsIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := rng.Uint64()
+		if got := FlipBits.Apply(FlipBits.Apply(v)); got != uint64(uint32(v)) {
+			t.Fatalf("FlipBits(FlipBits(%#x)) = %#x, want %#x", v, got, uint64(uint32(v)))
+		}
+	}
+}
+
+// TestSaturatingFaultsIdempotent: zero and ones are fixed points of their
+// own corruption — injecting twice equals injecting once.
+func TestSaturatingFaultsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		v := rng.Uint64()
+		for _, ft := range []FaultType{ZeroBits, OneBits} {
+			once := ft.Apply(v)
+			if twice := ft.Apply(once); twice != once {
+				t.Fatalf("%s not idempotent: %#x -> %#x -> %#x", ft, v, once, twice)
+			}
+		}
+	}
+	if ZeroBits.Apply(0xDEADBEEF) != 0 {
+		t.Fatal("ZeroBits must clear every bit")
+	}
+	if OneBits.Apply(0) != 0xFFFFFFFF {
+		t.Fatal("OneBits must set all 32 bits")
+	}
+}
+
+// TestCorruptionStaysInMachineWord: every corrupted value fits in 32 bits,
+// whatever garbage sat in the high half.
+func TestCorruptionStaysInMachineWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := rng.Uint64()
+		for _, ft := range AllFaultTypes() {
+			if got := ft.Apply(v); got > 0xFFFFFFFF {
+				t.Fatalf("%s.Apply(%#x) = %#x exceeds the 32-bit parameter word", ft, v, got)
+			}
+		}
+	}
+}
+
+// TestCorruptedHandleNeverValid: NT handles are nonzero multiples of 4, so
+// no corruption of a valid handle can alias another valid handle — zero
+// gives the NULL pseudo-handle, ones gives INVALID_HANDLE_VALUE, and a
+// flip always sets the two tag bits.
+func TestCorruptedHandleNeverValid(t *testing.T) {
+	for h := uint64(4); h <= 4096; h += 4 {
+		if got := ZeroBits.Apply(h); got != 0 {
+			t.Fatalf("ZeroBits(%#x) = %#x, want the NULL handle", h, got)
+		}
+		if got := OneBits.Apply(h); got != uint64(ntsim.InvalidHandle) {
+			t.Fatalf("OneBits(%#x) = %#x, want INVALID_HANDLE_VALUE", h, got)
+		}
+		if got := FlipBits.Apply(h); got%4 != 3 {
+			t.Fatalf("FlipBits(%#x) = %#x, still congruent to a handle slot", h, got)
+		}
+	}
+}
+
+// TestHandleCorruptionNeverHitsForeignHandle is the live half of the
+// property: a process holding several open handles corrupts the handle it
+// passes to CloseHandle; the call must fail with ERROR_INVALID_HANDLE and
+// every live handle — including the nominal target — must survive. Silent
+// success here would mean a fault quietly destroyed a foreign object, which
+// would make the paper's "no visible effect" class unsound.
+func TestHandleCorruptionNeverHitsForeignHandle(t *testing.T) {
+	for _, ft := range AllFaultTypes() {
+		k := ntsim.NewKernel()
+		spec := &FaultSpec{Function: "CloseHandle", Param: 0, Invocation: 1, Type: ft}
+		injector := New(k, ByImage("h.exe"), spec)
+		k.SetInterceptor(injector)
+		k.RegisterImage("h.exe", func(p *ntsim.Process) uint32 {
+			a := win32.New(p)
+			var handles []ntsim.Handle
+			for i := 0; i < 5; i++ {
+				handles = append(handles, p.NewHandle(ntsim.NewEvent("", true, false)))
+			}
+			if a.CloseHandle(handles[2]) { // the injector corrupts this handle
+				t.Errorf("%s: CloseHandle on corrupted handle reported success", ft)
+			}
+			if e := a.GetLastError(); e != ntsim.ErrInvalidHandle {
+				t.Errorf("%s: corrupted close set %v, want ERROR_INVALID_HANDLE", ft, e)
+			}
+			if p.HandleCount() != 5 {
+				t.Errorf("%s: corrupted close destroyed a live handle (%d of 5 remain)", ft, p.HandleCount())
+			}
+			for _, h := range handles {
+				if p.Resolve(h) == nil {
+					t.Errorf("%s: handle %#x no longer resolves after corrupted close", ft, h)
+				}
+			}
+			return 0
+		})
+		if _, err := k.Spawn("h.exe", "h.exe", 0); err != nil {
+			t.Fatal(err)
+		}
+		k.RunFor(time.Second)
+		if !injector.Injected() {
+			t.Fatalf("%s: fault never fired", ft)
+		}
+		k.KillAll()
+	}
+}

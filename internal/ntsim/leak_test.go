@@ -1,7 +1,6 @@
 package ntsim
 
 import (
-	"runtime"
 	"testing"
 	"time"
 )
@@ -11,7 +10,7 @@ import (
 // unwound. A fault-injection campaign creates thousands of kernels, so a
 // single leaked goroutine per run would bloat quickly.
 func TestNoGoroutineLeakAcrossRuns(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	baseline := GoroutineBaseline()
 	for i := 0; i < 200; i++ {
 		k := NewKernel()
 		k.RegisterImage("worker.exe", func(p *Process) uint32 {
@@ -37,22 +36,17 @@ func TestNoGoroutineLeakAcrossRuns(t *testing.T) {
 		}
 		k.RunFor(time.Second)
 		k.KillAll()
-		if live := k.LiveProcesses(); live != 0 {
-			t.Fatalf("iteration %d: %d live processes after KillAll", i, live)
+		if err := k.CheckDrained(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
 		}
 	}
-	// Let any stragglers finish unwinding.
-	for i := 0; i < 100; i++ {
-		if runtime.NumGoroutine() <= baseline+5 {
-			return
-		}
-		runtime.Gosched()
-		time.Sleep(time.Millisecond)
+	if err := AwaitGoroutineBaseline(baseline, time.Second); err != nil {
+		t.Fatalf("across 200 kernels: %v", err)
 	}
-	t.Fatalf("goroutines grew from %d to %d across 200 kernels", baseline, runtime.NumGoroutine())
 }
 
-// TestHandleHygieneAfterExit asserts handle-table cleanup on process exit.
+// TestHandleHygieneAfterExit asserts handle-table cleanup on process exit,
+// both per process and through the kernel-wide snapshot.
 func TestHandleHygieneAfterExit(t *testing.T) {
 	k := NewKernel()
 	var proc *Process
@@ -64,11 +58,46 @@ func TestHandleHygieneAfterExit(t *testing.T) {
 		if p.HandleCount() != 10 {
 			t.Errorf("handle count %d, want 10", p.HandleCount())
 		}
+		if got := k.OpenHandles(); got != 10 {
+			t.Errorf("kernel-wide open handles %d, want 10", got)
+		}
 		return 0
 	})
 	mustSpawn(t, k, "h.exe", "")
 	runAll(t, k)
 	if proc.HandleCount() != 0 {
 		t.Fatalf("%d handles leaked after exit", proc.HandleCount())
+	}
+	if err := k.CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotTracksLiveState pins the snapshot's books against a kernel
+// with known live processes and handles, and CheckDrained's error paths.
+func TestSnapshotTracksLiveState(t *testing.T) {
+	k := NewKernel()
+	k.RegisterImage("s.exe", func(p *Process) uint32 {
+		p.NewHandle(NewEvent("", true, false))
+		p.NewHandle(NewEvent("", true, false))
+		p.SleepFor(time.Hour)
+		return 0
+	})
+	mustSpawn(t, k, "s.exe", "")
+	mustSpawn(t, k, "s.exe", "")
+	k.RunFor(time.Millisecond)
+	s := k.Snapshot()
+	if s.LiveProcesses != 2 || s.OpenHandles != 4 {
+		t.Fatalf("snapshot %+v, want 2 live processes with 4 open handles", s)
+	}
+	if err := k.CheckDrained(); err == nil {
+		t.Fatal("CheckDrained passed with live processes")
+	}
+	k.KillAll()
+	if err := k.CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+	if s := k.Snapshot(); s != (ResourceSnapshot{}) {
+		t.Fatalf("post-drain snapshot %+v, want zeroes", s)
 	}
 }

@@ -1,0 +1,81 @@
+package ntsim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Resource accounting for leak oracles. A fault-injection campaign or
+// conformance sweep creates thousands of kernels; a single leaked handle,
+// process, or goroutine per run would bloat quickly. The snapshot API turns
+// the ad-hoc checks the leak tests grew into reusable invariants: capture a
+// baseline, run a kernel to completion, and assert the books balance.
+
+// ResourceSnapshot captures one kernel's resource books at an instant.
+type ResourceSnapshot struct {
+	// LiveProcesses counts processes that started but have not terminated.
+	LiveProcesses int
+	// OpenHandles sums open handle-table entries over every process the
+	// kernel ever created (terminated processes must hold zero).
+	OpenHandles int
+}
+
+// Snapshot captures the kernel's current resource books.
+func (k *Kernel) Snapshot() ResourceSnapshot {
+	return ResourceSnapshot{
+		LiveProcesses: k.liveProcs,
+		OpenHandles:   k.OpenHandles(),
+	}
+}
+
+// OpenHandles sums the open handle count over every process in the kernel's
+// process table, live or terminated. Process finalization closes all
+// handles, so a fully drained kernel reports zero.
+func (k *Kernel) OpenHandles() int {
+	n := 0
+	for _, p := range k.procs {
+		n += len(p.handles)
+	}
+	return n
+}
+
+// CheckDrained verifies the kernel has returned to baseline: no live
+// processes and no open handles. Call it after KillAll.
+func (k *Kernel) CheckDrained() error {
+	s := k.Snapshot()
+	if s.LiveProcesses != 0 {
+		return fmt.Errorf("ntsim: %d live processes after drain", s.LiveProcesses)
+	}
+	if s.OpenHandles != 0 {
+		return fmt.Errorf("ntsim: %d open handles after drain", s.OpenHandles)
+	}
+	return nil
+}
+
+// GoroutineBaseline records the current goroutine count, for pairing with
+// AwaitGoroutineBaseline around a batch of kernel runs.
+func GoroutineBaseline() int { return runtime.NumGoroutine() }
+
+// goroutineSlack absorbs runtime-internal goroutines (GC workers, timer
+// goroutines) that come and go independently of the simulation.
+const goroutineSlack = 5
+
+// AwaitGoroutineBaseline waits for the process's goroutine count to return
+// to the captured baseline (plus a small runtime slack), yielding while
+// terminated process goroutines finish unwinding. It returns an error if
+// the count has not settled within patience.
+func AwaitGoroutineBaseline(baseline int, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+goroutineSlack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ntsim: goroutines grew from %d to %d and did not settle within %v",
+				baseline, runtime.NumGoroutine(), patience)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}

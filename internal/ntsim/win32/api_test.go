@@ -440,41 +440,21 @@ func TestTlsRoundtrip(t *testing.T) {
 	checkNoPanics(t, k)
 }
 
-func TestCatalogCensusMatchesPaper(t *testing.T) {
-	total, zero, injectable := CatalogCounts()
-	if total != 681 {
-		t.Errorf("catalog total %d, want 681", total)
-	}
-	if zero != 130 {
-		t.Errorf("zero-parameter %d, want 130", zero)
-	}
-	if injectable != 551 {
-		t.Errorf("injectable %d, want 551", injectable)
-	}
-}
-
-func TestCatalogNoDuplicates(t *testing.T) {
-	seen := make(map[string]bool)
-	for _, e := range Catalog() {
-		if seen[e.Name] {
-			t.Errorf("duplicate catalog entry %q", e.Name)
-		}
-		seen[e.Name] = true
-	}
-}
-
 // TestCatalogArityMatchesDispatch cross-checks the catalog's parameter
 // counts against the live raw-parameter arity of every implemented API
-// function by exercising each one in the shared probe program (see
-// consequences_test.go).
+// function, using the canonical probe program's dispatch trace (probe.go).
 func TestCatalogArityMatchesDispatch(t *testing.T) {
+	trace, err := ProbeDispatchTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
 	arity := make(map[string]int)
-	probeOnce(t, nil, func(fn string, raw []uint64) {
-		if prev, seen := arity[fn]; seen && prev != len(raw) {
-			t.Errorf("%s dispatched with both %d and %d raw params", fn, prev, len(raw))
+	for _, d := range trace {
+		if prev, seen := arity[d.Fn]; seen && prev != d.Arity {
+			t.Errorf("%s dispatched with both %d and %d raw params", d.Fn, prev, d.Arity)
 		}
-		arity[fn] = len(raw)
-	})
+		arity[d.Fn] = d.Arity
+	}
 	if len(arity) < 80 {
 		t.Fatalf("probe exercised only %d functions", len(arity))
 	}

@@ -1,0 +1,86 @@
+package win32
+
+import "testing"
+
+// The catalog census is load-bearing: the paper's §4 numbers (681 KERNEL32
+// exports, 130 with no parameters, 551 injectable) size every campaign's
+// fault list and the conformance golden matrix. These tests pin the census
+// so a catalog edit cannot silently drift from the paper.
+
+func TestCatalogCensusMatchesPaper(t *testing.T) {
+	total, zero, injectable := CatalogCounts()
+	if total != 681 {
+		t.Errorf("catalog total %d, want 681", total)
+	}
+	if zero != 130 {
+		t.Errorf("zero-parameter %d, want 130", zero)
+	}
+	if injectable != 551 {
+		t.Errorf("injectable %d, want 551", injectable)
+	}
+	if zero+injectable != total {
+		t.Errorf("census does not partition: %d zero + %d injectable != %d total",
+			zero, injectable, total)
+	}
+}
+
+// TestCatalogFlattenMatchesCounts recounts the census from the flattened
+// Catalog() slice, so the counts and the walk every campaign and the
+// conformance sweep perform can never disagree.
+func TestCatalogFlattenMatchesCounts(t *testing.T) {
+	wantTotal, wantZero, wantInjectable := CatalogCounts()
+	total, zero, injectable := 0, 0, 0
+	for _, e := range Catalog() {
+		total++
+		if e.Params == 0 {
+			zero++
+		} else {
+			injectable++
+		}
+	}
+	if total != wantTotal || zero != wantZero || injectable != wantInjectable {
+		t.Fatalf("Catalog() census (%d, %d, %d) != CatalogCounts() (%d, %d, %d)",
+			total, zero, injectable, wantTotal, wantZero, wantInjectable)
+	}
+}
+
+func TestCatalogNoDuplicates(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range Catalog() {
+		if e.Name == "" {
+			t.Error("catalog entry with empty name")
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate catalog entry %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+// TestCatalogEntriesWellFormed bounds every entry's parameter count by the
+// widest KERNEL32 signature of the NT 4.0 era (CreateProcess, 10 params).
+func TestCatalogEntriesWellFormed(t *testing.T) {
+	for _, e := range Catalog() {
+		if e.Params < 0 || e.Params > 10 {
+			t.Errorf("%s: parameter count %d out of range [0, 10]", e.Name, e.Params)
+		}
+	}
+}
+
+// TestCatalogLookupCoherent asserts CatalogLookup agrees with the flattened
+// walk for every entry and rejects unknown names.
+func TestCatalogLookupCoherent(t *testing.T) {
+	for _, e := range Catalog() {
+		got, ok := CatalogLookup(e.Name)
+		if !ok {
+			t.Errorf("CatalogLookup(%q) missed a cataloged entry", e.Name)
+			continue
+		}
+		if got != e {
+			t.Errorf("CatalogLookup(%q) = %+v, Catalog() holds %+v", e.Name, got, e)
+		}
+	}
+	if _, ok := CatalogLookup("NotAKernel32Export"); ok {
+		t.Error("CatalogLookup accepted an unknown name")
+	}
+}

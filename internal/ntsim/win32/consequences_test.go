@@ -13,18 +13,18 @@ import (
 // Go-level panic, and the kernel always drains.
 //
 // This is the fault model's safety net: any new API function that can be
-// driven into a runtime panic by a corrupted parameter fails here.
+// driven into a runtime panic by a corrupted parameter fails here. The
+// apiharness conformance sweep layers the failure-mode classification and
+// golden matrix on top of the same probe program.
 func TestConsequenceMatrix(t *testing.T) {
-	// Discover the dispatch arity of every function the probe exercises.
-	arity := make(map[string]int)
-	probeOnce(t, func(string, []uint64) {}, func(fn string, raw []uint64) {
-		arity[fn] = len(raw)
-	})
+	arity, err := ProbeArity()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(arity) < 80 {
 		t.Fatalf("probe exercised only %d functions", len(arity))
 	}
 
-	type verdictKey struct{ outcome string }
 	verdicts := make(map[string]int)
 	for fn, params := range arity {
 		for p := 0; p < params; p++ {
@@ -37,7 +37,7 @@ func TestConsequenceMatrix(t *testing.T) {
 				{"flip", func(v uint64) uint64 { return uint64(^uint32(v)) }},
 			} {
 				fired := false
-				proc := probeOnce(t, nil, func(gotFn string, raw []uint64) {
+				proc := probeOnce(t, func(gotFn string, raw []uint64) {
 					if gotFn == fn && !fired && len(raw) > p {
 						raw[p] = corrupt.apply(raw[p])
 						fired = true
@@ -53,7 +53,6 @@ func TestConsequenceMatrix(t *testing.T) {
 				default:
 					verdicts["error-exit"]++
 				}
-				_ = verdictKey{}
 			}
 		}
 	}
@@ -64,250 +63,23 @@ func TestConsequenceMatrix(t *testing.T) {
 	t.Logf("consequence mix over %d functions: %v", len(arity), verdicts)
 }
 
-// probeOnce runs the full-API probe program under an interceptor and
+// probeOnce runs the canonical probe program under an interceptor and
 // returns the probe process after the simulation drains.
-func probeOnce(t *testing.T, _ func(string, []uint64), intercept func(fn string, raw []uint64)) *ntsim.Process {
+func probeOnce(t *testing.T, intercept func(fn string, raw []uint64)) *ntsim.Process {
 	t.Helper()
 	k := ntsim.NewKernel()
 	k.SetInterceptor(&funcInterceptor{fn: func(_ ntsim.PID, image, fn string, raw []uint64) {
-		if image == "probe.exe" {
+		if image == ProbeImage {
 			intercept(fn, raw)
 		}
 	}})
-	k.VFS().WriteFile(`C:\probe.ini`, []byte("[s]\nk=v\n"))
-	k.RegisterImage("child.exe", func(p *ntsim.Process) uint32 { return 0 })
-	k.RegisterImage("srv.exe", func(p *ntsim.Process) uint32 {
-		a := New(p)
-		h := a.CreateNamedPipeA(`\\.\pipe\probe`, PipeAccessDuplex, PipeTypeByte, 1)
-		if h == InvalidHandle {
-			return 1
-		}
-		if !a.ConnectNamedPipe(h) {
-			return 1
-		}
-		buf := make([]byte, 8)
-		var n uint32
-		a.ReadFile(h, buf, 8, &n)
-		a.WriteFile(h, []byte("x"), 1, &n)
-		a.FlushFileBuffers(h)
-		a.DisconnectNamedPipe(h)
-		return 0
-	})
-	k.RegisterImage("probe.exe", func(p *ntsim.Process) uint32 {
-		probeBody(New(p))
-		return 0
-	})
-	srv, err := k.Spawn("srv.exe", "srv.exe", 0)
+	SetupProbe(k)
+	probe, err := RunProbe(k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe, err := k.Spawn("probe.exe", "probe.exe", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Bounded drain: corrupted timeouts can park the probe ~forever in
-	// virtual time, so stop at a budget and kill stragglers.
-	k.RunFor(120_000_000_000) // 120s virtual
-	if !probe.Terminated() {
-		probe.Terminate(ntsim.ExitTerminated)
-	}
-	if !srv.Terminated() {
-		srv.Terminate(ntsim.ExitTerminated)
-	}
-	k.KillAll()
 	if pan := k.Panics(); len(pan) != 0 {
 		t.Fatalf("simulated code panicked: %v", pan)
 	}
 	return probe
-}
-
-// probeBody exercises every implemented API function once (the same
-// traversal the arity cross-check uses).
-func probeBody(a *API) {
-	var n uint32
-	fh := a.CreateFileA(`C:\probe.dat`, GenericRead|GenericWrite, 0, CreateAlways, 0)
-	a.WriteFile(fh, []byte("xy"), 2, &n)
-	a.SetFilePointer(fh, 0, FileBegin)
-	a.ReadFile(fh, make([]byte, 2), 2, &n)
-	a.ReadFileEx(fh, make([]byte, 2), 0, &n)
-	a.GetFileSize(fh, nil)
-	a.GetFileType(fh)
-	a.FlushFileBuffers(fh)
-	a.CloseHandle(fh)
-	a.GetFileAttributesA(`C:\probe.ini`)
-	a.DeleteFileA(`C:\probe.dat`)
-	a.WaitNamedPipeA(`\\.\pipe\probe`, 5000)
-	ph := a.CreateFileA(`\\.\pipe\probe`, GenericRead|GenericWrite, 0, OpenExisting, 0)
-	a.WriteFile(ph, []byte("x"), 1, &n)
-	a.ReadFile(ph, make([]byte, 8), 8, &n)
-	a.PeekNamedPipe(ph, nil)
-	a.CloseHandle(ph)
-	var pi ProcessInformation
-	a.CreateProcessA("child.exe", "child.exe", nil, &pi)
-	a.WaitForSingleObject(pi.HProcess, 10_000)
-	a.WaitForMultipleObjects([]Handle{pi.HProcess}, false, 100)
-	var code uint32
-	a.GetExitCodeProcess(pi.HProcess, &code)
-	a.TerminateProcess(pi.HProcess, 0)
-	op := a.OpenProcess(0, false, a.Process().ID)
-	a.CloseHandle(op)
-	a.GetCurrentProcess()
-	a.GetCurrentProcessId()
-	a.GetCurrentThreadId()
-	a.Sleep(1)
-	a.GetTickCount()
-	a.GetCommandLineA()
-	a.GetStartupInfoA(nil)
-	a.GetEnvironmentVariableA("PATH", nil)
-	a.SetEnvironmentVariableA("X", "1")
-	eh := a.CreateEventA(false, false, "probe-ev")
-	a.OpenEventA(0, false, "probe-ev")
-	a.SetEvent(eh)
-	a.ResetEvent(eh)
-	mh := a.CreateMutexA(false, "")
-	a.WaitForSingleObject(mh, 0)
-	a.ReleaseMutex(mh)
-	sh := a.CreateSemaphoreA(1, 2, "")
-	a.ReleaseSemaphore(sh, 1, nil)
-	var cs CriticalSection
-	a.InitializeCriticalSection(&cs)
-	a.EnterCriticalSection(&cs)
-	a.LeaveCriticalSection(&cs)
-	a.DeleteCriticalSection(&cs)
-	var cell int32
-	a.InterlockedIncrement(&cell)
-	a.InterlockedDecrement(&cell)
-	a.InterlockedExchange(&cell, 5)
-	hp := a.GetProcessHeap()
-	blk := a.HeapAlloc(hp, 0, 16)
-	a.HeapFree(hp, 0, blk)
-	ph2 := a.HeapCreate(0, 0, 0)
-	a.HeapDestroy(ph2)
-	va := a.VirtualAlloc(0, 4096, 0, 0)
-	a.VirtualFree(va, 0, 0)
-	la := a.LocalAlloc(0, 8)
-	a.LocalFree(la)
-	ga := a.GlobalAlloc(0, 8)
-	a.GlobalFree(ga)
-	a.GetLastError()
-	a.SetLastError(0)
-	a.GetVersion()
-	a.GetVersionExA(nil)
-	a.GetModuleHandleA("")
-	a.GetModuleFileNameA(0, nil)
-	lib := a.LoadLibraryA("advapi32.dll")
-	a.GetProcAddress(lib, "RegOpenKeyExA")
-	a.FreeLibrary(lib)
-	a.GetStdHandle(StdOutputHandle)
-	a.GetSystemInfo(nil)
-	a.GetSystemTime(nil)
-	a.GetLocalTime(nil)
-	a.GetSystemTimeAsFileTime(nil)
-	a.QueryPerformanceCounter(nil)
-	a.QueryPerformanceFrequency(nil)
-	a.GetACP()
-	a.GetOEMCP()
-	a.GetCPInfo(1252, nil)
-	a.GetComputerNameA(nil)
-	a.GetSystemDirectoryA(nil)
-	a.GetWindowsDirectoryA(nil)
-	a.GetTempPathA(nil)
-	a.GetCurrentDirectoryA(nil)
-	a.LstrlenA("x")
-	a.LstrcpyA("x")
-	a.LstrcatA("a", "b")
-	a.LstrcmpiA("a", "A")
-	a.MultiByteToWideChar(1252, "x")
-	a.WideCharToMultiByte(1252, "x")
-	a.OutputDebugStringA("dbg")
-	a.FormatMessageA(0, 2)
-	idx := a.TlsAlloc()
-	a.TlsSetValue(idx, 1)
-	a.TlsGetValue(idx)
-	a.TlsFree(idx)
-	a.GetPrivateProfileStringA("s", "k", "", `C:\probe.ini`)
-	a.GetPrivateProfileIntA("s", "k", 0, `C:\probe.ini`)
-	a.IsBadReadPtr(0, 1)
-	a.IsBadWritePtr(0, 1)
-	a.SetHandleCount(32)
-	a.GlobalMemoryStatus(nil)
-	var dup Handle
-	a.DuplicateHandle(0, eh, 0, &dup)
-	// File management.
-	a.CreateDirectoryA(`C:\probe-dir`)
-	a.CreateFileA(`C:\probe-dir\a.log`, GenericWrite, 0, CreateAlways, 0)
-	var fd FindData
-	fh2 := a.FindFirstFileA(`C:\probe-dir\*.log`, &fd)
-	a.FindNextFileA(fh2, &fd)
-	a.FindClose(fh2)
-	a.MoveFileA(`C:\probe-dir\a.log`, `C:\probe-dir\b.log`)
-	a.CopyFileA(`C:\probe-dir\b.log`, `C:\probe-dir\c.log`, false)
-	a.SetFileAttributesA(`C:\probe-dir\c.log`, 0x80)
-	a.GetFullPathNameA(`probe.ini`, nil)
-	a.SearchPathA("probe.ini", nil)
-	a.GetDriveTypeA(`C:\`)
-	a.GetLogicalDrives()
-	a.SetErrorMode(1)
-	a.GetDiskFreeSpaceA(`C:\`, nil)
-	a.DeleteFileA(`C:\probe-dir\b.log`)
-	a.DeleteFileA(`C:\probe-dir\c.log`)
-	a.RemoveDirectoryA(`C:\probe-dir`)
-	// Console.
-	a.AllocConsole()
-	conOut := a.GetStdHandle(StdOutputHandle)
-	a.WriteConsoleA(conOut, []byte("p"), 1, &n)
-	a.GetConsoleMode(conOut, nil)
-	a.SetConsoleMode(conOut, 3)
-	a.SetConsoleTitleA("probe")
-	a.GetConsoleTitleA(nil)
-	a.GetConsoleCP()
-	a.GetConsoleOutputCP()
-	a.SetConsoleCP(437)
-	a.SetConsoleOutputCP(437)
-	a.FlushConsoleInputBuffer(conOut)
-	a.SetConsoleCtrlHandler(true)
-	a.FreeConsole()
-	// Atoms.
-	at := a.AddAtomA("probe-atom")
-	a.FindAtomA("probe-atom")
-	a.GetAtomNameA(at, nil)
-	a.DeleteAtom(at)
-	gat := a.GlobalAddAtomA("probe-gatom")
-	a.GlobalFindAtomA("probe-gatom")
-	a.GlobalGetAtomNameA(gat, nil)
-	a.GlobalDeleteAtom(gat)
-	// File times.
-	th := a.CreateFileA(`C:\probe.ts`, GenericRead|GenericWrite, 0, CreateAlways, 0)
-	a.WriteFile(th, []byte("t"), 1, &n)
-	var ft Filetime
-	a.GetFileTime(th, &ft)
-	a.SetFileTime(th, ft)
-	a.CompareFileTime(ft, ft)
-	var st2 SystemTime
-	a.FileTimeToSystemTime(ft, &st2)
-	a.SystemTimeToFileTime(st2, &ft)
-	a.FileTimeToLocalFileTime(ft, &ft)
-	a.LocalFileTimeToFileTime(ft, &ft)
-	a.CloseHandle(th)
-	// Mailslots (poll-mode reads so a corrupted timeout cannot hang).
-	msh := a.CreateMailslotA(`\\.\mailslot\probe`, 0, 0)
-	msc := a.CreateFileA(`\\.\mailslot\probe`, GenericWrite, 0, OpenExisting, 0)
-	a.WriteFile(msc, []byte("m"), 1, &n)
-	a.GetMailslotInfo(msh, nil, nil)
-	a.SetMailslotInfo(msh, 0)
-	a.ReadFile(msh, make([]byte, 8), 8, &n)
-	a.CloseHandle(msc)
-	a.CloseHandle(msh)
-	// Volume and temp names.
-	a.GetVolumeInformationA(`C:\`, nil, nil, nil)
-	a.GetTempFileNameA(`C:\TEMP`, "prb", 1, nil)
-	// Sync extras.
-	pe := a.CreateEventA(true, false, "")
-	a.PulseEvent(pe)
-	var cs2 CriticalSection
-	a.InitializeCriticalSection(&cs2)
-	a.TryEnterCriticalSection(&cs2)
-	a.LeaveCriticalSection(&cs2)
-	sw := a.CreateEventA(false, true, "")
-	a.SignalObjectAndWait(pe, sw, 0)
 }

@@ -23,6 +23,7 @@ import (
 	"ntdts/internal/ntsim"
 	"ntdts/internal/ntsim/win32"
 	"ntdts/internal/sqlengine"
+	"ntdts/internal/telemetry"
 	"ntdts/internal/workload"
 )
 
@@ -319,6 +320,54 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			b.ReportMetric(rate/baseRate, "speedup")
 		})
 	}
+}
+
+// BenchmarkCampaignTraced pins the telemetry tax: the same Apache1
+// stand-alone campaign with per-run recorders collecting the full event
+// trace, counters and histograms, compared against an untraced baseline
+// measured in the same process. The overhead-ratio metric (traced time /
+// untraced time) is what the CI bench-smoke job gates on; on a steady
+// machine with -benchtime long enough to average, the ratio stays under
+// 1.10 (CI gates at 1.35 because -benchtime=1x single runs are noisy).
+func BenchmarkCampaignTraced(b *testing.B) {
+	campaign := func(topts telemetry.Options) *core.SetResult {
+		c := &core.Campaign{
+			Runner: core.NewRunner(workload.NewApache1(workload.Standalone),
+				core.RunnerOptions{Telemetry: topts}),
+			Parallelism: 1,
+		}
+		set, err := c.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return set
+	}
+
+	// Warm-up, then the untraced baseline, timed in this process so the
+	// ratio compares like against like.
+	campaign(telemetry.Options{})
+	start := time.Now()
+	base := campaign(telemetry.Options{})
+	baseSec := time.Since(start).Seconds()
+	if base.Telemetry != nil {
+		b.Fatal("baseline campaign collected telemetry")
+	}
+
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := campaign(telemetry.Options{Enabled: true})
+		if set.Telemetry == nil {
+			b.Fatal("traced campaign collected no telemetry")
+		}
+		if len(set.Runs) != len(base.Runs) {
+			b.Fatalf("traced campaign ran %d faults, baseline %d", len(set.Runs), len(base.Runs))
+		}
+		events = set.Telemetry.Events()
+	}
+	tracedSec := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(tracedSec/baseSec, "overhead-ratio")
+	b.ReportMetric(float64(events), "trace-events")
 }
 
 // BenchmarkAblationSkipModes compares the calibration-informed skip (ours)

@@ -8,6 +8,7 @@
 //	dts -config dts.cfg -fault "ReadFile 1 1 flip" [-trace]
 //	dts -experiment table1|figure2|figure5 [-out results.json]
 //	dts -conformance [-golden path] [-update] [-sample n] [-seed n]
+//	dts ... [-trace-out trace.jsonl] [-metrics] [-trace-cap n]
 //
 // With -config, dts runs a single workload set as configured (workload,
 // middleware, fault list). With -fault, dts runs exactly one fault —
@@ -17,6 +18,12 @@
 // With -conformance, dts sweeps the whole KERNEL32 catalog through the
 // fault set and prints (or checks against a golden file) the per-call
 // failure-mode matrix — the API-level companion to the workload campaigns.
+//
+// -trace-out and -metrics work with every mode: they switch the telemetry
+// layer on, collect one recorder per run (so parallel workers never
+// contend), and export the merged virtual-time trace (JSONL) and metrics
+// summary — byte-identical at any -parallel setting. dtsreport -trace
+// summarizes an exported trace.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"ntdts/internal/experiments"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/report"
+	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
 )
 
@@ -56,6 +64,9 @@ func run(args []string, out io.Writer) error {
 	update := fs.Bool("update", false, "rewrite the -golden file from live behaviour instead of checking it")
 	sample := fs.Int("sample", 0, "run only a seeded sample of n live cells (with -conformance; 0 = full sweep)")
 	seed := fs.Int64("seed", 1, "sampling seed (with -conformance -sample; never changes any cell's outcome)")
+	traceOut := fs.String("trace-out", "", "write the merged telemetry trace (JSONL, one event per line) to this file")
+	metrics := fs.Bool("metrics", false, "print the merged telemetry counters and virtual-time histograms")
+	traceCap := fs.Int("trace-cap", 0, "per-run telemetry event-ring capacity (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,25 +79,65 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, line)
 		}
 	}
+	tflags := telemetryFlags{traceOut: *traceOut, metrics: *metrics, traceCap: *traceCap}
 	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel}
+	ecfg.Opts.Telemetry = tflags.options()
 
 	switch {
 	case *conformance:
-		return runConformance(*golden, *update, *sample, *seed, *parallel, progress, out)
+		return runConformance(*golden, *update, *sample, *seed, *parallel, tflags, progress, out)
 	case *experiment != "":
-		return runExperiment(*experiment, *outPath, ecfg, out)
+		return runExperiment(*experiment, *outPath, ecfg, tflags, out)
 	case *cfgPath != "" && *faultSpec != "":
-		return runSingleFault(*cfgPath, *faultSpec, *trace, out)
+		return runSingleFault(*cfgPath, *faultSpec, *trace, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(*cfgPath, *outPath, *parallel, progress, out)
+		return runConfigured(*cfgPath, *outPath, *parallel, tflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config or -experiment is required")
 	}
 }
 
+// telemetryFlags carries the -trace-out/-metrics/-trace-cap triple. Either
+// output flag switches collection on; the merged exports are byte-identical
+// at any -parallel setting.
+type telemetryFlags struct {
+	traceOut string
+	metrics  bool
+	traceCap int
+}
+
+// options translates the flags into per-run collection options.
+func (t telemetryFlags) options() telemetry.Options {
+	return telemetry.Options{Enabled: t.traceOut != "" || t.metrics, TraceCap: t.traceCap}
+}
+
+// emit writes the requested telemetry artifacts for a finished command.
+func (t telemetryFlags) emit(set *telemetry.Set, out io.Writer) error {
+	if set == nil {
+		return nil
+	}
+	if t.traceOut != "" {
+		f, err := os.Create(t.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := set.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if t.metrics {
+		fmt.Fprint(out, "\n", set.MetricsText())
+	}
+	return nil
+}
+
 // runSingleFault replays one fault with full result detail — the paper's
 // "individual fault injection runs provide reproducible feedback" workflow.
-func runSingleFault(cfgPath, faultSpec string, trace bool, out io.Writer) error {
+func runSingleFault(cfgPath, faultSpec string, trace bool, tflags telemetryFlags, out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -108,6 +159,7 @@ func runSingleFault(cfgPath, faultSpec string, trace bool, out io.Writer) error 
 	opts.ServerUpTimeout = cfg.ServerUpTimeout
 	opts.RunDeadline = cfg.RunDeadline
 	opts.WatchdVersion = cfg.WatchdVersion
+	opts.Telemetry = tflags.options()
 	if trace {
 		opts.Trace = func(at vclock.Time, pid ntsim.PID, msg string) {
 			fmt.Fprintf(out, "%-14s pid%-3d %s\n", at, pid, msg)
@@ -116,6 +168,11 @@ func runSingleFault(cfgPath, faultSpec string, trace bool, out io.Writer) error 
 	res, err := core.NewRunner(def, opts).Run(&specs[0])
 	if err != nil {
 		return err
+	}
+	if res.Telemetry != nil {
+		if err := tflags.emit(telemetry.NewSet(res.Telemetry), out); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(out, "\nfault:     %s\n", res.Fault.String())
 	fmt.Fprintf(out, "workload:  %s/%s\n", def.Name, def.Supervision)
@@ -134,11 +191,12 @@ func runSingleFault(cfgPath, faultSpec string, trace bool, out io.Writer) error 
 // the matrix goes to stdout (redirect it to seed a golden file); with
 // -golden it is checked — or, with -update, rewritten — so CI can fail on
 // any drift between pinned and live failure modes.
-func runConformance(golden string, update bool, sample int, seed int64, parallel int, progress func(string), out io.Writer) error {
+func runConformance(golden string, update bool, sample int, seed int64, parallel int, tflags telemetryFlags, progress func(string), out io.Writer) error {
 	res, err := apiharness.Sweep(apiharness.Options{
 		Seed:        seed,
 		Sample:      sample,
 		Parallelism: parallel,
+		Telemetry:   tflags.options(),
 		Progress: func(done, total int) {
 			if done%200 == 0 || done == total {
 				progress(fmt.Sprintf("%d/%d cells swept", done, total))
@@ -146,6 +204,9 @@ func runConformance(golden string, update bool, sample int, seed int64, parallel
 		},
 	})
 	if err != nil {
+		return err
+	}
+	if err := tflags.emit(res.Telemetry, out); err != nil {
 		return err
 	}
 	counts := res.ClassCounts()
@@ -169,8 +230,9 @@ func runConformance(golden string, update bool, sample int, seed int64, parallel
 	return nil
 }
 
-func runExperiment(name, outPath string, ecfg experiments.Config, out io.Writer) error {
+func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemetryFlags, out io.Writer) error {
 	archive := &experiments.Archive{}
+	var tset *telemetry.Set
 	switch name {
 	case "table1":
 		res, err := experiments.RunTable1(ecfg)
@@ -178,6 +240,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, out io.Writer)
 			return err
 		}
 		archive.Kind, archive.Table1 = "table1", res
+		tset = res.Telemetry
 		fmt.Fprint(out, report.Table1(res))
 	case "figure2":
 		exp, err := experiments.RunFigure2(ecfg)
@@ -185,6 +248,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, out io.Writer)
 			return err
 		}
 		archive.Kind, archive.Experiment = "figure2", exp
+		tset = experiments.MergedTelemetry(exp.Sets)
 		fmt.Fprint(out, report.Figure2(exp))
 	case "figure5":
 		res, err := experiments.RunFigure5(ecfg)
@@ -192,14 +256,18 @@ func runExperiment(name, outPath string, ecfg experiments.Config, out io.Writer)
 			return err
 		}
 		archive.Kind, archive.Figure5 = "figure5", res
+		tset = res.Telemetry
 		fmt.Fprint(out, report.Figure5(res))
 	default:
 		return fmt.Errorf("unknown experiment %q (want table1, figure2 or figure5)", name)
 	}
+	if err := tflags.emit(tset, out); err != nil {
+		return err
+	}
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(cfgPath, outPath string, parallel int, progress func(string), out io.Writer) error {
+func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -217,6 +285,7 @@ func runConfigured(cfgPath, outPath string, parallel int, progress func(string),
 	opts.ServerUpTimeout = cfg.ServerUpTimeout
 	opts.RunDeadline = cfg.RunDeadline
 	opts.WatchdVersion = cfg.WatchdVersion
+	opts.Telemetry = tflags.options()
 	runner := core.NewRunner(def, opts)
 
 	var set *core.SetResult
@@ -241,6 +310,9 @@ func runConfigured(cfgPath, outPath string, parallel int, progress func(string),
 		fmt.Fprintf(out, "  %-22s %5d (%.1f%%)\n", o, d.Counts[o.String()], d.Pct[o.String()])
 	}
 	fmt.Fprint(out, "\n", report.TopFailures(set, 20))
+	if err := tflags.emit(set.Telemetry, out); err != nil {
+		return err
+	}
 
 	if outPath == "" {
 		outPath = cfg.Results
@@ -279,6 +351,9 @@ func runFaultListFile(runner *core.Runner, path string, parallel int, progress f
 		return nil, err
 	}
 	set.Runs = runs
+	if runner.Opts.Telemetry.Enabled {
+		set.Telemetry = core.CollectTelemetry(calib, runs)
+	}
 	return set, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ntdts/internal/experiments"
+	"ntdts/internal/telemetry"
 )
 
 func TestRunRequiresMode(t *testing.T) {
@@ -215,5 +216,131 @@ func TestRunConformanceGoldenRoundTrip(t *testing.T) {
 	}
 	if err := run([]string{"-conformance", "-golden", golden, "-sample", "0", "-q"}, &out); err == nil {
 		t.Fatal("corrupted golden accepted")
+	}
+}
+
+// TestRunTraceOutAndMetrics exercises the telemetry flags end to end on a
+// fault-list campaign: -trace-out writes a parseable JSONL trace covering
+// every run, -metrics prints the merged summary, and both artifacts are
+// byte-identical across worker counts.
+func TestRunTraceOutAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	listPath := filepath.Join(dir, "faults.lst")
+	if err := os.WriteFile(cfgPath, []byte(
+		"workload = IIS\nmiddleware = none\nfault_list = "+listPath+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(listPath, []byte(
+		"ReadFile 1 1 flip\nGetVersionExA 0 1 zero\nCreateFileA 0 1 ones\nWriteFile 2 1 flip\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(parallel string) (trace []byte, metrics string) {
+		tracePath := filepath.Join(dir, "trace-"+parallel+".jsonl")
+		var out bytes.Buffer
+		args := []string{"-config", cfgPath, "-q", "-parallel", parallel,
+			"-out", filepath.Join(dir, "out-"+parallel+".json"),
+			"-trace-out", tracePath, "-metrics"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("-parallel %s: %v", parallel, err)
+		}
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := strings.Index(out.String(), "runs ")
+		if i < 0 {
+			t.Fatalf("-metrics output missing summary:\n%s", out.String())
+		}
+		return data, out.String()[i:]
+	}
+	seqTrace, seqMetrics := runOnce("1")
+	parTrace, parMetrics := runOnce("4")
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Fatal("trace differs between -parallel 1 and -parallel 4")
+	}
+	if seqMetrics != parMetrics {
+		t.Fatalf("metrics differ between worker counts:\n%s\nvs\n%s", seqMetrics, parMetrics)
+	}
+
+	lines, err := telemetry.ReadJSONL(bytes.NewReader(seqTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make(map[int]bool)
+	for _, l := range lines {
+		runs[l.Run] = true
+	}
+	// Calibration plus four fault runs.
+	if len(runs) != 5 {
+		t.Fatalf("trace covers %d runs, want 5", len(runs))
+	}
+	if !strings.Contains(seqMetrics, "fault.injected") ||
+		!strings.Contains(seqMetrics, "syscall.dispatch") {
+		t.Fatalf("metrics summary missing counters:\n%s", seqMetrics)
+	}
+}
+
+// TestRunSingleFaultTelemetry: the single-fault replay honours the
+// telemetry flags too, with the run exported at index 0.
+func TestRunSingleFaultTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	tracePath := filepath.Join(dir, "one.jsonl")
+	if err := os.WriteFile(cfgPath, []byte("workload = IIS\nmiddleware = none\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-config", cfgPath, "-fault", "ReadFile 1 1 flip",
+		"-trace-out", tracePath, "-metrics"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := false
+	for _, l := range lines {
+		if l.Run != 0 {
+			t.Fatalf("single-fault trace has run index %d", l.Run)
+		}
+		if l.Event.Kind == telemetry.KindFaultInjected {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("trace missing the fault-injected event")
+	}
+	if !strings.Contains(out.String(), "fault.injected") {
+		t.Fatalf("-metrics output missing fault counters:\n%s", out.String())
+	}
+}
+
+// TestRunConformanceTelemetry: the conformance sweep exports one telemetry
+// run per cell, stable across worker counts.
+func TestRunConformanceTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(parallel string) []byte {
+		tracePath := filepath.Join(dir, "conf-"+parallel+".jsonl")
+		var out bytes.Buffer
+		args := []string{"-conformance", "-sample", "20", "-q", "-parallel", parallel,
+			"-trace-out", tracePath}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("-parallel %s: %v", parallel, err)
+		}
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if seq, par := runOnce("1"), runOnce("4"); !bytes.Equal(seq, par) {
+		t.Fatal("conformance trace differs between worker counts")
 	}
 }

@@ -4,20 +4,28 @@
 // Usage:
 //
 //	dtsreport -in results.json [-artifact auto|table1|figure2|figure3|table2|figure4|figure5|failures]
+//	dtsreport -trace trace.jsonl
 //
 // The default artifact ("auto") renders whatever the archive holds; the
 // derived artifacts (figure3, table2, figure4) require a figure2 archive.
+// With -trace, dtsreport ingests a telemetry trace exported by
+// dts -trace-out and prints a summary: events by kind, the busiest API
+// functions, fault lifecycle counts and the virtual-time span.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"ntdts/internal/avail"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
 	"ntdts/internal/report"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/vclock"
 )
 
 func main() {
@@ -31,11 +39,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dtsreport", flag.ContinueOnError)
 	inPath := fs.String("in", "", "results archive to render")
 	artifact := fs.String("artifact", "auto", "artifact to render")
+	tracePath := fs.String("trace", "", "telemetry trace (JSONL from dts -trace-out) to summarize")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *tracePath != "" {
+		return summarizeTrace(*tracePath, os.Stdout)
+	}
 	if *inPath == "" {
-		return fmt.Errorf("-in is required")
+		return fmt.Errorf("one of -in or -trace is required")
 	}
 	f, err := os.Open(*inPath)
 	if err != nil {
@@ -114,6 +126,79 @@ func run(args []string) error {
 		return fmt.Errorf("unknown artifact %q", name)
 	}
 	return nil
+}
+
+// summarizeTrace ingests a JSONL telemetry trace and prints the §4.3-style
+// post-mortem view: how many runs the trace covers, what the simulated
+// system was doing (events by kind, busiest API functions) and how far the
+// fault lifecycle got (armed → activated → injected).
+func summarizeTrace(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lines, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(lines) == 0 {
+		fmt.Fprintln(out, "trace is empty")
+		return nil
+	}
+
+	runs := make(map[int]bool)
+	kinds := make(map[string]int)
+	syscalls := make(map[string]int)
+	var span vclock.Time
+	for _, l := range lines {
+		runs[l.Run] = true
+		kinds[l.Event.Kind.String()]++
+		if l.Event.Kind == telemetry.KindSyscall {
+			syscalls[l.Event.Name]++
+		}
+		if l.Event.At > span {
+			span = l.Event.At
+		}
+	}
+
+	fmt.Fprintf(out, "trace: %d events across %d runs, virtual span %s\n",
+		len(lines), len(runs), span)
+	fmt.Fprintln(out, "events by kind:")
+	for _, k := range sortedByCount(kinds) {
+		fmt.Fprintf(out, "  %-18s %d\n", k, kinds[k])
+	}
+	if len(syscalls) > 0 {
+		fmt.Fprintln(out, "busiest API functions:")
+		top := sortedByCount(syscalls)
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		for _, fn := range top {
+			fmt.Fprintf(out, "  %-18s %d\n", fn, syscalls[fn])
+		}
+	}
+	fmt.Fprintf(out, "fault lifecycle: %d armed, %d activated, %d injected\n",
+		kinds[telemetry.KindFaultArmed.String()],
+		kinds[telemetry.KindFaultActivated.String()],
+		kinds[telemetry.KindFaultInjected.String()])
+	return nil
+}
+
+// sortedByCount orders map keys by descending count, name ascending on
+// ties, so the summary is deterministic.
+func sortedByCount(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
 }
 
 // needFigure2 adapts the derived-artifact constructors.

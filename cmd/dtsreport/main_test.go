@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
 	"ntdts/internal/inject"
+	"ntdts/internal/telemetry"
 )
 
 // writeArchive saves a minimal figure2 archive for rendering tests.
@@ -88,5 +91,65 @@ func TestRenderAvailability(t *testing.T) {
 	path := writeArchive(t)
 	if err := run([]string{"-in", path, "-artifact", "availability"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceSummary feeds a synthetic telemetry trace through -trace
+// ingestion and checks the summary content.
+func TestTraceSummary(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	rec.Emit(0, 1, telemetry.KindSpawn, "server.exe", 0, 0)
+	rec.Emit(10, 1, telemetry.KindSyscall, "ReadFile", 5, 0)
+	rec.Emit(20, 1, telemetry.KindSyscall, "ReadFile", 5, 0)
+	rec.Emit(30, 1, telemetry.KindSyscall, "CloseHandle", 1, 0)
+	rec.Emit(40, 0, telemetry.KindFaultArmed, "ReadFile p1 i1 flip", 1, 1)
+	rec.Emit(50, 0, telemetry.KindFaultActivated, "ReadFile p1 i1 flip", 1, 0)
+	rec.Emit(60, 0, telemetry.KindFaultInjected, "ReadFile p1 i1 flip", 7, 8)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.NewSet(rec).WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := summarizeTrace(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"7 events across 1 runs",
+		"ReadFile           2",
+		"1 armed, 1 activated, 1 injected",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	// The run flag path reaches the same summarizer.
+	if err := run([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceSummaryErrors covers the failure paths of -trace.
+func TestTraceSummaryErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarizeTrace("/nonexistent/trace.jsonl", &out); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	os.WriteFile(bad, []byte("{not json\n"), 0o644)
+	if err := summarizeTrace(bad, &out); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	os.WriteFile(empty, nil, 0o644)
+	out.Reset()
+	if err := summarizeTrace(empty, &out); err != nil || !strings.Contains(out.String(), "empty") {
+		t.Fatalf("empty trace: err=%v out=%q", err, out.String())
 	}
 }

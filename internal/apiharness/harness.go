@@ -34,6 +34,7 @@ import (
 	"ntdts/internal/inject"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/telemetry"
 )
 
 // Class is the failure-mode classification of one corrupted invocation.
@@ -128,6 +129,10 @@ type Options struct {
 	// Progress, when non-nil, receives (done, total) after every executed
 	// cell, serialized, with done increasing strictly by one.
 	Progress func(done, total int)
+	// Telemetry enables per-cell collectors (traces, counters, the
+	// cell.vtime histogram), merged in cell order into
+	// SweepResult.Telemetry — byte-identical at any Parallelism.
+	Telemetry telemetry.Options
 }
 
 // SweepResult is the outcome of one conformance sweep.
@@ -146,6 +151,10 @@ type SweepResult struct {
 	InjectableEntries int
 	// Sampled reports whether this was a partial (Sample > 0) sweep.
 	Sampled bool
+	// Telemetry holds one collector per executed cell, indexed like
+	// Cells (nil for cells the probe never reaches), when the sweep ran
+	// with Options.Telemetry enabled.
+	Telemetry *telemetry.Set
 }
 
 // Matrix renders the result as the line-oriented failure-mode matrix, one
@@ -208,19 +217,25 @@ func (c chain) BeforeSyscall(pid ntsim.PID, image, fn string, raw []uint64) {
 }
 
 // runCell executes one matrix cell on a fresh kernel and applies the
-// per-cell oracles.
-func runCell(fn string, param int, fault inject.FaultType, oracles []Oracle) (CellResult, error) {
+// per-cell oracles. With telemetry enabled the cell gets its own
+// collector (returned alongside the result) recording the probe's
+// kernel trace plus the cell's virtual-time cost.
+func runCell(fn string, param int, fault inject.FaultType, oracles []Oracle, topts telemetry.Options) (CellResult, *telemetry.Recorder, error) {
 	cell := CellResult{Function: fn, Param: param, Fault: fault}
 	spec := inject.FaultSpec{Function: fn, Param: param, Invocation: 1, Type: fault}
 
 	k := ntsim.NewKernel()
+	rec := topts.NewRecorder()
+	if rec != nil {
+		k.SetTelemetry(rec)
+	}
 	injector := inject.New(k, inject.ByImage(win32.ProbeImage), &spec)
 	obs := &dispatchObserver{k: k, injector: injector}
 	k.SetInterceptor(chain{obs, injector})
 	win32.SetupProbe(k)
 	probe, err := win32.RunProbe(k)
 	if err != nil {
-		return cell, fmt.Errorf("cell %s: %w", cell.Key(), err)
+		return cell, rec, fmt.Errorf("cell %s: %w", cell.Key(), err)
 	}
 
 	if !obs.captured && injector.Injected() {
@@ -246,10 +261,13 @@ func runCell(fn string, param int, fault inject.FaultType, oracles []Oracle) (Ce
 
 	for _, o := range oracles {
 		if err := o.Check(&RunContext{Kernel: k, Probe: probe, Cell: cell}); err != nil {
-			return cell, fmt.Errorf("oracle %q violated at cell %s: %w", o.Name, cell.Key(), err)
+			return cell, rec, fmt.Errorf("oracle %q violated at cell %s: %w", o.Name, cell.Key(), err)
 		}
 	}
-	return cell, nil
+	if rec != nil {
+		rec.Observe(telemetry.HistCellVTime, time.Duration(k.Now()))
+	}
+	return cell, rec, nil
 }
 
 // recordBaseline runs the probe fault-free and returns its dispatch
@@ -357,10 +375,17 @@ func Sweep(opts Options) (*SweepResult, error) {
 		jobs, cells = sampled, make([]CellResult, len(sampled))
 	}
 
-	if err := executeCells(jobs, cells, oracles, opts); err != nil {
+	var recs []*telemetry.Recorder
+	if opts.Telemetry.Enabled {
+		recs = make([]*telemetry.Recorder, len(cells))
+	}
+	if err := executeCells(jobs, cells, recs, oracles, opts); err != nil {
 		return nil, err
 	}
 	res.Cells = cells
+	if recs != nil {
+		res.Telemetry = &telemetry.Set{Runs: recs}
+	}
 
 	// Sweep-level oracle: all run kernels drained, so the goroutine count
 	// must return to the pre-sweep baseline.
@@ -375,10 +400,11 @@ func Sweep(opts Options) (*SweepResult, error) {
 }
 
 // executeCells runs the job list on a bounded worker pool, writing each
-// cell at its fixed index so the matrix is identical at any worker count.
-// On failure the lowest-indexed error wins — the one a sequential sweep
-// would have reported first.
-func executeCells(jobs []cellJob, cells []CellResult, oracles []Oracle, opts Options) error {
+// cell — and, when recs is non-nil, its telemetry collector — at its
+// fixed index so the matrix and merged trace are identical at any worker
+// count. On failure the lowest-indexed error wins — the one a sequential
+// sweep would have reported first.
+func executeCells(jobs []cellJob, cells []CellResult, recs []*telemetry.Recorder, oracles []Oracle, opts Options) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -422,12 +448,15 @@ func executeCells(jobs []cellJob, cells []CellResult, oracles []Oracle, opts Opt
 					return
 				}
 				job := jobs[i]
-				cell, err := runCell(job.fn, job.param, job.fault, oracles)
+				cell, rec, err := runCell(job.fn, job.param, job.fault, oracles, opts.Telemetry)
 				if err != nil {
 					fail(i, err)
 					return
 				}
 				cells[job.index] = cell
+				if recs != nil {
+					recs[job.index] = rec
+				}
 				if opts.Progress != nil {
 					progressMu.Lock()
 					done++

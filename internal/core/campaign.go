@@ -6,6 +6,7 @@ import (
 
 	"ntdts/internal/inject"
 	"ntdts/internal/stats"
+	"ntdts/internal/telemetry"
 )
 
 // SetResult is the outcome of one workload set: every fault of the fault
@@ -19,6 +20,13 @@ type SetResult struct {
 	Runs          []RunResult `json:"runs"`         // injected faults only
 	SkippedFns    int         `json:"skippedFns"`   // unactivated functions
 	SkippedFaults int         `json:"skippedFaults"`
+
+	// Telemetry holds the per-run collectors in deterministic order —
+	// the calibration run first, then every run at its fault-list
+	// position — when the campaign executed with telemetry enabled.
+	// Merged exports (JSONL/CSV traces, metrics) are byte-identical
+	// across Parallelism settings. Excluded from the JSON archive.
+	Telemetry *telemetry.Set `json:"-"`
 }
 
 // Injected returns the number of faults that actually fired.
@@ -155,7 +163,25 @@ func (c *Campaign) Execute() (*SetResult, error) {
 		return nil, err
 	}
 	set.Runs = runs
+	if c.Runner.Opts.Telemetry.Enabled {
+		set.Telemetry = CollectTelemetry(calib, runs)
+	}
 	return set, nil
+}
+
+// CollectTelemetry assembles the deterministic telemetry set for a
+// campaign: the calibration run (when present) at index 0, then each
+// run's collector at its fault-list position. Runs without a collector
+// occupy their index with a nil entry so numbering is stable.
+func CollectTelemetry(calib *RunResult, runs []RunResult) *telemetry.Set {
+	set := telemetry.NewSet()
+	if calib != nil {
+		set.Append(calib.Telemetry)
+	}
+	for i := range runs {
+		set.Append(runs[i].Telemetry)
+	}
+	return set
 }
 
 // Experiment is a series of workload sets (paper Figure 1's outer loop).

@@ -11,6 +11,7 @@ import (
 	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/scm"
+	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
 	"ntdts/internal/workload"
 )
@@ -28,6 +29,13 @@ type RunResult struct {
 	ResponseSec  float64          `json:"responseSec"`  // client program lifetime
 	ServerCrash  bool             `json:"serverCrash"`  // a target process died abnormally
 	ActivatedFns int              `json:"activatedFns"` // distinct functions the target called
+
+	// Telemetry is the run's collector when RunnerOptions.Telemetry is
+	// enabled (nil otherwise). It is per-run — parallel campaign workers
+	// never share one — and is merged in run-index order by the campaign,
+	// so exports stay byte-identical at any worker count. Excluded from
+	// the JSON archive; export traces with dts -trace-out instead.
+	Telemetry *telemetry.Recorder `json:"-"`
 }
 
 // RunnerOptions tune the per-run lifecycle.
@@ -45,6 +53,11 @@ type RunnerOptions struct {
 	// spawn/exit, access violations) — the single-fault debugging view
 	// behind the paper's §4.3 feedback workflow.
 	Trace func(at vclock.Time, pid ntsim.PID, msg string)
+	// Telemetry enables the structured per-run telemetry layer: every
+	// run builds its own collector (so parallel workers never contend)
+	// capturing the kernel trace ring, counters and virtual-time
+	// histograms, attached to RunResult.Telemetry.
+	Telemetry telemetry.Options
 }
 
 // DefaultRunnerOptions returns the experiment defaults.
@@ -117,6 +130,16 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	if r.Opts.Trace != nil {
 		k.SetTrace(r.Opts.Trace)
 	}
+	// The telemetry collector (if enabled) must be installed before the
+	// injector so the arming event is observed; it is per-run, so
+	// parallel campaign workers never contend.
+	rec := r.Opts.Telemetry.NewRecorder()
+	var tel telemetry.Collector = telemetry.Nop{}
+	if rec != nil {
+		k.SetTelemetry(rec)
+		tel = rec
+	}
+	runSpan := telemetry.StartSpan(tel, k.Now(), 0, telemetry.SpanRun)
 	log := eventlog.New()
 	mgr := scm.New(k, log)
 	def.Setup(k)
@@ -145,16 +168,25 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 		return nil, nil, fmt.Errorf("unknown supervision %v", def.Supervision)
 	}
 
+	tel.Emit(k.Now(), 0, telemetry.KindPhase, "service-start", 0, 0)
+
 	// Wait for the server to come up (bounded; a faulted server may never
 	// make it, and the client must still run to observe that).
+	up := false
 	upDeadline := k.Now().Add(r.Opts.ServerUpTimeout)
 	for k.Now().Before(upDeadline) {
 		if st, _, _ := mgr.QueryServiceStatus(def.Service.Name); st == scm.Running {
+			up = true
 			break
 		}
 		if !k.Step() {
 			break
 		}
+	}
+	if up {
+		tel.Emit(k.Now(), 0, telemetry.KindPhase, "server-up", 0, 0)
+	} else {
+		tel.Emit(k.Now(), 0, telemetry.KindPhase, "server-up-timeout", 0, 0)
 	}
 
 	// Run the client workload to completion or the run deadline.
@@ -162,11 +194,19 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	if err != nil {
 		return nil, nil, fmt.Errorf("spawn client: %w", err)
 	}
+	tel.Emit(k.Now(), 0, telemetry.KindPhase, "client-spawn", 0, 0)
 	deadline := k.Now().Add(r.Opts.RunDeadline)
 	for !report.Done && k.Now().Before(deadline) {
 		if !k.Step() {
 			break
 		}
+	}
+	if report.Done {
+		tel.Emit(k.Now(), 0, telemetry.KindPhase, "client-done", 0, 0)
+		tel.Add(telemetry.CtrRunCompleted, 1)
+	} else {
+		tel.Emit(k.Now(), 0, telemetry.KindPhase, "run-deadline", 0, 0)
+		tel.Add(telemetry.CtrRunDeadline, 1)
 	}
 
 	// Gather results.
@@ -183,13 +223,25 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	}
 	if report.Done {
 		res.ResponseSec = report.End.Sub(report.Start).Seconds()
+		tel.Observe(telemetry.HistRunResponse, report.End.Sub(report.Start))
 	}
 	res.Outcome = Classify(report.AllSucceeded(), report.AnyRetried(), res.Restarts)
 	res.ServerCrash = anyTargetCrash(k, def)
+	tel.Add(telemetry.CtrRunRestarts, int64(res.Restarts))
+	if report.AnyRetried() {
+		tel.Add(telemetry.CtrRunRetried, 1)
+	}
+	if tel.Enabled() {
+		// Outcome classification as a trace event; the label concat only
+		// runs when a recorder is listening.
+		tel.Emit(k.Now(), 0, telemetry.KindPhase, "outcome:"+res.Outcome.String(), 0, 0)
+	}
 
 	// Workload termination.
 	mgr.Shutdown()
 	k.KillAll()
+	runSpan.End(k.Now())
+	res.Telemetry = rec
 	if pan := k.Panics(); len(pan) != 0 {
 		return nil, nil, fmt.Errorf("simulated code panicked: %s", strings.Join(pan, "; "))
 	}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ntdts/internal/determinism"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/workload"
+)
+
+// telemetrySpecs builds a deterministic 200-fault list spanning the
+// KERNEL32 catalog: one spec per injectable entry, cycling parameters and
+// corruption types. Faults on functions the workload never calls still
+// execute as full runs — exactly what a user-supplied fault list does.
+func telemetrySpecs(n int) []inject.FaultSpec {
+	types := inject.AllFaultTypes()
+	var specs []inject.FaultSpec
+	for i, e := range win32.Catalog() {
+		if e.Params == 0 {
+			continue
+		}
+		specs = append(specs, inject.FaultSpec{
+			Function:   e.Name,
+			Param:      i % e.Params,
+			Invocation: 1,
+			Type:       types[i%len(types)],
+		})
+		if len(specs) == n {
+			break
+		}
+	}
+	return specs
+}
+
+// TestCampaignTelemetryDeterministic is the telemetry analogue of the
+// engine's core guarantee: a 200-spec campaign executed at worker counts
+// 1, 4 and 16 exports byte-identical merged traces and metrics. Each run
+// owns its recorder and the merge is by fault-list index, so the worker
+// schedule can't leak into the artifacts. CI runs this under -race, which
+// also proves collectors are never shared across workers.
+func TestCampaignTelemetryDeterministic(t *testing.T) {
+	specs := telemetrySpecs(200)
+	if len(specs) != 200 {
+		t.Fatalf("built %d specs, want 200", len(specs))
+	}
+	sweep := func(par int) (trace []byte, metrics string) {
+		opts := RunnerOptions{Telemetry: telemetry.Options{Enabled: true}}
+		runner := NewRunner(workload.NewApache1(workload.Standalone), opts)
+		runs, err := RunSpecs(runner, specs, par, nil)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		set := CollectTelemetry(nil, runs)
+		if len(set.Runs) != len(specs) {
+			t.Fatalf("parallelism %d: %d recorders, want %d", par, len(set.Runs), len(specs))
+		}
+		for i, rec := range set.Runs {
+			if rec == nil {
+				t.Fatalf("parallelism %d: run %d has no recorder", par, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), set.MetricsText()
+	}
+
+	seqTrace, seqMetrics := sweep(1)
+	if len(seqTrace) == 0 {
+		t.Fatal("sequential sweep produced an empty trace")
+	}
+	for _, par := range []int{4, 16} {
+		parTrace, parMetrics := sweep(par)
+		if !bytes.Equal(seqTrace, parTrace) {
+			determinism.AssertSameTranscript(t, "merged campaign trace",
+				string(parTrace), string(seqTrace), func(i int, _, _ string) string {
+					return fmt.Sprintf("200-spec Apache1/none fault list at -parallel %d, trace line %d", par, i+1)
+				})
+		}
+		determinism.AssertSameTranscript(t, "merged campaign metrics", parMetrics, seqMetrics,
+			func(i int, _, _ string) string {
+				return fmt.Sprintf("200-spec Apache1/none fault list at -parallel %d", par)
+			})
+	}
+}
+
+// TestCampaignTelemetryDisabledIsFree: with telemetry off (the default),
+// runs carry no recorder and the set result is exactly what it was before
+// the telemetry layer existed.
+func TestCampaignTelemetryDisabledIsFree(t *testing.T) {
+	set, err := apache1Campaign(1, nil).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Telemetry != nil {
+		t.Fatal("disabled campaign produced a telemetry set")
+	}
+	for i, r := range set.Runs {
+		if r.Telemetry != nil {
+			t.Fatalf("run %d carries a recorder with telemetry disabled", i)
+		}
+	}
+}
+
+// TestCampaignTelemetryEnabled: an enabled campaign attaches one recorder
+// per run plus the calibration run at index 0, and the run span brackets
+// every run's trace.
+func TestCampaignTelemetryEnabled(t *testing.T) {
+	c := apache1Campaign(4, nil)
+	c.Runner.Opts.Telemetry = telemetry.Options{Enabled: true}
+	set, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Telemetry == nil {
+		t.Fatal("enabled campaign produced no telemetry set")
+	}
+	if want := len(set.Runs) + 1; len(set.Telemetry.Runs) != want {
+		t.Fatalf("%d recorders, want %d (calibration + runs)", len(set.Telemetry.Runs), want)
+	}
+	for i, rec := range set.Telemetry.Runs {
+		if rec == nil {
+			t.Fatalf("telemetry run %d is nil", i)
+		}
+		events := rec.Events()
+		if len(events) == 0 {
+			t.Fatalf("telemetry run %d is empty", i)
+		}
+		if events[0].Kind != telemetry.KindSpanBegin || events[0].Name != telemetry.SpanRun {
+			t.Fatalf("run %d does not open with the run span: %+v", i, events[0])
+		}
+		if rec.Counter(telemetry.CtrSyscalls) == 0 {
+			t.Fatalf("run %d recorded no syscall dispatches", i)
+		}
+	}
+	// Calibration (index 0) is fault-free; every later recorder belongs to
+	// a fault run and must carry the arming event.
+	for i, rec := range set.Telemetry.Runs {
+		armed := rec.Counter(telemetry.CtrFaultArmed)
+		if i == 0 && armed != 0 {
+			t.Fatal("calibration run armed a fault")
+		}
+		if i > 0 && armed != 1 {
+			t.Fatalf("fault run %d armed %d faults, want 1", i, armed)
+		}
+	}
+}

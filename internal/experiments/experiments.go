@@ -14,6 +14,7 @@ import (
 	"ntdts/internal/core"
 	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/stats"
+	"ntdts/internal/telemetry"
 	"ntdts/internal/workload"
 )
 
@@ -99,6 +100,11 @@ func Supervisions() []workload.Supervision {
 type Table1Result struct {
 	// Counts[workload][supervision] = number of activated functions.
 	Counts map[string]map[string]int `json:"counts"`
+
+	// Telemetry holds the twelve calibration-run collectors in canonical
+	// pair order when the census ran with telemetry enabled. Excluded from
+	// the JSON archive.
+	Telemetry *telemetry.Set `json:"-"`
 }
 
 // PaperTable1 is the census the paper reports, for side-by-side rendering.
@@ -118,6 +124,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 	cfg = cfg.serialized()
 	defs := standardPairs()
 	counts := make([]int, len(defs))
+	recs := make([]*telemetry.Recorder, len(defs))
 	err := fanOut(len(defs), func(i int) error {
 		def := defs[i]
 		_, res, err := core.NewRunner(def, cfg.Opts).ActivationScan()
@@ -125,6 +132,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 			return fmt.Errorf("%s/%s: %w", def.Name, def.Supervision, err)
 		}
 		counts[i] = res.ActivatedFns
+		recs[i] = res.Telemetry
 		cfg.progress("table1 %s/%s: %d activated functions", def.Name, def.Supervision, res.ActivatedFns)
 		return nil
 	})
@@ -132,6 +140,9 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		return nil, err
 	}
 	out := &Table1Result{Counts: make(map[string]map[string]int)}
+	if cfg.Opts.Telemetry.Enabled {
+		out.Telemetry = telemetry.NewSet(recs...)
+	}
 	for i, def := range defs {
 		if out.Counts[def.Name] == nil {
 			out.Counts[def.Name] = make(map[string]int)
@@ -188,6 +199,32 @@ func runSet(def workload.Definition, cfg Config) (*core.SetResult, error) {
 	cfg.progress("%s/%s: %d injected, %.1f%% failures",
 		set.Workload, set.Supervision, d.Total, set.FailurePct())
 	return set, nil
+}
+
+// MergedTelemetry concatenates the per-set telemetry of an experiment in
+// canonical set order: set 0's calibration run first, then its fault-list
+// runs, then set 1, and so on. Nil per-run placeholders are preserved so
+// run numbering in the merged export matches each set's fault list. The
+// sets execute concurrently, but because every run owns its collector and
+// sets keep their canonical positions, the merge — like the outcome data —
+// is byte-identical at any parallelism. Returns nil when no set carried
+// telemetry (i.e. the campaign ran with telemetry disabled).
+func MergedTelemetry(sets []*core.SetResult) *telemetry.Set {
+	merged := telemetry.NewSet()
+	any := false
+	for _, s := range sets {
+		if s == nil || s.Telemetry == nil {
+			continue
+		}
+		any = true
+		for _, r := range s.Telemetry.Runs {
+			merged.Append(r)
+		}
+	}
+	if !any {
+		return nil
+	}
+	return merged
 }
 
 // --- Figure 3 ----------------------------------------------------------------
@@ -352,6 +389,11 @@ func Figure4(exp *core.Experiment) ([]Figure4Cell, error) {
 type Figure5Result struct {
 	// Sets[version] lists the per-workload results for that version.
 	Sets map[int][]*core.SetResult `json:"sets"`
+
+	// Telemetry is the merged per-run collectors in canonical cell order
+	// (version-major, then workload) when the campaign ran with telemetry
+	// enabled. Excluded from the JSON archive.
+	Telemetry *telemetry.Set `json:"-"`
 }
 
 // Figure5Workloads lists the workloads the paper's Figure 5 covers.
@@ -393,6 +435,7 @@ func RunFigure5(cfg Config) (*Figure5Result, error) {
 	for i, c := range cells {
 		out.Sets[int(c.version)] = append(out.Sets[int(c.version)], sets[i])
 	}
+	out.Telemetry = MergedTelemetry(sets)
 	return out, nil
 }
 

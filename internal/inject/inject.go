@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ntdts/internal/ntsim"
+	"ntdts/internal/telemetry"
 )
 
 // FaultType is one of the paper's three parameter corruptions.
@@ -133,23 +134,40 @@ type Injector struct {
 	activated map[string]bool
 	injected  bool
 	events    []Event
+
+	// tel is the kernel's telemetry collector captured at construction;
+	// specStr is the fault spec pre-rendered once so the per-dispatch
+	// path never formats. Both stay zero-cost when telemetry is off.
+	tel     telemetry.Collector
+	specStr string
 }
 
 var _ ntsim.SyscallInterceptor = (*Injector)(nil)
 
 // New creates an injector for the given kernel and target. A nil spec makes
-// the injector a pure observer (activation scan).
+// the injector a pure observer (activation scan). When the kernel has a
+// telemetry collector installed (install it first), arming is recorded
+// as a fault-armed trace event so every later activation and injection
+// pairs with exactly one arming.
 func New(k *ntsim.Kernel, target TargetSelector, spec *FaultSpec) *Injector {
 	if target == nil {
 		panic("inject: nil target selector")
 	}
-	return &Injector{
+	in := &Injector{
 		k:         k,
 		target:    target,
 		spec:      spec,
 		counts:    make(map[string]int),
 		activated: make(map[string]bool),
+		tel:       k.Telemetry(),
 	}
+	if spec != nil && in.tel.Enabled() {
+		in.specStr = spec.String()
+		in.tel.Emit(k.Now(), 0, telemetry.KindFaultArmed, in.specStr,
+			uint64(spec.Param), uint64(spec.Invocation))
+		in.tel.Add(telemetry.CtrFaultArmed, 1)
+	}
+	return in
 }
 
 // BeforeSyscall implements ntsim.SyscallInterceptor.
@@ -166,6 +184,11 @@ func (in *Injector) BeforeSyscall(pid ntsim.PID, image, fn string, raw []uint64)
 	if fn != s.Function || in.counts[fn] != s.Invocation {
 		return
 	}
+	// The armed fault's target invocation has been reached, whether or
+	// not the corruption can land (param may exceed the live arity).
+	in.tel.Emit(in.k.Now(), uint32(pid), telemetry.KindFaultActivated, in.specStr,
+		uint64(in.counts[fn]), 0)
+	in.tel.Add(telemetry.CtrFaultActivated, 1)
 	if s.Param < 0 || s.Param >= len(raw) {
 		// The catalog over-approximated this function's arity; the
 		// fault cannot land. Count it as not injected so the
@@ -179,6 +202,9 @@ func (in *Injector) BeforeSyscall(pid ntsim.PID, image, fn string, raw []uint64)
 		PID: pid, Function: fn, Param: s.Param,
 		Before: before, After: raw[s.Param],
 	})
+	in.tel.Emit(in.k.Now(), uint32(pid), telemetry.KindFaultInjected, in.specStr,
+		before, raw[s.Param])
+	in.tel.Add(telemetry.CtrFaultInjected, 1)
 }
 
 // Injected reports whether the configured fault actually fired.

@@ -1,5 +1,7 @@
 package ntsim
 
+import "ntdts/internal/telemetry"
+
 // Handle is a per-process reference to a kernel object, mirroring Win32
 // HANDLE. Handle values are process-local and never reused within a process
 // lifetime, so a corrupted handle value reliably fails to resolve.
@@ -13,6 +15,33 @@ type handleEntry struct {
 	obj any
 }
 
+// objKind names a kernel object class for telemetry. The names are
+// constants so the trace emission path never formats or allocates.
+func objKind(obj any) string {
+	switch obj.(type) {
+	case *Event:
+		return "event"
+	case *Mutex:
+		return "mutex"
+	case *Semaphore:
+		return "semaphore"
+	case *ProcessObject:
+		return "process"
+	case *OpenFile:
+		return "file"
+	case *PipeServer:
+		return "pipe-server"
+	case *PipeClient:
+		return "pipe-client"
+	case *Mailslot:
+		return "mailslot"
+	case *MailslotClient:
+		return "mailslot-client"
+	default:
+		return "object"
+	}
+}
+
 // NewHandle installs obj in the process handle table and returns its handle.
 func (p *Process) NewHandle(obj any) Handle {
 	if obj == nil {
@@ -21,6 +50,8 @@ func (p *Process) NewHandle(obj any) Handle {
 	p.nextHandle += 4 // real NT handles are multiples of 4
 	h := p.nextHandle
 	p.handles[h] = &handleEntry{obj: obj}
+	p.k.tel.Emit(p.k.clock.Now(), uint32(p.ID), telemetry.KindHandleNew, objKind(obj), uint64(h), 0)
+	p.k.tel.Add(telemetry.CtrHandleNew, 1)
 	return h
 }
 
@@ -53,6 +84,8 @@ func (p *Process) CloseHandle(h Handle) bool {
 func (p *Process) closeHandleInternal(h Handle) {
 	e := p.handles[h]
 	delete(p.handles, h)
+	p.k.tel.Emit(p.k.clock.Now(), uint32(p.ID), telemetry.KindHandleClose, objKind(e.obj), uint64(h), 0)
+	p.k.tel.Add(telemetry.CtrHandleClose, 1)
 	switch obj := e.obj.(type) {
 	case *Mutex:
 		obj.abandon(p)

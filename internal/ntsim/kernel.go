@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
 )
 
@@ -58,6 +59,11 @@ type Kernel struct {
 	interceptor SyscallInterceptor
 	costs       CostModel
 
+	// tel receives kernel telemetry (syscall dispatch, scheduler quanta,
+	// handle and process lifecycle). Defaults to the zero-allocation
+	// telemetry.Nop; one Recorder per kernel keeps runs contention-free.
+	tel telemetry.Collector
+
 	// panics collects unexpected (non-kernel) panics raised by simulated
 	// program code; tests assert this stays empty.
 	panics []string
@@ -79,6 +85,7 @@ func NewKernel() *Kernel {
 		vfs:       NewVFS(),
 		pipes:     make(map[string][]*PipeServer),
 		costs:     DefaultCosts(),
+		tel:       telemetry.Nop{},
 	}
 }
 
@@ -98,6 +105,20 @@ func (k *Kernel) SetInterceptor(i SyscallInterceptor) { k.interceptor = i }
 // SetTrace installs a trace sink receiving one line per noteworthy kernel
 // event. A nil sink disables tracing.
 func (k *Kernel) SetTrace(fn func(at vclock.Time, pid PID, msg string)) { k.traceFn = fn }
+
+// SetTelemetry installs the telemetry collector. Install it before any
+// process is spawned (and before inject.New, which emits the arming
+// event through it) so the whole run is observed. A nil collector
+// restores the zero-allocation disabled path.
+func (k *Kernel) SetTelemetry(c telemetry.Collector) {
+	if c == nil {
+		c = telemetry.Nop{}
+	}
+	k.tel = c
+}
+
+// Telemetry returns the active collector (telemetry.Nop when disabled).
+func (k *Kernel) Telemetry() telemetry.Collector { return k.tel }
 
 // SetCosts replaces the virtual-time cost model.
 func (k *Kernel) SetCosts(c CostModel) { k.costs = c }
@@ -177,6 +198,8 @@ func (k *Kernel) Spawn(image, cmdLine string, parent PID) (*Process, error) {
 	k.procs[p.ID] = p
 	k.liveProcs++
 	k.trace(p.ID, "spawn image=%s cmd=%q parent=%d", image, cmdLine, parent)
+	k.tel.Emit(k.clock.Now(), uint32(p.ID), telemetry.KindSpawn, image, uint64(parent), 0)
+	k.tel.Add(telemetry.CtrSpawn, 1)
 	go p.run(entry)
 	k.makeReady(p)
 	return p, nil
@@ -230,6 +253,7 @@ func (k *Kernel) Step() bool {
 		}
 		p.state = procRunning
 		k.current = p
+		k.tel.Add(telemetry.CtrSchedQuanta, 1)
 		p.resume <- resumeAction{kill: p.pendingKill, killCode: p.pendingKillCode}
 		<-k.procYield
 		k.current = nil
@@ -281,8 +305,10 @@ func (k *Kernel) LiveProcesses() int { return k.liveProcs }
 
 // KillAll terminates every live process (used between fault-injection runs
 // to tear the workload down, mirroring DTS "workload termination").
+// Termination runs in PID order — not process-map order — so the teardown
+// sequence, and therefore the telemetry trace, is deterministic.
 func (k *Kernel) KillAll() {
-	for _, p := range k.procs {
+	for _, p := range k.Processes() {
 		if p.state != procTerminated {
 			p.Terminate(ExitTerminated)
 		}
@@ -294,8 +320,12 @@ func (k *Kernel) KillAll() {
 }
 
 // dispatchSyscall runs the interceptor over the raw parameters of a call.
-// The win32 layer calls this once per API function invocation.
+// The win32 layer calls this once per API function invocation. The
+// telemetry event is emitted before the interceptor runs, so the trace
+// records every dispatch that the injector could corrupt.
 func (k *Kernel) dispatchSyscall(p *Process, fn string, raw []uint64) {
+	k.tel.Emit(k.clock.Now(), uint32(p.ID), telemetry.KindSyscall, fn, uint64(len(raw)), 0)
+	k.tel.Add(telemetry.CtrSyscalls, 1)
 	if k.interceptor != nil {
 		k.interceptor.BeforeSyscall(p.ID, p.Image, fn, raw)
 	}

@@ -2,8 +2,10 @@ package ntsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
 )
 
@@ -99,8 +101,18 @@ func (p *Process) finalize(code uint32) {
 	p.endTime = p.k.clock.Now()
 	p.k.liveProcs--
 	p.k.trace(p.ID, "exit code=0x%X", code)
-	// Close all handles (releases owned mutexes, pipe ends, etc.).
+	p.k.tel.Emit(p.endTime, uint32(p.ID), telemetry.KindExit, p.Image, uint64(code), 0)
+	p.k.tel.Add(telemetry.CtrExit, 1)
+	// Close all handles (releases owned mutexes, pipe ends, etc.) in
+	// creation order — handle values are monotone and never reused — so
+	// the teardown sequence (and its telemetry trace) is deterministic;
+	// bare map iteration here would leak randomized order into the trace.
+	hs := make([]Handle, 0, len(p.handles))
 	for h := range p.handles {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
 		p.closeHandleInternal(h)
 	}
 	p.obj.signalExit(p.k)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ntdts/internal/ntsim"
+	"ntdts/internal/telemetry"
 )
 
 // The canonical probe program: one simulated process that exercises every
@@ -72,6 +73,7 @@ func SetupProbe(k *ntsim.Kernel) {
 // process for inspection. A probe that did not terminate by the deadline is
 // the simulation's "hang" consequence and exits with ExitTerminated.
 func RunProbe(k *ntsim.Kernel) (*ntsim.Process, error) {
+	span := telemetry.StartSpan(k.Telemetry(), k.Now(), 0, telemetry.SpanProbe)
 	srv, err := k.Spawn(ProbeServerImage, ProbeServerImage, 0)
 	if err != nil {
 		return nil, err
@@ -88,6 +90,7 @@ func RunProbe(k *ntsim.Kernel) (*ntsim.Process, error) {
 		srv.Terminate(ntsim.ExitTerminated)
 	}
 	k.KillAll()
+	span.End(k.Now())
 	return probe, nil
 }
 

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// Set is an ordered collection of per-run recorders — one per campaign
+// run, sweep cell, or probe — merged deterministically in run-index
+// order. A nil entry means that run recorded nothing (e.g. a conformance
+// cell the probe never reaches); its index is still occupied, so run
+// numbering in exports is stable across worker counts and seeds.
+type Set struct {
+	Runs []*Recorder
+}
+
+// NewSet wraps recorders (nil entries allowed) in run-index order.
+func NewSet(runs ...*Recorder) *Set { return &Set{Runs: runs} }
+
+// Append adds one run's recorder (possibly nil) at the next index.
+func (s *Set) Append(r *Recorder) { s.Runs = append(s.Runs, r) }
+
+// Events reports the total number of retained trace events.
+func (s *Set) Events() int {
+	n := 0
+	for _, r := range s.Runs {
+		if r != nil {
+			n += len(r.events)
+		}
+	}
+	return n
+}
+
+// Dropped reports the total number of ring-displaced events.
+func (s *Set) Dropped() uint64 {
+	var n uint64
+	for _, r := range s.Runs {
+		if r != nil {
+			n += r.dropped
+		}
+	}
+	return n
+}
+
+// TraceLine is one ingested trace record: the run index plus the event.
+type TraceLine struct {
+	Run   int
+	Event Event
+}
+
+// jsonEvent is the JSONL wire form of one trace line. Field order is the
+// struct order, so encoding is byte-stable.
+type jsonEvent struct {
+	Run  int    `json:"run"`
+	At   int64  `json:"at"` // virtual nanoseconds since the run epoch
+	PID  uint32 `json:"pid"`
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	A    uint64 `json:"a"`
+	B    uint64 `json:"b"`
+}
+
+// WriteJSONL streams the merged trace as one JSON object per line, runs
+// in index order, events in emission order — byte-identical for any
+// worker count that produced the recorders.
+func (s *Set) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for run, r := range s.Runs {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.Events() {
+			if err := writeJSONEvent(bw, run, e); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeJSONEvent(w io.Writer, run int, e Event) error {
+	// Hand-rolled for speed and exact field order; Name is the only field
+	// that needs quoting.
+	_, err := fmt.Fprintf(w, `{"run":%d,"at":%d,"pid":%d,"kind":%q,"name":%q,"a":%d,"b":%d}`+"\n",
+		run, int64(e.At), e.PID, e.Kind.String(), e.Name, e.A, e.B)
+	return err
+}
+
+// WriteCSV streams the merged trace as CSV with a fixed header.
+func (s *Set) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "run,at,pid,kind,name,a,b\n"); err != nil {
+		return err
+	}
+	for run, r := range s.Runs {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.Events() {
+			_, err := fmt.Fprintf(bw, "%d,%d,%d,%s,%s,%d,%d\n",
+				run, int64(e.At), e.PID, e.Kind, csvEscape(e.Name), e.A, e.B)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// csvEscape quotes a field only when it needs it (names with commas —
+// fault specs never have them, but custom span labels might).
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// ReadJSONL parses a trace previously written by WriteJSONL. Unknown
+// kinds parse to Kind 0 rather than failing, so newer traces stay
+// readable by older readers.
+func ReadJSONL(r io.Reader) ([]TraceLine, error) {
+	var out []TraceLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(line), &je); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, TraceLine{
+			Run: je.Run,
+			Event: Event{
+				At:   vclock.Time(je.At),
+				PID:  je.PID,
+				Kind: kindFromString(je.Kind),
+				Name: je.Name,
+				A:    je.A,
+				B:    je.B,
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergedCounters sums every run's counters. Keys are returned sorted so
+// iteration is deterministic.
+func (s *Set) MergedCounters() (names []string, values map[string]int64) {
+	values = make(map[string]int64)
+	for _, r := range s.Runs {
+		if r == nil {
+			continue
+		}
+		for name, v := range r.counters {
+			values[name] += v
+		}
+	}
+	names = make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, values
+}
+
+// MergedHists merges every run's histograms. Keys are returned sorted.
+func (s *Set) MergedHists() (names []string, hists map[string]*Hist) {
+	hists = make(map[string]*Hist)
+	for _, r := range s.Runs {
+		if r == nil {
+			continue
+		}
+		for name, h := range r.hists {
+			m := hists[name]
+			if m == nil {
+				m = newHist()
+				hists[name] = m
+			}
+			m.merge(h)
+		}
+	}
+	names = make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, hists
+}
+
+// MetricsText renders the merged metrics as a deterministic text table:
+// sorted counters, then sorted histograms with their non-empty buckets.
+// Two Sets produced from the same runs render byte-identically whatever
+// the worker count that executed them.
+func (s *Set) MetricsText() string {
+	var b strings.Builder
+	runs := 0
+	for _, r := range s.Runs {
+		if r != nil {
+			runs++
+		}
+	}
+	fmt.Fprintf(&b, "runs %d  events %d  dropped %d\n", runs, s.Events(), s.Dropped())
+
+	names, counters := s.MergedCounters()
+	if len(names) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-24s %d\n", name, counters[name])
+		}
+	}
+	hnames, hists := s.MergedHists()
+	if len(hnames) > 0 {
+		b.WriteString("histograms (virtual time):\n")
+		for _, name := range hnames {
+			h := hists[name]
+			fmt.Fprintf(&b, "  %-24s n=%d sum=%s%s\n", name, h.N, h.Sum, bucketText(h))
+		}
+	}
+	return b.String()
+}
+
+// bucketText renders a histogram's non-empty buckets in bound order.
+func bucketText(h *Hist) string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(histBuckets) {
+			fmt.Fprintf(&b, " le%s=%d", compactDur(histBuckets[i]), c)
+		} else {
+			fmt.Fprintf(&b, " inf=%d", c)
+		}
+	}
+	return b.String()
+}
+
+// compactDur renders bucket bounds without trailing zero units
+// (time.Duration.String renders 2s as "2s" and 1.024s as "1.024s";
+// both are stable, so the default formatting suffices).
+func compactDur(d time.Duration) string { return d.String() }

@@ -1,0 +1,329 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ntdts/internal/determinism"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/vclock"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from live behaviour")
+
+// --- Recorder unit tests -----------------------------------------------------
+
+func TestRecorderRingWrap(t *testing.T) {
+	rec := telemetry.NewRecorder(4)
+	for i := 0; i < 7; i++ {
+		rec.Emit(vclock.Time(i), 1, telemetry.KindPhase, "e", uint64(i), 0)
+	}
+	events := rec.Events()
+	if len(events) != 4 {
+		t.Fatalf("%d events retained, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(i + 3); e.A != want {
+			t.Fatalf("event %d has A=%d, want %d (oldest must be displaced first)", i, e.A, want)
+		}
+	}
+	if rec.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", rec.Dropped())
+	}
+}
+
+func TestRecorderCountersAndHists(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	rec.Add("x", 2)
+	rec.Add("x", 3)
+	if got := rec.Counter("x"); got != 5 {
+		t.Fatalf("counter x = %d, want 5", got)
+	}
+	if got := rec.Counter("never"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+	rec.Observe("h", 3*time.Millisecond)
+	rec.Observe("h", 40*time.Second)
+	_, hists := telemetry.NewSet(rec).MergedHists()
+	h := hists["h"]
+	if h == nil || h.N != 2 || h.Sum != 3*time.Millisecond+40*time.Second {
+		t.Fatalf("histogram %+v", h)
+	}
+}
+
+func TestSpanBracketsAndObserves(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	span := telemetry.StartSpan(rec, 100, 7, "work")
+	span.End(100 + vclock.Time(2*time.Second))
+	events := rec.Events()
+	if len(events) != 2 ||
+		events[0].Kind != telemetry.KindSpanBegin ||
+		events[1].Kind != telemetry.KindSpanEnd {
+		t.Fatalf("span events %+v", events)
+	}
+	if events[1].A != uint64(2*time.Second) {
+		t.Fatalf("span-end duration %d", events[1].A)
+	}
+	_, hists := telemetry.NewSet(rec).MergedHists()
+	if h := hists["work"]; h == nil || h.N != 1 || h.Sum != 2*time.Second {
+		t.Fatalf("span histogram %+v", hists["work"])
+	}
+}
+
+// TestSetIndexStability: nil recorders occupy their run index, so exports
+// number later runs identically whether or not earlier runs recorded.
+func TestSetIndexStability(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	rec.Emit(1, 0, telemetry.KindPhase, "only", 0, 0)
+	set := telemetry.NewSet(nil, nil, rec)
+	var buf bytes.Buffer
+	if err := set.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"run":2,`) {
+		t.Fatalf("run index not preserved across nil entries: %s", buf.String())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	rec.Emit(5, 1, telemetry.KindSyscall, "ReadFile", 5, 0)
+	rec.Emit(9, 0, telemetry.KindFaultInjected, `odd "name", with comma`, 7, 8)
+	set := telemetry.NewSet(rec)
+	var buf bytes.Buffer
+	if err := set.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := telemetry.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	want := rec.Events()
+	for i, l := range lines {
+		if l.Run != 0 || l.Event != want[i] {
+			t.Fatalf("line %d: %+v != %+v", i, l.Event, want[i])
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	rec.Emit(5, 1, telemetry.KindSyscall, "ReadFile", 5, 0)
+	rec.Emit(6, 1, telemetry.KindPhase, "a,b", 0, 0)
+	var buf bytes.Buffer
+	if err := telemetry.NewSet(rec).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "run,at,pid,kind,name,a,b" {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+	if lines[1] != "0,5,1,syscall,ReadFile,5,0" {
+		t.Fatalf("csv row %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"a,b"`) {
+		t.Fatalf("comma name not quoted: %q", lines[2])
+	}
+}
+
+func TestMetricsTextMerges(t *testing.T) {
+	a := telemetry.NewRecorder(0)
+	a.Add("c", 1)
+	a.Observe("h", time.Second)
+	b := telemetry.NewRecorder(0)
+	b.Add("c", 2)
+	b.Observe("h", time.Second)
+	text := telemetry.NewSet(a, b).MetricsText()
+	if !strings.Contains(text, "runs 2") || !strings.Contains(text, "c                        3") {
+		t.Fatalf("metrics text:\n%s", text)
+	}
+	if !strings.Contains(text, "n=2 sum=2s") {
+		t.Fatalf("histogram line missing:\n%s", text)
+	}
+}
+
+// --- Zero-allocation disabled path -------------------------------------------
+
+// TestNopDispatchAllocs proves the disabled telemetry path allocates
+// nothing: the exact call shapes the kernel hot paths use, through the
+// Collector interface, must be free.
+func TestNopDispatchAllocs(t *testing.T) {
+	var c telemetry.Collector = telemetry.Nop{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.Enabled() {
+			t.Fatal("Nop reports enabled")
+		}
+		c.Emit(1, 2, telemetry.KindSyscall, "ReadFile", 3, 4)
+		c.Add(telemetry.CtrSyscalls, 1)
+		c.Observe(telemetry.HistRunResponse, time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop dispatch allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// --- Golden probe trace ------------------------------------------------------
+
+// probeTrace runs the fault-free win32 probe under a recorder big enough
+// to retain every event and returns the JSONL export.
+func probeTrace(t *testing.T) string {
+	t.Helper()
+	rec := telemetry.NewRecorder(1 << 16)
+	k := ntsim.NewKernel()
+	k.SetTelemetry(rec)
+	win32.SetupProbe(k)
+	if _, err := win32.RunProbe(k); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("probe trace dropped %d events; raise the test cap", rec.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := telemetry.NewSet(rec).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestProbeTraceGolden pins the probe's full telemetry trace byte-for-byte.
+// Any change to what the kernel or probe emits — order, timestamps, names —
+// shows up as a first-divergence diff. Regenerate with:
+//
+//	go test ./internal/telemetry -run TestProbeTraceGolden -update
+func TestProbeTraceGolden(t *testing.T) {
+	got := probeTrace(t)
+	const path = "testdata/probe_trace.golden"
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	determinism.AssertSameTranscript(t, "probe telemetry trace", got, string(want),
+		func(i int, _, _ string) string {
+			return fmt.Sprintf("go test ./internal/telemetry -run TestProbeTraceGolden -update # line %d", i+1)
+		})
+}
+
+// TestProbeTraceRepeatable: two fresh kernels produce byte-identical
+// traces — the golden file never flakes.
+func TestProbeTraceRepeatable(t *testing.T) {
+	if a, b := probeTrace(t), probeTrace(t); a != b {
+		determinism.AssertSameTranscript(t, "probe trace rerun", b, a, nil)
+	}
+}
+
+// --- Trace property tests ----------------------------------------------------
+
+// propertySpecs samples the injectable catalog across parameters and fault
+// types — every third entry keeps the test fast while spanning the API
+// surface.
+func propertySpecs() []inject.FaultSpec {
+	var specs []inject.FaultSpec
+	types := inject.AllFaultTypes()
+	i := 0
+	for _, e := range win32.Catalog() {
+		if e.Params == 0 {
+			continue
+		}
+		if i++; i%3 != 0 {
+			continue
+		}
+		specs = append(specs, inject.FaultSpec{
+			Function:   e.Name,
+			Param:      i % e.Params,
+			Invocation: 1,
+			Type:       types[i%len(types)],
+		})
+	}
+	return specs
+}
+
+// TestTraceProperties checks two structural invariants over injected probe
+// runs spanning the catalog:
+//
+//  1. Per-process timestamps are monotone non-decreasing: virtual time
+//     never runs backwards for any PID (events of one process interleave
+//     with others only at scheduling boundaries).
+//  2. Fault lifecycle pairing: every activation event names the armed
+//     spec, arming happens exactly once and before any activation, and an
+//     injection event implies a preceding activation.
+func TestTraceProperties(t *testing.T) {
+	specs := propertySpecs()
+	if len(specs) < 50 {
+		t.Fatalf("only %d property specs; catalog shrank?", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		rec := telemetry.NewRecorder(1 << 16)
+		k := ntsim.NewKernel()
+		k.SetTelemetry(rec)
+		injector := inject.New(k, inject.ByImage(win32.ProbeImage), &spec)
+		k.SetInterceptor(injector)
+		win32.SetupProbe(k)
+		if _, err := win32.RunProbe(k); err != nil {
+			t.Fatalf("%s: %v", spec.String(), err)
+		}
+
+		last := make(map[uint32]vclock.Time)
+		var armed, activated, injected int
+		var armedAt, firstActivatedAt vclock.Time
+		for _, e := range rec.Events() {
+			if prev, ok := last[e.PID]; ok && e.At < prev {
+				t.Fatalf("%s: pid %d time runs backwards: %v after %v (%+v)",
+					spec.String(), e.PID, e.At, prev, e)
+			}
+			last[e.PID] = e.At
+			switch e.Kind {
+			case telemetry.KindFaultArmed:
+				armed++
+				armedAt = e.At
+				if e.Name != spec.String() {
+					t.Fatalf("armed event names %q, want %q", e.Name, spec.String())
+				}
+			case telemetry.KindFaultActivated:
+				if activated++; activated == 1 {
+					firstActivatedAt = e.At
+				}
+				if e.Name != spec.String() {
+					t.Fatalf("activation names %q, want armed spec %q", e.Name, spec.String())
+				}
+			case telemetry.KindFaultInjected:
+				injected++
+				if e.Name != spec.String() {
+					t.Fatalf("injection names %q, want armed spec %q", e.Name, spec.String())
+				}
+			}
+		}
+		if armed != 1 {
+			t.Fatalf("%s: %d arming events, want exactly 1", spec.String(), armed)
+		}
+		if activated > 0 && firstActivatedAt < armedAt {
+			t.Fatalf("%s: activation at %v precedes arming at %v",
+				spec.String(), firstActivatedAt, armedAt)
+		}
+		if injected > activated {
+			t.Fatalf("%s: %d injections but only %d activations",
+				spec.String(), injected, activated)
+		}
+		if got := rec.Counter(telemetry.CtrFaultActivated); got != int64(activated) {
+			t.Fatalf("%s: activation counter %d != %d events", spec.String(), got, activated)
+		}
+	}
+}

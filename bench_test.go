@@ -11,6 +11,7 @@ package ntdts_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
 	"ntdts/internal/inject"
+	"ntdts/internal/journal"
 	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/ntsim/win32"
@@ -368,6 +370,78 @@ func BenchmarkCampaignTraced(b *testing.B) {
 	tracedSec := b.Elapsed().Seconds() / float64(b.N)
 	b.ReportMetric(tracedSec/baseSec, "overhead-ratio")
 	b.ReportMetric(float64(events), "trace-events")
+}
+
+// BenchmarkCampaignJournaled pins the supervision tax: the same Apache1
+// stand-alone campaign run under the resilient supervisor with a
+// crash-safe results journal (one fsync'd JSONL record per run plus
+// periodic checkpoints), compared against an unsupervised baseline
+// measured in the same process. The overhead-ratio metric (journaled
+// time / bare time) is what the kill-resume CI job gates on; the target
+// is < 1.10.
+func BenchmarkCampaignJournaled(b *testing.B) {
+	bare := func() *core.SetResult {
+		c := &core.Campaign{
+			Runner:      core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			Parallelism: 1,
+		}
+		set, err := c.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return set
+	}
+	jpath := filepath.Join(b.TempDir(), "bench.journal")
+	journaled := func() *core.SetResult {
+		jw, err := journal.Create(jpath, journal.Header{Workload: "Apache1", Supervision: "none"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup := core.NewSupervisor(core.SupervisorOptions{})
+		sup.AttachJournal(jw)
+		c := &core.Campaign{
+			Runner:      core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			Parallelism: 1,
+			Supervise:   sup,
+		}
+		set, err := c.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := jw.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if err := jw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return set
+	}
+
+	// The pairs are interleaved — bare, journaled, bare, journaled — so
+	// slow drift in machine load (which dwarfs the small ratio being
+	// measured over single ~70ms campaigns) cancels instead of biasing
+	// one side.
+	bare()
+	var bareNS, journaledNS int64
+	records := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		base := bare()
+		t1 := time.Now()
+		set := journaled()
+		bareNS += int64(t1.Sub(t0))
+		journaledNS += int64(time.Since(t1))
+		if len(set.Runs) != len(base.Runs) {
+			b.Fatalf("journaled campaign ran %d faults, baseline %d", len(set.Runs), len(base.Runs))
+		}
+		if len(set.Quarantined) != 0 {
+			b.Fatalf("%d runs quarantined in a healthy campaign", len(set.Quarantined))
+		}
+		records = len(set.Runs)
+	}
+	b.ReportMetric(float64(journaledNS)/float64(bareNS), "overhead-ratio")
+	b.ReportMetric(float64(records), "journal-records")
 }
 
 // BenchmarkAblationSkipModes compares the calibration-informed skip (ours)

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +38,8 @@ import (
 	"ntdts/internal/config"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
+	"ntdts/internal/inject"
+	"ntdts/internal/journal"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/report"
 	"ntdts/internal/telemetry"
@@ -46,6 +49,10 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dts:", err)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
 		os.Exit(1)
 	}
 }
@@ -67,11 +74,20 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the merged telemetry trace (JSONL, one event per line) to this file")
 	metrics := fs.Bool("metrics", false, "print the merged telemetry counters and virtual-time histograms")
 	traceCap := fs.Int("trace-cap", 0, "per-run telemetry event-ring capacity (0 = default)")
+	journalPath := fs.String("journal", "", "append every completed run to this crash-safe JSONL journal (enables -resume)")
+	resume := fs.String("resume", "", "resume an interrupted campaign from its journal (byte-identical to an uninterrupted run)")
+	runDeadline := fs.Duration("run-deadline", 0, "wall-clock watchdog per run attempt (0 = off); a hung attempt is abandoned and retried")
+	maxQuarantined := fs.Int("max-quarantined", 0, "stop the campaign once this many runs are quarantined (0 = unlimited)")
+	retries := fs.Int("retries", 2, "retry budget for indeterminate runs (hang, panic, error) before quarantine")
+	chaos := fs.Bool("chaos", false, "recognize the reserved DTSChaos* fault functions (supervisor self-test)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (got %d)", *retries)
 	}
 
 	progress := func(line string) {
@@ -80,8 +96,24 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	tflags := telemetryFlags{traceOut: *traceOut, metrics: *metrics, traceCap: *traceCap}
+	sflags := superviseFlags{journal: *journalPath, runDeadline: *runDeadline,
+		maxQuarantined: *maxQuarantined, retries: *retries, chaos: *chaos}
 	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel}
 	ecfg.Opts.Telemetry = tflags.options()
+	if sflags.active() {
+		opts := sflags.options()
+		ecfg.Supervise = &opts
+	}
+
+	if *resume != "" {
+		if *cfgPath != "" || *experiment != "" || *conformance || *journalPath != "" {
+			return fmt.Errorf("-resume takes the campaign from its journal; drop -config/-experiment/-conformance/-journal")
+		}
+		return runResume(*resume, *outPath, *parallel, tflags, progress, out)
+	}
+	if *journalPath != "" && (*experiment != "" || *conformance || *faultSpec != "") {
+		return fmt.Errorf("-journal requires a -config campaign (generated or fault-list)")
+	}
 
 	switch {
 	case *conformance:
@@ -91,9 +123,9 @@ func run(args []string, out io.Writer) error {
 	case *cfgPath != "" && *faultSpec != "":
 		return runSingleFault(*cfgPath, *faultSpec, *trace, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(*cfgPath, *outPath, *parallel, tflags, progress, out)
+		return runConfigured(*cfgPath, *outPath, *parallel, tflags, sflags, progress, out)
 	default:
-		return fmt.Errorf("one of -config or -experiment is required")
+		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
 }
 
@@ -267,7 +299,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags, progress func(string), out io.Writer) error {
+func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -287,22 +319,59 @@ func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags,
 	opts.WatchdVersion = cfg.WatchdVersion
 	opts.Telemetry = tflags.options()
 	runner := core.NewRunner(def, opts)
+	if outPath == "" {
+		outPath = cfg.Results
+	}
+
+	var sup *core.Supervisor
+	if sflags.active() {
+		sup = core.NewSupervisor(sflags.options())
+		if sflags.journal != "" {
+			jw, jerr := journal.Create(sflags.journal, journalHeader(cfg, def, opts, tflags, sflags))
+			if jerr != nil {
+				return jerr
+			}
+			sup.AttachJournal(jw)
+		}
+		detach := watchSignals(sup)
+		defer detach()
+	}
 
 	var set *core.SetResult
 	if cfg.FaultList != "" {
-		set, err = runFaultListFile(runner, cfg.FaultList, parallel, progress)
+		set, err = runFaultListFile(runner, cfg.FaultList, parallel, progress, sup)
 	} else {
-		campaign := &core.Campaign{Runner: runner, Parallelism: parallel, Progress: func(done, total int) {
-			if done%100 == 0 || done == total {
-				progress(fmt.Sprintf("%d/%d faults injected", done, total))
-			}
-		}}
+		campaign := &core.Campaign{Runner: runner, Parallelism: parallel, Supervise: sup,
+			Progress: campaignProgress(progress)}
 		set, err = campaign.Execute()
 	}
-	if err != nil {
-		return err
+	if sup == nil {
+		if err != nil {
+			return err
+		}
+		printSetSummary(set, out)
+		if err := tflags.emit(set.Telemetry, out); err != nil {
+			return err
+		}
+		return saveSet(set, outPath)
 	}
+	hint := resumeCommand(sflags.journal, outPath, parallel, tflags)
+	return finishSupervised(set, err, outPath, sup, hint, tflags, out)
+}
 
+// campaignProgress adapts the line-oriented progress sink to the
+// campaign's (done, total) callback.
+func campaignProgress(progress func(string)) func(done, total int) {
+	return func(done, total int) {
+		if done%100 == 0 || done == total {
+			progress(fmt.Sprintf("%d/%d faults injected", done, total))
+		}
+	}
+}
+
+// printSetSummary renders the distribution and top-failure view of a
+// finished (or partial) set.
+func printSetSummary(set *core.SetResult, out io.Writer) {
 	d := set.Distribution()
 	fmt.Fprintf(out, "\n%s/%s: %d activated functions, %d injected faults\n",
 		set.Workload, set.Supervision, set.ActivatedFns, d.Total)
@@ -310,19 +379,16 @@ func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags,
 		fmt.Fprintf(out, "  %-22s %5d (%.1f%%)\n", o, d.Counts[o.String()], d.Pct[o.String()])
 	}
 	fmt.Fprint(out, "\n", report.TopFailures(set, 20))
-	if err := tflags.emit(set.Telemetry, out); err != nil {
-		return err
-	}
+}
 
-	if outPath == "" {
-		outPath = cfg.Results
-	}
-	return saveArchive(&experiments.Archive{Kind: "set", Set: set}, outPath)
+// saveSet archives one workload set.
+func saveSet(set *core.SetResult, path string) error {
+	return saveArchive(&experiments.Archive{Kind: "set", Set: set}, path)
 }
 
 // runFaultListFile executes an explicit fault list instead of the
 // generated catalog sweep, on the same worker pool as campaigns.
-func runFaultListFile(runner *core.Runner, path string, parallel int, progress func(string)) (*core.SetResult, error) {
+func runFaultListFile(runner *core.Runner, path string, parallel int, progress func(string), sup *core.Supervisor) (*core.SetResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -332,6 +398,14 @@ func runFaultListFile(runner *core.Runner, path string, parallel int, progress f
 	if err != nil {
 		return nil, err
 	}
+	return runSpecSet(runner, specs, parallel, progress, sup)
+}
+
+// runSpecSet runs an explicit spec list (from a fault-list file or a
+// resumed journal's plan) as one workload set. Under a supervisor a
+// graceful stop returns the partial set alongside the stop cause, the
+// same contract as Campaign.Execute.
+func runSpecSet(runner *core.Runner, specs []inject.FaultSpec, parallel int, progress func(string), sup *core.Supervisor) (*core.SetResult, error) {
 	_, calib, err := runner.ActivationScan()
 	if err != nil {
 		return nil, err
@@ -342,18 +416,26 @@ func runFaultListFile(runner *core.Runner, path string, parallel int, progress f
 		ActivatedFns: calib.ActivatedFns,
 		FaultFreeSec: calib.ResponseSec,
 	}
-	runs, err := core.RunSpecs(runner, specs, parallel, func(done, total int) {
-		if done%100 == 0 || done == total {
-			progress(fmt.Sprintf("%d/%d faults injected", done, total))
+	runs, err := core.RunSpecsSupervised(runner, specs, parallel, campaignProgress(progress), sup)
+	finish := func() {
+		set.Runs = runs
+		if sup != nil {
+			set.Quarantined = sup.Quarantined()
 		}
-	})
+		if runner.Opts.Telemetry.Enabled {
+			set.Telemetry = core.CollectTelemetry(calib, runs)
+		}
+	}
 	if err != nil {
+		var budget *core.QuarantineBudgetError
+		if sup != nil && (errors.Is(err, core.ErrInterrupted) || errors.As(err, &budget)) {
+			set.Partial = true
+			finish()
+			return set, err
+		}
 		return nil, err
 	}
-	set.Runs = runs
-	if runner.Opts.Telemetry.Enabled {
-		set.Telemetry = core.CollectTelemetry(calib, runs)
-	}
+	finish()
 	return set, nil
 }
 

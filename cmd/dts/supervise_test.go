@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ntdts/internal/experiments"
+)
+
+// writeChaosList writes a config + fault list mixing the reserved chaos
+// functions with ordinary faults.
+func writeChaosList(t *testing.T, dir, faults string) string {
+	t.Helper()
+	listPath := filepath.Join(dir, "faults.lst")
+	if err := os.WriteFile(listPath, []byte(faults), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "dts.cfg")
+	if err := os.WriteFile(cfgPath, []byte(
+		"workload = IIS\nmiddleware = none\nfault_list = "+listPath+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}
+
+// TestRunChaosQuarantine: a deliberately panicking and a deliberately
+// hanging spec are quarantined with evidence in the report; the ordinary
+// runs complete and the archive records the quarantine placeholders.
+func TestRunChaosQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := writeChaosList(t, dir,
+		"ReadFile 1 1 flip\nDTSChaosPanic 0 1 flip\nDTSChaosHang 0 1 flip\nGetVersionExA 0 1 zero\n")
+	outPath := filepath.Join(dir, "out.json")
+	var out bytes.Buffer
+	err := run([]string{"-config", cfgPath, "-out", outPath, "-q",
+		"-chaos", "-run-deadline", "100ms", "-retries", "1", "-parallel", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Quarantined runs: 2",
+		"DTSChaosPanic", "panic after 2 attempts", "deliberate panic",
+		"DTSChaosHang", "hang after 2 attempts", "wall-clock deadline",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("quarantine report missing %q:\n%s", want, text)
+		}
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := experiments.LoadArchive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Set.Runs) != 4 || len(a.Set.Quarantined) != 2 {
+		t.Fatalf("archive: %d runs, %d quarantined", len(a.Set.Runs), len(a.Set.Quarantined))
+	}
+	if a.Set.Partial {
+		t.Fatal("completed campaign marked partial")
+	}
+	if !a.Set.Runs[1].Quarantined || !a.Set.Runs[2].Quarantined {
+		t.Fatal("quarantine placeholders not flagged in runs")
+	}
+}
+
+// TestRunMaxQuarantinedBudget: crossing -max-quarantined stops the
+// campaign with the dedicated exit code and saves partial results.
+func TestRunMaxQuarantinedBudget(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := writeChaosList(t, dir,
+		"DTSChaosPanic 0 1 flip\nReadFile 1 1 flip\nGetVersionExA 0 1 zero\n")
+	outPath := filepath.Join(dir, "out.json")
+	var out bytes.Buffer
+	err := run([]string{"-config", cfgPath, "-out", outPath, "-q",
+		"-chaos", "-retries", "0", "-max-quarantined", "1", "-parallel", "1"}, &out)
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != exitQuarantineBudget {
+		t.Fatalf("budget overrun returned %v, want exit code %d", err, exitQuarantineBudget)
+	}
+	if !strings.Contains(out.String(), "quarantine budget reached") {
+		t.Fatalf("output missing budget message:\n%s", out.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := experiments.LoadArchive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Set.Partial {
+		t.Fatal("budget-stopped archive not marked partial")
+	}
+	if len(a.Set.Quarantined) != 1 {
+		t.Fatalf("%d quarantined, want 1", len(a.Set.Quarantined))
+	}
+}
+
+func TestRunFlagConflicts(t *testing.T) {
+	var out bytes.Buffer
+	for _, tc := range [][]string{
+		{"-resume", "x.journal", "-config", "dts.cfg"},
+		{"-resume", "x.journal", "-experiment", "table1"},
+		{"-resume", "x.journal", "-conformance"},
+		{"-resume", "x.journal", "-journal", "y.journal"},
+		{"-journal", "x.journal", "-experiment", "table1"},
+		{"-journal", "x.journal", "-conformance"},
+		{"-experiment", "table1", "-retries", "-1"},
+	} {
+		if err := run(tc, &out); err == nil {
+			t.Errorf("args %v accepted", tc)
+		}
+	}
+}
+
+// TestRunResumeTelemetryMismatch: a journal records whether telemetry was
+// collected; resuming with a different setting cannot be byte-identical,
+// so it is refused with a directive error.
+func TestRunResumeTelemetryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := writeChaosList(t, dir, "ReadFile 1 1 flip\nGetVersionExA 0 1 zero\n")
+	jpath := filepath.Join(dir, "t.journal")
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-q", "-journal", jpath,
+		"-out", filepath.Join(dir, "out.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-resume", jpath, "-metrics", "-q"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "telemetry") {
+		t.Fatalf("telemetry mismatch returned %v", err)
+	}
+	// Matching setting resumes cleanly (everything replays).
+	if err := run([]string{"-resume", jpath, "-q"}, &out); err != nil {
+		t.Fatalf("clean resume: %v", err)
+	}
+}
+
+// TestRunResumeMissingJournal: a bad journal path is a plain error.
+func TestRunResumeMissingJournal(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-resume", filepath.Join(t.TempDir(), "absent.journal")}, &out); err == nil {
+		t.Fatal("missing journal accepted")
+	}
+}

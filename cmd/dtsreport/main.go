@@ -76,7 +76,13 @@ func run(args []string) error {
 		d := archive.Set.Distribution()
 		fmt.Printf("%s/%s: %d injected faults, %.1f%% failures\n",
 			archive.Set.Workload, archive.Set.Supervision, d.Total, archive.Set.FailurePct())
+		if archive.Set.Partial {
+			fmt.Printf("PARTIAL results: the campaign was stopped before completing its plan\n")
+		}
 		fmt.Print(report.TopFailures(archive.Set, 50))
+		if len(archive.Set.Quarantined) != 0 {
+			fmt.Print("\n", report.Quarantine(archive.Set.Quarantined))
+		}
 	case "figure2":
 		if archive.Experiment == nil {
 			return fmt.Errorf("archive holds %q, not figure2 data", archive.Kind)

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ntdts/internal/config"
@@ -17,14 +18,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "faultgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("faultgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	function := fs.String("function", "", "restrict to a single function")
 	outPath := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -46,7 +48,7 @@ func run(args []string) error {
 	}
 	specs := config.GenerateFaultList(entries)
 
-	out := os.Stdout
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -58,6 +60,6 @@ func run(args []string) error {
 	if err := config.WriteFaultList(out, specs); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "faultgen: %d faults over %d functions\n", len(specs), len(entries))
+	fmt.Fprintf(stderr, "faultgen: %d faults over %d functions\n", len(specs), len(entries))
 	return nil
 }

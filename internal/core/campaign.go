@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,13 @@ type SetResult struct {
 	Runs          []RunResult `json:"runs"`         // injected faults only
 	SkippedFns    int         `json:"skippedFns"`   // unactivated functions
 	SkippedFaults int         `json:"skippedFaults"`
+
+	// Quarantined lists the runs the campaign supervisor gave up on
+	// (empty on unsupervised campaigns); Partial marks a set cut short by
+	// an interrupt or the quarantine budget — its Runs slice still spans
+	// the full plan, with zero-valued entries for runs never executed.
+	Quarantined []QuarantineEntry `json:"quarantined,omitempty"`
+	Partial     bool              `json:"partial,omitempty"`
 
 	// Telemetry holds the per-run collectors in deterministic order —
 	// the calibration run first, then every run at its fault-list
@@ -119,6 +127,10 @@ type Campaign struct {
 	// Invocations are serialized and done increases strictly by one,
 	// regardless of Parallelism.
 	Progress func(done, total int)
+	// Supervise, when non-nil, routes every run through the campaign
+	// supervisor: wall-clock watchdog, panic quarantine, bounded retries,
+	// the results journal, and replay-on-resume.
+	Supervise *Supervisor
 }
 
 // Execute runs the campaign: a fault-free calibration pass, then one run
@@ -158,11 +170,32 @@ func (c *Campaign) Execute() (*SetResult, error) {
 	plan := planFor(activated, types, invocation, c.PaperFaithfulSkips)
 	set.SkippedFns = plan.skippedFns
 	set.SkippedFaults = plan.skippedFaults
-	runs, err := executeJobs(c.Runner, plan.jobs, c.Parallelism, plan.faults, c.Progress)
+	if c.Supervise != nil {
+		if err := c.Supervise.syncPlan(plan.jobs); err != nil {
+			return nil, err
+		}
+	}
+	runs, err := executeJobs(c.Runner, plan.jobs, c.Parallelism, plan.faults, c.Progress, c.Supervise)
 	if err != nil {
+		// A supervisor stop (interrupt, quarantine budget) is graceful
+		// degradation: return the partial set alongside the cause so the
+		// caller can report what finished.
+		var budget *QuarantineBudgetError
+		if c.Supervise != nil && (errors.Is(err, ErrInterrupted) || errors.As(err, &budget)) {
+			set.Runs = runs
+			set.Partial = true
+			set.Quarantined = c.Supervise.Quarantined()
+			if c.Runner.Opts.Telemetry.Enabled {
+				set.Telemetry = CollectTelemetry(calib, runs)
+			}
+			return set, err
+		}
 		return nil, err
 	}
 	set.Runs = runs
+	if c.Supervise != nil {
+		set.Quarantined = c.Supervise.Quarantined()
+	}
 	if c.Runner.Opts.Telemetry.Enabled {
 		set.Telemetry = CollectTelemetry(calib, runs)
 	}
@@ -215,9 +248,7 @@ func (e *Experiment) Workloads() []string {
 // CommonInjected returns, for two sets, the run pairs whose fault specs
 // were injected in both — Table 2's "counting only common faults" basis.
 func CommonInjected(a, b *SetResult) (aRuns, bRuns []RunResult) {
-	key := func(f inject.FaultSpec) string {
-		return fmt.Sprintf("%s/%d/%d/%d", f.Function, f.Param, f.Invocation, int(f.Type))
-	}
+	key := func(f inject.FaultSpec) string { return f.Key() }
 	bByKey := make(map[string]RunResult, len(b.Runs))
 	for _, r := range b.Runs {
 		if r.Injected {

@@ -25,6 +25,13 @@ const (
 	RetrySuccess
 	// Failure: some request never received a correct reply.
 	Failure
+	// HarnessHang is a supervisor classification, not one of the paper's
+	// five: the run exceeded its wall-clock watchdog deadline (a live bug
+	// in the harness or simulator, since virtual time already bounds
+	// simulated hangs) and was abandoned. Quarantined runs carry it; it is
+	// deliberately absent from AllOutcomes so the paper's five-outcome
+	// distributions are unchanged.
+	HarnessHang
 )
 
 // String names the outcome the way the paper's figures label them.
@@ -40,6 +47,8 @@ func (o Outcome) String() string {
 		return "retry success"
 	case Failure:
 		return "failure"
+	case HarnessHang:
+		return "harness hang"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}

@@ -136,7 +136,12 @@ type jobError struct {
 // Each worker owns its own Runner clone. On error the pool stops handing
 // out new jobs, in-flight runs finish, and the lowest-indexed error is
 // returned — the one the sequential engine would have hit first.
-func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal int, progress func(done, total int)) ([]RunResult, error) {
+//
+// With a non-nil Supervisor every run routes through its resilience
+// layer (watchdog, panic quarantine, retries, journal, replay-on-resume)
+// and a supervisor stop (interrupt, quarantine budget) returns the
+// partial results alongside the stop cause.
+func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal int, progress func(done, total int), sup *Supervisor) ([]RunResult, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
@@ -181,18 +186,32 @@ func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal in
 			defer wg.Done()
 			runner := base.Clone()
 			for !stop.Load() {
+				if sup != nil && sup.stopped() {
+					return
+				}
 				i := int(cursor.Add(1))
 				if i >= len(jobs) {
 					return
 				}
 				job := jobs[i]
 				spec := job.spec // plans are shared; never hand out interior pointers
-				res, err := runner.Run(&spec)
+				var (
+					res *RunResult
+					err error
+				)
+				if sup != nil {
+					res, err = sup.execute(runner, i, job)
+				} else {
+					res, err = runner.Run(&spec)
+				}
 				if err != nil {
+					// The fingerprint is the journal key's hash, so a failed
+					// run is greppable in the journal by the same identifier
+					// the error names.
 					if job.probe {
-						fail(i, fmt.Errorf("skip probe %v: %w", spec, err))
+						fail(i, fmt.Errorf("skip probe %v [%s]: %w", spec, spec.Fingerprint(), err))
 					} else {
-						fail(i, fmt.Errorf("run %v: %w", spec, err))
+						fail(i, fmt.Errorf("run %v [%s]: %w", spec, spec.Fingerprint(), err))
 					}
 					return
 				}
@@ -214,6 +233,13 @@ func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal in
 	if firstErr != nil {
 		return nil, firstErr.err
 	}
+	if sup != nil {
+		if cause := sup.stopCause(); cause != nil {
+			// Graceful stop (interrupt or quarantine budget): hand back
+			// whatever the workers finished with the cause.
+			return results, cause
+		}
+	}
 	return results, nil
 }
 
@@ -222,9 +248,22 @@ func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal in
 // and the dts fault-list-file path; parallelism semantics match
 // Campaign.Parallelism (0 = GOMAXPROCS, 1 = sequential).
 func RunSpecs(r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int)) ([]RunResult, error) {
+	return RunSpecsSupervised(r, specs, parallelism, progress, nil)
+}
+
+// RunSpecsSupervised is RunSpecs under a campaign supervisor: runs gain
+// the watchdog/quarantine/retry/journal layer, completed runs replay
+// from a resumed journal, and a supervisor stop returns partial results
+// with the stop cause.
+func RunSpecsSupervised(r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int), sup *Supervisor) ([]RunResult, error) {
 	jobs := make([]planJob, len(specs))
 	for i, s := range specs {
 		jobs[i] = planJob{spec: s}
 	}
-	return executeJobs(r, jobs, parallelism, len(jobs), progress)
+	if sup != nil {
+		if err := sup.syncPlan(jobs); err != nil {
+			return nil, err
+		}
+	}
+	return executeJobs(r, jobs, parallelism, len(jobs), progress, sup)
 }

@@ -30,6 +30,13 @@ type RunResult struct {
 	ServerCrash  bool             `json:"serverCrash"`  // a target process died abnormally
 	ActivatedFns int              `json:"activatedFns"` // distinct functions the target called
 
+	// Retries counts abandoned supervisor attempts that preceded this
+	// recorded one; Quarantined marks a placeholder record for a run the
+	// supervisor gave up on after its retry budget. Both are zero/false on
+	// an unsupervised campaign.
+	Retries     int  `json:"retries,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
+
 	// Telemetry is the run's collector when RunnerOptions.Telemetry is
 	// enabled (nil otherwise). It is per-run — parallel campaign workers
 	// never share one — and is merged in run-index order by the campaign,

@@ -32,6 +32,10 @@ type Config struct {
 	// Invocations are serialized; sets running concurrently never
 	// interleave within a line.
 	Progress func(line string)
+	// Supervise, when non-nil, gives every campaign its own supervisor
+	// with this policy (watchdog, quarantine, retries). Journaling is a
+	// single-campaign facility and is not wired through experiments.
+	Supervise *core.SupervisorOptions
 }
 
 func (c Config) progress(format string, args ...any) {
@@ -191,6 +195,11 @@ func RunFigure2(cfg Config) (*core.Experiment, error) {
 
 func runSet(def workload.Definition, cfg Config) (*core.SetResult, error) {
 	c := &core.Campaign{Runner: core.NewRunner(def, cfg.Opts), Parallelism: cfg.Parallelism}
+	if cfg.Supervise != nil {
+		// One supervisor per set: quarantine lists and budgets are
+		// per-campaign, like the results they annotate.
+		c.Supervise = core.NewSupervisor(*cfg.Supervise)
+	}
 	set, err := c.Execute()
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", def.Name, def.Supervision, err)

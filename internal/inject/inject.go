@@ -8,6 +8,10 @@ package inject
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
 
 	"ntdts/internal/ntsim"
 	"ntdts/internal/telemetry"
@@ -69,6 +73,46 @@ type FaultSpec struct {
 // String renders the spec in fault-list file syntax.
 func (s FaultSpec) String() string {
 	return fmt.Sprintf("%s p%d i%d %s", s.Function, s.Param, s.Invocation, s.Type)
+}
+
+// Key returns the canonical identity of the spec: the string two specs
+// share exactly when they describe the same fault. It is the basis for
+// cross-set run matching and for the journal fingerprint.
+func (s FaultSpec) Key() string {
+	return fmt.Sprintf("%s/%d/%d/%d", s.Function, s.Param, s.Invocation, int(s.Type))
+}
+
+// ParseKey inverts Key. The results journal records each planned job by
+// key, so a resumed campaign can rebuild its fault list from the journal
+// alone, with no dependency on the original fault-list file surviving.
+func ParseKey(key string) (FaultSpec, error) {
+	parts := strings.Split(key, "/")
+	if len(parts) != 4 {
+		return FaultSpec{}, fmt.Errorf("fault key %q: want 4 fields", key)
+	}
+	param, err := strconv.Atoi(parts[1])
+	if err != nil || param < 0 {
+		return FaultSpec{}, fmt.Errorf("fault key %q: bad param", key)
+	}
+	inv, err := strconv.Atoi(parts[2])
+	if err != nil || inv < 1 {
+		return FaultSpec{}, fmt.Errorf("fault key %q: bad invocation", key)
+	}
+	typ, err := strconv.Atoi(parts[3])
+	if err != nil || typ < 1 {
+		return FaultSpec{}, fmt.Errorf("fault key %q: bad type", key)
+	}
+	return FaultSpec{Function: parts[0], Param: param, Invocation: inv, Type: FaultType(typ)}, nil
+}
+
+// Fingerprint returns a short stable hash of Key — the identifier the
+// results journal keys records by and the campaign engine includes in
+// run-failure errors, so a failed run is greppable in the journal by the
+// same string the error names.
+func (s FaultSpec) Fingerprint() string {
+	h := fnv.New64a()
+	io.WriteString(h, s.Key())
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // TargetSelector decides whether a process belongs to the injection target.

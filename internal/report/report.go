@@ -228,3 +228,30 @@ func Transitions(fromLabel, toLabel string, ts []core.Transition, limit int) str
 	}
 	return b.String()
 }
+
+// Quarantine renders the campaign supervisor's quarantine report: every
+// run the retry budget could not save, with the evidence (panic stack or
+// watchdog deadline) a developer needs to chase the harness bug. Stacks
+// are truncated to their leading frames — the journal keeps them whole.
+func Quarantine(entries []core.QuarantineEntry) string {
+	if len(entries) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Quarantined runs: %d\n", len(entries))
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  #%d %v [%s] %s after %d attempts: %s\n",
+			e.Index, e.Fault, e.Key, e.Reason, e.Attempts, e.Message)
+		if e.Stack != "" {
+			lines := strings.Split(strings.TrimRight(e.Stack, "\n"), "\n")
+			const keep = 8
+			if len(lines) > keep {
+				lines = append(lines[:keep:keep], "...")
+			}
+			for _, l := range lines {
+				fmt.Fprintf(&b, "      %s\n", l)
+			}
+		}
+	}
+	return b.String()
+}

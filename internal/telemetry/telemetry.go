@@ -57,6 +57,15 @@ const (
 	// KindPhase is a point-in-time lifecycle marker (run phases, outcome
 	// classification): Name is the phase label, A an optional argument.
 	KindPhase
+	// KindRunRetry marks the campaign supervisor recording abandoned
+	// attempts of a run that eventually completed: Name is the fault spec,
+	// A the number of retries that preceded the recorded attempt, B the
+	// failure-reason code of the last abandoned attempt.
+	KindRunRetry
+	// KindRunQuarantine marks the supervisor giving up on a run after its
+	// retry budget: Name is the fault spec, A the attempt count, B the
+	// failure-reason code.
+	KindRunQuarantine
 )
 
 // String names the kind the way exported trace lines spell it.
@@ -84,6 +93,10 @@ func (k Kind) String() string {
 		return "span-end"
 	case KindPhase:
 		return "phase"
+	case KindRunRetry:
+		return "run-retry"
+	case KindRunQuarantine:
+		return "run-quarantine"
 	default:
 		return "unknown"
 	}
@@ -91,7 +104,7 @@ func (k Kind) String() string {
 
 // kindFromString inverts String for trace ingestion.
 func kindFromString(s string) Kind {
-	for k := KindSyscall; k <= KindPhase; k++ {
+	for k := KindSyscall; k <= KindRunQuarantine; k++ {
 		if k.String() == s {
 			return k
 		}
@@ -115,6 +128,8 @@ const (
 	CtrRunDeadline    = "run.deadline"
 	CtrRunRestarts    = "run.restarts"
 	CtrRunRetried     = "run.retried"
+	CtrSupRetry       = "supervise.retry"
+	CtrSupQuarantine  = "supervise.quarantined"
 	CtrTraceDropped   = "trace.dropped"
 
 	HistRunResponse = "run.response"
@@ -298,6 +313,19 @@ func (r *Recorder) Events() []Event {
 
 // Dropped reports how many events the bounded ring displaced.
 func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// LastTime returns the latest virtual timestamp in the retained trace
+// (zero when the trace is empty). The campaign supervisor stamps its
+// post-run provenance events with it, so per-PID timestamps stay monotone.
+func (r *Recorder) LastTime() vclock.Time {
+	var max vclock.Time
+	for _, e := range r.events {
+		if e.At > max {
+			max = e.At
+		}
+	}
+	return max
+}
 
 // Counter returns the value of a named counter (0 when never touched).
 func (r *Recorder) Counter(name string) int64 { return r.counters[name] }

@@ -24,15 +24,23 @@
 // contend), and export the merged virtual-time trace (JSONL) and metrics
 // summary — byte-identical at any -parallel setting. dtsreport -trace
 // summarizes an exported trace.
+//
+// -shards N fans a campaign out over N worker processes (dts re-executes
+// itself with the internal -shard-worker flag); the merged archive,
+// trace, and metrics are byte-identical to the unsharded run, and a
+// worker that dies mid-shard is respawned with only its remaining specs.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ntdts/internal/apiharness"
 	"ntdts/internal/config"
@@ -42,6 +50,7 @@ import (
 	"ntdts/internal/journal"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/report"
+	"ntdts/internal/shard"
 	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
 )
@@ -79,9 +88,16 @@ func run(args []string, out io.Writer) error {
 	runDeadline := fs.Duration("run-deadline", 0, "wall-clock watchdog per run attempt (0 = off); a hung attempt is abandoned and retried")
 	maxQuarantined := fs.Int("max-quarantined", 0, "stop the campaign once this many runs are quarantined (0 = unlimited)")
 	retries := fs.Int("retries", 2, "retry budget for indeterminate runs (hang, panic, error) before quarantine")
-	chaos := fs.Bool("chaos", false, "recognize the reserved DTSChaos* fault functions (supervisor self-test)")
+	chaos := fs.Bool("chaos", false, "recognize the reserved DTSChaos* fault functions and the DTS_SHARD_CHAOS_KILL drill (self-tests)")
+	shards := fs.Int("shards", 0, "fan the campaign out over this many worker processes (results byte-identical to unsharded; -parallel then sizes each worker's pool)")
+	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardWorker {
+		// Worker mode speaks the journal wire protocol and nothing else;
+		// the coordinator is the only intended invoker.
+		return shard.ServeWorker(os.Stdin, out)
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
@@ -89,6 +105,16 @@ func run(args []string, out io.Writer) error {
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0 (got %d)", *retries)
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
+	}
+
+	// SIGINT/SIGTERM cancel this context; the campaign engine converts
+	// the cancellation into a graceful stop (supervised campaigns drain,
+	// flush the journal, and print the resume command — the coordinator
+	// cancels shard workers through the same path).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	progress := func(line string) {
 		if !*quiet {
@@ -98,9 +124,24 @@ func run(args []string, out io.Writer) error {
 	tflags := telemetryFlags{traceOut: *traceOut, metrics: *metrics, traceCap: *traceCap}
 	sflags := superviseFlags{journal: *journalPath, runDeadline: *runDeadline,
 		maxQuarantined: *maxQuarantined, retries: *retries, chaos: *chaos}
-	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel}
+
+	var shardExec core.ShardExecutor
+	if *shards > 1 {
+		if *resume != "" || *conformance || *faultSpec != "" || *journalPath != "" ||
+			*runDeadline > 0 || *maxQuarantined > 0 {
+			return fmt.Errorf("-shards runs unsupervised campaigns only; drop -resume/-conformance/-fault/-journal/-run-deadline/-max-quarantined (worker processes already isolate harness faults)")
+		}
+		sopts := shard.Options{WorkerParallelism: *parallel, Spawn: workerSpawner()}
+		if *chaos {
+			sopts.ChaosKill = os.Getenv("DTS_SHARD_CHAOS_KILL")
+		}
+		shardExec = shard.New(sopts)
+	}
+
+	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel,
+		Shards: *shards, ShardExec: shardExec}
 	ecfg.Opts.Telemetry = tflags.options()
-	if sflags.active() {
+	if sflags.active() && *shards <= 1 {
 		opts := sflags.options()
 		ecfg.Supervise = &opts
 	}
@@ -109,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		if *cfgPath != "" || *experiment != "" || *conformance || *journalPath != "" {
 			return fmt.Errorf("-resume takes the campaign from its journal; drop -config/-experiment/-conformance/-journal")
 		}
-		return runResume(*resume, *outPath, *parallel, tflags, progress, out)
+		return runResume(ctx, *resume, *outPath, *parallel, tflags, progress, out)
 	}
 	if *journalPath != "" && (*experiment != "" || *conformance || *faultSpec != "") {
 		return fmt.Errorf("-journal requires a -config campaign (generated or fault-list)")
@@ -123,10 +164,20 @@ func run(args []string, out io.Writer) error {
 	case *cfgPath != "" && *faultSpec != "":
 		return runSingleFault(*cfgPath, *faultSpec, *trace, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(*cfgPath, *outPath, *parallel, tflags, sflags, progress, out)
+		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, shardExec, tflags, sflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
+}
+
+// workerSpawner builds the self-exec spawner for shard workers. Under
+// `go test` the binary is the test harness, so workers re-enter through
+// TestHelperProcess — the same re-exec pattern the chaos tests use.
+func workerSpawner() shard.Spawner {
+	if os.Getenv("DTS_HELPER_PROCESS") == "1" {
+		return shard.SelfExec("-test.run=TestHelperProcess", "--", "-shard-worker")
+	}
+	return shard.SelfExec("-shard-worker")
 }
 
 // telemetryFlags carries the -trace-out/-metrics/-trace-cap triple. Either
@@ -299,7 +350,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
+func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, shardExec core.ShardExecutor, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -324,7 +375,7 @@ func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags,
 	}
 
 	var sup *core.Supervisor
-	if sflags.active() {
+	if sflags.active() && shards <= 1 {
 		sup = core.NewSupervisor(sflags.options())
 		if sflags.journal != "" {
 			jw, jerr := journal.Create(sflags.journal, journalHeader(cfg, def, opts, tflags, sflags))
@@ -333,18 +384,23 @@ func runConfigured(cfgPath, outPath string, parallel int, tflags telemetryFlags,
 			}
 			sup.AttachJournal(jw)
 		}
-		detach := watchSignals(sup)
-		defer detach()
 	}
 
-	var set *core.SetResult
-	if cfg.FaultList != "" {
-		set, err = runFaultListFile(runner, cfg.FaultList, parallel, progress, sup)
-	} else {
-		campaign := &core.Campaign{Runner: runner, Parallelism: parallel, Supervise: sup,
-			Progress: campaignProgress(progress)}
-		set, err = campaign.Execute()
+	copts := []core.Option{
+		core.WithParallelism(parallel),
+		core.WithProgress(campaignProgress(progress)),
+		core.WithSupervision(sup),
+		core.WithShards(shards),
+		core.WithShardExecutor(shardExec),
 	}
+	if cfg.FaultList != "" {
+		specs, serr := loadFaultList(cfg.FaultList)
+		if serr != nil {
+			return serr
+		}
+		copts = append(copts, core.WithSpecs(specs))
+	}
+	set, err := core.NewCampaign(runner, copts...).Run(ctx)
 	if sup == nil {
 		if err != nil {
 			return err
@@ -386,57 +442,16 @@ func saveSet(set *core.SetResult, path string) error {
 	return saveArchive(&experiments.Archive{Kind: "set", Set: set}, path)
 }
 
-// runFaultListFile executes an explicit fault list instead of the
-// generated catalog sweep, on the same worker pool as campaigns.
-func runFaultListFile(runner *core.Runner, path string, parallel int, progress func(string), sup *core.Supervisor) (*core.SetResult, error) {
+// loadFaultList parses an explicit fault-list file — campaigns with a
+// fault_list run those specs verbatim instead of the generated catalog
+// sweep.
+func loadFaultList(path string) ([]inject.FaultSpec, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	specs, err := config.ParseFaultList(f)
-	if err != nil {
-		return nil, err
-	}
-	return runSpecSet(runner, specs, parallel, progress, sup)
-}
-
-// runSpecSet runs an explicit spec list (from a fault-list file or a
-// resumed journal's plan) as one workload set. Under a supervisor a
-// graceful stop returns the partial set alongside the stop cause, the
-// same contract as Campaign.Execute.
-func runSpecSet(runner *core.Runner, specs []inject.FaultSpec, parallel int, progress func(string), sup *core.Supervisor) (*core.SetResult, error) {
-	_, calib, err := runner.ActivationScan()
-	if err != nil {
-		return nil, err
-	}
-	set := &core.SetResult{
-		Workload:     runner.Def.Name,
-		Supervision:  runner.Def.Supervision.String(),
-		ActivatedFns: calib.ActivatedFns,
-		FaultFreeSec: calib.ResponseSec,
-	}
-	runs, err := core.RunSpecsSupervised(runner, specs, parallel, campaignProgress(progress), sup)
-	finish := func() {
-		set.Runs = runs
-		if sup != nil {
-			set.Quarantined = sup.Quarantined()
-		}
-		if runner.Opts.Telemetry.Enabled {
-			set.Telemetry = core.CollectTelemetry(calib, runs)
-		}
-	}
-	if err != nil {
-		var budget *core.QuarantineBudgetError
-		if sup != nil && (errors.Is(err, core.ErrInterrupted) || errors.As(err, &budget)) {
-			set.Partial = true
-			finish()
-			return set, err
-		}
-		return nil, err
-	}
-	finish()
-	return set, nil
+	return config.ParseFaultList(f)
 }
 
 func saveArchive(a *experiments.Archive, path string) error {

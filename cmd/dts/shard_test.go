@@ -1,0 +1,131 @@
+package main
+
+// Sharded-execution self-tests: the coordinator in this process spawns
+// real dts worker processes (this test binary re-exec'd through
+// TestHelperProcess, exactly like the chaos tests) and the merged
+// archive must be byte-identical to the unsharded run — including after
+// a worker SIGKILLs itself mid-shard and its remainder is re-dispatched.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// unshardedArchive runs the campaign unsharded in-process.
+func unshardedArchive(t *testing.T, dir, cfgPath string) []byte {
+	t.Helper()
+	outPath := filepath.Join(dir, "unsharded.json")
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-out", outPath, "-q", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestShardedArchiveMatchesUnsharded fans the 200-spec campaign out over
+// four real worker processes and byte-compares the merged archive with
+// the unsharded run.
+func TestShardedArchiveMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec shard test")
+	}
+	t.Setenv("DTS_HELPER_PROCESS", "1") // workerSpawner re-enters via TestHelperProcess
+	dir := t.TempDir()
+	cfgPath := chaosCampaign(t, dir)
+	golden := unshardedArchive(t, dir, cfgPath)
+
+	outPath := filepath.Join(dir, "sharded.json")
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-out", outPath, "-q",
+		"-shards", "4", "-parallel", "1"}, &out); err != nil {
+		t.Fatalf("sharded campaign: %v", err)
+	}
+	sharded, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, sharded) {
+		t.Fatal("archive from dts -shards 4 differs from the unsharded run")
+	}
+}
+
+// TestShardedWorkerSigkillRedispatch is the tentpole failure drill: one
+// worker SIGKILLs itself mid-shard (the DTS_SHARD_CHAOS_KILL hook behind
+// -chaos), the coordinator keeps its streamed prefix, re-dispatches only
+// the remaining specs to a fresh worker, and the merged archive still
+// byte-matches the unsharded run.
+func TestShardedWorkerSigkillRedispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec shard test")
+	}
+	t.Setenv("DTS_HELPER_PROCESS", "1")
+	t.Setenv("DTS_SHARD_CHAOS_KILL", "1:5") // shard 1's first worker dies after 5 records
+	dir := t.TempDir()
+	cfgPath := chaosCampaign(t, dir)
+	golden := unshardedArchive(t, dir, cfgPath)
+
+	outPath := filepath.Join(dir, "chaos-sharded.json")
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-out", outPath, "-q",
+		"-shards", "4", "-chaos"}, &out); err != nil {
+		t.Fatalf("sharded campaign with killed worker: %v", err)
+	}
+	sharded, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, sharded) {
+		t.Fatal("archive after worker SIGKILL + re-dispatch differs from the unsharded run")
+	}
+}
+
+// TestShardsFlagValidation: -shards campaigns are unsupervised by
+// design; the conflicting flag families must fail fast with a clear
+// message, and negative counts are rejected.
+func TestShardsFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := chaosCampaign(t, dir)
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-config", cfgPath, "-shards", "4", "-journal", filepath.Join(dir, "j")},
+		{"-config", cfgPath, "-shards", "4", "-run-deadline", "1s"},
+		{"-config", cfgPath, "-shards", "4", "-max-quarantined", "3"},
+		{"-config", cfgPath, "-shards", "2", "-fault", "ReadFile 0 1 zero"},
+	} {
+		err := run(args, &out)
+		if err == nil || !strings.Contains(err.Error(), "-shards") {
+			t.Errorf("%v: err = %v, want a -shards conflict", args[2:], err)
+		}
+	}
+	if err := run([]string{"-config", cfgPath, "-shards", "-1"}, &out); err == nil {
+		t.Error("negative -shards accepted")
+	}
+}
+
+// TestShardChaosEnvGating proves the DTS_SHARD_CHAOS_KILL plumbing: a
+// malformed spec is a hard error when -chaos arms it — so the kill drill
+// demonstrably reaches the coordinator — and inert without -chaos.
+func TestShardChaosEnvGating(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec shard test")
+	}
+	t.Setenv("DTS_HELPER_PROCESS", "1")
+	t.Setenv("DTS_SHARD_CHAOS_KILL", "bogus")
+	dir := t.TempDir()
+	cfgPath := chaosCampaign(t, dir)
+	var out bytes.Buffer
+	err := run([]string{"-config", cfgPath, "-q", "-shards", "2", "-chaos"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "chaos kill spec") {
+		t.Fatalf("armed bogus chaos spec: err = %v, want a parse error", err)
+	}
+	if err := run([]string{"-config", cfgPath, "-q", "-shards", "2"}, &out); err != nil {
+		t.Fatalf("unarmed chaos env must be ignored: %v", err)
+	}
+}

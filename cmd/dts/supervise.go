@@ -6,22 +6,19 @@ package main
 // distinct exit codes automation keys on.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"ntdts/internal/config"
 	"ntdts/internal/core"
 	"ntdts/internal/inject"
 	"ntdts/internal/journal"
-	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/report"
-	"ntdts/internal/telemetry"
+	"ntdts/internal/shard"
 	"ntdts/internal/workload"
 )
 
@@ -87,23 +84,6 @@ func journalHeader(cfg config.Main, def workload.Definition, opts core.RunnerOpt
 		h.WatchdVersion = int(opts.WatchdVersion)
 	}
 	return h
-}
-
-// watchSignals converts SIGINT/SIGTERM into a supervisor stop request:
-// workers drain, the journal flushes, and run() returns ErrInterrupted.
-// The returned func detaches the handler.
-func watchSignals(sup *core.Supervisor) func() {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		if _, ok := <-ch; ok {
-			sup.RequestStop(core.ErrInterrupted)
-		}
-	}()
-	return func() {
-		signal.Stop(ch)
-		close(ch)
-	}
 }
 
 // resumeCommand renders the exact command that continues an interrupted
@@ -182,27 +162,12 @@ func finishSupervised(set *core.SetResult, runErr error, savePath string, sup *c
 	return saveSet(set, savePath)
 }
 
-// parseSupervision inverts workload.Supervision.String (the spelling the
-// journal header and SetResult record).
-func parseSupervision(s string) (workload.Supervision, error) {
-	switch s {
-	case "none":
-		return workload.Standalone, nil
-	case "MSCS":
-		return workload.MSCS, nil
-	case "watchd":
-		return workload.Watchd, nil
-	default:
-		return 0, fmt.Errorf("unknown supervision %q", s)
-	}
-}
-
 // runResume continues an interrupted journaled campaign: replay the
 // journal, truncate its torn tail, rebuild the runner from the header,
 // and execute the remaining runs — completed runs replay from the
 // journal, so the final results are byte-identical to an uninterrupted
 // campaign at any -parallel setting.
-func runResume(jpath, outPath string, parallel int, tflags telemetryFlags, progress func(string), out io.Writer) error {
+func runResume(ctx context.Context, jpath, outPath string, parallel int, tflags telemetryFlags, progress func(string), out io.Writer) error {
 	rep, err := journal.Replay(jpath)
 	if err != nil {
 		return err
@@ -214,7 +179,7 @@ func runResume(jpath, outPath string, parallel int, tflags telemetryFlags, progr
 		}
 		return fmt.Errorf("journal %s collected no telemetry; -trace-out/-metrics cannot be added on resume", jpath)
 	}
-	sup, runner, err := resumeSupervisor(rep, tflags)
+	sup, runner, err := resumeSupervisor(rep)
 	if err != nil {
 		return err
 	}
@@ -228,51 +193,33 @@ func runResume(jpath, outPath string, parallel int, tflags telemetryFlags, progr
 	sup.AttachJournal(jw)
 	progress(fmt.Sprintf("resuming %s/%s from %s: %d runs journaled",
 		h.Workload, h.Supervision, jpath, rep.Records))
-	detach := watchSignals(sup)
-	defer detach()
 
-	var set *core.SetResult
+	copts := []core.Option{
+		core.WithParallelism(parallel),
+		core.WithProgress(campaignProgress(progress)),
+		core.WithSupervision(sup),
+	}
 	if h.FaultList != "" {
 		specs, serr := planSpecs(rep)
 		if serr != nil {
 			return serr
 		}
-		set, err = runSpecSet(runner, specs, parallel, progress, sup)
-	} else {
-		campaign := &core.Campaign{Runner: runner, Parallelism: parallel, Supervise: sup,
-			Progress: campaignProgress(progress)}
-		set, err = campaign.Execute()
+		copts = append(copts, core.WithSpecs(specs))
 	}
+	set, err := core.NewCampaign(runner, copts...).Run(ctx)
 	hint := resumeCommand(jpath, outPath, parallel, tflags)
 	return finishSupervised(set, err, outPath, sup, hint, tflags, out)
 }
 
 // resumeSupervisor rebuilds the runner and supervisor a journal header
-// describes.
-func resumeSupervisor(rep *journal.Replayed, tflags telemetryFlags) (*core.Supervisor, *core.Runner, error) {
+// describes. The runner half is shared with shard workers, which receive
+// the same header as their assignment.
+func resumeSupervisor(rep *journal.Replayed) (*core.Supervisor, *core.Runner, error) {
 	h := rep.Header
-	sv, err := parseSupervision(h.Supervision)
+	runner, err := shard.RunnerFromHeader(h)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := config.DefaultMain()
-	cfg.Workload = h.Workload
-	cfg.Middleware = sv
-	if h.WatchdVersion != 0 {
-		cfg.WatchdVersion = watchd.Version(h.WatchdVersion)
-	}
-	def, err := cfg.Definition()
-	if err != nil {
-		return nil, nil, err
-	}
-	opts := core.DefaultRunnerOptions()
-	opts.ServerUpTimeout = time.Duration(h.ServerUpTimeoutNS)
-	opts.RunDeadline = time.Duration(h.RunDeadlineNS)
-	opts.WatchdVersion = cfg.WatchdVersion
-	// The ring capacity shapes trace content, so the header's value wins
-	// over the resume command line.
-	opts.Telemetry = telemetry.Options{Enabled: h.Telemetry, TraceCap: h.TraceCapacity}
-	runner := core.NewRunner(def, opts)
 	sup := core.NewSupervisor(core.SupervisorOptions{
 		WallDeadline:   time.Duration(h.WallDeadlineNS),
 		MaxAttempts:    h.MaxAttempts,

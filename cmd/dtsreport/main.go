@@ -5,15 +5,22 @@
 //
 //	dtsreport -in results.json [-artifact auto|table1|figure2|figure3|table2|figure4|figure5|failures]
 //	dtsreport -trace trace.jsonl
+//	dtsreport -journal campaign.journal
 //
 // The default artifact ("auto") renders whatever the archive holds; the
 // derived artifacts (figure3, table2, figure4) require a figure2 archive.
 // With -trace, dtsreport ingests a telemetry trace exported by
 // dts -trace-out and prints a summary: events by kind, the busiest API
-// functions, fault lifecycle counts and the virtual-time span.
+// functions, fault lifecycle counts and the virtual-time span. With
+// -journal, dtsreport replays a campaign journal and summarizes its
+// progress — including whether the tail is torn and how to resume.
+//
+// Unreadable or corrupt inputs exit 2 with a one-line diagnosis, so
+// automation can tell "bad input file" from "bad invocation" (1).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,14 +30,28 @@ import (
 	"ntdts/internal/avail"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
+	"ntdts/internal/journal"
 	"ntdts/internal/report"
 	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
 )
 
+// exitCorruptInput distinguishes a bad input file from a bad invocation.
+const exitCorruptInput = 2
+
+// corruptInput marks an input file that could not be read or parsed.
+type corruptInput struct{ err error }
+
+func (e *corruptInput) Error() string { return e.err.Error() }
+func (e *corruptInput) Unwrap() error { return e.err }
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dtsreport:", err)
+		var ci *corruptInput
+		if errors.As(err, &ci) {
+			os.Exit(exitCorruptInput)
+		}
 		os.Exit(1)
 	}
 }
@@ -40,23 +61,27 @@ func run(args []string) error {
 	inPath := fs.String("in", "", "results archive to render")
 	artifact := fs.String("artifact", "auto", "artifact to render")
 	tracePath := fs.String("trace", "", "telemetry trace (JSONL from dts -trace-out) to summarize")
+	journalPath := fs.String("journal", "", "campaign journal (from dts -journal) to summarize")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tracePath != "" {
 		return summarizeTrace(*tracePath, os.Stdout)
 	}
+	if *journalPath != "" {
+		return summarizeJournal(*journalPath, os.Stdout)
+	}
 	if *inPath == "" {
-		return fmt.Errorf("one of -in or -trace is required")
+		return fmt.Errorf("one of -in, -trace or -journal is required")
 	}
 	f, err := os.Open(*inPath)
 	if err != nil {
-		return err
+		return &corruptInput{fmt.Errorf("unreadable archive: %w", err)}
 	}
 	defer f.Close()
 	archive, err := experiments.LoadArchive(f)
 	if err != nil {
-		return err
+		return &corruptInput{fmt.Errorf("corrupt archive %s: %w", *inPath, err)}
 	}
 
 	name := *artifact
@@ -141,12 +166,12 @@ func run(args []string) error {
 func summarizeTrace(path string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return &corruptInput{fmt.Errorf("unreadable trace: %w", err)}
 	}
 	defer f.Close()
 	lines, err := telemetry.ReadJSONL(f)
 	if err != nil {
-		return err
+		return &corruptInput{fmt.Errorf("corrupt trace %s: %w", path, err)}
 	}
 	if len(lines) == 0 {
 		fmt.Fprintln(out, "trace is empty")
@@ -188,6 +213,27 @@ func summarizeTrace(path string, out io.Writer) error {
 		kinds[telemetry.KindFaultArmed.String()],
 		kinds[telemetry.KindFaultActivated.String()],
 		kinds[telemetry.KindFaultInjected.String()])
+	return nil
+}
+
+// summarizeJournal replays a campaign journal and reports how far the
+// campaign got — the quick triage view for a crashed or interrupted run.
+func summarizeJournal(path string, out io.Writer) error {
+	rep, err := journal.Replay(path)
+	if err != nil {
+		return &corruptInput{fmt.Errorf("corrupt journal: %w", err)}
+	}
+	h := rep.Header
+	fmt.Fprintf(out, "journal: %s/%s, %d runs recorded, %d quarantined\n",
+		h.Workload, h.Supervision, rep.Records, len(rep.Quarantined))
+	if rep.Plan != nil {
+		fmt.Fprintf(out, "plan: %d jobs (%d remaining)\n",
+			len(rep.Plan.Jobs), len(rep.Plan.Jobs)-rep.Records)
+	}
+	if rep.Torn {
+		fmt.Fprintln(out, "torn final record (process died mid-write); a resume discards it")
+	}
+	fmt.Fprintf(out, "resume with:\n  dts -resume %s\n", path)
 	return nil
 }
 

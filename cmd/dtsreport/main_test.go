@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -151,5 +152,91 @@ func TestTraceSummaryErrors(t *testing.T) {
 	out.Reset()
 	if err := summarizeTrace(empty, &out); err != nil || !strings.Contains(out.String(), "empty") {
 		t.Fatalf("empty trace: err=%v out=%q", err, out.String())
+	}
+}
+
+// journalFixture writes a minimal valid campaign journal.
+func journalFixture(t *testing.T, tail string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	data := `{"kind":"header","version":1,"workload":"IIS","supervision":"none","serverUpTimeoutNS":1,"runDeadlineNS":2}
+{"kind":"plan","jobs":["ReadFile/0/1/zero","WriteFile/0/1/zero"],"fingerprint":"x"}
+{"kind":"run","index":0,"key":"ReadFile/0/1/zero","result":{}}
+` + tail
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestJournalSummary covers the -journal triage view: progress, the
+// remaining-work count, the torn-tail note and the resume hint.
+func TestJournalSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarizeJournal(journalFixture(t, ""), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IIS/none", "1 runs recorded", "2 jobs (1 remaining)", "dts -resume"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := summarizeJournal(journalFixture(t, `{"kind":"run","ind`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "torn final record") {
+		t.Errorf("torn journal summary missing the torn note:\n%s", out.String())
+	}
+	if err := run([]string{"-journal", journalFixture(t, "")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptInputsExitDistinctly pins the fixed bug: unreadable or
+// corrupt archives, traces and journals must carry the corrupt-input
+// marker (exit 2), not pass silently or exit as a usage error.
+func TestCorruptInputsExitDistinctly(t *testing.T) {
+	dir := t.TempDir()
+	trailing := filepath.Join(dir, "trailing.json")
+	os.WriteFile(trailing, []byte(`{"kind":"set","set":{"workload":"IIS","supervision":"none","runs":[]}}`+"\ngarbage"), 0o644)
+	midGarbage := journalFixture(t, "not json at all\n"+`{"kind":"run","index":1,"key":"WriteFile/0/1/zero","result":{}}`+"\n")
+	strayStream := journalFixture(t, `{"kind":"heartbeat","index":1}`+"\n")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing archive", []string{"-in", filepath.Join(dir, "nope.json")}},
+		{"non-JSON archive", []string{"-in", func() string {
+			p := filepath.Join(dir, "bad.json")
+			os.WriteFile(p, []byte("not json"), 0o644)
+			return p
+		}()}},
+		{"trailing-garbage archive", []string{"-in", trailing}},
+		{"missing trace", []string{"-trace", filepath.Join(dir, "nope.jsonl")}},
+		{"missing journal", []string{"-journal", filepath.Join(dir, "nope.journal")}},
+		{"corrupt journal", []string{"-journal", midGarbage}},
+		{"stray stream record", []string{"-journal", strayStream}},
+	}
+	for _, c := range cases {
+		err := run(c.args)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ci *corruptInput
+		if !errors.As(err, &ci) {
+			t.Errorf("%s: error %v is not classified as corrupt input", c.name, err)
+		}
+	}
+	// A bad invocation stays a plain error — automation tells the two apart.
+	if err := run([]string{"-in", writeArchive(t), "-artifact", "bogus"}); err != nil {
+		var ci *corruptInput
+		if errors.As(err, &ci) {
+			t.Errorf("usage error misclassified as corrupt input: %v", err)
+		}
+	} else {
+		t.Error("bogus artifact accepted")
 	}
 }

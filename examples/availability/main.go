@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,8 +25,8 @@ func main() {
 	for _, s := range []workload.Supervision{workload.Standalone, workload.MSCS, workload.Watchd} {
 		def := workload.NewIIS(s)
 		fmt.Fprintf(os.Stderr, "running IIS/%s campaign...\n", s)
-		campaign := &core.Campaign{Runner: core.NewRunner(def, core.RunnerOptions{})}
-		set, err := campaign.Execute()
+		campaign := core.NewCampaign(core.NewRunner(def, core.RunnerOptions{}))
+		set, err := campaign.Run(context.Background())
 		if err != nil {
 			log.Fatalf("campaign: %v", err)
 		}

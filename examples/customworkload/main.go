@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -153,8 +154,8 @@ func fetchQuote(p *ntsim.Process, k *ntsim.Kernel) (string, bool) {
 func main() {
 	for _, s := range []workload.Supervision{workload.Standalone, workload.Watchd} {
 		fmt.Fprintf(os.Stderr, "campaigning QOTD/%s...\n", s)
-		campaign := &core.Campaign{Runner: core.NewRunner(definition(s), core.RunnerOptions{})}
-		set, err := campaign.Execute()
+		campaign := core.NewCampaign(core.NewRunner(definition(s), core.RunnerOptions{}))
+		set, err := campaign.Run(context.Background())
 		if err != nil {
 			log.Fatalf("campaign: %v", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -103,6 +104,10 @@ func (s *SetResult) ResponseTimes(o Outcome, wrongReplyOnly bool) []float64 {
 }
 
 // Campaign executes the full fault list against one workload.
+//
+// Construct campaigns with NewCampaign and functional options; the
+// struct literal form below still works but is deprecated and will lose
+// exported fields once the options API has been through one release.
 type Campaign struct {
 	Runner *Runner
 	// Types is the corruption set (defaults to the paper's three).
@@ -131,13 +136,45 @@ type Campaign struct {
 	// supervisor: wall-clock watchdog, panic quarantine, bounded retries,
 	// the results journal, and replay-on-resume.
 	Supervise *Supervisor
+	// Specs, when non-empty, replaces the generated catalog sweep with an
+	// explicit fault list (the dts fault-list-file path). No skip probes
+	// or skip accounting apply; the calibration pass still runs so the
+	// set records its activation census and fault-free response time.
+	Specs []inject.FaultSpec
+	// Shards, when > 1, fans the job list out over that many worker
+	// processes through a ShardExecutor (see WithShards); results merge
+	// byte-identical to an unsharded run.
+	Shards int
+	// ShardExec overrides the process-registered ShardExecutor (set by
+	// importing ntdts/internal/shard). Tests substitute in-process
+	// executors here.
+	ShardExec ShardExecutor
 }
 
-// Execute runs the campaign: a fault-free calibration pass, then one run
-// per (activated function × parameter × fault type), skipping every fault
-// of functions the calibration shows unactivated (the paper's skip rule,
-// applied eagerly from the calibration run).
-func (c *Campaign) Execute() (*SetResult, error) {
+// Prepared is a campaign after calibration and planning, ready to
+// execute: the frozen job list plus everything Assemble needs to build
+// the SetResult. The coordinator/worker split lives on this boundary —
+// a ShardExecutor partitions Jobs and Assemble merges the results.
+type Prepared struct {
+	c *Campaign
+	// Calib is the fault-free calibration result.
+	Calib *RunResult
+	// Jobs is the campaign's ordered job list; results land at the
+	// matching index.
+	Jobs []PlanJob
+	// Faults counts non-probe jobs (the Progress total).
+	Faults int
+	// SkippedFns and SkippedFaults carry the catalog-walk skip census
+	// (zero for explicit spec lists).
+	SkippedFns    int
+	SkippedFaults int
+}
+
+// Prepare runs the fault-free calibration pass and lays out the job
+// list: one run per (activated function × parameter × fault type) for a
+// catalog campaign, or the explicit Specs list verbatim. The skip rule
+// is the paper's, applied eagerly from the calibration run.
+func (c *Campaign) Prepare() (*Prepared, error) {
 	types := c.Types
 	if len(types) == 0 {
 		types = inject.AllFaultTypes()
@@ -150,56 +187,107 @@ func (c *Campaign) Execute() (*SetResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("activation scan: %w", err)
 	}
+	p := &Prepared{c: c, Calib: calib}
+	if len(c.Specs) > 0 {
+		jobs := make([]PlanJob, len(c.Specs))
+		for i, s := range c.Specs {
+			jobs[i] = PlanJob{Spec: s}
+		}
+		p.Jobs, p.Faults = jobs, len(jobs)
+		return p, nil
+	}
 	if calib.Outcome != NormalSuccess {
 		return nil, fmt.Errorf("calibration run did not succeed: %v", calib.Outcome)
 	}
-
-	set := &SetResult{
-		Workload:     c.Runner.Def.Name,
-		Supervision:  c.Runner.Def.Supervision.String(),
-		ActivatedFns: calib.ActivatedFns,
-		FaultFreeSec: calib.ResponseSec,
-	}
-	if c.Runner.Def.Supervision.String() == "watchd" {
-		set.WatchdVersion = int(c.Runner.Opts.WatchdVersion)
-	}
-
 	// The fault list is a pure function of the activation set (plus the
 	// corruption types and skip mode), so the catalog walk is memoized
 	// per process and the job list executes on the worker pool.
 	plan := planFor(activated, types, invocation, c.PaperFaithfulSkips)
-	set.SkippedFns = plan.skippedFns
-	set.SkippedFaults = plan.skippedFaults
-	if c.Supervise != nil {
-		if err := c.Supervise.syncPlan(plan.jobs); err != nil {
-			return nil, err
-		}
+	p.Jobs, p.Faults = plan.jobs, plan.faults
+	p.SkippedFns, p.SkippedFaults = plan.skippedFns, plan.skippedFaults
+	return p, nil
+}
+
+// Assemble builds the SetResult from the executed (possibly partial)
+// run list. A supervisor stop (interrupt, quarantine budget) is
+// graceful degradation: the partial set returns alongside the cause so
+// the caller can report what finished; any other error voids the set.
+func (p *Prepared) Assemble(runs []RunResult, runErr error) (*SetResult, error) {
+	c := p.c
+	set := &SetResult{
+		Workload:      c.Runner.Def.Name,
+		Supervision:   c.Runner.Def.Supervision.String(),
+		ActivatedFns:  p.Calib.ActivatedFns,
+		FaultFreeSec:  p.Calib.ResponseSec,
+		SkippedFns:    p.SkippedFns,
+		SkippedFaults: p.SkippedFaults,
 	}
-	runs, err := executeJobs(c.Runner, plan.jobs, c.Parallelism, plan.faults, c.Progress, c.Supervise)
-	if err != nil {
-		// A supervisor stop (interrupt, quarantine budget) is graceful
-		// degradation: return the partial set alongside the cause so the
-		// caller can report what finished.
+	if c.Runner.Def.Supervision.String() == "watchd" {
+		set.WatchdVersion = int(c.Runner.Opts.WatchdVersion)
+	}
+	if runErr != nil {
 		var budget *QuarantineBudgetError
-		if c.Supervise != nil && (errors.Is(err, ErrInterrupted) || errors.As(err, &budget)) {
+		if c.Supervise != nil && (errors.Is(runErr, ErrInterrupted) || errors.As(runErr, &budget)) {
 			set.Runs = runs
 			set.Partial = true
 			set.Quarantined = c.Supervise.Quarantined()
 			if c.Runner.Opts.Telemetry.Enabled {
-				set.Telemetry = CollectTelemetry(calib, runs)
+				set.Telemetry = CollectTelemetry(p.Calib, runs)
 			}
-			return set, err
+			return set, runErr
 		}
-		return nil, err
+		return nil, runErr
 	}
 	set.Runs = runs
 	if c.Supervise != nil {
 		set.Quarantined = c.Supervise.Quarantined()
 	}
 	if c.Runner.Opts.Telemetry.Enabled {
-		set.Telemetry = CollectTelemetry(calib, runs)
+		set.Telemetry = CollectTelemetry(p.Calib, runs)
 	}
 	return set, nil
+}
+
+// Run executes the campaign: Prepare, then the job list on the
+// in-process worker pool — or, with Shards > 1, fanned out across
+// worker processes by the ShardExecutor — then Assemble. Cancel ctx to
+// stop between runs; a supervised campaign converts the cancellation
+// into its partial-results ErrInterrupted contract.
+func (c *Campaign) Run(ctx context.Context) (*SetResult, error) {
+	p, err := c.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	if c.Shards > 1 {
+		exec := c.ShardExec
+		if exec == nil {
+			exec = registeredShardExecutor()
+		}
+		if exec == nil {
+			return nil, errors.New("campaign: Shards > 1 but no ShardExecutor available (import ntdts/internal/shard)")
+		}
+		if c.Supervise != nil {
+			return nil, errors.New("campaign: sharding and supervision are mutually exclusive (each worker process already isolates harness faults; journal a shard-worker run instead)")
+		}
+		runs, runErr := exec.ExecuteShards(ctx, c, p)
+		return p.Assemble(runs, runErr)
+	}
+	if c.Supervise != nil {
+		if err := c.Supervise.syncPlan(p.Jobs); err != nil {
+			return nil, err
+		}
+	}
+	runs, runErr := executeJobs(ctx, c.Runner, p.Jobs, c.Parallelism, p.Faults, c.Progress, c.Supervise)
+	return p.Assemble(runs, runErr)
+}
+
+// Execute runs the campaign without cancellation.
+//
+// Deprecated: use Run, which threads a context through the worker pool
+// and the supervisor. Execute survives for one release as an alias of
+// Run(context.Background()).
+func (c *Campaign) Execute() (*SetResult, error) {
+	return c.Run(context.Background())
 }
 
 // CollectTelemetry assembles the deterministic telemetry set for a

@@ -1,0 +1,89 @@
+package core
+
+// Functional-options construction for Campaign. The struct accreted
+// configuration field by field across the parallel engine, telemetry,
+// supervisor, and shard work; NewCampaign is now the supported way to
+// build one — options compose, validate at one point, and leave room to
+// unexport fields later without breaking callers.
+
+import (
+	"ntdts/internal/inject"
+	"ntdts/internal/telemetry"
+)
+
+// Option configures a Campaign under construction.
+type Option func(*Campaign)
+
+// NewCampaign builds a campaign for one workload runner. With no
+// options it is the full-catalog sequential sweep the paper ran.
+func NewCampaign(r *Runner, opts ...Option) *Campaign {
+	c := &Campaign{Runner: r}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// WithParallelism sets the worker-pool width (0 = all CPUs, 1 =
+// sequential; results are byte-identical either way).
+func WithParallelism(n int) Option {
+	return func(c *Campaign) { c.Parallelism = n }
+}
+
+// WithSupervision routes every run through the campaign supervisor
+// (watchdog, quarantine, retries, journal, resume). A nil supervisor is
+// a no-op, so callers can pass an optionally-built one straight through.
+func WithSupervision(s *Supervisor) Option {
+	return func(c *Campaign) { c.Supervise = s }
+}
+
+// WithTelemetry enables per-run collection with the given options. The
+// runner is cloned before the change so a shared Runner's options are
+// never mutated behind another campaign's back.
+func WithTelemetry(o telemetry.Options) Option {
+	return func(c *Campaign) {
+		c.Runner = c.Runner.Clone()
+		c.Runner.Opts.Telemetry = o
+	}
+}
+
+// WithProgress registers the serialized (done, total) progress callback.
+func WithProgress(f func(done, total int)) Option {
+	return func(c *Campaign) { c.Progress = f }
+}
+
+// WithShards fans the campaign out over n worker processes (n <= 1
+// stays in-process). The executor comes from WithShardExecutor or the
+// process registration performed by importing ntdts/internal/shard.
+func WithShards(n int) Option {
+	return func(c *Campaign) { c.Shards = n }
+}
+
+// WithShardExecutor overrides the registered ShardExecutor.
+func WithShardExecutor(e ShardExecutor) Option {
+	return func(c *Campaign) { c.ShardExec = e }
+}
+
+// WithSpecs replaces the generated catalog sweep with an explicit fault
+// list (the dts fault-list-file path).
+func WithSpecs(specs []inject.FaultSpec) Option {
+	return func(c *Campaign) { c.Specs = specs }
+}
+
+// WithFaultTypes overrides the corruption set (default: the paper's
+// three — zero, one, and flipped bits).
+func WithFaultTypes(types ...inject.FaultType) Option {
+	return func(c *Campaign) { c.Types = types }
+}
+
+// WithInvocation selects which invocation of each function to inject
+// (default 1, the paper's choice).
+func WithInvocation(n int) Option {
+	return func(c *Campaign) { c.Invocation = n }
+}
+
+// WithPaperFaithfulSkips probes each unactivated function once before
+// skipping it, exactly as the paper's tool did.
+func WithPaperFaithfulSkips() Option {
+	return func(c *Campaign) { c.PaperFaithfulSkips = true }
+}

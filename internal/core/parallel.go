@@ -10,6 +10,7 @@ package core
 // with a monotonic done-counter.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -22,19 +23,45 @@ import (
 	"ntdts/internal/ntsim/win32"
 )
 
-// planJob is one schedulable run of a campaign: a real fault from the
+// PlanJob is one schedulable run of a campaign: a real fault from the
 // generated list, or a paper-faithful skip probe for an unactivated
-// function.
-type planJob struct {
-	spec  inject.FaultSpec
-	probe bool
+// function. Exported so a ShardExecutor can carry job lists across the
+// process boundary.
+type PlanJob struct {
+	Spec  inject.FaultSpec
+	Probe bool
+}
+
+// Key renders the job's journal/wire identity: the FaultSpec key, with
+// probe jobs marked by a "/probe" suffix.
+func (j PlanJob) Key() string {
+	k := j.Spec.Key()
+	if j.Probe {
+		k += "/probe"
+	}
+	return k
+}
+
+// ParseJobKey inverts PlanJob.Key.
+func ParseJobKey(key string) (PlanJob, error) {
+	j := PlanJob{}
+	if rest, ok := strings.CutSuffix(key, "/probe"); ok {
+		j.Probe = true
+		key = rest
+	}
+	spec, err := inject.ParseKey(key)
+	if err != nil {
+		return PlanJob{}, err
+	}
+	j.Spec = spec
+	return j, nil
 }
 
 // faultPlan is the prepared run list for one (activation set, fault
 // types, invocation, skip mode) combination, plus the skip accounting
 // the catalog walk produces. Plans are immutable once built.
 type faultPlan struct {
-	jobs          []planJob
+	jobs          []PlanJob
 	faults        int // non-probe jobs (the Progress total)
 	skippedFns    int
 	skippedFaults int
@@ -90,7 +117,7 @@ func planKey(activated map[string]bool, types []inject.FaultType, invocation int
 // parameter × type).
 func buildPlan(activated map[string]bool, types []inject.FaultType, invocation int, faithfulSkips bool) *faultPlan {
 	p := &faultPlan{}
-	var probes, specs []planJob
+	var probes, specs []PlanJob
 	for _, entry := range win32.Catalog() {
 		if entry.Params == 0 {
 			continue
@@ -99,12 +126,12 @@ func buildPlan(activated map[string]bool, types []inject.FaultType, invocation i
 			if faithfulSkips {
 				// The paper burned one run on the first fault of the
 				// function and skipped the rest when it did not activate.
-				probes = append(probes, planJob{
-					spec: inject.FaultSpec{
+				probes = append(probes, PlanJob{
+					Spec: inject.FaultSpec{
 						Function: entry.Name, Param: 0,
 						Invocation: invocation, Type: types[0],
 					},
-					probe: true,
+					Probe: true,
 				})
 			}
 			p.skippedFns++
@@ -113,7 +140,7 @@ func buildPlan(activated map[string]bool, types []inject.FaultType, invocation i
 		}
 		for param := 0; param < entry.Params; param++ {
 			for _, t := range types {
-				specs = append(specs, planJob{spec: inject.FaultSpec{
+				specs = append(specs, PlanJob{Spec: inject.FaultSpec{
 					Function: entry.Name, Param: param, Invocation: invocation, Type: t,
 				}})
 			}
@@ -141,9 +168,25 @@ type jobError struct {
 // layer (watchdog, panic quarantine, retries, journal, replay-on-resume)
 // and a supervisor stop (interrupt, quarantine budget) returns the
 // partial results alongside the stop cause.
-func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal int, progress func(done, total int), sup *Supervisor) ([]RunResult, error) {
+//
+// Context cancellation stops the pool between runs (in-flight runs
+// finish; every run is bounded in virtual time). Supervised campaigns
+// convert the cancellation into a supervisor stop, so the caller gets
+// partial results with ErrInterrupted — the same contract as a signal
+// interrupt; unsupervised campaigns return ErrInterrupted alone.
+func executeJobs(ctx context.Context, base *Runner, jobs []PlanJob, parallelism int, progressTotal int, progress func(done, total int), sup *Supervisor) ([]RunResult, error) {
 	if len(jobs) == 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sup != nil {
+		// Route cancellation through the supervisor's stop latch so the
+		// partial-results path (journal flush, resume hint) is identical
+		// for a canceled context and a direct RequestStop.
+		stopWatch := context.AfterFunc(ctx, func() { sup.RequestStop(ErrInterrupted) })
+		defer stopWatch()
 	}
 	workers := parallelism
 	if workers <= 0 {
@@ -189,18 +232,21 @@ func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal in
 				if sup != nil && sup.stopped() {
 					return
 				}
+				if sup == nil && ctx.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1))
 				if i >= len(jobs) {
 					return
 				}
 				job := jobs[i]
-				spec := job.spec // plans are shared; never hand out interior pointers
+				spec := job.Spec // plans are shared; never hand out interior pointers
 				var (
 					res *RunResult
 					err error
 				)
 				if sup != nil {
-					res, err = sup.execute(runner, i, job)
+					res, err = sup.execute(ctx, runner, i, job)
 				} else {
 					res, err = runner.Run(&spec)
 				}
@@ -208,18 +254,18 @@ func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal in
 					// The fingerprint is the journal key's hash, so a failed
 					// run is greppable in the journal by the same identifier
 					// the error names.
-					if job.probe {
+					if job.Probe {
 						fail(i, fmt.Errorf("skip probe %v [%s]: %w", spec, spec.Fingerprint(), err))
 					} else {
 						fail(i, fmt.Errorf("run %v [%s]: %w", spec, spec.Fingerprint(), err))
 					}
 					return
 				}
-				if job.probe {
+				if job.Probe {
 					res.Skipped = true
 				}
 				results[i] = *res
-				if progress != nil && !job.probe {
+				if progress != nil && !job.Probe {
 					progressMu.Lock()
 					done++
 					progress(done, progressTotal)
@@ -240,30 +286,34 @@ func executeJobs(base *Runner, jobs []planJob, parallelism int, progressTotal in
 			return results, cause
 		}
 	}
+	if ctx.Err() != nil {
+		return nil, ErrInterrupted
+	}
 	return results, nil
 }
 
 // RunSpecs executes an explicit fault list on the campaign worker pool,
 // returning results in spec order. This is the engine behind Campaign
 // and the dts fault-list-file path; parallelism semantics match
-// Campaign.Parallelism (0 = GOMAXPROCS, 1 = sequential).
-func RunSpecs(r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int)) ([]RunResult, error) {
-	return RunSpecsSupervised(r, specs, parallelism, progress, nil)
+// Campaign.Parallelism (0 = GOMAXPROCS, 1 = sequential). Cancel ctx to
+// stop the pool between runs.
+func RunSpecs(ctx context.Context, r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int)) ([]RunResult, error) {
+	return RunSpecsSupervised(ctx, r, specs, parallelism, progress, nil)
 }
 
 // RunSpecsSupervised is RunSpecs under a campaign supervisor: runs gain
 // the watchdog/quarantine/retry/journal layer, completed runs replay
-// from a resumed journal, and a supervisor stop returns partial results
-// with the stop cause.
-func RunSpecsSupervised(r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int), sup *Supervisor) ([]RunResult, error) {
-	jobs := make([]planJob, len(specs))
+// from a resumed journal, and a supervisor stop (or ctx cancellation)
+// returns partial results with the stop cause.
+func RunSpecsSupervised(ctx context.Context, r *Runner, specs []inject.FaultSpec, parallelism int, progress func(done, total int), sup *Supervisor) ([]RunResult, error) {
+	jobs := make([]PlanJob, len(specs))
 	for i, s := range specs {
-		jobs[i] = planJob{spec: s}
+		jobs[i] = PlanJob{Spec: s}
 	}
 	if sup != nil {
 		if err := sup.syncPlan(jobs); err != nil {
 			return nil, err
 		}
 	}
-	return executeJobs(r, jobs, parallelism, len(jobs), progress, sup)
+	return executeJobs(ctx, r, jobs, parallelism, len(jobs), progress, sup)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -111,11 +112,11 @@ func TestRunSpecsParallel(t *testing.T) {
 		{Function: "CreateFileA", Param: 0, Invocation: 1, Type: inject.ZeroBits},
 	}
 	runner := NewRunner(workload.NewIIS(workload.Standalone), RunnerOptions{})
-	seq, err := RunSpecs(runner, specs, 1, nil)
+	seq, err := RunSpecs(context.Background(), runner, specs, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunSpecs(runner, specs, 4, nil)
+	par, err := RunSpecs(context.Background(), runner, specs, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRunSpecsFirstError(t *testing.T) {
 		{Function: "CreateFileA", Param: 0, Invocation: 1, Type: inject.ZeroBits},
 	}
 	for _, par := range []int{1, 4} {
-		_, err := RunSpecs(NewRunner(def, RunnerOptions{}), specs, par, nil)
+		_, err := RunSpecs(context.Background(), NewRunner(def, RunnerOptions{}), specs, par, nil)
 		if err == nil {
 			t.Fatalf("parallelism %d: no error from failing runs", par)
 		}

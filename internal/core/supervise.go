@@ -12,6 +12,7 @@ package core
 // an interrupted campaign resumable with byte-identical output.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -212,14 +213,10 @@ func (s *Supervisor) Quarantined() []QuarantineEntry {
 // jobKeys renders the plan's job identity sequence: FaultSpec.Key per
 // job, probe jobs marked. This is what the journal's plan line records
 // and what a resume must reproduce exactly.
-func jobKeys(jobs []planJob) []string {
+func jobKeys(jobs []PlanJob) []string {
 	keys := make([]string, len(jobs))
 	for i, j := range jobs {
-		k := j.spec.Key()
-		if j.probe {
-			k += "/probe"
-		}
-		keys[i] = k
+		keys[i] = j.Key()
 	}
 	return keys
 }
@@ -238,7 +235,7 @@ func planFingerprint(keys []string) string {
 // journaled campaign it writes the plan line; on a resume it validates
 // that the rebuilt plan reproduces the journaled fingerprint — the
 // precondition for trusting any journaled record's index.
-func (s *Supervisor) syncPlan(jobs []planJob) error {
+func (s *Supervisor) syncPlan(jobs []PlanJob) error {
 	keys := jobKeys(jobs)
 	fp := planFingerprint(keys)
 	if s.resumePlan != nil {
@@ -271,9 +268,10 @@ type attemptOutcome struct {
 // execute runs (or replays) one job under supervision, returning the
 // result to store at its job-list index. A nil result with a nil error
 // never happens; a nil error with a quarantined placeholder result is
-// the graceful-degradation path.
-func (s *Supervisor) execute(r *Runner, index int, job planJob) (*RunResult, error) {
-	spec := job.spec
+// the graceful-degradation path. Cancellation of ctx only shortcuts the
+// retry backoff sleeps — stop semantics live in the worker pool.
+func (s *Supervisor) execute(ctx context.Context, r *Runner, index int, job PlanJob) (*RunResult, error) {
+	spec := job.Spec
 	key := spec.Key()
 
 	if rec, ok := s.resumeRuns[index]; ok {
@@ -286,7 +284,12 @@ func (s *Supervisor) execute(r *Runner, index int, job planJob) (*RunResult, err
 	var last attemptFailure
 	for attempt := 1; attempt <= s.opts.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			time.Sleep(s.opts.Backoff << (attempt - 2))
+			backoff := time.NewTimer(s.opts.Backoff << (attempt - 2))
+			select {
+			case <-backoff.C:
+			case <-ctx.Done():
+				backoff.Stop()
+			}
 		}
 		out := s.attempt(r, spec, attempt)
 		if out.fail == nil && out.err != nil {
@@ -297,7 +300,7 @@ func (s *Supervisor) execute(r *Runner, index int, job planJob) (*RunResult, err
 		}
 		if out.fail == nil {
 			res := out.res
-			if job.probe {
+			if job.Probe {
 				res.Skipped = true
 			}
 			res.Retries = attempt - 1
@@ -425,6 +428,41 @@ func (s *Supervisor) quarantineResult(r *Runner, spec inject.FaultSpec, reason s
 	return res
 }
 
+// MarshalRunRecord serializes a run result into the journal's payload
+// pair: the JSON result and, when the run collected telemetry, its
+// snapshot. This is the wire encoding shard workers stream back, so the
+// byte-identical resume guarantee extends to sharded merges.
+func MarshalRunRecord(res *RunResult) (result, tel json.RawMessage, err error) {
+	result, err = json.Marshal(res)
+	if err != nil {
+		return nil, nil, fmt.Errorf("run record result marshal: %w", err)
+	}
+	if res.Telemetry != nil {
+		tel, err = json.Marshal(res.Telemetry.Snapshot())
+		if err != nil {
+			return nil, nil, fmt.Errorf("run record telemetry marshal: %w", err)
+		}
+	}
+	return result, tel, nil
+}
+
+// UnmarshalRunRecord inverts MarshalRunRecord, restoring the telemetry
+// collector when a snapshot is present.
+func UnmarshalRunRecord(result, tel json.RawMessage) (*RunResult, error) {
+	var res RunResult
+	if err := json.Unmarshal(result, &res); err != nil {
+		return nil, fmt.Errorf("run record result: %w", err)
+	}
+	if len(tel) != 0 {
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal(tel, &snap); err != nil {
+			return nil, fmt.Errorf("run record telemetry: %w", err)
+		}
+		res.Telemetry = snap.Restore()
+	}
+	return &res, nil
+}
+
 // journalRun writes one completed run to the journal (no-op when not
 // journaling). The telemetry snapshot rides along so a resumed
 // campaign's trace and metrics exports stay byte-identical.
@@ -432,16 +470,9 @@ func (s *Supervisor) journalRun(index int, key string, attempts int, res *RunRes
 	if s.jw == nil {
 		return nil
 	}
-	resultRaw, err := json.Marshal(res)
+	resultRaw, telRaw, err := MarshalRunRecord(res)
 	if err != nil {
-		return fmt.Errorf("journal result marshal: %w", err)
-	}
-	var telRaw json.RawMessage
-	if res.Telemetry != nil {
-		telRaw, err = json.Marshal(res.Telemetry.Snapshot())
-		if err != nil {
-			return fmt.Errorf("journal telemetry marshal: %w", err)
-		}
+		return err
 	}
 	return s.jw.WriteRun(index, key, attempts, resultRaw, telRaw)
 }
@@ -452,18 +483,11 @@ func (s *Supervisor) replayRun(index int, key string, rec journal.RunRecord) (*R
 	if rec.Key != key {
 		return nil, fmt.Errorf("journal record %d keyed %s, plan expects %s", index, rec.Key, key)
 	}
-	var res RunResult
-	if err := json.Unmarshal(rec.Result, &res); err != nil {
-		return nil, fmt.Errorf("journal record %d result: %w", index, err)
+	res, err := UnmarshalRunRecord(rec.Result, rec.Tel)
+	if err != nil {
+		return nil, fmt.Errorf("journal record %d: %w", index, err)
 	}
-	if len(rec.Tel) != 0 {
-		var snap telemetry.Snapshot
-		if err := json.Unmarshal(rec.Tel, &snap); err != nil {
-			return nil, fmt.Errorf("journal record %d telemetry: %w", index, err)
-		}
-		res.Telemetry = snap.Restore()
-	}
-	return &res, nil
+	return res, nil
 }
 
 // replayQuarantine rebuilds a quarantined run from its journal record:

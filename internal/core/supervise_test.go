@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,7 +44,7 @@ func supervisedSweep(t *testing.T, specs []inject.FaultSpec, par int, jpath stri
 		t.Fatal(err)
 	}
 	sup.AttachJournal(jw)
-	runs, err := RunSpecsSupervised(runner, specs, par, nil, sup)
+	runs, err := RunSpecsSupervised(context.Background(), runner, specs, par, nil, sup)
 	if err != nil {
 		t.Fatalf("supervised sweep: %v", err)
 	}
@@ -173,7 +174,7 @@ func TestSupervisorQuarantine(t *testing.T) {
 		WallDeadline: 100 * time.Millisecond,
 		Backoff:      time.Millisecond,
 	})
-	runs, err := RunSpecsSupervised(runner, specs, 2, nil, sup)
+	runs, err := RunSpecsSupervised(context.Background(), runner, specs, 2, nil, sup)
 	if err != nil {
 		t.Fatalf("campaign failed instead of quarantining: %v", err)
 	}
@@ -276,7 +277,7 @@ func TestQuarantineBudget(t *testing.T) {
 		WallDeadline:   50 * time.Millisecond,
 		MaxQuarantined: 1,
 	})
-	runs, err := RunSpecsSupervised(runner, specs, 1, nil, sup)
+	runs, err := RunSpecsSupervised(context.Background(), runner, specs, 1, nil, sup)
 	var budget *QuarantineBudgetError
 	if !errors.As(err, &budget) {
 		t.Fatalf("error %v, want QuarantineBudgetError", err)
@@ -324,7 +325,7 @@ func TestSupervisorInterrupt(t *testing.T) {
 			sup.RequestStop(ErrInterrupted)
 		}
 	}
-	_, err = RunSpecsSupervised(runner, specs, 4, progress, sup)
+	_, err = RunSpecsSupervised(context.Background(), runner, specs, 4, progress, sup)
 	if !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("interrupted campaign returned %v, want ErrInterrupted", err)
 	}
@@ -357,7 +358,7 @@ func TestRunSpecsErrorFingerprint(t *testing.T) {
 		return nil, nil, errors.New("client refused to start")
 	}
 	spec := inject.FaultSpec{Function: "ReadFile", Param: 0, Invocation: 1, Type: inject.ZeroBits}
-	_, err := RunSpecs(NewRunner(def, RunnerOptions{}), []inject.FaultSpec{spec}, 1, nil)
+	_, err := RunSpecs(context.Background(), NewRunner(def, RunnerOptions{}), []inject.FaultSpec{spec}, 1, nil)
 	if err == nil {
 		t.Fatal("no error from failing run")
 	}

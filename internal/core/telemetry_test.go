@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"testing"
@@ -50,7 +51,7 @@ func TestCampaignTelemetryDeterministic(t *testing.T) {
 	sweep := func(par int) (trace []byte, metrics string) {
 		opts := RunnerOptions{Telemetry: telemetry.Options{Enabled: true}}
 		runner := NewRunner(workload.NewApache1(workload.Standalone), opts)
-		runs, err := RunSpecs(runner, specs, par, nil)
+		runs, err := RunSpecs(context.Background(), runner, specs, par, nil)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}

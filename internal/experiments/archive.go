@@ -28,8 +28,14 @@ func (a *Archive) Save(w io.Writer) error {
 // LoadArchive reads an archive and checks its shape.
 func LoadArchive(r io.Reader) (*Archive, error) {
 	var a Archive
-	if err := json.NewDecoder(r).Decode(&a); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
 		return nil, fmt.Errorf("decode archive: %w", err)
+	}
+	// An archive is exactly one JSON value; anything after it means a
+	// truncated write that something else appended to, or the wrong file.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("archive has trailing data after the results object")
 	}
 	switch a.Kind {
 	case "set":

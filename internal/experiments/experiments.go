@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,14 @@ type Config struct {
 	// with this policy (watchdog, quarantine, retries). Journaling is a
 	// single-campaign facility and is not wired through experiments.
 	Supervise *core.SupervisorOptions
+	// Shards fans each campaign's run list out over that many worker
+	// processes (<= 1 stays in-process). Table 1 is calibration-only and
+	// always runs in-process. Mutually exclusive with Supervise: worker
+	// processes already isolate harness faults.
+	Shards int
+	// ShardExec overrides the registered shard executor (tests use
+	// in-process executors).
+	ShardExec core.ShardExecutor
 }
 
 func (c Config) progress(format string, args ...any) {
@@ -194,13 +203,21 @@ func RunFigure2(cfg Config) (*core.Experiment, error) {
 }
 
 func runSet(def workload.Definition, cfg Config) (*core.SetResult, error) {
-	c := &core.Campaign{Runner: core.NewRunner(def, cfg.Opts), Parallelism: cfg.Parallelism}
+	if cfg.Shards > 1 && cfg.Supervise != nil {
+		return nil, fmt.Errorf("%s/%s: sharding and supervision are mutually exclusive", def.Name, def.Supervision)
+	}
+	opts := []core.Option{
+		core.WithParallelism(cfg.Parallelism),
+		core.WithShards(cfg.Shards),
+		core.WithShardExecutor(cfg.ShardExec),
+	}
 	if cfg.Supervise != nil {
 		// One supervisor per set: quarantine lists and budgets are
 		// per-campaign, like the results they annotate.
-		c.Supervise = core.NewSupervisor(*cfg.Supervise)
+		opts = append(opts, core.WithSupervision(core.NewSupervisor(*cfg.Supervise)))
 	}
-	set, err := c.Execute()
+	c := core.NewCampaign(core.NewRunner(def, cfg.Opts), opts...)
+	set, err := c.Run(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", def.Name, def.Supervision, err)
 	}
@@ -219,21 +236,13 @@ func runSet(def workload.Definition, cfg Config) (*core.SetResult, error) {
 // is byte-identical at any parallelism. Returns nil when no set carried
 // telemetry (i.e. the campaign ran with telemetry disabled).
 func MergedTelemetry(sets []*core.SetResult) *telemetry.Set {
-	merged := telemetry.NewSet()
-	any := false
-	for _, s := range sets {
-		if s == nil || s.Telemetry == nil {
-			continue
-		}
-		any = true
-		for _, r := range s.Telemetry.Runs {
-			merged.Append(r)
+	tels := make([]*telemetry.Set, len(sets))
+	for i, s := range sets {
+		if s != nil {
+			tels[i] = s.Telemetry
 		}
 	}
-	if !any {
-		return nil
-	}
-	return merged
+	return telemetry.Merge(tels...)
 }
 
 // --- Figure 3 ----------------------------------------------------------------
@@ -430,7 +439,8 @@ func RunFigure5(cfg Config) (*Figure5Result, error) {
 	err := fanOut(len(cells), func(i int) error {
 		opts := cfg.Opts
 		opts.WatchdVersion = cells[i].version
-		set, err := runSet(cells[i].def, Config{Opts: opts, Parallelism: cfg.Parallelism, Progress: cfg.Progress})
+		set, err := runSet(cells[i].def, Config{Opts: opts, Parallelism: cfg.Parallelism, Progress: cfg.Progress,
+			Shards: cfg.Shards, ShardExec: cfg.ShardExec})
 		if err != nil {
 			return fmt.Errorf("%v: %w", cells[i].version, err)
 		}

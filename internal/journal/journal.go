@@ -24,10 +24,11 @@
 package journal
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -86,6 +87,26 @@ type Plan struct {
 	Kind        string   `json:"kind"` // "plan"
 	Jobs        []string `json:"jobs"`
 	Fingerprint string   `json:"fingerprint"`
+
+	// Shard-assignment fields, set only on the wire when a coordinator
+	// hands a plan slice to a shard worker (internal/shard); journal
+	// files written by the campaign supervisor never carry them, so the
+	// on-disk format is unchanged.
+	//
+	// Shard is the assignment's shard number; Index[i] is the global
+	// job-list position of Jobs[i] (re-dispatched remainders are not
+	// contiguous); Parallelism sizes the worker's run pool; HeartbeatNS
+	// is the liveness beacon period the coordinator expects.
+	Shard       int   `json:"shard,omitempty"`
+	Index       []int `json:"index,omitempty"`
+	Parallelism int   `json:"parallelism,omitempty"`
+	HeartbeatNS int64 `json:"heartbeatNS,omitempty"`
+
+	// ChaosKillAfter, when > 0, instructs the worker to SIGKILL itself
+	// after writing that many run records — the coordinator's
+	// worker-failure drill (dts -chaos + DTS_SHARD_CHAOS_KILL). Set only
+	// on a shard's first dispatch, so the respawned worker survives.
+	ChaosKillAfter int `json:"chaosKillAfter,omitempty"`
 }
 
 // Record is one run or quarantine line.
@@ -367,82 +388,63 @@ type Replayed struct {
 // Replay parses a journal, discarding a torn final line (the signature
 // of a killed process) and rejecting corruption anywhere else. The
 // checkpoint sidecar, when present, tightens the classification: a
-// journal shorter than its last checkpoint is corrupt, not torn.
+// journal shorter than its last checkpoint is corrupt, not torn. Replay
+// is the file-shaped use of the streaming reader the shard protocol
+// reads live pipes with (Stream).
 func Replay(path string) (*Replayed, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal read: %w", err)
 	}
+	defer f.Close()
 	rep := &Replayed{
 		Runs:        make(map[int]RunRecord),
 		Quarantined: make(map[int]QuarantineRecord),
 	}
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	var (
-		lineNo int
-		offset int64
-	)
-	for sc.Scan() {
-		line := sc.Bytes()
-		lineLen := int64(len(line)) + 1 // +1 newline consumed by the scanner
-		// A final line without a trailing newline is torn by definition:
-		// writers always terminate lines.
-		torn := offset+lineLen > int64(len(data))
-		lineNo++
-		var probe struct {
-			Kind string `json:"kind"`
+	st := NewStream(f)
+	for {
+		line, err := st.Next()
+		if err == io.EOF {
+			break
 		}
-		parseErr := json.Unmarshal(line, &probe)
-		if parseErr == nil {
-			switch probe.Kind {
-			case KindHeader:
-				if lineNo != 1 {
-					return nil, fmt.Errorf("journal %s: header on line %d", path, lineNo)
-				}
-				parseErr = json.Unmarshal(line, &rep.Header)
-			case KindPlan:
-				var p Plan
-				if parseErr = json.Unmarshal(line, &p); parseErr == nil {
-					if rep.Plan != nil {
-						return nil, fmt.Errorf("journal %s: duplicate plan on line %d", path, lineNo)
-					}
-					rep.Plan = &p
-				}
-			case KindRun, KindQuarantine:
-				var rec Record
-				if parseErr = json.Unmarshal(line, &rec); parseErr == nil && !torn {
-					if rec.Kind == KindRun {
-						rep.Runs[rec.Index] = RunRecord{
-							Key: rec.Key, Attempts: rec.Attempts, Result: rec.Result, Tel: rec.Tel,
-						}
-					} else {
-						rep.Quarantined[rec.Index] = QuarantineRecord{
-							Key: rec.Key, Attempts: rec.Attempts, Fault: rec.Fault,
-							Reason: rec.Reason, Message: rec.Message, Stack: rec.Stack,
-						}
-					}
-					rep.Records++
-				}
-			default:
-				parseErr = fmt.Errorf("unknown kind %q", probe.Kind)
+		if errors.Is(err, ErrTorn) {
+			rep.Torn = true
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal %s: corrupt %v", path, err)
+		}
+		switch line.Kind {
+		case KindHeader:
+			if st.LineNo() != 1 {
+				return nil, fmt.Errorf("journal %s: header on line %d", path, st.LineNo())
 			}
-		}
-		if parseErr != nil || torn {
-			if torn || offset+lineLen == int64(len(data)) {
-				// Torn tail: unterminated, or terminated but unparsable as
-				// the very last line (a crash can tear mid-buffer too).
-				rep.Torn = true
-				break
+			rep.Header = *line.Header
+		case KindPlan:
+			if rep.Plan != nil {
+				return nil, fmt.Errorf("journal %s: duplicate plan on line %d", path, st.LineNo())
 			}
-			return nil, fmt.Errorf("journal %s: corrupt line %d: %v", path, lineNo, parseErr)
+			rep.Plan = line.Plan
+		case KindRun:
+			rec := line.Rec
+			rep.Runs[rec.Index] = RunRecord{
+				Key: rec.Key, Attempts: rec.Attempts, Result: rec.Result, Tel: rec.Tel,
+			}
+			rep.Records++
+		case KindQuarantine:
+			rec := line.Rec
+			rep.Quarantined[rec.Index] = QuarantineRecord{
+				Key: rec.Key, Attempts: rec.Attempts, Fault: rec.Fault,
+				Reason: rec.Reason, Message: rec.Message, Stack: rec.Stack,
+			}
+			rep.Records++
+		default:
+			// Heartbeat/done/error lines live on shard streams only; in a
+			// journal file they mean someone saved a raw worker stream.
+			return nil, fmt.Errorf("journal %s: stray stream record %q on line %d", path, line.Kind, st.LineNo())
 		}
-		offset += lineLen
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal scan: %w", err)
-	}
-	rep.ValidBytes = offset
+	rep.ValidBytes = st.Offset()
 	if rep.Header.Kind != KindHeader {
 		return nil, fmt.Errorf("journal %s: missing header", path)
 	}

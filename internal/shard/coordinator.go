@@ -1,0 +1,347 @@
+package shard
+
+// The coordinator half: partition the prepared job list, dispatch one
+// worker per shard, merge streamed records at their global indices, and
+// survive worker death. Detection is two-layered — heartbeat records
+// bound the silence a healthy worker can produce, and a stall deadline
+// kills a worker whose stream has gone quiet; a severed or torn stream
+// means the worker died on its own. Either way the records already
+// streamed are final (the stream is its own journal replay), so only
+// the shard's remaining jobs are re-dispatched, up to MaxRespawns fresh
+// workers per shard.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/journal"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultHeartbeat     = 500 * time.Millisecond
+	DefaultStallDeadline = 30 * time.Second
+	DefaultMaxRespawns   = 2
+)
+
+// Options tune the coordinator.
+type Options struct {
+	// WorkerParallelism is each worker's run-pool width (0 = 1: with K
+	// single-threaded workers, sharding is the process-isolated analogue
+	// of Parallelism=K).
+	WorkerParallelism int
+	// Heartbeat is the liveness beacon period workers are asked for
+	// (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// StallDeadline kills a worker whose stream produced nothing — no
+	// record, no heartbeat — for this long (0 = DefaultStallDeadline;
+	// < 0 disables stall detection).
+	StallDeadline time.Duration
+	// MaxRespawns bounds how many replacement workers one shard may
+	// consume before the campaign fails (0 = DefaultMaxRespawns; < 0
+	// means no respawns).
+	MaxRespawns int
+	// Spawn produces workers (nil = InProcess()).
+	Spawn Spawner
+	// ChaosKill, in the form "shard:afterRecords", makes that shard's
+	// first worker SIGKILL itself after writing that many records — the
+	// failure drill dts -chaos wires from DTS_SHARD_CHAOS_KILL. Only
+	// meaningful with a real-process Spawner.
+	ChaosKill string
+}
+
+// Executor runs prepared campaigns across shard workers. It implements
+// core.ShardExecutor; importing this package registers an in-process
+// default, and dts -shards installs one that execs real workers.
+type Executor struct {
+	opts Options
+}
+
+// New builds an executor with defaults filled in.
+func New(opts Options) *Executor {
+	if opts.WorkerParallelism <= 0 {
+		opts.WorkerParallelism = 1
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	if opts.StallDeadline == 0 {
+		opts.StallDeadline = DefaultStallDeadline
+	}
+	if opts.MaxRespawns == 0 {
+		opts.MaxRespawns = DefaultMaxRespawns
+	}
+	if opts.Spawn == nil {
+		opts.Spawn = InProcess()
+	}
+	return &Executor{opts: opts}
+}
+
+func init() {
+	// Importing the package is enough to make Campaign.Shards work; the
+	// in-process default keeps the registration safe in any binary (a
+	// worker is a goroutine speaking the full wire protocol). dts
+	// overrides it with a self-exec executor for real crash isolation.
+	core.RegisterShardExecutor(New(Options{}))
+}
+
+// errWorkerDied marks a detectable worker death (severed stream, torn
+// record, stall): the shard's remainder is re-dispatched. Any other
+// dispatch error is fatal to the campaign.
+var errWorkerDied = errors.New("shard worker died")
+
+// ExecuteShards implements core.ShardExecutor: fan out, merge, and
+// return results in global job order.
+func (e *Executor) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.Prepared) ([]core.RunResult, error) {
+	jobs := p.Jobs
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ranges := Partition(len(jobs), c.Shards)
+	header := HeaderFor(c.Runner)
+	results := make([]core.RunResult, len(jobs))
+
+	chaosShard, chaosAfter, err := parseChaosKill(e.opts.ChaosKill)
+	if err != nil {
+		return nil, err
+	}
+
+	// Progress keeps the in-process pool's contract: serialized, done
+	// strictly +1, final call (total, total) — shards interleave but the
+	// counter never goes backwards or skips.
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	report := func(probe bool) {
+		if c.Progress == nil || probe {
+			return
+		}
+		progressMu.Lock()
+		done++
+		c.Progress(done, p.Faults)
+		progressMu.Unlock()
+	}
+
+	fails := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for s := range ranges {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			chaos := 0
+			if s == chaosShard {
+				chaos = chaosAfter
+			}
+			fails[s] = e.runShard(ctx, s, jobs, ranges[s], header, results, report, chaos)
+		}(s)
+	}
+	wg.Wait()
+	// Shards are contiguous, so the lowest-shard error is the one the
+	// sequential sweep would have hit first — same rule as the pool.
+	for _, err := range fails {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, core.ErrInterrupted
+	}
+	return results, nil
+}
+
+// runShard drives one shard to completion through as many workers as
+// the respawn budget allows.
+func (e *Executor) runShard(ctx context.Context, shardIdx int, jobs []core.PlanJob, rng Range, header journal.Header, results []core.RunResult, report func(probe bool), chaosAfter int) error {
+	pending := make([]int, 0, rng.Len())
+	for g := rng.Start; g < rng.End; g++ {
+		pending = append(pending, g)
+	}
+	respawns := e.opts.MaxRespawns
+	if respawns < 0 {
+		respawns = 0
+	}
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return nil // ExecuteShards reports the interruption once
+		}
+		left, err := e.dispatch(ctx, shardIdx, jobs, pending, header, results, report, chaosAfter)
+		chaosAfter = 0 // the failure drill kills a shard's first worker only
+		pending = left
+		if ctx.Err() != nil {
+			return nil // ExecuteShards reports the interruption once
+		}
+		if len(pending) == 0 && (err == nil || errors.Is(err, errWorkerDied)) {
+			// Clean completion — or death after the last record, which
+			// loses nothing: every result is already merged.
+			return nil
+		}
+		if err == nil {
+			return fmt.Errorf("shard %d: worker finished with %d runs unaccounted for", shardIdx, len(pending))
+		}
+		if !errors.Is(err, errWorkerDied) {
+			return err
+		}
+		if attempt >= respawns {
+			return fmt.Errorf("shard %d: %d workers died, %d of %d runs undone: %w",
+				shardIdx, attempt+1, len(pending), rng.Len(), err)
+		}
+	}
+}
+
+// dispatch runs one worker over the pending job indices and merges its
+// stream. It returns the indices still pending; err wraps errWorkerDied
+// when a fresh worker could finish them.
+func (e *Executor) dispatch(ctx context.Context, shardIdx int, jobs []core.PlanJob, pending []int, header journal.Header, results []core.RunResult, report func(probe bool), chaosAfter int) ([]int, error) {
+	remaining := func(open map[int]bool) []int {
+		out := make([]int, 0, len(open))
+		for _, g := range pending { // preserve global order
+			if open[g] {
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+
+	conn, err := e.opts.Spawn()
+	if err != nil {
+		return pending, fmt.Errorf("shard %d: spawn: %w", shardIdx, err)
+	}
+	defer conn.Kill()
+
+	// The assignment: header, then the plan slice with global indices.
+	// Re-dispatched remainders are not contiguous, hence the index list.
+	keys := make([]string, len(pending))
+	for i, g := range pending {
+		keys[i] = jobs[g].Key()
+	}
+	w := &wire{w: conn.In}
+	if err := w.writeLine(header); err != nil {
+		return pending, fmt.Errorf("shard %d: send header: %w (%w)", shardIdx, err, errWorkerDied)
+	}
+	if err := w.writeLine(journal.Plan{
+		Kind: journal.KindPlan, Jobs: keys, Fingerprint: "",
+		Shard: shardIdx, Index: append([]int(nil), pending...),
+		Parallelism: e.opts.WorkerParallelism,
+		HeartbeatNS: int64(e.opts.Heartbeat), ChaosKillAfter: chaosAfter,
+	}); err != nil {
+		return pending, fmt.Errorf("shard %d: send plan: %w (%w)", shardIdx, err, errWorkerDied)
+	}
+	conn.In.Close() // the assignment is complete; workers read exactly two lines
+
+	open := make(map[int]bool, len(pending))
+	for _, g := range pending {
+		open[g] = true
+	}
+
+	// Reader goroutine: the stream is a blocking pipe, so stall and
+	// cancellation handling need Next off the main select loop.
+	type lineResult struct {
+		line *journal.Line
+		err  error
+	}
+	lines := make(chan lineResult)
+	quit := make(chan struct{})
+	defer close(quit)
+	st := journal.NewStream(conn.Out)
+	go func() {
+		for {
+			l, err := st.Next()
+			select {
+			case lines <- lineResult{l, err}:
+			case <-quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var stallC <-chan time.Time
+	var stall *time.Timer
+	if e.opts.StallDeadline > 0 {
+		stall = time.NewTimer(e.opts.StallDeadline)
+		defer stall.Stop()
+		stallC = stall.C
+	}
+	for {
+		select {
+		case m := <-lines:
+			if stall != nil {
+				if !stall.Stop() {
+					<-stall.C
+				}
+				stall.Reset(e.opts.StallDeadline)
+			}
+			if m.err != nil {
+				// EOF, torn record, or a garbled stream without a done
+				// record: the worker died (or went insane) mid-shard.
+				return remaining(open), fmt.Errorf("shard %d: stream ended early: %w (%w)", shardIdx, m.err, errWorkerDied)
+			}
+			switch m.line.Kind {
+			case journal.KindRun:
+				rec := m.line.Rec
+				if !open[rec.Index] {
+					return remaining(open), fmt.Errorf("shard %d: record for job %d not in this dispatch", shardIdx, rec.Index)
+				}
+				if want := jobs[rec.Index].Key(); rec.Key != want {
+					return remaining(open), fmt.Errorf("shard %d: record %d keyed %s, plan expects %s", shardIdx, rec.Index, rec.Key, want)
+				}
+				res, err := core.UnmarshalRunRecord(rec.Result, rec.Tel)
+				if err != nil {
+					return remaining(open), fmt.Errorf("shard %d: record %d: %w", shardIdx, rec.Index, err)
+				}
+				results[rec.Index] = *res
+				delete(open, rec.Index)
+				report(jobs[rec.Index].Probe)
+			case journal.KindHeartbeat:
+				// Liveness only; the timer reset above is the point.
+			case journal.KindError:
+				return remaining(open), fmt.Errorf("shard %d: %s", shardIdx, m.line.Rec.Message)
+			case journal.KindDone:
+				if len(open) != 0 {
+					return remaining(open), fmt.Errorf("shard %d: worker done with %d runs missing", shardIdx, len(open))
+				}
+				conn.Wait() // reap; its exit status is moot after a clean done
+				return nil, nil
+			default:
+				return remaining(open), fmt.Errorf("shard %d: unexpected %q record", shardIdx, m.line.Kind)
+			}
+		case <-stallC:
+			conn.Kill()
+			return remaining(open), fmt.Errorf("shard %d: no record or heartbeat for %v: %w", shardIdx, e.opts.StallDeadline, errWorkerDied)
+		case <-ctx.Done():
+			conn.Kill()
+			return remaining(open), nil // runShard observes ctx and stops
+		}
+	}
+}
+
+// parseChaosKill parses "shard:afterRecords" (empty = disabled, shard
+// index -1).
+func parseChaosKill(s string) (shard, after int, err error) {
+	if s == "" {
+		return -1, 0, nil
+	}
+	idx, rest, ok := strings.Cut(s, ":")
+	if ok {
+		shard, err = strconv.Atoi(idx)
+		if err == nil {
+			after, err = strconv.Atoi(rest)
+		}
+	}
+	if !ok || err != nil || shard < 0 || after < 1 {
+		return -1, 0, fmt.Errorf("bad chaos kill spec %q (want \"shard:afterRecords\")", s)
+	}
+	return shard, after, nil
+}

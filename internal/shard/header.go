@@ -1,0 +1,62 @@
+package shard
+
+// Runner <-> journal.Header conversion. The shard assignment reuses the
+// journal header as its configuration record, so a worker rebuilds its
+// runner exactly the way dts -resume does — one codepath, one set of
+// fields that must round-trip.
+
+import (
+	"time"
+
+	"ntdts/internal/config"
+	"ntdts/internal/core"
+	"ntdts/internal/journal"
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/workload"
+)
+
+// HeaderFor records everything a worker process needs to rebuild r.
+func HeaderFor(r *core.Runner) journal.Header {
+	h := journal.Header{
+		Kind:              journal.KindHeader,
+		Version:           journal.Version,
+		Workload:          r.Def.Name,
+		Supervision:       r.Def.Supervision.String(),
+		ServerUpTimeoutNS: int64(r.Opts.ServerUpTimeout),
+		RunDeadlineNS:     int64(r.Opts.RunDeadline),
+		Telemetry:         r.Opts.Telemetry.Enabled,
+		TraceCapacity:     r.Opts.Telemetry.TraceCap,
+	}
+	if r.Def.Supervision == workload.Watchd {
+		h.WatchdVersion = int(r.Opts.WatchdVersion)
+	}
+	return h
+}
+
+// RunnerFromHeader rebuilds the runner a journal header describes —
+// shared by shard workers and the dts -resume path.
+func RunnerFromHeader(h journal.Header) (*core.Runner, error) {
+	sv, err := workload.ParseSupervision(h.Supervision)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.DefaultMain()
+	cfg.Workload = h.Workload
+	cfg.Middleware = sv
+	if h.WatchdVersion != 0 {
+		cfg.WatchdVersion = watchd.Version(h.WatchdVersion)
+	}
+	def, err := cfg.Definition()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultRunnerOptions()
+	opts.ServerUpTimeout = time.Duration(h.ServerUpTimeoutNS)
+	opts.RunDeadline = time.Duration(h.RunDeadlineNS)
+	opts.WatchdVersion = cfg.WatchdVersion
+	// The ring capacity shapes trace content, so the header's value wins
+	// over any local default.
+	opts.Telemetry = telemetry.Options{Enabled: h.Telemetry, TraceCap: h.TraceCapacity}
+	return core.NewRunner(def, opts), nil
+}

@@ -1,0 +1,462 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim/win32"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/workload"
+)
+
+// campaignSpecs builds a deterministic n-fault list spanning the KERNEL32
+// catalog — the same shape dts fault-list campaigns (and the CI shard
+// job) run.
+func campaignSpecs(n int) []inject.FaultSpec {
+	types := inject.AllFaultTypes()
+	var specs []inject.FaultSpec
+	for i, e := range win32.Catalog() {
+		if e.Params == 0 {
+			continue
+		}
+		specs = append(specs, inject.FaultSpec{
+			Function:   e.Name,
+			Param:      i % e.Params,
+			Invocation: 1,
+			Type:       types[i%len(types)],
+		})
+		if len(specs) == n {
+			break
+		}
+	}
+	return specs
+}
+
+func newRunner(tel bool) *core.Runner {
+	opts := core.DefaultRunnerOptions()
+	opts.Telemetry = telemetry.Options{Enabled: tel}
+	return core.NewRunner(workload.NewApache1(workload.Standalone), opts)
+}
+
+// artifacts renders the three byte-compared campaign outputs: the archive
+// JSON, the merged telemetry trace, and the metrics text.
+func artifacts(t *testing.T, set *core.SetResult) (archive, trace []byte, metrics string) {
+	t.Helper()
+	archive, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Telemetry != nil {
+		var buf bytes.Buffer
+		if err := set.Telemetry.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		trace = buf.Bytes()
+		metrics = set.Telemetry.MetricsText()
+	}
+	return archive, trace, metrics
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []Range
+	}{
+		{0, 4, nil},
+		{-1, 4, nil},
+		{5, 1, []Range{{0, 5}}},
+		{5, 2, []Range{{0, 3}, {3, 5}}},
+		{6, 3, []Range{{0, 2}, {2, 4}, {4, 6}}},
+		{7, 3, []Range{{0, 3}, {3, 5}, {5, 7}}},
+		{3, 8, []Range{{0, 1}, {1, 2}, {2, 3}}}, // k clamps to n
+		{5, 0, []Range{{0, 5}}},                 // k clamps to 1
+		{5, -2, []Range{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := Partition(c.n, c.k)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Partition(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	// Property check: contiguous cover, sizes differ by at most one.
+	for n := 1; n < 40; n++ {
+		for k := 1; k <= 10; k++ {
+			rs := Partition(n, k)
+			next, min, max := 0, n, 0
+			for _, r := range rs {
+				if r.Start != next {
+					t.Fatalf("Partition(%d, %d): gap before %v", n, k, r)
+				}
+				next = r.End
+				if r.Len() < min {
+					min = r.Len()
+				}
+				if r.Len() > max {
+					max = r.Len()
+				}
+			}
+			if next != n || max-min > 1 || min < 1 {
+				t.Fatalf("Partition(%d, %d) = %v: bad cover or balance", n, k, rs)
+			}
+		}
+	}
+}
+
+func TestParseChaosKill(t *testing.T) {
+	if s, a, err := parseChaosKill(""); err != nil || s != -1 || a != 0 {
+		t.Fatalf("empty spec: %d %d %v", s, a, err)
+	}
+	if s, a, err := parseChaosKill("2:17"); err != nil || s != 2 || a != 17 {
+		t.Fatalf("2:17: %d %d %v", s, a, err)
+	}
+	for _, bad := range []string{"2", ":3", "2:", "x:3", "2:x", "-1:3", "2:0"} {
+		if _, _, err := parseChaosKill(bad); err == nil {
+			t.Errorf("parseChaosKill(%q): no error", bad)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	r := newRunner(true)
+	got, err := RunnerFromHeader(HeaderFor(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Def.Name != r.Def.Name || got.Def.Supervision != r.Def.Supervision {
+		t.Fatalf("definition drifted: %s/%s -> %s/%s",
+			r.Def.Name, r.Def.Supervision, got.Def.Name, got.Def.Supervision)
+	}
+	if got.Opts.Telemetry != r.Opts.Telemetry ||
+		got.Opts.ServerUpTimeout != r.Opts.ServerUpTimeout ||
+		got.Opts.RunDeadline != r.Opts.RunDeadline {
+		t.Fatalf("options drifted: %+v -> %+v", r.Opts, got.Opts)
+	}
+}
+
+// TestShardedMatchesUnsharded is the tentpole guarantee: a 200-spec
+// campaign fanned out over 1, 2, 4 and 8 shard workers produces an
+// archive, telemetry trace and metrics summary byte-identical to the
+// unsharded run. CI runs this under -race.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	specs := campaignSpecs(200)
+	if len(specs) != 200 {
+		t.Fatalf("built %d specs, want 200", len(specs))
+	}
+	base, err := core.NewCampaign(newRunner(true),
+		core.WithParallelism(4), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, wantTrace, wantMetrics := artifacts(t, base)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		set, err := core.NewCampaign(newRunner(true),
+			core.WithSpecs(specs),
+			core.WithShards(shards),
+			core.WithShardExecutor(New(Options{WorkerParallelism: 2})),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		archive, trace, metrics := artifacts(t, set)
+		if !bytes.Equal(archive, wantArchive) {
+			t.Errorf("shards %d: archive differs from unsharded run", shards)
+		}
+		if !bytes.Equal(trace, wantTrace) {
+			t.Errorf("shards %d: telemetry trace differs from unsharded run", shards)
+		}
+		if metrics != wantMetrics {
+			t.Errorf("shards %d: metrics text differs from unsharded run", shards)
+		}
+	}
+}
+
+// TestShardedGeneratedCampaign shards the generated catalog sweep with
+// paper-faithful skip probes: probe runs keep their positions, stay
+// invisible to Progress, and the merged set deep-equals the unsharded
+// one. The progress contract survives sharding: serialized, strictly +1,
+// ending at (total, total).
+func TestShardedGeneratedCampaign(t *testing.T) {
+	run := func(shards int, progress func(done, total int)) *core.SetResult {
+		opts := []core.Option{
+			core.WithPaperFaithfulSkips(),
+			core.WithProgress(progress),
+		}
+		if shards > 1 {
+			opts = append(opts,
+				core.WithShards(shards),
+				core.WithShardExecutor(New(Options{WorkerParallelism: 2})))
+		}
+		set, err := core.NewCampaign(newRunner(false), opts...).Run(context.Background())
+		if err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		return set
+	}
+	base := run(1, nil)
+
+	var calls []int
+	var total int
+	set := run(3, func(done, n int) {
+		calls = append(calls, done)
+		total = n
+	})
+	if !reflect.DeepEqual(base, set) {
+		t.Fatal("sharded generated campaign diverges from unsharded")
+	}
+	if len(calls) != total || total == 0 || total == len(base.Runs) {
+		// Probes are part of Runs but not of the progress total.
+		t.Fatalf("%d progress calls, total %d, %d runs (probes must not count)",
+			len(calls), total, len(base.Runs))
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("progress call %d reported done=%d; counter must increase strictly by one", i, done)
+		}
+	}
+}
+
+// severReader passes a worker's stream through until it has delivered n
+// lines, then kills the worker — the InProcess stand-in for a SIGKILL
+// mid-shard.
+type severReader struct {
+	r     io.Reader
+	kill  func()
+	after int
+	seen  int
+	dead  bool
+}
+
+func (s *severReader) Read(p []byte) (int, error) {
+	if s.dead {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := s.r.Read(p)
+	s.seen += bytes.Count(p[:n], []byte("\n"))
+	if s.seen >= s.after && !s.dead {
+		s.dead = true
+		s.kill()
+	}
+	return n, err
+}
+
+// TestWorkerDeathRedispatch kills the first worker after three streamed
+// records. The coordinator must keep the prefix, respawn the shard with
+// only its remaining jobs, and still merge a result list identical to
+// the unsharded run.
+func TestWorkerDeathRedispatch(t *testing.T) {
+	specs := campaignSpecs(60)
+	base, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := InProcess()
+	var spawned atomic.Int32
+	spawn := func() (*Conn, error) {
+		conn, err := inner()
+		if err != nil {
+			return nil, err
+		}
+		if spawned.Add(1) == 1 {
+			conn.Out = &severReader{r: conn.Out, kill: conn.Kill, after: 3}
+		}
+		return conn, nil
+	}
+	set, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(specs),
+		core.WithShards(2),
+		core.WithShardExecutor(New(Options{Spawn: spawn})),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, set) {
+		t.Fatal("merged set after worker death diverges from unsharded run")
+	}
+	if n := spawned.Load(); n != 3 {
+		t.Fatalf("%d workers spawned, want 3 (2 shards + 1 respawn)", n)
+	}
+}
+
+// fakeSpawner runs a hand-written protocol peer instead of ServeWorker —
+// how the tests stage worker misbehaviour the real worker never
+// exhibits. serve gets a killed channel that closes when the coordinator
+// kills the connection.
+func fakeSpawner(serve func(in io.Reader, out io.Writer, killed <-chan struct{})) Spawner {
+	return func() (*Conn, error) {
+		assignR, assignW := io.Pipe()
+		resultR, resultW := io.Pipe()
+		killed := make(chan struct{})
+		var once sync.Once
+		kill := func() {
+			once.Do(func() {
+				close(killed)
+				assignR.CloseWithError(io.ErrClosedPipe)
+				resultW.CloseWithError(io.ErrUnexpectedEOF)
+			})
+		}
+		go func() {
+			serve(assignR, resultW, killed)
+			resultW.Close()
+		}()
+		return &Conn{In: assignW, Out: resultR, Kill: kill, Wait: func() error { return nil }}, nil
+	}
+}
+
+// TestWorkerErrorRecordIsFatal: an error record is a deterministic run
+// failure, not a worker death — the campaign fails without respawning.
+func TestWorkerErrorRecordIsFatal(t *testing.T) {
+	var spawned atomic.Int32
+	spawn := fakeSpawner(func(in io.Reader, out io.Writer, _ <-chan struct{}) {
+		io.Copy(io.Discard, in)
+		io.WriteString(out, `{"kind":"error","index":7,"message":"run exploded"}`+"\n")
+	})
+	counted := func() (*Conn, error) {
+		spawned.Add(1)
+		return spawn()
+	}
+	_, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(8)),
+		core.WithShards(2),
+		core.WithShardExecutor(New(Options{Spawn: counted})),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "run exploded") {
+		t.Fatalf("error = %v, want the worker's error message", err)
+	}
+	if !strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("error = %v, want the lowest shard's failure", err)
+	}
+	if n := spawned.Load(); n != 2 {
+		t.Fatalf("%d workers spawned, want 2 (error records must not respawn)", n)
+	}
+}
+
+// TestWorkerPrematureDoneIsFatal: a done record with runs still open is
+// protocol corruption, not death — fail, don't respawn.
+func TestWorkerPrematureDoneIsFatal(t *testing.T) {
+	spawn := fakeSpawner(func(in io.Reader, out io.Writer, _ <-chan struct{}) {
+		io.Copy(io.Discard, in)
+		io.WriteString(out, `{"kind":"done","index":0}`+"\n")
+	})
+	_, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(6)),
+		core.WithShards(1+1),
+		core.WithShardExecutor(New(Options{Spawn: spawn})),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "runs missing") {
+		t.Fatalf("error = %v, want a missing-runs protocol failure", err)
+	}
+}
+
+// TestStallDetectionRespawns: a worker that accepts its assignment and
+// then goes silent — no records, no heartbeats — is killed at the stall
+// deadline and its whole shard re-dispatched.
+func TestStallDetectionRespawns(t *testing.T) {
+	specs := campaignSpecs(20)
+	base, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := InProcess()
+	var spawned atomic.Int32
+	wedged := fakeSpawner(func(in io.Reader, out io.Writer, killed <-chan struct{}) {
+		io.Copy(io.Discard, in)
+		<-killed
+	})
+	spawn := func() (*Conn, error) {
+		if spawned.Add(1) == 1 {
+			return wedged()
+		}
+		return inner()
+	}
+	set, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(specs),
+		core.WithShards(2),
+		core.WithShardExecutor(New(Options{
+			Spawn:         spawn,
+			StallDeadline: 50 * time.Millisecond,
+			Heartbeat:     10 * time.Millisecond,
+		})),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, set) {
+		t.Fatal("merged set after stalled worker diverges from unsharded run")
+	}
+	if n := spawned.Load(); n != 3 {
+		t.Fatalf("%d workers spawned, want 3 (2 shards + 1 stall respawn)", n)
+	}
+}
+
+// TestRespawnBudgetExhausted: a shard whose workers keep dying fails the
+// campaign once MaxRespawns replacements are used up.
+func TestRespawnBudgetExhausted(t *testing.T) {
+	spawn := fakeSpawner(func(in io.Reader, out io.Writer, _ <-chan struct{}) {
+		io.Copy(io.Discard, in) // accept the assignment, then drop dead
+	})
+	_, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(10)),
+		core.WithShards(2),
+		core.WithShardExecutor(New(Options{Spawn: spawn, MaxRespawns: 1})),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "workers died") {
+		t.Fatalf("error = %v, want a respawn-budget failure", err)
+	}
+	if !errors.Is(err, errWorkerDied) {
+		t.Fatalf("error %v does not wrap errWorkerDied", err)
+	}
+}
+
+// TestShardedCancellation: cancelling the context mid-campaign kills the
+// workers and surfaces ErrInterrupted, the same contract as the
+// in-process pool.
+func TestShardedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	set, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(120)),
+		core.WithShards(2),
+		core.WithShardExecutor(New(Options{})),
+		core.WithProgress(func(done, total int) {
+			if done == 5 {
+				cancel()
+			}
+		}),
+	).Run(ctx)
+	if !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("error = %v, want ErrInterrupted", err)
+	}
+	if set != nil {
+		t.Fatal("cancelled unsupervised campaign must not return a set")
+	}
+}
+
+// TestShardingRejectsSupervision: the two resilience layers are mutually
+// exclusive by design; the conflict must be a clear error, not a hang.
+func TestShardingRejectsSupervision(t *testing.T) {
+	_, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(4)),
+		core.WithShards(2),
+		core.WithShardExecutor(New(Options{})),
+		core.WithSupervision(core.NewSupervisor(core.SupervisorOptions{MaxAttempts: 1})),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("error = %v, want the sharding/supervision conflict", err)
+	}
+}

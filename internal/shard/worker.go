@@ -1,0 +1,210 @@
+package shard
+
+// The worker half of the protocol: read one assignment (header + plan),
+// execute the jobs on a local pool, stream each result back as a
+// journal run record the moment it completes, and finish with a done
+// record. The coordinator owns ordering — records carry their global
+// job-list index — so the worker never buffers or sorts.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/journal"
+)
+
+// wire serializes journal-format lines onto a stream: one marshal, one
+// Write per line, so a killed writer tears at most the final line —
+// the same invariant the journal file format rests on.
+type wire struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (w *wire) writeLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.w.Write(data)
+	return err
+}
+
+// ServeWorker runs one shard assignment read from in, streaming results
+// to out. This is the body of dts -shard-worker; InProcess runs it in a
+// goroutine. The returned error is for the worker process's own exit
+// status — the coordinator learns of failures from the error record (or
+// the severed stream).
+func ServeWorker(in io.Reader, out io.Writer) error {
+	st := journal.NewStream(in)
+	hl, err := st.Next()
+	if err != nil {
+		return fmt.Errorf("shard worker: read assignment header: %w", err)
+	}
+	if hl.Kind != journal.KindHeader {
+		return fmt.Errorf("shard worker: assignment starts with %q, want header", hl.Kind)
+	}
+	pl, err := st.Next()
+	if err != nil {
+		return fmt.Errorf("shard worker: read assignment plan: %w", err)
+	}
+	if pl.Kind != journal.KindPlan {
+		return fmt.Errorf("shard worker: assignment line 2 is %q, want plan", pl.Kind)
+	}
+	plan := pl.Plan
+	if len(plan.Index) != len(plan.Jobs) {
+		return fmt.Errorf("shard worker: %d jobs but %d indices", len(plan.Jobs), len(plan.Index))
+	}
+	runner, err := RunnerFromHeader(*hl.Header)
+	if err != nil {
+		return fmt.Errorf("shard worker: %w", err)
+	}
+	jobs := make([]core.PlanJob, len(plan.Jobs))
+	for i, key := range plan.Jobs {
+		if jobs[i], err = core.ParseJobKey(key); err != nil {
+			return fmt.Errorf("shard worker: plan job %d: %w", i, err)
+		}
+	}
+
+	w := &wire{w: out}
+	var written atomic.Int64
+
+	// Liveness beacon: the coordinator tells "long run" from "wedged
+	// worker" by the gap between lines, and heartbeats bound that gap.
+	stopHeartbeat := func() {}
+	if plan.HeartbeatNS > 0 {
+		hbStop := make(chan struct{})
+		var hbDone sync.WaitGroup
+		hbDone.Add(1)
+		go func() {
+			defer hbDone.Done()
+			t := time.NewTicker(time.Duration(plan.HeartbeatNS))
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					w.writeLine(journal.Record{Kind: journal.KindHeartbeat, Index: int(written.Load())})
+				case <-hbStop:
+					return
+				}
+			}
+		}()
+		var once sync.Once
+		stopHeartbeat = func() {
+			once.Do(func() {
+				close(hbStop)
+				hbDone.Wait()
+			})
+		}
+		defer stopHeartbeat()
+	}
+
+	type runFailure struct {
+		global  int
+		message string
+	}
+	var (
+		cursor  atomic.Int64
+		stop    atomic.Bool
+		failMu  sync.Mutex
+		failure *runFailure
+	)
+	cursor.Store(-1)
+	fail := func(global int, message string) {
+		failMu.Lock()
+		if failure == nil || global < failure.global {
+			failure = &runFailure{global: global, message: message}
+		}
+		failMu.Unlock()
+		stop.Store(true)
+	}
+
+	parallelism := plan.Parallelism
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rnr := runner.Clone()
+			for !stop.Load() {
+				i := int(cursor.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				global := plan.Index[i]
+				spec := job.Spec
+				res, err := rnr.Run(&spec)
+				if err != nil {
+					// Mirror the in-process pool's error spelling so a
+					// sharded failure reads the same in dts output.
+					if job.Probe {
+						fail(global, fmt.Sprintf("skip probe %v [%s]: %v", spec, spec.Fingerprint(), err))
+					} else {
+						fail(global, fmt.Sprintf("run %v [%s]: %v", spec, spec.Fingerprint(), err))
+					}
+					return
+				}
+				if job.Probe {
+					res.Skipped = true
+				}
+				resultRaw, telRaw, err := core.MarshalRunRecord(res)
+				if err != nil {
+					fail(global, err.Error())
+					return
+				}
+				if err := w.writeLine(journal.Record{
+					Kind: journal.KindRun, Index: global, Key: plan.Jobs[i],
+					Result: resultRaw, Tel: telRaw,
+				}); err != nil {
+					fail(global, fmt.Sprintf("result stream: %v", err))
+					return
+				}
+				n := written.Add(1)
+				if plan.ChaosKillAfter > 0 && int(n) >= plan.ChaosKillAfter {
+					chaosSelfKill()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The done (or error) record must be the stream's final line.
+	stopHeartbeat()
+
+	if failure != nil {
+		w.writeLine(journal.Record{Kind: journal.KindError, Index: failure.global, Message: failure.message})
+		return fmt.Errorf("shard worker: %s", failure.message)
+	}
+	if err := w.writeLine(journal.Record{Kind: journal.KindDone, Index: int(written.Load())}); err != nil {
+		return fmt.Errorf("shard worker: done record: %w", err)
+	}
+	return nil
+}
+
+// chaosSelfKill terminates the worker process the hard way — no flush,
+// no handler — so the coordinator's failure drill sees a real SIGKILL,
+// exactly like the CI shard job's random kill. Only a plan with
+// ChaosKillAfter set reaches here, and the coordinator only sets it on
+// real-process spawns under -chaos.
+func chaosSelfKill() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	select {} // never proceed past the kill
+}

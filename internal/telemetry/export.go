@@ -28,6 +28,31 @@ func NewSet(runs ...*Recorder) *Set { return &Set{Runs: runs} }
 // Append adds one run's recorder (possibly nil) at the next index.
 func (s *Set) Append(r *Recorder) { s.Runs = append(s.Runs, r) }
 
+// Merge concatenates sets in argument order, preserving each set's
+// run-index positions (nil placeholders included). This is the
+// deterministic merge rule shared by experiment fan-out (argument order
+// = canonical set order) and shard coordination (argument order =
+// shard-index order): because every run owns its collector and keeps
+// its position, the merged exports are byte-identical however the
+// source sets were executed. Returns nil when no argument carried any
+// telemetry (all nil sets), so callers can distinguish "telemetry off"
+// from "empty".
+func Merge(sets ...*Set) *Set {
+	merged := NewSet()
+	any := false
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		any = true
+		merged.Runs = append(merged.Runs, s.Runs...)
+	}
+	if !any {
+		return nil
+	}
+	return merged
+}
+
 // Events reports the total number of retained trace events.
 func (s *Set) Events() int {
 	n := 0

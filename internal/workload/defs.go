@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"time"
 
 	"ntdts/internal/apps/apache"
@@ -33,6 +34,21 @@ func (s Supervision) String() string {
 		return "watchd"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseSupervision inverts Supervision.String — the spelling journal
+// headers and SetResults record.
+func ParseSupervision(s string) (Supervision, error) {
+	switch s {
+	case "none":
+		return Standalone, nil
+	case "MSCS":
+		return MSCS, nil
+	case "watchd":
+		return Watchd, nil
+	default:
+		return 0, fmt.Errorf("unknown supervision %q", s)
 	}
 }
 

@@ -287,24 +287,32 @@ func BenchmarkAblationCostModel(b *testing.B) {
 // (runs/sec) and speedup relative to the one-worker sweep measured in the
 // same process. On a multi-core host the 4-worker rate should be at least
 // twice the sequential rate; the results themselves are byte-identical at
-// every worker count.
+// every worker count. Each worker count runs both engines: the default
+// snapshot-fork engine (runs sharing a boot prefix resume from a pooled
+// kernel fork) and the legacy fresh-boot engine (every run boots its own
+// kernel), with speedup-vs-fresh-boot comparing the two at equal worker
+// counts — the metric the CI bench-smoke gate pins (>= 2x; the ISSUE
+// target is >= 3x locally, 10x on a many-core host).
 func BenchmarkCampaignParallel(b *testing.B) {
-	campaign := func(workers int) *core.SetResult {
-		c := &core.Campaign{
-			Runner:      core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
-			Parallelism: workers,
+	campaign := func(workers int, freshBoot bool) *core.SetResult {
+		opts := []core.Option{core.WithParallelism(workers)}
+		if freshBoot {
+			opts = append(opts, core.WithFreshBoot())
 		}
-		set, err := c.Execute()
+		set, err := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			opts...).Execute()
 		if err != nil {
 			b.Fatal(err)
 		}
 		return set
 	}
 
-	// Sequential baseline for the speedup metric, timed outside the
-	// sub-benchmarks so every worker count compares against the same run.
+	// Sequential snapshot-engine baseline for the worker-scaling speedup
+	// metric, timed outside the sub-benchmarks so every worker count
+	// compares against the same run.
 	start := time.Now()
-	base := campaign(1)
+	base := campaign(1, false)
 	baseRate := float64(len(base.Runs)) / time.Since(start).Seconds()
 
 	counts := []int{1, 2, 4}
@@ -312,17 +320,26 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		counts = append(counts, n)
 	}
 	for _, workers := range counts {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			totalRuns := 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				set := campaign(workers)
-				totalRuns += len(set.Runs)
-			}
-			rate := float64(totalRuns) / b.Elapsed().Seconds()
-			b.ReportMetric(rate, "runs/sec")
-			b.ReportMetric(rate/baseRate, "speedup")
-		})
+		for _, engine := range []string{"fresh-boot", "snapshot"} {
+			freshBoot := engine == "fresh-boot"
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", engine, workers), func(b *testing.B) {
+				// Per-worker-count fresh-boot rate, measured in-process so
+				// speedup-vs-fresh-boot compares equal topologies.
+				fbStart := time.Now()
+				fb := campaign(workers, true)
+				fbRate := float64(len(fb.Runs)) / time.Since(fbStart).Seconds()
+				totalRuns := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					set := campaign(workers, freshBoot)
+					totalRuns += len(set.Runs)
+				}
+				rate := float64(totalRuns) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "runs/sec")
+				b.ReportMetric(rate/baseRate, "speedup")
+				b.ReportMetric(rate/fbRate, "speedup-vs-fresh-boot")
+			})
+		}
 	}
 }
 

@@ -39,6 +39,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -91,8 +93,39 @@ func run(args []string, out io.Writer) error {
 	chaos := fs.Bool("chaos", false, "recognize the reserved DTSChaos* fault functions and the DTS_SHARD_CHAOS_KILL drill (self-tests)")
 	shards := fs.Int("shards", 0, "fan the campaign out over this many worker processes (results byte-identical to unsharded; -parallel then sizes each worker's pool)")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout")
+	freshBoot := fs.Bool("fresh-boot", false, "boot a fresh kernel for every run instead of forking the boot-prefix snapshot (slower; archives are byte-identical either way)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (taken after the command finishes) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dts: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dts: -memprofile:", err)
+			}
+		}()
 	}
 	if *shardWorker {
 		// Worker mode speaks the journal wire protocol and nothing else;
@@ -141,6 +174,7 @@ func run(args []string, out io.Writer) error {
 	ecfg := experiments.Config{Progress: progress, Parallelism: *parallel,
 		Shards: *shards, ShardExec: shardExec}
 	ecfg.Opts.Telemetry = tflags.options()
+	ecfg.Opts.FreshBoot = *freshBoot
 	if sflags.active() && *shards <= 1 {
 		opts := sflags.options()
 		ecfg.Supervise = &opts
@@ -162,9 +196,9 @@ func run(args []string, out io.Writer) error {
 	case *experiment != "":
 		return runExperiment(*experiment, *outPath, ecfg, tflags, out)
 	case *cfgPath != "" && *faultSpec != "":
-		return runSingleFault(*cfgPath, *faultSpec, *trace, tflags, out)
+		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, shardExec, tflags, sflags, progress, out)
+		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, tflags, sflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
@@ -220,7 +254,7 @@ func (t telemetryFlags) emit(set *telemetry.Set, out io.Writer) error {
 
 // runSingleFault replays one fault with full result detail — the paper's
 // "individual fault injection runs provide reproducible feedback" workflow.
-func runSingleFault(cfgPath, faultSpec string, trace bool, tflags telemetryFlags, out io.Writer) error {
+func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, tflags telemetryFlags, out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -243,6 +277,7 @@ func runSingleFault(cfgPath, faultSpec string, trace bool, tflags telemetryFlags
 	opts.RunDeadline = cfg.RunDeadline
 	opts.WatchdVersion = cfg.WatchdVersion
 	opts.Telemetry = tflags.options()
+	opts.FreshBoot = freshBoot
 	if trace {
 		opts.Trace = func(at vclock.Time, pid ntsim.PID, msg string) {
 			fmt.Fprintf(out, "%-14s pid%-3d %s\n", at, pid, msg)
@@ -350,7 +385,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, shardExec core.ShardExecutor, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
+func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -369,6 +404,7 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 	opts.RunDeadline = cfg.RunDeadline
 	opts.WatchdVersion = cfg.WatchdVersion
 	opts.Telemetry = tflags.options()
+	opts.FreshBoot = freshBoot
 	runner := core.NewRunner(def, opts)
 	if outPath == "" {
 		outPath = cfg.Results

@@ -74,6 +74,7 @@ func journalHeader(cfg config.Main, def workload.Definition, opts core.RunnerOpt
 		RunDeadlineNS:     int64(opts.RunDeadline),
 		Telemetry:         opts.Telemetry.Enabled,
 		TraceCapacity:     opts.Telemetry.TraceCap,
+		FreshBoot:         opts.FreshBoot,
 		FaultList:         cfg.FaultList,
 		WallDeadlineNS:    int64(sflags.runDeadline),
 		MaxAttempts:       sflags.retries + 1,

@@ -208,6 +208,39 @@ func (c *Campaign) Prepare() (*Prepared, error) {
 	return p, nil
 }
 
+// SiteGroup is one activation site's slice of the fault plan: the indices
+// of every job arming at the same (function, invocation), with the prefix
+// tier the runner resumes those runs from.
+type SiteGroup struct {
+	Site inject.Site
+	// Tier is the deepest snapshot the runner can fork for this site.
+	Tier SnapshotTier
+	// Jobs indexes into Prepared.Jobs, in plan order.
+	Jobs []int
+}
+
+// SiteGroups partitions the job list by activation site, in plan order of
+// each site's first job. Runs in one group share their entire execution
+// prefix up to fault activation; the snapshot-fork engine resumes all of
+// them from the same captured prefix (Tier reports how deep that capture
+// reaches — TierBoot today, since live goroutine stacks bound how much of
+// a run is capturable).
+func (p *Prepared) SiteGroups() []SiteGroup {
+	index := make(map[inject.Site]int)
+	var groups []SiteGroup
+	for i, j := range p.Jobs {
+		site := j.Spec.Site()
+		gi, ok := index[site]
+		if !ok {
+			gi = len(groups)
+			index[site] = gi
+			groups = append(groups, SiteGroup{Site: site, Tier: p.c.Runner.SnapshotAt(site)})
+		}
+		groups[gi].Jobs = append(groups[gi].Jobs, i)
+	}
+	return groups
+}
+
 // Assemble builds the SetResult from the executed (possibly partial)
 // run list. A supervisor stop (interrupt, quarantine budget) is
 // graceful degradation: the partial set returns alongside the cause so

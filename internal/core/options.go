@@ -87,3 +87,11 @@ func WithInvocation(n int) Option {
 func WithPaperFaithfulSkips() Option {
 	return func(c *Campaign) { c.PaperFaithfulSkips = true }
 }
+
+// WithFreshBoot forces the legacy run engine: every run boots a fresh
+// kernel (no prefix-snapshot forks, no pooling, no scheduler elision).
+// Archives are byte-identical either way; this exists as the benchmark
+// and regression baseline for the snapshot-fork path.
+func WithFreshBoot() Option {
+	return func(c *Campaign) { c.Runner.Opts.FreshBoot = true }
+}

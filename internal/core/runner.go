@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"ntdts/internal/eventlog"
@@ -65,6 +66,13 @@ type RunnerOptions struct {
 	// capturing the kernel trace ring, counters and virtual-time
 	// histograms, attached to RunResult.Telemetry.
 	Telemetry telemetry.Options
+	// FreshBoot disables every run-engine fast path: no prefix-snapshot
+	// forks, no kernel/process pooling, no scheduler quantum elision —
+	// the engine exactly as it was before those optimizations. It is the
+	// regression baseline: archives must be byte-identical with it on or
+	// off (the CI bench gate cmp's them) and the benchmarks report the
+	// snapshot path's speedup against it.
+	FreshBoot bool
 }
 
 // DefaultRunnerOptions returns the experiment defaults.
@@ -81,6 +89,20 @@ func DefaultRunnerOptions() RunnerOptions {
 type Runner struct {
 	Def  workload.Definition
 	Opts RunnerOptions
+
+	// prefix caches the workload's boot-prefix snapshot, shared by every
+	// Clone so a whole campaign pays the boot cost once. It is built
+	// lazily at the first run (Def may be adjusted between NewRunner and
+	// the first run, but must not change afterwards).
+	prefix *prefixCache
+}
+
+// prefixCache lazily builds and memoizes a boot-prefix snapshot (or the
+// reason one cannot be taken).
+type prefixCache struct {
+	once sync.Once
+	snap *ntsim.PrefixSnapshot
+	err  error
 }
 
 // NewRunner builds a Runner with defaults filled in.
@@ -98,16 +120,76 @@ func NewRunner(def workload.Definition, opts RunnerOptions) *Runner {
 	if opts.MSCSParams.MaxAttempts == 0 {
 		opts.MSCSParams = defaults.MSCSParams
 	}
-	return &Runner{Def: def, Opts: opts}
+	return &Runner{Def: def, Opts: opts, prefix: &prefixCache{}}
 }
 
 // Clone returns an independent Runner for a campaign worker. A Runner
 // holds no per-run state — every run builds its own kernel — so a shallow
-// copy suffices; Clone exists to make per-worker ownership explicit. The
-// Trace sink, if any, is shared, so parallel campaigns should not trace.
+// copy suffices (the boot-prefix snapshot cache is deliberately shared);
+// Clone exists to make per-worker ownership explicit. The Trace sink, if
+// any, is shared, so parallel campaigns should not trace.
 func (r *Runner) Clone() *Runner {
 	c := *r
 	return &c
+}
+
+// SnapshotTier names how much of a run's prefix a snapshot captures.
+type SnapshotTier int
+
+const (
+	// TierNone means the run boots a fresh kernel and replays its whole
+	// prefix (the workload's Setup leaves the kernel non-quiescent, or
+	// fresh-boot mode is forced).
+	TierNone SnapshotTier = iota
+	// TierBoot means the run resumes from the quiescent boot prefix —
+	// registered images, populated filesystem, tuned cost model —
+	// captured once per campaign.
+	TierBoot
+)
+
+// String names the tier for stats output.
+func (t SnapshotTier) String() string {
+	if t == TierBoot {
+		return "boot"
+	}
+	return "none"
+}
+
+// SnapshotAt reports the deepest prefix tier the runner can resume from
+// for a fault at the given activation site. Mid-run sites all resolve to
+// the boot prefix: simulated processes are live goroutines whose stacks
+// cannot be captured, so TierBoot is the deepest capturable tier, reached
+// without executing a single wasted quantum. Workloads whose Setup leaves
+// the kernel non-quiescent (spawned processes, scheduled timers, open IPC)
+// resolve to TierNone and fall back to a fresh boot.
+func (r *Runner) SnapshotAt(inject.Site) SnapshotTier {
+	if r.Opts.FreshBoot {
+		return TierNone
+	}
+	if _, err := r.prefixSnapshot(); err != nil {
+		return TierNone
+	}
+	return TierBoot
+}
+
+// prefixSnapshot builds (once) and returns the shared boot-prefix
+// snapshot: a donor kernel runs the workload's Setup and is captured at
+// the quiescent pre-spawn instant. Safe for concurrent callers.
+func (r *Runner) prefixSnapshot() (*ntsim.PrefixSnapshot, error) {
+	c := r.prefix
+	if c == nil {
+		// Zero-literal Runner (no NewRunner): no cache to share, so
+		// snapshot fresh per call — still correct, just unmemoized.
+		donor := ntsim.NewKernel()
+		r.Def.Setup(donor)
+		return donor.SnapshotPrefix()
+	}
+	c.once.Do(func() {
+		donor := ntsim.NewKernel()
+		r.Def.Setup(donor)
+		c.snap, c.err = donor.SnapshotPrefix()
+	})
+	return c.snap, c.err
 }
 
 // Run executes one fault-injection run. A nil spec is the fault-free
@@ -132,8 +214,23 @@ func (r *Runner) ActivationScan() (map[string]bool, *RunResult, error) {
 func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error) {
 	def := r.Def
 
-	// Prepare: fresh machine, fresh logs, fresh workload programs.
-	k := ntsim.NewKernel()
+	// Prepare the machine: resume from the shared boot-prefix snapshot
+	// when the workload allows it (the common case — Setup only registers
+	// images and writes files), else boot fresh and replay Setup in the
+	// legacy order. Both paths produce byte-identical archives; the fork
+	// path just skips re-executing the prefix and draws the kernel from
+	// the pool.
+	var k *ntsim.Kernel
+	forked := false
+	if !r.Opts.FreshBoot {
+		if snap, err := r.prefixSnapshot(); err == nil {
+			k = snap.Fork()
+			forked = true
+		}
+	}
+	if k == nil {
+		k = ntsim.NewKernel()
+	}
 	if r.Opts.Trace != nil {
 		k.SetTrace(r.Opts.Trace)
 	}
@@ -149,7 +246,9 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	runSpan := telemetry.StartSpan(tel, k.Now(), 0, telemetry.SpanRun)
 	log := eventlog.New()
 	mgr := scm.New(k, log)
-	def.Setup(k)
+	if !forked {
+		def.Setup(k)
+	}
 	if err := mgr.CreateService(def.Service); err != nil {
 		return nil, nil, fmt.Errorf("create service: %w", err)
 	}
@@ -178,9 +277,17 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	tel.Emit(k.Now(), 0, telemetry.KindPhase, "service-start", 0, 0)
 
 	// Wait for the server to come up (bounded; a faulted server may never
-	// make it, and the client must still run to observe that).
+	// make it, and the client must still run to observe that). The
+	// scheduling ceiling lets the kernel elide solo handoffs up to the
+	// loop's own exit bound; SetServiceStatus requests attention, so the
+	// poll below observes status transitions at exactly the quantum
+	// boundaries it would have without elision.
+	elide := !r.Opts.FreshBoot
 	up := false
 	upDeadline := k.Now().Add(r.Opts.ServerUpTimeout)
+	if elide {
+		k.SetSchedCeiling(upDeadline)
+	}
 	for k.Now().Before(upDeadline) {
 		if st, _, _ := mgr.QueryServiceStatus(def.Service.Name); st == scm.Running {
 			up = true
@@ -203,10 +310,19 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	}
 	tel.Emit(k.Now(), 0, telemetry.KindPhase, "client-spawn", 0, 0)
 	deadline := k.Now().Add(r.Opts.RunDeadline)
+	if elide {
+		// Done is the client's final act before exiting — a scheduling
+		// point — so the Done poll needs no attention hook; the ceiling
+		// alone bounds the fast path.
+		k.SetSchedCeiling(deadline)
+	}
 	for !report.Done && k.Now().Before(deadline) {
 		if !k.Step() {
 			break
 		}
+	}
+	if elide {
+		k.ClearSchedCeiling()
 	}
 	if report.Done {
 		tel.Emit(k.Now(), 0, telemetry.KindPhase, "client-done", 0, 0)
@@ -252,7 +368,14 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	if pan := k.Panics(); len(pan) != 0 {
 		return nil, nil, fmt.Errorf("simulated code panicked: %s", strings.Join(pan, "; "))
 	}
-	return res, injector.ActivatedFunctions(), nil
+	activated := injector.ActivatedFunctions()
+	if elide {
+		// Clean run: recycle the torn-down machine (kernel and process
+		// table entries) for the next run. Error paths above skip this —
+		// only a fully drained kernel may be pooled.
+		k.Release()
+	}
+	return res, activated, nil
 }
 
 // countRestarts reads the middleware's restart evidence, exactly the way

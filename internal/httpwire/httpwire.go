@@ -7,6 +7,7 @@
 package httpwire
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -108,9 +109,9 @@ func ReadResponse(c Conn) (Response, bool) {
 	}
 	body := make([]byte, 0, length)
 	body = append(body, rest...)
+	var buf [4096]byte
 	for len(body) < length {
-		buf := make([]byte, 4096)
-		n, ok := c.Read(buf)
+		n, ok := c.Read(buf[:])
 		if !ok || n == 0 {
 			return Response{}, false
 		}
@@ -126,21 +127,23 @@ func ReadResponse(c Conn) (Response, bool) {
 // any extra bytes read past the delimiter.
 func readUntilBlankLine(c Conn, initial []byte) (head string, rest []byte, ok bool) {
 	data := append([]byte(nil), initial...)
+	var buf [1024]byte
 	for {
-		if i := strings.Index(string(data), "\r\n\r\n"); i >= 0 {
+		if i := bytes.Index(data, headerEnd); i >= 0 {
 			return string(data[:i]), data[i+4:], true
 		}
 		if len(data) > maxHeaderBytes {
 			return "", nil, false
 		}
-		buf := make([]byte, 1024)
-		n, okRead := c.Read(buf)
+		n, okRead := c.Read(buf[:])
 		if !okRead || n == 0 {
 			return "", nil, false
 		}
 		data = append(data, buf[:n]...)
 	}
 }
+
+var headerEnd = []byte("\r\n\r\n")
 
 func statusText(code int) string {
 	switch code {

@@ -69,6 +69,7 @@ type Header struct {
 	RunDeadlineNS     int64 `json:"runDeadlineNS"`
 	Telemetry         bool  `json:"telemetry,omitempty"`
 	TraceCapacity     int   `json:"traceCapacity,omitempty"`
+	FreshBoot         bool  `json:"freshBoot,omitempty"`
 
 	FaultList string `json:"faultList,omitempty"` // source path, informational
 

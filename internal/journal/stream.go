@@ -56,7 +56,8 @@ type Line struct {
 type Stream struct {
 	br     *bufio.Reader
 	lineNo int
-	offset int64 // bytes consumed through the last successfully decoded line
+	offset int64  // bytes consumed through the last successfully decoded line
+	buf    []byte // spill buffer for lines longer than the bufio window, reused across records
 }
 
 // NewStream wraps r in a journal line reader.
@@ -76,7 +77,7 @@ func (s *Stream) LineNo() int { return s.lineNo }
 // returns io.EOF; a torn final line returns ErrTorn; garbage before the
 // end of the stream is a hard error.
 func (s *Stream) Next() (*Line, error) {
-	raw, err := s.br.ReadBytes('\n')
+	raw, err := s.readLine()
 	if err == io.EOF {
 		if len(raw) == 0 {
 			return nil, io.EOF
@@ -103,6 +104,25 @@ func (s *Stream) Next() (*Line, error) {
 	}
 	s.offset += int64(len(raw))
 	return line, nil
+}
+
+// readLine returns the next line including its trailing newline (absent
+// only at EOF). The slice aliases the bufio window or the stream's spill
+// buffer and is valid only until the next call — Next decodes it before
+// reading further, and json.Unmarshal copies what it keeps, so no
+// per-record allocation survives. This keeps the shard wire path (one
+// record per completed run, streamed over a pipe) allocation-flat.
+func (s *Stream) readLine() ([]byte, error) {
+	raw, err := s.br.ReadSlice('\n')
+	if err != bufio.ErrBufferFull {
+		return raw, err
+	}
+	s.buf = append(s.buf[:0], raw...)
+	for err == bufio.ErrBufferFull {
+		raw, err = s.br.ReadSlice('\n')
+		s.buf = append(s.buf, raw...)
+	}
+	return s.buf, err
 }
 
 // decodeLine parses one newline-stripped journal line.

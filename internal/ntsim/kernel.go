@@ -44,12 +44,31 @@ type Kernel struct {
 	images map[string]EntryFunc
 
 	nextPID PID
-	ready   []*Process
-	current *Process
+	// ready is a ring: entries [readyHead:len) are queued. Popping moves
+	// the head index instead of re-slicing, so the backing array is
+	// reused for the whole run rather than re-grown every quantum (the
+	// single hottest allocation site in a campaign profile).
+	ready     []*Process
+	readyHead int
+	current   *Process
 
 	// procYield is signaled by the running process when it blocks,
 	// terminates, or otherwise relinquishes the CPU.
 	procYield chan struct{}
+
+	// attn is raised by kernel-side state changes that a harness Step
+	// loop polls for (SCM status transitions). While set, the scheduler
+	// fast path stops eliding handoffs so the harness observes the
+	// change at exactly the quantum boundary it would have without
+	// elision. Cleared at every Step entry.
+	attn bool
+
+	// ceil bounds how far the scheduler fast path may run without
+	// returning control to the harness. Elision is disabled entirely
+	// until a ceiling is set (SetSchedCeiling or Kernel.Run), so bare
+	// Step loops keep the exact legacy handoff-per-quantum behaviour.
+	ceil    vclock.Time
+	ceilSet bool
 
 	vfs   *VFS
 	pipes map[string][]*PipeServer // pipe name -> listening instances
@@ -180,21 +199,16 @@ func (k *Kernel) Spawn(image, cmdLine string, parent PID) (*Process, error) {
 		return nil, ErrFileNotFound
 	}
 	k.nextPID++
-	p := &Process{
-		k:         k,
-		ID:        k.nextPID,
-		Image:     image,
-		CmdLine:   cmdLine,
-		Parent:    parent,
-		state:     procReady,
-		resume:    make(chan resumeAction),
-		handles:   make(map[Handle]*handleEntry),
-		addr:      newAddrSpace(),
-		startTime: k.clock.Now(),
-		obj:       newProcessObject(),
-		exitCode:  ExitStillActive,
-		env:       make(map[string]string),
-	}
+	p := k.newProcess()
+	p.k = k
+	p.ID = k.nextPID
+	p.Image = image
+	p.CmdLine = cmdLine
+	p.Parent = parent
+	p.state = procReady
+	p.startTime = k.clock.Now()
+	p.obj = newProcessObject()
+	p.exitCode = ExitStillActive
 	k.procs[p.ID] = p
 	k.liveProcs++
 	k.trace(p.ID, "spawn image=%s cmd=%q parent=%d", image, cmdLine, parent)
@@ -220,6 +234,85 @@ func (k *Kernel) makeReady(p *Process) {
 	k.ready = append(k.ready, p)
 }
 
+// readyCount reports how many processes are queued for the CPU.
+func (k *Kernel) readyCount() int { return len(k.ready) - k.readyHead }
+
+// popReady removes and returns the head of the ready ring.
+func (k *Kernel) popReady() *Process {
+	p := k.ready[k.readyHead]
+	k.ready[k.readyHead] = nil
+	k.readyHead++
+	if k.readyHead == len(k.ready) {
+		k.ready = k.ready[:0]
+		k.readyHead = 0
+	}
+	return p
+}
+
+// RequestAttention asks the scheduler to return control to the harness at
+// the next quantum boundary. Kernel-adjacent services (the SCM) call it
+// when they change state a harness Step loop polls for, so the scheduler
+// fast path never coalesces quanta across an observation the slow path
+// would have made. The flag clears at the next Step entry.
+func (k *Kernel) RequestAttention() { k.attn = true }
+
+// SetSchedCeiling authorizes the scheduler fast path up to (but not
+// including) ceil: while the running process is alone, with no due or
+// intervening timer work and no attention request, its end-of-quantum
+// handoffs and solo sleeps are elided — the clock advances without the
+// park/resume channel round-trip — exactly until the first boundary at
+// which a harness loop stepping with `for cond && k.Now().Before(ceil)`
+// would regain control. Telemetry quanta counters are maintained as if
+// every elided handoff had happened, so traces and archives stay
+// byte-identical. Harness loops that poll other conditions must pair the
+// ceiling with RequestAttention on those conditions' state changes.
+func (k *Kernel) SetSchedCeiling(ceil vclock.Time) {
+	k.ceil = ceil
+	k.ceilSet = true
+}
+
+// ClearSchedCeiling disables the scheduler fast path (the default).
+func (k *Kernel) ClearSchedCeiling() { k.ceilSet = false }
+
+// canElide reports whether the running process may skip the end-of-quantum
+// handoff: a ceiling is set and not yet reached, no other process is
+// ready, no timer is due at or before the current instant, and nothing
+// has requested harness attention. Under those conditions the slow path's
+// next Step would fire no timers and resume this same process — a pure
+// channel round-trip the fast path replaces with one counter increment.
+func (k *Kernel) canElide() bool {
+	if !k.ceilSet || k.attn || k.readyCount() != 0 {
+		return false
+	}
+	now := k.clock.Now()
+	if !now.Before(k.ceil) {
+		return false
+	}
+	if next, ok := k.clock.NextAt(); ok && !next.After(now) {
+		return false
+	}
+	return true
+}
+
+// canElideSleep reports whether a solo sleeping process may advance the
+// clock directly to wake instead of scheduling a wake event and parking:
+// additionally to the canElide conditions, the wake must precede the
+// ceiling (or the slow path would abandon the sleeper at the boundary)
+// and strictly precede every queued event (an event at or before the wake
+// instant would fire first and could change what the sleeper observes).
+func (k *Kernel) canElideSleep(wake vclock.Time) bool {
+	if !k.ceilSet || k.attn || k.readyCount() != 0 {
+		return false
+	}
+	if !wake.Before(k.ceil) {
+		return false
+	}
+	if next, ok := k.clock.NextAt(); ok && !next.After(wake) {
+		return false
+	}
+	return true
+}
+
 // wake transitions a blocked process to ready with the given wait result.
 func (k *Kernel) wake(p *Process, result uint32, errno Errno) {
 	if p.state != procBlocked {
@@ -237,6 +330,7 @@ func (k *Kernel) wake(p *Process, result uint32, errno Errno) {
 // virtual clock to the next timer event. It reports false when the
 // simulation is fully idle (no ready processes and no pending events).
 func (k *Kernel) Step() bool {
+	k.attn = false
 	for {
 		next, ok := k.clock.NextAt()
 		if !ok || next.After(k.clock.Now()) {
@@ -244,9 +338,8 @@ func (k *Kernel) Step() bool {
 		}
 		k.clock.RunNext()
 	}
-	for len(k.ready) > 0 {
-		p := k.ready[0]
-		k.ready = k.ready[1:]
+	for k.readyCount() > 0 {
+		p := k.popReady()
 		p.queued = false
 		if p.state != procReady {
 			continue // stale queue entry (e.g., terminated meanwhile)
@@ -265,6 +358,14 @@ func (k *Kernel) Step() bool {
 // Run steps the simulation until it is fully idle or the virtual clock
 // passes deadline. It returns the number of scheduling quanta executed.
 func (k *Kernel) Run(deadline vclock.Time) int {
+	// Run's continue-condition is now <= deadline, so the fast-path
+	// ceiling is one tick past it; the previous ceiling (if any) is
+	// restored so nested harness loops keep their own bound.
+	prevCeil, prevSet := k.ceil, k.ceilSet
+	k.SetSchedCeiling(deadline + 1)
+	defer func() {
+		k.ceil, k.ceilSet = prevCeil, prevSet
+	}()
 	n := 0
 	for {
 		if k.clock.Now().After(deadline) {
@@ -272,7 +373,7 @@ func (k *Kernel) Run(deadline vclock.Time) int {
 		}
 		// If nothing is ready and the next timer is beyond the
 		// deadline, stop without firing it.
-		if len(k.ready) == 0 {
+		if k.readyCount() == 0 {
 			next, ok := k.clock.NextAt()
 			if !ok || next.After(deadline) {
 				return n
@@ -292,7 +393,7 @@ func (k *Kernel) RunFor(d time.Duration) int {
 
 // Idle reports whether no process is ready and no timer events are pending.
 func (k *Kernel) Idle() bool {
-	if len(k.ready) > 0 {
+	if k.readyCount() > 0 {
 		return false
 	}
 	_, ok := k.clock.NextAt()
@@ -314,7 +415,7 @@ func (k *Kernel) KillAll() {
 		}
 	}
 	// Let terminations unwind.
-	for len(k.ready) > 0 {
+	for k.readyCount() > 0 {
 		k.Step()
 	}
 }

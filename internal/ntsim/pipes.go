@@ -18,7 +18,8 @@ import (
 // (FlushFileBuffers semantics: DisconnectNamedPipe discards unread bytes,
 // exactly like Win32, so well-behaved servers flush before disconnecting).
 type pipeDir struct {
-	buf        []byte
+	buf        []byte // buffered bytes are buf[off:]; off avoids realloc on refill
+	off        int
 	writerOpen bool
 	readerGone bool
 	reader     *Process
@@ -46,7 +47,7 @@ func (d *pipeDir) wakeDrainer(k *Kernel) {
 // waitDrained blocks the writer until the reader has consumed every
 // buffered byte, or the reader end disappears.
 func (d *pipeDir) waitDrained(p *Process) Errno {
-	for len(d.buf) > 0 {
+	for d.pending() > 0 {
 		if d.readerGone {
 			return ErrBrokenPipe
 		}
@@ -71,7 +72,7 @@ func (d *pipeDir) read(p *Process, buf []byte) (int, Errno) {
 // On expiry it returns ErrSemTimeout with zero bytes.
 func (d *pipeDir) readDeadline(p *Process, buf []byte, timeout time.Duration) (int, Errno) {
 	k := p.k
-	for len(d.buf) == 0 {
+	for d.pending() == 0 {
 		if !d.writerOpen {
 			return 0, ErrBrokenPipe
 		}
@@ -98,12 +99,30 @@ func (d *pipeDir) readDeadline(p *Process, buf []byte, timeout time.Duration) (i
 			return 0, errno
 		}
 	}
-	n := copy(buf, d.buf)
-	d.buf = d.buf[n:]
-	if len(d.buf) == 0 {
+	n := copy(buf, d.buf[d.off:])
+	d.off += n
+	if d.off == len(d.buf) {
+		// Fully drained: rewind so the backing array is reused instead
+		// of reallocated on the next request-response round trip.
+		d.buf, d.off = d.buf[:0], 0
 		d.wakeDrainer(k)
 	}
 	return n, ErrSuccess
+}
+
+// pending returns the number of buffered unread bytes.
+func (d *pipeDir) pending() int { return len(d.buf) - d.off }
+
+// reclaimBuf strips a dead direction's backing array for reuse. The old
+// direction keeps a nil queue: any straggling reader observes EOF/broken
+// pipe through its flags, never recycled bytes.
+func reclaimBuf(d *pipeDir) []byte {
+	if d == nil {
+		return nil
+	}
+	b := d.buf
+	d.buf, d.off = nil, 0
+	return b[:0]
 }
 
 func (d *pipeDir) write(k *Kernel, data []byte) (int, Errno) {
@@ -211,11 +230,14 @@ func (k *Kernel) PipeAvailable(path string) (bool, Errno) {
 	return false, ErrSuccess
 }
 
-// acceptClient wires a fresh client end onto this instance.
+// acceptClient wires a fresh client end onto this instance. The dead
+// previous connection's byte queues donate their backing arrays, so a
+// serve-disconnect-reconnect loop stops reallocating its transfer
+// buffers.
 func (ps *PipeServer) acceptClient() *PipeClient {
 	ps.connected = true
-	ps.toServer = &pipeDir{writerOpen: true}
-	ps.toClient = &pipeDir{writerOpen: true}
+	ps.toServer = &pipeDir{writerOpen: true, buf: reclaimBuf(ps.toServer)}
+	ps.toClient = &pipeDir{writerOpen: true, buf: reclaimBuf(ps.toClient)}
 	pc := &PipeClient{k: ps.k, srv: ps}
 	ps.peer = pc
 	if ps.listener != nil {
@@ -286,7 +308,7 @@ func (ps *PipeServer) breakConnection() {
 	ps.connected = false
 	if ps.toClient != nil {
 		// Win32 semantics: unread bytes are discarded on disconnect.
-		ps.toClient.buf = nil
+		ps.toClient.buf, ps.toClient.off = ps.toClient.buf[:0], 0
 		ps.toClient.readerGone = true
 		ps.toClient.closeWriter(ps.k)
 		ps.toClient.wakeDrainer(ps.k)

@@ -1,0 +1,112 @@
+package ntsim
+
+import (
+	"sync"
+
+	"ntdts/internal/telemetry"
+)
+
+// Kernel and process pooling. A campaign run builds and discards a whole
+// simulated machine — kernel, process table entries, handle tables, address
+// spaces, timer events — thousands of times over. Pooling recycles those
+// structures between runs: AcquireKernel hands out a machine that is
+// indistinguishable from NewKernel's, and Release performs the full reset
+// before returning it to the pool. Determinism is preserved because every
+// counter that feeds ordering (PIDs, handle values, clock sequence numbers)
+// restarts from its boot value on reset; only the backing storage survives.
+
+var kernelPool = sync.Pool{New: func() any { return NewKernel() }}
+
+var procPool sync.Pool
+
+// AcquireKernel returns a pooled kernel, or a fresh one when the pool is
+// empty. The result is observationally identical to NewKernel().
+func AcquireKernel() *Kernel {
+	return kernelPool.Get().(*Kernel)
+}
+
+// Release resets the kernel to its boot state and returns it — and every
+// terminated process it hosted — to the pools. It reports false, doing
+// nothing, if any process is still live or running: a torn-down machine is
+// the only thing that can be recycled safely, so callers must KillAll
+// first. After a successful Release the caller must not touch the kernel,
+// its processes, or any handles into them again.
+func (k *Kernel) Release() bool {
+	if k.liveProcs != 0 || k.current != nil {
+		return false
+	}
+	for _, p := range k.procs {
+		p.releaseToPool()
+	}
+	clear(k.procs)
+	clear(k.images)
+	k.nextPID = 0
+	k.ready = k.ready[:0]
+	k.readyHead = 0
+	k.attn = false
+	k.ceilSet = false
+	k.clock.Reset()
+	k.vfs.reset()
+	clear(k.pipes)
+	if k.named != nil {
+		clear(k.named)
+	}
+	if k.slots != nil {
+		clear(k.slots)
+	}
+	k.interceptor = nil
+	k.costs = DefaultCosts()
+	k.tel = telemetry.Nop{}
+	k.panics = nil
+	k.traceFn = nil
+	kernelPool.Put(k)
+	return true
+}
+
+// newProcess returns a pooled process table entry reset to spawn state, or
+// a freshly allocated one. The caller (Spawn) fills in identity fields.
+func (k *Kernel) newProcess() *Process {
+	if v := procPool.Get(); v != nil {
+		p := v.(*Process)
+		p.resetForSpawn()
+		return p
+	}
+	return &Process{
+		resume:  make(chan resumeAction),
+		handles: make(map[Handle]*handleEntry),
+		addr:    newAddrSpace(),
+		env:     make(map[string]string),
+	}
+}
+
+// resetForSpawn clears every per-run field of a recycled process entry.
+// The resume channel, cached wake closure, and raw parameter buffer are
+// deliberately kept: the channel is drained by construction (finalize's
+// yield send is the goroutine's final act), wakeFn reads p.k dynamically,
+// and rawBuf is overwritten before every use.
+func (p *Process) resetForSpawn() {
+	p.queued = false
+	p.lastErr = ErrSuccess
+	p.pendingKill = false
+	p.pendingKillCode = 0
+	p.waitResult = 0
+	p.waitErrno = ErrSuccess
+	p.waitCancel = nil
+	clear(p.handles) // finalize leaves it empty; clear defensively
+	p.nextHandle = 0
+	p.addr.reset()
+	p.endTime = 0
+	clear(p.env)
+}
+
+// releaseToPool returns a terminated process entry to the pool, dropping
+// references that would otherwise pin the old kernel's memory.
+func (p *Process) releaseToPool() {
+	if p.state != procTerminated {
+		return // defensive: Release checks liveProcs first
+	}
+	p.k = nil
+	p.obj = nil
+	p.waitCancel = nil
+	procPool.Put(p)
+}

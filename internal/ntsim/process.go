@@ -61,6 +61,28 @@ type Process struct {
 	exitCode  uint32
 	startTime vclock.Time
 	endTime   vclock.Time
+
+	// wakeFn is the cached timer callback for Yield/SleepFor, allocated
+	// once per process instead of once per sleep (a client's retry
+	// protocol alone schedules thousands). It captures only p and reads
+	// p.k dynamically, so it survives process pooling across kernels.
+	wakeFn func()
+
+	// rawBuf is the reusable system-call parameter buffer handed out by
+	// Raw, so hot-path API wrappers marshal into one per-process slice
+	// instead of allocating a fresh one per call.
+	rawBuf []uint64
+}
+
+// Raw copies vals into the process's reusable system-call parameter
+// buffer and returns it. Exactly one system call is in flight per process
+// at a time (every call funnels through Syscall before the next begins),
+// so the buffer is free again by the time the caller's API function
+// returns. The variadic argument slice never escapes, so callers pay no
+// heap allocation once the buffer has grown to the widest call.
+func (p *Process) Raw(vals ...uint64) []uint64 {
+	p.rawBuf = append(p.rawBuf[:0], vals...)
+	return p.rawBuf
 }
 
 // run is the goroutine trampoline hosting the program image.
@@ -172,11 +194,20 @@ func (p *Process) ChargeTime(d time.Duration) {
 }
 
 // relinquish requeues the running process at the back of the ready queue
-// and hands the CPU to the kernel (end-of-quantum preemption).
+// and hands the CPU to the kernel (end-of-quantum preemption). When the
+// process is alone with no due timer work and the harness has granted a
+// scheduling ceiling, the handoff is elided: the slow path's next Step
+// would only resume this same process, so the park/resume channel
+// round-trip collapses to the quanta counter it would have produced.
 func (p *Process) relinquish() {
 	p.checkAlive()
-	p.k.makeReady(p)
-	p.k.procYield <- struct{}{}
+	k := p.k
+	if k.canElide() {
+		k.tel.Add(telemetry.CtrSchedQuanta, 1)
+		return
+	}
+	k.makeReady(p)
+	k.procYield <- struct{}{}
 	act := <-p.resume
 	if act.kill {
 		panic(killSignal{act.killCode})
@@ -215,9 +246,7 @@ func (p *Process) block() (uint32, Errno) {
 // virtual instant (Sleep(0) semantics).
 func (p *Process) Yield() {
 	p.checkAlive()
-	k := p.k
-	k.clock.ScheduleAfter(0, func() { k.wake(p, WaitObject0, ErrSuccess) })
-	p.block()
+	p.sleepUntil(p.k.clock.Now())
 }
 
 // SleepFor blocks the process for the given virtual duration.
@@ -227,8 +256,26 @@ func (p *Process) SleepFor(d time.Duration) {
 		p.Yield()
 		return
 	}
+	p.sleepUntil(p.k.clock.Now().Add(d))
+}
+
+// sleepUntil parks the process until wake. When the sleeper is alone and
+// its wake strictly precedes every queued event and the scheduling
+// ceiling, the park is elided: the slow path would fire the wake event
+// and resume this same process with nothing running in between, so the
+// fast path advances the clock straight to the wake instant and keeps
+// going, charging the one scheduling quantum the resume would have cost.
+func (p *Process) sleepUntil(wake vclock.Time) {
 	k := p.k
-	k.clock.ScheduleAfter(d, func() { k.wake(p, WaitObject0, ErrSuccess) })
+	if k.canElideSleep(wake) {
+		k.clock.Advance(wake.Sub(k.clock.Now()))
+		k.tel.Add(telemetry.CtrSchedQuanta, 1)
+		return
+	}
+	if p.wakeFn == nil {
+		p.wakeFn = func() { p.k.wake(p, WaitObject0, ErrSuccess) }
+	}
+	k.clock.ScheduleAt(wake, p.wakeFn)
 	p.block()
 }
 

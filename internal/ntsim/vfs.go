@@ -20,6 +20,28 @@ type vfile struct {
 	path  string // original-case path
 	data  []byte
 	mtime vclock.Time // virtual modification time
+
+	// shared marks a node captured by a PrefixSnapshot: it may be
+	// referenced by any number of forked kernels concurrently, so it is
+	// immutable from the moment the snapshot is taken. Mutators clone a
+	// shared node into the local namespace first (copy-on-write).
+	shared bool
+	// origin points at the shared node this one was cloned from, so open
+	// file descriptions still holding the shared node can re-point to the
+	// clone and keep the legacy aliasing semantics (all descriptions of
+	// one path observe each other's writes).
+	origin *vfile
+}
+
+// clone returns a private, mutable copy of a snapshot-shared node. The data
+// is copied — not aliased — because the clone will be mutated in place while
+// sibling forks keep reading the shared bytes.
+func (f *vfile) clone() *vfile {
+	c := &vfile{path: f.path, mtime: f.mtime, origin: f}
+	if len(f.data) > 0 {
+		c.data = append([]byte(nil), f.data...)
+	}
+	return c
 }
 
 // NewVFS returns an empty filesystem.
@@ -92,9 +114,45 @@ const (
 type OpenFile struct {
 	fs     *VFS
 	file   *vfile
+	key    string // normalized path, for copy-on-write re-pointing
 	offset int
 	access uint32
 	closed bool
+}
+
+// node returns the current file node for this description. If the node is
+// snapshot-shared but another description of the same path has already
+// detached a copy-on-write clone into the namespace, this description
+// re-points to the clone — preserving the legacy invariant that every open
+// description of one path observes the same bytes.
+func (of *OpenFile) node() *vfile {
+	f := of.file
+	if f.shared {
+		if cur := of.fs.files[of.key]; cur != nil && cur.origin == f {
+			of.file = cur
+			return cur
+		}
+	}
+	return f
+}
+
+// mutable returns a privately-owned node for this description, detaching a
+// copy-on-write clone from a snapshot-shared node on first mutation.
+func (of *OpenFile) mutable() *vfile {
+	f := of.node()
+	if !f.shared {
+		return f
+	}
+	c := f.clone()
+	// Install the clone only while the namespace still maps the path to
+	// the shared node; if the path was replaced or removed meanwhile, the
+	// description mutates an orphan node, exactly as an unshared
+	// description of a replaced path would.
+	if of.fs.files[of.key] == f {
+		of.fs.files[of.key] = c
+	}
+	of.file = c
+	return c
 }
 
 // Open opens a path per the CreateFile disposition rules.
@@ -127,11 +185,17 @@ func (fs *VFS) Open(path string, access, disposition uint32) (*OpenFile, Errno) 
 		if !exists {
 			return nil, ErrFileNotFound
 		}
-		f.data = nil
+		if f.shared {
+			c := &vfile{path: f.path, mtime: f.mtime, origin: f}
+			fs.files[key] = c
+			f = c
+		} else {
+			f.data = nil
+		}
 	default:
 		return nil, ErrInvalidParameter
 	}
-	return &OpenFile{fs: fs, file: f, access: access}, ErrSuccess
+	return &OpenFile{fs: fs, file: f, key: key, access: access}, ErrSuccess
 }
 
 // Read copies up to len(buf) bytes from the current offset, advancing it.
@@ -142,10 +206,11 @@ func (of *OpenFile) Read(buf []byte) (int, Errno) {
 	if of.access&GenericRead == 0 {
 		return 0, ErrAccessDenied
 	}
-	if of.offset >= len(of.file.data) {
+	f := of.node()
+	if of.offset >= len(f.data) {
 		return 0, ErrSuccess // EOF: zero bytes, success (Win32 semantics)
 	}
-	n := copy(buf, of.file.data[of.offset:])
+	n := copy(buf, f.data[of.offset:])
 	of.offset += n
 	return n, ErrSuccess
 }
@@ -158,13 +223,14 @@ func (of *OpenFile) Write(buf []byte) (int, Errno) {
 	if of.access&GenericWrite == 0 {
 		return 0, ErrAccessDenied
 	}
+	f := of.mutable()
 	end := of.offset + len(buf)
-	if end > len(of.file.data) {
+	if end > len(f.data) {
 		grown := make([]byte, end)
-		copy(grown, of.file.data)
-		of.file.data = grown
+		copy(grown, f.data)
+		f.data = grown
 	}
-	copy(of.file.data[of.offset:end], buf)
+	copy(f.data[of.offset:end], buf)
 	of.offset = end
 	return len(buf), ErrSuccess
 }
@@ -188,7 +254,7 @@ func (of *OpenFile) SeekTo(distance int64, method uint32) (int64, Errno) {
 	case FileCurrent:
 		base = int64(of.offset)
 	case FileEnd:
-		base = int64(len(of.file.data))
+		base = int64(len(of.node().data))
 	default:
 		return 0, ErrInvalidParameter
 	}
@@ -201,14 +267,14 @@ func (of *OpenFile) SeekTo(distance int64, method uint32) (int64, Errno) {
 }
 
 // Size returns the file length in bytes.
-func (of *OpenFile) Size() int { return len(of.file.data) }
+func (of *OpenFile) Size() int { return len(of.node().data) }
 
 // Mtime returns the file's virtual modification time.
-func (of *OpenFile) Mtime() vclock.Time { return of.file.mtime }
+func (of *OpenFile) Mtime() vclock.Time { return of.node().mtime }
 
 // Touch sets the file's virtual modification time (the win32 layer calls
 // it on writes and from SetFileTime).
-func (of *OpenFile) Touch(t vclock.Time) { of.file.mtime = t }
+func (of *OpenFile) Touch(t vclock.Time) { of.mutable().mtime = t }
 
 // Mtime returns a file's modification time by path.
 func (fs *VFS) Mtime(path string) (vclock.Time, bool) {
@@ -220,6 +286,54 @@ func (fs *VFS) Mtime(path string) (vclock.Time, bool) {
 }
 
 // Path returns the path this description was opened against.
-func (of *OpenFile) Path() string { return of.file.path }
+func (of *OpenFile) Path() string { return of.node().path }
 
 func (of *OpenFile) close() { of.closed = true }
+
+// Snapshot / pooling support ------------------------------------------------
+
+// snapshotMaps marks every node snapshot-shared (freezing it) and returns
+// copies of the namespace maps for a PrefixSnapshot to own. The returned
+// maps and the nodes they reference are read-only from this point on and
+// safe for concurrent forks.
+func (fs *VFS) snapshotMaps() (map[string]*vfile, map[string]string) {
+	files := make(map[string]*vfile, len(fs.files))
+	for k, f := range fs.files {
+		f.shared = true
+		files[k] = f
+	}
+	var dirs map[string]string
+	if len(fs.dirsByKey) > 0 {
+		dirs = make(map[string]string, len(fs.dirsByKey))
+		for k, v := range fs.dirsByKey {
+			dirs[k] = v
+		}
+	}
+	return files, dirs
+}
+
+// restoreFrom loads snapshot maps into this (possibly pooled) filesystem,
+// reusing existing map storage.
+func (fs *VFS) restoreFrom(files map[string]*vfile, dirs map[string]string) {
+	clear(fs.files)
+	for k, f := range files {
+		fs.files[k] = f
+	}
+	if fs.dirsByKey != nil {
+		clear(fs.dirsByKey)
+	}
+	if len(dirs) > 0 {
+		set := fs.dirSet()
+		for k, v := range dirs {
+			set[k] = v
+		}
+	}
+}
+
+// reset empties the filesystem, retaining map storage for reuse.
+func (fs *VFS) reset() {
+	clear(fs.files)
+	if fs.dirsByKey != nil {
+		clear(fs.dirsByKey)
+	}
+}

@@ -73,6 +73,13 @@ func (fs *VFS) Rename(from, to string) Errno {
 		return ErrAlreadyExists
 	}
 	delete(fs.files, fromKey)
+	if f.shared {
+		// Snapshot-shared nodes are immutable; move a clone instead.
+		c := f.clone()
+		c.path = to
+		fs.files[toKey] = c
+		return ErrSuccess
+	}
 	f.path = to
 	fs.files[toKey] = f
 	return ErrSuccess

@@ -171,7 +171,7 @@ func (a *API) GetLastError() ntsim.Errno {
 
 // SetLastError sets the calling process's last-error value.
 func (a *API) SetLastError(e uint32) {
-	raw := []uint64{uint64(e)}
+	raw := a.p.Raw(uint64(e))
 	a.syscall("SetLastError", raw)
 	a.p.SetLastError(ntsim.Errno(uint32(raw[0])))
 }

@@ -94,7 +94,7 @@ func (a *API) atomAdd(fn string, t *atomTable, name string) uint16 {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr}
+	raw := a.p.Raw(nameAddr)
 	a.syscall(fn, raw)
 	v, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -115,7 +115,7 @@ func (a *API) atomFind(fn string, t *atomTable, name string) uint16 {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr}
+	raw := a.p.Raw(nameAddr)
 	a.syscall(fn, raw)
 	v, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -133,7 +133,7 @@ func (a *API) atomFind(fn string, t *atomTable, name string) uint16 {
 
 // atomDel is the shared DeleteAtom implementation.
 func (a *API) atomDel(fn string, t *atomTable, atom uint16) uint16 {
-	raw := []uint64{uint64(atom)}
+	raw := a.p.Raw(uint64(atom))
 	a.syscall(fn, raw)
 	if !t.del(uint16(raw[0])) {
 		a.fail(ntsim.ErrInvalidHandle)
@@ -148,7 +148,7 @@ func (a *API) atomName(fn string, t *atomTable, atom uint16, name *string) uint3
 	out := make([]byte, 256)
 	outAddr := a.p.Addr().MapBuf(out)
 	defer a.p.Addr().Release(outAddr)
-	raw := []uint64{uint64(atom), outAddr, uint64(len(out))}
+	raw := a.p.Raw(uint64(atom), outAddr, uint64(len(out)))
 	a.syscall(fn, raw)
 	dst, ok := a.mustBuf(raw[1])
 	if !ok {

@@ -68,7 +68,7 @@ func (a *API) GetConsoleOutputCP() uint32 {
 
 // SetConsoleCP sets the input code page.
 func (a *API) SetConsoleCP(cp uint32) bool {
-	raw := []uint64{uint64(cp)}
+	raw := a.p.Raw(uint64(cp))
 	a.syscall("SetConsoleCP", raw)
 	a.console().inputCP = uint32(raw[0])
 	return a.ok()
@@ -76,7 +76,7 @@ func (a *API) SetConsoleCP(cp uint32) bool {
 
 // SetConsoleOutputCP sets the output code page.
 func (a *API) SetConsoleOutputCP(cp uint32) bool {
-	raw := []uint64{uint64(cp)}
+	raw := a.p.Raw(uint64(cp))
 	a.syscall("SetConsoleOutputCP", raw)
 	a.console().outputCP = uint32(raw[0])
 	return a.ok()
@@ -86,7 +86,7 @@ func (a *API) SetConsoleOutputCP(cp uint32) bool {
 func (a *API) GetConsoleMode(h Handle, mode *uint32) bool {
 	cellAddr, cellVal, release := a.outCell()
 	defer release()
-	raw := []uint64{uint64(h), cellAddr}
+	raw := a.p.Raw(uint64(h), cellAddr)
 	a.syscall("GetConsoleMode", raw)
 	if _, ok := a.consoleFile(ntsim.Handle(uint32(raw[0]))); !ok {
 		return a.fail(ntsim.ErrInvalidHandle)
@@ -104,7 +104,7 @@ func (a *API) GetConsoleMode(h Handle, mode *uint32) bool {
 
 // SetConsoleMode sets the console mode flags.
 func (a *API) SetConsoleMode(h Handle, mode uint32) bool {
-	raw := []uint64{uint64(h), uint64(mode)}
+	raw := a.p.Raw(uint64(h), uint64(mode))
 	a.syscall("SetConsoleMode", raw)
 	if _, ok := a.consoleFile(ntsim.Handle(uint32(raw[0]))); !ok {
 		return a.fail(ntsim.ErrInvalidHandle)
@@ -118,7 +118,7 @@ func (a *API) GetConsoleTitleA(title *string) uint32 {
 	out := make([]byte, 256)
 	outAddr := a.p.Addr().MapBuf(out)
 	defer a.p.Addr().Release(outAddr)
-	raw := []uint64{outAddr, uint64(len(out))}
+	raw := a.p.Raw(outAddr, uint64(len(out)))
 	a.syscall("GetConsoleTitleA", raw)
 	dst, ok := a.mustBuf(raw[0])
 	if !ok {
@@ -138,7 +138,7 @@ func (a *API) SetConsoleTitleA(title string) bool {
 	ad := a.p.Addr()
 	addr := ad.MapStr(title)
 	defer ad.Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("SetConsoleTitleA", raw)
 	v, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -158,7 +158,7 @@ func (a *API) WriteConsoleA(h Handle, buf []byte, toWrite uint32, written *uint3
 	cellAddr, cellVal, release := a.outCell()
 	defer ad.Release(bufAddr)
 	defer release()
-	raw := []uint64{uint64(h), bufAddr, uint64(toWrite), cellAddr, 0}
+	raw := a.p.Raw(uint64(h), bufAddr, uint64(toWrite), cellAddr, 0)
 	a.syscall("WriteConsoleA", raw)
 	of, okh := a.consoleFile(ntsim.Handle(uint32(raw[0])))
 	if !okh {
@@ -199,7 +199,7 @@ func (a *API) ReadConsoleA(h Handle, buf []byte, toRead uint32, read *uint32) bo
 	cellAddr, cellVal, release := a.outCell()
 	defer ad.Release(bufAddr)
 	defer release()
-	raw := []uint64{uint64(h), bufAddr, uint64(toRead), cellAddr, 0}
+	raw := a.p.Raw(uint64(h), bufAddr, uint64(toRead), cellAddr, 0)
 	a.syscall("ReadConsoleA", raw)
 	of, okh := a.consoleFile(ntsim.Handle(uint32(raw[0])))
 	if !okh {
@@ -232,7 +232,7 @@ func (a *API) ReadConsoleA(h Handle, buf []byte, toRead uint32, read *uint32) bo
 
 // FlushConsoleInputBuffer discards pending console input.
 func (a *API) FlushConsoleInputBuffer(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("FlushConsoleInputBuffer", raw)
 	if _, ok := a.consoleFile(ntsim.Handle(uint32(raw[0]))); !ok {
 		return a.fail(ntsim.ErrInvalidHandle)
@@ -242,7 +242,7 @@ func (a *API) FlushConsoleInputBuffer(h Handle) bool {
 
 // SetConsoleCtrlHandler registers (or clears) the control handler.
 func (a *API) SetConsoleCtrlHandler(add bool) bool {
-	raw := []uint64{0, b2r(add)}
+	raw := a.p.Raw(0, b2r(add))
 	a.syscall("SetConsoleCtrlHandler", raw)
 	a.console().ctrlSet = boolArg(raw[1])
 	return a.ok()

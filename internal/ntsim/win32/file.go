@@ -26,8 +26,8 @@ func (a *API) CreateFileA(name string, access, shareMode uint32, disposition, fl
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr, uint64(access), uint64(shareMode), 0,
-		uint64(disposition), uint64(flags), 0}
+	raw := a.p.Raw(nameAddr, uint64(access), uint64(shareMode), 0,
+		uint64(disposition), uint64(flags), 0)
 	a.syscall("CreateFileA", raw)
 
 	path, res := a.str(raw[0])
@@ -95,7 +95,7 @@ func (a *API) readCommon(fn string, h Handle, buf []byte, toRead uint32, read *u
 	defer ad.Release(bufAddr)
 	defer releaseCell()
 
-	raw := []uint64{uint64(h), bufAddr, uint64(toRead), cellAddr, 0}
+	raw := a.p.Raw(uint64(h), bufAddr, uint64(toRead), cellAddr, 0)
 	a.syscall(fn, raw)
 
 	dst, ok := a.mustBuf(raw[1])
@@ -164,7 +164,7 @@ func (a *API) WriteFile(h Handle, buf []byte, toWrite uint32, written *uint32) b
 	defer ad.Release(bufAddr)
 	defer releaseCell()
 
-	raw := []uint64{uint64(h), bufAddr, uint64(toWrite), cellAddr, 0}
+	raw := a.p.Raw(uint64(h), bufAddr, uint64(toWrite), cellAddr, 0)
 	a.syscall("WriteFile", raw)
 
 	src, ok := a.mustBuf(raw[1])
@@ -216,7 +216,7 @@ func (a *API) WriteFile(h Handle, buf []byte, toWrite uint32, written *uint32) b
 // SetFilePointer moves a file offset; returns the low 32 bits of the new
 // position, or 0xFFFFFFFF on failure.
 func (a *API) SetFilePointer(h Handle, distance int32, method uint32) uint32 {
-	raw := []uint64{uint64(h), uint64(uint32(distance)), 0, uint64(method)}
+	raw := a.p.Raw(uint64(h), uint64(uint32(distance)), 0, uint64(method))
 	a.syscall("SetFilePointer", raw)
 	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
 	if !okh {
@@ -237,7 +237,7 @@ func (a *API) GetFileSize(h Handle, sizeHigh *uint32) uint32 {
 	if sizeHigh != nil {
 		*sizeHigh = 0
 	}
-	raw := []uint64{uint64(h), 0}
+	raw := a.p.Raw(uint64(h), 0)
 	a.syscall("GetFileSize", raw)
 	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
 	if !okh {
@@ -253,7 +253,7 @@ func (a *API) GetFileSize(h Handle, sizeHigh *uint32) uint32 {
 // makes before DisconnectNamedPipe, since disconnecting discards unread
 // data.
 func (a *API) FlushFileBuffers(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("FlushFileBuffers", raw)
 	switch obj := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
 	case *ntsim.OpenFile, *ntsim.PipeClient:
@@ -272,7 +272,7 @@ func (a *API) DeleteFileA(name string) bool {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr}
+	raw := a.p.Raw(nameAddr)
 	a.syscall("DeleteFileA", raw)
 	path, res := a.str(raw[0])
 	switch res {
@@ -293,7 +293,7 @@ func (a *API) GetFileAttributesA(name string) uint32 {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr}
+	raw := a.p.Raw(nameAddr)
 	a.syscall("GetFileAttributesA", raw)
 	path, res := a.str(raw[0])
 	switch res {
@@ -313,7 +313,7 @@ func (a *API) GetFileAttributesA(name string) uint32 {
 
 // CloseHandle releases a handle of any kernel object type.
 func (a *API) CloseHandle(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("CloseHandle", raw)
 	if !a.p.CloseHandle(ntsim.Handle(uint32(raw[0]))) {
 		return a.fail(ntsim.ErrInvalidHandle)

@@ -31,7 +31,7 @@ func (a *API) FindFirstFileA(pattern string, data *FindData) Handle {
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(patAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{patAddr, outAddr}
+	raw := a.p.Raw(patAddr, outAddr)
 	a.syscall("FindFirstFileA", raw)
 
 	pat, res := a.probeStr(raw[0])
@@ -61,7 +61,7 @@ func (a *API) FindNextFileA(h Handle, data *FindData) bool {
 	out := make([]byte, 320)
 	outAddr := a.p.Addr().MapBuf(out)
 	defer a.p.Addr().Release(outAddr)
-	raw := []uint64{uint64(h), outAddr}
+	raw := a.p.Raw(uint64(h), outAddr)
 	a.syscall("FindNextFileA", raw)
 	st, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*findState)
 	if !okh {
@@ -82,7 +82,7 @@ func (a *API) FindNextFileA(h Handle, data *FindData) bool {
 
 // FindClose ends an enumeration.
 func (a *API) FindClose(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("FindClose", raw)
 	if _, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*findState); !okh {
 		return a.fail(ntsim.ErrInvalidHandle)
@@ -96,7 +96,7 @@ func (a *API) CreateDirectoryA(path string) bool {
 	ad := a.p.Addr()
 	pathAddr := ad.MapStr(path)
 	defer ad.Release(pathAddr)
-	raw := []uint64{pathAddr, 0}
+	raw := a.p.Raw(pathAddr, 0)
 	a.syscall("CreateDirectoryA", raw)
 	dir, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -113,7 +113,7 @@ func (a *API) RemoveDirectoryA(path string) bool {
 	ad := a.p.Addr()
 	pathAddr := ad.MapStr(path)
 	defer ad.Release(pathAddr)
-	raw := []uint64{pathAddr}
+	raw := a.p.Raw(pathAddr)
 	a.syscall("RemoveDirectoryA", raw)
 	dir, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -132,7 +132,7 @@ func (a *API) MoveFileA(from, to string) bool {
 	toAddr := ad.MapStr(to)
 	defer ad.Release(fromAddr)
 	defer ad.Release(toAddr)
-	raw := []uint64{fromAddr, toAddr}
+	raw := a.p.Raw(fromAddr, toAddr)
 	a.syscall("MoveFileA", raw)
 	src, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -155,7 +155,7 @@ func (a *API) CopyFileA(from, to string, failIfExists bool) bool {
 	toAddr := ad.MapStr(to)
 	defer ad.Release(fromAddr)
 	defer ad.Release(toAddr)
-	raw := []uint64{fromAddr, toAddr, b2r(failIfExists)}
+	raw := a.p.Raw(fromAddr, toAddr, b2r(failIfExists))
 	a.syscall("CopyFileA", raw)
 	src, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -178,7 +178,7 @@ func (a *API) SetFileAttributesA(path string, attrs uint32) bool {
 	ad := a.p.Addr()
 	pathAddr := ad.MapStr(path)
 	defer ad.Release(pathAddr)
-	raw := []uint64{pathAddr, uint64(attrs)}
+	raw := a.p.Raw(pathAddr, uint64(attrs))
 	a.syscall("SetFileAttributesA", raw)
 	target, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -199,7 +199,7 @@ func (a *API) GetFullPathNameA(path string, resolved *string) uint32 {
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(pathAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{pathAddr, uint64(len(out)), outAddr, 0}
+	raw := a.p.Raw(pathAddr, uint64(len(out)), outAddr, 0)
 	a.syscall("GetFullPathNameA", raw)
 	rel, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -232,7 +232,7 @@ func (a *API) SearchPathA(name string, found *string) uint32 {
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(nameAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{0, nameAddr, 0, uint64(len(out)), outAddr, 0}
+	raw := a.p.Raw(0, nameAddr, 0, uint64(len(out)), outAddr, 0)
 	a.syscall("SearchPathA", raw)
 	file, res := a.probeStr(raw[1])
 	if res == ptrNull {
@@ -261,7 +261,7 @@ func (a *API) GetDriveTypeA(root string) uint32 {
 	ad := a.p.Addr()
 	rootAddr := ad.MapStr(root)
 	defer ad.Release(rootAddr)
-	raw := []uint64{rootAddr}
+	raw := a.p.Raw(rootAddr)
 	a.syscall("GetDriveTypeA", raw)
 	r, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -281,7 +281,7 @@ func (a *API) GetLogicalDrives() uint32 {
 
 // SetErrorMode sets the process error mode, returning the previous one.
 func (a *API) SetErrorMode(mode uint32) uint32 {
-	raw := []uint64{uint64(mode)}
+	raw := a.p.Raw(uint64(mode))
 	a.syscall("SetErrorMode", raw)
 	prev := a.errorMode
 	a.errorMode = uint32(raw[0])
@@ -301,7 +301,7 @@ func (a *API) GetDiskFreeSpaceA(root string, freeClusters *uint32) bool {
 	defer r2()
 	defer r3()
 	defer r4()
-	raw := []uint64{rootAddr, c1, c2, c3, c4}
+	raw := a.p.Raw(rootAddr, c1, c2, c3, c4)
 	a.syscall("GetDiskFreeSpaceA", raw)
 	if _, res := a.probeStr(raw[0]); res == ptrNull {
 		return a.fail(ntsim.ErrInvalidParameter)

@@ -51,7 +51,7 @@ func (a *API) GetFileTime(h Handle, write *Filetime) bool {
 	cells := make([]byte, 24)
 	addr := ad.MapBuf(cells)
 	defer ad.Release(addr)
-	raw := []uint64{uint64(h), addr, addr, addr}
+	raw := a.p.Raw(uint64(h), addr, addr, addr)
 	a.syscall("GetFileTime", raw)
 	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
 	if !okh {
@@ -72,7 +72,7 @@ func (a *API) SetFileTime(h Handle, write Filetime) bool {
 	cell := make([]byte, 8)
 	addr := ad.MapBuf(cell)
 	defer ad.Release(addr)
-	raw := []uint64{uint64(h), 0, 0, addr}
+	raw := a.p.Raw(uint64(h), 0, 0, addr)
 	a.syscall("SetFileTime", raw)
 	of, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.OpenFile)
 	if !okh {
@@ -94,7 +94,7 @@ func (a *API) CompareFileTime(f1, f2 Filetime) int32 {
 	a2 := ad.MapBuf(b2)
 	defer ad.Release(a1)
 	defer ad.Release(a2)
-	raw := []uint64{a1, a2}
+	raw := a.p.Raw(a1, a2)
 	a.syscall("CompareFileTime", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -121,7 +121,7 @@ func (a *API) FileTimeToSystemTime(ft Filetime, st *SystemTime) bool {
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(inAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{inAddr, outAddr}
+	raw := a.p.Raw(inAddr, outAddr)
 	a.syscall("FileTimeToSystemTime", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return false
@@ -154,7 +154,7 @@ func (a *API) SystemTimeToFileTime(st SystemTime, ft *Filetime) bool {
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(inAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{inAddr, outAddr}
+	raw := a.p.Raw(inAddr, outAddr)
 	a.syscall("SystemTimeToFileTime", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return false
@@ -192,7 +192,7 @@ func (a *API) filetimeIdentity(fn string, ft Filetime, out *Filetime) bool {
 	outAddr := ad.MapBuf(ob)
 	defer ad.Release(inAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{inAddr, outAddr}
+	raw := a.p.Raw(inAddr, outAddr)
 	a.syscall(fn, raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return false

@@ -13,7 +13,7 @@ func (a *API) CreateMailslotA(name string, maxMessageSize, readTimeoutMS uint32)
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr, uint64(maxMessageSize), uint64(readTimeoutMS), 0}
+	raw := a.p.Raw(nameAddr, uint64(maxMessageSize), uint64(readTimeoutMS), 0)
 	a.syscall("CreateMailslotA", raw)
 	path, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -35,7 +35,7 @@ func (a *API) GetMailslotInfo(h Handle, nextSize, count *uint32) bool {
 	c2, v2, r2 := a.outCell()
 	defer r1()
 	defer r2()
-	raw := []uint64{uint64(h), 0, c1, c2, 0}
+	raw := a.p.Raw(uint64(h), 0, c1, c2, 0)
 	a.syscall("GetMailslotInfo", raw)
 	ms, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Mailslot)
 	if !okh {
@@ -63,7 +63,7 @@ func (a *API) GetMailslotInfo(h Handle, nextSize, count *uint32) bool {
 
 // SetMailslotInfo updates the slot's read timeout.
 func (a *API) SetMailslotInfo(h Handle, readTimeoutMS uint32) bool {
-	raw := []uint64{uint64(h), uint64(readTimeoutMS)}
+	raw := a.p.Raw(uint64(h), uint64(readTimeoutMS))
 	a.syscall("SetMailslotInfo", raw)
 	ms, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Mailslot)
 	if !okh {

@@ -37,7 +37,7 @@ func defaultHeapKey(pid ntsim.PID) string {
 
 // HeapCreate creates a private heap.
 func (a *API) HeapCreate(options uint32, initialSize, maxSize uint32) Handle {
-	raw := []uint64{uint64(options), uint64(initialSize), uint64(maxSize)}
+	raw := a.p.Raw(uint64(options), uint64(initialSize), uint64(maxSize))
 	a.syscall("HeapCreate", raw)
 	heap := &HeapObject{allocs: make(map[uint64][]byte), space: &processAddr{p: a.p}}
 	a.ok()
@@ -46,7 +46,7 @@ func (a *API) HeapCreate(options uint32, initialSize, maxSize uint32) Handle {
 
 // HeapDestroy tears a private heap down.
 func (a *API) HeapDestroy(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("HeapDestroy", raw)
 	heap, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*HeapObject)
 	if !okh {
@@ -63,7 +63,7 @@ func (a *API) HeapDestroy(h Handle) bool {
 // HeapAlloc allocates size bytes from a heap, returning the block address
 // (0 on failure).
 func (a *API) HeapAlloc(h Handle, flags, size uint32) uint64 {
-	raw := []uint64{uint64(h), uint64(flags), uint64(size)}
+	raw := a.p.Raw(uint64(h), uint64(flags), uint64(size))
 	a.syscall("HeapAlloc", raw)
 	heap, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*HeapObject)
 	if !okh {
@@ -86,7 +86,7 @@ func (a *API) HeapAlloc(h Handle, flags, size uint32) uint64 {
 // HeapFree releases a block previously returned by HeapAlloc. Freeing a
 // corrupted pointer faults, mirroring real heap corruption.
 func (a *API) HeapFree(h Handle, flags uint32, addr uint64) bool {
-	raw := []uint64{uint64(h), uint64(flags), addr}
+	raw := a.p.Raw(uint64(h), uint64(flags), addr)
 	a.syscall("HeapFree", raw)
 	heap, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*HeapObject)
 	if !okh {
@@ -117,7 +117,7 @@ func (a *API) HeapBuf(h Handle, addr uint64) ([]byte, bool) {
 
 // VirtualAlloc reserves/commits a region, modeled as an anonymous buffer.
 func (a *API) VirtualAlloc(addrHint uint64, size uint32, allocType, protect uint32) uint64 {
-	raw := []uint64{addrHint, uint64(size), uint64(allocType), uint64(protect)}
+	raw := a.p.Raw(addrHint, uint64(size), uint64(allocType), uint64(protect))
 	a.syscall("VirtualAlloc", raw)
 	size = uint32(raw[1])
 	const vaLimit = 1 << 28
@@ -133,7 +133,7 @@ func (a *API) VirtualAlloc(addrHint uint64, size uint32, allocType, protect uint
 
 // VirtualFree releases a region allocated by VirtualAlloc.
 func (a *API) VirtualFree(addr uint64, size, freeType uint32) bool {
-	raw := []uint64{addr, uint64(size), uint64(freeType)}
+	raw := a.p.Raw(addr, uint64(size), uint64(freeType))
 	a.syscall("VirtualFree", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		return a.fail(ntsim.ErrInvalidParameter)
@@ -145,7 +145,7 @@ func (a *API) VirtualFree(addr uint64, size, freeType uint32) bool {
 // LocalAlloc allocates movable/fixed local memory (modeled like HeapAlloc on
 // an implicit heap).
 func (a *API) LocalAlloc(flags, size uint32) uint64 {
-	raw := []uint64{uint64(flags), uint64(size)}
+	raw := a.p.Raw(uint64(flags), uint64(size))
 	a.syscall("LocalAlloc", raw)
 	size = uint32(raw[1])
 	const limit = 1 << 26
@@ -161,7 +161,7 @@ func (a *API) LocalAlloc(flags, size uint32) uint64 {
 
 // LocalFree releases local memory, returning 0 on success (Win32 contract).
 func (a *API) LocalFree(addr uint64) uint64 {
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("LocalFree", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.fail(ntsim.ErrInvalidHandle)
@@ -174,7 +174,7 @@ func (a *API) LocalFree(addr uint64) uint64 {
 
 // GlobalAlloc mirrors LocalAlloc for the legacy global heap.
 func (a *API) GlobalAlloc(flags, size uint32) uint64 {
-	raw := []uint64{uint64(flags), uint64(size)}
+	raw := a.p.Raw(uint64(flags), uint64(size))
 	a.syscall("GlobalAlloc", raw)
 	size = uint32(raw[1])
 	const limit = 1 << 26
@@ -190,7 +190,7 @@ func (a *API) GlobalAlloc(flags, size uint32) uint64 {
 
 // GlobalFree releases global memory, returning 0 on success.
 func (a *API) GlobalFree(addr uint64) uint64 {
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("GlobalFree", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.fail(ntsim.ErrInvalidHandle)

@@ -43,7 +43,7 @@ func (a *API) GetVersionExA(info *OSVersionInfo) bool {
 	buf := make([]byte, 148)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("GetVersionExA", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return false
@@ -66,7 +66,7 @@ func (a *API) GetModuleHandleA(name string) uint32 {
 		nameAddr = ad.MapStr(name)
 		defer ad.Release(nameAddr)
 	}
-	raw := []uint64{nameAddr}
+	raw := a.p.Raw(nameAddr)
 	a.syscall("GetModuleHandleA", raw)
 	if _, res := a.probeStr(raw[0]); res == ptrNull {
 		return 0x0040_0000 // main module base
@@ -79,7 +79,7 @@ func (a *API) GetModuleFileNameA(module uint32, name *string) uint32 {
 	out := make([]byte, 260)
 	outAddr := a.p.Addr().MapBuf(out)
 	defer a.p.Addr().Release(outAddr)
-	raw := []uint64{uint64(module), outAddr, uint64(len(out))}
+	raw := a.p.Raw(uint64(module), outAddr, uint64(len(out)))
 	a.syscall("GetModuleFileNameA", raw)
 	dst, ok := a.mustBuf(raw[1])
 	if !ok {
@@ -103,7 +103,7 @@ func (a *API) LoadLibraryA(name string) uint32 {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr}
+	raw := a.p.Raw(nameAddr)
 	a.syscall("LoadLibraryA", raw)
 	lib, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -121,7 +121,7 @@ func (a *API) LoadLibraryA(name string) uint32 {
 
 // FreeLibrary unloads a DLL reference.
 func (a *API) FreeLibrary(module uint32) bool {
-	raw := []uint64{uint64(module)}
+	raw := a.p.Raw(uint64(module))
 	a.syscall("FreeLibrary", raw)
 	if uint32(raw[0]) == 0 {
 		return a.fail(ntsim.ErrInvalidHandle)
@@ -135,7 +135,7 @@ func (a *API) GetProcAddress(module uint32, proc string) uint32 {
 	ad := a.p.Addr()
 	procAddr := ad.MapStr(proc)
 	defer ad.Release(procAddr)
-	raw := []uint64{uint64(module), procAddr}
+	raw := a.p.Raw(uint64(module), procAddr)
 	a.syscall("GetProcAddress", raw)
 	if _, res := a.probeStr(raw[1]); res == ptrNull {
 		a.fail(ntsim.ErrInvalidParameter)
@@ -159,7 +159,7 @@ const (
 // GetStdHandle returns a pseudo-handle for a standard device. The simulated
 // console is modeled as a VFS file per process.
 func (a *API) GetStdHandle(which uint32) Handle {
-	raw := []uint64{uint64(which)}
+	raw := a.p.Raw(uint64(which))
 	a.syscall("GetStdHandle", raw)
 	var path string
 	switch uint32(raw[0]) {
@@ -202,7 +202,7 @@ func (a *API) GetSystemInfo(info *SystemInfo) {
 	buf := make([]byte, 36)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("GetSystemInfo", raw)
 	if _, res := a.buf(raw[0]); res == ptrWild {
 		a.av()
@@ -221,7 +221,7 @@ func (a *API) systemTimeCall(fn string, st *SystemTime) {
 	buf := make([]byte, 16)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall(fn, raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return
@@ -252,7 +252,7 @@ func (a *API) GetSystemTimeAsFileTime(ft *uint64) {
 	buf := make([]byte, 8)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("GetSystemTimeAsFileTime", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return
@@ -268,7 +268,7 @@ func (a *API) QueryPerformanceCounter(count *int64) bool {
 	buf := make([]byte, 8)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("QueryPerformanceCounter", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return false
@@ -284,7 +284,7 @@ func (a *API) QueryPerformanceFrequency(freq *int64) bool {
 	buf := make([]byte, 8)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("QueryPerformanceFrequency", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return false
@@ -312,7 +312,7 @@ func (a *API) GetCPInfo(codePage uint32, maxCharSize *uint32) bool {
 	buf := make([]byte, 20)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{uint64(codePage), addr}
+	raw := a.p.Raw(uint64(codePage), addr)
 	a.syscall("GetCPInfo", raw)
 	if _, ok := a.mustBuf(raw[1]); !ok {
 		return false
@@ -330,7 +330,7 @@ func (a *API) GetComputerNameA(name *string) bool {
 	cellAddr, _, releaseCell := a.outCell()
 	defer a.p.Addr().Release(outAddr)
 	defer releaseCell()
-	raw := []uint64{outAddr, cellAddr}
+	raw := a.p.Raw(outAddr, cellAddr)
 	a.syscall("GetComputerNameA", raw)
 	dst, ok := a.mustBuf(raw[0])
 	if !ok {
@@ -368,7 +368,7 @@ func (a *API) dirQuery(fn, path string, dir *string) uint32 {
 	out := make([]byte, 260)
 	outAddr := a.p.Addr().MapBuf(out)
 	defer a.p.Addr().Release(outAddr)
-	raw := []uint64{uint64(len(out)), outAddr}
+	raw := a.p.Raw(uint64(len(out)), outAddr)
 	a.syscall(fn, raw)
 	dst, ok := a.mustBuf(raw[1])
 	if !ok {
@@ -389,7 +389,7 @@ func (a *API) LstrlenA(s string) int32 {
 	ad := a.p.Addr()
 	addr := ad.MapStr(s)
 	defer ad.Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("lstrlenA", raw)
 	v, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -406,7 +406,7 @@ func (a *API) LstrcpyA(src string) (string, bool) {
 	srcAddr := ad.MapStr(src)
 	defer ad.Release(dstAddr)
 	defer ad.Release(srcAddr)
-	raw := []uint64{dstAddr, srcAddr}
+	raw := a.p.Raw(dstAddr, srcAddr)
 	a.syscall("lstrcpyA", raw)
 	if _, ok := a.mustBuf(raw[0]); !ok {
 		return "", false
@@ -426,7 +426,7 @@ func (a *API) LstrcatA(dst, src string) (string, bool) {
 	srcAddr := ad.MapStr(src)
 	defer ad.Release(dstAddr)
 	defer ad.Release(srcAddr)
-	raw := []uint64{dstAddr, srcAddr}
+	raw := a.p.Raw(dstAddr, srcAddr)
 	a.syscall("lstrcatA", raw)
 	d, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -448,7 +448,7 @@ func (a *API) LstrcmpiA(s1, s2 string) int32 {
 	a2 := ad.MapStr(s2)
 	defer ad.Release(a1)
 	defer ad.Release(a2)
-	raw := []uint64{a1, a2}
+	raw := a.p.Raw(a1, a2)
 	a.syscall("lstrcmpiA", raw)
 	v1, _ := a.probeStr(raw[0])
 	v2, _ := a.probeStr(raw[1])
@@ -463,7 +463,7 @@ func (a *API) MultiByteToWideChar(codePage uint32, s string) int32 {
 	out := make([]byte, 2*len(s)+2)
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(outAddr)
-	raw := []uint64{uint64(codePage), 0, srcAddr, uint64(len(s)), outAddr, uint64(len(s) + 1)}
+	raw := a.p.Raw(uint64(codePage), 0, srcAddr, uint64(len(s)), outAddr, uint64(len(s)+1))
 	a.syscall("MultiByteToWideChar", raw)
 	v, res := a.probeStr(raw[2])
 	if res == ptrNull {
@@ -485,7 +485,7 @@ func (a *API) WideCharToMultiByte(codePage uint32, s string) int32 {
 	out := make([]byte, len(s)+1)
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(outAddr)
-	raw := []uint64{uint64(codePage), 0, srcAddr, uint64(len(s)), outAddr, uint64(len(s) + 1), 0, 0}
+	raw := a.p.Raw(uint64(codePage), 0, srcAddr, uint64(len(s)), outAddr, uint64(len(s)+1), 0, 0)
 	a.syscall("WideCharToMultiByte", raw)
 	v, res := a.probeStr(raw[2])
 	if res == ptrNull {
@@ -505,7 +505,7 @@ func (a *API) OutputDebugStringA(msg string) {
 	ad := a.p.Addr()
 	addr := ad.MapStr(msg)
 	defer ad.Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("OutputDebugStringA", raw)
 	v, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -520,7 +520,7 @@ func (a *API) FormatMessageA(flags uint32, code uint32) string {
 	out := make([]byte, 256)
 	outAddr := a.p.Addr().MapBuf(out)
 	defer a.p.Addr().Release(outAddr)
-	raw := []uint64{uint64(flags), 0, uint64(code), 0, outAddr, uint64(len(out)), 0}
+	raw := a.p.Raw(uint64(flags), 0, uint64(code), 0, outAddr, uint64(len(out)), 0)
 	a.syscall("FormatMessageA", raw)
 	if _, ok := a.mustBuf(raw[4]); !ok {
 		return ""
@@ -573,7 +573,7 @@ func (a *API) TlsAlloc() uint32 {
 
 // TlsFree releases a TLS slot.
 func (a *API) TlsFree(idx uint32) bool {
-	raw := []uint64{uint64(idx)}
+	raw := a.p.Raw(uint64(idx))
 	a.syscall("TlsFree", raw)
 	st := a.tls()
 	if _, found := st.slots[uint32(raw[0])]; !found {
@@ -585,7 +585,7 @@ func (a *API) TlsFree(idx uint32) bool {
 
 // TlsSetValue stores a value in a TLS slot.
 func (a *API) TlsSetValue(idx uint32, value uint64) bool {
-	raw := []uint64{uint64(idx), value}
+	raw := a.p.Raw(uint64(idx), value)
 	a.syscall("TlsSetValue", raw)
 	st := a.tls()
 	if _, found := st.slots[uint32(raw[0])]; !found {
@@ -598,7 +598,7 @@ func (a *API) TlsSetValue(idx uint32, value uint64) bool {
 // TlsGetValue loads a value from a TLS slot (0 for unknown slots, with
 // last-error distinguishing, like Win32).
 func (a *API) TlsGetValue(idx uint32) uint64 {
-	raw := []uint64{uint64(idx)}
+	raw := a.p.Raw(uint64(idx))
 	a.syscall("TlsGetValue", raw)
 	st := a.tls()
 	v, found := st.slots[uint32(raw[0])]
@@ -626,7 +626,7 @@ func (a *API) GetPrivateProfileStringA(section, key, def, file string) string {
 	defer ad.Release(defAddr)
 	defer ad.Release(fileAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{secAddr, keyAddr, defAddr, outAddr, uint64(len(out)), fileAddr}
+	raw := a.p.Raw(secAddr, keyAddr, defAddr, outAddr, uint64(len(out)), fileAddr)
 	a.syscall("GetPrivateProfileStringA", raw)
 	sec, res := a.probeStr(raw[0])
 	if res == ptrNull {
@@ -664,7 +664,7 @@ func (a *API) GetPrivateProfileIntA(section, key string, def int32, file string)
 	defer ad.Release(secAddr)
 	defer ad.Release(keyAddr)
 	defer ad.Release(fileAddr)
-	raw := []uint64{secAddr, keyAddr, uint64(uint32(def)), fileAddr}
+	raw := a.p.Raw(secAddr, keyAddr, uint64(uint32(def)), fileAddr)
 	a.syscall("GetPrivateProfileIntA", raw)
 	sec, _ := a.probeStr(raw[0])
 	k, _ := a.probeStr(raw[1])
@@ -724,7 +724,7 @@ func iniLookup(text, section, key string) (string, bool) {
 
 // IsBadReadPtr reports whether a pointer range is unreadable (TRUE = bad).
 func (a *API) IsBadReadPtr(addr uint64, size uint32) bool {
-	raw := []uint64{addr, uint64(size)}
+	raw := a.p.Raw(addr, uint64(size))
 	a.syscall("IsBadReadPtr", raw)
 	_, _, ok := a.p.Addr().Buf(raw[0])
 	return !ok || raw[0] == 0
@@ -732,7 +732,7 @@ func (a *API) IsBadReadPtr(addr uint64, size uint32) bool {
 
 // IsBadWritePtr reports whether a pointer range is unwritable (TRUE = bad).
 func (a *API) IsBadWritePtr(addr uint64, size uint32) bool {
-	raw := []uint64{addr, uint64(size)}
+	raw := a.p.Raw(addr, uint64(size))
 	a.syscall("IsBadWritePtr", raw)
 	_, _, ok := a.p.Addr().Buf(raw[0])
 	return !ok || raw[0] == 0
@@ -740,7 +740,7 @@ func (a *API) IsBadWritePtr(addr uint64, size uint32) bool {
 
 // GetFileType classifies a handle (disk file vs pipe vs character device).
 func (a *API) GetFileType(h Handle) uint32 {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("GetFileType", raw)
 	switch a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
 	case *ntsim.OpenFile:
@@ -756,7 +756,7 @@ func (a *API) GetFileType(h Handle) uint32 {
 
 // SetHandleCount is a legacy no-op that returns its argument.
 func (a *API) SetHandleCount(n uint32) uint32 {
-	raw := []uint64{uint64(n)}
+	raw := a.p.Raw(uint64(n))
 	a.syscall("SetHandleCount", raw)
 	return uint32(raw[0])
 }
@@ -766,7 +766,7 @@ func (a *API) GlobalMemoryStatus(totalPhysKB *uint32) {
 	buf := make([]byte, 32)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("GlobalMemoryStatus", raw)
 	if _, res := a.buf(raw[0]); res == ptrWild {
 		a.av()
@@ -780,7 +780,7 @@ func (a *API) GlobalMemoryStatus(totalPhysKB *uint32) {
 func (a *API) DuplicateHandle(srcProc Handle, src Handle, dstProc Handle, dst *Handle) bool {
 	cellAddr, _, releaseCell := a.outCell()
 	defer releaseCell()
-	raw := []uint64{uint64(srcProc), uint64(src), uint64(dstProc), cellAddr, 0, 0, 0}
+	raw := a.p.Raw(uint64(srcProc), uint64(src), uint64(dstProc), cellAddr, 0, 0, 0)
 	a.syscall("DuplicateHandle", raw)
 	if _, ok := a.mustBuf(raw[3]); !ok {
 		return false

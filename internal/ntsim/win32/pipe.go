@@ -20,8 +20,8 @@ func (a *API) CreateNamedPipeA(name string, openMode, pipeMode, maxInstances uin
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr, uint64(openMode), uint64(pipeMode),
-		uint64(maxInstances), 0, 0, 0, 0}
+	raw := a.p.Raw(nameAddr, uint64(openMode), uint64(pipeMode),
+		uint64(maxInstances), 0, 0, 0, 0)
 	a.syscall("CreateNamedPipeA", raw)
 
 	path, res := a.str(raw[0])
@@ -43,7 +43,7 @@ func (a *API) CreateNamedPipeA(name string, openMode, pipeMode, maxInstances uin
 
 // ConnectNamedPipe blocks until a client connects to the instance.
 func (a *API) ConnectNamedPipe(h Handle) bool {
-	raw := []uint64{uint64(h), 0}
+	raw := a.p.Raw(uint64(h), 0)
 	a.syscall("ConnectNamedPipe", raw)
 	ps, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.PipeServer)
 	if !okh {
@@ -64,7 +64,7 @@ func (a *API) ConnectNamedPipe(h Handle) bool {
 
 // DisconnectNamedPipe drops the connected client from the instance.
 func (a *API) DisconnectNamedPipe(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("DisconnectNamedPipe", raw)
 	ps, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.PipeServer)
 	if !okh {
@@ -83,7 +83,7 @@ func (a *API) WaitNamedPipeA(name string, timeoutMS uint32) bool {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{nameAddr, uint64(timeoutMS)}
+	raw := a.p.Raw(nameAddr, uint64(timeoutMS))
 	a.syscall("WaitNamedPipeA", raw)
 
 	path, res := a.str(raw[0])
@@ -120,7 +120,7 @@ func (a *API) PeekNamedPipe(h Handle, avail *uint32) bool {
 	}
 	cellAddr, cellVal, releaseCell := a.outCell()
 	defer releaseCell()
-	raw := []uint64{uint64(h), 0, 0, 0, cellAddr, 0}
+	raw := a.p.Raw(uint64(h), 0, 0, 0, cellAddr, 0)
 	a.syscall("PeekNamedPipe", raw)
 	outBuf, res := a.buf(raw[4])
 	if res == ptrWild {

@@ -38,7 +38,7 @@ func (a *API) CreateProcessA(appName, cmdLine string, si *StartupInfo, pi *Proce
 	piAddr := ad.MapBuf(piBuf)
 	defer ad.Release(piAddr)
 
-	raw := []uint64{appAddr, cmdAddr, 0, 0, 0, 0, 0, 0, siAddr, piAddr}
+	raw := a.p.Raw(appAddr, cmdAddr, 0, 0, 0, 0, 0, 0, siAddr, piAddr)
 	a.syscall("CreateProcessA", raw)
 
 	app, appRes := a.str(raw[0])
@@ -87,7 +87,7 @@ func (a *API) CreateProcessA(appName, cmdLine string, si *StartupInfo, pi *Proce
 // that has already exited fails with ERROR_INVALID_PARAMETER, exactly like
 // NT once the PID has been released — the race that undoes Watchd1 (§4.3).
 func (a *API) OpenProcess(access uint32, inherit bool, pid ntsim.PID) Handle {
-	raw := []uint64{uint64(access), b2r(inherit), uint64(pid)}
+	raw := a.p.Raw(uint64(access), b2r(inherit), uint64(pid))
 	a.syscall("OpenProcess", raw)
 	target := a.k.Process(ntsim.PID(uint32(raw[2])))
 	if target == nil || target.Terminated() {
@@ -109,7 +109,7 @@ func (a *API) GetCurrentProcessId() ntsim.PID {
 func (a *API) GetExitCodeProcess(h Handle, code *uint32) bool {
 	cellAddr, cellVal, releaseCell := a.outCell()
 	defer releaseCell()
-	raw := []uint64{uint64(h), cellAddr}
+	raw := a.p.Raw(uint64(h), cellAddr)
 	a.syscall("GetExitCodeProcess", raw)
 	outBuf, okb := a.mustBuf(raw[1])
 	if !okb {
@@ -145,7 +145,7 @@ func (a *API) exitCodeOf(po *ntsim.ProcessObject) uint32 {
 
 // TerminateProcess forcibly ends the target process.
 func (a *API) TerminateProcess(h Handle, exitCode uint32) bool {
-	raw := []uint64{uint64(h), uint64(exitCode)}
+	raw := a.p.Raw(uint64(h), uint64(exitCode))
 	a.syscall("TerminateProcess", raw)
 	po, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.ProcessObject)
 	if !okh {
@@ -166,7 +166,7 @@ func (a *API) TerminateProcess(h Handle, exitCode uint32) bool {
 
 // ExitProcess terminates the calling process. It does not return.
 func (a *API) ExitProcess(code uint32) {
-	raw := []uint64{uint64(code)}
+	raw := a.p.Raw(uint64(code))
 	a.syscall("ExitProcess", raw)
 	a.p.Exit(uint32(raw[0]))
 }
@@ -174,7 +174,7 @@ func (a *API) ExitProcess(code uint32) {
 // WaitForSingleObject blocks until the object is signaled or the timeout
 // elapses.
 func (a *API) WaitForSingleObject(h Handle, timeoutMS uint32) uint32 {
-	raw := []uint64{uint64(h), uint64(timeoutMS)}
+	raw := a.p.Raw(uint64(h), uint64(timeoutMS))
 	a.syscall("WaitForSingleObject", raw)
 	w, okh := a.p.ResolveWaitable(ntsim.Handle(uint32(raw[0])))
 	if !okh {
@@ -187,7 +187,7 @@ func (a *API) WaitForSingleObject(h Handle, timeoutMS uint32) uint32 {
 // WaitForMultipleObjects waits for any (waitAll=false) of the handles.
 // bWaitAll=TRUE is not used by the simulated programs and is rejected.
 func (a *API) WaitForMultipleObjects(handles []Handle, waitAll bool, timeoutMS uint32) uint32 {
-	raw := []uint64{uint64(len(handles)), 0, b2r(waitAll), uint64(timeoutMS)}
+	raw := a.p.Raw(uint64(len(handles)), 0, b2r(waitAll), uint64(timeoutMS))
 	a.syscall("WaitForMultipleObjects", raw)
 	if boolArg(raw[2]) {
 		a.fail(ntsim.ErrNotSupported)
@@ -213,7 +213,7 @@ func (a *API) WaitForMultipleObjects(handles []Handle, waitAll bool, timeoutMS u
 // Sleep suspends the calling process for the given milliseconds of virtual
 // time. Sleep(INFINITE) parks the process forever (hang).
 func (a *API) Sleep(ms uint32) {
-	raw := []uint64{uint64(ms)}
+	raw := a.p.Raw(uint64(ms))
 	a.syscall("Sleep", raw)
 	ms = uint32(raw[0])
 	if ms == Infinite {
@@ -242,7 +242,7 @@ func (a *API) GetStartupInfoA(si *StartupInfo) {
 	buf := make([]byte, 68)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("GetStartupInfoA", raw)
 	if _, res := a.buf(raw[0]); res == ptrWild {
 		a.av()
@@ -261,7 +261,7 @@ func (a *API) GetEnvironmentVariableA(name string, value *string) uint32 {
 	out := make([]byte, 256)
 	outAddr := ad.MapBuf(out)
 	defer ad.Release(outAddr)
-	raw := []uint64{nameAddr, outAddr, uint64(len(out))}
+	raw := a.p.Raw(nameAddr, outAddr, uint64(len(out)))
 	a.syscall("GetEnvironmentVariableA", raw)
 	key, res := a.str(raw[0])
 	switch res {
@@ -297,7 +297,7 @@ func (a *API) SetEnvironmentVariableA(name, value string) bool {
 	valAddr := ad.MapStr(value)
 	defer ad.Release(nameAddr)
 	defer ad.Release(valAddr)
-	raw := []uint64{nameAddr, valAddr}
+	raw := a.p.Raw(nameAddr, valAddr)
 	a.syscall("SetEnvironmentVariableA", raw)
 	key, res := a.str(raw[0])
 	switch res {

@@ -12,7 +12,7 @@ func (a *API) CreateEventA(manualReset, initialState bool, name string) Handle {
 		nameAddr = ad.MapStr(name)
 		defer ad.Release(nameAddr)
 	}
-	raw := []uint64{0, b2r(manualReset), b2r(initialState), nameAddr}
+	raw := a.p.Raw(0, b2r(manualReset), b2r(initialState), nameAddr)
 	a.syscall("CreateEventA", raw)
 	if raw[0] != 0 {
 		// lpEventAttributes corrupted to a non-NULL garbage pointer:
@@ -47,7 +47,7 @@ func (a *API) OpenEventA(access uint32, inherit bool, name string) Handle {
 	ad := a.p.Addr()
 	nameAddr := ad.MapStr(name)
 	defer ad.Release(nameAddr)
-	raw := []uint64{uint64(access), b2r(inherit), nameAddr}
+	raw := a.p.Raw(uint64(access), b2r(inherit), nameAddr)
 	a.syscall("OpenEventA", raw)
 	objName, res := a.str(raw[2])
 	switch res {
@@ -73,7 +73,7 @@ func (a *API) OpenEventA(access uint32, inherit bool, name string) Handle {
 
 // SetEvent signals an event object.
 func (a *API) SetEvent(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("SetEvent", raw)
 	ev, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Event)
 	if !okh {
@@ -85,7 +85,7 @@ func (a *API) SetEvent(h Handle) bool {
 
 // ResetEvent clears an event object.
 func (a *API) ResetEvent(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("ResetEvent", raw)
 	ev, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Event)
 	if !okh {
@@ -103,7 +103,7 @@ func (a *API) CreateMutexA(initialOwner bool, name string) Handle {
 		nameAddr = ad.MapStr(name)
 		defer ad.Release(nameAddr)
 	}
-	raw := []uint64{0, b2r(initialOwner), nameAddr}
+	raw := a.p.Raw(0, b2r(initialOwner), nameAddr)
 	a.syscall("CreateMutexA", raw)
 	if raw[0] != 0 {
 		if _, res := a.buf(raw[0]); res != ptrResolved {
@@ -137,7 +137,7 @@ func (a *API) CreateMutexA(initialOwner bool, name string) Handle {
 
 // ReleaseMutex releases mutex ownership.
 func (a *API) ReleaseMutex(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("ReleaseMutex", raw)
 	m, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Mutex)
 	if !okh {
@@ -157,7 +157,7 @@ func (a *API) CreateSemaphoreA(initial, max int32, name string) Handle {
 		nameAddr = ad.MapStr(name)
 		defer ad.Release(nameAddr)
 	}
-	raw := []uint64{0, uint64(uint32(initial)), uint64(uint32(max)), nameAddr}
+	raw := a.p.Raw(0, uint64(uint32(initial)), uint64(uint32(max)), nameAddr)
 	a.syscall("CreateSemaphoreA", raw)
 	if raw[0] != 0 {
 		if _, res := a.buf(raw[0]); res != ptrResolved {
@@ -181,7 +181,7 @@ func (a *API) CreateSemaphoreA(initial, max int32, name string) Handle {
 
 // ReleaseSemaphore adds count to a semaphore.
 func (a *API) ReleaseSemaphore(h Handle, count int32, prev *int32) bool {
-	raw := []uint64{uint64(h), uint64(uint32(count)), 0}
+	raw := a.p.Raw(uint64(h), uint64(uint32(count)), 0)
 	a.syscall("ReleaseSemaphore", raw)
 	s, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Semaphore)
 	if !okh {
@@ -215,7 +215,7 @@ func (a *API) InitializeCriticalSection(cs *CriticalSection) {
 		cs.buf = make([]byte, 24)
 		cs.addr = a.p.Addr().MapBuf(cs.buf)
 	}
-	raw := []uint64{cs.addr}
+	raw := a.p.Raw(cs.addr)
 	a.syscall("InitializeCriticalSection", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -225,7 +225,7 @@ func (a *API) InitializeCriticalSection(cs *CriticalSection) {
 
 // EnterCriticalSection acquires the lock.
 func (a *API) EnterCriticalSection(cs *CriticalSection) {
-	raw := []uint64{cs.addr}
+	raw := a.p.Raw(cs.addr)
 	a.syscall("EnterCriticalSection", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -237,7 +237,7 @@ func (a *API) EnterCriticalSection(cs *CriticalSection) {
 
 // LeaveCriticalSection releases the lock.
 func (a *API) LeaveCriticalSection(cs *CriticalSection) {
-	raw := []uint64{cs.addr}
+	raw := a.p.Raw(cs.addr)
 	a.syscall("LeaveCriticalSection", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -246,7 +246,7 @@ func (a *API) LeaveCriticalSection(cs *CriticalSection) {
 
 // DeleteCriticalSection tears the lock down.
 func (a *API) DeleteCriticalSection(cs *CriticalSection) {
-	raw := []uint64{cs.addr}
+	raw := a.p.Raw(cs.addr)
 	a.syscall("DeleteCriticalSection", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -260,7 +260,7 @@ func (a *API) InterlockedIncrement(cell *int32) int32 {
 	buf := make([]byte, 4)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("InterlockedIncrement", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -274,7 +274,7 @@ func (a *API) InterlockedDecrement(cell *int32) int32 {
 	buf := make([]byte, 4)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr}
+	raw := a.p.Raw(addr)
 	a.syscall("InterlockedDecrement", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -288,7 +288,7 @@ func (a *API) InterlockedExchange(cell *int32, value int32) int32 {
 	buf := make([]byte, 4)
 	addr := a.p.Addr().MapBuf(buf)
 	defer a.p.Addr().Release(addr)
-	raw := []uint64{addr, uint64(uint32(value))}
+	raw := a.p.Raw(addr, uint64(uint32(value)))
 	a.syscall("InterlockedExchange", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()

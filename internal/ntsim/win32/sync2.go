@@ -9,7 +9,7 @@ import "ntdts/internal/ntsim"
 // the pulse are released (all for manual-reset, one for auto-reset), and
 // the event ends up non-signaled — the racy legacy primitive.
 func (a *API) PulseEvent(h Handle) bool {
-	raw := []uint64{uint64(h)}
+	raw := a.p.Raw(uint64(h))
 	a.syscall("PulseEvent", raw)
 	ev, okh := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(*ntsim.Event)
 	if !okh {
@@ -25,7 +25,7 @@ func (a *API) PulseEvent(h Handle) bool {
 // is always free — but the pointer still travels the injection path, and a
 // corrupted one faults.)
 func (a *API) TryEnterCriticalSection(cs *CriticalSection) bool {
-	raw := []uint64{cs.addr}
+	raw := a.p.Raw(cs.addr)
 	a.syscall("TryEnterCriticalSection", raw)
 	if _, res := a.buf(raw[0]); res != ptrResolved {
 		a.av()
@@ -39,7 +39,7 @@ func (a *API) TryEnterCriticalSection(cs *CriticalSection) bool {
 // SignalObjectAndWait signals one object and waits on another as a single
 // call: the handoff primitive monitoring loops use to avoid lost wakeups.
 func (a *API) SignalObjectAndWait(signal, wait Handle, timeoutMS uint32) uint32 {
-	raw := []uint64{uint64(signal), uint64(wait), uint64(timeoutMS), 0}
+	raw := a.p.Raw(uint64(signal), uint64(wait), uint64(timeoutMS), 0)
 	a.syscall("SignalObjectAndWait", raw)
 	switch obj := a.p.Resolve(ntsim.Handle(uint32(raw[0]))).(type) {
 	case *ntsim.Event:

@@ -19,8 +19,8 @@ func (a *API) GetVolumeInformationA(root string, label, fsName *string, serial *
 	defer ad.Release(fsAddr)
 	defer releaseSerial()
 
-	raw := []uint64{rootAddr, labelAddr, uint64(len(labelBuf)), serialAddr,
-		0, 0, fsAddr, uint64(len(fsBuf))}
+	raw := a.p.Raw(rootAddr, labelAddr, uint64(len(labelBuf)), serialAddr,
+		0, 0, fsAddr, uint64(len(fsBuf)))
 	a.syscall("GetVolumeInformationA", raw)
 
 	r, res := a.probeStr(raw[0])
@@ -70,7 +70,7 @@ func (a *API) GetTempFileNameA(dir, prefix string, unique uint32, name *string) 
 	defer ad.Release(dirAddr)
 	defer ad.Release(prefixAddr)
 	defer ad.Release(outAddr)
-	raw := []uint64{dirAddr, prefixAddr, uint64(unique), outAddr}
+	raw := a.p.Raw(dirAddr, prefixAddr, uint64(unique), outAddr)
 	a.syscall("GetTempFileNameA", raw)
 
 	d, res := a.probeStr(raw[0])

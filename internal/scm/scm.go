@@ -86,14 +86,20 @@ type Manager struct {
 	log      *eventlog.Log
 	services map[string]*service
 	stopped  bool
+
+	// tickFn is the housekeeping callback, bound once: rescheduling the
+	// method value m.tick directly would allocate a fresh closure every
+	// 500ms of virtual time, thousands per campaign.
+	tickFn func()
 }
 
 // New creates an SCM on the kernel, wiring its housekeeping tick to the
 // virtual clock, and registers it for in-simulation discovery.
 func New(k *ntsim.Kernel, log *eventlog.Log) *Manager {
 	m := &Manager{k: k, log: log, services: make(map[string]*service)}
+	m.tickFn = m.tick
 	k.RegisterNamed(kernelKey, m)
-	k.Clock().ScheduleAfter(pollInterval, m.tick)
+	k.Clock().ScheduleAfter(pollInterval, m.tickFn)
 	return m
 }
 
@@ -142,7 +148,7 @@ func (m *Manager) tick() {
 			svc.proc = nil
 		}
 	}
-	m.k.Clock().ScheduleAfter(pollInterval, m.tick)
+	m.k.Clock().ScheduleAfter(pollInterval, m.tickFn)
 }
 
 // locked reports whether the SCM database is locked (any service pending).
@@ -224,6 +230,10 @@ func (m *Manager) SetServiceStatus(name string, st State) error {
 		return ntsim.ErrServiceDoesNotExist
 	}
 	svc.state = st
+	// Harness loops poll service status between scheduling quanta; make
+	// sure the scheduler fast path yields at this exact boundary so they
+	// observe the transition where the slow path would have.
+	m.k.RequestAttention()
 	return nil
 }
 

@@ -27,6 +27,7 @@ func HeaderFor(r *core.Runner) journal.Header {
 		RunDeadlineNS:     int64(r.Opts.RunDeadline),
 		Telemetry:         r.Opts.Telemetry.Enabled,
 		TraceCapacity:     r.Opts.Telemetry.TraceCap,
+		FreshBoot:         r.Opts.FreshBoot,
 	}
 	if r.Def.Supervision == workload.Watchd {
 		h.WatchdVersion = int(r.Opts.WatchdVersion)
@@ -58,5 +59,9 @@ func RunnerFromHeader(h journal.Header) (*core.Runner, error) {
 	// The ring capacity shapes trace content, so the header's value wins
 	// over any local default.
 	opts.Telemetry = telemetry.Options{Enabled: h.Telemetry, TraceCap: h.TraceCapacity}
+	// Engine choice rides the header so shard workers (and resumes) run
+	// the same engine the coordinator was asked for; archives are
+	// byte-identical either way, only throughput differs.
+	opts.FreshBoot = h.FreshBoot
 	return core.NewRunner(def, opts), nil
 }

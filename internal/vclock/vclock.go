@@ -78,6 +78,13 @@ type Clock struct {
 	seq       uint64
 	nextID    EventID
 	cancelled map[EventID]bool
+
+	// free recycles fired event structs. A fault-injection run schedules
+	// tens of thousands of timer events (sleeps, timeouts, SCM ticks);
+	// recycling them keeps the per-event cost allocation-free after the
+	// first few. EventIDs stay monotone — only the structs are reused —
+	// so Cancel never aliases a recycled event.
+	free []*event
 }
 
 // New returns a Clock positioned at the simulation epoch.
@@ -85,8 +92,56 @@ func New() *Clock {
 	return &Clock{cancelled: make(map[EventID]bool)}
 }
 
+// Reset returns the clock to the simulation epoch with an empty queue,
+// retaining the event freelist and map capacity for reuse. The sequence
+// and ID counters restart from zero so a reset clock schedules events in
+// exactly the order a fresh one would — the property kernel pooling needs
+// for byte-identical replays.
+func (c *Clock) Reset() {
+	for _, e := range c.queue {
+		c.recycle(e)
+	}
+	c.queue = c.queue[:0]
+	c.now = 0
+	c.seq = 0
+	c.nextID = 0
+	clear(c.cancelled)
+}
+
+// recycle clears an event's callback and returns the struct to the freelist.
+func (c *Clock) recycle(e *event) {
+	e.fn = nil
+	c.free = append(c.free, e)
+}
+
+// newEvent takes an event struct from the freelist, or allocates one.
+func (c *Clock) newEvent() *event {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
+
+// Counters returns the clock's sequence and event-ID counters. Together
+// with Now they fully describe an event-free clock, so a prefix snapshot
+// can be restored onto a pooled clock with RestoreCounters.
+func (c *Clock) Counters() (seq uint64, nextID EventID) { return c.seq, c.nextID }
+
+// RestoreCounters positions an empty clock at a snapshot's time and
+// counters so that subsequent scheduling resumes with identical ordering
+// and IDs. It panics if events are still queued.
+func (c *Clock) RestoreCounters(now Time, seq uint64, nextID EventID) {
+	if len(c.queue) != 0 {
+		panic("vclock: RestoreCounters on a clock with queued events")
+	}
+	c.now, c.seq, c.nextID = now, seq, nextID
+}
 
 // Advance moves the clock forward by d without running any events.
 // It is used by the kernel to charge virtual-time costs to the running
@@ -106,7 +161,8 @@ func (c *Clock) ScheduleAt(t Time, fn func()) EventID {
 	}
 	c.seq++
 	c.nextID++
-	e := &event{when: t, seq: c.seq, fn: fn, id: c.nextID}
+	e := c.newEvent()
+	e.when, e.seq, e.fn, e.id = t, c.seq, fn, c.nextID
 	heap.Push(&c.queue, e)
 	return e.id
 }
@@ -154,7 +210,9 @@ func (c *Clock) RunNext() bool {
 	if e.when > c.now {
 		c.now = e.when
 	}
-	e.fn()
+	fn := e.fn
+	c.recycle(e)
+	fn()
 	return true
 }
 
@@ -182,6 +240,7 @@ func (c *Clock) drainCancelled() {
 	for len(c.queue) > 0 && c.cancelled[c.queue[0].id] {
 		e := heap.Pop(&c.queue).(*event)
 		delete(c.cancelled, e.id)
+		c.recycle(e)
 	}
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ntdts/internal/apps/apache"
@@ -55,6 +56,14 @@ func ParseSupervision(s string) (Supervision, error) {
 // StaticBody is the deterministic 115 kB HTML document both web servers
 // serve (the paper's first request type).
 func StaticBody() []byte {
+	return staticBody()
+}
+
+// staticBody memoizes the 115 KB document: StaticBody is on the per-run
+// hot path (every client carries it as its reply oracle), and its two
+// consumers never mutate it — VFS.WriteFile copies, the client only
+// bytes.Equal-compares.
+var staticBody = sync.OnceValue(func() []byte {
 	const target = 115 * 1024
 	body := make([]byte, 0, target)
 	body = append(body, []byte("<html><head><title>DTS test document</title></head><body>\n")...)
@@ -65,7 +74,7 @@ func StaticBody() []byte {
 	}
 	body = append(body, []byte("</table></body></html>")...)
 	return body[:target]
-}
+})
 
 // SQLQuery is the SqlClient's single-table select (paper §4).
 const SQLQuery = "SELECT customer, total FROM orders WHERE total >= 100"

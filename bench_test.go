@@ -10,6 +10,7 @@
 package ntdts_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"path/filepath"
@@ -29,6 +30,7 @@ import (
 	"ntdts/internal/sqlengine"
 	"ntdts/internal/telemetry"
 	"ntdts/internal/workload"
+	"ntdts/internal/workloadgen"
 )
 
 // BenchmarkTable1 regenerates Table 1: the number of activated KERNEL32
@@ -539,4 +541,39 @@ func BenchmarkAblationSkipModes(b *testing.B) {
 		b.ReportMetric(float64(len(fs.Runs)), "runs-calibrated")
 		b.ReportMetric(float64(len(ps.Runs)), "runs-paper-faithful")
 	}
+}
+
+// BenchmarkWorkloadGen measures statistical workload generation: sampling
+// a 10,000-request mixed cohort schedule and rendering its replay trace.
+// Generation must stay a negligible slice of campaign cost — the CI smoke
+// gate bounds gen-ms — and the trace byte count tracks the serialization
+// overhead a recorded campaign carries.
+func BenchmarkWorkloadGen(b *testing.B) {
+	spec, err := workloadgen.Parse("seed=42" +
+		";class=browser,clients=12,requests=500,arrival=poisson,rate=2,mix=static-115k:3/cgi-1k:1" +
+		";class=batch,clients=4,requests=800,arrival=gamma,rate=1,shape=0.5,mix=cgi-1k:1,mode=closed" +
+		";class=probe,clients=2,requests=400,arrival=weibull,rate=4,shape=0.8,mix=static-115k:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got := spec.TotalRequests(); got != 10_000 {
+		b.Fatalf("cohort sizes %d requests, want 10000", got)
+	}
+	var traceBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scheds, err := spec.Schedule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := workloadgen.WriteTrace(&buf, spec.String(), scheds); err != nil {
+			b.Fatal(err)
+		}
+		traceBytes = buf.Len()
+	}
+	sec := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(sec*1000, "gen-ms")
+	b.ReportMetric(float64(spec.TotalRequests())/sec, "requests/sec")
+	b.ReportMetric(float64(traceBytes), "trace-bytes")
 }

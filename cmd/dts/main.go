@@ -6,6 +6,8 @@
 //
 //	dts -config dts.cfg [-out results.json]
 //	dts -config dts.cfg -fault "ReadFile 1 1 flip" [-trace]
+//	dts -config dts.cfg -cohort "seed=42;class=..." [-workload-trace-out sched.wtrace]
+//	dts -config dts.cfg -workload-trace sched.wtrace
 //	dts -experiment table1|figure2|figure5 [-out results.json]
 //	dts -conformance [-golden path] [-update] [-sample n] [-seed n]
 //	dts ... [-trace-out trace.jsonl] [-metrics] [-trace-cap n]
@@ -29,6 +31,15 @@
 // itself with the internal -shard-worker flag); the merged archive,
 // trace, and metrics are byte-identical to the unsharded run, and a
 // worker that dies mid-shard is respawned with only its remaining specs.
+//
+// -cohort replaces the canned client with a generated multi-client cohort
+// (seeded arrival processes, per-class request mixes — see DESIGN.md §4h);
+// the campaign summary then includes a per-class reliability table.
+// -workload-trace-out records the generated schedule; -workload-trace
+// replays a recorded schedule as the campaign input. Both the spec and the
+// trace path ride the journal header, so shard workers and -resume rebuild
+// the identical schedule, and archives are byte-identical at any
+// -parallel/-shards setting and across record/replay.
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"syscall"
 
 	"ntdts/internal/apiharness"
+	"ntdts/internal/avail"
 	"ntdts/internal/config"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
@@ -55,6 +67,8 @@ import (
 	"ntdts/internal/shard"
 	"ntdts/internal/telemetry"
 	"ntdts/internal/vclock"
+	"ntdts/internal/workload"
+	"ntdts/internal/workloadgen"
 )
 
 func main() {
@@ -94,6 +108,9 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "fan the campaign out over this many worker processes (results byte-identical to unsharded; -parallel then sizes each worker's pool)")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout")
 	freshBoot := fs.Bool("fresh-boot", false, "boot a fresh kernel for every run instead of forking the boot-prefix snapshot (slower; archives are byte-identical either way)")
+	cohort := fs.String("cohort", "", `generated multi-client workload: a seeded cohort spec, e.g. "seed=42;class=browser,clients=4,requests=6,arrival=poisson,rate=2,mix=static-115k:3/cgi-1k:1" (same seed, same schedule at any -parallel/-shards)`)
+	workloadTrace := fs.String("workload-trace", "", "replay a recorded schedule trace (JSONL) as the client workload instead of the canned client")
+	workloadTraceOut := fs.String("workload-trace-out", "", "record the -cohort schedule to this trace file (replayable with -workload-trace)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (taken after the command finishes) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -157,6 +174,13 @@ func run(args []string, out io.Writer) error {
 	tflags := telemetryFlags{traceOut: *traceOut, metrics: *metrics, traceCap: *traceCap}
 	sflags := superviseFlags{journal: *journalPath, runDeadline: *runDeadline,
 		maxQuarantined: *maxQuarantined, retries: *retries, chaos: *chaos}
+	wflags := workloadFlags{cohort: *cohort, trace: *workloadTrace, traceOut: *workloadTraceOut}
+	if err := wflags.validate(); err != nil {
+		return err
+	}
+	if wflags.active() && (*experiment != "" || *conformance || *resume != "") {
+		return fmt.Errorf("-cohort/-workload-trace drive a -config campaign; they cannot combine with -experiment/-conformance (fixed workloads) or -resume (the journal header already names the schedule)")
+	}
 
 	var shardExec core.ShardExecutor
 	if *shards > 1 {
@@ -196,9 +220,9 @@ func run(args []string, out io.Writer) error {
 	case *experiment != "":
 		return runExperiment(*experiment, *outPath, ecfg, tflags, out)
 	case *cfgPath != "" && *faultSpec != "":
-		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, tflags, out)
+		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, wflags, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, tflags, sflags, progress, out)
+		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, wflags, tflags, sflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
@@ -212,6 +236,58 @@ func workerSpawner() shard.Spawner {
 		return shard.SelfExec("-test.run=TestHelperProcess", "--", "-shard-worker")
 	}
 	return shard.SelfExec("-shard-worker")
+}
+
+// workloadFlags carries the generated-workload flag family: -cohort
+// compiles a seeded statistical cohort onto the configured workload,
+// -workload-trace replays a recorded schedule instead, and
+// -workload-trace-out records the generated schedule for later replay.
+type workloadFlags struct {
+	cohort   string
+	trace    string
+	traceOut string
+}
+
+// active reports whether the campaign's client is generated rather than
+// canned.
+func (w workloadFlags) active() bool { return w.cohort != "" || w.trace != "" }
+
+// validate rejects contradictory combinations up front.
+func (w workloadFlags) validate() error {
+	if w.cohort != "" && w.trace != "" {
+		return fmt.Errorf("-cohort and -workload-trace are mutually exclusive (a trace already fixes the schedule)")
+	}
+	if w.traceOut != "" && w.cohort == "" {
+		return fmt.Errorf("-workload-trace-out records a generated schedule; it requires -cohort")
+	}
+	return nil
+}
+
+// apply swaps the definition's canned client for the requested generated
+// cohort or replayed trace, recording the -cohort schedule first when
+// -workload-trace-out asks for it.
+func (w workloadFlags) apply(def workload.Definition) (workload.Definition, error) {
+	switch {
+	case w.cohort != "":
+		spec, err := workloadgen.Parse(w.cohort)
+		if err != nil {
+			return workload.Definition{}, err
+		}
+		if w.traceOut != "" {
+			sched, serr := spec.Schedule()
+			if serr != nil {
+				return workload.Definition{}, serr
+			}
+			if terr := workloadgen.WriteTraceFile(w.traceOut, spec.String(), sched); terr != nil {
+				return workload.Definition{}, terr
+			}
+		}
+		return workloadgen.Compile(def, spec)
+	case w.trace != "":
+		return workloadgen.CompileTrace(def, w.trace)
+	default:
+		return def, nil
+	}
 }
 
 // telemetryFlags carries the -trace-out/-metrics/-trace-cap triple. Either
@@ -254,7 +330,7 @@ func (t telemetryFlags) emit(set *telemetry.Set, out io.Writer) error {
 
 // runSingleFault replays one fault with full result detail — the paper's
 // "individual fault injection runs provide reproducible feedback" workflow.
-func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, tflags telemetryFlags, out io.Writer) error {
+func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, wflags workloadFlags, tflags telemetryFlags, out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -266,6 +342,9 @@ func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, tflags tel
 	}
 	def, err := cfg.Definition()
 	if err != nil {
+		return err
+	}
+	if def, err = wflags.apply(def); err != nil {
 		return err
 	}
 	specs, err := config.ParseFaultList(strings.NewReader(faultSpec))
@@ -385,7 +464,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
+func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -397,6 +476,9 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 	}
 	def, err := cfg.Definition()
 	if err != nil {
+		return err
+	}
+	if def, err = wflags.apply(def); err != nil {
 		return err
 	}
 	opts := core.DefaultRunnerOptions()
@@ -471,6 +553,9 @@ func printSetSummary(set *core.SetResult, out io.Writer) {
 		fmt.Fprintf(out, "  %-22s %5d (%.1f%%)\n", o, d.Counts[o.String()], d.Pct[o.String()])
 	}
 	fmt.Fprint(out, "\n", report.TopFailures(set, 20))
+	if perClass := report.PerClass(set, avail.EstimateClasses(set, avail.DefaultAssumptions())); perClass != "" {
+		fmt.Fprint(out, "\n", perClass)
+	}
 }
 
 // saveSet archives one workload set.

@@ -84,6 +84,8 @@ func journalHeader(cfg config.Main, def workload.Definition, opts core.RunnerOpt
 	if def.Supervision == workload.Watchd {
 		h.WatchdVersion = int(opts.WatchdVersion)
 	}
+	h.Cohort = def.Cohort
+	h.WorkloadTrace = def.WorkloadTrace
 	return h
 }
 

@@ -105,6 +105,9 @@ func run(args []string) error {
 			fmt.Printf("PARTIAL results: the campaign was stopped before completing its plan\n")
 		}
 		fmt.Print(report.TopFailures(archive.Set, 50))
+		if perClass := report.PerClass(archive.Set, avail.EstimateClasses(archive.Set, avail.DefaultAssumptions())); perClass != "" {
+			fmt.Print("\n", perClass)
+		}
 		if len(archive.Set.Quarantined) != 0 {
 			fmt.Print("\n", report.Quarantine(archive.Set.Quarantined))
 		}

@@ -240,3 +240,66 @@ func TestCorruptInputsExitDistinctly(t *testing.T) {
 		t.Error("bogus artifact accepted")
 	}
 }
+
+// TestRenderSetWithClasses checks that a generated-cohort set archive
+// renders the per-class reliability table between the failure list and
+// the quarantine section.
+func TestRenderSetWithClasses(t *testing.T) {
+	set := &core.SetResult{Workload: "Apache1", Supervision: "none", ActivatedFns: 5}
+	for i := 0; i < 3; i++ {
+		set.Runs = append(set.Runs, core.RunResult{
+			Fault:     inject.FaultSpec{Function: "F", Param: i, Invocation: 1, Type: inject.ZeroBits},
+			Injected:  true,
+			Outcome:   core.NormalSuccess,
+			Completed: true,
+			Classes: []core.ClassOutcome{
+				{Class: "browser", Clients: 5, Requests: 30, Succeeded: 27, Responded: 30,
+					Recoveries: 3, RecoverySecSum: 45, ResponseSecSum: 90},
+			},
+		})
+	}
+	path := filepath.Join(t.TempDir(), "set.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&experiments.Archive{Kind: "set", Set: set}).Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got := captureStdout(t, func() {
+		if err := run([]string{"-in", path}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"Per-class reliability, Apache1/none", "browser", "0.9000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("set rendering missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		b.ReadFrom(r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	return out
+}

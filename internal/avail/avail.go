@@ -184,6 +184,67 @@ func EstimateSet(set *core.SetResult, a Assumptions) (Estimate, error) {
 	}, nil
 }
 
+// ClassEstimate is the per-traffic-class verdict for a generated-cohort
+// campaign: the measured request-level reliability plus the same
+// renewal-model availability the set-level estimate uses, fed with the
+// class's own recovery measurements.
+type ClassEstimate struct {
+	Class string
+	// MeasuredAvailability and ErrorRate are the request-level success
+	// and failure fractions DTS observed for the class under injection.
+	MeasuredAvailability float64
+	ErrorRate            float64
+	// MeanRecovery is the class's mean failure-to-next-success gap;
+	// Unrecovered counts failures the class never came back from within
+	// their runs (each charged a manual repair in the model).
+	MeanRecovery time.Duration
+	Unrecovered  int
+	// Availability, NinesCount and AnnualDown are the renewal-model
+	// outputs under the operator assumptions.
+	Availability float64
+	NinesCount   float64
+	AnnualDown   time.Duration
+}
+
+// EstimateClasses computes one estimate per traffic class of a
+// generated-cohort campaign (nil for canned-client sets). Each class's
+// expected outage per activated fault is its measured recovery time plus
+// a manual repair per unrecovered failure, averaged over the class's
+// injected runs — the per-class reading of the package's renewal model.
+func EstimateClasses(set *core.SetResult, a Assumptions) []ClassEstimate {
+	classes := set.ClassStats()
+	if len(classes) == 0 {
+		return nil
+	}
+	out := make([]ClassEstimate, 0, len(classes))
+	for _, c := range classes {
+		e := ClassEstimate{
+			Class:                c.Class,
+			MeasuredAvailability: c.Availability(),
+			ErrorRate:            c.ErrorRate(),
+			MeanRecovery:         time.Duration(c.MeanRecoverySec() * float64(time.Second)),
+			Unrecovered:          c.Unrecovered,
+		}
+		outageSec := 0.0
+		if c.Runs > 0 {
+			outageSec = (c.RecoverySecSum + float64(c.Unrecovered)*a.ManualRepair.Seconds()) / float64(c.Runs)
+		}
+		outagePerHour := a.FaultRatePerHour * outageSec / 3600
+		e.Availability = 1 / (1 + outagePerHour)
+		e.NinesCount = Nines(e.Availability)
+		e.AnnualDown = DowntimePerYear(e.Availability)
+		out = append(out, e)
+	}
+	return out
+}
+
+// String renders the per-class verdict on one line.
+func (e ClassEstimate) String() string {
+	return fmt.Sprintf("%s: measured availability %.4f (error rate %.4f), mean recovery %s, model availability %.6f (%.2f nines, %s downtime/year)",
+		e.Class, e.MeasuredAvailability, e.ErrorRate, e.MeanRecovery.Round(time.Millisecond),
+		e.Availability, e.NinesCount, e.AnnualDown.Round(time.Minute))
+}
+
 // String renders the estimate the way operators quote it.
 func (e Estimate) String() string {
 	return fmt.Sprintf("%s/%s: availability %.6f (%.2f nines, %s downtime/year)",

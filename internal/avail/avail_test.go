@@ -2,6 +2,7 @@ package avail
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -180,5 +181,78 @@ func TestHigherCoverageMoreNines(t *testing.T) {
 	}
 	if e2.Availability <= e1.Availability {
 		t.Fatalf("watchd availability %v not above standalone %v", e2.Availability, e1.Availability)
+	}
+}
+
+// classSet builds a cohort-campaign set: two injected runs, each carrying
+// the same per-class outcome, so the per-class aggregation and the model
+// inputs are hand-computable.
+func classSet() *core.SetResult {
+	web := core.ClassOutcome{Class: "web", Clients: 2, Requests: 10, Succeeded: 8,
+		Responded: 9, Recoveries: 1, RecoverySecSum: 30, Unrecovered: 1, ResponseSecSum: 20}
+	return &core.SetResult{
+		Workload: "Apache1", Supervision: "none",
+		Runs: []core.RunResult{
+			{Injected: true, Classes: []core.ClassOutcome{web}},
+			{Injected: true, Classes: []core.ClassOutcome{web}},
+		},
+	}
+}
+
+// TestEstimateClassesHandComputed pins the per-class renewal model
+// against a hand calculation.
+func TestEstimateClassesHandComputed(t *testing.T) {
+	a := Assumptions{FaultRatePerHour: 1, ManualRepair: time.Hour}
+	ests := EstimateClasses(classSet(), a)
+	if len(ests) != 1 {
+		t.Fatalf("%d estimates, want 1", len(ests))
+	}
+	e := ests[0]
+	if e.Class != "web" {
+		t.Fatalf("class %q", e.Class)
+	}
+	// 16 of 20 requests succeeded across the two runs.
+	if math.Abs(e.MeasuredAvailability-0.8) > 1e-9 || math.Abs(e.ErrorRate-0.2) > 1e-9 {
+		t.Fatalf("measured %v / %v", e.MeasuredAvailability, e.ErrorRate)
+	}
+	if e.MeanRecovery != 30*time.Second || e.Unrecovered != 2 {
+		t.Fatalf("recovery %v, unrecovered %d", e.MeanRecovery, e.Unrecovered)
+	}
+	// Outage per fault = (60s recovery + 2×3600s repair) / 2 runs = 3630s;
+	// at 1 fault/hour, A = 1/(1 + 3630/3600).
+	want := 1 / (1 + 3630.0/3600)
+	if math.Abs(e.Availability-want) > 1e-9 {
+		t.Fatalf("model availability %v, want %v", e.Availability, want)
+	}
+	if s := e.String(); !strings.Contains(s, "web:") || !strings.Contains(s, "mean recovery 30s") {
+		t.Fatalf("rendered estimate %q", s)
+	}
+}
+
+// TestEstimateClassesCanned pins the canned-client contract: a set with
+// no class data yields nil, so existing flows are untouched.
+func TestEstimateClassesCanned(t *testing.T) {
+	set := fakeSet(10, 20, 70, 15.0, 45.0)
+	if ests := EstimateClasses(set, DefaultAssumptions()); ests != nil {
+		t.Fatalf("canned set estimates = %+v, want nil", ests)
+	}
+	if ests := EstimateClasses(&core.SetResult{}, DefaultAssumptions()); ests != nil {
+		t.Fatalf("empty set estimates = %+v, want nil", ests)
+	}
+}
+
+// TestEstimateClassesPerfectClass covers the no-outage corner: a class
+// that never failed gets availability 1 (infinite nines, zero downtime).
+func TestEstimateClassesPerfectClass(t *testing.T) {
+	set := &core.SetResult{Runs: []core.RunResult{{Injected: true, Classes: []core.ClassOutcome{
+		{Class: "calm", Clients: 1, Requests: 5, Succeeded: 5, Responded: 5, ResponseSecSum: 5},
+	}}}}
+	ests := EstimateClasses(set, DefaultAssumptions())
+	if len(ests) != 1 {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	e := ests[0]
+	if e.Availability != 1 || !math.IsInf(e.NinesCount, 1) || e.AnnualDown != 0 {
+		t.Fatalf("perfect class estimate %+v", e)
 	}
 }

@@ -1,0 +1,195 @@
+package core
+
+// Per-traffic-class data collection. When a run's workload is a generated
+// cohort (internal/workloadgen), every request record carries its class
+// and client tags; this file folds those records into one ClassOutcome
+// per class so the reliability metrics the paper reports for the whole
+// client — availability, error rate, recovery time — can be broken out
+// per class ("did the fault hurt the browsers or the batch jobs?").
+
+import (
+	"sort"
+
+	"ntdts/internal/stats"
+	"ntdts/internal/workload"
+)
+
+// ClassOutcome is the collector's per-class summary for one run. Sums
+// (not means) are stored so campaign-level aggregation is exact: means
+// taken per run and then averaged would weight a 1-request class equally
+// with a 100-request one.
+type ClassOutcome struct {
+	// Class is the traffic-class name from the cohort spec.
+	Class string `json:"class"`
+	// Clients is how many distinct virtual clients of the class issued
+	// requests this run.
+	Clients int `json:"clients"`
+	// Requests counts the class's resolved requests.
+	Requests int `json:"requests"`
+	// Succeeded counts requests that eventually got a correct reply.
+	Succeeded int `json:"succeeded"`
+	// Responded counts requests that saw at least one complete (possibly
+	// wrong) reply — the wrong-reply vs no-reply split, per class.
+	Responded int `json:"responded"`
+	// Retried counts requests needing more than one attempt.
+	Retried int `json:"retried"`
+	// ResponseSecSum is the summed per-request latency (seconds).
+	ResponseSecSum float64 `json:"responseSecSum"`
+	// Recoveries counts failed requests after which the class saw a
+	// correct reply again; RecoverySecSum sums the time from each such
+	// failure to the class's next success (seconds).
+	Recoveries     int     `json:"recoveries,omitempty"`
+	RecoverySecSum float64 `json:"recoverySecSum,omitempty"`
+	// Unrecovered counts failed requests the class never recovered from
+	// within the run — no later success exists.
+	Unrecovered int `json:"unrecovered,omitempty"`
+}
+
+// classOutcomes folds a client report's tagged records into per-class
+// summaries, sorted by class name. Untagged records (canned clients)
+// yield nil, keeping canned-campaign archives byte-identical.
+func classOutcomes(report *workload.Report) []ClassOutcome {
+	byClass := make(map[string][]workload.RequestRecord)
+	for _, rec := range report.Requests {
+		if rec.Class == "" {
+			continue
+		}
+		byClass[rec.Class] = append(byClass[rec.Class], rec)
+	}
+	if len(byClass) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ClassOutcome, 0, len(names))
+	for _, name := range names {
+		recs := byClass[name]
+		co := ClassOutcome{Class: name, Requests: len(recs)}
+		clients := make(map[int]bool)
+		for _, rec := range recs {
+			clients[rec.Client] = true
+			if rec.Success {
+				co.Succeeded++
+			}
+			if rec.GotResponse {
+				co.Responded++
+			}
+			if rec.Retried {
+				co.Retried++
+			}
+			co.ResponseSecSum += rec.End.Sub(rec.Start).Seconds()
+		}
+		co.Clients = len(clients)
+		for _, rec := range recs {
+			if rec.Success {
+				continue
+			}
+			if rt, ok := recoveryAfter(recs, rec); ok {
+				co.Recoveries++
+				co.RecoverySecSum += rt
+			} else {
+				co.Unrecovered++
+			}
+		}
+		out = append(out, co)
+	}
+	return out
+}
+
+// ClassStats is a class's campaign-level aggregate: every injected run's
+// ClassOutcome for the class summed together, mirroring Distribution's
+// injected-runs-only scope.
+type ClassStats struct {
+	Class          string
+	Runs           int // injected runs in which the class issued requests
+	Requests       int
+	Succeeded      int
+	Responded      int
+	Retried        int
+	Recoveries     int
+	Unrecovered    int
+	ResponseSecSum float64
+	RecoverySecSum float64
+}
+
+// Availability is the class's success fraction across the campaign.
+func (c ClassStats) Availability() float64 { return stats.Availability(c.Succeeded, c.Requests) }
+
+// ErrorRate is the class's failed fraction.
+func (c ClassStats) ErrorRate() float64 { return stats.ErrorRate(c.Succeeded, c.Requests) }
+
+// MeanResponseSec is the class's mean per-request latency (0 with no
+// requests).
+func (c ClassStats) MeanResponseSec() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return c.ResponseSecSum / float64(c.Requests)
+}
+
+// MeanRecoverySec is the mean failure-to-next-success gap over the
+// recoveries that happened (0 when none did; Unrecovered counts the
+// failures that never came back).
+func (c ClassStats) MeanRecoverySec() float64 {
+	if c.Recoveries == 0 {
+		return 0
+	}
+	return c.RecoverySecSum / float64(c.Recoveries)
+}
+
+// ClassStats folds every injected run's per-class outcomes into one
+// aggregate per class, sorted by class name. Nil for canned-client
+// campaigns (no run carries class data).
+func (s *SetResult) ClassStats() []ClassStats {
+	byClass := make(map[string]*ClassStats)
+	for _, r := range s.Runs {
+		if !r.Injected {
+			continue
+		}
+		for _, co := range r.Classes {
+			cs := byClass[co.Class]
+			if cs == nil {
+				cs = &ClassStats{Class: co.Class}
+				byClass[co.Class] = cs
+			}
+			cs.Runs++
+			cs.Requests += co.Requests
+			cs.Succeeded += co.Succeeded
+			cs.Responded += co.Responded
+			cs.Retried += co.Retried
+			cs.Recoveries += co.Recoveries
+			cs.Unrecovered += co.Unrecovered
+			cs.ResponseSecSum += co.ResponseSecSum
+			cs.RecoverySecSum += co.RecoverySecSum
+		}
+	}
+	if len(byClass) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ClassStats, 0, len(names))
+	for _, name := range names {
+		out = append(out, *byClass[name])
+	}
+	return out
+}
+
+// recoveryAfter finds the class's first correct reply completing at or
+// after the failed request's end, returning the gap in seconds. Records
+// arrive in completion order (the cohort report appends as requests
+// resolve), so the first matching success is the earliest one.
+func recoveryAfter(recs []workload.RequestRecord, failed workload.RequestRecord) (float64, bool) {
+	for _, rec := range recs {
+		if rec.Success && !rec.End.Before(failed.End) {
+			return rec.End.Sub(failed.End).Seconds(), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ntdts/internal/vclock"
+	"ntdts/internal/workload"
+)
+
+// taggedRec builds one cohort-tagged request record ending at end.
+func taggedRec(class string, client int, success bool, end time.Duration) workload.RequestRecord {
+	return workload.RequestRecord{
+		Name:        "req",
+		Attempts:    1,
+		Success:     success,
+		GotResponse: success,
+		Start:       vclock.Time(end) - vclock.Time(time.Second),
+		End:         vclock.Time(end),
+		Class:       class,
+		Client:      client,
+	}
+}
+
+// TestClassOutcomesUntagged pins the canned-client contract: a report
+// whose records carry no class yields nil, so existing archives stay
+// byte-identical.
+func TestClassOutcomesUntagged(t *testing.T) {
+	rep := &workload.Report{Requests: []workload.RequestRecord{
+		{Name: "req", Success: true},
+		{Name: "req", Success: false},
+	}}
+	if got := classOutcomes(rep); got != nil {
+		t.Fatalf("classOutcomes = %+v, want nil for untagged records", got)
+	}
+	if got := classOutcomes(&workload.Report{}); got != nil {
+		t.Fatalf("classOutcomes(empty) = %+v, want nil", got)
+	}
+}
+
+// TestClassOutcomesGrouping checks the per-class fold: grouping, sorted
+// class order, distinct-client counting and the summed counters.
+func TestClassOutcomesGrouping(t *testing.T) {
+	rep := &workload.Report{Requests: []workload.RequestRecord{
+		taggedRec("web", 0, true, 2*time.Second),
+		taggedRec("web", 1, true, 3*time.Second),
+		taggedRec("web", 0, false, 4*time.Second),
+		taggedRec("batch", 0, true, 5*time.Second),
+	}}
+	rep.Requests[2].Retried = true
+	rep.Requests[2].GotResponse = true // wrong reply, not silence
+
+	got := classOutcomes(rep)
+	if len(got) != 2 {
+		t.Fatalf("%d classes, want 2", len(got))
+	}
+	if got[0].Class != "batch" || got[1].Class != "web" {
+		t.Fatalf("class order %q, %q — want sorted batch, web", got[0].Class, got[1].Class)
+	}
+	web := got[1]
+	if web.Clients != 2 || web.Requests != 3 || web.Succeeded != 2 || web.Responded != 3 || web.Retried != 1 {
+		t.Fatalf("web outcome %+v", web)
+	}
+	// Each record spans exactly one second.
+	if web.ResponseSecSum != 3 {
+		t.Fatalf("web.ResponseSecSum = %v, want 3", web.ResponseSecSum)
+	}
+	// The web failure at t=4s never sees a later success: unrecovered.
+	if web.Recoveries != 0 || web.Unrecovered != 1 {
+		t.Fatalf("web recovery %+v", web)
+	}
+}
+
+// TestClassOutcomesRecovery pins the recovery rule: the gap from a failed
+// request's end to the class's first success ending at-or-after it — a
+// success ending at the same instant counts, with a zero-length gap.
+func TestClassOutcomesRecovery(t *testing.T) {
+	rep := &workload.Report{Requests: []workload.RequestRecord{
+		taggedRec("c", 0, true, 5*time.Second),   // before the failure: not a recovery
+		taggedRec("c", 0, false, 10*time.Second), // recovers at t=25 (gap 15s)
+		taggedRec("c", 1, false, 25*time.Second), // recovers at t=25 (gap 0s)
+		taggedRec("c", 1, true, 25*time.Second),
+		taggedRec("c", 0, false, 30*time.Second), // no later success: unrecovered
+	}}
+	got := classOutcomes(rep)
+	if len(got) != 1 {
+		t.Fatalf("%d classes, want 1", len(got))
+	}
+	c := got[0]
+	if c.Recoveries != 2 || c.Unrecovered != 1 {
+		t.Fatalf("recoveries=%d unrecovered=%d, want 2, 1", c.Recoveries, c.Unrecovered)
+	}
+	if c.RecoverySecSum != 15 {
+		t.Fatalf("RecoverySecSum = %v, want 15 (15s + 0s)", c.RecoverySecSum)
+	}
+}
+
+// TestClassOutcomesAllFailed covers the worst case: every request of a
+// class fails, so availability is zero and nothing ever recovers.
+func TestClassOutcomesAllFailed(t *testing.T) {
+	rep := &workload.Report{Requests: []workload.RequestRecord{
+		taggedRec("doomed", 0, false, 2*time.Second),
+		taggedRec("doomed", 0, false, 4*time.Second),
+		taggedRec("doomed", 1, false, 6*time.Second),
+	}}
+	got := classOutcomes(rep)
+	c := got[0]
+	if c.Succeeded != 0 || c.Recoveries != 0 || c.Unrecovered != 3 {
+		t.Fatalf("all-failed outcome %+v", c)
+	}
+	cs := ClassStats{Class: c.Class, Runs: 1, Requests: c.Requests, Succeeded: c.Succeeded,
+		Unrecovered: c.Unrecovered}
+	if cs.Availability() != 0 || cs.ErrorRate() != 1 {
+		t.Fatalf("availability %v, error rate %v — want 0, 1", cs.Availability(), cs.ErrorRate())
+	}
+}
+
+// TestClassStatsAggregation checks the campaign fold: injected runs only,
+// summed across runs, sorted by class, nil when no run carries classes.
+func TestClassStatsAggregation(t *testing.T) {
+	web := ClassOutcome{Class: "web", Clients: 2, Requests: 10, Succeeded: 8,
+		Responded: 9, Retried: 1, Recoveries: 1, RecoverySecSum: 3, Unrecovered: 1,
+		ResponseSecSum: 20}
+	batch := ClassOutcome{Class: "batch", Clients: 1, Requests: 4, Succeeded: 4,
+		ResponseSecSum: 8}
+	set := &SetResult{Runs: []RunResult{
+		{Injected: true, Classes: []ClassOutcome{web, batch}},
+		{Injected: true, Classes: []ClassOutcome{web}},
+		{Injected: false, Classes: []ClassOutcome{web}}, // activated-only: excluded
+	}}
+
+	got := set.ClassStats()
+	if len(got) != 2 {
+		t.Fatalf("%d classes, want 2", len(got))
+	}
+	if got[0].Class != "batch" || got[1].Class != "web" {
+		t.Fatalf("order %q, %q", got[0].Class, got[1].Class)
+	}
+	b, w := got[0], got[1]
+	if b.Runs != 1 || b.Requests != 4 || b.Succeeded != 4 {
+		t.Fatalf("batch stats %+v", b)
+	}
+	if w.Runs != 2 || w.Requests != 20 || w.Succeeded != 16 || w.Retried != 2 ||
+		w.Recoveries != 2 || w.Unrecovered != 2 || w.RecoverySecSum != 6 {
+		t.Fatalf("web stats %+v", w)
+	}
+	if w.Availability() != 0.8 || w.MeanResponseSec() != 2 || w.MeanRecoverySec() != 3 {
+		t.Fatalf("web derived: avail %v, mean-resp %v, mean-recov %v",
+			w.Availability(), w.MeanResponseSec(), w.MeanRecoverySec())
+	}
+	// Perfect class: availability 1, and with no recoveries the mean is 0.
+	if b.Availability() != 1 || b.MeanRecoverySec() != 0 {
+		t.Fatalf("batch derived: avail %v, mean-recov %v", b.Availability(), b.MeanRecoverySec())
+	}
+
+	if canned := (&SetResult{Runs: []RunResult{{Injected: true}}}).ClassStats(); canned != nil {
+		t.Fatalf("canned-campaign ClassStats = %+v, want nil", canned)
+	}
+}
+
+// TestClassStatsEmptyClassConventions pins the zero-value conventions an
+// empty or degenerate class must follow: no requests means availability 1
+// (nothing owed, nothing missed) and zero means throughout.
+func TestClassStatsEmptyClassConventions(t *testing.T) {
+	var c ClassStats
+	if c.Availability() != 1 {
+		t.Fatalf("empty class availability %v, want 1", c.Availability())
+	}
+	if c.ErrorRate() != 0 || c.MeanResponseSec() != 0 || c.MeanRecoverySec() != 0 {
+		t.Fatalf("empty class rates: %v %v %v", c.ErrorRate(), c.MeanResponseSec(), c.MeanRecoverySec())
+	}
+}

@@ -31,6 +31,11 @@ type RunResult struct {
 	ServerCrash  bool             `json:"serverCrash"`  // a target process died abnormally
 	ActivatedFns int              `json:"activatedFns"` // distinct functions the target called
 
+	// Classes is the per-traffic-class breakdown when the workload ran a
+	// generated cohort (nil for canned single-client workloads, which
+	// keeps those archives byte-identical to earlier versions).
+	Classes []ClassOutcome `json:"classes,omitempty"`
+
 	// Retries counts abandoned supervisor attempts that preceded this
 	// recorded one; Quarantined marks a placeholder record for a run the
 	// supervisor gave up on after its retry budget. Both are zero/false on
@@ -113,6 +118,13 @@ func NewRunner(def workload.Definition, opts RunnerOptions) *Runner {
 	}
 	if opts.RunDeadline == 0 {
 		opts.RunDeadline = defaults.RunDeadline
+	}
+	// A generated cohort's offered load can exceed the single-client
+	// deadline; the definition carries the floor it needs (a pure
+	// function of the schedule, so every topology computes the same
+	// value and the journal header records it for shard workers).
+	if def.MinRunDeadline > opts.RunDeadline {
+		opts.RunDeadline = def.MinRunDeadline
 	}
 	if opts.WatchdVersion == 0 {
 		opts.WatchdVersion = defaults.WatchdVersion
@@ -349,6 +361,7 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 		tel.Observe(telemetry.HistRunResponse, report.End.Sub(report.Start))
 	}
 	res.Outcome = Classify(report.AllSucceeded(), report.AnyRetried(), res.Restarts)
+	res.Classes = classOutcomes(report)
 	res.ServerCrash = anyTargetCrash(k, def)
 	tel.Add(telemetry.CtrRunRestarts, int64(res.Restarts))
 	if report.AnyRetried() {

@@ -71,6 +71,14 @@ type Header struct {
 	TraceCapacity     int   `json:"traceCapacity,omitempty"`
 	FreshBoot         bool  `json:"freshBoot,omitempty"`
 
+	// Cohort and WorkloadTrace describe a generated-workload client:
+	// Cohort is the canonical workloadgen spec string, WorkloadTrace the
+	// schedule-trace file replayed as the client. At most one is set;
+	// both empty means the workload's canned client. They ride the header
+	// so shard workers and resumes rebuild the identical schedule.
+	Cohort        string `json:"cohort,omitempty"`
+	WorkloadTrace string `json:"workloadTrace,omitempty"`
+
 	FaultList string `json:"faultList,omitempty"` // source path, informational
 
 	WallDeadlineNS int64 `json:"wallDeadlineNS,omitempty"`

@@ -211,6 +211,39 @@ func Availability(ests []avail.Estimate) string {
 	return b.String()
 }
 
+// PerClass renders the per-traffic-class reliability table for a
+// generated-cohort campaign: measured availability, error rate and
+// recovery time per class, with the renewal-model availability verdict
+// alongside. Empty for canned-client sets (no class data).
+func PerClass(set *core.SetResult, ests []avail.ClassEstimate) string {
+	classes := set.ClassStats()
+	if len(classes) == 0 {
+		return ""
+	}
+	model := make(map[string]avail.ClassEstimate, len(ests))
+	for _, e := range ests {
+		model[e.Class] = e
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-class reliability, %s/%s (generated cohort)\n\n", set.Workload, set.Supervision)
+	fmt.Fprintf(&b, "%-12s %6s %8s %6s %13s %10s %12s %12s %6s %14s\n",
+		"class", "runs", "requests", "fail", "availability", "error-rate", "mean-resp", "mean-recov", "unrec", "model-avail")
+	for _, c := range classes {
+		failed := c.Requests - c.Succeeded
+		row := fmt.Sprintf("%-12s %6d %8d %6d %13.4f %10.4f %11.2fs %11.2fs %6d",
+			c.Class, c.Runs, c.Requests, failed,
+			c.Availability(), c.ErrorRate(), c.MeanResponseSec(), c.MeanRecoverySec(), c.Unrecovered)
+		if e, ok := model[c.Class]; ok {
+			row += fmt.Sprintf(" %14.6f", e.Availability)
+		} else {
+			row += fmt.Sprintf(" %14s", "-")
+		}
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // Transitions renders an outcome diff between two configurations — the
 // §4.3 study artifact (which faults a middleware change recovered or
 // broke).

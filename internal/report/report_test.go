@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ntdts/internal/avail"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
 	"ntdts/internal/inject"
@@ -139,5 +140,45 @@ func TestTopFailuresRendering(t *testing.T) {
 	}
 	if !strings.Contains(out, "no reply") {
 		t.Errorf("TopFailures reply kind:\n%s", out)
+	}
+}
+
+// TestPerClassRendering checks the generated-cohort table: one row per
+// class with the measured and model columns, and the canned-set contract
+// that no class data renders nothing at all.
+func TestPerClassRendering(t *testing.T) {
+	set := &core.SetResult{Workload: "Apache1", Supervision: "none", Runs: []core.RunResult{
+		{Injected: true, Classes: []core.ClassOutcome{
+			{Class: "batch", Clients: 3, Requests: 12, Succeeded: 12, Responded: 12, ResponseSecSum: 24},
+			{Class: "browser", Clients: 5, Requests: 30, Succeeded: 24, Responded: 27,
+				Retried: 3, Recoveries: 4, RecoverySecSum: 60, Unrecovered: 2, ResponseSecSum: 90},
+		}},
+	}}
+	ests := avail.EstimateClasses(set, avail.DefaultAssumptions())
+	out := PerClass(set, ests)
+	for _, want := range []string{
+		"Per-class reliability, Apache1/none",
+		"model-avail",
+		"batch",
+		"browser",
+		"0.8000", // browser availability: 24/30
+		"1.0000", // batch availability
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("per-class table missing %q:\n%s", want, out)
+		}
+	}
+	// Rows follow ClassStats order: batch sorts before browser.
+	if strings.Index(out, "batch") > strings.Index(out, "browser") {
+		t.Errorf("rows out of order:\n%s", out)
+	}
+	// A class absent from the estimates renders "-" in the model column.
+	if out := PerClass(set, nil); !strings.Contains(out, "-") {
+		t.Errorf("missing estimate not dashed:\n%s", out)
+	}
+
+	canned := fakeSet("IIS", "none", map[core.Outcome]int{core.NormalSuccess: 3})
+	if got := PerClass(canned, nil); got != "" {
+		t.Errorf("canned set rendered a per-class table:\n%s", got)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/telemetry"
 	"ntdts/internal/workload"
+	"ntdts/internal/workloadgen"
 )
 
 // HeaderFor records everything a worker process needs to rebuild r.
@@ -32,6 +33,8 @@ func HeaderFor(r *core.Runner) journal.Header {
 	if r.Def.Supervision == workload.Watchd {
 		h.WatchdVersion = int(r.Opts.WatchdVersion)
 	}
+	h.Cohort = r.Def.Cohort
+	h.WorkloadTrace = r.Def.WorkloadTrace
 	return h
 }
 
@@ -51,6 +54,28 @@ func RunnerFromHeader(h journal.Header) (*core.Runner, error) {
 	def, err := cfg.Definition()
 	if err != nil {
 		return nil, err
+	}
+	// A generated-workload header carries the schedule's provenance:
+	// replay the recorded trace when one is named (the trace is the source
+	// of truth — it may be hand-edited), else regenerate from the cohort
+	// spec string. Either way every worker and resume rebuilds the exact
+	// schedule the coordinator ran.
+	switch {
+	case h.WorkloadTrace != "":
+		def, err = workloadgen.CompileTrace(def, h.WorkloadTrace)
+		if err != nil {
+			return nil, err
+		}
+		def.Cohort = h.Cohort
+	case h.Cohort != "":
+		spec, perr := workloadgen.Parse(h.Cohort)
+		if perr != nil {
+			return nil, perr
+		}
+		def, err = workloadgen.Compile(def, spec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	opts := core.DefaultRunnerOptions()
 	opts.ServerUpTimeout = time.Duration(h.ServerUpTimeoutNS)

@@ -88,6 +88,23 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Availability is the success fraction succeeded/total in [0, 1]. An
+// empty sample reports 1: no requests were owed, none were missed — the
+// convention that keeps a class with no traffic from reading as an
+// outage.
+func Availability(succeeded, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(succeeded) / float64(total)
+}
+
+// ErrorRate is the complement of Availability: the failed fraction in
+// [0, 1], 0 for an empty sample.
+func ErrorRate(succeeded, total int) float64 {
+	return 1 - Availability(succeeded, total)
+}
+
 // Percent renders part/total as a percentage (0 when total is 0).
 func Percent(part, total int) float64 {
 	if total == 0 {

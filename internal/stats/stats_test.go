@@ -135,3 +135,29 @@ func TestPropertyWeightedPercentBetween(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAvailabilityErrorRate(t *testing.T) {
+	// No requests owed means none missed: availability 1, error rate 0.
+	if Availability(0, 0) != 1 || ErrorRate(0, 0) != 0 {
+		t.Fatalf("empty: %v, %v", Availability(0, 0), ErrorRate(0, 0))
+	}
+	if !almost(Availability(3, 4), 0.75) || !almost(ErrorRate(3, 4), 0.25) {
+		t.Fatalf("3/4: %v, %v", Availability(3, 4), ErrorRate(3, 4))
+	}
+	if Availability(0, 5) != 0 || ErrorRate(0, 5) != 1 {
+		t.Fatalf("all-failed: %v, %v", Availability(0, 5), ErrorRate(0, 5))
+	}
+	if Availability(5, 5) != 1 || ErrorRate(5, 5) != 0 {
+		t.Fatalf("perfect: %v, %v", Availability(5, 5), ErrorRate(5, 5))
+	}
+	// The two are complements for any sample.
+	if err := quick.Check(func(succeeded, total uint8) bool {
+		s, n := int(succeeded), int(total)
+		if s > n {
+			s, n = n, s
+		}
+		return almost(Availability(s, n)+ErrorRate(s, n), 1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,6 +56,13 @@ type RequestRecord struct {
 	GotResponse bool // at least one complete (possibly wrong) reply arrived
 	Start       vclock.Time
 	End         vclock.Time
+
+	// Class and Client identify the issuing virtual client when the
+	// workload runs a generated cohort (see Cohort). Canned single-client
+	// workloads leave Class empty, which downstream per-class aggregation
+	// treats as "no class data".
+	Class  string
+	Client int
 }
 
 // Report is the client program's output, read by the DTS data collector.
@@ -110,29 +117,53 @@ func clientMain(p *ntsim.Process, reqs []RequestSpec, report *Report) uint32 {
 	p.ChargeTime(clientStartupCPU)
 	for _, spec := range reqs {
 		rec := RequestRecord{Name: spec.Name, Start: k.Now()}
-		for attempt := 1; attempt <= MaxAttempts; attempt++ {
-			rec.Attempts = attempt
-			deadline := k.Now().Add(ReplyTimeout)
-			reply, complete := tryOnce(p, spec, deadline)
-			if complete {
-				rec.GotResponse = true
-				if bytes.Equal(reply, spec.Expected) {
-					rec.Success = true
-					break
-				}
-			}
-			if attempt < MaxAttempts {
-				p.SleepFor(RetryWait)
-			}
-		}
-		rec.Retried = rec.Attempts > 1
-		p.ChargeTime(perRequestCPU)
-		rec.End = k.Now()
+		runRequest(p, spec, &rec)
 		report.Requests = append(report.Requests, rec)
 	}
 	report.End = k.Now()
 	report.Done = true
 	return 0
+}
+
+// runRequest executes the paper's attempt/retry protocol for one request
+// and fills in the record's verdict fields. Shared by the canned clients
+// and the cohort clients so both observe faults identically.
+func runRequest(p *ntsim.Process, spec RequestSpec, rec *RequestRecord) {
+	runRequestOn(p, spec, rec, false)
+}
+
+// runRequestOn is runRequest with the client's host topology made
+// explicit. The canned client runs on the server host (remote=false), so
+// its per-request processing burns that host's CPU — the paper's
+// single-client setup. A cohort's virtual clients model the paper's
+// remote user population: their processing happens on their own machines,
+// so it must advance only their own timeline (a sleep), never stall the
+// server host — otherwise N clients' local work would serialize on the
+// simulated CPU and saturate the service they are merely observing.
+func runRequestOn(p *ntsim.Process, spec RequestSpec, rec *RequestRecord, remote bool) {
+	k := p.Kernel()
+	for attempt := 1; attempt <= MaxAttempts; attempt++ {
+		rec.Attempts = attempt
+		deadline := k.Now().Add(ReplyTimeout)
+		reply, complete := tryOnce(p, spec, deadline)
+		if complete {
+			rec.GotResponse = true
+			if bytes.Equal(reply, spec.Expected) {
+				rec.Success = true
+				break
+			}
+		}
+		if attempt < MaxAttempts {
+			p.SleepFor(RetryWait)
+		}
+	}
+	rec.Retried = rec.Attempts > 1
+	if remote {
+		p.SleepFor(perRequestCPU)
+	} else {
+		p.ChargeTime(perRequestCPU)
+	}
+	rec.End = k.Now()
 }
 
 // tryOnce makes a single attempt: connect (polling until the deadline) and

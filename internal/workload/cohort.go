@@ -1,0 +1,166 @@
+package workload
+
+// Multi-client cohort execution: a generated (or replayed) schedule of
+// virtual clients replaces the paper's canned single client. Each virtual
+// client is its own simulated process running the same attempt/retry
+// protocol as the canned client, so a cohort observes faults through
+// exactly the machinery the paper's clients did — there is just more of
+// it, shaped like production traffic. Schedules are data (class, client,
+// request kind, timing), produced by internal/workloadgen or replayed
+// from a workload trace; this file only executes them.
+
+import (
+	"fmt"
+	"time"
+
+	"ntdts/internal/ntsim"
+	"ntdts/internal/vclock"
+)
+
+// Step is one scheduled request for one virtual client.
+type Step struct {
+	// Request names a request kind in the Definition's catalog.
+	Request string
+	// At is the open-loop arrival offset from the cohort epoch (the
+	// virtual instant the cohort was spawned). The client starts the
+	// request at epoch+At, or immediately if it is running late — arrival
+	// order within a client is preserved, never reshuffled.
+	At time.Duration
+	// Think is the closed-loop think time: the client sleeps this long
+	// after its previous step completes before issuing the request.
+	Think time.Duration
+}
+
+// ClientSchedule is one virtual client's scripted session.
+type ClientSchedule struct {
+	// Class names the client's traffic class ("browser", "batch", ...).
+	Class string
+	// Client numbers the client within its class (0-based).
+	Client int
+	// Steps are issued strictly in order.
+	Steps []Step
+}
+
+// Cohort replaces def's canned client with a multi-client cohort running
+// the given schedule. Every step's request kind must exist in def's
+// catalog. The cohort client reports into one shared Report: records
+// append in completion order (deterministic under the virtual clock) and
+// carry their class/client tags, Done flips once every client finished.
+// The rest of the run lifecycle — outcome classification, middleware,
+// injection — is untouched, so campaigns swap clients without touching
+// core.
+func Cohort(def Definition, scheds []ClientSchedule) (Definition, error) {
+	if len(scheds) == 0 {
+		return Definition{}, fmt.Errorf("workload: empty cohort schedule")
+	}
+	for _, cs := range scheds {
+		if cs.Class == "" {
+			return Definition{}, fmt.Errorf("workload: cohort client %d has no class", cs.Client)
+		}
+		if len(cs.Steps) == 0 {
+			return Definition{}, fmt.Errorf("workload: cohort client %s/%d has no steps", cs.Class, cs.Client)
+		}
+		for _, st := range cs.Steps {
+			if _, ok := def.RequestByName(st.Request); !ok {
+				return Definition{}, fmt.Errorf("workload: request kind %q not in %s catalog", st.Request, def.Name)
+			}
+			if st.At < 0 || st.Think < 0 {
+				return Definition{}, fmt.Errorf("workload: negative schedule time for %s/%d", cs.Class, cs.Client)
+			}
+		}
+	}
+	out := def
+	out.MinRunDeadline = cohortDeadline(scheds)
+	out.SpawnClient = func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
+		report := &Report{}
+		epoch := k.Now()
+		report.Started = true
+		report.Start = epoch
+		remaining := len(scheds)
+		var first *ntsim.Process
+		for _, cs := range scheds {
+			cs := cs
+			image := fmt.Sprintf("wlclient-%s-%d.exe", cs.Class, cs.Client)
+			k.RegisterImage(image, func(p *ntsim.Process) uint32 {
+				cohortClientMain(p, def, cs, epoch, report)
+				// The kernel runs one process at a time, so the shared
+				// countdown needs no lock; the last client to finish
+				// seals the report.
+				remaining--
+				if remaining == 0 {
+					report.End = p.Kernel().Now()
+					report.Done = true
+				}
+				return 0
+			})
+			p, err := k.Spawn(image, image, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			if first == nil {
+				first = p
+			}
+		}
+		return first, report, nil
+	}
+	return out, nil
+}
+
+// cohortDeadline sizes the virtual-time budget a cohort run needs: every
+// client's startup cost, the schedule's own pacing (think times and the
+// latest arrival offset), and each request's worst case through the
+// paper's retry protocol — MaxAttempts reply timeouts plus the waits
+// between them. The default 150 s run deadline is calibrated for the
+// paper's single canned client; a many-client cohort executes serially on
+// the simulated CPU and would time out fault-free without this floor.
+// The floor is a pure function of the schedule, so every topology (and
+// every shard worker rebuilding the definition from the journal header)
+// computes the same deadline.
+func cohortDeadline(scheds []ClientSchedule) time.Duration {
+	worstRequest := perRequestCPU + MaxAttempts*ReplyTimeout + (MaxAttempts-1)*RetryWait
+	var budget, latest time.Duration
+	for _, cs := range scheds {
+		budget += clientStartupCPU
+		budget += time.Duration(len(cs.Steps)) * worstRequest
+		for _, st := range cs.Steps {
+			budget += st.Think
+			if st.At > latest {
+				latest = st.At
+			}
+		}
+	}
+	return budget + latest
+}
+
+// cohortClientMain is the virtual-client skeleton: pace through the
+// schedule (open-loop earliest-start and/or closed-loop think time),
+// issuing each request through the paper's attempt/retry protocol, and
+// append each record to the shared cohort report the moment it resolves —
+// so a run cut off by the deadline still reports everything that
+// completed.
+func cohortClientMain(p *ntsim.Process, def Definition, cs ClientSchedule, epoch vclock.Time, report *Report) {
+	k := p.Kernel()
+	// Remote client: startup happens on the client's own machine, so it
+	// advances this client's timeline without stalling the server host
+	// (see runRequestOn).
+	p.SleepFor(clientStartupCPU)
+	for _, st := range cs.Steps {
+		if st.Think > 0 {
+			p.SleepFor(st.Think)
+		}
+		if st.At > 0 {
+			if wake := epoch.Add(st.At); k.Now().Before(wake) {
+				p.SleepFor(wake.Sub(k.Now()))
+			}
+		}
+		spec, _ := def.RequestByName(st.Request)
+		rec := RequestRecord{
+			Name:   spec.Name,
+			Class:  cs.Class,
+			Client: cs.Client,
+			Start:  k.Now(),
+		}
+		runRequestOn(p, spec, &rec, true)
+		report.Requests = append(report.Requests, rec)
+	}
+}

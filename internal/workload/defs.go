@@ -97,6 +97,36 @@ type Definition struct {
 	// Supervision is the fault-tolerance configuration baked into the
 	// service command line.
 	Supervision Supervision
+	// Requests is the workload's request catalog: every request kind the
+	// target application serves, with its correctness oracle. The canned
+	// client issues them in order; a generated cohort draws on them by
+	// name (see Cohort).
+	Requests []RequestSpec
+
+	// Cohort is the canonical cohort-spec string this definition's client
+	// was generated from ("" for canned clients). It rides the journal
+	// header so shard workers and -resume rebuild the identical schedule.
+	Cohort string
+	// WorkloadTrace is the schedule-trace file this definition's client
+	// replays ("" when not trace-driven); like Cohort, it rides the
+	// journal header.
+	WorkloadTrace string
+	// MinRunDeadline is the virtual-time floor a run of this definition
+	// needs (0 = no constraint). Cohort sets it from the schedule's
+	// offered load; core.NewRunner raises RunDeadline to at least this
+	// floor so a healthy many-client run is never timed out by the
+	// single-client default.
+	MinRunDeadline time.Duration
+}
+
+// RequestByName finds a request kind in the definition's catalog.
+func (d Definition) RequestByName(name string) (RequestSpec, bool) {
+	for _, r := range d.Requests {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RequestSpec{}, false
 }
 
 // middlewareFlags renders the service command-line suffix for a
@@ -130,14 +160,15 @@ func httpRequests(cgiBody []byte) []RequestSpec {
 	}
 }
 
-// registerHTTPClient installs the HttpClient image on the kernel.
-func registerHTTPClient(k *ntsim.Kernel, cgiBody []byte) func(*ntsim.Kernel) (*ntsim.Process, *Report, error) {
+// spawnCannedClient builds the default SpawnClient: one client program
+// issuing the catalog's requests in order (the paper's workload shape).
+func spawnCannedClient(image string, reqs []RequestSpec) func(*ntsim.Kernel) (*ntsim.Process, *Report, error) {
 	return func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
 		report := &Report{}
-		k.RegisterImage("httpclient.exe", func(p *ntsim.Process) uint32 {
-			return clientMain(p, httpRequests(cgiBody), report)
+		k.RegisterImage(image, func(p *ntsim.Process) uint32 {
+			return clientMain(p, reqs, report)
 		})
-		p, err := k.Spawn("httpclient.exe", "httpclient.exe", 0)
+		p, err := k.Spawn(image, image, 0)
 		return p, report, err
 	}
 }
@@ -153,6 +184,7 @@ func NewApache2(s Supervision) Definition {
 }
 
 func newApache(name string, s Supervision, target inject.TargetSelector) Definition {
+	reqs := httpRequests(apache.CGIBody())
 	return Definition{
 		Name:        name,
 		Supervision: s,
@@ -168,14 +200,14 @@ func newApache(name string, s Supervision, target inject.TargetSelector) Definit
 			apache.Register(k, cfg)
 			k.VFS().WriteFile(cfg.DocRoot+`\index.html`, StaticBody())
 		},
-		SpawnClient: func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
-			return registerHTTPClient(k, apache.CGIBody())(k)
-		},
+		Requests:    reqs,
+		SpawnClient: spawnCannedClient("httpclient.exe", reqs),
 	}
 }
 
 // NewIIS is the IIS HTTP workload.
 func NewIIS(s Supervision) Definition {
+	reqs := httpRequests(iis.CGIBody())
 	return Definition{
 		Name:        "IIS",
 		Supervision: s,
@@ -191,14 +223,19 @@ func NewIIS(s Supervision) Definition {
 			iis.Register(k, cfg)
 			k.VFS().WriteFile(cfg.DocRoot+`\index.html`, StaticBody())
 		},
-		SpawnClient: func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
-			return registerHTTPClient(k, iis.CGIBody())(k)
-		},
+		Requests:    reqs,
+		SpawnClient: spawnCannedClient("httpclient.exe", reqs),
 	}
 }
 
 // NewSQL is the SQL Server workload.
 func NewSQL(s Supervision) Definition {
+	reqs := []RequestSpec{{
+		Name:     "select-orders",
+		PipePath: common.SQLPipe,
+		send:     sqlSend(SQLQuery),
+		Expected: sqlserver.ExpectedReply(SQLQuery),
+	}}
 	return Definition{
 		Name:        "SQL",
 		Supervision: s,
@@ -212,21 +249,8 @@ func NewSQL(s Supervision) Definition {
 		Setup: func(k *ntsim.Kernel) {
 			sqlserver.Register(k, sqlserver.DefaultConfig())
 		},
-		SpawnClient: func(k *ntsim.Kernel) (*ntsim.Process, *Report, error) {
-			report := &Report{}
-			expected := sqlserver.ExpectedReply(SQLQuery)
-			k.RegisterImage("sqlclient.exe", func(p *ntsim.Process) uint32 {
-				reqs := []RequestSpec{{
-					Name:     "select-orders",
-					PipePath: common.SQLPipe,
-					send:     sqlSend(SQLQuery),
-					Expected: expected,
-				}}
-				return clientMain(p, reqs, report)
-			})
-			p, err := k.Spawn("sqlclient.exe", "sqlclient.exe", 0)
-			return p, report, err
-		},
+		Requests:    reqs,
+		SpawnClient: spawnCannedClient("sqlclient.exe", reqs),
 	}
 }
 

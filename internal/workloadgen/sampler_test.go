@@ -1,0 +1,188 @@
+package workloadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// samplerPoints is the property-test grid: every arrival process at
+// three parameter points, with the distribution's true mean and variance
+// of the inter-arrival time (seconds) computed from the parameters.
+func samplerPoints() []struct {
+	name     string
+	arrival  Arrival
+	variance float64
+} {
+	weibullVar := func(rate, shape float64) float64 {
+		mean := 1 / rate
+		scale := mean / math.Gamma(1+1/shape)
+		return scale*scale*math.Gamma(1+2/shape) - mean*mean
+	}
+	return []struct {
+		name     string
+		arrival  Arrival
+		variance float64
+	}{
+		// Exponential: var = mean^2.
+		{"poisson-rate0.5", Arrival{Process: Poisson, Rate: 0.5}, 4},
+		{"poisson-rate2", Arrival{Process: Poisson, Rate: 2}, 0.25},
+		{"poisson-rate10", Arrival{Process: Poisson, Rate: 10}, 0.01},
+		// Gamma(k, θ=mean/k): var = kθ^2 = mean^2/k.
+		{"gamma-bursty", Arrival{Process: Gamma, Rate: 1, Shape: 0.5}, 2},
+		{"gamma-exp", Arrival{Process: Gamma, Rate: 2, Shape: 1}, 0.25},
+		{"gamma-smooth", Arrival{Process: Gamma, Rate: 0.5, Shape: 4}, 1},
+		// Weibull(k, λ=mean/Γ(1+1/k)): var = λ^2·Γ(1+2/k) − mean^2.
+		{"weibull-heavy", Arrival{Process: Weibull, Rate: 1, Shape: 0.7}, weibullVar(1, 0.7)},
+		{"weibull-exp", Arrival{Process: Weibull, Rate: 2, Shape: 1}, weibullVar(2, 1)},
+		{"weibull-smooth", Arrival{Process: Weibull, Rate: 0.5, Shape: 3}, weibullVar(0.5, 3)},
+	}
+}
+
+// TestSamplerMoments draws a large sample at every grid point and checks
+// the empirical mean and variance against the distribution's true
+// moments: the samplers must deliver the configured rate (mean = 1/Rate
+// for every process) and the shape-controlled burstiness.
+func TestSamplerMoments(t *testing.T) {
+	const n = 200_000
+	for _, tc := range samplerPoints() {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newClientRNG(1, tc.name, 0)
+			sum, sumSq := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				x := tc.arrival.sample(r)
+				if x <= 0 {
+					t.Fatalf("sample %d: %v <= 0", i, x)
+				}
+				sum += x
+				sumSq += x * x
+			}
+			mean := sum / n
+			wantMean := 1 / tc.arrival.Rate
+			if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.02 {
+				t.Errorf("mean %.5f, want %.5f (rel err %.3f)", mean, wantMean, rel)
+			}
+			variance := sumSq/n - mean*mean
+			if rel := math.Abs(variance-tc.variance) / tc.variance; rel > 0.06 {
+				t.Errorf("variance %.5f, want %.5f (rel err %.3f)", variance, tc.variance, rel)
+			}
+		})
+	}
+}
+
+// TestInterArrivalStrictlyPositive pins the quantization guarantee: no
+// inter-arrival duration is ever zero or negative, even at rates whose
+// samples routinely land under the microsecond grid.
+func TestInterArrivalStrictlyPositive(t *testing.T) {
+	points := samplerPoints()
+	// An absurdly fast class: most raw samples are < 1µs and must clamp
+	// up, never down.
+	points = append(points, struct {
+		name     string
+		arrival  Arrival
+		variance float64
+	}{"poisson-rate1e7", Arrival{Process: Poisson, Rate: 1e7}, 0})
+	for _, tc := range points {
+		r := newClientRNG(99, tc.name, 3)
+		for i := 0; i < 10_000; i++ {
+			if d := tc.arrival.interArrival(r); d <= 0 {
+				t.Fatalf("%s: interArrival %d = %v, want > 0", tc.name, i, d)
+			}
+		}
+	}
+}
+
+// TestScheduleMonotoneCumulative pins the open-loop invariant: each
+// client's arrival offsets are strictly increasing (strictly — ties are
+// impossible because inter-arrivals are strictly positive).
+func TestScheduleMonotoneCumulative(t *testing.T) {
+	for _, tc := range samplerPoints() {
+		spec := CohortSpec{Seed: 5, Classes: []ClassSpec{{
+			Name: "c", Clients: 3, Requests: 500,
+			Arrival: tc.arrival,
+			Mix:     []MixEntry{{Request: "req", Weight: 1}},
+		}}}
+		scheds, err := spec.Schedule()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, cs := range scheds {
+			prev := time.Duration(0)
+			for i, st := range cs.Steps {
+				if st.At <= prev {
+					t.Fatalf("%s client %d: At[%d]=%v <= At[%d]=%v", tc.name, cs.Client, i, st.At, i-1, prev)
+				}
+				prev = st.At
+			}
+		}
+	}
+}
+
+// TestSameSeedByteIdentical renders the same spec twice and demands
+// byte-identical traces; TestDifferentSeedDiverges demands that changing
+// only the seed changes the schedule.
+func TestSameSeedByteIdentical(t *testing.T) {
+	spec := mixedCohortSpec(42)
+	a := renderTrace(t, spec)
+	b := renderTrace(t, spec)
+	if a != b {
+		t.Fatal("same seed produced different trace bytes")
+	}
+}
+
+func TestDifferentSeedDiverges(t *testing.T) {
+	a := renderTrace(t, mixedCohortSpec(1))
+	b := renderTrace(t, mixedCohortSpec(2))
+	if a == b {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestClassStreamsIndependent pins the substream design: adding a class
+// to the cohort must not perturb an existing class's schedule.
+func TestClassStreamsIndependent(t *testing.T) {
+	browserOnly := CohortSpec{Seed: 7, Classes: []ClassSpec{browserClass()}}
+	withBatch := CohortSpec{Seed: 7, Classes: []ClassSpec{browserClass(), batchClass()}}
+	a, err := browserOnly.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := withBatch.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cs := range a {
+		if !schedulesEqual(cs, b[i]) {
+			t.Fatalf("browser client %d schedule changed when the batch class was added", cs.Client)
+		}
+	}
+}
+
+// TestArrivalValidate covers the parameter domain.
+func TestArrivalValidate(t *testing.T) {
+	bad := []Arrival{
+		{Process: Poisson, Rate: 0},
+		{Process: Poisson, Rate: -1},
+		{Process: Poisson, Rate: 2, Shape: 1}, // poisson takes no shape
+		{Process: Gamma, Rate: 1},             // shape required
+		{Process: Weibull, Rate: 1, Shape: -2},
+		{Process: 0, Rate: 1},
+		{Process: Poisson, Rate: math.NaN()},
+		{Process: Gamma, Rate: 1, Shape: math.Inf(1)},
+	}
+	for _, a := range bad {
+		if err := a.validate(); err == nil {
+			t.Errorf("validate(%+v) accepted an invalid arrival", a)
+		}
+	}
+	good := []Arrival{
+		{Process: Poisson, Rate: 2},
+		{Process: Gamma, Rate: 1, Shape: 0.5},
+		{Process: Weibull, Rate: 0.25, Shape: 3},
+	}
+	for _, a := range good {
+		if err := a.validate(); err != nil {
+			t.Errorf("validate(%+v): %v", a, err)
+		}
+	}
+}

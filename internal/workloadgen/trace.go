@@ -1,0 +1,224 @@
+package workloadgen
+
+// Workload traces: a generated schedule serialized to JSONL so it can be
+// recorded once and replayed as a first-class campaign input (dts
+// -workload-trace). The format deliberately mirrors internal/journal's
+// crash-shape rules: every record is one newline-terminated JSON line, a
+// torn *final* line (missing newline, or unparsable last line) is the
+// signature of a killed writer and reports ErrTorn, while an invalid
+// line anywhere before the tail is corruption and a hard error. Unlike
+// the journal, a torn trace is rejected rather than truncated — a
+// partial schedule would silently change the campaign's offered load.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ntdts/internal/workload"
+)
+
+// TraceVersion is the trace format version; readers reject others.
+const TraceVersion = 1
+
+// ErrTorn reports a trace whose final line is incomplete or unparsable —
+// a killed recorder, not corruption. Test with errors.Is.
+var ErrTorn = errors.New("workloadgen: trace torn at final line")
+
+// traceHeader is line 1 of every trace.
+type traceHeader struct {
+	Kind    string `json:"kind"` // "wtrace"
+	Version int    `json:"version"`
+	// Cohort is the canonical spec string the schedule was generated
+	// from, "" when unknown (e.g. a hand-written trace).
+	Cohort string `json:"cohort,omitempty"`
+}
+
+// traceStep is one scheduled request; lines are grouped by client, in
+// schedule order.
+type traceStep struct {
+	Kind    string `json:"kind"` // "step"
+	Class   string `json:"class"`
+	Client  int    `json:"client"`
+	Req     string `json:"req"`
+	AtNS    int64  `json:"atNS,omitempty"`
+	ThinkNS int64  `json:"thinkNS,omitempty"`
+}
+
+// WriteTrace serializes a schedule. cohort is the generating spec string
+// ("" if none). Output is canonical: rendering the same schedule always
+// produces identical bytes.
+func WriteTrace(w io.Writer, cohort string, scheds []workload.ClientSchedule) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Kind: "wtrace", Version: TraceVersion, Cohort: cohort}); err != nil {
+		return fmt.Errorf("workloadgen: trace write: %w", err)
+	}
+	for _, cs := range scheds {
+		for _, st := range cs.Steps {
+			line := traceStep{
+				Kind: "step", Class: cs.Class, Client: cs.Client, Req: st.Request,
+				AtNS: int64(st.At), ThinkNS: int64(st.Think),
+			}
+			if err := enc.Encode(line); err != nil {
+				return fmt.Errorf("workloadgen: trace write: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile records a schedule to path (truncating).
+func WriteTraceFile(path, cohort string, scheds []workload.ClientSchedule) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workloadgen: trace create: %w", err)
+	}
+	if err := WriteTrace(f, cohort, scheds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses a trace, returning the recorded cohort spec string
+// and the schedule. A torn final line reports ErrTorn; an invalid line
+// anywhere earlier, a duplicate header, a client whose lines are split
+// by another client's, or a negative/missing field is corruption and a
+// plain error.
+func ReadTrace(r io.Reader) (string, []workload.ClientSchedule, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("workloadgen: trace read: %w", err)
+	}
+	if len(data) == 0 {
+		return "", nil, fmt.Errorf("workloadgen: trace is empty")
+	}
+	torn := false
+	if data[len(data)-1] != '\n' {
+		// Missing final newline: the last Write was cut short. Drop the
+		// partial line and remember the tear.
+		torn = true
+		if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+			data = data[:i+1]
+		} else {
+			data = nil
+		}
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	lines = lines[:len(lines)-1] // trailing empty split after final newline
+	var (
+		header  *traceHeader
+		scheds  []workload.ClientSchedule
+		cur     *workload.ClientSchedule
+		seen    = map[[2]string]bool{} // class + client already closed out
+		lineErr = func(no int, format string, args ...any) error {
+			return fmt.Errorf("workloadgen: trace line %d: %s", no, fmt.Sprintf(format, args...))
+		}
+	)
+	clientKey := func(class string, client int) [2]string {
+		return [2]string{class, fmt.Sprint(client)}
+	}
+	for i, raw := range lines {
+		no := i + 1
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			if i == len(lines)-1 {
+				// Unparsable final line: same tear signature as a missing
+				// newline (journal semantics).
+				torn = true
+				break
+			}
+			return "", nil, lineErr(no, "corrupt: %v", err)
+		}
+		switch probe.Kind {
+		case "wtrace":
+			if no != 1 {
+				return "", nil, lineErr(no, "header after line 1")
+			}
+			var h traceHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return "", nil, lineErr(no, "corrupt header: %v", err)
+			}
+			if h.Version != TraceVersion {
+				return "", nil, lineErr(no, "version %d, want %d", h.Version, TraceVersion)
+			}
+			header = &h
+		case "step":
+			if header == nil {
+				return "", nil, lineErr(no, "step before header")
+			}
+			var st traceStep
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return "", nil, lineErr(no, "corrupt step: %v", err)
+			}
+			if st.Class == "" || st.Req == "" {
+				return "", nil, lineErr(no, "step missing class or req")
+			}
+			if st.Client < 0 || st.AtNS < 0 || st.ThinkNS < 0 {
+				return "", nil, lineErr(no, "negative client or time")
+			}
+			if cur == nil || cur.Class != st.Class || cur.Client != st.Client {
+				key := clientKey(st.Class, st.Client)
+				if seen[key] {
+					return "", nil, lineErr(no, "client %s/%d reappears after other clients — trace reordered or spliced", st.Class, st.Client)
+				}
+				seen[key] = true
+				scheds = append(scheds, workload.ClientSchedule{Class: st.Class, Client: st.Client})
+				cur = &scheds[len(scheds)-1]
+			}
+			cur.Steps = append(cur.Steps, workload.Step{
+				Request: st.Req,
+				At:      time.Duration(st.AtNS),
+				Think:   time.Duration(st.ThinkNS),
+			})
+		default:
+			return "", nil, lineErr(no, "unknown record kind %q", probe.Kind)
+		}
+	}
+	if torn {
+		return "", nil, ErrTorn
+	}
+	if header == nil {
+		return "", nil, fmt.Errorf("workloadgen: trace missing header")
+	}
+	if len(scheds) == 0 {
+		return "", nil, fmt.Errorf("workloadgen: trace has no steps")
+	}
+	return header.Cohort, scheds, nil
+}
+
+// ReadTraceFile parses a trace file.
+func ReadTraceFile(path string) (string, []workload.ClientSchedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("workloadgen: trace open: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// CompileTrace replays a recorded trace into base's client, stamping the
+// trace path on the definition so journal headers (and through them
+// shard workers and resumes) replay the same file. The recorded cohort
+// spec string is informational only — the trace, not the spec, is the
+// source of truth, so hand-edited traces replay exactly as written.
+func CompileTrace(base workload.Definition, path string) (workload.Definition, error) {
+	_, scheds, err := ReadTraceFile(path)
+	if err != nil {
+		return workload.Definition{}, err
+	}
+	def, err := workload.Cohort(base, scheds)
+	if err != nil {
+		return workload.Definition{}, err
+	}
+	def.WorkloadTrace = path
+	return def, nil
+}

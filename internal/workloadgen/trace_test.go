@@ -1,0 +1,232 @@
+package workloadgen
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ntdts/internal/workload"
+)
+
+// traceBytes renders the shared test cohort's trace.
+func traceBytes(t *testing.T, seed int64) string {
+	t.Helper()
+	return renderTrace(t, mixedCohortSpec(seed))
+}
+
+// TestTraceRoundTrip pins the serialization identity: write → read
+// recovers the exact schedule and cohort string, and re-rendering the
+// parsed schedule reproduces the bytes.
+func TestTraceRoundTrip(t *testing.T) {
+	spec := mixedCohortSpec(42)
+	scheds, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, spec.String(), scheds); err != nil {
+		t.Fatal(err)
+	}
+	cohort, got, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cohort != spec.String() {
+		t.Fatalf("cohort %q, want %q", cohort, spec.String())
+	}
+	if len(got) != len(scheds) {
+		t.Fatalf("%d schedules, want %d", len(got), len(scheds))
+	}
+	for i := range got {
+		if !schedulesEqual(got[i], scheds[i]) {
+			t.Fatalf("schedule %d differs after round trip", i)
+		}
+	}
+	var b2 strings.Builder
+	if err := WriteTrace(&b2, cohort, got); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Fatal("re-rendered trace bytes differ")
+	}
+}
+
+// TestTraceFileRoundTrip covers the file-shaped API used by dts.
+func TestTraceFileRoundTrip(t *testing.T) {
+	spec := mixedCohortSpec(9)
+	scheds, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sched.wtrace")
+	if err := WriteTraceFile(path, spec.String(), scheds); err != nil {
+		t.Fatal(err)
+	}
+	cohort, got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cohort != spec.String() || len(got) != len(scheds) {
+		t.Fatalf("round trip: cohort %q, %d schedules", cohort, len(got))
+	}
+}
+
+// TestTraceTornTail pins the journal-mirroring tear semantics: a
+// missing final newline or an unparsable final line reports ErrTorn.
+func TestTraceTornTail(t *testing.T) {
+	full := traceBytes(t, 1)
+	cases := map[string]string{
+		"truncated mid-line":            full[:len(full)-3],
+		"missing final newline":         strings.TrimRight(full, "\n"),
+		"garbage final line no newline": full + `{"kind":"st`,
+		"garbage final line newline":    full + "not json at all\n",
+	}
+	for name, data := range cases {
+		_, _, err := ReadTrace(strings.NewReader(data))
+		if !errors.Is(err, ErrTorn) {
+			t.Errorf("%s: err = %v, want ErrTorn", name, err)
+		}
+	}
+}
+
+// TestTraceMidFileCorruption pins the other half: damage anywhere before
+// the tail is corruption — a plain error, never ErrTorn.
+func TestTraceMidFileCorruption(t *testing.T) {
+	full := traceBytes(t, 1)
+	lines := strings.SplitAfter(full, "\n")
+	lines = lines[:len(lines)-1] // drop the empty split after the final newline
+	damage := func(mutate func([]string) []string) string {
+		cp := append([]string(nil), lines...)
+		return strings.Join(mutate(cp), "")
+	}
+	cases := map[string]string{
+		"garbage middle line": damage(func(ls []string) []string {
+			ls[len(ls)/2] = "### not json ###\n"
+			return ls
+		}),
+		"missing header": damage(func(ls []string) []string { return ls[1:] }),
+		"duplicate header": damage(func(ls []string) []string {
+			return append(ls, ls[0])
+		}),
+		"client split by another": damage(func(ls []string) []string {
+			// Move the second line (client 0's first step) to the end:
+			// client 0 now reappears after other clients ran.
+			moved := ls[1]
+			out := append(ls[:1:1], ls[2:]...)
+			return append(out, moved)
+		}),
+		"unknown kind": damage(func(ls []string) []string {
+			ls[1] = `{"kind":"mystery"}` + "\n"
+			return ls
+		}),
+		"negative time": damage(func(ls []string) []string {
+			ls[1] = `{"kind":"step","class":"browser","client":0,"req":"cgi-1k","atNS":-5}` + "\n"
+			return ls
+		}),
+	}
+	for name, data := range cases {
+		_, _, err := ReadTrace(strings.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if errors.Is(err, ErrTorn) {
+			t.Errorf("%s: classified as torn, want corrupt: %v", name, err)
+		}
+	}
+}
+
+// TestTraceEmptyAndHeaderOnly covers the degenerate inputs.
+func TestTraceEmptyAndHeaderOnly(t *testing.T) {
+	if _, _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+	headerOnly := `{"kind":"wtrace","version":1}` + "\n"
+	if _, _, err := ReadTrace(strings.NewReader(headerOnly)); err == nil {
+		t.Error("header-only trace accepted")
+	}
+	wrongVersion := `{"kind":"wtrace","version":99}` + "\n"
+	if _, _, err := ReadTrace(strings.NewReader(wrongVersion)); err == nil {
+		t.Error("wrong-version trace accepted")
+	}
+}
+
+// TestCompileTraceStampsPath checks replay provenance: CompileTrace
+// records the trace path (not the cohort string) on the definition.
+func TestCompileTraceStampsPath(t *testing.T) {
+	spec := mixedCohortSpec(8)
+	scheds, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "replay.wtrace")
+	if err := WriteTraceFile(path, spec.String(), scheds); err != nil {
+		t.Fatal(err)
+	}
+	def, err := CompileTrace(workload.NewApache1(workload.Standalone), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.WorkloadTrace != path {
+		t.Fatalf("def.WorkloadTrace = %q, want %q", def.WorkloadTrace, path)
+	}
+	if def.Cohort != "" {
+		t.Fatalf("def.Cohort = %q, want empty (the trace is the source of truth)", def.Cohort)
+	}
+}
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the reader; whenever a
+// trace parses, rendering and re-parsing it must reproduce the identical
+// cohort string and schedule (parse → render → parse identity), and no
+// input may ever panic the parser.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(traceOrEmpty(mixedCohortSpec(1)))
+	f.Add(traceOrEmpty(CohortSpec{Seed: 3, Classes: []ClassSpec{{
+		Name: "solo", Clients: 1, Requests: 2,
+		Arrival: Arrival{Process: Weibull, Rate: 0.5, Shape: 2},
+		Mix:     []MixEntry{{Request: "r", Weight: 1}},
+		Closed:  true,
+	}}}))
+	f.Add("")
+	f.Add(`{"kind":"wtrace","version":1}` + "\n")
+	f.Add(`{"kind":"wtrace","version":1}` + "\n" + `{"kind":"step","class":"a","client":0,"req":"x","atNS":1}` + "\n")
+	f.Add("random garbage\nwith lines\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		cohort, scheds, err := ReadTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteTrace(&b, cohort, scheds); err != nil {
+			t.Fatalf("render of parsed trace failed: %v", err)
+		}
+		cohort2, scheds2, err := ReadTrace(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-parse of rendered trace failed: %v", err)
+		}
+		if cohort2 != cohort || len(scheds2) != len(scheds) {
+			t.Fatalf("round trip drift: cohort %q->%q, %d->%d schedules",
+				cohort, cohort2, len(scheds), len(scheds2))
+		}
+		for i := range scheds {
+			if !schedulesEqual(scheds[i], scheds2[i]) {
+				t.Fatalf("schedule %d drifted through render/parse", i)
+			}
+		}
+	})
+}
+
+// traceOrEmpty renders a spec's trace for fuzz seeding ("" on error —
+// the fuzzer will simply skip it).
+func traceOrEmpty(spec CohortSpec) string {
+	scheds, err := spec.Schedule()
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, spec.String(), scheds); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -548,6 +548,56 @@ func BenchmarkAblationSkipModes(b *testing.B) {
 // Generation must stay a negligible slice of campaign cost — the CI smoke
 // gate bounds gen-ms — and the trace byte count tracks the serialization
 // overhead a recorded campaign carries.
+// BenchmarkClusterCampaign prices the multi-node engine: the same
+// mixed fault campaign (kernel faults plus the three cluster scenario
+// kinds) on a 3-node IIS/MSCS cluster, against a single-host campaign
+// over the kernel faults measured in the same process. Cluster runs
+// simulate N+1 kernels on one shared clock and can use neither
+// scheduler elision nor the kernel pool (both per-kernel mechanisms),
+// so each run costs a multiple of a single-host run; cost-vs-single-node
+// is that multiple, and the CI bench-smoke gate bounds it at 3x.
+func BenchmarkClusterCampaign(b *testing.B) {
+	kernelSpecs := []inject.FaultSpec{
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits},
+		{Function: "WriteFile", Param: 1, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "TransactNamedPipe", Param: 2, Invocation: 1, Type: inject.OneBits},
+	}
+	clusterSpecs := append([]inject.FaultSpec{
+		{Function: core.ClusterNodeCrashFunction, Invocation: 5, Type: inject.FlipBits},
+		{Function: core.ClusterServiceCrashFunction, Invocation: 5, Type: inject.FlipBits, Node: 1},
+		{Function: core.ClusterPartitionFunction, Param: 15, Invocation: 5, Type: inject.FlipBits},
+	}, kernelSpecs...)
+	campaign := func(cfg core.ClusterConfig, specs []inject.FaultSpec) *core.SetResult {
+		opts := core.DefaultRunnerOptions()
+		opts.Cluster = cfg
+		set, err := core.NewCampaign(
+			core.NewRunner(workload.NewIIS(workload.MSCS), opts),
+			core.WithSpecs(specs), core.WithParallelism(1)).Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return set
+	}
+
+	// Single-host baseline: same workload, same kernel faults, default
+	// engine (snapshot fork + kernel pool + elision).
+	start := time.Now()
+	baseRuns := 0
+	for time.Since(start) < 200*time.Millisecond {
+		baseRuns += len(campaign(core.ClusterConfig{}, kernelSpecs).Runs)
+	}
+	basePerRun := time.Since(start).Seconds() / float64(baseRuns)
+
+	totalRuns := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totalRuns += len(campaign(core.ClusterConfig{Nodes: 3}, clusterSpecs).Runs)
+	}
+	perRun := b.Elapsed().Seconds() / float64(totalRuns)
+	b.ReportMetric(1/perRun, "runs/sec")
+	b.ReportMetric(perRun/basePerRun, "cost-vs-single-node")
+}
+
 func BenchmarkWorkloadGen(b *testing.B) {
 	spec, err := workloadgen.Parse("seed=42" +
 		";class=browser,clients=12,requests=500,arrival=poisson,rate=2,mix=static-115k:3/cgi-1k:1" +

@@ -8,6 +8,7 @@
 //	dts -config dts.cfg -fault "ReadFile 1 1 flip" [-trace]
 //	dts -config dts.cfg -cohort "seed=42;class=..." [-workload-trace-out sched.wtrace]
 //	dts -config dts.cfg -workload-trace sched.wtrace
+//	dts -config dts.cfg -cluster 3 [-routing round-robin|least-loaded|failover]
 //	dts -experiment table1|figure2|figure5 [-out results.json]
 //	dts -conformance [-golden path] [-update] [-sample n] [-seed n]
 //	dts ... [-trace-out trace.jsonl] [-metrics] [-trace-cap n]
@@ -40,6 +41,15 @@
 // trace path ride the journal header, so shard workers and -resume rebuild
 // the identical schedule, and archives are byte-identical at any
 // -parallel/-shards setting and across record/replay.
+//
+// -cluster N runs the workload on an N-node shared-clock cluster behind a
+// latency-modeled virtual network; -routing picks how clients choose a
+// node (failover, round-robin, least-loaded — see DESIGN.md §4i). Fault
+// lists gain an optional node=<i> address and three cluster scenario
+// pseudo-faults (DTSClusterNodeCrash, DTSClusterServiceCrash,
+// DTSClusterPartition); the summary and dtsreport grow a per-node cluster
+// view. The topology rides the journal header, so shard workers rebuild
+// it and archives stay byte-identical at any -parallel/-shards setting.
 package main
 
 import (
@@ -63,6 +73,7 @@ import (
 	"ntdts/internal/inject"
 	"ntdts/internal/journal"
 	"ntdts/internal/ntsim"
+	"ntdts/internal/ntsim/cluster"
 	"ntdts/internal/report"
 	"ntdts/internal/shard"
 	"ntdts/internal/telemetry"
@@ -108,6 +119,8 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "fan the campaign out over this many worker processes (results byte-identical to unsharded; -parallel then sizes each worker's pool)")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout")
 	freshBoot := fs.Bool("fresh-boot", false, "boot a fresh kernel for every run instead of forking the boot-prefix snapshot (slower; archives are byte-identical either way)")
+	clusterN := fs.Int("cluster", 0, "run every fault on an N-node simulated cluster (0 = single host; 1 = single host with DTSCluster* scenario faults enabled; topology rides the journal header so -parallel/-shards/-resume rebuild it)")
+	routing := fs.String("routing", "", `client routing policy across -cluster nodes: "failover" (default), "round-robin" or "least-loaded"`)
 	cohort := fs.String("cohort", "", `generated multi-client workload: a seeded cohort spec, e.g. "seed=42;class=browser,clients=4,requests=6,arrival=poisson,rate=2,mix=static-115k:3/cgi-1k:1" (same seed, same schedule at any -parallel/-shards)`)
 	workloadTrace := fs.String("workload-trace", "", "replay a recorded schedule trace (JSONL) as the client workload instead of the canned client")
 	workloadTraceOut := fs.String("workload-trace-out", "", "record the -cohort schedule to this trace file (replayable with -workload-trace)")
@@ -181,6 +194,13 @@ func run(args []string, out io.Writer) error {
 	if wflags.active() && (*experiment != "" || *conformance || *resume != "") {
 		return fmt.Errorf("-cohort/-workload-trace drive a -config campaign; they cannot combine with -experiment/-conformance (fixed workloads) or -resume (the journal header already names the schedule)")
 	}
+	cflags := clusterFlags{nodes: *clusterN, routing: *routing}
+	if err := cflags.validate(); err != nil {
+		return err
+	}
+	if cflags.active() && (*experiment != "" || *conformance || *resume != "") {
+		return fmt.Errorf("-cluster/-routing configure a -config campaign; they cannot combine with -experiment/-conformance (fixed topologies) or -resume (the journal header already carries the topology)")
+	}
 
 	var shardExec core.ShardExecutor
 	if *shards > 1 {
@@ -220,9 +240,9 @@ func run(args []string, out io.Writer) error {
 	case *experiment != "":
 		return runExperiment(*experiment, *outPath, ecfg, tflags, out)
 	case *cfgPath != "" && *faultSpec != "":
-		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, wflags, tflags, out)
+		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, cflags, wflags, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, wflags, tflags, sflags, progress, out)
+		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, cflags, wflags, tflags, sflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
@@ -290,6 +310,36 @@ func (w workloadFlags) apply(def workload.Definition) (workload.Definition, erro
 	}
 }
 
+// clusterFlags carries the -cluster/-routing pair. Zero nodes is the
+// classic single-host suite; the pair rides the journal header so shard
+// workers and -resume rebuild the identical topology.
+type clusterFlags struct {
+	nodes   int
+	routing string
+}
+
+// active reports whether a cluster topology was requested.
+func (c clusterFlags) active() bool { return c.nodes != 0 || c.routing != "" }
+
+// validate rejects bad combinations before any campaign work starts.
+func (c clusterFlags) validate() error {
+	if c.nodes < 0 {
+		return fmt.Errorf("-cluster must be >= 0 (got %d)", c.nodes)
+	}
+	if c.routing != "" && c.nodes == 0 {
+		return fmt.Errorf("-routing selects a policy for a -cluster topology; add -cluster N")
+	}
+	if _, err := cluster.ParsePolicy(c.routing); err != nil {
+		return err
+	}
+	return nil
+}
+
+// config translates the flags into the runner's cluster configuration.
+func (c clusterFlags) config() core.ClusterConfig {
+	return core.ClusterConfig{Nodes: c.nodes, Routing: c.routing}
+}
+
 // telemetryFlags carries the -trace-out/-metrics/-trace-cap triple. Either
 // output flag switches collection on; the merged exports are byte-identical
 // at any -parallel setting.
@@ -330,7 +380,7 @@ func (t telemetryFlags) emit(set *telemetry.Set, out io.Writer) error {
 
 // runSingleFault replays one fault with full result detail — the paper's
 // "individual fault injection runs provide reproducible feedback" workflow.
-func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, wflags workloadFlags, tflags telemetryFlags, out io.Writer) error {
+func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -357,6 +407,7 @@ func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, wflags wor
 	opts.WatchdVersion = cfg.WatchdVersion
 	opts.Telemetry = tflags.options()
 	opts.FreshBoot = freshBoot
+	opts.Cluster = cflags.config()
 	if trace {
 		opts.Trace = func(at vclock.Time, pid ntsim.PID, msg string) {
 			fmt.Fprintf(out, "%-14s pid%-3d %s\n", at, pid, msg)
@@ -376,6 +427,10 @@ func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, wflags wor
 	fmt.Fprintf(out, "activated: %v, injected: %v\n", res.Activated, res.Injected)
 	fmt.Fprintf(out, "outcome:   %s\n", res.Outcome)
 	fmt.Fprintf(out, "crash:     %v, restarts: %d\n", res.ServerCrash, res.Restarts)
+	for _, ns := range res.Nodes {
+		fmt.Fprintf(out, "node %d:    restarts %d, failovers %d, events %d, crashed %v\n",
+			ns.Node, ns.Restarts, ns.Failovers, ns.Events, ns.Crashed)
+	}
 	if res.Completed {
 		fmt.Fprintf(out, "response:  %.2fs (reply received: %v)\n", res.ResponseSec, res.GotResponse)
 	} else {
@@ -464,7 +519,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
+func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -487,6 +542,7 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 	opts.WatchdVersion = cfg.WatchdVersion
 	opts.Telemetry = tflags.options()
 	opts.FreshBoot = freshBoot
+	opts.Cluster = cflags.config()
 	runner := core.NewRunner(def, opts)
 	if outPath == "" {
 		outPath = cfg.Results
@@ -555,6 +611,9 @@ func printSetSummary(set *core.SetResult, out io.Writer) {
 	fmt.Fprint(out, "\n", report.TopFailures(set, 20))
 	if perClass := report.PerClass(set, avail.EstimateClasses(set, avail.DefaultAssumptions())); perClass != "" {
 		fmt.Fprint(out, "\n", perClass)
+	}
+	if clusterView := report.Cluster(set); clusterView != "" {
+		fmt.Fprint(out, "\n", clusterView)
 	}
 }
 

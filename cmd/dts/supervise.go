@@ -86,6 +86,8 @@ func journalHeader(cfg config.Main, def workload.Definition, opts core.RunnerOpt
 	}
 	h.Cohort = def.Cohort
 	h.WorkloadTrace = def.WorkloadTrace
+	h.ClusterNodes = opts.Cluster.Nodes
+	h.ClusterRouting = opts.Cluster.Routing
 	return h
 }
 

@@ -108,6 +108,9 @@ func run(args []string) error {
 		if perClass := report.PerClass(archive.Set, avail.EstimateClasses(archive.Set, avail.DefaultAssumptions())); perClass != "" {
 			fmt.Print("\n", perClass)
 		}
+		if clusterView := report.Cluster(archive.Set); clusterView != "" {
+			fmt.Print("\n", clusterView)
+		}
 		if len(archive.Set.Quarantined) != 0 {
 			fmt.Print("\n", report.Quarantine(archive.Set.Quarantined))
 		}

@@ -170,8 +170,8 @@ func ParseFaultList(r io.Reader) ([]inject.FaultSpec, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("fault list line %d: want 4 fields, got %d", lineNo, len(fields))
+		if len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("fault list line %d: want 4 or 5 fields, got %d", lineNo, len(fields))
 		}
 		param, err := strconv.Atoi(fields[1])
 		if err != nil || param < 0 {
@@ -185,8 +185,19 @@ func ParseFaultList(r io.Reader) ([]inject.FaultSpec, error) {
 		if !ok {
 			return nil, fmt.Errorf("fault list line %d: unknown fault type %q", lineNo, fields[3])
 		}
+		node := 0
+		if len(fields) == 5 {
+			// Optional cluster-node address, written "node=<i>".
+			val, found := strings.CutPrefix(fields[4], "node=")
+			if found {
+				node, err = strconv.Atoi(val)
+			}
+			if !found || err != nil || node < 0 {
+				return nil, fmt.Errorf("fault list line %d: bad node address %q (want node=<i>)", lineNo, fields[4])
+			}
+		}
 		specs = append(specs, inject.FaultSpec{
-			Function: fields[0], Param: param, Invocation: inv, Type: typ,
+			Function: fields[0], Param: param, Invocation: inv, Type: typ, Node: node,
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -198,9 +209,15 @@ func ParseFaultList(r io.Reader) ([]inject.FaultSpec, error) {
 // WriteFaultList renders a fault list in the file format.
 func WriteFaultList(w io.Writer, specs []inject.FaultSpec) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "# DTS fault list: function param invocation type")
+	fmt.Fprintln(bw, "# DTS fault list: function param invocation type [node=<i>]")
 	for _, s := range specs {
-		if _, err := fmt.Fprintf(bw, "%s %d %d %s\n", s.Function, s.Param, s.Invocation, s.Type); err != nil {
+		var err error
+		if s.Node != 0 {
+			_, err = fmt.Fprintf(bw, "%s %d %d %s node=%d\n", s.Function, s.Param, s.Invocation, s.Type, s.Node)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s %d %d %s\n", s.Function, s.Param, s.Invocation, s.Type)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ntdts/internal/inject"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/workload"
+)
+
+// clusterSpecs is a representative mixed plan: every scenario kind plus
+// kernel faults, some node-addressed.
+func clusterSpecs() []inject.FaultSpec {
+	return []inject.FaultSpec{
+		{Function: ClusterNodeCrashFunction, Invocation: 5, Type: inject.FlipBits},
+		{Function: ClusterServiceCrashFunction, Invocation: 5, Type: inject.FlipBits, Node: 1},
+		{Function: ClusterPartitionFunction, Param: 15, Invocation: 5, Type: inject.FlipBits},
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits},
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.ZeroBits, Node: 1},
+		{Function: "TransactNamedPipe", Param: 2, Invocation: 1, Type: inject.OneBits, Node: 2},
+	}
+}
+
+func runClusterSet(t *testing.T, def workload.Definition, cfg ClusterConfig, specs []inject.FaultSpec, par int, freshBoot bool) *SetResult {
+	t.Helper()
+	opts := DefaultRunnerOptions()
+	opts.Cluster = cfg
+	opts.FreshBoot = freshBoot
+	c := NewCampaign(NewRunner(def, opts), WithSpecs(specs), WithParallelism(par))
+	set, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestClusterOneNodeEquivalence: a 1-node cluster is the same machine —
+// a campaign over ordinary kernel faults produces an archive cmp-equal
+// to the classic single-kernel path.
+func TestClusterOneNodeEquivalence(t *testing.T) {
+	def := workload.NewIIS(workload.MSCS)
+	specs := []inject.FaultSpec{
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits},
+		{Function: "WriteFile", Param: 1, Invocation: 1, Type: inject.ZeroBits},
+		{Function: "TransactNamedPipe", Param: 2, Invocation: 1, Type: inject.OneBits},
+	}
+	classic := runClusterSet(t, def, ClusterConfig{}, specs, 1, false)
+	oneNode := runClusterSet(t, def, ClusterConfig{Nodes: 1}, specs, 1, false)
+	cj, err := json.Marshal(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj, err := json.Marshal(oneNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cj, oj) {
+		t.Fatalf("1-node cluster archive diverges from the single-kernel path:\nclassic: %s\ncluster: %s", cj, oj)
+	}
+}
+
+// TestClusterParallelDeterminism is the cluster acceptance oracle: a
+// 3-node campaign's archive is byte-identical at every worker count.
+func TestClusterParallelDeterminism(t *testing.T) {
+	def := workload.NewIIS(workload.MSCS)
+	cfg := ClusterConfig{Nodes: 3}
+	base := runClusterSet(t, def, cfg, clusterSpecs(), 1, false)
+	baseJSON, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{4, 16} {
+		got := runClusterSet(t, def, cfg, clusterSpecs(), par, false)
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseJSON, gotJSON) {
+			t.Fatalf("par=%d: cluster archive bytes diverge from sequential", par)
+		}
+	}
+}
+
+// TestClusterFreshBootMatchesFork: the per-node boot-prefix fork is an
+// optimization only — forcing fresh boots produces the identical set.
+func TestClusterFreshBootMatchesFork(t *testing.T) {
+	for _, sup := range []workload.Supervision{workload.Standalone, workload.MSCS, workload.Watchd} {
+		sup := sup
+		t.Run(sup.String(), func(t *testing.T) {
+			t.Parallel()
+			def := workload.NewIIS(sup)
+			cfg := ClusterConfig{Nodes: 3, Routing: "round-robin"}
+			fresh := runClusterSet(t, def, cfg, clusterSpecs(), 2, true)
+			forked := runClusterSet(t, def, cfg, clusterSpecs(), 2, false)
+			if !reflect.DeepEqual(fresh, forked) {
+				t.Fatal("forked cluster campaign diverges from fresh-boot")
+			}
+		})
+	}
+}
+
+// TestClusterForkFallback: a workload whose Setup leaves the kernel
+// non-quiescent cannot snapshot; cluster nodes then boot fresh
+// transparently, with results identical to forced fresh-boot.
+func TestClusterForkFallback(t *testing.T) {
+	mkDef := func() workload.Definition {
+		def := workload.NewIIS(workload.Standalone)
+		base := def.Setup
+		def.Setup = func(k *ntsim.Kernel) {
+			base(k)
+			k.Clock().ScheduleAfter(24*time.Hour, func() {})
+		}
+		return def
+	}
+	specs := clusterSpecs()[:3]
+	cfg := ClusterConfig{Nodes: 2}
+	fresh := runClusterSet(t, mkDef(), cfg, specs, 1, true)
+	fallback := runClusterSet(t, mkDef(), cfg, specs, 1, false)
+	if !reflect.DeepEqual(fresh, fallback) {
+		t.Fatal("non-snapshottable cluster fallback diverges from fresh-boot")
+	}
+}
+
+// TestMSCSCrossNodeFailover pins the headline behaviour: crashing the
+// MSCS group owner moves the service to the standby, visible in the
+// standby's eventlog and the per-node stats, and the client completes.
+func TestMSCSCrossNodeFailover(t *testing.T) {
+	def := workload.NewIIS(workload.MSCS)
+	opts := DefaultRunnerOptions()
+	opts.Cluster = ClusterConfig{Nodes: 3}
+	spec := inject.FaultSpec{Function: ClusterNodeCrashFunction, Invocation: 5, Type: inject.FlipBits}
+	res, err := NewRunner(def, opts).Run(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("client never completed: %+v", res)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("%d node stats, want 3", len(res.Nodes))
+	}
+	if !res.Nodes[0].Crashed {
+		t.Fatalf("node 0 not marked crashed: %+v", res.Nodes[0])
+	}
+	if res.Nodes[1].Failovers != 1 {
+		t.Fatalf("standby node 1 logged %d failovers, want 1 (stats: %+v)", res.Nodes[1].Failovers, res.Nodes)
+	}
+	if res.Nodes[1].Events == 0 {
+		t.Fatal("standby node 1 eventlog is empty; the failover must be logged there")
+	}
+	if res.Outcome != RestartSuccess {
+		t.Fatalf("outcome %v, want restart success (failover-recovered run)", res.Outcome)
+	}
+}
+
+// TestClusterScenarioValidation: scenario faults demand a cluster
+// topology, and node addresses must exist on it.
+func TestClusterScenarioValidation(t *testing.T) {
+	def := workload.NewIIS(workload.Standalone)
+
+	spec := inject.FaultSpec{Function: ClusterNodeCrashFunction, Invocation: 5, Type: inject.FlipBits}
+	if _, err := NewRunner(def, DefaultRunnerOptions()).Run(&spec); err == nil {
+		t.Fatal("scenario fault without a cluster topology must error")
+	}
+
+	opts := DefaultRunnerOptions()
+	opts.Cluster = ClusterConfig{Nodes: 2}
+	bad := inject.FaultSpec{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits, Node: 5}
+	if _, err := NewRunner(def, opts).Run(&bad); err == nil {
+		t.Fatal("node address beyond the topology must error")
+	}
+
+	opts.Cluster = ClusterConfig{Nodes: 2, Routing: "nearest"}
+	ok := inject.FaultSpec{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits}
+	if _, err := NewRunner(def, opts).Run(&ok); err == nil {
+		t.Fatal("unknown routing policy must error")
+	}
+}
+
+// TestClusterNodeStatsOmittedOnSingleHost: classic runs must keep their
+// archives byte-identical to pre-cluster versions — no nodes field.
+func TestClusterNodeStatsOmittedOnSingleHost(t *testing.T) {
+	def := workload.NewIIS(workload.Standalone)
+	spec := inject.FaultSpec{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits}
+	res, err := NewRunner(def, DefaultRunnerOptions()).Run(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"nodes"`)) {
+		t.Fatalf("single-host archive grew a nodes field: %s", b)
+	}
+}
+
+// TestClusterTelemetryMonotone: all nodes share one recorder on one
+// clock, so the merged event stream — and therefore every node's slice
+// of it — has non-decreasing timestamps.
+func TestClusterTelemetryMonotone(t *testing.T) {
+	def := workload.NewIIS(workload.MSCS)
+	opts := DefaultRunnerOptions()
+	opts.Cluster = ClusterConfig{Nodes: 3}
+	opts.Telemetry = telemetry.Options{Enabled: true}
+	spec := inject.FaultSpec{Function: ClusterNodeCrashFunction, Invocation: 5, Type: inject.FlipBits}
+	res, err := NewRunner(def, opts).Run(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("no telemetry recorder on the run")
+	}
+	events := res.Telemetry.Events()
+	if len(events) == 0 {
+		t.Fatal("no telemetry events recorded")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("event %d at %v precedes event %d at %v", i, events[i].At, i-1, events[i-1].At)
+		}
+	}
+	var sawScenario bool
+	for _, e := range events {
+		if e.Kind == telemetry.KindPhase && e.Name == "cluster-scenario:"+ClusterNodeCrashFunction {
+			sawScenario = true
+		}
+	}
+	if !sawScenario {
+		t.Fatal("scenario trigger phase event missing from the trace")
+	}
+}
+
+// TestClusterScenarioKeysRoundTrip: scenario specs journal and resume
+// through the same Key encoding as kernel faults.
+func TestClusterScenarioKeysRoundTrip(t *testing.T) {
+	for _, spec := range clusterSpecs() {
+		got, err := inject.ParseKey(spec.Key())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Key(), err)
+		}
+		if got != spec {
+			t.Fatalf("key %s round-tripped to %+v, want %+v", spec.Key(), got, spec)
+		}
+	}
+	if _, err := inject.ParseKey(fmt.Sprintf("%s/0/5/1/-1", ClusterNodeCrashFunction)); err == nil {
+		t.Fatal("negative node must fail to parse")
+	}
+}

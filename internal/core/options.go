@@ -95,3 +95,15 @@ func WithPaperFaithfulSkips() Option {
 func WithFreshBoot() Option {
 	return func(c *Campaign) { c.Runner.Opts.FreshBoot = true }
 }
+
+// WithCluster executes every run of the campaign on an n-node simulated
+// cluster with the given client routing policy ("round-robin",
+// "least-loaded" or "failover"; "" = failover). n == 1 keeps the
+// single-kernel engine but enables the DTSCluster* scenario faults. The
+// topology rides the journal header, so -parallel, -shards and -resume
+// all rebuild identical clusters.
+func WithCluster(n int, routing string) Option {
+	return func(c *Campaign) {
+		c.Runner.Opts.Cluster = ClusterConfig{Nodes: n, Routing: routing}
+	}
+}

@@ -36,6 +36,11 @@ type RunResult struct {
 	// keeps those archives byte-identical to earlier versions).
 	Classes []ClassOutcome `json:"classes,omitempty"`
 
+	// Nodes is the per-node breakdown when the run executed on a
+	// multi-node cluster (nil on single-host runs, which keeps those
+	// archives byte-identical to earlier versions).
+	Nodes []NodeStat `json:"nodes,omitempty"`
+
 	// Retries counts abandoned supervisor attempts that preceded this
 	// recorded one; Quarantined marks a placeholder record for a run the
 	// supervisor gave up on after its retry budget. Both are zero/false on
@@ -78,6 +83,38 @@ type RunnerOptions struct {
 	// off (the CI bench gate cmp's them) and the benchmarks report the
 	// snapshot path's speedup against it.
 	FreshBoot bool
+	// Cluster runs every run on a simulated multi-node cluster (see
+	// ClusterConfig). The zero value keeps the classic single-host
+	// engine.
+	Cluster ClusterConfig
+}
+
+// ClusterConfig configures the simulated cluster topology runs execute
+// on. Nodes == 0 is the classic single-host engine. Nodes == 1 enables
+// the cluster scenario faults (DTSCluster*) but still executes on the
+// single-kernel path — a 1-node cluster is the same machine, which is
+// what makes the cluster layer a provable superset. Nodes >= 2 boots N
+// node kernels under one shared clock with a virtual network and routed
+// clients.
+type ClusterConfig struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Routing names the client routing policy: "round-robin",
+	// "least-loaded" or "failover" ("" = failover).
+	Routing string
+}
+
+// Enabled reports whether cluster semantics (node-addressed faults,
+// scenario faults) are active.
+func (c ClusterConfig) Enabled() bool { return c.Nodes > 0 }
+
+// NodeStat is one node's slice of a cluster run's evidence.
+type NodeStat struct {
+	Node      int  `json:"node"`
+	Restarts  int  `json:"restarts"`            // middleware restarts on this node
+	Failovers int  `json:"failovers,omitempty"` // group-failover records in this node's eventlog
+	Events    int  `json:"events"`              // total eventlog records
+	Crashed   bool `json:"crashed,omitempty"`   // node was taken down by the scenario
 }
 
 // DefaultRunnerOptions returns the experiment defaults.
@@ -224,7 +261,26 @@ func (r *Runner) ActivationScan() (map[string]bool, *RunResult, error) {
 // server to be up, start the client, wait for workload termination, and
 // gather results.
 func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error) {
+	if r.Opts.Cluster.Nodes > 1 {
+		return r.runCluster(spec)
+	}
 	def := r.Def
+
+	// A 1-node "cluster" (or a plain single host) runs the classic
+	// engine; only the scenario pseudo-faults need interpreting here.
+	scen := scenarioFor(spec)
+	if scen != nil && !r.Opts.Cluster.Enabled() {
+		return nil, nil, fmt.Errorf("fault %s: cluster scenario faults require a cluster topology (WithCluster / -cluster)", spec.Function)
+	}
+	if spec != nil && spec.Node != 0 {
+		return nil, nil, fmt.Errorf("fault %s: node %d does not exist on a %d-node topology", spec.Function, spec.Node, max(1, r.Opts.Cluster.Nodes))
+	}
+	// Scenario faults bypass the syscall injector: the injector runs the
+	// census only, and the scheduled scenario action is the fault.
+	ispec := spec
+	if scen != nil {
+		ispec = nil
+	}
 
 	// Prepare the machine: resume from the shared boot-prefix snapshot
 	// when the workload allows it (the common case — Setup only registers
@@ -264,7 +320,7 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	if err := mgr.CreateService(def.Service); err != nil {
 		return nil, nil, fmt.Errorf("create service: %w", err)
 	}
-	injector := inject.New(k, def.Target, spec)
+	injector := inject.New(k, def.Target, ispec)
 	k.SetInterceptor(injector)
 
 	// Start the server program, directly or through the middleware that
@@ -316,11 +372,41 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	}
 
 	// Run the client workload to completion or the run deadline.
+	preClientPID := ntsim.PID(len(k.Processes()))
 	_, report, err := def.SpawnClient(k)
 	if err != nil {
 		return nil, nil, fmt.Errorf("spawn client: %w", err)
 	}
+	postClientPID := ntsim.PID(len(k.Processes()))
 	tel.Emit(k.Now(), 0, telemetry.KindPhase, "client-spawn", 0, 0)
+	scenFired := false
+	if scen != nil {
+		k.Clock().ScheduleAt(k.Now().Add(scen.delay), func() {
+			scenFired = true
+			tel.Emit(k.Now(), 0, telemetry.KindPhase, "cluster-scenario:"+spec.Function, 0, 0)
+			switch scen.kind {
+			case scenServiceCrash:
+				if pr, ok := mgr.ServiceProcess(def.Service.Name); ok && !pr.Terminated() {
+					pr.Terminate(ntsim.ExitAccessViolation)
+				}
+			case scenNodeCrash:
+				// The single node powers off: every server-side process
+				// dies and the SCM stops. The clients are the paper's
+				// remote observers, so they survive to record the outage.
+				mgr.Shutdown()
+				for _, pr := range k.Processes() {
+					if pr.ID > preClientPID && pr.ID <= postClientPID {
+						continue
+					}
+					if !pr.Terminated() {
+						pr.Terminate(ntsim.ExitTerminated)
+					}
+				}
+			case scenPartition:
+				// One host, co-located clients: there is no link to cut.
+			}
+		})
+	}
 	deadline := k.Now().Add(r.Opts.RunDeadline)
 	if elide {
 		// Done is the client's final act before exiting — a scheduling
@@ -355,6 +441,11 @@ func (r *Runner) run(spec *inject.FaultSpec) (*RunResult, map[string]bool, error
 	if spec != nil {
 		res.Fault = *spec
 		res.Activated = injector.Activated(spec.Function)
+	}
+	if scen != nil {
+		// A scenario fault "activates" when its trigger fires.
+		res.Activated = scenFired
+		res.Injected = scenFired
 	}
 	if report.Done {
 		res.ResponseSec = report.End.Sub(report.Start).Seconds()

@@ -68,10 +68,18 @@ type FaultSpec struct {
 	Param      int       `json:"param"`      // 0-based parameter index
 	Invocation int       `json:"invocation"` // 1-based; the paper injects the first
 	Type       FaultType `json:"type"`
+
+	// Node addresses the fault to one cluster node's kernel (0-based).
+	// Zero means node 0, which is also the only node of a single-host
+	// run, so legacy four-field keys and fault lists parse unchanged.
+	Node int `json:"node,omitempty"`
 }
 
 // String renders the spec in fault-list file syntax.
 func (s FaultSpec) String() string {
+	if s.Node != 0 {
+		return fmt.Sprintf("%s p%d i%d %s node=%d", s.Function, s.Param, s.Invocation, s.Type, s.Node)
+	}
 	return fmt.Sprintf("%s p%d i%d %s", s.Function, s.Param, s.Invocation, s.Type)
 }
 
@@ -95,6 +103,9 @@ func (s FaultSpec) Site() Site {
 // share exactly when they describe the same fault. It is the basis for
 // cross-set run matching and for the journal fingerprint.
 func (s FaultSpec) Key() string {
+	if s.Node != 0 {
+		return fmt.Sprintf("%s/%d/%d/%d/%d", s.Function, s.Param, s.Invocation, int(s.Type), s.Node)
+	}
 	return fmt.Sprintf("%s/%d/%d/%d", s.Function, s.Param, s.Invocation, int(s.Type))
 }
 
@@ -103,8 +114,8 @@ func (s FaultSpec) Key() string {
 // alone, with no dependency on the original fault-list file surviving.
 func ParseKey(key string) (FaultSpec, error) {
 	parts := strings.Split(key, "/")
-	if len(parts) != 4 {
-		return FaultSpec{}, fmt.Errorf("fault key %q: want 4 fields", key)
+	if len(parts) != 4 && len(parts) != 5 {
+		return FaultSpec{}, fmt.Errorf("fault key %q: want 4 or 5 fields", key)
 	}
 	param, err := strconv.Atoi(parts[1])
 	if err != nil || param < 0 {
@@ -118,7 +129,14 @@ func ParseKey(key string) (FaultSpec, error) {
 	if err != nil || typ < 1 {
 		return FaultSpec{}, fmt.Errorf("fault key %q: bad type", key)
 	}
-	return FaultSpec{Function: parts[0], Param: param, Invocation: inv, Type: FaultType(typ)}, nil
+	node := 0
+	if len(parts) == 5 {
+		node, err = strconv.Atoi(parts[4])
+		if err != nil || node < 0 {
+			return FaultSpec{}, fmt.Errorf("fault key %q: bad node", key)
+		}
+	}
+	return FaultSpec{Function: parts[0], Param: param, Invocation: inv, Type: FaultType(typ), Node: node}, nil
 }
 
 // Fingerprint returns a short stable hash of Key — the identifier the

@@ -71,6 +71,13 @@ type Header struct {
 	TraceCapacity     int   `json:"traceCapacity,omitempty"`
 	FreshBoot         bool  `json:"freshBoot,omitempty"`
 
+	// ClusterNodes and ClusterRouting describe the simulated cluster
+	// topology runs execute on (0/"" = classic single host). They ride
+	// the header so shard workers and resumes rebuild identical
+	// clusters.
+	ClusterNodes   int    `json:"clusterNodes,omitempty"`
+	ClusterRouting string `json:"clusterRouting,omitempty"`
+
 	// Cohort and WorkloadTrace describe a generated-workload client:
 	// Cohort is the canonical workloadgen spec string, WorkloadTrace the
 	// schedule-trace file replayed as the client. At most one is set;

@@ -1,0 +1,197 @@
+package mscs
+
+import (
+	"fmt"
+	"time"
+
+	"ntdts/internal/eventlog"
+	"ntdts/internal/ntsim"
+	"ntdts/internal/scm"
+)
+
+// Cluster resource monitor. On a multi-node cluster MSCS runs one
+// resource monitor per node; the nodes agree on a single group owner
+// (the node whose SCM actually runs the service) and move ownership when
+// the owner's resource fails permanently or the owner node stops
+// answering. The shared ownership record below stands in for the quorum
+// database; everything observable — SCM calls, event-log records, sleeps
+// — happens on the owning node's own kernel, so per-node state stays
+// fully isolated and per-node eventlogs tell the failover story.
+
+// ClusterNode is one node's view handed to StartCluster: its kernel, its
+// SCM, and its NT event log. The service must already be registered with
+// every node's SCM.
+type ClusterNode struct {
+	Kernel *ntsim.Kernel
+	Mgr    *scm.Manager
+	Log    *eventlog.Log
+}
+
+// group is the shared ownership record (the quorum database stand-in).
+// It is only read and written at deterministic scheduler instants by the
+// per-node monitor processes, which all live on one shared-clock machine.
+type group struct {
+	owner int
+}
+
+// StartCluster spawns one resource monitor process per node and brings
+// the group online on node 0. reachable reports whether two nodes'
+// heartbeat links are up, and down whether a node has crashed; both are
+// sampled at scheduler instants, so takeover decisions are deterministic.
+// It returns the monitor processes in node order.
+func StartCluster(nodes []ClusterNode, serviceName string, params Params, reachable func(a, b int) bool, down func(i int) bool) ([]*ntsim.Process, error) {
+	if params.MaxAttempts == 0 {
+		params = DefaultParams()
+	}
+	if params.ProbePoll <= 0 {
+		params.ProbePoll = DefaultParams().ProbePoll
+	}
+	if params.TakeoverGrace <= 0 {
+		params.TakeoverGrace = DefaultParams().TakeoverGrace
+	}
+	g := &group{owner: 0}
+	procs := make([]*ntsim.Process, len(nodes))
+	for i := range nodes {
+		self := i
+		node := nodes[i]
+		node.Kernel.RegisterImage(Image, func(p *ntsim.Process) uint32 {
+			return clusterMonitor(p, self, node, len(nodes), g, serviceName, params, reachable, down)
+		})
+		pr, err := node.Kernel.Spawn(Image, fmt.Sprintf("%s %s node=%d", Image, serviceName, self), 0)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = pr
+	}
+	return procs, nil
+}
+
+// clusterMonitor is one node's resource monitor main loop: serve while
+// owning the group, watch the owner while standing by.
+func clusterMonitor(p *ntsim.Process, self int, node ClusterNode, n int, g *group, name string, params Params, reachable func(int, int) bool, down func(int) bool) uint32 {
+	k := p.Kernel()
+	everOwner := false
+	for {
+		if g.owner == self {
+			restart := everOwner
+			everOwner = true
+			if serveAsOwner(p, self, node, g, name, params, restart) {
+				// Usurped while still healthy (a partition separated us
+				// from the majority): step down to standby duty. The
+				// local service instance is left as-is; no client can
+				// reach an isolated node anyway.
+				continue
+			}
+			// Permanent local failure: hand the group to the next
+			// healthy, reachable peer — the cross-node failover.
+			next := -1
+			for d := 1; d < n; d++ {
+				cand := (self + d) % n
+				if !down(cand) && reachable(self, cand) {
+					next = cand
+					break
+				}
+			}
+			if next < 0 {
+				return 1 // nowhere to fail over to: the group is offline
+			}
+			node.Log.Append(k.Now(), Source, eventlog.Warning, EventGroupFailover,
+				fmt.Sprintf("Cluster group '%s' failing over from node %d to node %d.", name, self, next))
+			g.owner = next
+			continue
+		}
+
+		// Standby: probe the owner's health.
+		p.SleepFor(params.ProbePoll)
+		owner := g.owner
+		if owner == self || (!down(owner) && reachable(self, owner)) {
+			continue
+		}
+		// Owner looks dead. Wait out a grace period scaled by this
+		// node's cyclic rank, so the nearest standby claims first and a
+		// farther one only if the claim never lands.
+		rank := (self - owner + n) % n
+		deadline := k.Now().Add(time.Duration(rank) * params.TakeoverGrace)
+		claim := true
+		for k.Now().Before(deadline) {
+			p.SleepFor(params.ProbePoll)
+			if g.owner != owner || (!down(g.owner) && reachable(self, g.owner)) {
+				claim = false
+				break
+			}
+		}
+		if !claim || g.owner != owner {
+			continue
+		}
+		node.Log.Append(k.Now(), Source, eventlog.Warning, EventGroupFailover,
+			fmt.Sprintf("Cluster group '%s' failing over from node %d to node %d.", name, owner, self))
+		g.owner = self
+	}
+}
+
+// serveAsOwner runs the owning node's resource duty: bring the service
+// online on this node's SCM and poll LooksAlive. It returns true when
+// ownership moved away while the resource was healthy, false when the
+// resource failed permanently here (the caller hands the group over).
+func serveAsOwner(p *ntsim.Process, self int, node ClusterNode, g *group, name string, params Params, isRestart bool) bool {
+	k := p.Kernel()
+	fail := func() {
+		node.Log.Append(k.Now(), Source, eventlog.Error, EventResourceFailed,
+			fmt.Sprintf("Cluster resource '%s' failed on node %d.", name, self))
+	}
+	if !clusterOnline(p, node, name, params, isRestart) {
+		fail()
+		return false
+	}
+	for {
+		p.SleepFor(params.LooksAlivePoll)
+		if g.owner != self {
+			return true
+		}
+		st, _, err := node.Mgr.QueryServiceStatus(name)
+		if err != nil {
+			fail()
+			return false
+		}
+		switch st {
+		case scm.Running, scm.StartPending:
+			continue
+		case scm.Stopped, scm.StopPending:
+			if !clusterOnline(p, node, name, params, true) {
+				fail()
+				return false
+			}
+		}
+	}
+}
+
+// clusterOnline is one online incident on one node: up to MaxAttempts
+// starts through that node's SCM, each required to reach RUNNING within
+// OnlineTimeout, honoring the node's SCM database lock exactly like the
+// single-node monitor.
+func clusterOnline(p *ntsim.Process, node ClusterNode, name string, params Params, isRestart bool) bool {
+	k := p.Kernel()
+	for attempt := 1; attempt <= params.MaxAttempts; attempt++ {
+		err := node.Mgr.StartService(name)
+		switch err {
+		case nil:
+			if waitRunning(p, node.Mgr, name, params) {
+				if isRestart || attempt > 1 {
+					node.Log.Append(k.Now(), Source, eventlog.Warning,
+						EventResourceRestart,
+						"Cluster resource '"+name+"' was restarted.")
+				}
+				return true
+			}
+		case ntsim.ErrServiceAlreadyRunning:
+			return true
+		case ntsim.ErrServiceDatabaseLocked:
+			// This node's SCM is holding the database for a pending
+			// start; the attempt is spent.
+		default:
+			// Unexpected SCM failure; attempt spent.
+		}
+		p.SleepFor(params.RetryWait)
+	}
+	return false
+}

@@ -53,6 +53,14 @@ type Params struct {
 	// especially if failover may occur", §3). The standby must already be
 	// registered with the SCM.
 	FailoverTo string
+
+	// ProbePoll is the standby cluster monitor's owner-health polling
+	// interval (multi-node clusters only; see StartCluster).
+	ProbePoll time.Duration
+	// TakeoverGrace is how long a standby must continuously observe the
+	// owner unhealthy before claiming the group, scaled by the standby's
+	// cyclic rank so exactly one node wins the claim deterministically.
+	TakeoverGrace time.Duration
 }
 
 // DefaultParams returns the generic monitor defaults.
@@ -63,6 +71,8 @@ func DefaultParams() Params {
 		OnlinePoll:     1 * time.Second,
 		RetryWait:      2 * time.Second,
 		MaxAttempts:    2,
+		ProbePoll:      2 * time.Second,
+		TakeoverGrace:  5 * time.Second,
 	}
 }
 

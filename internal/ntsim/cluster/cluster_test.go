@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// drain runs every scheduled clock event.
+func drain(t *testing.T, c *vclock.Clock) {
+	t.Helper()
+	for i := 0; c.Pending() > 0; i++ {
+		if i > 1_000_000 {
+			t.Fatal("clock never drained")
+		}
+		c.RunNext()
+	}
+}
+
+// TestLinkFIFO: a link delivers messages in send order, each exactly one
+// latency after its send.
+func TestLinkFIFO(t *testing.T) {
+	clock := vclock.New()
+	nw := NewNetwork(clock, 2, 3*time.Millisecond)
+	l := nw.Link(0, 1)
+	type delivery struct {
+		msg string
+		at  vclock.Time
+	}
+	var got []delivery
+	for i := 0; i < 5; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		sentAt := clock.Now()
+		l.Send([]byte(msg), func(b []byte) {
+			got = append(got, delivery{msg: string(b), at: clock.Now()})
+		})
+		if wantAt, _ := clock.NextAt(); wantAt != sentAt.Add(3*time.Millisecond) && i == 0 {
+			t.Fatalf("first delivery scheduled at %v, want send+latency", wantAt)
+		}
+		clock.Advance(time.Millisecond)
+	}
+	drain(t, clock)
+	if len(got) != 5 {
+		t.Fatalf("%d deliveries, want 5", len(got))
+	}
+	for i, d := range got {
+		if want := fmt.Sprintf("m%d", i); d.msg != want {
+			t.Fatalf("delivery %d is %q, want %q (no reordering within a link)", i, d.msg, want)
+		}
+		if i > 0 && d.at < got[i-1].at {
+			t.Fatalf("delivery %d at %v precedes delivery %d at %v", i, d.at, i-1, got[i-1].at)
+		}
+	}
+}
+
+// TestLinkClonesPayload: the sender may reuse its buffer after Send.
+func TestLinkClonesPayload(t *testing.T) {
+	clock := vclock.New()
+	nw := NewNetwork(clock, 2, 0)
+	buf := []byte("original")
+	var got string
+	nw.Link(0, 1).Send(buf, func(b []byte) { got = string(b) })
+	copy(buf, "CLOBBER!")
+	drain(t, clock)
+	if got != "original" {
+		t.Fatalf("delivered %q; payload must be cloned at send time", got)
+	}
+}
+
+// TestPartitionHealRestoresFIFO: messages caught by a partition — whether
+// in flight at the cut or sent while cut — are held and flushed in their
+// original send order when the link heals.
+func TestPartitionHealRestoresFIFO(t *testing.T) {
+	clock := vclock.New()
+	nw := NewNetwork(clock, 2, 2*time.Millisecond)
+	l := nw.Link(0, 1)
+	var got []string
+	send := func(msg string) {
+		l.Send([]byte(msg), func(b []byte) { got = append(got, string(b)) })
+	}
+	send("before") // delivered normally
+	drain(t, clock)
+	send("inflight") // cut lands before its delivery instant
+	nw.SetPartitioned(0, 1, true)
+	drain(t, clock) // delivery instant passes while cut: held
+	send("during")  // sent while cut: held behind inflight
+	drain(t, clock)
+	if want := []string{"before"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("deliveries while cut: %q, want %q", got, want)
+	}
+	nw.SetPartitioned(0, 1, false)
+	drain(t, clock)
+	want := []string{"before", "inflight", "during"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-heal deliveries %q, want %q (heal must flush FIFO)", got, want)
+	}
+}
+
+// TestIsolateCutsEveryLink: Isolate partitions a node from all peers in
+// both directions, and restores all of them.
+func TestIsolateCutsEveryLink(t *testing.T) {
+	clock := vclock.New()
+	nw := NewNetwork(clock, 4, 0)
+	nw.Isolate(1, true)
+	for j := 0; j < 4; j++ {
+		if j == 1 {
+			continue
+		}
+		if nw.Reachable(1, j) {
+			t.Fatalf("node 1 still reaches %d while isolated", j)
+		}
+	}
+	if !nw.Reachable(0, 2) {
+		t.Fatal("isolating node 1 cut an unrelated link")
+	}
+	nw.Isolate(1, false)
+	for j := 0; j < 4; j++ {
+		if j != 1 && !nw.Reachable(1, j) {
+			t.Fatalf("node 1 cannot reach %d after restore", j)
+		}
+	}
+}
+
+// TestOrderLeastLoadedPure: the least-loaded order is a pure function of
+// the in-flight counts — identical calls give identical orders, sorted
+// by (inflight, index).
+func TestOrderLeastLoadedPure(t *testing.T) {
+	r := &Router{policy: LeastLoaded, inflight: []int{2, 0, 1, 0}}
+	// topo is only consulted by Dial, not order(); nil is fine here.
+	first := r.order()
+	second := r.order()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same state gave different orders: %v then %v", first, second)
+	}
+	if want := []int{1, 3, 2, 0}; !reflect.DeepEqual(first, want) {
+		t.Fatalf("least-loaded order %v, want %v (ascending inflight, index tie-break)", first, want)
+	}
+}
+
+// TestOrderRoundRobinRotates: each dial starts one node later; the
+// rotation state is the only thing that changes.
+func TestOrderRoundRobinRotates(t *testing.T) {
+	r := &Router{policy: RoundRobin, inflight: make([]int, 3)}
+	want := [][]int{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {0, 1, 2}}
+	for i, w := range want {
+		if got := r.order(); !reflect.DeepEqual(got, w) {
+			t.Fatalf("dial %d order %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestOrderFailoverFixed: failover order never changes, regardless of
+// load.
+func TestOrderFailoverFixed(t *testing.T) {
+	r := &Router{policy: Failover, inflight: []int{5, 0, 3}}
+	for i := 0; i < 3; i++ {
+		if got, want := r.order(), []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("dial %d order %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestParsePolicyRoundTrip: every policy's String parses back to itself,
+// the empty string is failover, and junk errors.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Failover, RoundRobin, LeastLoaded} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != Failover {
+		t.Fatalf("empty policy = %v, %v; want failover", p, err)
+	}
+	if _, err := ParsePolicy("nearest"); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}

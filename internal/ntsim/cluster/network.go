@@ -1,0 +1,145 @@
+// Package cluster builds an N-node simulated cluster out of ntsim
+// kernels: a Machine advances every node under one shared virtual clock,
+// a Network models latency and partitions on the links between nodes, a
+// Topology tracks node liveness, and a Router implements the client
+// routing policies (round-robin, least-loaded, failover-on-error).
+//
+// Determinism: every network delivery is a vclock event on the shared
+// clock, scheduled in send order, so messages on a link are delivered in
+// FIFO order at deterministic instants; routing decisions are pure
+// functions of cluster state at the dial instant. A cluster run is
+// therefore exactly as reproducible as a single-kernel run.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ntdts/internal/vclock"
+)
+
+// DefaultLatency is the one-way delivery delay on every link. It stands
+// in for a late-1990s switched LAN hop — large enough to order
+// cross-node traffic strictly after local work at the same instant,
+// small enough to be invisible next to the paper's 15-second client
+// timeouts.
+const DefaultLatency = 2 * time.Millisecond
+
+// Network models the links of an (endpoints)-node virtual network.
+// Endpoint indices 0..n-1 are cluster nodes; by convention the runner
+// adds one extra endpoint for the client host. Links are directed and
+// created lazily; all share the network's latency.
+type Network struct {
+	clock     *vclock.Clock
+	endpoints int
+	latency   time.Duration
+	links     map[linkKey]*Link
+}
+
+type linkKey struct{ from, to int }
+
+// NewNetwork returns a network over the given number of endpoints whose
+// links all have the given one-way latency (DefaultLatency if <= 0).
+func NewNetwork(clock *vclock.Clock, endpoints int, latency time.Duration) *Network {
+	if latency <= 0 {
+		latency = DefaultLatency
+	}
+	return &Network{
+		clock:     clock,
+		endpoints: endpoints,
+		latency:   latency,
+		links:     make(map[linkKey]*Link),
+	}
+}
+
+// Endpoints returns the number of network endpoints.
+func (nw *Network) Endpoints() int { return nw.endpoints }
+
+// Link returns the directed link from one endpoint to another, creating
+// it on first use.
+func (nw *Network) Link(from, to int) *Link {
+	if from < 0 || from >= nw.endpoints || to < 0 || to >= nw.endpoints {
+		panic(fmt.Sprintf("cluster: link %d->%d outside %d-endpoint network", from, to, nw.endpoints))
+	}
+	key := linkKey{from, to}
+	if l, ok := nw.links[key]; ok {
+		return l
+	}
+	l := &Link{nw: nw}
+	nw.links[key] = l
+	return l
+}
+
+// SetPartitioned cuts (or restores) both directed links between a and b.
+// Healing a partition flushes messages the cut held back, in their
+// original send order, so delivery stays FIFO across the outage.
+func (nw *Network) SetPartitioned(a, b int, partitioned bool) {
+	for _, l := range []*Link{nw.Link(a, b), nw.Link(b, a)} {
+		if partitioned {
+			l.partitioned = true
+		} else {
+			l.heal()
+		}
+	}
+}
+
+// Isolate cuts (or restores) every link between endpoint i and the rest
+// of the network — the classic single-node partition.
+func (nw *Network) Isolate(i int, partitioned bool) {
+	for j := 0; j < nw.endpoints; j++ {
+		if j != i {
+			nw.SetPartitioned(i, j, partitioned)
+		}
+	}
+}
+
+// Partitioned reports whether the directed link a->b is currently cut.
+func (nw *Network) Partitioned(a, b int) bool {
+	return nw.Link(a, b).partitioned
+}
+
+// Reachable reports whether both directed links between a and b are up.
+func (nw *Network) Reachable(a, b int) bool {
+	return !nw.Partitioned(a, b) && !nw.Partitioned(b, a)
+}
+
+// Link is one directed, latency-modeled, partitionable message channel.
+type Link struct {
+	nw          *Network
+	partitioned bool
+	// held buffers messages whose delivery instant arrived while the
+	// link was cut; heal() flushes them in order.
+	held []heldMessage
+}
+
+type heldMessage struct {
+	data    []byte
+	deliver func([]byte)
+}
+
+// Send schedules data for delivery after the link latency. The payload
+// is cloned at send time (the sender may reuse its buffer), and deliver
+// runs in clock-event context at the delivery instant. Messages in
+// flight when a partition cuts the link are held at their delivery
+// instant and flushed, in order, when the link heals; messages sent
+// while cut are held the same way. A link never reorders.
+func (l *Link) Send(data []byte, deliver func([]byte)) {
+	msg := heldMessage{data: append([]byte(nil), data...), deliver: deliver}
+	l.nw.clock.ScheduleAfter(l.nw.latency, func() {
+		if l.partitioned {
+			l.held = append(l.held, msg)
+			return
+		}
+		msg.deliver(msg.data)
+	})
+}
+
+// heal restores the link and flushes held messages in send order.
+func (l *Link) heal() {
+	l.partitioned = false
+	held := l.held
+	l.held = nil
+	for _, msg := range held {
+		msg.deliver(msg.data)
+	}
+}

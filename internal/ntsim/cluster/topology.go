@@ -1,0 +1,67 @@
+package cluster
+
+import "ntdts/internal/ntsim"
+
+// Topology is the runner's view of an n-node cluster: the node kernels,
+// which nodes are down, and the network between them. Endpoint n of the
+// network is the client host.
+type Topology struct {
+	nodes []*ntsim.Kernel
+	down  []bool
+	net   *Network
+}
+
+// NewTopology wraps the node kernels and their network. The network must
+// have len(nodes)+1 endpoints (the extra one is the client host).
+func NewTopology(nodes []*ntsim.Kernel, net *Network) *Topology {
+	return &Topology{
+		nodes: nodes,
+		down:  make([]bool, len(nodes)),
+		net:   net,
+	}
+}
+
+// Nodes returns the number of cluster nodes.
+func (t *Topology) Nodes() int { return len(t.nodes) }
+
+// Node returns node i's kernel.
+func (t *Topology) Node(i int) *ntsim.Kernel { return t.nodes[i] }
+
+// ClientHost returns the network endpoint index of the client host.
+func (t *Topology) ClientHost() int { return len(t.nodes) }
+
+// Network returns the cluster's virtual network.
+func (t *Topology) Network() *Network { return t.net }
+
+// Down reports whether node i has crashed.
+func (t *Topology) Down(i int) bool { return t.down[i] }
+
+// MarkDown records node i as crashed and cuts all its links (a dead host
+// answers no traffic). The caller is responsible for terminating the
+// node's processes; MarkDown only updates the cluster's view.
+func (t *Topology) MarkDown(i int) {
+	if t.down[i] {
+		return
+	}
+	t.down[i] = true
+	t.net.Isolate(i, true)
+}
+
+// Reachable reports whether nodes a and b are both up and their links
+// uncut. It is the health predicate the cluster resource monitor probes
+// in place of a real heartbeat exchange.
+func (t *Topology) Reachable(a, b int) bool {
+	if t.down[a] || t.down[b] {
+		return false
+	}
+	return t.net.Reachable(a, b)
+}
+
+// ClientReachable reports whether the client host can currently reach
+// node i.
+func (t *Topology) ClientReachable(i int) bool {
+	if t.down[i] {
+		return false
+	}
+	return t.net.Reachable(t.ClientHost(), i)
+}

@@ -93,3 +93,22 @@ func (s *PrefixSnapshot) Fork() *Kernel {
 	k.costs = s.costs
 	return k
 }
+
+// ForkInto materializes a machine node resuming from the snapshot. The
+// first fork positions the machine's shared clock at the snapshot's time
+// and counters (so a cluster boots exactly where a single kernel would);
+// subsequent forks join the already-positioned clock. Machine kernels
+// bypass the pool — pooled release resets the clock, which nodes sharing
+// one cannot survive — so they are simply dropped at run teardown.
+func (s *PrefixSnapshot) ForkInto(m *Machine) *Kernel {
+	if len(m.kernels) == 0 {
+		m.clock.RestoreCounters(s.now, s.seq, s.nextID)
+	}
+	k := m.AddKernel()
+	for name, entry := range s.images {
+		k.images[name] = entry
+	}
+	k.vfs.restoreFrom(s.files, s.dirs)
+	k.costs = s.costs
+	return k
+}

@@ -43,6 +43,13 @@ type Kernel struct {
 	procs  map[PID]*Process
 	images map[string]EntryFunc
 
+	// mach is non-nil when this kernel is one node of a Machine. The
+	// kernel then shares the machine's clock and parks its ready
+	// processes on the machine's global ring; Step delegates to the
+	// machine scheduler and the elision fast path stays disabled (its
+	// solo-process reasoning is per-kernel and unsound across nodes).
+	mach *Machine
+
 	nextPID PID
 	// ready is a ring: entries [readyHead:len) are queued. Popping moves
 	// the head index instead of re-slicing, so the backing array is
@@ -96,8 +103,14 @@ type Kernel struct {
 // NewKernel returns a kernel with an empty process table, a fresh virtual
 // clock, and the default cost model.
 func NewKernel() *Kernel {
+	return newKernelWithClock(vclock.New())
+}
+
+// newKernelWithClock returns a kernel driven by the given clock. Machine
+// nodes share one clock; standalone kernels own theirs.
+func newKernelWithClock(c *vclock.Clock) *Kernel {
 	return &Kernel{
-		clock:     vclock.New(),
+		clock:     c,
 		procs:     make(map[PID]*Process),
 		images:    make(map[string]EntryFunc),
 		procYield: make(chan struct{}),
@@ -219,7 +232,9 @@ func (k *Kernel) Spawn(image, cmdLine string, parent PID) (*Process, error) {
 	return p, nil
 }
 
-// makeReady appends p to the ready queue if it is not already queued.
+// makeReady appends p to the ready queue if it is not already queued. A
+// machine-attached kernel queues on the machine's global ring instead, so
+// one scheduler interleaves every node's processes in wake order.
 func (k *Kernel) makeReady(p *Process) {
 	if p.state == procTerminated {
 		return
@@ -231,6 +246,10 @@ func (k *Kernel) makeReady(p *Process) {
 		return
 	}
 	p.queued = true
+	if k.mach != nil {
+		k.mach.ready = append(k.mach.ready, p)
+		return
+	}
 	k.ready = append(k.ready, p)
 }
 
@@ -281,7 +300,7 @@ func (k *Kernel) ClearSchedCeiling() { k.ceilSet = false }
 // next Step would fire no timers and resume this same process — a pure
 // channel round-trip the fast path replaces with one counter increment.
 func (k *Kernel) canElide() bool {
-	if !k.ceilSet || k.attn || k.readyCount() != 0 {
+	if !k.ceilSet || k.attn || k.mach != nil || k.readyCount() != 0 {
 		return false
 	}
 	now := k.clock.Now()
@@ -301,7 +320,7 @@ func (k *Kernel) canElide() bool {
 // and strictly precede every queued event (an event at or before the wake
 // instant would fire first and could change what the sleeper observes).
 func (k *Kernel) canElideSleep(wake vclock.Time) bool {
-	if !k.ceilSet || k.attn || k.readyCount() != 0 {
+	if !k.ceilSet || k.attn || k.mach != nil || k.readyCount() != 0 {
 		return false
 	}
 	if !wake.Before(k.ceil) {
@@ -314,13 +333,16 @@ func (k *Kernel) canElideSleep(wake vclock.Time) bool {
 }
 
 // wake transitions a blocked process to ready with the given wait result.
+// It queues on the process's own kernel: pipe wakes may originate from a
+// peer kernel in a cluster machine (the writer's end lives on another
+// node), and the sleeper must run on its home scheduler.
 func (k *Kernel) wake(p *Process, result uint32, errno Errno) {
 	if p.state != procBlocked {
 		return
 	}
 	p.waitResult = result
 	p.waitErrno = errno
-	k.makeReady(p)
+	p.k.makeReady(p)
 }
 
 // Step executes one scheduling quantum: first it fires every timer event
@@ -330,6 +352,9 @@ func (k *Kernel) wake(p *Process, result uint32, errno Errno) {
 // virtual clock to the next timer event. It reports false when the
 // simulation is fully idle (no ready processes and no pending events).
 func (k *Kernel) Step() bool {
+	if k.mach != nil {
+		return k.mach.Step()
+	}
 	k.attn = false
 	for {
 		next, ok := k.clock.NextAt()
@@ -415,6 +440,12 @@ func (k *Kernel) KillAll() {
 		}
 	}
 	// Let terminations unwind.
+	if k.mach != nil {
+		for k.mach.readyCount() > 0 {
+			k.mach.Step()
+		}
+		return
+	}
 	for k.readyCount() > 0 {
 		k.Step()
 	}

@@ -197,6 +197,62 @@ func TopFailures(set *core.SetResult, limit int) string {
 	return b.String()
 }
 
+// Cluster renders the per-node view of a cluster campaign: restarts,
+// failovers, eventlog volume and crash counts aggregated per node over
+// every injected run, followed by the cluster-level service line — the
+// fraction of injected faults the client still completed and the
+// fraction it completed without ever observing a failure. Empty for
+// single-host sets (no per-node data).
+func Cluster(set *core.SetResult) string {
+	type nodeAgg struct {
+		restarts, failovers, events, crashes int
+	}
+	var nodes []nodeAgg
+	clustered, injected, completed, clean := 0, 0, 0, 0
+	for _, r := range set.Runs {
+		if len(r.Nodes) == 0 {
+			continue
+		}
+		clustered++
+		if r.Injected {
+			injected++
+			if r.Completed {
+				completed++
+			}
+			if r.Outcome != core.Failure {
+				clean++
+			}
+		}
+		for _, ns := range r.Nodes {
+			for len(nodes) <= ns.Node {
+				nodes = append(nodes, nodeAgg{})
+			}
+			nodes[ns.Node].restarts += ns.Restarts
+			nodes[ns.Node].failovers += ns.Failovers
+			nodes[ns.Node].events += ns.Events
+			if ns.Crashed {
+				nodes[ns.Node].crashes++
+			}
+		}
+	}
+	if clustered == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster view, %s/%s (%d-node topology, %d runs)\n\n",
+		set.Workload, set.Supervision, len(nodes), clustered)
+	fmt.Fprintf(&b, "%-6s %9s %10s %8s %8s\n", "node", "restarts", "failovers", "events", "crashes")
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "%-6d %9d %10d %8d %8d\n", i, n.restarts, n.failovers, n.events, n.crashes)
+	}
+	if injected > 0 {
+		fmt.Fprintf(&b, "\ncluster service under faults: %d/%d completed (%.1f%%), %d/%d recovered without failure (%.1f%%)\n",
+			completed, injected, 100*float64(completed)/float64(injected),
+			clean, injected, 100*float64(clean)/float64(injected))
+	}
+	return b.String()
+}
+
 // Availability renders the testing-based availability estimates (§5).
 func Availability(ests []avail.Estimate) string {
 	var b strings.Builder

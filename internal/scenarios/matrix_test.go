@@ -1,0 +1,90 @@
+package scenarios_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ntdts/internal/scenarios"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden cluster matrix from live behaviour")
+
+const goldenPath = "testdata/cluster_matrix.golden"
+
+// TestClusterMatrix pins the failure semantics of the whole cluster
+// layer: every {nodes, routing, fault, middleware} cell's outcome must
+// match the golden matrix byte for byte.
+func TestClusterMatrix(t *testing.T) {
+	got, err := scenarios.Matrix(runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("cluster matrix drifted from %s (regenerate with -update if the change is intended):\n%s",
+			goldenPath, firstDiff(string(want), got))
+	}
+}
+
+// TestClusterMatrixDeterministic re-renders the matrix at different pool
+// widths; any divergence means a cluster run leaked real-world
+// nondeterminism into its result.
+func TestClusterMatrixDeterministic(t *testing.T) {
+	seq, err := scenarios.Matrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := scenarios.Matrix(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("matrix differs between 1 and 8 workers:\n%s", firstDiff(seq, par))
+	}
+}
+
+// TestCellsCoverEveryDimension guards the sweep against a silently
+// dropped dimension value.
+func TestCellsCoverEveryDimension(t *testing.T) {
+	cells := scenarios.Cells()
+	if len(cells) != 81 {
+		t.Fatalf("%d cells, want 81 (3 sizes x 3 policies x 3 faults x 3 middlewares)", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		seen[c.Routing] = true
+		seen[c.Fault] = true
+		seen[c.Middleware.String()] = true
+	}
+	for _, want := range []string{"failover", "round-robin", "least-loaded",
+		"node-crash", "service-crash", "partition", "none", "MSCS", "watchd"} {
+		if !seen[want] {
+			t.Fatalf("dimension value %q missing from the sweep", want)
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two renderings.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(w), len(g))
+}

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/workload"
+)
+
+func newClusterRunner(nodes int, routing string) *core.Runner {
+	opts := core.DefaultRunnerOptions()
+	opts.Telemetry = telemetry.Options{Enabled: true}
+	opts.Cluster = core.ClusterConfig{Nodes: nodes, Routing: routing}
+	return core.NewRunner(workload.NewIIS(workload.MSCS), opts)
+}
+
+// TestClusterHeaderRoundTrip: the cluster topology rides the journal
+// header, so shard workers and resumes rebuild the identical cluster.
+func TestClusterHeaderRoundTrip(t *testing.T) {
+	r := newClusterRunner(3, "least-loaded")
+	got, err := RunnerFromHeader(HeaderFor(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opts.Cluster != r.Opts.Cluster {
+		t.Fatalf("cluster config drifted through the header: %+v -> %+v",
+			r.Opts.Cluster, got.Opts.Cluster)
+	}
+	// And a single-host runner's header must not invent a topology.
+	single := core.NewRunner(workload.NewIIS(workload.MSCS), core.DefaultRunnerOptions())
+	if h := HeaderFor(single); h.ClusterNodes != 0 || h.ClusterRouting != "" {
+		t.Fatalf("single-host header grew cluster fields: %+v", h)
+	}
+}
+
+// TestShardedClusterMatchesUnsharded: a 3-node cluster campaign fanned
+// out over shard workers produces archive, trace and metrics
+// byte-identical to the in-process run.
+func TestShardedClusterMatchesUnsharded(t *testing.T) {
+	specs := []inject.FaultSpec{
+		{Function: core.ClusterNodeCrashFunction, Invocation: 5, Type: inject.FlipBits},
+		{Function: core.ClusterServiceCrashFunction, Invocation: 5, Type: inject.FlipBits, Node: 1},
+		{Function: core.ClusterPartitionFunction, Param: 15, Invocation: 5, Type: inject.FlipBits},
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.FlipBits},
+		{Function: "ReadFile", Param: 1, Invocation: 1, Type: inject.ZeroBits, Node: 2},
+		{Function: "WriteFile", Param: 1, Invocation: 1, Type: inject.OneBits},
+	}
+	base, err := core.NewCampaign(newClusterRunner(3, "round-robin"),
+		core.WithParallelism(2), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, wantTrace, wantMetrics := artifacts(t, base)
+
+	for _, shards := range []int{2, 4} {
+		set, err := core.NewCampaign(newClusterRunner(3, "round-robin"),
+			core.WithSpecs(specs),
+			core.WithShards(shards),
+			core.WithShardExecutor(New(Options{WorkerParallelism: 2})),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		archive, trace, metrics := artifacts(t, set)
+		if !bytes.Equal(archive, wantArchive) {
+			t.Errorf("shards %d: cluster archive differs from unsharded run", shards)
+		}
+		if !bytes.Equal(trace, wantTrace) {
+			t.Errorf("shards %d: cluster telemetry trace differs from unsharded run", shards)
+		}
+		if metrics != wantMetrics {
+			t.Errorf("shards %d: cluster metrics text differs from unsharded run", shards)
+		}
+	}
+}

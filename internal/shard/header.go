@@ -35,6 +35,8 @@ func HeaderFor(r *core.Runner) journal.Header {
 	}
 	h.Cohort = r.Def.Cohort
 	h.WorkloadTrace = r.Def.WorkloadTrace
+	h.ClusterNodes = r.Opts.Cluster.Nodes
+	h.ClusterRouting = r.Opts.Cluster.Routing
 	return h
 }
 
@@ -88,5 +90,6 @@ func RunnerFromHeader(h journal.Header) (*core.Runner, error) {
 	// the same engine the coordinator was asked for; archives are
 	// byte-identical either way, only throughput differs.
 	opts.FreshBoot = h.FreshBoot
+	opts.Cluster = core.ClusterConfig{Nodes: h.ClusterNodes, Routing: h.ClusterRouting}
 	return core.NewRunner(def, opts), nil
 }

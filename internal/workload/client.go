@@ -40,7 +40,7 @@ type RequestSpec struct {
 	// Send writes the request and reads the reply over an open
 	// connection, returning the raw reply and whether a complete reply
 	// arrived.
-	send func(p *ntsim.Process, pc *ntsim.PipeClient, deadline vclock.Time) (reply []byte, complete bool)
+	send func(p *ntsim.Process, conn Conn, deadline vclock.Time) (reply []byte, complete bool)
 	// Expected is the exact correct reply body.
 	Expected []byte
 	// PipePath is the server endpoint.
@@ -167,13 +167,24 @@ func runRequestOn(p *ntsim.Process, spec RequestSpec, rec *RequestRecord, remote
 }
 
 // tryOnce makes a single attempt: connect (polling until the deadline) and
-// exchange one request/reply.
+// exchange one request/reply. Connections come from the kernel's
+// registered dialer when one exists (cluster routing), else straight from
+// the local pipe namespace.
 func tryOnce(p *ntsim.Process, spec RequestSpec, deadline vclock.Time) ([]byte, bool) {
 	k := p.Kernel()
-	var pc *ntsim.PipeClient
+	dial := dialerFor(k)
+	var conn Conn
 	for {
 		var errno ntsim.Errno
-		pc, errno = k.ConnectPipeClient(spec.PipePath)
+		if dial != nil {
+			conn, errno = dial(p, spec.PipePath)
+		} else {
+			var pc *ntsim.PipeClient
+			pc, errno = k.ConnectPipeClient(spec.PipePath)
+			if errno == ntsim.ErrSuccess {
+				conn = pc
+			}
+		}
 		if errno == ntsim.ErrSuccess {
 			break
 		}
@@ -182,18 +193,18 @@ func tryOnce(p *ntsim.Process, spec RequestSpec, deadline vclock.Time) ([]byte, 
 		}
 		p.SleepFor(250 * time.Millisecond)
 	}
-	defer pc.CloseClient()
-	return spec.send(p, pc, deadline)
+	defer conn.CloseClient()
+	return spec.send(p, conn, deadline)
 }
 
 // CloseClient is exported on the kernel type via a tiny wrapper so client
 // code outside ntsim can close its end.
 
-// timedConn adapts a PipeClient to httpwire.Conn with an absolute read
+// timedConn adapts a workload Conn to httpwire.Conn with an absolute read
 // deadline (the client's socket timeout).
 type timedConn struct {
 	p        *ntsim.Process
-	pc       *ntsim.PipeClient
+	pc       Conn
 	deadline vclock.Time
 }
 
@@ -217,8 +228,8 @@ func (c *timedConn) Write(data []byte) bool {
 // httpSend performs one HTTP exchange, returning the body when a complete,
 // well-formed 200 response arrives. A non-200 or malformed reply counts as
 // complete-but-wrong (reply != expected).
-func httpSend(path string) func(*ntsim.Process, *ntsim.PipeClient, vclock.Time) ([]byte, bool) {
-	return func(p *ntsim.Process, pc *ntsim.PipeClient, deadline vclock.Time) ([]byte, bool) {
+func httpSend(path string) func(*ntsim.Process, Conn, vclock.Time) ([]byte, bool) {
+	return func(p *ntsim.Process, pc Conn, deadline vclock.Time) ([]byte, bool) {
 		conn := &timedConn{p: p, pc: pc, deadline: deadline}
 		if !httpwire.WriteRequest(conn, httpwire.Request{Method: "GET", Path: path}) {
 			return nil, false
@@ -239,8 +250,8 @@ func httpSend(path string) func(*ntsim.Process, *ntsim.PipeClient, vclock.Time) 
 
 // sqlSend performs one SQL exchange: one query line out, the framed reply
 // back.
-func sqlSend(query string) func(*ntsim.Process, *ntsim.PipeClient, vclock.Time) ([]byte, bool) {
-	return func(p *ntsim.Process, pc *ntsim.PipeClient, deadline vclock.Time) ([]byte, bool) {
+func sqlSend(query string) func(*ntsim.Process, Conn, vclock.Time) ([]byte, bool) {
+	return func(p *ntsim.Process, pc Conn, deadline vclock.Time) ([]byte, bool) {
 		if _, errno := pc.Write([]byte(query + "\n")); errno != ntsim.ErrSuccess {
 			return nil, false
 		}

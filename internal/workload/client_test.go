@@ -261,6 +261,43 @@ func TestSQLWorkloadEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSQLCatalogAndCannedClient pins the SQL catalog shape: two request
+// kinds for cohort mixes, but the canned client keeps issuing only the
+// paper's single select — existing archives stay byte-compatible.
+func TestSQLCatalogAndCannedClient(t *testing.T) {
+	def := NewSQL(Standalone)
+	if len(def.Requests) != 2 {
+		t.Fatalf("SQL catalog has %d request kinds, want 2", len(def.Requests))
+	}
+	for _, name := range []string{"select-orders", "select-small"} {
+		if _, ok := def.RequestByName(name); !ok {
+			t.Fatalf("SQL catalog is missing %q", name)
+		}
+	}
+	k := ntsim.NewKernel()
+	def.Setup(k)
+	if _, err := k.Spawn(def.Service.Image, def.Service.CmdLine, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(3 * time.Second)
+	_, report, err := def.SpawnClient(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := k.Now().Add(150 * time.Second)
+	for !report.Done && k.Now().Before(deadline) {
+		if !k.Step() {
+			break
+		}
+	}
+	if len(report.Requests) != 1 {
+		t.Fatalf("canned SQL client issued %d requests, want exactly the paper's single select", len(report.Requests))
+	}
+	if !report.AllSucceeded() {
+		t.Fatalf("canned select failed: %+v", report.Requests[0])
+	}
+}
+
 // TestReportAccessorsEmpty pins the zero-value semantics the collector
 // relies on.
 func TestReportAccessorsEmpty(t *testing.T) {

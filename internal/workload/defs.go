@@ -79,6 +79,12 @@ var staticBody = sync.OnceValue(func() []byte {
 // SQLQuery is the SqlClient's single-table select (paper §4).
 const SQLQuery = "SELECT customer, total FROM orders WHERE total >= 100"
 
+// SQLQuerySmall is the second catalog query: the complementary
+// small-order select. The canned SqlClient never issues it (the paper's
+// client sends the one select above); generated cohorts mix it in by
+// request name ("select-small").
+const SQLQuerySmall = "SELECT id, customer FROM orders WHERE total < 100"
+
 // Definition is everything DTS needs to run one workload: how to install
 // the server, which SCM service to start, which process to inject, and how
 // to launch the client.
@@ -235,6 +241,11 @@ func NewSQL(s Supervision) Definition {
 		PipePath: common.SQLPipe,
 		send:     sqlSend(SQLQuery),
 		Expected: sqlserver.ExpectedReply(SQLQuery),
+	}, {
+		Name:     "select-small",
+		PipePath: common.SQLPipe,
+		send:     sqlSend(SQLQuerySmall),
+		Expected: sqlserver.ExpectedReply(SQLQuerySmall),
 	}}
 	return Definition{
 		Name:        "SQL",
@@ -249,8 +260,10 @@ func NewSQL(s Supervision) Definition {
 		Setup: func(k *ntsim.Kernel) {
 			sqlserver.Register(k, sqlserver.DefaultConfig())
 		},
-		Requests:    reqs,
-		SpawnClient: spawnCannedClient("sqlclient.exe", reqs),
+		Requests: reqs,
+		// The canned SqlClient issues only the paper's single select;
+		// the rest of the catalog is for cohort request mixes.
+		SpawnClient: spawnCannedClient("sqlclient.exe", reqs[:1]),
 	}
 }
 

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"time"
+
+	"ntdts/internal/ntsim"
+)
+
+// Conn is the client's transport handle: the subset of *ntsim.PipeClient
+// the request protocols need. The single-host workloads use the pipe
+// client directly; a cluster runner registers a dialer whose connections
+// route through a virtual network and a routing policy instead.
+type Conn interface {
+	Read(p *ntsim.Process, buf []byte) (int, ntsim.Errno)
+	ReadTimeout(p *ntsim.Process, buf []byte, timeout time.Duration) (int, ntsim.Errno)
+	Write(data []byte) (int, ntsim.Errno)
+	CloseClient()
+}
+
+// DialFunc opens a connection to a service endpoint on behalf of a client
+// process. Returning a non-success errno means "not connectable right
+// now"; the client's retry protocol polls exactly as it does for
+// ntsim.ErrFileNotFound / ErrPipeBusy on the direct path.
+type DialFunc func(p *ntsim.Process, path string) (Conn, ntsim.Errno)
+
+// dialerKey names the registered dialer in the kernel's named-object
+// registry (the same mechanism the SCM uses for its singleton).
+const dialerKey = "workload:dialer"
+
+// RegisterDialer installs dial as the connection factory for every client
+// process on kernel k. Clients on kernels with no registered dialer
+// connect straight to the local pipe namespace, so single-host runs are
+// byte-identical to the pre-cluster engine.
+func RegisterDialer(k *ntsim.Kernel, dial DialFunc) {
+	k.RegisterNamed(dialerKey, dial)
+}
+
+// dialerFor returns the kernel's registered dialer, or nil.
+func dialerFor(k *ntsim.Kernel) DialFunc {
+	if v, ok := k.LookupNamed(dialerKey); ok {
+		if d, ok := v.(DialFunc); ok {
+			return d
+		}
+	}
+	return nil
+}

@@ -81,6 +81,62 @@ func TestScheduleGolden(t *testing.T) {
 	}
 }
 
+// TestSQLCohortMixesBothRequestKinds: the SQL catalog's second request
+// kind (select-small) is reachable only through generated cohorts — the
+// canned SqlClient stays pinned to the paper's single select. A mixed
+// cohort must schedule both kinds, compile against NewSQL, and complete
+// its fault-free calibration run with every request answered correctly.
+func TestSQLCohortMixesBothRequestKinds(t *testing.T) {
+	const sqlSpec = "seed=7" +
+		";class=sql,clients=3,requests=4,arrival=poisson,rate=0.05,mix=select-orders:1/select-small:1"
+	spec, err := workloadgen.Parse(sqlSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, cs := range scheds {
+		for _, st := range cs.Steps {
+			counts[st.Request]++
+		}
+	}
+	if counts["select-orders"] == 0 || counts["select-small"] == 0 {
+		t.Fatalf("1:1 mix over 12 requests left a kind unscheduled: %v", counts)
+	}
+
+	def, err := workloadgen.Compile(workload.NewSQL(workload.Standalone), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewRunner(def, core.RunnerOptions{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Outcome != core.NormalSuccess {
+		t.Fatalf("fault-free SQL cohort run: completed=%v outcome=%v, want normal success", res.Completed, res.Outcome)
+	}
+	if len(res.Classes) != 1 {
+		t.Fatalf("%d class aggregates, want 1 (sql)", len(res.Classes))
+	}
+	co := res.Classes[0]
+	if co.Class != "sql" || co.Clients != 3 || co.Requests != 12 || co.Succeeded != 12 {
+		t.Fatalf("sql class stats %+v, want 3 clients x 4 requests all succeeded", co)
+	}
+
+	// The mix validates against the catalog: a kind the SQL workload
+	// does not serve must be rejected at compile time.
+	bogus, err := workloadgen.Parse("seed=7;class=sql,clients=1,requests=2,arrival=poisson,rate=0.05,mix=drop-table:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workloadgen.Compile(workload.NewSQL(workload.Standalone), bogus); err == nil {
+		t.Fatal("unknown request kind must fail cohort compilation")
+	}
+}
+
 // campaignSpecs builds a deterministic 200-fault list spanning the
 // KERNEL32 catalog, cycling parameters and corruption types — the same
 // shape a faultgen-generated user fault list has.

@@ -627,3 +627,65 @@ func BenchmarkWorkloadGen(b *testing.B) {
 	b.ReportMetric(float64(spec.TotalRequests())/sec, "requests/sec")
 	b.ReportMetric(float64(traceBytes), "trace-bytes")
 }
+
+// BenchmarkCampaignFleet prices the work-stealing dispatcher against the
+// static -shards partitioning over the same Apache1 stand-alone
+// campaign, at 1/2/4 workers, clean and with a deliberate straggler
+// (ChaosSlow wedges worker 0 into sleeping before every run). On a
+// balanced fleet stealing should cost about what static costs; with a
+// straggler the stealing fleet shrinks the slow worker's chunks and
+// speculates its tail, so steal-4 must beat static-4 — the CI
+// fleet-chaos job gates on that ratio end to end through the CLI.
+func BenchmarkCampaignFleet(b *testing.B) {
+	campaign := func(mode string, workers int, slow string) *core.SetResult {
+		opts := []core.Option{core.WithParallelism(1)}
+		switch {
+		case mode == "static" && workers > 1:
+			opts = append(opts,
+				core.WithShards(workers),
+				core.WithShardExecutor(shard.New(shard.Options{WorkerParallelism: 1, ChaosSlow: slow})))
+		case mode == "steal":
+			opts = append(opts,
+				core.WithShards(2), // engages the executor; FleetOptions sizes the fleet
+				core.WithShardExecutor(shard.NewFleet(shard.FleetOptions{
+					Workers: workers, WorkerParallelism: 1, ChaosSlow: slow})))
+		}
+		set, err := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			opts...).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mode == "steal" && set.Dispatch != nil && set.Dispatch.Degraded {
+			b.Fatal("stealing fleet completed degraded in a clean benchmark")
+		}
+		return set
+	}
+
+	base := campaign("static", 1, "") // warm-up and run-count baseline
+
+	bench := func(name, mode string, workers int, slow string) {
+		b.Run(name, func(b *testing.B) {
+			totalRuns := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				set := campaign(mode, workers, slow)
+				if len(set.Runs) != len(base.Runs) {
+					b.Fatalf("%s ran %d faults, baseline %d", name, len(set.Runs), len(base.Runs))
+				}
+				totalRuns += len(set.Runs)
+			}
+			b.ReportMetric(float64(totalRuns)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+
+	for _, w := range []int{1, 2, 4} {
+		bench(fmt.Sprintf("static/workers=%d", w), "static", w, "")
+		bench(fmt.Sprintf("steal/workers=%d", w), "steal", w, "")
+	}
+	// The straggler pair: worker 0 sleeps 5ms before every run. Static
+	// partitioning eats the full delay on a quarter of the campaign;
+	// stealing routes work around the slow slot.
+	bench("static/workers=4/straggler", "static", 4, "0:5")
+	bench("steal/workers=4/straggler", "steal", 4, "0:5")
+}

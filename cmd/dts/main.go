@@ -12,6 +12,9 @@
 //	dts -experiment table1|figure2|figure5 [-out results.json]
 //	dts -conformance [-golden path] [-update] [-sample n] [-seed n]
 //	dts ... [-trace-out trace.jsonl] [-metrics] [-trace-cap n]
+//	dts -config dts.cfg -workers 4 | -workers h1:9433,h2:9433 [-worker-key k]
+//	dts -worker-listen :9433 [-worker-key k]
+//	dts serve [-addr host:port] [-worker-key k]
 //
 // With -config, dts runs a single workload set as configured (workload,
 // middleware, fault list). With -fault, dts runs exactly one fault —
@@ -41,6 +44,17 @@
 // trace path ride the journal header, so shard workers and -resume rebuild
 // the identical schedule, and archives are byte-identical at any
 // -parallel/-shards setting and across record/replay.
+//
+// -workers runs the campaign as a work-stealing fleet (DESIGN.md §4j):
+// workers pull bounded chunks on demand, lost chunks are re-dispatched,
+// straggler tails are speculated, and the merged archive is byte-identical
+// to an unsharded run under any kill schedule. An integer count spawns
+// local worker processes; a host:port list dials `dts -worker-listen`
+// hosts over authenticated, reconnect-resumable TCP. A campaign that
+// finishes only by in-process fallback (every worker budget exhausted)
+// exits 5. `dts serve` exposes the same engine as a long-running HTTP
+// service: submit campaigns with config and fault list inline, stream
+// progress as JSONL, fetch the archive and report.
 //
 // -cluster N runs the workload on an N-node shared-clock cluster behind a
 // latency-modeled virtual network; -routing picks how clients choose a
@@ -94,6 +108,11 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		// Long-running campaign service: submit over HTTP, stream
+		// progress, fetch archive and report. See serve.go.
+		return runServe(args[1:], out)
+	}
 	fs := flag.NewFlagSet("dts", flag.ContinueOnError)
 	cfgPath := fs.String("config", "", "main configuration file")
 	experiment := fs.String("experiment", "", "paper experiment to run: table1, figure2, figure5")
@@ -117,6 +136,10 @@ func run(args []string, out io.Writer) error {
 	retries := fs.Int("retries", 2, "retry budget for indeterminate runs (hang, panic, error) before quarantine")
 	chaos := fs.Bool("chaos", false, "recognize the reserved DTSChaos* fault functions and the DTS_SHARD_CHAOS_KILL drill (self-tests)")
 	shards := fs.Int("shards", 0, "fan the campaign out over this many worker processes (results byte-identical to unsharded; -parallel then sizes each worker's pool)")
+	workers := fs.String("workers", "", `work-stealing campaign fleet: a worker count ("4" spawns local dts workers) or a comma-separated host:port list (dials dts -worker-listen hosts); results byte-identical to unsharded under any kill schedule`)
+	workerListen := fs.String("worker-listen", "", "host fleet workers for remote -workers coordinators on this TCP address (long-running; authenticate with -worker-key)")
+	workerKey := fs.String("worker-key", "", "shared session key for the -workers/-worker-listen TCP transport (default $DTS_WORKER_KEY)")
+	chunk := fs.Int("chunk", 0, "fleet dispatch chunk size (0 = auto; degraded workers receive smaller chunks automatically)")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout")
 	freshBoot := fs.Bool("fresh-boot", false, "boot a fresh kernel for every run instead of forking the boot-prefix snapshot (slower; archives are byte-identical either way)")
 	clusterN := fs.Int("cluster", 0, "run every fault on an N-node simulated cluster (0 = single host; 1 = single host with DTSCluster* scenario faults enabled; topology rides the journal header so -parallel/-shards/-resume rebuild it)")
@@ -162,6 +185,7 @@ func run(args []string, out io.Writer) error {
 		// the coordinator is the only intended invoker.
 		return shard.ServeWorker(os.Stdin, out)
 	}
+	fflags := fleetFlags{workers: *workers, key: *workerKey, chunk: *chunk, chaos: *chaos}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
 	}
@@ -184,6 +208,12 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, line)
 		}
 	}
+	if *workerListen != "" {
+		if *cfgPath != "" || *experiment != "" || *conformance || fflags.active() {
+			return fmt.Errorf("-worker-listen hosts fleet workers for a remote coordinator; run the campaign from the coordinator side")
+		}
+		return runWorkerListen(ctx, *workerListen, *workerKey, progress)
+	}
 	tflags := telemetryFlags{traceOut: *traceOut, metrics: *metrics, traceCap: *traceCap}
 	sflags := superviseFlags{journal: *journalPath, runDeadline: *runDeadline,
 		maxQuarantined: *maxQuarantined, retries: *retries, chaos: *chaos}
@@ -202,6 +232,16 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-cluster/-routing configure a -config campaign; they cannot combine with -experiment/-conformance (fixed topologies) or -resume (the journal header already carries the topology)")
 	}
 
+	if fflags.active() {
+		if *shards > 0 {
+			return fmt.Errorf("-workers (work-stealing fleet) and -shards (static partitions) are mutually exclusive")
+		}
+		if *resume != "" || *conformance || *experiment != "" || *faultSpec != "" ||
+			*runDeadline > 0 || *maxQuarantined > 0 {
+			return fmt.Errorf("-workers runs unsupervised -config campaigns only; drop -resume/-conformance/-experiment/-fault/-run-deadline/-max-quarantined (-journal is allowed: the fleet journals every committed run plus its dispatch provenance)")
+		}
+	}
+
 	var shardExec core.ShardExecutor
 	if *shards > 1 {
 		if *resume != "" || *conformance || *faultSpec != "" || *journalPath != "" ||
@@ -211,6 +251,7 @@ func run(args []string, out io.Writer) error {
 		sopts := shard.Options{WorkerParallelism: *parallel, Spawn: workerSpawner()}
 		if *chaos {
 			sopts.ChaosKill = os.Getenv("DTS_SHARD_CHAOS_KILL")
+			sopts.ChaosSlow = os.Getenv("DTS_SHARD_CHAOS_SLOW")
 		}
 		shardExec = shard.New(sopts)
 	}
@@ -219,7 +260,7 @@ func run(args []string, out io.Writer) error {
 		Shards: *shards, ShardExec: shardExec}
 	ecfg.Opts.Telemetry = tflags.options()
 	ecfg.Opts.FreshBoot = *freshBoot
-	if sflags.active() && *shards <= 1 {
+	if sflags.active() && *shards <= 1 && !fflags.active() {
 		opts := sflags.options()
 		ecfg.Supervise = &opts
 	}
@@ -242,7 +283,7 @@ func run(args []string, out io.Writer) error {
 	case *cfgPath != "" && *faultSpec != "":
 		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, cflags, wflags, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, cflags, wflags, tflags, sflags, progress, out)
+		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, cflags, wflags, tflags, sflags, fflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
@@ -519,7 +560,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, progress func(string), out io.Writer) error {
+func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, fflags fleetFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -548,8 +589,31 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 		outPath = cfg.Results
 	}
 
+	var fleetJW *journal.Writer
+	if fflags.active() {
+		// The fleet replaces both the static executor and the
+		// supervisor: worker processes isolate harness faults, and the
+		// journal (when requested) records committed runs plus the
+		// dispatch provenance trail.
+		fopts, n, ferr := fflags.options(parallel)
+		if ferr != nil {
+			return ferr
+		}
+		if sflags.journal != "" {
+			fleetJW, ferr = journal.Create(sflags.journal, journalHeader(cfg, def, opts, tflags, sflags))
+			if ferr != nil {
+				return ferr
+			}
+			fopts.Journal = fleetJW
+		}
+		shardExec = shard.NewFleet(fopts)
+		if shards = n; shards < 2 {
+			shards = 2 // engage the executor; FleetOptions sizes the fleet
+		}
+	}
+
 	var sup *core.Supervisor
-	if sflags.active() && shards <= 1 {
+	if sflags.active() && shards <= 1 && !fflags.active() {
 		sup = core.NewSupervisor(sflags.options())
 		if sflags.journal != "" {
 			jw, jerr := journal.Create(sflags.journal, journalHeader(cfg, def, opts, tflags, sflags))
@@ -576,14 +640,26 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 	}
 	set, err := core.NewCampaign(runner, copts...).Run(ctx)
 	if sup == nil {
+		if fleetJW != nil {
+			if serr := fleetJW.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+			fleetJW.Close()
+		}
 		if err != nil {
 			return err
 		}
 		printSetSummary(set, out)
+		printFleetSummary(set.Dispatch, out)
 		if err := tflags.emit(set.Telemetry, out); err != nil {
 			return err
 		}
-		return saveSet(set, outPath)
+		if err := saveSet(set, outPath); err != nil {
+			return err
+		}
+		// A degraded completion exits with its own code: the results
+		// are complete, but the fleet did not survive as a fleet.
+		return fleetExit(set.Dispatch)
 	}
 	hint := resumeCommand(sflags.journal, outPath, parallel, tflags)
 	return finishSupervised(set, err, outPath, sup, hint, tflags, out)

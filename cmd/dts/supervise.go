@@ -28,6 +28,10 @@ import (
 const (
 	exitInterrupted      = 3
 	exitQuarantineBudget = 4
+	// exitDegraded: a -workers fleet campaign completed — results are
+	// full and byte-identical — but only by falling back to in-process
+	// execution after every worker budget was exhausted.
+	exitDegraded = 5
 )
 
 // exitError carries a specific process exit code out of run().

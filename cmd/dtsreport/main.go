@@ -239,6 +239,24 @@ func summarizeJournal(path string, out io.Writer) error {
 	if rep.Torn {
 		fmt.Fprintln(out, "torn final record (process died mid-write); a resume discards it")
 	}
+	if len(rep.Dispatch) > 0 {
+		// The fleet provenance trail: how the work-stealing dispatcher
+		// moved chunks around, and whether the campaign only finished
+		// by falling back to in-process execution.
+		counts := map[string]int{}
+		degraded := false
+		for _, ev := range rep.Dispatch {
+			counts[ev.Event]++
+			if ev.Event == "degraded" {
+				degraded = true
+			}
+		}
+		fmt.Fprintf(out, "fleet dispatch: %d chunks assigned, %d redispatched, %d speculated, %d drained in-process, %d worker slots exhausted\n",
+			counts["assign"], counts["redispatch"], counts["speculate"], counts["local"], counts["exhausted"])
+		if degraded {
+			fmt.Fprintln(out, "fleet DEGRADED: the campaign completed in-process after worker budgets were exhausted (results are still complete)")
+		}
+	}
 	fmt.Fprintf(out, "resume with:\n  dts -resume %s\n", path)
 	return nil
 }

@@ -303,3 +303,56 @@ func captureStdout(t *testing.T, fn func()) string {
 	os.Stdout = orig
 	return out
 }
+
+// fleetJournalFixture is journalFixture plus a dispatch provenance
+// trail, optionally ending degraded.
+func fleetJournalFixture(t *testing.T, degraded bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+	data := `{"kind":"header","version":1,"workload":"IIS","supervision":"none","serverUpTimeoutNS":1,"runDeadlineNS":2}
+{"kind":"plan","jobs":["ReadFile/0/1/zero","WriteFile/0/1/zero"],"fingerprint":"x"}
+{"kind":"assign","worker":0,"event":"assign","indices":[0]}
+{"kind":"assign","worker":1,"event":"assign","indices":[1]}
+{"kind":"run","index":0,"key":"ReadFile/0/1/zero","result":{}}
+{"kind":"assign","worker":1,"event":"redispatch","indices":[1]}
+{"kind":"assign","worker":0,"event":"speculate","indices":[1]}
+{"kind":"run","index":1,"key":"WriteFile/0/1/zero","result":{}}
+`
+	if degraded {
+		data += `{"kind":"assign","worker":1,"event":"exhausted"}
+{"kind":"assign","worker":-1,"event":"local","indices":[1]}
+{"kind":"assign","worker":-1,"event":"degraded"}
+`
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestJournalFleetDispatchSummary covers the fleet provenance view: the
+// dispatch counts line, and the DEGRADED note only when the journal
+// records a degraded completion.
+func TestJournalFleetDispatchSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarizeJournal(fleetJournalFixture(t, false), &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "fleet dispatch: 2 chunks assigned, 1 redispatched, 1 speculated, 0 drained in-process, 0 worker slots exhausted"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("summary missing %q:\n%s", want, out.String())
+	}
+	if strings.Contains(out.String(), "DEGRADED") {
+		t.Errorf("clean fleet journal rendered a DEGRADED note:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := summarizeJournal(fleetJournalFixture(t, true), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1 drained in-process", "1 worker slots exhausted", "fleet DEGRADED"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("degraded summary missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -36,6 +36,11 @@ type SetResult struct {
 	// Merged exports (JSONL/CSV traces, metrics) are byte-identical
 	// across Parallelism settings. Excluded from the JSON archive.
 	Telemetry *telemetry.Set `json:"-"`
+
+	// Dispatch describes how the fleet executor behaved when the
+	// campaign ran sharded (nil otherwise). Excluded from the JSON
+	// archive so archives stay byte-identical at any fleet shape.
+	Dispatch *DispatchStats `json:"-"`
 }
 
 // Injected returns the number of faults that actually fired.
@@ -303,7 +308,13 @@ func (c *Campaign) Run(ctx context.Context) (*SetResult, error) {
 			return nil, errors.New("campaign: sharding and supervision are mutually exclusive (each worker process already isolates harness faults; journal a shard-worker run instead)")
 		}
 		runs, runErr := exec.ExecuteShards(ctx, c, p)
-		return p.Assemble(runs, runErr)
+		set, err := p.Assemble(runs, runErr)
+		if set != nil {
+			if dr, ok := exec.(DispatchReporter); ok {
+				set.Dispatch = dr.DispatchStats()
+			}
+		}
+		return set, err
 	}
 	if c.Supervise != nil {
 		if err := c.Supervise.syncPlan(p.Jobs); err != nil {

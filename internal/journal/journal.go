@@ -51,6 +51,13 @@ const (
 	KindPlan       = "plan"
 	KindRun        = "run"
 	KindQuarantine = "quarantine"
+	// KindAssign is a fleet-dispatch provenance line: which worker a
+	// chunk of job indices was handed to, and what became of it
+	// (assigned, redispatched, speculated, drained locally). Assign
+	// lines are informational — replay collects them for dtsreport's
+	// triage view but they never affect resume, and they are excluded
+	// from the record count the checkpoint sidecar cross-checks.
+	KindAssign = "assign"
 )
 
 // Header is the first line of every journal: the full campaign
@@ -123,6 +130,17 @@ type Plan struct {
 	// worker-failure drill (dts -chaos + DTS_SHARD_CHAOS_KILL). Set only
 	// on a shard's first dispatch, so the respawned worker survives.
 	ChaosKillAfter int `json:"chaosKillAfter,omitempty"`
+
+	// ChaosHangAfter, when > 0, wedges the worker after that many run
+	// records: the run loop blocks forever while the heartbeat beacon
+	// keeps ticking — the drill for the dispatcher's progress deadline
+	// and speculative re-issue (dts -chaos + DTS_SHARD_CHAOS_HANG).
+	ChaosHangAfter int `json:"chaosHangAfter,omitempty"`
+
+	// ChaosSlowMS, when > 0, sleeps that many milliseconds before every
+	// run — a deliberate straggler for the work-stealing benchmarks and
+	// the CI fleet-chaos gate (dts -chaos + DTS_SHARD_CHAOS_SLOW).
+	ChaosSlowMS int `json:"chaosSlowMS,omitempty"`
 }
 
 // Record is one run or quarantine line.
@@ -141,6 +159,14 @@ type Record struct {
 	Reason  string          `json:"reason,omitempty"`
 	Message string          `json:"message,omitempty"`
 	Stack   string          `json:"stack,omitempty"`
+
+	// Assign payloads (kind "assign"): the fleet dispatcher's
+	// provenance trail. Worker is the slot number (-1 for the local
+	// drainer), Event the chunk lifecycle step, Indices the global job
+	// indices involved.
+	Worker  int    `json:"worker,omitempty"`
+	Event   string `json:"event,omitempty"`
+	Indices []int  `json:"indices,omitempty"`
 }
 
 // Checkpoint is the atomic sidecar: a byte offset and record count known
@@ -281,6 +307,14 @@ func (w *Writer) WriteRun(index int, key string, attempts int, result, tel json.
 	})
 }
 
+// WriteAssign appends one fleet-dispatch provenance line. It uses the
+// plain line path, not the record path: assign lines carry no results,
+// so they stay outside the record count the checkpoint sidecar
+// cross-checks against replay.
+func (w *Writer) WriteAssign(worker int, event string, indices []int) error {
+	return w.writeLine(Record{Kind: KindAssign, Worker: worker, Event: event, Indices: indices})
+}
+
 // WriteQuarantine appends one quarantine record.
 func (w *Writer) WriteQuarantine(index int, key string, fault json.RawMessage, reason, message, stack string, attempts int) error {
 	return w.writeRecord(Record{
@@ -387,12 +421,22 @@ type QuarantineRecord struct {
 	Stack    string
 }
 
+// DispatchEvent is a replayed fleet-dispatch provenance line.
+type DispatchEvent struct {
+	Worker  int
+	Event   string
+	Indices []int
+}
+
 // Replayed is the parsed state of a journal: everything a resume needs.
 type Replayed struct {
 	Header      Header
 	Plan        *Plan
 	Runs        map[int]RunRecord
 	Quarantined map[int]QuarantineRecord
+	// Dispatch holds the fleet coordinator's chunk-assignment trail, in
+	// journal order (empty for supervised in-process campaigns).
+	Dispatch []DispatchEvent
 	// Torn reports that the final line was incomplete or unparsable and
 	// was discarded. ValidBytes is the verified record-complete prefix
 	// length — pass it to Append to truncate before continuing.
@@ -454,6 +498,11 @@ func Replay(path string) (*Replayed, error) {
 				Reason: rec.Reason, Message: rec.Message, Stack: rec.Stack,
 			}
 			rep.Records++
+		case KindAssign:
+			rec := line.Rec
+			rep.Dispatch = append(rep.Dispatch, DispatchEvent{
+				Worker: rec.Worker, Event: rec.Event, Indices: rec.Indices,
+			})
 		default:
 			// Heartbeat/done/error lines live on shard streams only; in a
 			// journal file they mean someone saved a raw worker stream.

@@ -145,7 +145,7 @@ func decodeLine(data []byte) (*Line, error) {
 		if err := json.Unmarshal(data, l.Plan); err != nil {
 			return nil, err
 		}
-	case KindRun, KindQuarantine, KindHeartbeat, KindDone, KindError:
+	case KindRun, KindQuarantine, KindAssign, KindHeartbeat, KindDone, KindError:
 		l.Rec = &Record{}
 		if err := json.Unmarshal(data, l.Rec); err != nil {
 			return nil, err

@@ -54,6 +54,10 @@ type Options struct {
 	// failure drill dts -chaos wires from DTS_SHARD_CHAOS_KILL. Only
 	// meaningful with a real-process Spawner.
 	ChaosKill string
+	// ChaosSlow, in the form "shard:delayMS", makes that shard's first
+	// worker sleep before every run — the deliberate straggler the
+	// static-vs-stealing benchmarks compare against.
+	ChaosSlow string
 }
 
 // Executor runs prepared campaigns across shard workers. It implements
@@ -114,6 +118,10 @@ func (e *Executor) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.
 	if err != nil {
 		return nil, err
 	}
+	chaosSlowShard, chaosSlowMS, err := parseChaosKill(e.opts.ChaosSlow)
+	if err != nil {
+		return nil, err
+	}
 
 	// Progress keeps the in-process pool's contract: serialized, done
 	// strictly +1, final call (total, total) — shards interleave but the
@@ -142,7 +150,11 @@ func (e *Executor) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.
 			if s == chaosShard {
 				chaos = chaosAfter
 			}
-			fails[s] = e.runShard(ctx, s, jobs, ranges[s], header, results, report, chaos)
+			slow := 0
+			if s == chaosSlowShard {
+				slow = chaosSlowMS
+			}
+			fails[s] = e.runShard(ctx, s, jobs, ranges[s], header, results, report, chaos, slow)
 		}(s)
 	}
 	wg.Wait()
@@ -161,7 +173,7 @@ func (e *Executor) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.
 
 // runShard drives one shard to completion through as many workers as
 // the respawn budget allows.
-func (e *Executor) runShard(ctx context.Context, shardIdx int, jobs []core.PlanJob, rng Range, header journal.Header, results []core.RunResult, report func(probe bool), chaosAfter int) error {
+func (e *Executor) runShard(ctx context.Context, shardIdx int, jobs []core.PlanJob, rng Range, header journal.Header, results []core.RunResult, report func(probe bool), chaosAfter, chaosSlowMS int) error {
 	pending := make([]int, 0, rng.Len())
 	for g := rng.Start; g < rng.End; g++ {
 		pending = append(pending, g)
@@ -174,8 +186,8 @@ func (e *Executor) runShard(ctx context.Context, shardIdx int, jobs []core.PlanJ
 		if ctx.Err() != nil {
 			return nil // ExecuteShards reports the interruption once
 		}
-		left, err := e.dispatch(ctx, shardIdx, jobs, pending, header, results, report, chaosAfter)
-		chaosAfter = 0 // the failure drill kills a shard's first worker only
+		left, err := e.dispatch(ctx, shardIdx, jobs, pending, header, results, report, chaosAfter, chaosSlowMS)
+		chaosAfter, chaosSlowMS = 0, 0 // the drills arm a shard's first worker only
 		pending = left
 		if ctx.Err() != nil {
 			return nil // ExecuteShards reports the interruption once
@@ -201,7 +213,7 @@ func (e *Executor) runShard(ctx context.Context, shardIdx int, jobs []core.PlanJ
 // dispatch runs one worker over the pending job indices and merges its
 // stream. It returns the indices still pending; err wraps errWorkerDied
 // when a fresh worker could finish them.
-func (e *Executor) dispatch(ctx context.Context, shardIdx int, jobs []core.PlanJob, pending []int, header journal.Header, results []core.RunResult, report func(probe bool), chaosAfter int) ([]int, error) {
+func (e *Executor) dispatch(ctx context.Context, shardIdx int, jobs []core.PlanJob, pending []int, header journal.Header, results []core.RunResult, report func(probe bool), chaosAfter, chaosSlowMS int) ([]int, error) {
 	remaining := func(open map[int]bool) []int {
 		out := make([]int, 0, len(open))
 		for _, g := range pending { // preserve global order
@@ -233,6 +245,7 @@ func (e *Executor) dispatch(ctx context.Context, shardIdx int, jobs []core.PlanJ
 		Shard: shardIdx, Index: append([]int(nil), pending...),
 		Parallelism: e.opts.WorkerParallelism,
 		HeartbeatNS: int64(e.opts.Heartbeat), ChaosKillAfter: chaosAfter,
+		ChaosSlowMS: chaosSlowMS,
 	}); err != nil {
 		return pending, fmt.Errorf("shard %d: send plan: %w (%w)", shardIdx, err, errWorkerDied)
 	}

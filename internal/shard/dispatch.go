@@ -1,0 +1,951 @@
+package shard
+
+// The work-stealing fleet coordinator. Where the static Executor
+// partitions the job list into contiguous ranges up front, the Fleet
+// hands out bounded chunks of global spec indices on demand: a fast
+// worker comes back for more, a slow one strands at most one chunk, and
+// a dead one strands nothing — its chunk's uncommitted remainder is
+// re-dispatched (with exponential backoff and a per-chunk retry budget)
+// to whichever worker asks next. At the tail, idle workers speculatively
+// re-execute the largest still-streaming chunk; every result commits at
+// its global job-list index exactly once, first writer wins, so the
+// duplicate results speculation produces are discarded without a trace
+// and the merged archive stays byte-identical to -parallel 1 under any
+// kill schedule. When a slot exhausts its respawn budget it leaves the
+// fleet; when every slot is gone the coordinator finishes the remainder
+// in-process and reports the campaign degraded rather than failed.
+//
+// The chunk lifecycle (DESIGN.md §4j):
+//
+//	assigned → streaming → committed
+//	                     ↘ lost → re-dispatch (backoff, budget) → local
+//	         ↘ speculated (tail only, one copy per chunk)
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/journal"
+)
+
+// Fleet defaults for FleetOptions zero values.
+const (
+	// DefaultChunkRetries is how many re-dispatches one chunk may
+	// consume before it is drained in-process.
+	DefaultChunkRetries = 3
+	// DefaultRedispatchBackoff is the base delay before a lost chunk
+	// re-enters the dispatch queue; it doubles per attempt, capped at
+	// 8x.
+	DefaultRedispatchBackoff = 100 * time.Millisecond
+	// DefaultProgressDeadline kills a worker that heartbeats but
+	// delivers no run record for this long — the wedged-worker
+	// detector the stall deadline cannot be (heartbeats reset it).
+	DefaultProgressDeadline = 60 * time.Second
+	// defaultMaxChunk caps the auto-sized chunk.
+	defaultMaxChunk = 32
+	// backoffCap bounds the exponential re-dispatch backoff.
+	backoffCap = 8
+)
+
+// FleetOptions tune the work-stealing coordinator.
+type FleetOptions struct {
+	// Workers is the number of dispatch slots (0 = Campaign.Shards).
+	Workers int
+	// WorkerParallelism is each worker's run-pool width (0 = 1).
+	WorkerParallelism int
+	// Heartbeat is the liveness beacon period (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// StallDeadline kills a worker whose stream produced nothing — no
+	// record, no heartbeat — for this long (0 = DefaultStallDeadline;
+	// < 0 disables).
+	StallDeadline time.Duration
+	// ProgressDeadline kills a worker that produced no run record for
+	// this long even though heartbeats keep arriving (0 =
+	// DefaultProgressDeadline; < 0 disables).
+	ProgressDeadline time.Duration
+	// MaxRespawns bounds replacement workers per slot (0 =
+	// DefaultMaxRespawns; < 0 means no respawns).
+	MaxRespawns int
+	// ChunkSize caps a healthy worker's chunk (0 = auto: roughly four
+	// chunks per worker, capped at 32).
+	ChunkSize int
+	// ChunkRetries bounds re-dispatches per chunk before it drains
+	// in-process (0 = DefaultChunkRetries).
+	ChunkRetries int
+	// RedispatchBackoff is the base re-dispatch delay (0 =
+	// DefaultRedispatchBackoff).
+	RedispatchBackoff time.Duration
+	// Spawn produces workers (nil = InProcess()); ignored when Spawners
+	// is set.
+	Spawn Spawner
+	// Spawners, when non-empty, gives each slot its own spawner — the
+	// TCP transport's one-address-per-slot shape. Overrides Workers.
+	Spawners []Spawner
+	// Transport names the worker transport for reporting ("inprocess",
+	// "exec", "tcp"; derived from Spawn/Spawners when empty).
+	Transport string
+	// ChaosKill ("worker:afterRecords") SIGKILLs that slot's first
+	// worker after N session records — the DTS_SHARD_CHAOS_KILL drill.
+	ChaosKill string
+	// ChaosHang ("worker:afterRecords") wedges that slot's first worker
+	// after N records, heartbeats still flowing — DTS_SHARD_CHAOS_HANG.
+	ChaosHang string
+	// ChaosSlow ("worker:delayMS") makes that slot's first worker sleep
+	// before every run — the deliberate straggler the speculation
+	// benchmarks and the CI fleet-chaos gate use; DTS_SHARD_CHAOS_SLOW.
+	ChaosSlow string
+	// Journal, when non-nil, receives the dispatch provenance trail
+	// (assign lines) and every committed run record, making the journal
+	// resumable by dts -resume. The caller writes the header.
+	Journal *journal.Writer
+}
+
+// Fleet runs prepared campaigns across a work-stealing worker fleet. It
+// implements core.ShardExecutor and core.DispatchReporter.
+type Fleet struct {
+	opts FleetOptions
+
+	mu   sync.Mutex
+	last *core.DispatchStats
+}
+
+// NewFleet builds a fleet executor with defaults filled in.
+func NewFleet(opts FleetOptions) *Fleet {
+	if opts.WorkerParallelism <= 0 {
+		opts.WorkerParallelism = 1
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	if opts.StallDeadline == 0 {
+		opts.StallDeadline = DefaultStallDeadline
+	}
+	if opts.ProgressDeadline == 0 {
+		opts.ProgressDeadline = DefaultProgressDeadline
+	}
+	if opts.MaxRespawns == 0 {
+		opts.MaxRespawns = DefaultMaxRespawns
+	}
+	if opts.ChunkRetries == 0 {
+		opts.ChunkRetries = DefaultChunkRetries
+	}
+	if opts.RedispatchBackoff == 0 {
+		opts.RedispatchBackoff = DefaultRedispatchBackoff
+	}
+	if opts.Transport == "" {
+		switch {
+		case len(opts.Spawners) > 0:
+			opts.Transport = "tcp"
+		case opts.Spawn != nil:
+			opts.Transport = "exec"
+		default:
+			opts.Transport = "inprocess"
+		}
+	}
+	if len(opts.Spawners) == 0 && opts.Spawn == nil {
+		opts.Spawn = InProcess()
+	}
+	return &Fleet{opts: opts}
+}
+
+// DispatchStats implements core.DispatchReporter: how the last
+// execution behaved.
+func (f *Fleet) DispatchStats() *core.DispatchStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+// spawnerFor picks the slot's spawner.
+func (f *Fleet) spawnerFor(slot int) Spawner {
+	if len(f.opts.Spawners) > 0 {
+		return f.opts.Spawners[slot%len(f.opts.Spawners)]
+	}
+	return f.opts.Spawn
+}
+
+// sessionChaos is the failure drill armed on one slot's first session.
+type sessionChaos struct {
+	kill, hang, slowMS int
+}
+
+// errFatalReported marks a session error already recorded in the
+// dispatcher's failure slot (worker error records, protocol breaches).
+var errFatalReported = errors.New("fleet: fatal already reported")
+
+// streamLine is one decoded line (or read error) off a worker stream.
+type streamLine struct {
+	line *journal.Line
+	err  error
+}
+
+// ExecuteShards implements core.ShardExecutor: dispatch chunks on
+// demand, merge streamed records at their global indices, survive
+// worker loss, and degrade to in-process execution before failing.
+func (f *Fleet) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.Prepared) ([]core.RunResult, error) {
+	jobs := p.Jobs
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := f.opts.Workers
+	if len(f.opts.Spawners) > 0 {
+		workers = len(f.opts.Spawners)
+	}
+	if workers <= 0 {
+		workers = c.Shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	chaosKillW, chaosKillAfter, err := parseChaosKill(f.opts.ChaosKill)
+	if err != nil {
+		return nil, err
+	}
+	chaosHangW, chaosHangAfter, err := parseChaosKill(f.opts.ChaosHang)
+	if err != nil {
+		return nil, err
+	}
+	chaosSlowW, chaosSlowMS, err := parseChaosKill(f.opts.ChaosSlow)
+	if err != nil {
+		return nil, err
+	}
+
+	header := HeaderFor(c.Runner)
+	d := newDispatcher(f, c, p, workers)
+	if d.jw != nil {
+		d.jw.WritePlan(core.JobKeys(jobs), core.PlanFingerprint(jobs))
+	}
+
+	// Cancellation watcher: ctx cancellation releases every slot and
+	// the local drainer through the dispatcher's done channel.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.cancel()
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		chaos := sessionChaos{}
+		if s == chaosKillW {
+			chaos.kill = chaosKillAfter
+		}
+		if s == chaosHangW {
+			chaos.hang = chaosHangAfter
+		}
+		if s == chaosSlowW {
+			chaos.slowMS = chaosSlowMS
+		}
+		wg.Add(1)
+		go func(s int, chaos sessionChaos) {
+			defer wg.Done()
+			f.slotLoop(ctx, s, d, header, chaos)
+		}(s, chaos)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.localLoop(d)
+	}()
+	wg.Wait()
+	close(watchDone)
+
+	d.mu.Lock()
+	stats := d.stats
+	failure := d.failure
+	committed := d.nCommitted
+	d.mu.Unlock()
+	if stats.Degraded {
+		d.journalEvent(-1, "degraded", nil)
+	}
+	f.mu.Lock()
+	f.last = &stats
+	f.mu.Unlock()
+
+	if ctx.Err() != nil {
+		return nil, core.ErrInterrupted
+	}
+	if failure != nil {
+		return nil, failure
+	}
+	if committed != len(jobs) {
+		return nil, fmt.Errorf("fleet: %d of %d runs unaccounted for", len(jobs)-committed, len(jobs))
+	}
+	return d.results, nil
+}
+
+// slotLoop drives one dispatch slot through as many worker sessions as
+// its respawn budget allows.
+func (f *Fleet) slotLoop(ctx context.Context, slot int, d *dispatcher, header journal.Header, chaos sessionChaos) {
+	budget := f.opts.MaxRespawns
+	if budget < 0 {
+		budget = 0
+	}
+	for attempt := 0; ; attempt++ {
+		if d.finished() {
+			return
+		}
+		armed := sessionChaos{}
+		if attempt == 0 {
+			armed = chaos // the drill kills a slot's first worker only
+		} else {
+			d.health.reset(slot)
+		}
+		err := f.session(ctx, slot, d, header, armed)
+		if err == nil || errors.Is(err, errFatalReported) {
+			return
+		}
+		if !errors.Is(err, errWorkerDied) {
+			d.fail(len(d.jobs), err)
+			return
+		}
+		d.noteDeath(slot)
+		if attempt >= budget {
+			d.slotExhausted(slot)
+			return
+		}
+	}
+}
+
+// session runs one worker lifetime: spawn, send the header, then grab
+// and stream chunks until the dispatcher runs dry or the worker dies.
+func (f *Fleet) session(ctx context.Context, slot int, d *dispatcher, header journal.Header, chaos sessionChaos) error {
+	conn, err := f.spawnerFor(slot)()
+	if err != nil {
+		return fmt.Errorf("fleet worker %d: spawn: %w (%w)", slot, err, errWorkerDied)
+	}
+	defer conn.Kill()
+	w := &wire{w: conn.In}
+	if err := w.writeLine(header); err != nil {
+		return fmt.Errorf("fleet worker %d: send header: %w (%w)", slot, err, errWorkerDied)
+	}
+
+	// Reader goroutine: the stream is a blocking pipe, so deadline and
+	// cancellation handling need Next off the main select loop. The
+	// channel lives for the whole session; awaitChunk consumes from it
+	// chunk after chunk so no line is ever dropped between chunks.
+	lines := make(chan streamLine)
+	quit := make(chan struct{})
+	defer close(quit)
+	st := journal.NewStream(conn.Out)
+	go func() {
+		for {
+			l, err := st.Next()
+			select {
+			case lines <- streamLine{l, err}:
+			case <-quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	first := true
+	for {
+		a := d.grab(slot)
+		if a == nil {
+			// Dispatcher dry: campaign complete, failed or cancelled.
+			conn.In.Close()
+			return nil
+		}
+		keys := make([]string, len(a.indices))
+		for i, g := range a.indices {
+			keys[i] = d.jobs[g].Key()
+		}
+		plan := journal.Plan{
+			Kind: journal.KindPlan, Jobs: keys,
+			Shard: slot, Index: append([]int(nil), a.indices...),
+			Parallelism: f.opts.WorkerParallelism,
+			HeartbeatNS: int64(f.opts.Heartbeat),
+		}
+		if first {
+			plan.ChaosKillAfter = chaos.kill
+			plan.ChaosHangAfter = chaos.hang
+			plan.ChaosSlowMS = chaos.slowMS
+			first = false
+		}
+		start := time.Now()
+		if err := w.writeLine(&plan); err != nil {
+			d.lost(a)
+			return fmt.Errorf("fleet worker %d: send plan: %w (%w)", slot, err, errWorkerDied)
+		}
+		cerr := f.awaitChunk(d, slot, a, lines, conn)
+		if cerr != nil {
+			d.lost(a)
+			return cerr
+		}
+		d.finish(a)
+		d.health.observeChunk(slot, time.Since(start), len(a.indices))
+	}
+}
+
+// awaitChunk consumes the worker's stream until every index of the
+// assignment has arrived. Two deadlines run: the stall deadline resets
+// on any line (a silent stream means a dead worker), the progress
+// deadline resets only on run records (a heartbeating stream with no
+// results means a wedged worker). Records are validated against the
+// assignment; commit deduplicates against speculative copies.
+func (f *Fleet) awaitChunk(d *dispatcher, slot int, a *assignment, lines <-chan streamLine, conn *Conn) error {
+	open := make(map[int]bool, len(a.indices))
+	for _, g := range a.indices {
+		open[g] = true
+	}
+
+	var stallC, progressC <-chan time.Time
+	var stall, progress *time.Timer
+	if f.opts.StallDeadline > 0 {
+		stall = time.NewTimer(f.opts.StallDeadline)
+		defer stall.Stop()
+		stallC = stall.C
+	}
+	if f.opts.ProgressDeadline > 0 {
+		progress = time.NewTimer(f.opts.ProgressDeadline)
+		defer progress.Stop()
+		progressC = progress.C
+	}
+	reset := func(t *time.Timer, dl time.Duration) {
+		if t == nil {
+			return
+		}
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		t.Reset(dl)
+	}
+
+	var lastBeat time.Time
+	for len(open) > 0 {
+		select {
+		case m := <-lines:
+			reset(stall, f.opts.StallDeadline)
+			if m.err != nil {
+				// EOF, torn record, or a garbled stream without a done
+				// record: the worker died (or went insane) mid-chunk.
+				return fmt.Errorf("fleet worker %d: stream ended early: %w (%w)", slot, m.err, errWorkerDied)
+			}
+			switch m.line.Kind {
+			case journal.KindRun:
+				rec := m.line.Rec
+				if !open[rec.Index] {
+					d.fail(rec.Index, fmt.Errorf("fleet worker %d: record for job %d not in this chunk", slot, rec.Index))
+					return errFatalReported
+				}
+				if want := d.jobs[rec.Index].Key(); rec.Key != want {
+					d.fail(rec.Index, fmt.Errorf("fleet worker %d: record %d keyed %s, plan expects %s", slot, rec.Index, rec.Key, want))
+					return errFatalReported
+				}
+				res, err := core.UnmarshalRunRecord(rec.Result, rec.Tel)
+				if err != nil {
+					d.fail(rec.Index, fmt.Errorf("fleet worker %d: record %d: %w", slot, rec.Index, err))
+					return errFatalReported
+				}
+				d.commit(rec.Index, res, rec.Result, rec.Tel)
+				delete(open, rec.Index)
+				reset(progress, f.opts.ProgressDeadline)
+			case journal.KindHeartbeat:
+				now := time.Now()
+				if !lastBeat.IsZero() {
+					d.health.observeBeat(slot, now.Sub(lastBeat))
+				}
+				lastBeat = now
+			case journal.KindError:
+				// A worker-side run failure is deterministic — a fresh
+				// worker would fail the same run — so it fails the
+				// campaign, exactly as in the in-process pool.
+				d.fail(m.line.Rec.Index, fmt.Errorf("fleet worker %d: %s", slot, m.line.Rec.Message))
+				return errFatalReported
+			case journal.KindDone:
+				return fmt.Errorf("fleet worker %d: done record mid-chunk (%d runs missing) (%w)", slot, len(open), errWorkerDied)
+			default:
+				d.fail(len(d.jobs), fmt.Errorf("fleet worker %d: unexpected %q record", slot, m.line.Kind))
+				return errFatalReported
+			}
+		case <-stallC:
+			conn.Kill()
+			return fmt.Errorf("fleet worker %d: no record or heartbeat for %v (%w)", slot, f.opts.StallDeadline, errWorkerDied)
+		case <-progressC:
+			conn.Kill()
+			return fmt.Errorf("fleet worker %d: heartbeats but no run record for %v — wedged (%w)", slot, f.opts.ProgressDeadline, errWorkerDied)
+		case <-d.doneCh:
+			// Campaign over (all committed elsewhere, a fatal error, or
+			// cancellation): abandon the worker; any indices still open
+			// here are already committed or moot.
+			conn.Kill()
+			return nil
+		}
+	}
+	return nil
+}
+
+// localLoop is the graceful-degradation drain: it executes chunks whose
+// re-dispatch budget is exhausted, and — once every slot has left the
+// fleet — everything still unassigned, in-process on a cloned runner.
+func (f *Fleet) localLoop(d *dispatcher) {
+	var rnr *core.Runner
+	for {
+		a := d.grabLocal()
+		if a == nil {
+			return
+		}
+		if rnr == nil {
+			rnr = d.c.Runner.Clone()
+		}
+		for _, g := range a.indices {
+			if d.isCommitted(g) || d.finished() {
+				continue
+			}
+			job := d.jobs[g]
+			spec := job.Spec
+			res, err := rnr.Run(&spec)
+			if err != nil {
+				// Same spelling as the in-process pool and the workers.
+				if job.Probe {
+					d.fail(g, fmt.Errorf("skip probe %v [%s]: %v", spec, spec.Fingerprint(), err))
+				} else {
+					d.fail(g, fmt.Errorf("run %v [%s]: %v", spec, spec.Fingerprint(), err))
+				}
+				return
+			}
+			if job.Probe {
+				res.Skipped = true
+			}
+			d.commitLocal(g, res)
+		}
+		d.finish(a)
+	}
+}
+
+// chunk is one unit of dispatch: a set of global job indices and its
+// re-dispatch history. live counts copies in flight (primary plus one
+// speculative re-issue); the family is accounted once, whichever copy
+// delivers first.
+type chunk struct {
+	id         int
+	indices    []int
+	attempt    int
+	live       int
+	speculated bool
+}
+
+// assignment is one copy of a chunk handed to one executor.
+type assignment struct {
+	ch          *chunk
+	indices     []int
+	slot        int
+	speculative bool
+}
+
+// dispatcher is the fleet's shared state: the job list, the commit
+// bitmap, and the chunk queues. All fields below mu are guarded by it;
+// cond wakes grabbers when work or completion state changes.
+type dispatcher struct {
+	f      *Fleet
+	c      *core.Campaign
+	jobs   []core.PlanJob
+	faults int
+	jw     *journal.Writer
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	results      []core.RunResult
+	committed    []bool
+	nCommitted   int
+	progressDone int
+	cursor       int      // next fresh job index not yet carved
+	ready        []*chunk // lost chunks past their backoff, first index ascending
+	inflight     map[int]*chunk
+	local        []*chunk // chunks for the in-process drain
+	backoffs     int      // chunks waiting out a re-dispatch backoff
+	activeSlots  int
+	chunkSeq     int
+	failure      error
+	failureIdx   int
+	canceled     bool
+	doneCh       chan struct{}
+	doneOnce     sync.Once
+	stats        core.DispatchStats
+	baseChunk    int
+	health       *healthTracker
+}
+
+func newDispatcher(f *Fleet, c *core.Campaign, p *core.Prepared, workers int) *dispatcher {
+	base := f.opts.ChunkSize
+	if base <= 0 {
+		// Aim for a few grabs per worker so stealing has something to
+		// steal, without dissolving into per-run dispatch overhead.
+		base = (len(p.Jobs) + workers*4 - 1) / (workers * 4)
+		if base > defaultMaxChunk {
+			base = defaultMaxChunk
+		}
+	}
+	if base < 1 {
+		base = 1
+	}
+	d := &dispatcher{
+		f:           f,
+		c:           c,
+		jobs:        p.Jobs,
+		faults:      p.Faults,
+		jw:          f.opts.Journal,
+		results:     make([]core.RunResult, len(p.Jobs)),
+		committed:   make([]bool, len(p.Jobs)),
+		inflight:    make(map[int]*chunk),
+		activeSlots: workers,
+		doneCh:      make(chan struct{}),
+		baseChunk:   base,
+		health:      newHealthTracker(workers, f.opts.Heartbeat),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.stats.Workers = workers
+	d.stats.Transport = f.opts.Transport
+	return d
+}
+
+func (d *dispatcher) finishedLocked() bool {
+	return d.failure != nil || d.canceled || d.nCommitted == len(d.jobs)
+}
+
+func (d *dispatcher) finished() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.finishedLocked()
+}
+
+// signalDone closes the done channel and wakes every waiter. Caller
+// holds mu.
+func (d *dispatcher) signalDone() {
+	d.doneOnce.Do(func() { close(d.doneCh) })
+	d.cond.Broadcast()
+}
+
+func (d *dispatcher) cancel() {
+	d.mu.Lock()
+	d.canceled = true
+	d.signalDone()
+	d.mu.Unlock()
+}
+
+// fail records a fatal campaign error; the lowest job index wins, the
+// same rule the in-process pool applies.
+func (d *dispatcher) fail(index int, err error) {
+	d.mu.Lock()
+	if d.failure == nil || index < d.failureIdx {
+		d.failure, d.failureIdx = err, index
+	}
+	d.signalDone()
+	d.mu.Unlock()
+}
+
+// journalEvent appends one provenance line (no-op without a journal).
+// Safe under d.mu: the journal writer has its own lock and never calls
+// back.
+func (d *dispatcher) journalEvent(worker int, event string, indices []int) {
+	if d.jw != nil {
+		d.jw.WriteAssign(worker, event, indices)
+	}
+}
+
+// uncommittedLocked filters indices down to those not yet committed.
+func (d *dispatcher) uncommittedLocked(indices []int) []int {
+	out := make([]int, 0, len(indices))
+	for _, g := range indices {
+		if !d.committed[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (d *dispatcher) isCommitted(g int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.committed[g]
+}
+
+// grab hands the slot its next assignment: re-dispatched work first,
+// then a fresh health-sized chunk, then — at the tail — a speculative
+// copy of the largest still-streaming chunk. It blocks while all work
+// is in flight elsewhere and returns nil when the campaign is over.
+func (d *dispatcher) grab(slot int) *assignment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.finishedLocked() {
+			return nil
+		}
+		for len(d.ready) > 0 {
+			ch := d.ready[0]
+			d.ready = d.ready[1:]
+			un := d.uncommittedLocked(ch.indices)
+			if len(un) == 0 {
+				continue
+			}
+			ch.indices = un
+			ch.live, ch.speculated = 1, false
+			d.inflight[ch.id] = ch
+			d.journalEvent(slot, "assign", un)
+			return &assignment{ch: ch, indices: un, slot: slot}
+		}
+		if d.cursor < len(d.jobs) {
+			size := d.health.chunkFor(slot, d.baseChunk)
+			end := d.cursor + size
+			if end > len(d.jobs) {
+				end = len(d.jobs)
+			}
+			idx := make([]int, 0, end-d.cursor)
+			for g := d.cursor; g < end; g++ {
+				idx = append(idx, g)
+			}
+			d.cursor = end
+			d.chunkSeq++
+			ch := &chunk{id: d.chunkSeq, indices: idx, live: 1}
+			d.inflight[ch.id] = ch
+			d.stats.Chunks++
+			d.journalEvent(slot, "assign", idx)
+			d.cond.Broadcast() // a new inflight chunk is a new speculation target
+			return &assignment{ch: ch, indices: idx, slot: slot}
+		}
+		if a := d.speculateLocked(slot); a != nil {
+			return a
+		}
+		d.cond.Wait()
+	}
+}
+
+// speculateLocked re-issues the biggest uncommitted in-flight chunk to
+// an idle slot — one copy per chunk; first complete result wins and the
+// loser's duplicates are discarded by commit. Caller holds mu.
+func (d *dispatcher) speculateLocked(slot int) *assignment {
+	var best *chunk
+	var bestUn []int
+	for _, ch := range d.inflight {
+		if ch.speculated {
+			continue
+		}
+		un := d.uncommittedLocked(ch.indices)
+		if len(un) == 0 {
+			continue
+		}
+		if best == nil || len(un) > len(bestUn) || (len(un) == len(bestUn) && ch.id < best.id) {
+			best, bestUn = ch, un
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.speculated = true
+	best.live++
+	d.stats.Speculated++
+	d.journalEvent(slot, "speculate", bestUn)
+	return &assignment{ch: best, indices: bestUn, slot: slot, speculative: true}
+}
+
+// commit merges one remote result at its global index, exactly once;
+// duplicate results from speculative copies return without a trace.
+// Progress is reported under the lock, so invocations stay serialized
+// and strictly incrementing, the in-process pool's contract.
+func (d *dispatcher) commit(global int, res *core.RunResult, resultRaw, telRaw []byte) bool {
+	d.mu.Lock()
+	if d.committed[global] {
+		d.mu.Unlock()
+		return false
+	}
+	d.committed[global] = true
+	d.results[global] = *res
+	d.nCommitted++
+	if d.jw != nil {
+		d.jw.WriteRun(global, d.jobs[global].Key(), 1, resultRaw, telRaw)
+	}
+	d.reportLocked(global)
+	if d.nCommitted == len(d.jobs) {
+		d.signalDone()
+	} else {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+	return true
+}
+
+// commitLocal merges one locally-executed result, marshalling the
+// record for the journal only when one is attached.
+func (d *dispatcher) commitLocal(global int, res *core.RunResult) bool {
+	var resultRaw, telRaw []byte
+	if d.jw != nil {
+		r, t, err := core.MarshalRunRecord(res)
+		if err == nil {
+			resultRaw, telRaw = r, t
+		}
+	}
+	d.mu.Lock()
+	if d.committed[global] {
+		d.mu.Unlock()
+		return false
+	}
+	d.committed[global] = true
+	d.results[global] = *res
+	d.nCommitted++
+	d.stats.LocalRuns++
+	d.stats.Degraded = true
+	if d.jw != nil {
+		d.jw.WriteRun(global, d.jobs[global].Key(), 1, resultRaw, telRaw)
+	}
+	d.reportLocked(global)
+	if d.nCommitted == len(d.jobs) {
+		d.signalDone()
+	} else {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+	return true
+}
+
+// reportLocked drives the campaign Progress callback. Caller holds mu.
+func (d *dispatcher) reportLocked(global int) {
+	if d.c.Progress == nil || d.jobs[global].Probe {
+		return
+	}
+	d.progressDone++
+	d.c.Progress(d.progressDone, d.faults)
+}
+
+// finish retires one delivered (or abandoned-at-completion) copy.
+func (d *dispatcher) finish(a *assignment) {
+	d.mu.Lock()
+	a.ch.live--
+	if a.ch.live <= 0 {
+		delete(d.inflight, a.ch.id)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// lost handles a copy that died with work outstanding: while a sibling
+// copy survives, it owns the remainder; otherwise the uncommitted
+// indices re-enter the queue after an exponential backoff, and past the
+// retry budget they fall to the in-process drain.
+func (d *dispatcher) lost(a *assignment) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch := a.ch
+	ch.live--
+	un := d.uncommittedLocked(ch.indices)
+	d.journalEvent(a.slot, "lost", un)
+	if ch.live > 0 || len(un) == 0 {
+		// A surviving copy covers the remainder, or nothing remains.
+		if ch.live <= 0 {
+			delete(d.inflight, ch.id)
+		}
+		d.cond.Broadcast()
+		return
+	}
+	delete(d.inflight, ch.id)
+	ch.indices = un
+	ch.attempt++
+	if ch.attempt > d.f.opts.ChunkRetries {
+		d.local = append(d.local, ch)
+		d.journalEvent(-1, "local", un)
+		d.cond.Broadcast()
+		return
+	}
+	d.stats.Redispatched++
+	d.journalEvent(-1, "redispatch", un)
+	backoff := d.f.opts.RedispatchBackoff
+	for i := 1; i < ch.attempt && i < backoffCap; i++ {
+		backoff *= 2
+	}
+	d.backoffs++
+	time.AfterFunc(backoff, func() {
+		d.mu.Lock()
+		d.backoffs--
+		d.ready = append(d.ready, ch)
+		sort.Slice(d.ready, func(i, j int) bool { return d.ready[i].indices[0] < d.ready[j].indices[0] })
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+}
+
+// noteDeath counts one dead worker session.
+func (d *dispatcher) noteDeath(slot int) {
+	d.mu.Lock()
+	d.stats.WorkerDeaths++
+	d.mu.Unlock()
+}
+
+// slotExhausted removes a slot whose respawn budget ran out. When the
+// last slot leaves, the local drain inherits everything still pending.
+func (d *dispatcher) slotExhausted(slot int) {
+	d.mu.Lock()
+	d.activeSlots--
+	d.stats.WorkersLost++
+	d.journalEvent(slot, "exhausted", nil)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// grabLocal hands the drain goroutine its next chunk: budget-exhausted
+// chunks always, and — once the fleet is gone — re-dispatched and fresh
+// work too. Returns nil when the campaign is over.
+func (d *dispatcher) grabLocal() *assignment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.finishedLocked() {
+			return nil
+		}
+		for len(d.local) > 0 {
+			ch := d.local[0]
+			d.local = d.local[1:]
+			un := d.uncommittedLocked(ch.indices)
+			if len(un) == 0 {
+				continue
+			}
+			ch.indices = un
+			ch.live = 1
+			return &assignment{ch: ch, indices: un, slot: -1}
+		}
+		if d.activeSlots == 0 {
+			if len(d.ready) > 0 {
+				ch := d.ready[0]
+				d.ready = d.ready[1:]
+				un := d.uncommittedLocked(ch.indices)
+				if len(un) == 0 {
+					continue
+				}
+				ch.indices = un
+				ch.live = 1
+				d.journalEvent(-1, "local", un)
+				return &assignment{ch: ch, indices: un, slot: -1}
+			}
+			if d.cursor < len(d.jobs) {
+				idx := make([]int, 0, len(d.jobs)-d.cursor)
+				for g := d.cursor; g < len(d.jobs); g++ {
+					idx = append(idx, g)
+				}
+				d.cursor = len(d.jobs)
+				d.chunkSeq++
+				d.journalEvent(-1, "local", idx)
+				return &assignment{ch: &chunk{id: d.chunkSeq, indices: idx, live: 1}, indices: idx, slot: -1}
+			}
+			// Chunks still riding out a backoff or in flight on a
+			// not-yet-reaped session; their loss handlers will feed us.
+		}
+		d.cond.Wait()
+	}
+}

@@ -1,0 +1,363 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntdts/internal/core"
+	"ntdts/internal/journal"
+)
+
+// fleetCampaign runs a spec campaign through a Fleet built from opts.
+func fleetCampaign(t *testing.T, n int, f *Fleet, extra ...core.Option) (*core.SetResult, error) {
+	t.Helper()
+	opts := append([]core.Option{
+		core.WithSpecs(campaignSpecs(n)),
+		core.WithShards(2), // overridden by FleetOptions.Workers when set
+		core.WithShardExecutor(f),
+	}, extra...)
+	return core.NewCampaign(newRunner(true), opts...).Run(context.Background())
+}
+
+// TestFleetMatchesUnsharded is the tentpole guarantee: the same 200-spec
+// campaign the static-shard test pins, dispatched by the work-stealing
+// fleet at several shapes, merges archive, trace and metrics
+// byte-identical to the -parallel 1 run. CI runs this under -race.
+func TestFleetMatchesUnsharded(t *testing.T) {
+	specs := campaignSpecs(200)
+	base, err := core.NewCampaign(newRunner(true),
+		core.WithParallelism(1), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, wantTrace, wantMetrics := artifacts(t, base)
+
+	for _, workers := range []int{1, 2, 4} {
+		f := NewFleet(FleetOptions{Workers: workers, WorkerParallelism: 2})
+		set, err := fleetCampaign(t, 200, f)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		archive, trace, metrics := artifacts(t, set)
+		if !bytes.Equal(archive, wantArchive) {
+			t.Errorf("workers %d: archive differs from unsharded run", workers)
+		}
+		if !bytes.Equal(trace, wantTrace) {
+			t.Errorf("workers %d: telemetry trace differs from unsharded run", workers)
+		}
+		if metrics != wantMetrics {
+			t.Errorf("workers %d: metrics text differs from unsharded run", workers)
+		}
+		st := set.Dispatch
+		if st == nil || st.Workers != workers || st.Transport != "inprocess" {
+			t.Fatalf("workers %d: dispatch stats %+v", workers, st)
+		}
+		if st.Degraded || st.LocalRuns != 0 || st.WorkersLost != 0 {
+			t.Errorf("workers %d: clean fleet run reported degraded: %+v", workers, st)
+		}
+		if st.Chunks < workers {
+			t.Errorf("workers %d: only %d chunks dispatched", workers, st.Chunks)
+		}
+	}
+}
+
+// TestFleetStragglerSpeculation pins the tail-latency defence: with one
+// deliberately slow worker, idle fast workers speculatively re-execute
+// its chunk, the first complete copy wins, and the duplicate results are
+// discarded without disturbing the merged artifacts.
+func TestFleetStragglerSpeculation(t *testing.T) {
+	specs := campaignSpecs(40)
+	base, err := core.NewCampaign(newRunner(true),
+		core.WithParallelism(1), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, _, _ := artifacts(t, base)
+
+	f := NewFleet(FleetOptions{
+		Workers:   2,
+		ChunkSize: 20,
+		ChaosSlow: "0:30", // worker 0 sleeps 30ms before every run
+	})
+	set, err := fleetCampaign(t, 40, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, _, _ := artifacts(t, set)
+	if !bytes.Equal(archive, wantArchive) {
+		t.Error("archive differs from unsharded run under speculation")
+	}
+	if st := set.Dispatch; st.Speculated < 1 {
+		t.Errorf("no speculative re-issue against a 30ms/run straggler: %+v", st)
+	}
+}
+
+// TestFleetWorkerDeathRedispatch severs the first worker's stream after
+// three records: its chunk's uncommitted remainder must be
+// re-dispatched and the merged artifacts stay byte-identical.
+func TestFleetWorkerDeathRedispatch(t *testing.T) {
+	specs := campaignSpecs(60)
+	base, err := core.NewCampaign(newRunner(true),
+		core.WithParallelism(1), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, wantTrace, _ := artifacts(t, base)
+
+	inner := InProcess()
+	var spawned atomic.Int32
+	spawn := func() (*Conn, error) {
+		conn, err := inner()
+		if err != nil {
+			return nil, err
+		}
+		if spawned.Add(1) == 1 {
+			conn.Out = &severReader{r: conn.Out, kill: conn.Kill, after: 3}
+		}
+		return conn, nil
+	}
+	f := NewFleet(FleetOptions{
+		Workers: 2, Spawn: spawn,
+		RedispatchBackoff: 5 * time.Millisecond,
+	})
+	set, err := fleetCampaign(t, 60, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, trace, _ := artifacts(t, set)
+	if !bytes.Equal(archive, wantArchive) || !bytes.Equal(trace, wantTrace) {
+		t.Error("artifacts differ from unsharded run after worker death")
+	}
+	st := set.Dispatch
+	if st.WorkerDeaths < 1 {
+		t.Errorf("severed worker not counted as a death: %+v", st)
+	}
+	if st.Degraded {
+		t.Errorf("death within the respawn budget must not degrade: %+v", st)
+	}
+}
+
+// TestFleetWedgedWorkerProgressDeadline arms the chaos hang on worker 0:
+// after two records it wedges with heartbeats still flowing. The stall
+// deadline never fires (the stream is alive); the progress deadline
+// must kill it, and the respawned worker finishes the chunk.
+func TestFleetWedgedWorkerProgressDeadline(t *testing.T) {
+	specs := campaignSpecs(40)
+	base, err := core.NewCampaign(newRunner(true),
+		core.WithParallelism(1), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, _, _ := artifacts(t, base)
+
+	// One slot: no sibling can speculate the wedged chunk away, so the
+	// progress deadline is the only way the campaign can finish.
+	f := NewFleet(FleetOptions{
+		Workers:           1,
+		Heartbeat:         10 * time.Millisecond,
+		StallDeadline:     2 * time.Second,
+		ProgressDeadline:  150 * time.Millisecond,
+		RedispatchBackoff: 5 * time.Millisecond,
+		ChaosHang:         "0:2",
+	})
+	set, err := fleetCampaign(t, 40, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, _, _ := artifacts(t, set)
+	if !bytes.Equal(archive, wantArchive) {
+		t.Error("archive differs from unsharded run after a wedged worker")
+	}
+	if st := set.Dispatch; st.WorkerDeaths < 1 {
+		t.Errorf("wedged worker was never killed: %+v", st)
+	}
+}
+
+// TestFleetDegradedCompletion exhausts every respawn budget — every
+// spawned worker drops dead on assignment — and the campaign must still
+// complete, in-process, reporting itself degraded instead of failing.
+func TestFleetDegradedCompletion(t *testing.T) {
+	specs := campaignSpecs(20)
+	base, err := core.NewCampaign(newRunner(true),
+		core.WithParallelism(1), core.WithSpecs(specs)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchive, wantTrace, _ := artifacts(t, base)
+
+	dead := fakeSpawner(func(in io.Reader, out io.Writer, _ <-chan struct{}) {
+		io.Copy(io.Discard, in) // accept the assignment, then drop dead
+	})
+	f := NewFleet(FleetOptions{
+		Workers: 2, Spawn: dead,
+		MaxRespawns:       1,
+		ChunkRetries:      1,
+		RedispatchBackoff: time.Millisecond,
+		StallDeadline:     time.Second,
+	})
+	set, err := fleetCampaign(t, 20, f)
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not fail: %v", err)
+	}
+	archive, trace, _ := artifacts(t, set)
+	if !bytes.Equal(archive, wantArchive) || !bytes.Equal(trace, wantTrace) {
+		t.Error("degraded completion artifacts differ from unsharded run")
+	}
+	st := set.Dispatch
+	if !st.Degraded {
+		t.Fatalf("in-process fallback not reported degraded: %+v", st)
+	}
+	if st.LocalRuns != len(base.Runs) {
+		t.Errorf("%d of %d runs executed locally", st.LocalRuns, len(base.Runs))
+	}
+	if st.WorkersLost != 2 {
+		t.Errorf("%d slots reported lost, want 2", st.WorkersLost)
+	}
+}
+
+// TestFleetJournalProvenance attaches a journal: every committed run
+// must land exactly once, the dispatch trail must record assignments
+// covering the whole job list, and a degraded run must say so.
+func TestFleetJournalProvenance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+	r := newRunner(false)
+	jw, err := journal.Create(path, HeaderFor(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(FleetOptions{Workers: 2, Journal: jw})
+	set, err := core.NewCampaign(r,
+		core.WithSpecs(campaignSpecs(30)),
+		core.WithShards(2),
+		core.WithShardExecutor(f),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := journal.Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn {
+		t.Fatal("clean fleet journal replayed as torn")
+	}
+	if rep.Plan == nil || len(rep.Plan.Jobs) != len(set.Runs) {
+		t.Fatalf("journal plan missing or short: %+v", rep.Plan)
+	}
+	if len(rep.Runs) != len(set.Runs) {
+		t.Fatalf("journal holds %d runs, campaign ran %d", len(rep.Runs), len(set.Runs))
+	}
+	covered := make(map[int]bool)
+	var sawAssign bool
+	for _, ev := range rep.Dispatch {
+		switch ev.Event {
+		case "assign", "speculate", "local", "redispatch":
+			sawAssign = sawAssign || ev.Event == "assign"
+			for _, g := range ev.Indices {
+				covered[g] = true
+			}
+		case "degraded":
+			t.Errorf("clean run journaled a degraded event")
+		}
+	}
+	if !sawAssign {
+		t.Fatal("no assign events in the dispatch trail")
+	}
+	for g := range set.Runs {
+		if !covered[g] {
+			t.Fatalf("job %d never appears in the dispatch trail", g)
+		}
+	}
+}
+
+// TestFleetCancellation: cancelling mid-campaign surfaces
+// ErrInterrupted with no set, matching the in-process pool and the
+// static coordinator.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	set, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(120)),
+		core.WithShards(2),
+		core.WithShardExecutor(NewFleet(FleetOptions{Workers: 2})),
+		core.WithProgress(func(done, total int) {
+			if done == 5 {
+				cancel()
+			}
+		}),
+	).Run(ctx)
+	if !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("error = %v, want ErrInterrupted", err)
+	}
+	if set != nil {
+		t.Fatal("cancelled fleet campaign must not return a set")
+	}
+}
+
+// TestFleetWorkerErrorIsFatal: an error record is a deterministic run
+// failure — the fleet fails the campaign without burning respawns, like
+// the static coordinator.
+func TestFleetWorkerErrorIsFatal(t *testing.T) {
+	var spawned atomic.Int32
+	// Unlike the static protocol, the fleet holds the assignment stream
+	// open for more chunks — the fake worker must volunteer its error
+	// record rather than wait for stdin EOF.
+	spawn := fakeSpawner(func(in io.Reader, out io.Writer, _ <-chan struct{}) {
+		go io.Copy(io.Discard, in) // keep the assignment stream drained
+		io.WriteString(out, `{"kind":"error","index":3,"message":"run exploded"}`+"\n")
+	})
+	counted := func() (*Conn, error) {
+		spawned.Add(1)
+		return spawn()
+	}
+	_, err := core.NewCampaign(newRunner(false),
+		core.WithSpecs(campaignSpecs(8)),
+		core.WithShards(2),
+		core.WithShardExecutor(NewFleet(FleetOptions{Workers: 2, Spawn: counted})),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "run exploded") {
+		t.Fatalf("error = %v, want the worker's error message", err)
+	}
+	if n := spawned.Load(); n != 2 {
+		t.Fatalf("%d workers spawned, want 2 (error records must not respawn)", n)
+	}
+}
+
+// TestFleetProgressContract: the fleet preserves the Progress contract
+// under work stealing — serialized, strictly +1, probes excluded.
+func TestFleetProgressContract(t *testing.T) {
+	var calls []int
+	var total int
+	set, err := core.NewCampaign(newRunner(false),
+		core.WithPaperFaithfulSkips(),
+		core.WithShards(3),
+		core.WithShardExecutor(NewFleet(FleetOptions{Workers: 3, WorkerParallelism: 2})),
+		core.WithProgress(func(done, n int) {
+			calls = append(calls, done)
+			total = n
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != total || total == 0 || total == len(set.Runs) {
+		t.Fatalf("%d progress calls, total %d, %d runs (probes must not count)",
+			len(calls), total, len(set.Runs))
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("progress call %d reported done=%d; counter must increase strictly by one", i, done)
+		}
+	}
+}

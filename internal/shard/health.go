@@ -1,0 +1,114 @@
+package shard
+
+// Per-worker health tracking for the work-stealing dispatcher. Two
+// signals feed it: the observed per-run cost of each chunk a worker
+// completes, and the gap between its heartbeat lines. Both are EWMAs,
+// so a worker that recovers grows its chunk size back. The dispatcher
+// asks for a chunk size per grab: a healthy worker gets the base size,
+// a degraded one (slow runs relative to the fleet median, or heartbeats
+// arriving far behind cadence) gets a fraction of it — smaller chunks
+// bound how much work a sick worker can strand.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	// ewmaAlpha weights the newest observation.
+	ewmaAlpha = 0.4
+	// costDegraded and costCritical are per-run cost multiples of the
+	// fleet median beyond which a worker's chunks halve and quarter.
+	costDegraded = 1.5
+	costCritical = 3.0
+	// beatDegraded is the heartbeat-gap multiple of the expected period
+	// beyond which a worker's chunks halve.
+	beatDegraded = 2.0
+)
+
+// healthTracker aggregates per-slot health signals.
+type healthTracker struct {
+	mu         sync.Mutex
+	cost       []float64 // EWMA seconds per run; 0 = no data yet
+	beat       []float64 // EWMA heartbeat gap in seconds; 0 = no data yet
+	expectBeat float64   // expected heartbeat period in seconds
+}
+
+func newHealthTracker(slots int, heartbeat time.Duration) *healthTracker {
+	return &healthTracker{
+		cost:       make([]float64, slots),
+		beat:       make([]float64, slots),
+		expectBeat: heartbeat.Seconds(),
+	}
+}
+
+func ewma(old, sample float64) float64 {
+	if old == 0 {
+		return sample
+	}
+	return (1-ewmaAlpha)*old + ewmaAlpha*sample
+}
+
+// observeChunk records a completed chunk's wall time.
+func (h *healthTracker) observeChunk(slot int, elapsed time.Duration, runs int) {
+	if runs <= 0 {
+		return
+	}
+	h.mu.Lock()
+	h.cost[slot] = ewma(h.cost[slot], elapsed.Seconds()/float64(runs))
+	h.mu.Unlock()
+}
+
+// observeBeat records the gap since the previous heartbeat line.
+func (h *healthTracker) observeBeat(slot int, gap time.Duration) {
+	h.mu.Lock()
+	h.beat[slot] = ewma(h.beat[slot], gap.Seconds())
+	h.mu.Unlock()
+}
+
+// reset clears a slot's signals — called when its worker is respawned,
+// so a fresh worker is not punished for its predecessor's decline.
+func (h *healthTracker) reset(slot int) {
+	h.mu.Lock()
+	h.cost[slot] = 0
+	h.beat[slot] = 0
+	h.mu.Unlock()
+}
+
+// chunkFor scales the base chunk size by the slot's health.
+func (h *healthTracker) chunkFor(slot, base int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	size := base
+	if med := medianNonZero(h.cost); med > 0 && h.cost[slot] > 0 {
+		switch ratio := h.cost[slot] / med; {
+		case ratio >= costCritical:
+			size /= 4
+		case ratio >= costDegraded:
+			size /= 2
+		}
+	}
+	if h.expectBeat > 0 && h.beat[slot] > beatDegraded*h.expectBeat {
+		size /= 2
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// medianNonZero is the median of the slots that have data.
+func medianNonZero(xs []float64) float64 {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			vals = append(vals, x)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}

@@ -1,13 +1,22 @@
 package shard
 
-// The worker half of the protocol: read one assignment (header + plan),
-// execute the jobs on a local pool, stream each result back as a
-// journal run record the moment it completes, and finish with a done
-// record. The coordinator owns ordering — records carry their global
-// job-list index — so the worker never buffers or sorts.
+// The worker half of the protocol: read the campaign header, then serve
+// plan lines (chunks of global job indices) until the assignment stream
+// ends. Each chunk's jobs execute on a local pool and every result
+// streams back as a journal run record the moment it completes; a done
+// record closes the session. The coordinator owns ordering — records
+// carry their global job-list index — so the worker never buffers or
+// sorts.
+//
+// The static shard coordinator sends exactly one plan and closes the
+// assignment stream, so its workers behave as before: one chunk, done.
+// The work-stealing fleet keeps the stream open and feeds chunk after
+// chunk to the same session, which amortizes the runner build and keeps
+// the worker's streamed prefix final across chunks.
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -39,11 +48,33 @@ func (w *wire) writeLine(v any) error {
 	return err
 }
 
-// ServeWorker runs one shard assignment read from in, streaming results
-// to out. This is the body of dts -shard-worker; InProcess runs it in a
-// goroutine. The returned error is for the worker process's own exit
-// status — the coordinator learns of failures from the error record (or
-// the severed stream).
+// chaosThresholds are the worker-failure drills a plan can arm. The
+// counters compare against the session-total record count, and once set
+// they stick for the session — the coordinator arms them on a worker's
+// first plan only, so a respawned worker survives.
+type chaosThresholds struct {
+	killAfter int           // SIGKILL self after N records
+	hangAfter int           // wedge (heartbeats keep flowing) after N records
+	slow      time.Duration // sleep before every run — a deliberate straggler
+}
+
+func (c *chaosThresholds) arm(plan *journal.Plan) {
+	if plan.ChaosKillAfter > 0 {
+		c.killAfter = plan.ChaosKillAfter
+	}
+	if plan.ChaosHangAfter > 0 {
+		c.hangAfter = plan.ChaosHangAfter
+	}
+	if plan.ChaosSlowMS > 0 {
+		c.slow = time.Duration(plan.ChaosSlowMS) * time.Millisecond
+	}
+}
+
+// ServeWorker runs one worker session: header, then chunks until the
+// assignment stream ends. This is the body of dts -shard-worker;
+// InProcess runs it in a goroutine. The returned error is for the
+// worker process's own exit status — the coordinator learns of failures
+// from the error record (or the severed stream).
 func ServeWorker(in io.Reader, out io.Writer) error {
 	st := journal.NewStream(in)
 	hl, err := st.Next()
@@ -53,26 +84,9 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 	if hl.Kind != journal.KindHeader {
 		return fmt.Errorf("shard worker: assignment starts with %q, want header", hl.Kind)
 	}
-	pl, err := st.Next()
-	if err != nil {
-		return fmt.Errorf("shard worker: read assignment plan: %w", err)
-	}
-	if pl.Kind != journal.KindPlan {
-		return fmt.Errorf("shard worker: assignment line 2 is %q, want plan", pl.Kind)
-	}
-	plan := pl.Plan
-	if len(plan.Index) != len(plan.Jobs) {
-		return fmt.Errorf("shard worker: %d jobs but %d indices", len(plan.Jobs), len(plan.Index))
-	}
 	runner, err := RunnerFromHeader(*hl.Header)
 	if err != nil {
 		return fmt.Errorf("shard worker: %w", err)
-	}
-	jobs := make([]core.PlanJob, len(plan.Jobs))
-	for i, key := range plan.Jobs {
-		if jobs[i], err = core.ParseJobKey(key); err != nil {
-			return fmt.Errorf("shard worker: plan job %d: %w", i, err)
-		}
 	}
 
 	w := &wire{w: out}
@@ -80,19 +94,28 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 
 	// Liveness beacon: the coordinator tells "long run" from "wedged
 	// worker" by the gap between lines, and heartbeats bound that gap.
+	// Started on the first plan (which carries the period) and kept for
+	// the whole session, including the idle gaps between chunks.
 	stopHeartbeat := func() {}
-	if plan.HeartbeatNS > 0 {
+	heartbeatRunning := false
+	startHeartbeat := func(period time.Duration) {
+		if heartbeatRunning || period <= 0 {
+			return
+		}
+		heartbeatRunning = true
 		hbStop := make(chan struct{})
 		var hbDone sync.WaitGroup
 		hbDone.Add(1)
 		go func() {
 			defer hbDone.Done()
-			t := time.NewTicker(time.Duration(plan.HeartbeatNS))
+			t := time.NewTicker(period)
 			defer t.Stop()
 			for {
 				select {
 				case <-t.C:
-					w.writeLine(journal.Record{Kind: journal.KindHeartbeat, Index: int(written.Load())})
+					if w.writeLine(journal.Record{Kind: journal.KindHeartbeat, Index: int(written.Load())}) != nil {
+						return // stream severed; nobody is listening
+					}
 				case <-hbStop:
 					return
 				}
@@ -105,13 +128,62 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 				hbDone.Wait()
 			})
 		}
-		defer stopHeartbeat()
+	}
+	defer func() { stopHeartbeat() }()
+
+	var chaos chaosThresholds
+	for {
+		pl, err := st.Next()
+		if err == io.EOF {
+			break // assignment stream closed: the session is over
+		}
+		if errors.Is(err, journal.ErrTorn) {
+			return fmt.Errorf("shard worker: assignment stream torn mid-plan")
+		}
+		if err != nil {
+			return fmt.Errorf("shard worker: read plan: %w", err)
+		}
+		if pl.Kind != journal.KindPlan {
+			return fmt.Errorf("shard worker: assignment line is %q, want plan", pl.Kind)
+		}
+		plan := pl.Plan
+		if len(plan.Index) != len(plan.Jobs) {
+			return fmt.Errorf("shard worker: %d jobs but %d indices", len(plan.Jobs), len(plan.Index))
+		}
+		startHeartbeat(time.Duration(plan.HeartbeatNS))
+		chaos.arm(plan)
+		if failure := runChunk(runner, plan, w, &written, chaos); failure != nil {
+			// The error record must be the stream's final line.
+			stopHeartbeat()
+			w.writeLine(journal.Record{Kind: journal.KindError, Index: failure.global, Message: failure.message})
+			return fmt.Errorf("shard worker: %s", failure.message)
+		}
+	}
+	// The done record must be the stream's final line.
+	stopHeartbeat()
+	if err := w.writeLine(journal.Record{Kind: journal.KindDone, Index: int(written.Load())}); err != nil {
+		return fmt.Errorf("shard worker: done record: %w", err)
+	}
+	return nil
+}
+
+// runFailure describes the lowest-indexed run error of a chunk.
+type runFailure struct {
+	global  int
+	message string
+}
+
+// runChunk executes one plan's jobs on a local pool, streaming a run
+// record per completion. A non-nil return is fatal to the session.
+func runChunk(runner *core.Runner, plan *journal.Plan, w *wire, written *atomic.Int64, chaos chaosThresholds) *runFailure {
+	jobs := make([]core.PlanJob, len(plan.Jobs))
+	for i, key := range plan.Jobs {
+		var err error
+		if jobs[i], err = core.ParseJobKey(key); err != nil {
+			return &runFailure{global: plan.Index[i], message: fmt.Sprintf("plan job %d: %v", i, err)}
+		}
 	}
 
-	type runFailure struct {
-		global  int
-		message string
-	}
 	var (
 		cursor  atomic.Int64
 		stop    atomic.Bool
@@ -149,6 +221,9 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 				job := jobs[i]
 				global := plan.Index[i]
 				spec := job.Spec
+				if chaos.slow > 0 {
+					time.Sleep(chaos.slow)
+				}
 				res, err := rnr.Run(&spec)
 				if err != nil {
 					// Mirror the in-process pool's error spelling so a
@@ -175,25 +250,21 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 					fail(global, fmt.Sprintf("result stream: %v", err))
 					return
 				}
-				n := written.Add(1)
-				if plan.ChaosKillAfter > 0 && int(n) >= plan.ChaosKillAfter {
+				n := int(written.Add(1))
+				if chaos.killAfter > 0 && n >= chaos.killAfter {
 					chaosSelfKill()
+				}
+				if chaos.hangAfter > 0 && n >= chaos.hangAfter {
+					chaosHang()
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	// The done (or error) record must be the stream's final line.
-	stopHeartbeat()
 
-	if failure != nil {
-		w.writeLine(journal.Record{Kind: journal.KindError, Index: failure.global, Message: failure.message})
-		return fmt.Errorf("shard worker: %s", failure.message)
-	}
-	if err := w.writeLine(journal.Record{Kind: journal.KindDone, Index: int(written.Load())}); err != nil {
-		return fmt.Errorf("shard worker: done record: %w", err)
-	}
-	return nil
+	failMu.Lock()
+	defer failMu.Unlock()
+	return failure
 }
 
 // chaosSelfKill terminates the worker process the hard way — no flush,
@@ -207,4 +278,12 @@ func chaosSelfKill() {
 		p.Kill()
 	}
 	select {} // never proceed past the kill
+}
+
+// chaosHang wedges the run loop forever while the heartbeat beacon
+// keeps flowing — the failure the stall deadline cannot see and the
+// progress deadline exists for. The parked goroutine burns no CPU; the
+// coordinator SIGKILLs (or severs) the worker once the deadline fires.
+func chaosHang() {
+	select {}
 }

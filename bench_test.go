@@ -23,9 +23,11 @@ import (
 	"ntdts/internal/experiments"
 	"ntdts/internal/inject"
 	"ntdts/internal/journal"
+	"ntdts/internal/middleware"
 	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/ntsim/win32"
+	replaypkg "ntdts/internal/replay"
 	"ntdts/internal/shard"
 	"ntdts/internal/sqlengine"
 	"ntdts/internal/telemetry"
@@ -303,7 +305,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		}
 		set, err := core.NewCampaign(
 			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
-			opts...).Execute()
+			opts...).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -354,12 +356,11 @@ func BenchmarkCampaignParallel(b *testing.B) {
 // 1.10 (CI gates at 1.35 because -benchtime=1x single runs are noisy).
 func BenchmarkCampaignTraced(b *testing.B) {
 	campaign := func(topts telemetry.Options) *core.SetResult {
-		c := &core.Campaign{
-			Runner: core.NewRunner(workload.NewApache1(workload.Standalone),
+		c := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone),
 				core.RunnerOptions{Telemetry: topts}),
-			Parallelism: 1,
-		}
-		set, err := c.Execute()
+			core.WithParallelism(1))
+		set, err := c.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -402,11 +403,10 @@ func BenchmarkCampaignTraced(b *testing.B) {
 // is < 1.10.
 func BenchmarkCampaignJournaled(b *testing.B) {
 	bare := func() *core.SetResult {
-		c := &core.Campaign{
-			Runner:      core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
-			Parallelism: 1,
-		}
-		set, err := c.Execute()
+		c := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			core.WithParallelism(1))
+		set, err := c.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -420,12 +420,10 @@ func BenchmarkCampaignJournaled(b *testing.B) {
 		}
 		sup := core.NewSupervisor(core.SupervisorOptions{})
 		sup.AttachJournal(jw)
-		c := &core.Campaign{
-			Runner:      core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
-			Parallelism: 1,
-			Supervise:   sup,
-		}
-		set, err := c.Execute()
+		c := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			core.WithParallelism(1), core.WithSupervision(sup))
+		set, err := c.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -521,20 +519,18 @@ func BenchmarkCampaignSharded(b *testing.B) {
 // outcome data, very different campaign cost.
 func BenchmarkAblationSkipModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fast := &core.Campaign{
-			Runner: core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
-			Types:  []inject.FaultType{inject.ZeroBits},
-		}
-		fs, err := fast.Execute()
+		fast := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			core.WithFaultTypes(inject.ZeroBits))
+		fs, err := fast.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		faithful := &core.Campaign{
-			Runner:             core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
-			Types:              []inject.FaultType{inject.ZeroBits},
-			PaperFaithfulSkips: true,
-		}
-		ps, err := faithful.Execute()
+		faithful := core.NewCampaign(
+			core.NewRunner(workload.NewApache1(workload.Standalone), core.RunnerOptions{}),
+			core.WithFaultTypes(inject.ZeroBits),
+			core.WithPaperFaithfulSkips())
+		ps, err := faithful.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -572,7 +568,7 @@ func BenchmarkClusterCampaign(b *testing.B) {
 		opts.Cluster = cfg
 		set, err := core.NewCampaign(
 			core.NewRunner(workload.NewIIS(workload.MSCS), opts),
-			core.WithSpecs(specs), core.WithParallelism(1)).Execute()
+			core.WithSpecs(specs), core.WithParallelism(1)).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -688,4 +684,92 @@ func BenchmarkCampaignFleet(b *testing.B) {
 	// stealing routes work around the slow slot.
 	bench("static/workers=4/straggler", "static", 4, "0:5")
 	bench("steal/workers=4/straggler", "steal", 4, "0:5")
+}
+
+// BenchmarkReplay measures what the divergence oracle buys: a campaign
+// journaled under watchd-v2, replayed to watchd-v3, once with elision on
+// (the oracle adopts every run the recorded evidence proves unaffected)
+// and once with -no-elide semantics (full re-execution — the rerun
+// baseline). Both arms produce byte-identical archives (the replay
+// equivalence tests pin that); the metric is wall-clock. Reported:
+// "speedup-vs-rerun" (rerun time over elided-replay time) and
+// "elision-rate" (fraction of the plan never re-executed).
+func BenchmarkReplay(b *testing.B) {
+	var specs []inject.FaultSpec
+	i := 0
+	for _, e := range win32.Catalog() {
+		if e.Params == 0 {
+			continue
+		}
+		if i++; i%9 != 0 {
+			continue
+		}
+		specs = append(specs, inject.FaultSpec{Function: e.Name, Param: 0, Invocation: 1, Type: inject.ZeroBits})
+		if len(specs) >= 60 {
+			break
+		}
+	}
+	source := middleware.Spec{Supervision: workload.Watchd, WatchdVersion: watchd.V2}
+	target := middleware.Spec{Supervision: workload.Watchd, WatchdVersion: watchd.V3}
+
+	opts := core.DefaultRunnerOptions()
+	opts.WatchdVersion = source.WatchdVersion
+	opts.Telemetry = telemetry.Options{Enabled: true, TraceCap: 256}
+	runner := core.NewRunner(workload.NewIIS(source.Supervision), opts)
+	h := shard.HeaderFor(runner)
+	h.FaultList = "benchlist"
+	jpath := filepath.Join(b.TempDir(), "bench.journal")
+	jw, err := journal.Create(jpath, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sup := core.NewSupervisor(core.SupervisorOptions{})
+	sup.AttachJournal(jw)
+	if _, err := core.NewCampaign(runner, core.WithSpecs(specs), core.WithSupervision(sup),
+		core.WithParallelism(1)).Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	replayArm := func(noElide bool) (*core.SetResult, replaypkg.Stats) {
+		src, err := replaypkg.Load(jpath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, oracle, err := replaypkg.Build(src, replaypkg.Options{Target: target, Parallelism: 1, NoElide: noElide})
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := c.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return set, oracle.Stats()
+	}
+
+	// Interleave the arms so load drift cancels (the journaled-overhead
+	// benchmark's trick).
+	replayArm(false)
+	var elidedNS, rerunNS int64
+	var stats replaypkg.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		elided, st := replayArm(false)
+		t1 := time.Now()
+		rerun, _ := replayArm(true)
+		elidedNS += int64(t1.Sub(t0))
+		rerunNS += int64(time.Since(t1))
+		if len(elided.Runs) != len(rerun.Runs) {
+			b.Fatalf("elided replay ran %d faults, rerun %d", len(elided.Runs), len(rerun.Runs))
+		}
+		if st.Elided == 0 {
+			b.Fatal("oracle elided nothing on a v2->v3 replay")
+		}
+		stats = st
+	}
+	b.ReportMetric(float64(rerunNS)/float64(elidedNS), "speedup-vs-rerun")
+	b.ReportMetric(stats.Rate(), "elision-rate")
 }

@@ -9,6 +9,8 @@
 //	dts -config dts.cfg -cohort "seed=42;class=..." [-workload-trace-out sched.wtrace]
 //	dts -config dts.cfg -workload-trace sched.wtrace
 //	dts -config dts.cfg -cluster 3 [-routing round-robin|least-loaded|failover]
+//	dts -config dts.cfg -middleware watchd-v2
+//	dts -replay campaign.journal -middleware watchd-v3 [-out results.json] [-no-elide]
 //	dts -experiment table1|figure2|figure5 [-out results.json]
 //	dts -conformance [-golden path] [-update] [-sample n] [-seed n]
 //	dts ... [-trace-out trace.jsonl] [-metrics] [-trace-cap n]
@@ -56,6 +58,17 @@
 // service: submit campaigns with config and fault list inline, stream
 // progress as JSONL, fetch the archive and report.
 //
+// -middleware overrides the configured substrate ("none", "watchd",
+// "watchd-v1".."v3", "mscs") without editing the config file. With
+// -replay it instead names the target substrate: dts re-executes a
+// journaled campaign under that substrate, and a divergence oracle
+// elides every run whose recorded evidence proves the swap cannot
+// change the outcome (DESIGN.md §4k). The output archive is
+// byte-identical to a from-scratch campaign under the target;
+// -no-elide forces full re-execution (the equivalence baseline), and
+// -cluster/-routing override the recorded topology. The final
+// "replay:" line is machine-parseable (key=value) for CI gates.
+//
 // -cluster N runs the workload on an N-node shared-clock cluster behind a
 // latency-modeled virtual network; -routing picks how clients choose a
 // node (failover, round-robin, least-loaded — see DESIGN.md §4i). Fault
@@ -86,6 +99,7 @@ import (
 	"ntdts/internal/experiments"
 	"ntdts/internal/inject"
 	"ntdts/internal/journal"
+	"ntdts/internal/middleware"
 	"ntdts/internal/ntsim"
 	"ntdts/internal/ntsim/cluster"
 	"ntdts/internal/report"
@@ -142,6 +156,9 @@ func run(args []string, out io.Writer) error {
 	chunk := fs.Int("chunk", 0, "fleet dispatch chunk size (0 = auto; degraded workers receive smaller chunks automatically)")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout")
 	freshBoot := fs.Bool("fresh-boot", false, "boot a fresh kernel for every run instead of forking the boot-prefix snapshot (slower; archives are byte-identical either way)")
+	replayPath := fs.String("replay", "", "re-execute a journaled campaign under the -middleware substrate, eliding runs the recorded evidence proves unaffected (archive byte-identical to a from-scratch run)")
+	middlewareSpec := fs.String("middleware", "", `middleware substrate: "none", "watchd", "watchd-v1".."v3" or "mscs" (the -replay target, or a -config override)`)
+	noElide := fs.Bool("no-elide", false, "disable the -replay divergence oracle so every run re-executes (the equivalence baseline)")
 	clusterN := fs.Int("cluster", 0, "run every fault on an N-node simulated cluster (0 = single host; 1 = single host with DTSCluster* scenario faults enabled; topology rides the journal header so -parallel/-shards/-resume rebuild it)")
 	routing := fs.String("routing", "", `client routing policy across -cluster nodes: "failover" (default), "round-robin" or "least-loaded"`)
 	cohort := fs.String("cohort", "", `generated multi-client workload: a seeded cohort spec, e.g. "seed=42;class=browser,clients=4,requests=6,arrival=poisson,rate=2,mix=static-115k:3/cgi-1k:1" (same seed, same schedule at any -parallel/-shards)`)
@@ -229,7 +246,31 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if cflags.active() && (*experiment != "" || *conformance || *resume != "") {
-		return fmt.Errorf("-cluster/-routing configure a -config campaign; they cannot combine with -experiment/-conformance (fixed topologies) or -resume (the journal header already carries the topology)")
+		return fmt.Errorf("-cluster/-routing configure a -config or -replay campaign; they cannot combine with -experiment/-conformance (fixed topologies) or -resume (the journal header already carries the topology)")
+	}
+
+	if *replayPath != "" {
+		// Counterfactual replay is its own mode: the journal supplies the
+		// campaign, -middleware the target substrate, and -cluster/-routing
+		// optionally override the recorded topology. Everything that would
+		// change what the journal already fixed is rejected.
+		if *cfgPath != "" || *experiment != "" || *conformance || *resume != "" ||
+			*faultSpec != "" || *journalPath != "" || *shards > 0 || fflags.active() ||
+			*runDeadline > 0 || *maxQuarantined > 0 || wflags.active() {
+			return fmt.Errorf("-replay re-executes a journaled campaign under a new -middleware; it combines only with -middleware, -cluster/-routing, -out, -parallel, -no-elide and -q")
+		}
+		return runReplay(ctx, *replayPath, *middlewareSpec, *outPath, *parallel, *noElide, cflags, progress, out)
+	}
+	var mwOverride *middleware.Spec
+	if *middlewareSpec != "" {
+		spec, err := middleware.Parse(*middlewareSpec)
+		if err != nil {
+			return err
+		}
+		if *cfgPath == "" {
+			return fmt.Errorf("-middleware overrides a -config campaign's substrate (or names the -replay target); add -config or -replay")
+		}
+		mwOverride = &spec
 	}
 
 	if fflags.active() {
@@ -281,9 +322,9 @@ func run(args []string, out io.Writer) error {
 	case *experiment != "":
 		return runExperiment(*experiment, *outPath, ecfg, tflags, out)
 	case *cfgPath != "" && *faultSpec != "":
-		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, cflags, wflags, tflags, out)
+		return runSingleFault(*cfgPath, *faultSpec, *trace, *freshBoot, mwOverride, cflags, wflags, tflags, out)
 	case *cfgPath != "":
-		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, cflags, wflags, tflags, sflags, fflags, progress, out)
+		return runConfigured(ctx, *cfgPath, *outPath, *parallel, *shards, *freshBoot, shardExec, mwOverride, cflags, wflags, tflags, sflags, fflags, progress, out)
 	default:
 		return fmt.Errorf("one of -config, -experiment or -resume is required")
 	}
@@ -421,7 +462,7 @@ func (t telemetryFlags) emit(set *telemetry.Set, out io.Writer) error {
 
 // runSingleFault replays one fault with full result detail — the paper's
 // "individual fault injection runs provide reproducible feedback" workflow.
-func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, out io.Writer) error {
+func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, mw *middleware.Spec, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -431,6 +472,7 @@ func runSingleFault(cfgPath, faultSpec string, trace, freshBoot bool, cflags clu
 	if err != nil {
 		return err
 	}
+	applyMiddleware(&cfg, mw)
 	def, err := cfg.Definition()
 	if err != nil {
 		return err
@@ -560,7 +602,7 @@ func runExperiment(name, outPath string, ecfg experiments.Config, tflags telemet
 	return saveArchive(archive, outPath)
 }
 
-func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, fflags fleetFlags, progress func(string), out io.Writer) error {
+func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shards int, freshBoot bool, shardExec core.ShardExecutor, mw *middleware.Spec, cflags clusterFlags, wflags workloadFlags, tflags telemetryFlags, sflags superviseFlags, fflags fleetFlags, progress func(string), out io.Writer) error {
 	f, err := os.Open(cfgPath)
 	if err != nil {
 		return err
@@ -570,6 +612,7 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 	if err != nil {
 		return err
 	}
+	applyMiddleware(&cfg, mw)
 	def, err := cfg.Definition()
 	if err != nil {
 		return err
@@ -663,6 +706,20 @@ func runConfigured(ctx context.Context, cfgPath, outPath string, parallel, shard
 	}
 	hint := resumeCommand(sflags.journal, outPath, parallel, tflags)
 	return finishSupervised(set, err, outPath, sup, hint, tflags, out)
+}
+
+// applyMiddleware rewrites the configured substrate from a -middleware
+// override, with the same semantics as the config file's "middleware"
+// key: an unpinned "watchd" keeps the configured (or default) watchd
+// generation.
+func applyMiddleware(cfg *config.Main, mw *middleware.Spec) {
+	if mw == nil {
+		return
+	}
+	cfg.Middleware = mw.Supervision
+	if mw.WatchdVersion != 0 {
+		cfg.WatchdVersion = mw.WatchdVersion
+	}
 }
 
 // campaignProgress adapts the line-oriented progress sink to the

@@ -6,6 +6,9 @@
 //	dtsreport -in results.json [-artifact auto|table1|figure2|figure3|table2|figure4|figure5|failures]
 //	dtsreport -trace trace.jsonl
 //	dtsreport -journal campaign.journal
+//	dtsreport -diff a.json b.json
+//	dtsreport -fitness -in results.json [-weights avail=1,recovery=0.25,quarantine=1]
+//	dtsreport -anomalies -in results.json [-mad 5]
 //
 // The default artifact ("auto") renders whatever the archive holds; the
 // derived artifacts (figure3, table2, figure4) require a figure2 archive.
@@ -15,8 +18,16 @@
 // -journal, dtsreport replays a campaign journal and summarizes its
 // progress — including whether the tail is torn and how to resume.
 //
-// Unreadable or corrupt inputs exit 2 with a one-line diagnosis, so
-// automation can tell "bad input file" from "bad invocation" (1).
+// -diff compares two single-set archives fault by fault over their
+// common injected faults and renders the failure-matrix delta, including
+// any success/failure outcome flips. -fitness scores each set in an
+// archive as one weighted scalar; -anomalies flags injected runs whose
+// recovery time falls outside k median absolute deviations.
+//
+// All loading goes through internal/analysis — dtsreport holds no
+// artifact parsers of its own. Unreadable or corrupt inputs exit 2 with
+// a one-line diagnosis, so automation can tell "bad input file" from
+// "bad invocation" (1).
 package main
 
 import (
@@ -25,15 +36,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
+	"ntdts/internal/analysis"
 	"ntdts/internal/avail"
 	"ntdts/internal/core"
 	"ntdts/internal/experiments"
-	"ntdts/internal/journal"
 	"ntdts/internal/report"
-	"ntdts/internal/telemetry"
-	"ntdts/internal/vclock"
 )
 
 // exitCorruptInput distinguishes a bad input file from a bad invocation.
@@ -44,6 +52,15 @@ type corruptInput struct{ err error }
 
 func (e *corruptInput) Error() string { return e.err.Error() }
 func (e *corruptInput) Unwrap() error { return e.err }
+
+// classify wraps the analysis layer's corruption marker in the exit-code
+// carrier; other errors pass through.
+func classify(err error) error {
+	if err != nil && errors.Is(err, analysis.ErrCorrupt) {
+		return &corruptInput{err}
+	}
+	return err
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -62,8 +79,19 @@ func run(args []string) error {
 	artifact := fs.String("artifact", "auto", "artifact to render")
 	tracePath := fs.String("trace", "", "telemetry trace (JSONL from dts -trace-out) to summarize")
 	journalPath := fs.String("journal", "", "campaign journal (from dts -journal) to summarize")
+	diffMode := fs.Bool("diff", false, "diff two single-set archives (paths as positional args)")
+	fitnessMode := fs.Bool("fitness", false, "score each set in -in as one weighted scalar")
+	weightsSpec := fs.String("weights", "", "fitness weights, e.g. avail=1,recovery=0.25,quarantine=1")
+	anomalyMode := fs.Bool("anomalies", false, "flag recovery-time outliers in -in")
+	madK := fs.Float64("mad", 5, "outlier threshold in median absolute deviations")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diffMode {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two archive paths")
+		}
+		return diffArchives(fs.Arg(0), fs.Arg(1), os.Stdout)
 	}
 	if *tracePath != "" {
 		return summarizeTrace(*tracePath, os.Stdout)
@@ -72,17 +100,19 @@ func run(args []string) error {
 		return summarizeJournal(*journalPath, os.Stdout)
 	}
 	if *inPath == "" {
-		return fmt.Errorf("one of -in, -trace or -journal is required")
+		return fmt.Errorf("one of -in, -trace, -journal or -diff is required")
 	}
-	f, err := os.Open(*inPath)
+	q, err := analysis.OpenArchive(*inPath)
 	if err != nil {
-		return &corruptInput{fmt.Errorf("unreadable archive: %w", err)}
+		return classify(err)
 	}
-	defer f.Close()
-	archive, err := experiments.LoadArchive(f)
-	if err != nil {
-		return &corruptInput{fmt.Errorf("corrupt archive %s: %w", *inPath, err)}
+	if *fitnessMode {
+		return renderFitness(q, *weightsSpec, os.Stdout)
 	}
+	if *anomalyMode {
+		return renderAnomalies(q, *madK, os.Stdout)
+	}
+	archive := q.Archive
 
 	name := *artifact
 	if name == "auto" {
@@ -95,24 +125,25 @@ func run(args []string) error {
 		}
 		fmt.Print(report.Table1(archive.Table1))
 	case "set":
-		if archive.Set == nil {
-			return fmt.Errorf("archive holds %q, not a single set", archive.Kind)
+		set, err := q.Set()
+		if err != nil {
+			return err
 		}
-		d := archive.Set.Distribution()
+		d := set.Distribution()
 		fmt.Printf("%s/%s: %d injected faults, %.1f%% failures\n",
-			archive.Set.Workload, archive.Set.Supervision, d.Total, archive.Set.FailurePct())
-		if archive.Set.Partial {
+			set.Workload, set.Supervision, d.Total, set.FailurePct())
+		if set.Partial {
 			fmt.Printf("PARTIAL results: the campaign was stopped before completing its plan\n")
 		}
-		fmt.Print(report.TopFailures(archive.Set, 50))
-		if perClass := report.PerClass(archive.Set, avail.EstimateClasses(archive.Set, avail.DefaultAssumptions())); perClass != "" {
+		fmt.Print(report.TopFailures(set, 50))
+		if perClass := report.PerClass(set, avail.EstimateClasses(set, avail.DefaultAssumptions())); perClass != "" {
 			fmt.Print("\n", perClass)
 		}
-		if clusterView := report.Cluster(archive.Set); clusterView != "" {
+		if clusterView := report.Cluster(set); clusterView != "" {
 			fmt.Print("\n", clusterView)
 		}
-		if len(archive.Set.Quarantined) != 0 {
-			fmt.Print("\n", report.Quarantine(archive.Set.Quarantined))
+		if len(set.Quarantined) != 0 {
+			fmt.Print("\n", report.Quarantine(set.Quarantined))
 		}
 	case "figure2":
 		if archive.Experiment == nil {
@@ -165,116 +196,115 @@ func run(args []string) error {
 	return nil
 }
 
+// diffArchives loads two single-set archives and renders their
+// failure-matrix delta.
+func diffArchives(pathA, pathB string, out io.Writer) error {
+	qa, err := analysis.OpenArchive(pathA)
+	if err != nil {
+		return classify(err)
+	}
+	qb, err := analysis.OpenArchive(pathB)
+	if err != nil {
+		return classify(err)
+	}
+	a, err := qa.Set()
+	if err != nil {
+		return err
+	}
+	b, err := qb.Set()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Delta(analysis.Diff(a, b)))
+	return nil
+}
+
+// renderFitness scores every set the archive holds.
+func renderFitness(q *analysis.Query, spec string, out io.Writer) error {
+	w, err := analysis.ParseWeights(spec)
+	if err != nil {
+		return err
+	}
+	sets := q.Sets()
+	if len(sets) == 0 {
+		return fmt.Errorf("archive holds %q, which has no workload sets to score", q.Archive.Kind)
+	}
+	for _, set := range sets {
+		fmt.Fprint(out, report.Fitness(analysis.Label(set), analysis.Fitness(set, w), w))
+	}
+	return nil
+}
+
+// renderAnomalies flags recovery-time outliers in every set.
+func renderAnomalies(q *analysis.Query, k float64, out io.Writer) error {
+	sets := q.Sets()
+	if len(sets) == 0 {
+		return fmt.Errorf("archive holds %q, which has no workload sets to scan", q.Archive.Kind)
+	}
+	var all []analysis.Anomaly
+	for _, set := range sets {
+		all = append(all, analysis.RecoveryOutliers(set, k)...)
+	}
+	fmt.Fprint(out, report.Anomalies(all))
+	return nil
+}
+
 // summarizeTrace ingests a JSONL telemetry trace and prints the §4.3-style
 // post-mortem view: how many runs the trace covers, what the simulated
 // system was doing (events by kind, busiest API functions) and how far the
 // fault lifecycle got (armed → activated → injected).
 func summarizeTrace(path string, out io.Writer) error {
-	f, err := os.Open(path)
+	q, err := analysis.OpenTrace(path)
 	if err != nil {
-		return &corruptInput{fmt.Errorf("unreadable trace: %w", err)}
+		return classify(err)
 	}
-	defer f.Close()
-	lines, err := telemetry.ReadJSONL(f)
-	if err != nil {
-		return &corruptInput{fmt.Errorf("corrupt trace %s: %w", path, err)}
-	}
-	if len(lines) == 0 {
+	t := q.Trace
+	if t.Events == 0 {
 		fmt.Fprintln(out, "trace is empty")
 		return nil
 	}
-
-	runs := make(map[int]bool)
-	kinds := make(map[string]int)
-	syscalls := make(map[string]int)
-	var span vclock.Time
-	for _, l := range lines {
-		runs[l.Run] = true
-		kinds[l.Event.Kind.String()]++
-		if l.Event.Kind == telemetry.KindSyscall {
-			syscalls[l.Event.Name]++
-		}
-		if l.Event.At > span {
-			span = l.Event.At
-		}
-	}
-
 	fmt.Fprintf(out, "trace: %d events across %d runs, virtual span %s\n",
-		len(lines), len(runs), span)
+		t.Events, t.Runs, t.Span)
 	fmt.Fprintln(out, "events by kind:")
-	for _, k := range sortedByCount(kinds) {
-		fmt.Fprintf(out, "  %-18s %d\n", k, kinds[k])
+	for _, k := range t.KindsByCount() {
+		fmt.Fprintf(out, "  %-18s %d\n", k, t.Kinds[k])
 	}
-	if len(syscalls) > 0 {
+	if len(t.Syscalls) > 0 {
 		fmt.Fprintln(out, "busiest API functions:")
-		top := sortedByCount(syscalls)
-		if len(top) > 10 {
-			top = top[:10]
-		}
-		for _, fn := range top {
-			fmt.Fprintf(out, "  %-18s %d\n", fn, syscalls[fn])
+		for _, fn := range t.BusiestSyscalls(10) {
+			fmt.Fprintf(out, "  %-18s %d\n", fn, t.Syscalls[fn])
 		}
 	}
 	fmt.Fprintf(out, "fault lifecycle: %d armed, %d activated, %d injected\n",
-		kinds[telemetry.KindFaultArmed.String()],
-		kinds[telemetry.KindFaultActivated.String()],
-		kinds[telemetry.KindFaultInjected.String()])
+		t.Armed, t.Activated, t.Injected)
 	return nil
 }
 
 // summarizeJournal replays a campaign journal and reports how far the
 // campaign got — the quick triage view for a crashed or interrupted run.
 func summarizeJournal(path string, out io.Writer) error {
-	rep, err := journal.Replay(path)
+	q, err := analysis.OpenJournal(path)
 	if err != nil {
-		return &corruptInput{fmt.Errorf("corrupt journal: %w", err)}
+		return classify(err)
 	}
-	h := rep.Header
+	j := q.Journal
 	fmt.Fprintf(out, "journal: %s/%s, %d runs recorded, %d quarantined\n",
-		h.Workload, h.Supervision, rep.Records, len(rep.Quarantined))
-	if rep.Plan != nil {
-		fmt.Fprintf(out, "plan: %d jobs (%d remaining)\n",
-			len(rep.Plan.Jobs), len(rep.Plan.Jobs)-rep.Records)
+		j.Header.Workload, j.Header.Supervision, j.Records, j.Quarantined)
+	if j.HasPlan {
+		fmt.Fprintf(out, "plan: %d jobs (%d remaining)\n", j.PlanJobs, j.Remaining())
 	}
-	if rep.Torn {
+	if j.Torn {
 		fmt.Fprintln(out, "torn final record (process died mid-write); a resume discards it")
 	}
-	if len(rep.Dispatch) > 0 {
-		// The fleet provenance trail: how the work-stealing dispatcher
-		// moved chunks around, and whether the campaign only finished
-		// by falling back to in-process execution.
-		counts := map[string]int{}
-		degraded := false
-		for _, ev := range rep.Dispatch {
-			counts[ev.Event]++
-			if ev.Event == "degraded" {
-				degraded = true
-			}
-		}
+	if len(j.Dispatch) > 0 {
 		fmt.Fprintf(out, "fleet dispatch: %d chunks assigned, %d redispatched, %d speculated, %d drained in-process, %d worker slots exhausted\n",
-			counts["assign"], counts["redispatch"], counts["speculate"], counts["local"], counts["exhausted"])
-		if degraded {
+			j.Dispatch["assign"], j.Dispatch["redispatch"], j.Dispatch["speculate"], j.Dispatch["local"], j.Dispatch["exhausted"])
+		if j.Degraded {
 			fmt.Fprintln(out, "fleet DEGRADED: the campaign completed in-process after worker budgets were exhausted (results are still complete)")
 		}
 	}
 	fmt.Fprintf(out, "resume with:\n  dts -resume %s\n", path)
 	return nil
-}
-
-// sortedByCount orders map keys by descending count, name ascending on
-// ties, so the summary is deterministic.
-func sortedByCount(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if m[keys[i]] != m[keys[j]] {
-			return m[keys[i]] > m[keys[j]]
-		}
-		return keys[i] < keys[j]
-	})
-	return keys
 }
 
 // needFigure2 adapts the derived-artifact constructors.

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/inject"
+	"ntdts/internal/journal"
+)
+
+func spec(fn string, param, inv int, ft inject.FaultType) inject.FaultSpec {
+	return inject.FaultSpec{Function: fn, Param: param, Invocation: inv, Type: ft}
+}
+
+// setFixture builds a small single-set result with a controllable
+// outcome per fault.
+func setFixture(outcomes map[string]core.Outcome) *core.SetResult {
+	set := &core.SetResult{
+		Workload:     "IIS",
+		Supervision:  "watchd",
+		FaultFreeSec: 10,
+	}
+	set.WatchdVersion = 3
+	faults := []inject.FaultSpec{
+		spec("ReadFile", 1, 1, inject.ZeroBits),
+		spec("ReadFile", 1, 1, inject.OneBits),
+		spec("WriteFile", 2, 1, inject.ZeroBits),
+		spec("CreateFileA", 1, 1, inject.FlipBits),
+	}
+	for _, f := range faults {
+		o, ok := outcomes[f.Key()]
+		if !ok {
+			o = core.NormalSuccess
+		}
+		r := core.RunResult{
+			Fault:       f,
+			Activated:   true,
+			Injected:    true,
+			Completed:   o != core.Failure,
+			Outcome:     o,
+			ResponseSec: 10,
+		}
+		if o == core.RestartSuccess {
+			r.Restarts, r.ResponseSec = 1, 14
+		}
+		set.Runs = append(set.Runs, r)
+	}
+	return set
+}
+
+func writeArchive(t *testing.T, a *experiments.Archive) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "archive.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenArchive(t *testing.T) {
+	set := setFixture(nil)
+	path := writeArchive(t, &experiments.Archive{Kind: "set", Set: set})
+	q, err := OpenArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != KindArchive {
+		t.Fatalf("kind = %q, want archive", q.Kind)
+	}
+	got, err := q.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != len(set.Runs) || got.Workload != "IIS" {
+		t.Fatalf("round-tripped set mismatch: %d runs, workload %q", len(got.Runs), got.Workload)
+	}
+	if sets := q.Sets(); len(sets) != 1 {
+		t.Fatalf("Sets() = %d sets, want 1", len(sets))
+	}
+}
+
+func TestOpenArchiveCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{path, filepath.Join(t.TempDir(), "missing.json")} {
+		_, err := OpenArchive(p)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("OpenArchive(%s) err = %v, want ErrCorrupt match", p, err)
+		}
+	}
+}
+
+func TestSetOnWrongKind(t *testing.T) {
+	path := writeArchive(t, &experiments.Archive{Kind: "figure2", Experiment: &core.Experiment{Sets: []*core.SetResult{setFixture(nil)}}})
+	q, err := OpenArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Set(); err == nil {
+		t.Fatal("Set() on a figure2 archive should error")
+	}
+	if sets := q.Sets(); len(sets) != 1 {
+		t.Fatalf("Sets() on figure2 = %d, want 1", len(sets))
+	}
+}
+
+func TestOpenJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	w, err := journal.Create(path, journal.Header{Workload: "IIS", Supervision: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePlan([]string{"a", "b", "c"}, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRun(0, "a", 1, json.RawMessage(`{}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAssign(0, "assign", []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAssign(0, "degraded", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := q.Journal
+	if j.Header.Workload != "IIS" || !j.HasPlan || j.PlanJobs != 3 || j.Records != 1 {
+		t.Fatalf("summary = %+v", j)
+	}
+	if j.Remaining() != 2 {
+		t.Fatalf("Remaining() = %d, want 2", j.Remaining())
+	}
+	if j.Dispatch["assign"] != 1 || !j.Degraded {
+		t.Fatalf("dispatch = %v degraded = %v", j.Dispatch, j.Degraded)
+	}
+}
+
+func TestOpenJournalCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.journal")
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt match", err)
+	}
+}
+
+func TestOpenTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	lines := `{"run":0,"at":10,"pid":1,"kind":"syscall","name":"ReadFile","a":0,"b":0}
+{"run":0,"at":20,"pid":1,"kind":"syscall","name":"ReadFile","a":0,"b":0}
+{"run":1,"at":30,"pid":1,"kind":"syscall","name":"WriteFile","a":0,"b":0}
+{"run":1,"at":45,"pid":0,"kind":"fault-armed","name":"ReadFile","a":0,"b":0}
+{"run":1,"at":50,"pid":0,"kind":"fault-activated","name":"ReadFile","a":0,"b":0}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := q.Trace
+	if tr.Events != 5 || tr.Runs != 2 {
+		t.Fatalf("events=%d runs=%d, want 5/2", tr.Events, tr.Runs)
+	}
+	if tr.Armed != 1 || tr.Activated != 1 || tr.Injected != 0 {
+		t.Fatalf("lifecycle = %d/%d/%d, want 1/1/0", tr.Armed, tr.Activated, tr.Injected)
+	}
+	if got := tr.BusiestSyscalls(1); len(got) != 1 || got[0] != "ReadFile" {
+		t.Fatalf("BusiestSyscalls(1) = %v, want [ReadFile]", got)
+	}
+	if got := tr.KindsByCount(); got[0] != "syscall" {
+		t.Fatalf("KindsByCount()[0] = %q, want syscall", got[0])
+	}
+	if _, err := OpenTrace(filepath.Join(t.TempDir(), "missing.jsonl")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing trace err = %v, want ErrCorrupt match", err)
+	}
+}
+
+func TestDiffAndMatrix(t *testing.T) {
+	key := func(fn string, ft inject.FaultType) string { return spec(fn, 1, 1, ft).Key() }
+	a := setFixture(map[string]core.Outcome{
+		key("ReadFile", inject.ZeroBits): core.Failure,
+		key("ReadFile", inject.OneBits):  core.Failure,
+	})
+	a.Supervision, a.WatchdVersion = "none", 0
+	b := setFixture(map[string]core.Outcome{
+		key("ReadFile", inject.ZeroBits):    core.RestartSuccess,
+		key("CreateFileA", inject.FlipBits): core.Failure,
+	})
+	d := Diff(a, b)
+	if d.FromLabel != "IIS/none" || d.ToLabel != "IIS/watchd-v3" {
+		t.Fatalf("labels = %q -> %q", d.FromLabel, d.ToLabel)
+	}
+	if d.Common != 4 || len(d.Transitions) != 3 || d.Unchanged != 1 {
+		t.Fatalf("common=%d transitions=%d unchanged=%d", d.Common, len(d.Transitions), d.Unchanged)
+	}
+	if d.Summary.Improved != 2 || d.Summary.Regressed != 1 {
+		t.Fatalf("summary = %+v", d.Summary)
+	}
+	cells := d.Matrix()
+	if len(cells) != 3 {
+		t.Fatalf("matrix cells = %d, want 3", len(cells))
+	}
+	// Sorted by function: CreateFileA regressed, then the two ReadFile cells.
+	if cells[0].Function != "CreateFileA" || cells[0].Regressed != 1 {
+		t.Fatalf("cell[0] = %+v", cells[0])
+	}
+
+	flips := d.Flips()
+	if len(flips) != 3 {
+		t.Fatalf("flips = %d, want 3", len(flips))
+	}
+	for _, f := range flips {
+		if f.Kind != "outcome-flip" {
+			t.Fatalf("flip kind = %q", f.Kind)
+		}
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("")
+	if err != nil || w != DefaultWeights() {
+		t.Fatalf("empty spec: %+v, %v", w, err)
+	}
+	w, err = ParseWeights("avail=2,recovery=0.5")
+	if err != nil || w.Availability != 2 || w.Recovery != 0.5 || w.Quarantine != DefaultWeights().Quarantine {
+		t.Fatalf("partial spec: %+v, %v", w, err)
+	}
+	for _, bad := range []string{"x=1", "avail", "avail=-1", "avail=zz"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("ParseWeights(%q) should error", bad)
+		}
+	}
+}
+
+func TestFitness(t *testing.T) {
+	set := setFixture(map[string]core.Outcome{
+		spec("ReadFile", 1, 1, inject.ZeroBits).Key(): core.Failure,
+		spec("ReadFile", 1, 1, inject.OneBits).Key():  core.RestartSuccess,
+	})
+	sc := Fitness(set, DefaultWeights())
+	if sc.Injected != 4 {
+		t.Fatalf("injected = %d, want 4", sc.Injected)
+	}
+	if sc.Availability != 0.75 {
+		t.Fatalf("availability = %v, want 0.75", sc.Availability)
+	}
+	// The restarted run responded in 14s against a 10s baseline.
+	if sc.MeanRecoverySec != 4 || sc.RecoveryRel != 0.4 {
+		t.Fatalf("recovery = %v (%vx), want 4 (0.4x)", sc.MeanRecoverySec, sc.RecoveryRel)
+	}
+	want := 1*0.75 - 0.25*0.4 - 1*0
+	if sc.Total != want {
+		t.Fatalf("total = %v, want %v", sc.Total, want)
+	}
+}
+
+func TestRecoveryOutliers(t *testing.T) {
+	set := setFixture(nil)
+	for i := range set.Runs {
+		set.Runs[i].ResponseSec = 10 + float64(i%2) // 10,11,10,11 -> MAD 0.5
+	}
+	set.Runs[3].ResponseSec = 120
+	out := RecoveryOutliers(set, 5)
+	if len(out) != 1 || out[0].Kind != "recovery-outlier" {
+		t.Fatalf("outliers = %+v, want exactly the 120s run", out)
+	}
+	if out[0].Fault.Function != "CreateFileA" {
+		t.Fatalf("flagged %s, want CreateFileA", out[0].Fault.Function)
+	}
+	// A flat distribution (MAD 0) flags nothing.
+	for i := range set.Runs {
+		set.Runs[i].ResponseSec = 10
+	}
+	if out := RecoveryOutliers(set, 5); out != nil {
+		t.Fatalf("flat distribution flagged %+v", out)
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+// Anomaly flagging: the cells worth a human's attention after a diff or
+// a campaign — outcome classes that flip across substrates, and
+// recovery times far outside the set's distribution.
+
+import (
+	"fmt"
+	"sort"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+	"ntdts/internal/stats"
+)
+
+// Anomaly is one flagged cell.
+type Anomaly struct {
+	Kind   string // "outcome-flip" or "recovery-outlier"
+	Fault  inject.FaultSpec
+	Detail string
+}
+
+// Flips returns the delta's transitions that cross the success/failure
+// boundary — the outcome-class flips a substrate swap caused, in
+// transition order.
+func (d *Delta) Flips() []Anomaly {
+	var out []Anomaly
+	for _, t := range d.Transitions {
+		fromFail := t.From == core.Failure || t.From == core.HarnessHang
+		toFail := t.To == core.Failure || t.To == core.HarnessHang
+		if fromFail == toFail {
+			continue
+		}
+		out = append(out, Anomaly{
+			Kind:   "outcome-flip",
+			Fault:  t.Fault,
+			Detail: fmt.Sprintf("%s -> %s (%s -> %s)", d.FromLabel, d.ToLabel, t.From, t.To),
+		})
+	}
+	return out
+}
+
+// RecoveryOutliers flags completed injected runs whose response time
+// deviates from the set's median by more than k median absolute
+// deviations (k·MAD, the robust outlier rule). A zero MAD (every
+// response identical) flags nothing — there is no distribution to be
+// outside of. Results are ordered by descending deviation, fault key
+// ascending on ties.
+func RecoveryOutliers(set *core.SetResult, k float64) []Anomaly {
+	if k <= 0 {
+		k = 5
+	}
+	var xs []float64
+	var idx []int
+	for i, r := range set.Runs {
+		if !r.Injected || !r.Completed {
+			continue
+		}
+		xs = append(xs, r.ResponseSec)
+		idx = append(idx, i)
+	}
+	if len(xs) < 3 {
+		return nil
+	}
+	med := stats.Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		d := x - med
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	mad := stats.Median(devs)
+	if mad == 0 {
+		return nil
+	}
+	type hit struct {
+		i   int
+		dev float64
+	}
+	var hits []hit
+	for i, d := range devs {
+		if d > k*mad {
+			hits = append(hits, hit{idx[i], d})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].dev != hits[b].dev {
+			return hits[a].dev > hits[b].dev
+		}
+		return set.Runs[hits[a].i].Fault.Key() < set.Runs[hits[b].i].Fault.Key()
+	})
+	out := make([]Anomaly, len(hits))
+	for i, h := range hits {
+		r := set.Runs[h.i]
+		out[i] = Anomaly{
+			Kind:  "recovery-outlier",
+			Fault: r.Fault,
+			Detail: fmt.Sprintf("response %.2fs, median %.2fs, deviation %.2fs > %.1f·MAD (%.2fs)",
+				r.ResponseSec, med, h.dev, k, mad),
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package analysis
+
+// Failure-matrix diffing across substrates (cf. the paper's §4.3
+// methodology of studying which faults changed outcome between watchd
+// generations, and the cross-version failure-matrix comparison in the
+// CentOS fault-injection failure-analysis literature).
+
+import (
+	"fmt"
+	"sort"
+
+	"ntdts/internal/core"
+	"ntdts/internal/inject"
+)
+
+// Delta is the failure-matrix delta between two workload sets: the
+// outcome transitions over their common injected faults, plus the
+// aggregate and per-cell (function × corruption) tallies.
+type Delta struct {
+	FromLabel, ToLabel string
+	// Common counts the injected faults present in both sets — the
+	// paper's "counting only common faults" comparison basis.
+	Common    int
+	Unchanged int
+	// Transitions lists every fault whose outcome differs, sorted.
+	Transitions []core.Transition
+	Summary     core.TransitionSummary
+}
+
+// Label renders a set's substrate identity ("IIS/watchd-v3" style).
+func Label(s *core.SetResult) string {
+	if s.WatchdVersion != 0 {
+		return fmt.Sprintf("%s/%s-v%d", s.Workload, s.Supervision, s.WatchdVersion)
+	}
+	return fmt.Sprintf("%s/%s", s.Workload, s.Supervision)
+}
+
+// Diff compares two sets fault by fault over their common injected
+// faults.
+func Diff(a, b *core.SetResult) *Delta {
+	aRuns, _ := core.CommonInjected(a, b)
+	ts := core.DiffSets(a, b)
+	return &Delta{
+		FromLabel:   Label(a),
+		ToLabel:     Label(b),
+		Common:      len(aRuns),
+		Unchanged:   len(aRuns) - len(ts),
+		Transitions: ts,
+		Summary:     core.SummarizeTransitions(ts),
+	}
+}
+
+// MatrixCell aggregates a delta's transitions for one function ×
+// corruption cell of the failure matrix.
+type MatrixCell struct {
+	Function  string
+	Type      inject.FaultType
+	Improved  int
+	Regressed int
+	Shifted   int
+}
+
+// Matrix groups the transitions per function × corruption, sorted by
+// function then type — the cell-level view of what the substrate swap
+// bought and broke.
+func (d *Delta) Matrix() []MatrixCell {
+	type key struct {
+		fn string
+		ft inject.FaultType
+	}
+	cells := make(map[key]*MatrixCell)
+	var order []key
+	for _, t := range d.Transitions {
+		k := key{t.Fault.Function, t.Fault.Type}
+		c, ok := cells[k]
+		if !ok {
+			c = &MatrixCell{Function: k.fn, Type: k.ft}
+			cells[k] = c
+			order = append(order, k)
+		}
+		switch {
+		case t.From == core.Failure && t.To != core.Failure:
+			c.Improved++
+		case t.From != core.Failure && t.To == core.Failure:
+			c.Regressed++
+		default:
+			c.Shifted++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].fn != order[j].fn {
+			return order[i].fn < order[j].fn
+		}
+		return order[i].ft < order[j].ft
+	})
+	out := make([]MatrixCell, len(order))
+	for i, k := range order {
+		out[i] = *cells[k]
+	}
+	return out
+}

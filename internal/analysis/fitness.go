@@ -1,0 +1,120 @@
+package analysis
+
+// Weighted multi-objective fitness scoring for campaigns, following the
+// fitness-evaluation idea in BLIS's counterfactual analysis: one scalar
+// that trades availability against recovery cost and quarantine noise,
+// with the weights a first-class input.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ntdts/internal/core"
+)
+
+// Weights are the fitness objective weights. Availability rewards;
+// recovery time and quarantine rate penalize.
+type Weights struct {
+	Availability float64
+	Recovery     float64
+	Quarantine   float64
+}
+
+// DefaultWeights balance the objectives for ad-hoc comparisons:
+// availability dominates, recovery cost (relative to the fault-free
+// response) and quarantine rate pull down.
+func DefaultWeights() Weights {
+	return Weights{Availability: 1, Recovery: 0.25, Quarantine: 1}
+}
+
+// ParseWeights reads a weights spec string: comma-separated
+// "avail=1,recovery=0.25,quarantine=1" (any subset; omitted keys keep
+// their defaults; "" is all defaults).
+func ParseWeights(s string) (Weights, error) {
+	w := DefaultWeights()
+	if strings.TrimSpace(s) == "" {
+		return w, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("weights: %q is not key=value", part)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || x < 0 {
+			return w, fmt.Errorf("weights: bad value %q for %q", v, k)
+		}
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "avail", "availability":
+			w.Availability = x
+		case "recovery":
+			w.Recovery = x
+		case "quarantine":
+			w.Quarantine = x
+		default:
+			return w, fmt.Errorf("weights: unknown key %q (want avail|recovery|quarantine)", k)
+		}
+	}
+	return w, nil
+}
+
+// Score is one set's fitness breakdown.
+type Score struct {
+	// Injected counts the scored runs.
+	Injected int
+	// Availability is the fraction of injected runs that ended in any
+	// success class.
+	Availability float64
+	// MeanRecoverySec is the mean extra response time, over the
+	// fault-free baseline, of injected runs the middleware restarted
+	// and that still completed — what a recovery costs when it works.
+	MeanRecoverySec float64
+	// RecoveryRel is MeanRecoverySec relative to the fault-free
+	// response time (the penalty term, so weights are unit-free).
+	RecoveryRel float64
+	// QuarantineRate is quarantined runs over the full plan.
+	QuarantineRate float64
+	// Total is the weighted scalar:
+	// availability·wA − recoveryRel·wR − quarantineRate·wQ.
+	Total float64
+}
+
+// Fitness scores one set under the given weights.
+func Fitness(set *core.SetResult, w Weights) Score {
+	var sc Score
+	succeeded := 0
+	var recSum float64
+	recN := 0
+	for _, r := range set.Runs {
+		if !r.Injected {
+			continue
+		}
+		sc.Injected++
+		if r.Outcome != core.Failure && r.Outcome != core.HarnessHang {
+			succeeded++
+		}
+		if r.Restarts > 0 && r.Completed {
+			extra := r.ResponseSec - set.FaultFreeSec
+			if extra < 0 {
+				extra = 0
+			}
+			recSum += extra
+			recN++
+		}
+	}
+	if sc.Injected > 0 {
+		sc.Availability = float64(succeeded) / float64(sc.Injected)
+	}
+	if recN > 0 {
+		sc.MeanRecoverySec = recSum / float64(recN)
+	}
+	if set.FaultFreeSec > 0 {
+		sc.RecoveryRel = sc.MeanRecoverySec / set.FaultFreeSec
+	}
+	if n := len(set.Runs); n > 0 {
+		sc.QuarantineRate = float64(len(set.Quarantined)) / float64(n)
+	}
+	sc.Total = w.Availability*sc.Availability - w.Recovery*sc.RecoveryRel - w.Quarantine*sc.QuarantineRate
+	return sc
+}

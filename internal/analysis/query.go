@@ -1,0 +1,235 @@
+// Package analysis is the unified read-side API over the three on-disk
+// artifact kinds the toolchain produces: results archives (indented
+// JSON, internal/experiments), campaign journals (JSONL,
+// internal/journal), and telemetry traces (JSONL, internal/telemetry).
+// dtsreport used to parse each with its own private code path; the
+// typed loaders here replace all three, and the diff / fitness /
+// anomaly layers turn loaded artifacts into cross-substrate analytics.
+//
+// Every loader classifies unreadable or unparsable input with
+// ErrCorrupt so callers can distinguish "bad input file" from "bad
+// invocation" without knowing which artifact kind they opened.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"ntdts/internal/core"
+	"ntdts/internal/experiments"
+	"ntdts/internal/journal"
+	"ntdts/internal/telemetry"
+	"ntdts/internal/vclock"
+)
+
+// ErrCorrupt marks an artifact that could not be read or parsed. Match
+// with errors.Is.
+var ErrCorrupt = errors.New("corrupt artifact")
+
+// corruptError keeps the caller-facing message free of boilerplate
+// while still matching ErrCorrupt.
+type corruptError struct {
+	msg string
+	err error
+}
+
+func (e *corruptError) Error() string { return e.msg }
+func (e *corruptError) Unwrap() error { return e.err }
+func (e *corruptError) Is(target error) bool {
+	return target == ErrCorrupt
+}
+
+func corruptf(format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	return &corruptError{msg: err.Error(), err: errors.Unwrap(err)}
+}
+
+// Kind names one artifact kind.
+type Kind string
+
+const (
+	KindArchive Kind = "archive"
+	KindJournal Kind = "journal"
+	KindTrace   Kind = "trace"
+)
+
+// Query is one loaded artifact: exactly one of Archive, Journal or
+// Trace is non-nil, matching Kind.
+type Query struct {
+	Path string
+	Kind Kind
+
+	Archive *experiments.Archive
+	Journal *JournalSummary
+	Trace   *TraceSummary
+}
+
+// OpenArchive loads a results archive.
+func OpenArchive(path string) (*Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, corruptf("unreadable archive: %w", err)
+	}
+	defer f.Close()
+	a, err := experiments.LoadArchive(f)
+	if err != nil {
+		return nil, corruptf("corrupt archive %s: %w", path, err)
+	}
+	return &Query{Path: path, Kind: KindArchive, Archive: a}, nil
+}
+
+// Set returns the archive's single-set payload, with a kind-mismatch
+// error naming what the archive actually holds.
+func (q *Query) Set() (*core.SetResult, error) {
+	if q.Archive == nil {
+		return nil, fmt.Errorf("%s is a %s, not a results archive", q.Path, q.Kind)
+	}
+	if q.Archive.Set == nil {
+		return nil, fmt.Errorf("archive holds %q, not a single set", q.Archive.Kind)
+	}
+	return q.Archive.Set, nil
+}
+
+// Sets returns every workload set the archive holds (a "set" archive
+// has one, a "figure2" archive one per workload/substrate pair; other
+// kinds none).
+func (q *Query) Sets() []*core.SetResult {
+	if q.Archive == nil {
+		return nil
+	}
+	if q.Archive.Set != nil {
+		return []*core.SetResult{q.Archive.Set}
+	}
+	if q.Archive.Experiment != nil {
+		return q.Archive.Experiment.Sets
+	}
+	return nil
+}
+
+// JournalSummary is the parsed state of a campaign journal, reduced to
+// what triage and reporting consume.
+type JournalSummary struct {
+	Header      journal.Header
+	HasPlan     bool
+	PlanJobs    int
+	Records     int
+	Quarantined int
+	// Torn reports a final line cut mid-write (discarded on resume).
+	Torn bool
+	// Dispatch counts the fleet dispatcher's provenance events by kind
+	// (empty for non-fleet campaigns); Degraded marks a campaign that
+	// only finished by falling back to in-process execution.
+	Dispatch map[string]int
+	Degraded bool
+}
+
+// Remaining returns how many planned jobs have no journaled record.
+func (j *JournalSummary) Remaining() int {
+	return j.PlanJobs - j.Records
+}
+
+// OpenJournal loads and summarizes a campaign journal.
+func OpenJournal(path string) (*Query, error) {
+	rep, err := journal.Replay(path)
+	if err != nil {
+		return nil, corruptf("corrupt journal: %w", err)
+	}
+	j := &JournalSummary{
+		Header:      rep.Header,
+		Records:     rep.Records,
+		Quarantined: len(rep.Quarantined),
+		Torn:        rep.Torn,
+	}
+	if rep.Plan != nil {
+		j.HasPlan, j.PlanJobs = true, len(rep.Plan.Jobs)
+	}
+	if len(rep.Dispatch) > 0 {
+		j.Dispatch = make(map[string]int)
+		for _, ev := range rep.Dispatch {
+			j.Dispatch[ev.Event]++
+			if ev.Event == "degraded" {
+				j.Degraded = true
+			}
+		}
+	}
+	return &Query{Path: path, Kind: KindJournal, Journal: j}, nil
+}
+
+// TraceSummary condenses a JSONL telemetry trace: coverage, event mix,
+// and how far the fault lifecycle got.
+type TraceSummary struct {
+	Events    int
+	Runs      int
+	Span      vclock.Time
+	Kinds     map[string]int
+	Syscalls  map[string]int
+	Armed     int
+	Activated int
+	Injected  int
+}
+
+// KindsByCount orders event kinds by descending count (name ascending
+// on ties), deterministically.
+func (t *TraceSummary) KindsByCount() []string { return SortedByCount(t.Kinds) }
+
+// BusiestSyscalls returns the top-n API functions by dispatch count.
+func (t *TraceSummary) BusiestSyscalls(n int) []string {
+	top := SortedByCount(t.Syscalls)
+	if len(top) > n {
+		top = top[:n]
+	}
+	return top
+}
+
+// OpenTrace loads and summarizes a telemetry trace exported by
+// dts -trace-out.
+func OpenTrace(path string) (*Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, corruptf("unreadable trace: %w", err)
+	}
+	defer f.Close()
+	lines, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return nil, corruptf("corrupt trace %s: %w", path, err)
+	}
+	t := &TraceSummary{
+		Events:   len(lines),
+		Kinds:    make(map[string]int),
+		Syscalls: make(map[string]int),
+	}
+	runs := make(map[int]bool)
+	for _, l := range lines {
+		runs[l.Run] = true
+		t.Kinds[l.Event.Kind.String()]++
+		if l.Event.Kind == telemetry.KindSyscall {
+			t.Syscalls[l.Event.Name]++
+		}
+		if l.Event.At > t.Span {
+			t.Span = l.Event.At
+		}
+	}
+	t.Runs = len(runs)
+	t.Armed = t.Kinds[telemetry.KindFaultArmed.String()]
+	t.Activated = t.Kinds[telemetry.KindFaultActivated.String()]
+	t.Injected = t.Kinds[telemetry.KindFaultInjected.String()]
+	return &Query{Path: path, Kind: KindTrace, Trace: t}, nil
+}
+
+// SortedByCount orders map keys by descending count, name ascending on
+// ties — the deterministic ordering every count rendering uses.
+func SortedByCount(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ntdts/internal/inject"
+	"ntdts/internal/middleware"
 	"ntdts/internal/middleware/watchd"
 	"ntdts/internal/workload"
 )
@@ -83,15 +84,17 @@ func (m *Main) set(key, val string) error {
 	case "workload":
 		m.Workload = val
 	case "middleware":
-		switch strings.ToLower(val) {
-		case "none", "standalone":
-			m.Middleware = workload.Standalone
-		case "mscs":
-			m.Middleware = workload.MSCS
-		case "watchd":
-			m.Middleware = workload.Watchd
-		default:
-			return fmt.Errorf("unknown middleware %q", val)
+		// One vocabulary for substrate selection (middleware.Parse):
+		// "watchd-v2" pins the version inline; plain "watchd" leaves an
+		// independently-configured watchd_version line untouched,
+		// whichever order the two keys appear in.
+		spec, err := middleware.Parse(val)
+		if err != nil {
+			return err
+		}
+		m.Middleware = spec.Supervision
+		if spec.WatchdVersion != 0 {
+			m.WatchdVersion = spec.WatchdVersion
 		}
 	case "watchd_version":
 		n, err := strconv.Atoi(val)

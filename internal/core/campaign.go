@@ -41,6 +41,12 @@ type SetResult struct {
 	// campaign ran sharded (nil otherwise). Excluded from the JSON
 	// archive so archives stay byte-identical at any fleet shape.
 	Dispatch *DispatchStats `json:"-"`
+
+	// Replay summarizes the divergence oracle's elision decisions when
+	// the set was produced by a replay campaign (nil otherwise).
+	// Excluded from the JSON archive so a replayed archive stays
+	// byte-identical to a from-scratch one.
+	Replay *ReplayStats `json:"-"`
 }
 
 // Injected returns the number of faults that actually fired.
@@ -111,49 +117,66 @@ func (s *SetResult) ResponseTimes(o Outcome, wrongReplyOnly bool) []float64 {
 // Campaign executes the full fault list against one workload.
 //
 // Construct campaigns with NewCampaign and functional options; the
-// struct literal form below still works but is deprecated and will lose
-// exported fields once the options API has been through one release.
+// fields are unexported (the PR 5 deprecation of the struct-literal
+// form has run its course) and external packages reach the few values
+// they need through accessors.
 type Campaign struct {
-	Runner *Runner
-	// Types is the corruption set (defaults to the paper's three).
-	Types []inject.FaultType
-	// Invocation selects which invocation of each function to inject
+	runner *Runner
+	// types is the corruption set (defaults to the paper's three).
+	types []inject.FaultType
+	// invocation selects which invocation of each function to inject
 	// (default 1, the paper's choice; the paper notes that injecting
 	// further invocations "produced similar results").
-	Invocation int
-	// PaperFaithfulSkips runs one probe per unactivated function before
+	invocation int
+	// paperFaithfulSkips runs one probe per unactivated function before
 	// skipping its remaining faults, exactly as the paper's tool did,
-	// instead of applying the skip from the calibration run. The outcome
-	// data is identical; only campaign cost differs (the ablation bench
-	// measures it).
-	PaperFaithfulSkips bool
-	// Parallelism is the number of workers executing runs concurrently
+	// instead of applying the skip from the calibration run.
+	paperFaithfulSkips bool
+	// parallelism is the number of workers executing runs concurrently
 	// (0 defaults to runtime.GOMAXPROCS(0); 1 is strictly sequential).
 	// Every run builds its own isolated kernel and results land at their
 	// fault-list position, so any worker count yields a SetResult
 	// byte-identical to the sequential sweep.
-	Parallelism int
-	// Progress, when non-nil, receives (done, total) after every run.
+	parallelism int
+	// progress, when non-nil, receives (done, total) after every run.
 	// Invocations are serialized and done increases strictly by one,
-	// regardless of Parallelism.
-	Progress func(done, total int)
-	// Supervise, when non-nil, routes every run through the campaign
+	// regardless of parallelism.
+	progress func(done, total int)
+	// supervise, when non-nil, routes every run through the campaign
 	// supervisor: wall-clock watchdog, panic quarantine, bounded retries,
 	// the results journal, and replay-on-resume.
-	Supervise *Supervisor
-	// Specs, when non-empty, replaces the generated catalog sweep with an
-	// explicit fault list (the dts fault-list-file path). No skip probes
-	// or skip accounting apply; the calibration pass still runs so the
-	// set records its activation census and fault-free response time.
-	Specs []inject.FaultSpec
-	// Shards, when > 1, fans the job list out over that many worker
-	// processes through a ShardExecutor (see WithShards); results merge
-	// byte-identical to an unsharded run.
-	Shards int
-	// ShardExec overrides the process-registered ShardExecutor (set by
-	// importing ntdts/internal/shard). Tests substitute in-process
-	// executors here.
-	ShardExec ShardExecutor
+	supervise *Supervisor
+	// specs, when non-empty, replaces the generated catalog sweep with an
+	// explicit fault list (the dts fault-list-file path).
+	specs []inject.FaultSpec
+	// shards, when > 1, fans the job list out over that many worker
+	// processes through a ShardExecutor; results merge byte-identical to
+	// an unsharded run.
+	shards int
+	// shardExec overrides the process-registered ShardExecutor.
+	shardExec ShardExecutor
+	// replay, when non-nil, resolves jobs from a recorded source
+	// campaign before execution (see WithReplay).
+	replay ReplaySource
+}
+
+// Runner returns the campaign's workload runner.
+func (c *Campaign) Runner() *Runner { return c.runner }
+
+// Shards returns the configured worker-process fan-out (<= 1 means
+// in-process execution).
+func (c *Campaign) Shards() int { return c.shards }
+
+// HasProgress reports whether a progress callback is registered, so
+// executors can skip progress bookkeeping entirely when nobody listens.
+func (c *Campaign) HasProgress() bool { return c.progress != nil }
+
+// ReportProgress invokes the progress callback (no-op when none is
+// registered). Callers serialize invocations themselves.
+func (c *Campaign) ReportProgress(done, total int) {
+	if c.progress != nil {
+		c.progress(done, total)
+	}
 }
 
 // Prepared is a campaign after calibration and planning, ready to
@@ -167,8 +190,12 @@ type Prepared struct {
 	// Jobs is the campaign's ordered job list; results land at the
 	// matching index.
 	Jobs []PlanJob
-	// Faults counts non-probe jobs (the Progress total).
+	// Faults counts non-probe jobs (the progress total).
 	Faults int
+	// Activated is the calibration run's activation census: the set of
+	// win32 functions the fault-free workload actually called. The
+	// replay oracle consults it to prove a fault can never arm.
+	Activated map[string]bool
 	// SkippedFns and SkippedFaults carry the catalog-walk skip census
 	// (zero for explicit spec lists).
 	SkippedFns    int
@@ -180,22 +207,22 @@ type Prepared struct {
 // catalog campaign, or the explicit Specs list verbatim. The skip rule
 // is the paper's, applied eagerly from the calibration run.
 func (c *Campaign) Prepare() (*Prepared, error) {
-	types := c.Types
+	types := c.types
 	if len(types) == 0 {
 		types = inject.AllFaultTypes()
 	}
-	invocation := c.Invocation
+	invocation := c.invocation
 	if invocation == 0 {
 		invocation = 1
 	}
-	activated, calib, err := c.Runner.ActivationScan()
+	activated, calib, err := c.runner.ActivationScan()
 	if err != nil {
 		return nil, fmt.Errorf("activation scan: %w", err)
 	}
-	p := &Prepared{c: c, Calib: calib}
-	if len(c.Specs) > 0 {
-		jobs := make([]PlanJob, len(c.Specs))
-		for i, s := range c.Specs {
+	p := &Prepared{c: c, Calib: calib, Activated: activated}
+	if len(c.specs) > 0 {
+		jobs := make([]PlanJob, len(c.specs))
+		for i, s := range c.specs {
 			jobs[i] = PlanJob{Spec: s}
 		}
 		p.Jobs, p.Faults = jobs, len(jobs)
@@ -207,7 +234,7 @@ func (c *Campaign) Prepare() (*Prepared, error) {
 	// The fault list is a pure function of the activation set (plus the
 	// corruption types and skip mode), so the catalog walk is memoized
 	// per process and the job list executes on the worker pool.
-	plan := planFor(activated, types, invocation, c.PaperFaithfulSkips)
+	plan := planFor(activated, types, invocation, c.paperFaithfulSkips)
 	p.Jobs, p.Faults = plan.jobs, plan.faults
 	p.SkippedFns, p.SkippedFaults = plan.skippedFns, plan.skippedFaults
 	return p, nil
@@ -239,7 +266,7 @@ func (p *Prepared) SiteGroups() []SiteGroup {
 		if !ok {
 			gi = len(groups)
 			index[site] = gi
-			groups = append(groups, SiteGroup{Site: site, Tier: p.c.Runner.SnapshotAt(site)})
+			groups = append(groups, SiteGroup{Site: site, Tier: p.c.runner.SnapshotAt(site)})
 		}
 		groups[gi].Jobs = append(groups[gi].Jobs, i)
 	}
@@ -253,23 +280,23 @@ func (p *Prepared) SiteGroups() []SiteGroup {
 func (p *Prepared) Assemble(runs []RunResult, runErr error) (*SetResult, error) {
 	c := p.c
 	set := &SetResult{
-		Workload:      c.Runner.Def.Name,
-		Supervision:   c.Runner.Def.Supervision.String(),
+		Workload:      c.runner.Def.Name,
+		Supervision:   c.runner.Def.Supervision.String(),
 		ActivatedFns:  p.Calib.ActivatedFns,
 		FaultFreeSec:  p.Calib.ResponseSec,
 		SkippedFns:    p.SkippedFns,
 		SkippedFaults: p.SkippedFaults,
 	}
-	if c.Runner.Def.Supervision.String() == "watchd" {
-		set.WatchdVersion = int(c.Runner.Opts.WatchdVersion)
+	if c.runner.Def.Supervision.String() == "watchd" {
+		set.WatchdVersion = int(c.runner.Opts.WatchdVersion)
 	}
 	if runErr != nil {
 		var budget *QuarantineBudgetError
-		if c.Supervise != nil && (errors.Is(runErr, ErrInterrupted) || errors.As(runErr, &budget)) {
+		if c.supervise != nil && (errors.Is(runErr, ErrInterrupted) || errors.As(runErr, &budget)) {
 			set.Runs = runs
 			set.Partial = true
-			set.Quarantined = c.Supervise.Quarantined()
-			if c.Runner.Opts.Telemetry.Enabled {
+			set.Quarantined = c.supervise.Quarantined()
+			if c.runner.Opts.Telemetry.Enabled {
 				set.Telemetry = CollectTelemetry(p.Calib, runs)
 			}
 			return set, runErr
@@ -277,10 +304,10 @@ func (p *Prepared) Assemble(runs []RunResult, runErr error) (*SetResult, error) 
 		return nil, runErr
 	}
 	set.Runs = runs
-	if c.Supervise != nil {
-		set.Quarantined = c.Supervise.Quarantined()
+	if c.supervise != nil {
+		set.Quarantined = c.supervise.Quarantined()
 	}
-	if c.Runner.Opts.Telemetry.Enabled {
+	if c.runner.Opts.Telemetry.Enabled {
 		set.Telemetry = CollectTelemetry(p.Calib, runs)
 	}
 	return set, nil
@@ -296,15 +323,21 @@ func (c *Campaign) Run(ctx context.Context) (*SetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.Shards > 1 {
-		exec := c.ShardExec
+	if c.replay != nil {
+		if c.shards > 1 || c.supervise != nil {
+			return nil, errors.New("campaign: replay is mutually exclusive with sharding and supervision")
+		}
+		return c.runReplay(ctx, p)
+	}
+	if c.shards > 1 {
+		exec := c.shardExec
 		if exec == nil {
 			exec = registeredShardExecutor()
 		}
 		if exec == nil {
 			return nil, errors.New("campaign: Shards > 1 but no ShardExecutor available (import ntdts/internal/shard)")
 		}
-		if c.Supervise != nil {
+		if c.supervise != nil {
 			return nil, errors.New("campaign: sharding and supervision are mutually exclusive (each worker process already isolates harness faults; journal a shard-worker run instead)")
 		}
 		runs, runErr := exec.ExecuteShards(ctx, c, p)
@@ -316,22 +349,86 @@ func (c *Campaign) Run(ctx context.Context) (*SetResult, error) {
 		}
 		return set, err
 	}
-	if c.Supervise != nil {
-		if err := c.Supervise.syncPlan(p.Jobs); err != nil {
+	if c.supervise != nil {
+		if err := c.supervise.syncPlan(p.Jobs); err != nil {
 			return nil, err
 		}
 	}
-	runs, runErr := executeJobs(ctx, c.Runner, p.Jobs, c.Parallelism, p.Faults, c.Progress, c.Supervise)
+	runs, runErr := executeJobs(ctx, c.runner, p.Jobs, c.parallelism, p.Faults, c.progress, c.supervise)
 	return p.Assemble(runs, runErr)
 }
 
-// Execute runs the campaign without cancellation.
-//
-// Deprecated: use Run, which threads a context through the worker pool
-// and the supervisor. Execute survives for one release as an alias of
-// Run(context.Background()).
-func (c *Campaign) Execute() (*SetResult, error) {
-	return c.Run(context.Background())
+// ReplaySource resolves campaign jobs from a recorded source campaign.
+// Resolve returns one entry per job in p.Jobs: a non-nil RunResult for
+// every run the source proves cannot diverge under this campaign's
+// substrate (the run is elided — its record is adopted verbatim), nil
+// for every run that must re-execute. internal/replay provides the
+// divergence oracle; the seam lives here so Campaign.Run can interleave
+// elided and executed results at their plan positions.
+type ReplaySource interface {
+	Resolve(p *Prepared) ([]*RunResult, error)
+}
+
+// ReplayStats summarizes a replay campaign's elision decisions. It
+// rides SetResult outside the JSON archive, which therefore stays
+// byte-identical to a from-scratch campaign under the same substrate.
+type ReplayStats struct {
+	Total    int // jobs in the plan
+	Elided   int // adopted from the source without re-execution
+	Executed int // re-executed under the target substrate
+}
+
+// Rate returns the fraction of jobs elided.
+func (s *ReplayStats) Rate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Elided) / float64(s.Total)
+}
+
+// runReplay executes the replay plan: jobs the ReplaySource resolves
+// are adopted with provenance, the rest execute on the worker pool and
+// scatter back to their plan positions.
+func (c *Campaign) runReplay(ctx context.Context, p *Prepared) (*SetResult, error) {
+	resolved, err := c.replay.Resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(resolved) != len(p.Jobs) {
+		return nil, fmt.Errorf("campaign: replay source resolved %d jobs, plan has %d", len(resolved), len(p.Jobs))
+	}
+	runs := make([]RunResult, len(p.Jobs))
+	var pending []PlanJob
+	var pendingIdx []int
+	for i, job := range p.Jobs {
+		if r := resolved[i]; r != nil {
+			rr := *r
+			rr.Replayed, rr.Elided = true, true
+			if job.Probe {
+				rr.Skipped = true
+			}
+			runs[i] = rr
+			continue
+		}
+		pending = append(pending, job)
+		pendingIdx = append(pendingIdx, i)
+	}
+	stats := &ReplayStats{Total: len(p.Jobs), Elided: len(p.Jobs) - len(pending), Executed: len(pending)}
+	if len(pending) > 0 {
+		sub, runErr := executeJobs(ctx, c.runner, pending, c.parallelism, len(pending), c.progress, nil)
+		if runErr != nil {
+			return nil, runErr
+		}
+		for k, i := range pendingIdx {
+			sub[k].Replayed = true
+			runs[i] = sub[k]
+		}
+	}
+	set, err := p.Assemble(runs, nil)
+	if set != nil {
+		set.Replay = stats
+	}
+	return set, err
 }
 
 // CollectTelemetry assembles the deterministic telemetry set for a

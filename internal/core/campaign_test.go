@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ntdts/internal/inject"
@@ -50,11 +51,9 @@ func TestOutcomeStrings(t *testing.T) {
 // the campaign quick while exercising the full Figure 1 flow.
 func smallCampaign(t *testing.T) *SetResult {
 	t.Helper()
-	c := &Campaign{
-		Runner: NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
-		Types:  []inject.FaultType{inject.ZeroBits},
-	}
-	set, err := c.Execute()
+	c := NewCampaign(NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		WithFaultTypes(inject.ZeroBits))
+	set, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatalf("campaign: %v", err)
 	}
@@ -97,14 +96,12 @@ func TestCampaignEveryRunInjected(t *testing.T) {
 
 func TestCampaignProgressCallback(t *testing.T) {
 	var last, total int
-	c := &Campaign{
-		Runner: NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
-		Types:  []inject.FaultType{inject.ZeroBits},
-		Progress: func(done, n int) {
+	c := NewCampaign(NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		WithFaultTypes(inject.ZeroBits),
+		WithProgress(func(done, n int) {
 			last, total = done, n
-		},
-	}
-	set, err := c.Execute()
+		}))
+	set, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,12 +217,10 @@ func TestExperimentFlow(t *testing.T) {
 // per unactivated function, identical outcome data.
 func TestPaperFaithfulSkips(t *testing.T) {
 	fast := smallCampaign(t) // calibration-informed skips
-	c := &Campaign{
-		Runner:             NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
-		Types:              []inject.FaultType{inject.ZeroBits},
-		PaperFaithfulSkips: true,
-	}
-	faithful, err := c.Execute()
+	c := NewCampaign(NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+		WithFaultTypes(inject.ZeroBits),
+		WithPaperFaithfulSkips())
+	faithful, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,8 +289,8 @@ func TestDiffAcrossWatchdVersions(t *testing.T) {
 	run := func(v int) *SetResult {
 		opts := RunnerOptions{}
 		opts.WatchdVersion = watchd.Version(v)
-		c := &Campaign{Runner: NewRunner(workload.NewSQL(workload.Watchd), opts)}
-		set, err := c.Execute()
+		c := NewCampaign(NewRunner(workload.NewSQL(workload.Watchd), opts))
+		set, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -33,7 +34,7 @@ func runClusterSet(t *testing.T, def workload.Definition, cfg ClusterConfig, spe
 	opts.Cluster = cfg
 	opts.FreshBoot = freshBoot
 	c := NewCampaign(NewRunner(def, opts), WithSpecs(specs), WithParallelism(par))
-	set, err := c.Execute()
+	set, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ type Option func(*Campaign)
 // NewCampaign builds a campaign for one workload runner. With no
 // options it is the full-catalog sequential sweep the paper ran.
 func NewCampaign(r *Runner, opts ...Option) *Campaign {
-	c := &Campaign{Runner: r}
+	c := &Campaign{runner: r}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -27,14 +27,14 @@ func NewCampaign(r *Runner, opts ...Option) *Campaign {
 // WithParallelism sets the worker-pool width (0 = all CPUs, 1 =
 // sequential; results are byte-identical either way).
 func WithParallelism(n int) Option {
-	return func(c *Campaign) { c.Parallelism = n }
+	return func(c *Campaign) { c.parallelism = n }
 }
 
 // WithSupervision routes every run through the campaign supervisor
 // (watchdog, quarantine, retries, journal, resume). A nil supervisor is
 // a no-op, so callers can pass an optionally-built one straight through.
 func WithSupervision(s *Supervisor) Option {
-	return func(c *Campaign) { c.Supervise = s }
+	return func(c *Campaign) { c.supervise = s }
 }
 
 // WithTelemetry enables per-run collection with the given options. The
@@ -42,50 +42,59 @@ func WithSupervision(s *Supervisor) Option {
 // never mutated behind another campaign's back.
 func WithTelemetry(o telemetry.Options) Option {
 	return func(c *Campaign) {
-		c.Runner = c.Runner.Clone()
-		c.Runner.Opts.Telemetry = o
+		c.runner = c.runner.Clone()
+		c.runner.Opts.Telemetry = o
 	}
 }
 
 // WithProgress registers the serialized (done, total) progress callback.
 func WithProgress(f func(done, total int)) Option {
-	return func(c *Campaign) { c.Progress = f }
+	return func(c *Campaign) { c.progress = f }
 }
 
 // WithShards fans the campaign out over n worker processes (n <= 1
 // stays in-process). The executor comes from WithShardExecutor or the
 // process registration performed by importing ntdts/internal/shard.
 func WithShards(n int) Option {
-	return func(c *Campaign) { c.Shards = n }
+	return func(c *Campaign) { c.shards = n }
 }
 
 // WithShardExecutor overrides the registered ShardExecutor.
 func WithShardExecutor(e ShardExecutor) Option {
-	return func(c *Campaign) { c.ShardExec = e }
+	return func(c *Campaign) { c.shardExec = e }
 }
 
 // WithSpecs replaces the generated catalog sweep with an explicit fault
 // list (the dts fault-list-file path).
 func WithSpecs(specs []inject.FaultSpec) Option {
-	return func(c *Campaign) { c.Specs = specs }
+	return func(c *Campaign) { c.specs = specs }
+}
+
+// WithReplay installs a replay source: before execution the source
+// resolves every job whose recorded trace proves the outcome cannot
+// change under this campaign's substrate, and only the rest re-execute
+// (see internal/replay for the divergence oracle). Mutually exclusive
+// with WithShards and WithSupervision.
+func WithReplay(src ReplaySource) Option {
+	return func(c *Campaign) { c.replay = src }
 }
 
 // WithFaultTypes overrides the corruption set (default: the paper's
 // three — zero, one, and flipped bits).
 func WithFaultTypes(types ...inject.FaultType) Option {
-	return func(c *Campaign) { c.Types = types }
+	return func(c *Campaign) { c.types = types }
 }
 
 // WithInvocation selects which invocation of each function to inject
 // (default 1, the paper's choice).
 func WithInvocation(n int) Option {
-	return func(c *Campaign) { c.Invocation = n }
+	return func(c *Campaign) { c.invocation = n }
 }
 
 // WithPaperFaithfulSkips probes each unactivated function once before
 // skipping it, exactly as the paper's tool did.
 func WithPaperFaithfulSkips() Option {
-	return func(c *Campaign) { c.PaperFaithfulSkips = true }
+	return func(c *Campaign) { c.paperFaithfulSkips = true }
 }
 
 // WithFreshBoot forces the legacy run engine: every run boots a fresh
@@ -93,7 +102,7 @@ func WithPaperFaithfulSkips() Option {
 // Archives are byte-identical either way; this exists as the benchmark
 // and regression baseline for the snapshot-fork path.
 func WithFreshBoot() Option {
-	return func(c *Campaign) { c.Runner.Opts.FreshBoot = true }
+	return func(c *Campaign) { c.runner.Opts.FreshBoot = true }
 }
 
 // WithCluster executes every run of the campaign on an n-node simulated
@@ -104,6 +113,6 @@ func WithFreshBoot() Option {
 // all rebuild identical clusters.
 func WithCluster(n int, routing string) Option {
 	return func(c *Campaign) {
-		c.Runner.Opts.Cluster = ClusterConfig{Nodes: n, Routing: routing}
+		c.runner.Opts.Cluster = ClusterConfig{Nodes: n, Routing: routing}
 	}
 }

@@ -31,20 +31,20 @@ func TestNewCampaignEquivalentToLiteral(t *testing.T) {
 		WithShards(3),
 	)
 	want := &Campaign{
-		Runner:             runner,
-		Types:              []inject.FaultType{inject.ZeroBits},
-		Invocation:         2,
-		PaperFaithfulSkips: true,
-		Parallelism:        4,
-		Supervise:          sup,
-		Specs:              specs,
-		Shards:             3,
+		runner:             runner,
+		types:              []inject.FaultType{inject.ZeroBits},
+		invocation:         2,
+		paperFaithfulSkips: true,
+		parallelism:        4,
+		supervise:          sup,
+		specs:              specs,
+		shards:             3,
 	}
 	// Functions don't compare; check presence, then blank them.
-	if got.Progress == nil {
+	if !got.HasProgress() {
 		t.Fatal("WithProgress did not set the callback")
 	}
-	got.Progress = nil
+	got.progress = nil
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("options build:\n got %+v\nwant %+v", got, want)
 	}
@@ -55,11 +55,11 @@ func TestNewCampaignEquivalentToLiteral(t *testing.T) {
 func TestWithTelemetryClonesRunner(t *testing.T) {
 	shared := NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{})
 	c := NewCampaign(shared, WithTelemetry(telemetry.Options{Enabled: true, TraceCap: 7}))
-	if c.Runner == shared {
+	if c.Runner() == shared {
 		t.Fatal("WithTelemetry must clone the runner")
 	}
-	if !c.Runner.Opts.Telemetry.Enabled || c.Runner.Opts.Telemetry.TraceCap != 7 {
-		t.Fatalf("campaign runner telemetry = %+v", c.Runner.Opts.Telemetry)
+	if !c.Runner().Opts.Telemetry.Enabled || c.Runner().Opts.Telemetry.TraceCap != 7 {
+		t.Fatalf("campaign runner telemetry = %+v", c.Runner().Opts.Telemetry)
 	}
 	if shared.Opts.Telemetry.Enabled {
 		t.Fatal("shared runner's options were mutated")
@@ -135,7 +135,7 @@ func TestExecuteAliasesRun(t *testing.T) {
 		return NewCampaign(NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
 			WithSpecs(specs))
 	}
-	viaExecute, err := build().Execute()
+	viaExecute, err := build().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

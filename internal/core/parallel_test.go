@@ -14,11 +14,11 @@ import (
 )
 
 func apache1Campaign(par int, progress func(done, total int)) *Campaign {
-	return &Campaign{
-		Runner:      NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
-		Parallelism: par,
-		Progress:    progress,
+	opts := []Option{WithParallelism(par)}
+	if progress != nil {
+		opts = append(opts, WithProgress(progress))
 	}
+	return NewCampaign(NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}), opts...)
 }
 
 // TestCampaignParallelDeterministic is the engine's core guarantee: any
@@ -26,7 +26,7 @@ func apache1Campaign(par int, progress func(done, total int)) *Campaign {
 // runs in fault-list order included.
 func TestCampaignParallelDeterministic(t *testing.T) {
 	run := func(par int) *SetResult {
-		set, err := apache1Campaign(par, nil).Execute()
+		set, err := apache1Campaign(par, nil).Run(context.Background())
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -55,7 +55,7 @@ func TestCampaignParallelProgress(t *testing.T) {
 	set, err := apache1Campaign(4, func(done, n int) {
 		calls = append(calls, done)
 		total = n
-	}).Execute()
+	}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,14 +76,12 @@ func TestCampaignParallelProgress(t *testing.T) {
 func TestCampaignParallelFaithfulSkips(t *testing.T) {
 	run := func(par int) (*SetResult, int) {
 		progressCalls := 0
-		c := &Campaign{
-			Runner:             NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
-			Types:              []inject.FaultType{inject.ZeroBits},
-			PaperFaithfulSkips: true,
-			Parallelism:        par,
-			Progress:           func(done, total int) { progressCalls++ },
-		}
-		set, err := c.Execute()
+		c := NewCampaign(NewRunner(workload.NewApache1(workload.Standalone), RunnerOptions{}),
+			WithFaultTypes(inject.ZeroBits),
+			WithPaperFaithfulSkips(),
+			WithParallelism(par),
+			WithProgress(func(done, total int) { progressCalls++ }))
+		set, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -54,6 +54,14 @@ type RunResult struct {
 	// so exports stay byte-identical at any worker count. Excluded from
 	// the JSON archive; export traces with dts -trace-out instead.
 	Telemetry *telemetry.Recorder `json:"-"`
+
+	// Replayed marks a result produced by a replay campaign; Elided
+	// additionally marks one the divergence oracle adopted from the
+	// source campaign instead of re-executing. Provenance only —
+	// excluded from the JSON archive so replayed archives stay
+	// byte-identical to from-scratch campaigns.
+	Replayed bool `json:"-"`
+	Elided   bool `json:"-"`
 }
 
 // RunnerOptions tune the per-run lifecycle.

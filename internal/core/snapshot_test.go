@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -59,9 +60,9 @@ func TestSnapshotForkMatchesFreshBoot(t *testing.T) {
 			WithParallelism(par),
 		)
 		if freshBoot {
-			c.Runner.Opts.FreshBoot = true
+			c.Runner().Opts.FreshBoot = true
 		}
-		set, err := c.Execute()
+		set, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatalf("freshBoot=%v par=%d: %v", freshBoot, par, err)
 		}
@@ -104,8 +105,8 @@ func TestSnapshotForkAllWorkloads(t *testing.T) {
 				specs := planSpecs(t, def, 12)
 				run := func(freshBoot bool) *SetResult {
 					c := NewCampaign(NewRunner(def, RunnerOptions{}), WithSpecs(specs), WithParallelism(2))
-					c.Runner.Opts.FreshBoot = freshBoot
-					set, err := c.Execute()
+					c.Runner().Opts.FreshBoot = freshBoot
+					set, err := c.Run(context.Background())
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -142,8 +143,8 @@ func TestSnapshotFallback(t *testing.T) {
 	specs := planSpecs(t, workload.NewApache1(workload.Standalone), 8)
 	run := func(freshBoot bool) *SetResult {
 		c := NewCampaign(NewRunner(def, RunnerOptions{}), WithSpecs(specs))
-		c.Runner.Opts.FreshBoot = freshBoot
-		set, err := c.Execute()
+		c.Runner().Opts.FreshBoot = freshBoot
+		set, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -94,7 +94,7 @@ func TestCampaignTelemetryDeterministic(t *testing.T) {
 // runs carry no recorder and the set result is exactly what it was before
 // the telemetry layer existed.
 func TestCampaignTelemetryDisabledIsFree(t *testing.T) {
-	set, err := apache1Campaign(1, nil).Execute()
+	set, err := apache1Campaign(1, nil).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +113,8 @@ func TestCampaignTelemetryDisabledIsFree(t *testing.T) {
 // every run's trace.
 func TestCampaignTelemetryEnabled(t *testing.T) {
 	c := apache1Campaign(4, nil)
-	c.Runner.Opts.Telemetry = telemetry.Options{Enabled: true}
-	set, err := c.Execute()
+	c.Runner().Opts.Telemetry = telemetry.Options{Enabled: true}
+	set, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

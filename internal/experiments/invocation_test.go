@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,11 +16,9 @@ import (
 // compare its outcome distribution to the first-invocation campaign.
 func TestSecondInvocationSimilarResults(t *testing.T) {
 	run := func(invocation int) core.Distribution {
-		c := &core.Campaign{
-			Runner:     core.NewRunner(workload.NewApache2(workload.Standalone), core.RunnerOptions{}),
-			Invocation: invocation,
-		}
-		set, err := c.Execute()
+		c := core.NewCampaign(core.NewRunner(workload.NewApache2(workload.Standalone), core.RunnerOptions{}),
+			core.WithInvocation(invocation))
+		set, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatalf("invocation-%d campaign: %v", invocation, err)
 		}

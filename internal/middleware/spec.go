@@ -1,0 +1,87 @@
+// Package middleware names the fault-tolerance substrates a campaign
+// can run under. A Spec pairs the supervision mode (stand-alone, MSCS,
+// watchd) with the watchd generation, and parses from the single
+// canonical string vocabulary — none | watchd-v1 | watchd-v2 |
+// watchd-v3 | mscs — shared by `dts -middleware`, replay overrides,
+// config files, and the scenario matrix. Substrate selection used to
+// be a pair of per-package switches (a supervision switch plus a
+// separate watchd-version knob); Spec is the one place that vocabulary
+// is defined.
+package middleware
+
+import (
+	"fmt"
+	"strings"
+
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/workload"
+)
+
+// Spec identifies one middleware substrate. WatchdVersion is only
+// meaningful when Supervision is workload.Watchd; zero means
+// "unspecified" (callers apply their own default, normally v3).
+type Spec struct {
+	Supervision   workload.Supervision
+	WatchdVersion watchd.Version
+}
+
+// Parse reads the canonical substrate vocabulary. "watchd" without a
+// version suffix is accepted and leaves WatchdVersion zero so an
+// independently-configured version is not clobbered.
+func Parse(s string) (Spec, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "standalone":
+		return Spec{Supervision: workload.Standalone}, nil
+	case "mscs":
+		return Spec{Supervision: workload.MSCS}, nil
+	case "watchd":
+		return Spec{Supervision: workload.Watchd}, nil
+	case "watchd-v1":
+		return Spec{Supervision: workload.Watchd, WatchdVersion: watchd.V1}, nil
+	case "watchd-v2":
+		return Spec{Supervision: workload.Watchd, WatchdVersion: watchd.V2}, nil
+	case "watchd-v3":
+		return Spec{Supervision: workload.Watchd, WatchdVersion: watchd.V3}, nil
+	}
+	return Spec{}, fmt.Errorf("unknown middleware %q (want none|watchd-v1|watchd-v2|watchd-v3|mscs)", s)
+}
+
+// String renders the canonical spelling Parse accepts.
+func (s Spec) String() string {
+	switch s.Supervision {
+	case workload.MSCS:
+		return "mscs"
+	case workload.Watchd:
+		if s.WatchdVersion == 0 {
+			return "watchd"
+		}
+		return fmt.Sprintf("watchd-v%d", int(s.WatchdVersion))
+	default:
+		return "none"
+	}
+}
+
+// Version resolves the watchd generation to run: the pinned version,
+// or v3 when the spec names watchd without pinning one. Zero for
+// non-watchd substrates.
+func (s Spec) Version() watchd.Version {
+	if s.Supervision != workload.Watchd {
+		return 0
+	}
+	if s.WatchdVersion == 0 {
+		return watchd.V3
+	}
+	return s.WatchdVersion
+}
+
+// All returns every concrete substrate, in paper order: no middleware,
+// then the three watchd generations, then MSCS.
+func All() []Spec {
+	return []Spec{
+		{Supervision: workload.Standalone},
+		{Supervision: workload.Watchd, WatchdVersion: watchd.V1},
+		{Supervision: workload.Watchd, WatchdVersion: watchd.V2},
+		{Supervision: workload.Watchd, WatchdVersion: watchd.V3},
+		{Supervision: workload.MSCS},
+	}
+}

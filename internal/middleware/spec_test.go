@@ -1,0 +1,58 @@
+package middleware
+
+import (
+	"testing"
+
+	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/workload"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range All() {
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("Parse(%q) = %+v, want %+v", s.String(), got, s)
+		}
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	cases := map[string]Spec{
+		"none":       {Supervision: workload.Standalone},
+		"standalone": {Supervision: workload.Standalone},
+		"NONE":       {Supervision: workload.Standalone},
+		"mscs":       {Supervision: workload.MSCS},
+		"watchd":     {Supervision: workload.Watchd},
+		"Watchd-V2":  {Supervision: workload.Watchd, WatchdVersion: watchd.V2},
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	if _, err := Parse("watchd-v9"); err == nil {
+		t.Error("Parse(watchd-v9) should fail")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("Parse(\"\") should fail")
+	}
+}
+
+func TestVersionDefault(t *testing.T) {
+	if v := (Spec{Supervision: workload.Watchd}).Version(); v != watchd.V3 {
+		t.Errorf("unpinned watchd version = %v, want v3", v)
+	}
+	if v := (Spec{Supervision: workload.Watchd, WatchdVersion: watchd.V1}).Version(); v != watchd.V1 {
+		t.Errorf("pinned watchd version = %v, want v1", v)
+	}
+	if v := (Spec{Supervision: workload.MSCS}).Version(); v != 0 {
+		t.Errorf("mscs version = %v, want 0", v)
+	}
+}

@@ -1,0 +1,65 @@
+package report
+
+// Rendering for the analysis layer: failure-matrix deltas and fitness
+// scores, in the same fixed-width plain text the paper artifacts use.
+
+import (
+	"fmt"
+	"strings"
+
+	"ntdts/internal/analysis"
+)
+
+// Delta renders a failure-matrix delta: the aggregate tallies, the per
+// function × corruption cells, the transition list and the
+// success/failure flips the swap caused.
+func Delta(d *analysis.Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failure-matrix delta: %s -> %s\n", d.FromLabel, d.ToLabel)
+	fmt.Fprintf(&b, "common injected faults: %d (%d unchanged, %d changed)\n",
+		d.Common, d.Unchanged, len(d.Transitions))
+	fmt.Fprintf(&b, "improved %d, regressed %d, shifted %d\n",
+		d.Summary.Improved, d.Summary.Regressed, d.Summary.Shifted)
+	if cells := d.Matrix(); len(cells) > 0 {
+		b.WriteString("\nper function x corruption:\n")
+		fmt.Fprintf(&b, "  %-30s %-6s %9s %9s %7s\n", "function", "type", "improved", "regressed", "shifted")
+		for _, c := range cells {
+			fmt.Fprintf(&b, "  %-30s %-6s %9d %9d %7d\n", c.Function, c.Type, c.Improved, c.Regressed, c.Shifted)
+		}
+	}
+	if len(d.Transitions) > 0 {
+		b.WriteString("\n")
+		b.WriteString(Transitions(d.FromLabel, d.ToLabel, d.Transitions, 50))
+	}
+	if flips := d.Flips(); len(flips) > 0 {
+		b.WriteString("\nanomalies (success/failure flips):\n")
+		for _, a := range flips {
+			fmt.Fprintf(&b, "  %-38s %s\n", a.Fault.String(), a.Detail)
+		}
+	}
+	return b.String()
+}
+
+// Fitness renders one set's weighted fitness breakdown.
+func Fitness(label string, sc analysis.Score, w analysis.Weights) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: fitness %.4f (weights avail=%g recovery=%g quarantine=%g)\n",
+		label, sc.Total, w.Availability, w.Recovery, w.Quarantine)
+	fmt.Fprintf(&b, "  availability    %.4f  (%d injected runs)\n", sc.Availability, sc.Injected)
+	fmt.Fprintf(&b, "  mean recovery   %.2fs  (%.2fx fault-free)\n", sc.MeanRecoverySec, sc.RecoveryRel)
+	fmt.Fprintf(&b, "  quarantine rate %.4f\n", sc.QuarantineRate)
+	return b.String()
+}
+
+// Anomalies renders a flagged-cell list.
+func Anomalies(as []analysis.Anomaly) string {
+	if len(as) == 0 {
+		return "no anomalies flagged\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d anomalies:\n", len(as))
+	for _, a := range as {
+		fmt.Fprintf(&b, "  %-16s %-38s %s\n", a.Kind, a.Fault.String(), a.Detail)
+	}
+	return b.String()
+}

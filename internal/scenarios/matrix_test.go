@@ -71,7 +71,7 @@ func TestCellsCoverEveryDimension(t *testing.T) {
 		seen[c.Middleware.String()] = true
 	}
 	for _, want := range []string{"failover", "round-robin", "least-loaded",
-		"node-crash", "service-crash", "partition", "none", "MSCS", "watchd"} {
+		"node-crash", "service-crash", "partition", "none", "mscs", "watchd"} {
 		if !seen[want] {
 			t.Fatalf("dimension value %q missing from the sweep", want)
 		}

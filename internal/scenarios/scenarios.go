@@ -14,7 +14,7 @@ import (
 
 	"ntdts/internal/core"
 	"ntdts/internal/inject"
-	"ntdts/internal/middleware/watchd"
+	"ntdts/internal/middleware"
 	"ntdts/internal/workload"
 )
 
@@ -23,7 +23,11 @@ var (
 	nodeCounts  = []int{1, 2, 3}
 	policies    = []string{"failover", "round-robin", "least-loaded"}
 	faults      = []string{"node-crash", "service-crash", "partition"}
-	middlewares = []workload.Supervision{workload.Standalone, workload.MSCS, workload.Watchd}
+	middlewares = []middleware.Spec{
+		{Supervision: workload.Standalone},
+		{Supervision: workload.MSCS},
+		{Supervision: workload.Watchd}, // version unpinned = v3, the matrix's watchd generation
+	}
 )
 
 // Scenario trigger timing: every fault fires 5 virtual seconds after the
@@ -40,7 +44,7 @@ const (
 type Cell struct {
 	Nodes      int
 	Routing    string
-	Middleware workload.Supervision
+	Middleware middleware.Spec
 	Fault      string
 }
 
@@ -91,9 +95,9 @@ type Row struct {
 // Run executes one cell: the IIS workload under the cell's middleware on
 // the cell's topology, with the scenario fault injected.
 func Run(c Cell) (Row, error) {
-	def := workload.NewIIS(c.Middleware)
+	def := workload.NewIIS(c.Middleware.Supervision)
 	opts := core.DefaultRunnerOptions()
-	opts.WatchdVersion = watchd.V3
+	opts.WatchdVersion = c.Middleware.Version()
 	opts.Cluster = core.ClusterConfig{Nodes: c.Nodes, Routing: c.Routing}
 	spec := c.Spec()
 	res, err := core.NewRunner(def, opts).Run(&spec)
@@ -114,7 +118,7 @@ func Run(c Cell) (Row, error) {
 // String renders the row as one fixed-width matrix line.
 func (r Row) String() string {
 	return fmt.Sprintf("nodes=%d routing=%-12s middleware=%-6s fault=%-13s outcome=%-22q completed=%-5v response=%6.2fs restarts=%d failovers=%d crashes=%d",
-		r.Nodes, r.Routing, r.Middleware, r.Fault, r.Outcome.String(),
+		r.Nodes, r.Routing, r.Middleware.Supervision, r.Fault, r.Outcome.String(),
 		r.Completed, r.Response, r.Restarts, r.Failovers, r.Crashes)
 }
 

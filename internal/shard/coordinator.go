@@ -110,8 +110,8 @@ func (e *Executor) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ranges := Partition(len(jobs), c.Shards)
-	header := HeaderFor(c.Runner)
+	ranges := Partition(len(jobs), c.Shards())
+	header := HeaderFor(c.Runner())
 	results := make([]core.RunResult, len(jobs))
 
 	chaosShard, chaosAfter, err := parseChaosKill(e.opts.ChaosKill)
@@ -131,12 +131,12 @@ func (e *Executor) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.
 		done       int
 	)
 	report := func(probe bool) {
-		if c.Progress == nil || probe {
+		if !c.HasProgress() || probe {
 			return
 		}
 		progressMu.Lock()
 		done++
-		c.Progress(done, p.Faults)
+		c.ReportProgress(done, p.Faults)
 		progressMu.Unlock()
 	}
 

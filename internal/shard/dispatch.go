@@ -200,7 +200,7 @@ func (f *Fleet) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.Pre
 		workers = len(f.opts.Spawners)
 	}
 	if workers <= 0 {
-		workers = c.Shards
+		workers = c.Shards()
 	}
 	if workers < 1 {
 		workers = 1
@@ -219,7 +219,7 @@ func (f *Fleet) ExecuteShards(ctx context.Context, c *core.Campaign, p *core.Pre
 		return nil, err
 	}
 
-	header := HeaderFor(c.Runner)
+	header := HeaderFor(c.Runner())
 	d := newDispatcher(f, c, p, workers)
 	if d.jw != nil {
 		d.jw.WritePlan(core.JobKeys(jobs), core.PlanFingerprint(jobs))
@@ -505,7 +505,7 @@ func (f *Fleet) localLoop(d *dispatcher) {
 			return
 		}
 		if rnr == nil {
-			rnr = d.c.Runner.Clone()
+			rnr = d.c.Runner().Clone()
 		}
 		for _, g := range a.indices {
 			if d.isCommitted(g) || d.finished() {
@@ -818,11 +818,11 @@ func (d *dispatcher) commitLocal(global int, res *core.RunResult) bool {
 
 // reportLocked drives the campaign Progress callback. Caller holds mu.
 func (d *dispatcher) reportLocked(global int) {
-	if d.c.Progress == nil || d.jobs[global].Probe {
+	if !d.c.HasProgress() || d.jobs[global].Probe {
 		return
 	}
 	d.progressDone++
-	d.c.Progress(d.progressDone, d.faults)
+	d.c.ReportProgress(d.progressDone, d.faults)
 }
 
 // finish retires one delivered (or abandoned-at-completion) copy.

@@ -1,0 +1,41 @@
+package telemetry
+
+// Trace introspection: read-side helpers that summarize what a recorded
+// run's telemetry says about middleware activity, without restoring a
+// live Recorder. The replay divergence oracle (internal/replay) reads
+// Touchpoints off journaled snapshots to decide whether a substrate
+// swap could have changed a run's outcome.
+
+// Touchpoints counts the middleware-visible activity in one run's
+// snapshot: the fault lifecycle plus every event the supervision layer
+// reacted to (or could have). Zero-valued counters mean the trace shows
+// the middleware never had to act.
+type Touchpoints struct {
+	FaultArmed     int64
+	FaultActivated int64
+	FaultInjected  int64
+	Restarts       int64 // middleware-initiated service restarts
+	Retries        int64 // supervisor retry attempts
+	Quarantines    int64 // supervisor quarantine decisions
+	ProcExits      int64
+}
+
+// Touchpoints summarizes the snapshot's middleware-visible counters.
+func (s *Snapshot) Touchpoints() Touchpoints {
+	c := s.Counters
+	return Touchpoints{
+		FaultArmed:     c[CtrFaultArmed],
+		FaultActivated: c[CtrFaultActivated],
+		FaultInjected:  c[CtrFaultInjected],
+		Restarts:       c[CtrRunRestarts],
+		Retries:        c[CtrSupRetry],
+		Quarantines:    c[CtrSupQuarantine],
+		ProcExits:      c[CtrExit],
+	}
+}
+
+// Quiet reports whether the trace proves the middleware never acted on
+// this run: no restarts, no supervisor retries, no quarantine.
+func (t Touchpoints) Quiet() bool {
+	return t.Restarts == 0 && t.Retries == 0 && t.Quarantines == 0
+}
